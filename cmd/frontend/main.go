@@ -1,0 +1,135 @@
+// Command frontend runs one ordering-service frontend over TCP: it relays
+// envelopes read from stdin (one payload per line) to the ordering cluster
+// and prints every released block.
+//
+// Example against the 4-node cluster of cmd/ordernode:
+//
+//	frontend -id fe0 -listen :7100 \
+//	  -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003 \
+//	  -channel demo
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "frontend:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.String("id", "fe0", "frontend name (must match the nodes' -frontends entry)")
+	listen := flag.String("listen", ":7100", "TCP listen address for block reception")
+	clientListen := flag.String("client-listen", ":7101", "TCP listen address for the consensus client")
+	peersFlag := flag.String("peers", "", "replica address book: id=host:port,...")
+	channel := flag.String("channel", "demo", "channel to submit to and deliver from")
+	flag.Parse()
+
+	peers, err := parseBook(*peersFlag)
+	if err != nil {
+		return fmt.Errorf("bad -peers: %w", err)
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-peers is required")
+	}
+	replicas := make([]consensus.ReplicaID, 0, len(peers))
+	book := make(map[transport.Addr]string, len(peers))
+	for name, hostport := range peers {
+		rid, err := strconv.Atoi(name)
+		if err != nil {
+			return fmt.Errorf("replica id %q is not a number", name)
+		}
+		replicas = append(replicas, consensus.ReplicaID(rid))
+		book[consensus.ReplicaID(rid).Addr()] = hostport
+	}
+
+	conn, err := transport.NewTCPTransport(transport.TCPConfig{
+		Addr:   transport.Addr(*id),
+		Listen: *listen,
+		Peers:  book,
+	})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	clientConn, err := transport.NewTCPTransport(transport.TCPConfig{
+		Addr:   transport.Addr(*id + "-client"),
+		Listen: *clientListen,
+		Peers:  book,
+	})
+	if err != nil {
+		return err
+	}
+	defer clientConn.Close()
+
+	fe, err := core.NewFrontendWithConns(core.FrontendConfig{
+		ID:       *id,
+		Replicas: replicas,
+	}, conn, clientConn)
+	if err != nil {
+		return err
+	}
+	defer fe.Close()
+
+	blocks := fe.Deliver(*channel)
+	go func() {
+		for b := range blocks {
+			fmt.Printf("block %d: %d envelopes, hash %s, %d signatures\n",
+				b.Header.Number, len(b.Envelopes), b.Header.Hash(), len(b.Signatures))
+			for _, raw := range b.Envelopes {
+				if env, err := fabric.UnmarshalEnvelope(raw); err == nil {
+					fmt.Printf("  %s\n", strings.TrimSpace(string(env.Payload)))
+				}
+			}
+		}
+	}()
+
+	fmt.Printf("frontend %s connected to %d ordering nodes; type payloads:\n", *id, len(replicas))
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		env := &fabric.Envelope{
+			ChannelID:         *channel,
+			ClientID:          *id,
+			TimestampUnixNano: time.Now().UnixNano(),
+			Payload:           []byte(line),
+		}
+		if err := fe.Broadcast(env); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}
+
+// parseBook parses "name=host:port,name=host:port" address books.
+func parseBook(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("entry %q is not name=host:port", part)
+		}
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// Command geobench regenerates Figures 8 and 9 of the paper: end-to-end
+// latency (median and 90th percentile) observed by four frontends spread
+// across the Americas, with the ordering nodes distributed worldwide,
+// comparing classic BFT-SMaRt (4 replicas) against WHEAT (5 replicas with
+// binary vote weights and tentative execution).
+//
+// Usage:
+//
+//	geobench [-block 10] [-sizes 40,200,1024,4096] [-measure 6s]
+//	         [-window 128] [-csv]
+//
+// Block size 10 reproduces Figure 8; 100 reproduces Figure 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	block := flag.Int("block", 10, "envelopes per block (10 = Figure 8, 100 = Figure 9)")
+	sizesFlag := flag.String("sizes", "40,200,1024,4096", "envelope sizes to sweep")
+	measure := flag.Duration("measure", 6*time.Second, "measurement window per run")
+	warmup := flag.Duration("warmup", 2*time.Second, "warmup before measuring")
+	window := flag.Int("window", 128, "outstanding envelopes per frontend")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		return fmt.Errorf("bad -sizes: %w", err)
+	}
+	figure := 8
+	if *block >= 100 {
+		figure = 9
+	}
+	fmt.Printf("# Figure %d: geo-distributed latency, blocks of %d envelopes\n", figure, *block)
+	fmt.Printf("# nodes: Oregon, Ireland, Sydney, Sao Paulo (+Virginia for WHEAT)\n")
+	fmt.Printf("# frontends: Canada, Oregon (Vmax leader), Virginia (Vmax), Sao Paulo (Vmin)\n")
+
+	table := bench.NewTable("frontend", "protocol", "env_bytes", "median_ms", "p90_ms", "tx/sec", "samples")
+	for _, size := range sizes {
+		for _, protocol := range []bench.GeoProtocol{bench.ProtocolBFTSmart, bench.ProtocolWheat} {
+			rows, err := bench.RunGeoCell(bench.GeoCell{
+				Protocol:          protocol,
+				BlockSize:         *block,
+				EnvSize:           size,
+				WindowPerFrontend: *window,
+				Warmup:            *warmup,
+				Measure:           *measure,
+			})
+			if err != nil {
+				return err
+			}
+			for _, row := range rows {
+				table.AddRow(string(row.Frontend), string(row.Protocol), row.EnvSize,
+					row.MedianMs, row.P90Ms, row.TxPerSec, row.Samples)
+			}
+		}
+	}
+	if *csv {
+		fmt.Print(table.CSV())
+		return nil
+	}
+	fmt.Print(table.String())
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

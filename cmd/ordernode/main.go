@@ -1,0 +1,160 @@
+// Command ordernode runs one BFT-SMaRt ordering node over TCP, for
+// multi-process (or multi-host) deployments.
+//
+// Every node needs the full address book of the cluster plus any frontends
+// it should be able to push blocks to. Example 4-node cluster on one host:
+//
+//	ordernode -id 0 -listen :7000 \
+//	  -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003 \
+//	  -frontends fe0=localhost:7100 \
+//	  -block 10 -key node0.key
+//
+// Keys: run with -genkey to write a fresh ECDSA key pair and the public
+// key's hex to stdout, then distribute the public keys via -registry
+// entries (id=hexpubkey).
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ordernode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.Int("id", 0, "replica id")
+	listen := flag.String("listen", ":7000", "TCP listen address")
+	peersFlag := flag.String("peers", "", "replica address book: id=host:port,...")
+	frontsFlag := flag.String("frontends", "", "frontend address book: name=host:port,...")
+	block := flag.Int("block", 10, "envelopes per block")
+	blockTimeout := flag.Duration("block-timeout", 500*time.Millisecond, "partial-block cut timeout (0 disables)")
+	batch := flag.Int("batch", 400, "consensus batch limit")
+	workers := flag.Int("workers", 16, "signing workers")
+	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
+	flag.Parse()
+
+	if *genkey {
+		return generateKey()
+	}
+	peers, err := parseBook(*peersFlag)
+	if err != nil {
+		return fmt.Errorf("bad -peers: %w", err)
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-peers is required")
+	}
+	fronts, err := parseBook(*frontsFlag)
+	if err != nil {
+		return fmt.Errorf("bad -frontends: %w", err)
+	}
+
+	// Build the address book: replicas by canonical address, frontends
+	// under their own names plus their client endpoints.
+	replicas := make([]consensus.ReplicaID, 0, len(peers))
+	book := make(map[transport.Addr]string, len(peers)+len(fronts))
+	for name, hostport := range peers {
+		rid, err := strconv.Atoi(name)
+		if err != nil {
+			return fmt.Errorf("replica id %q is not a number", name)
+		}
+		replicas = append(replicas, consensus.ReplicaID(rid))
+		book[consensus.ReplicaID(rid).Addr()] = hostport
+	}
+	for name, hostport := range fronts {
+		book[transport.Addr(name)] = hostport
+	}
+
+	key, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	conn, err := transport.NewTCPTransport(transport.TCPConfig{
+		Addr:   consensus.ReplicaID(*id).Addr(),
+		Listen: *listen,
+		Peers:  book,
+	})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	node, err := core.NewNode(core.NodeConfig{
+		Consensus: consensus.Config{
+			SelfID:    consensus.ReplicaID(*id),
+			Replicas:  replicas,
+			BatchSize: *batch,
+			Key:       key,
+		},
+		BlockSize:      *block,
+		BlockTimeout:   *blockTimeout,
+		SigningWorkers: *workers,
+		Key:            key,
+	}, conn)
+	if err != nil {
+		return err
+	}
+	node.Start()
+	defer node.Stop()
+	fmt.Printf("ordering node %d listening on %s (%d replicas, block size %d)\n",
+		*id, conn.ListenAddr(), len(replicas), *block)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+func generateKey() error {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	der, err := x509.MarshalECPrivateKey(priv)
+	if err != nil {
+		return err
+	}
+	pub, err := x509.MarshalPKIXPublicKey(&priv.PublicKey)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("private: %s\npublic:  %s\n", hex.EncodeToString(der), hex.EncodeToString(pub))
+	return nil
+}
+
+// parseBook parses "name=host:port,name=host:port" address books.
+func parseBook(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("entry %q is not name=host:port", part)
+		}
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+// Command sigbench regenerates Figure 6 of the paper: ECDSA block-signature
+// throughput as a function of signing worker threads, for blocks of 10
+// zero-byte envelopes.
+//
+// Usage:
+//
+//	sigbench [-workers 16] [-envs 10] [-duration 2s] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	maxWorkers := flag.Int("workers", 16, "sweep worker counts 1..N")
+	envs := flag.Int("envs", 10, "envelopes per block")
+	duration := flag.Duration("duration", 2*time.Second, "measurement time per point")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	workers := make([]int, 0, *maxWorkers)
+	for w := 1; w <= *maxWorkers; w++ {
+		workers = append(workers, w)
+	}
+	fmt.Printf("# Figure 6: signature generation for Fabric blocks (%d envelopes/block)\n", *envs)
+	fmt.Printf("# host parallelism: GOMAXPROCS=%d (the paper's host had 16 hardware threads)\n",
+		runtime.GOMAXPROCS(0))
+
+	rows, err := bench.RunFigure6(workers, *envs, *duration)
+	if err != nil {
+		return err
+	}
+	table := bench.NewTable("workers", "ksignatures/sec")
+	for _, row := range rows {
+		table.AddRow(row.Workers, row.SigsPerSec/1000)
+	}
+	if *csv {
+		fmt.Print(table.CSV())
+		return nil
+	}
+	fmt.Print(table.String())
+	return nil
+}

@@ -1,0 +1,84 @@
+// Quickstart: start a 4-node BFT ordering service in-process, submit
+// envelopes through a frontend, and read back the signed, hash-chained
+// blocks.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 4-node cluster tolerates f=1 Byzantine ordering node. Blocks hold
+	// 5 envelopes; partial blocks are cut after 250 ms.
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		Nodes:        4,
+		BlockSize:    5,
+		BlockTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	// The frontend relays envelopes to the cluster and releases each block
+	// once 2f+1 = 3 matching copies arrived from distinct nodes.
+	frontend, err := cluster.NewFrontend("frontend-0", false)
+	if err != nil {
+		return err
+	}
+	defer frontend.Close()
+	blocks := frontend.Deliver("demo-channel")
+
+	const total = 12
+	for i := 0; i < total; i++ {
+		env := &fabric.Envelope{
+			ChannelID:         "demo-channel",
+			ClientID:          "quickstart",
+			TimestampUnixNano: time.Now().UnixNano(),
+			Payload:           []byte(fmt.Sprintf("transaction %02d", i)),
+		}
+		if err := frontend.Broadcast(env); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("submitted %d envelopes\n", total)
+
+	var chain []*fabric.Block
+	received := 0
+	for received < total {
+		select {
+		case b := <-blocks:
+			chain = append(chain, b)
+			received += len(b.Envelopes)
+			fmt.Printf("block %d: %d envelopes, header %s, %d node signatures\n",
+				b.Header.Number, len(b.Envelopes), b.Header.Hash(), len(b.Signatures))
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("timed out after %d envelopes", received)
+		}
+	}
+
+	// The delivered blocks form a verifiable hash chain, and every block
+	// signature checks out against the nodes' registered keys.
+	if err := fabric.VerifyChain(chain); err != nil {
+		return fmt.Errorf("chain verification: %w", err)
+	}
+	for _, b := range chain {
+		if n := b.VerifySignatures(cluster.Registry); n < 3 {
+			return fmt.Errorf("block %d: only %d valid signatures", b.Header.Number, n)
+		}
+	}
+	fmt.Printf("verified: %d blocks, hash chain intact, all signatures valid\n", len(chain))
+	return nil
+}

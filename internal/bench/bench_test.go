@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wan"
+)
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Median() != 0 || r.Percentile(90) != 0 {
+		t.Fatal("empty recorder not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := r.Median(); got != 50*time.Millisecond {
+		t.Fatalf("median = %v", got)
+	}
+	if got := r.Percentile(90); got != 90*time.Millisecond {
+		t.Fatalf("p90 = %v", got)
+	}
+	if got := r.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Fatal("reset did not clear samples")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xx", "y")
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "2.5") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Fatalf("csv output:\n%s", csv)
+	}
+}
+
+func TestEnvelopeGenRoundTrip(t *testing.T) {
+	gen := NewEnvelopeGen("ch", "client-7", 128, 1)
+	raw, seq := gen.Next()
+	client, gotSeq, ok := EnvelopeSeq(raw)
+	if !ok || client != "client-7" || gotSeq != seq {
+		t.Fatalf("EnvelopeSeq = %q, %d, %v", client, gotSeq, ok)
+	}
+	raw2, seq2 := gen.Next()
+	if seq2 != seq+1 {
+		t.Fatalf("sequence not increasing: %d then %d", seq, seq2)
+	}
+	if len(raw2) < 128 {
+		t.Fatalf("envelope too small: %d", len(raw2))
+	}
+	// Tiny sizes are padded to hold the marker.
+	small := NewEnvelopeGen("ch", "c", 1, 1)
+	rawS, seqS := small.Next()
+	_, gotS, ok := EnvelopeSeq(rawS)
+	if !ok || gotS != seqS {
+		t.Fatal("small envelope lost its marker")
+	}
+}
+
+func TestRunFigure6Smoke(t *testing.T) {
+	rows, err := RunFigure6([]int{1, 2}, 10, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("RunFigure6: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.SigsPerSec <= 0 {
+			t.Fatalf("no signatures measured: %+v", row)
+		}
+	}
+}
+
+func TestRunFigure7CellSmoke(t *testing.T) {
+	row, err := RunFigure7Cell(Fig7Cell{
+		Nodes:     4,
+		BlockSize: 10,
+		EnvSize:   40,
+		Receivers: 1,
+		Clients:   4,
+		Window:    200,
+		Warmup:    300 * time.Millisecond,
+		Measure:   700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunFigure7Cell: %v", err)
+	}
+	if row.TxPerSec <= 0 || row.BlockPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", row)
+	}
+	if row.Nodes != 4 || row.EnvSize != 40 || row.Receivers != 1 {
+		t.Fatalf("row labels wrong: %+v", row)
+	}
+}
+
+func TestRunGeoCellSmoke(t *testing.T) {
+	rows, err := RunGeoCell(GeoCell{
+		Protocol:          ProtocolBFTSmart,
+		BlockSize:         10,
+		EnvSize:           40,
+		WindowPerFrontend: 32,
+		Warmup:            500 * time.Millisecond,
+		Measure:           1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunGeoCell: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want one per frontend", len(rows))
+	}
+	for _, row := range rows {
+		if row.Samples == 0 || row.MedianMs <= 0 {
+			t.Fatalf("frontend %s measured nothing: %+v", row.Frontend, row)
+		}
+		// Geo latency must reflect WAN round trips: well above 50 ms.
+		if row.MedianMs < 50 {
+			t.Fatalf("frontend %s median %.1f ms implausibly low", row.Frontend, row.MedianMs)
+		}
+	}
+}
+
+func TestGeoNodePlacements(t *testing.T) {
+	bft := nodeRegions(ProtocolBFTSmart)
+	if len(bft) != 4 || bft[0] != wan.Oregon {
+		t.Fatalf("BFT-SMaRt placement: %v", bft)
+	}
+	wheat := nodeRegions(ProtocolWheat)
+	if len(wheat) != 5 || wheat[4] != wan.Virginia {
+		t.Fatalf("WHEAT placement: %v", wheat)
+	}
+}

@@ -1,0 +1,80 @@
+package consensus
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// clientDedup tracks which request sequence numbers of one client have been
+// executed, providing exact at-most-once semantics even when requests
+// execute out of sequence order (possible across leader changes, state
+// transfers, or a Byzantine leader proposing a client's requests out of
+// order). It keeps a contiguous floor plus a sparse set above it; the
+// sparse set is compacted into the floor whenever no tentative executions
+// are outstanding.
+type clientDedup struct {
+	floor  uint64 // every seq in [1, floor] has been executed
+	sparse map[uint64]bool
+}
+
+func newClientDedup() *clientDedup {
+	return &clientDedup{sparse: make(map[uint64]bool)}
+}
+
+// contains reports whether seq was executed.
+func (d *clientDedup) contains(seq uint64) bool {
+	return seq <= d.floor || d.sparse[seq]
+}
+
+// mark records seq as executed.
+func (d *clientDedup) mark(seq uint64) {
+	if seq <= d.floor {
+		return
+	}
+	d.sparse[seq] = true
+}
+
+// unmark forgets seq (tentative rollback). Only sequences above the floor
+// can be rolled back: compaction is restricted to stable prefixes.
+func (d *clientDedup) unmark(seq uint64) {
+	delete(d.sparse, seq)
+}
+
+// compact advances the floor over contiguous executed sequences. Callers
+// must ensure no tentative execution is outstanding (rollback cannot cross
+// the floor).
+func (d *clientDedup) compact() {
+	for d.sparse[d.floor+1] {
+		d.floor++
+		delete(d.sparse, d.floor)
+	}
+}
+
+// marshalInto serializes the dedup state: floor, count, sorted seqs.
+func (d *clientDedup) marshalInto(w *wire.Writer) {
+	w.PutUint64(d.floor)
+	seqs := make([]uint64, 0, len(d.sparse))
+	for s := range d.sparse {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	w.PutUvarint(uint64(len(seqs)))
+	for _, s := range seqs {
+		w.PutUint64(s)
+	}
+}
+
+// readClientDedup deserializes dedup state.
+func readClientDedup(r *wire.Reader) *clientDedup {
+	d := newClientDedup()
+	d.floor = r.Uint64()
+	n := r.Uvarint()
+	if n > maxPendingRequests {
+		return d
+	}
+	for i := uint64(0); i < n; i++ {
+		d.sparse[r.Uint64()] = true
+	}
+	return d
+}

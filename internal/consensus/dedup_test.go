@@ -1,0 +1,114 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func TestClientDedupBasics(t *testing.T) {
+	d := newClientDedup()
+	if d.contains(1) {
+		t.Fatal("fresh dedup contains 1")
+	}
+	d.mark(1)
+	d.mark(3)
+	if !d.contains(1) || !d.contains(3) || d.contains(2) {
+		t.Fatal("marking misbehaves")
+	}
+	// Compaction advances only over the contiguous prefix.
+	d.compact()
+	if d.floor != 1 {
+		t.Fatalf("floor = %d, want 1", d.floor)
+	}
+	d.mark(2)
+	d.compact()
+	if d.floor != 3 {
+		t.Fatalf("floor = %d, want 3", d.floor)
+	}
+	if len(d.sparse) != 0 {
+		t.Fatalf("sparse not drained: %v", d.sparse)
+	}
+	if !d.contains(2) || !d.contains(3) || d.contains(4) {
+		t.Fatal("contains wrong after compaction")
+	}
+}
+
+func TestClientDedupOutOfOrder(t *testing.T) {
+	// The scenario that motivated exact tracking: a high sequence executes
+	// first (e.g. proposed by a Byzantine leader); lower sequences must
+	// still be executable exactly once afterwards.
+	d := newClientDedup()
+	d.mark(200)
+	if d.contains(90) {
+		t.Fatal("marking 200 must not absorb 90")
+	}
+	d.mark(90)
+	if !d.contains(90) || !d.contains(200) || d.contains(91) {
+		t.Fatal("out-of-order marks wrong")
+	}
+}
+
+func TestClientDedupUnmark(t *testing.T) {
+	d := newClientDedup()
+	d.mark(5)
+	d.unmark(5)
+	if d.contains(5) {
+		t.Fatal("unmark did not forget")
+	}
+	d.mark(5)
+	if !d.contains(5) {
+		t.Fatal("re-mark after unmark failed")
+	}
+}
+
+func TestClientDedupSerializationRoundTrip(t *testing.T) {
+	d := newClientDedup()
+	for _, s := range []uint64{1, 2, 3, 7, 9} {
+		d.mark(s)
+	}
+	d.compact() // floor=3, sparse={7,9}
+	w := wire.NewWriter(0)
+	d.marshalInto(w)
+	got := readClientDedup(wire.NewReader(w.Bytes()))
+	if got.floor != 3 {
+		t.Fatalf("floor = %d", got.floor)
+	}
+	for _, s := range []uint64{1, 2, 3, 7, 9} {
+		if !got.contains(s) {
+			t.Fatalf("round trip lost %d", s)
+		}
+	}
+	if got.contains(4) || got.contains(8) {
+		t.Fatal("round trip invented sequences")
+	}
+}
+
+func TestClientDedupProperty(t *testing.T) {
+	// Exactness: after marking an arbitrary multiset of sequences, contains
+	// is true exactly for the marked set, regardless of order or
+	// interleaved compactions.
+	f := func(seqsRaw []uint16, compactEvery uint8) bool {
+		d := newClientDedup()
+		marked := make(map[uint64]bool)
+		step := int(compactEvery%5) + 1
+		for i, raw := range seqsRaw {
+			seq := uint64(raw%256) + 1
+			d.mark(seq)
+			marked[seq] = true
+			if i%step == 0 {
+				d.compact()
+			}
+		}
+		for seq := uint64(1); seq <= 257; seq++ {
+			if d.contains(seq) != marked[seq] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

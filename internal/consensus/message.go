@@ -1,0 +1,415 @@
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// Transport message types used by the consensus layer. The ordering-service
+// layer (internal/core) uses types >= 64; the two ranges never collide on a
+// shared network.
+const (
+	msgRequest uint16 = iota + 1
+	msgPropose
+	msgWrite
+	msgAccept
+	msgStop
+	msgStopData
+	msgSync
+	msgStateRequest
+	msgStateReply
+	msgReply
+)
+
+// RequestMessageType is the transport type of client requests, exported for
+// components that submit requests without a full Client (the ordering
+// node's time-to-cut markers).
+const RequestMessageType = msgRequest
+
+// EncodeRequest encodes a raw client request: a payload sent with
+// RequestMessageType to every replica enters the request pool like any
+// client submission.
+func EncodeRequest(clientID string, seq uint64, op []byte) []byte {
+	rq := &request{ClientID: clientID, Seq: seq, Op: op}
+	return rq.marshal()
+}
+
+// request is a client operation submitted for total ordering. Clients send
+// requests to every replica (Figure 3: "Clients send their requests to all
+// replicas").
+type request struct {
+	ClientID string // also the client's transport address for replies
+	Seq      uint64 // per-client sequence number for deduplication
+	Op       []byte // opaque operation (an HLF envelope in the ordering service)
+}
+
+func (rq *request) key() requestKey {
+	return requestKey{client: rq.ClientID, seq: rq.Seq}
+}
+
+type requestKey struct {
+	client string
+	seq    uint64
+}
+
+func (rq *request) marshal() []byte {
+	w := wire.NewWriter(len(rq.ClientID) + len(rq.Op) + 16)
+	w.PutString(rq.ClientID)
+	w.PutUint64(rq.Seq)
+	w.PutBytes(rq.Op)
+	return w.Bytes()
+}
+
+func unmarshalRequest(b []byte) (*request, error) {
+	r := wire.NewReader(b)
+	rq := &request{
+		ClientID: r.String(),
+		Seq:      r.Uint64(),
+		Op:       r.BytesCopy(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("request: %w", err)
+	}
+	return rq, nil
+}
+
+// proposeMsg is the leader's batch proposal for one consensus instance.
+// Batch entries are marshalled requests.
+type proposeMsg struct {
+	Regency int32
+	Seq     int64
+	Batch   [][]byte
+}
+
+func (m *proposeMsg) marshal() []byte {
+	size := 16
+	for _, e := range m.Batch {
+		size += len(e) + 4
+	}
+	w := wire.NewWriter(size)
+	w.PutInt32(m.Regency)
+	w.PutInt64(m.Seq)
+	w.PutBytesSlice(m.Batch)
+	return w.Bytes()
+}
+
+func unmarshalPropose(b []byte) (*proposeMsg, error) {
+	r := wire.NewReader(b)
+	m := &proposeMsg{
+		Regency: r.Int32(),
+		Seq:     r.Int64(),
+		Batch:   r.BytesSlice(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("propose: %w", err)
+	}
+	return m, nil
+}
+
+// voteMsg carries a WRITE or ACCEPT vote: the digest of the batch the voter
+// registered for instance Seq in the given regency.
+type voteMsg struct {
+	Regency int32
+	Seq     int64
+	Digest  cryptoutil.Digest
+}
+
+func (m *voteMsg) marshal() []byte {
+	w := wire.NewWriter(12 + cryptoutil.DigestSize)
+	w.PutInt32(m.Regency)
+	w.PutInt64(m.Seq)
+	w.PutRaw(m.Digest[:])
+	return w.Bytes()
+}
+
+func unmarshalVote(b []byte) (*voteMsg, error) {
+	r := wire.NewReader(b)
+	m := &voteMsg{
+		Regency: r.Int32(),
+		Seq:     r.Int64(),
+	}
+	copy(m.Digest[:], r.Raw(cryptoutil.DigestSize))
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("vote: %w", err)
+	}
+	return m, nil
+}
+
+// stopMsg asks to advance to NextRegency because the current leader stalled.
+type stopMsg struct {
+	NextRegency int32
+}
+
+func (m *stopMsg) marshal() []byte {
+	w := wire.NewWriter(4)
+	w.PutInt32(m.NextRegency)
+	return w.Bytes()
+}
+
+func unmarshalStop(b []byte) (*stopMsg, error) {
+	r := wire.NewReader(b)
+	m := &stopMsg{NextRegency: r.Int32()}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("stop: %w", err)
+	}
+	return m, nil
+}
+
+// writeCert is leader-change evidence: a value the sender write-certified
+// (saw a WRITE quorum for) in an open instance, and the regency in which
+// that quorum formed. A decided value always has a write certificate at
+// some correct replica in any n-f subset, so carrying certificates for all
+// open instances across the leader change preserves decided values.
+type writeCert struct {
+	Seq     int64
+	Regency int32
+	Digest  cryptoutil.Digest
+	Batch   [][]byte // the registered batch, if known
+}
+
+func putWriteCert(w *wire.Writer, c *writeCert) {
+	w.PutInt64(c.Seq)
+	w.PutInt32(c.Regency)
+	w.PutRaw(c.Digest[:])
+	w.PutBytesSlice(c.Batch)
+}
+
+func readWriteCert(r *wire.Reader) writeCert {
+	var c writeCert
+	c.Seq = r.Int64()
+	c.Regency = r.Int32()
+	copy(c.Digest[:], r.Raw(cryptoutil.DigestSize))
+	c.Batch = r.BytesSlice()
+	return c
+}
+
+// stopDataMsg is sent to the new leader after a regency change. It reports
+// the sender's progress and the write-certified values for every open
+// instance. The message is signed when keys are configured so that a
+// Byzantine replica cannot forge other replicas' progress reports.
+type stopDataMsg struct {
+	Regency     int32
+	LastDecided int64
+	Certs       []writeCert
+	Signature   []byte
+}
+
+// signedBytes returns the portion of the encoding covered by the signature.
+func (m *stopDataMsg) signedBytes() []byte {
+	w := wire.NewWriter(64)
+	w.PutInt32(m.Regency)
+	w.PutInt64(m.LastDecided)
+	w.PutUvarint(uint64(len(m.Certs)))
+	for i := range m.Certs {
+		putWriteCert(w, &m.Certs[i])
+	}
+	return w.Bytes()
+}
+
+func (m *stopDataMsg) marshal() []byte {
+	body := m.signedBytes()
+	w := wire.NewWriter(len(body) + len(m.Signature) + 8)
+	w.PutBytes(body)
+	w.PutBytes(m.Signature)
+	return w.Bytes()
+}
+
+func unmarshalStopData(b []byte) (*stopDataMsg, error) {
+	outer := wire.NewReader(b)
+	body := outer.BytesCopy()
+	sig := outer.BytesCopy()
+	if err := outer.Finish(); err != nil {
+		return nil, fmt.Errorf("stopdata: %w", err)
+	}
+	r := wire.NewReader(body)
+	m := &stopDataMsg{
+		Regency:     r.Int32(),
+		LastDecided: r.Int64(),
+		Signature:   sig,
+	}
+	n := r.Uvarint()
+	if n > 1024 {
+		return nil, fmt.Errorf("stopdata: %d certs out of range", n)
+	}
+	m.Certs = make([]writeCert, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Certs = append(m.Certs, readWriteCert(r))
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("stopdata body: %w", err)
+	}
+	return m, nil
+}
+
+// syncDecision is one instance resolution inside a SYNC message: the batch
+// to resume the instance with. HasCert distinguishes a carried-over
+// write-certified value from a fresh (possibly empty) restart.
+type syncDecision struct {
+	Seq     int64
+	HasCert bool
+	Batch   [][]byte
+}
+
+// syncMsg is the new leader's resolution of the synchronization phase: the
+// consecutive open instances and the value each one resumes with. Replicas
+// treat each decision like a PROPOSE in the new regency.
+type syncMsg struct {
+	Regency   int32
+	Decisions []syncDecision
+}
+
+func (m *syncMsg) marshal() []byte {
+	w := wire.NewWriter(64)
+	w.PutInt32(m.Regency)
+	w.PutUvarint(uint64(len(m.Decisions)))
+	for i := range m.Decisions {
+		d := &m.Decisions[i]
+		w.PutInt64(d.Seq)
+		w.PutBool(d.HasCert)
+		w.PutBytesSlice(d.Batch)
+	}
+	return w.Bytes()
+}
+
+func unmarshalSync(b []byte) (*syncMsg, error) {
+	r := wire.NewReader(b)
+	m := &syncMsg{Regency: r.Int32()}
+	n := r.Uvarint()
+	if n > 1024 {
+		return nil, fmt.Errorf("sync: %d decisions out of range", n)
+	}
+	m.Decisions = make([]syncDecision, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Decisions = append(m.Decisions, syncDecision{
+			Seq:     r.Int64(),
+			HasCert: r.Bool(),
+			Batch:   r.BytesSlice(),
+		})
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("sync: %w", err)
+	}
+	return m, nil
+}
+
+// stateRequestMsg asks peers for a snapshot + decision log covering
+// everything after FromSeq (the requester's last delivered instance).
+type stateRequestMsg struct {
+	FromSeq int64
+}
+
+func (m *stateRequestMsg) marshal() []byte {
+	w := wire.NewWriter(8)
+	w.PutInt64(m.FromSeq)
+	return w.Bytes()
+}
+
+func unmarshalStateRequest(b []byte) (*stateRequestMsg, error) {
+	r := wire.NewReader(b)
+	m := &stateRequestMsg{FromSeq: r.Int64()}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("state request: %w", err)
+	}
+	return m, nil
+}
+
+// logEntryWire is one decided instance in a state reply.
+type logEntryWire struct {
+	Seq   int64
+	Batch [][]byte
+}
+
+// stateReplyMsg carries a checkpointed snapshot and the decision-log suffix.
+// The receiver applies a reply only after f+1 distinct replicas sent replies
+// with the same content digest.
+type stateReplyMsg struct {
+	CheckpointSeq int64
+	Snapshot      []byte
+	Entries       []logEntryWire
+}
+
+func (m *stateReplyMsg) marshal() []byte {
+	w := wire.NewWriter(len(m.Snapshot) + 64)
+	w.PutInt64(m.CheckpointSeq)
+	w.PutBytes(m.Snapshot)
+	w.PutUvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.PutInt64(e.Seq)
+		w.PutBytesSlice(e.Batch)
+	}
+	return w.Bytes()
+}
+
+func unmarshalStateReply(b []byte) (*stateReplyMsg, error) {
+	r := wire.NewReader(b)
+	m := &stateReplyMsg{
+		CheckpointSeq: r.Int64(),
+		Snapshot:      r.BytesCopy(),
+	}
+	n := r.Uvarint()
+	if n > 1<<20 {
+		return nil, fmt.Errorf("state reply: %d entries out of range", n)
+	}
+	m.Entries = make([]logEntryWire, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, logEntryWire{
+			Seq:   r.Int64(),
+			Batch: r.BytesSlice(),
+		})
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("state reply: %w", err)
+	}
+	return m, nil
+}
+
+// digest returns the content digest used for f+1 matching.
+func (m *stateReplyMsg) digest() cryptoutil.Digest {
+	return cryptoutil.Hash(m.marshal())
+}
+
+// replyMsg completes a client request (used by the default replier; the
+// ordering service replaces replies with block dissemination).
+type replyMsg struct {
+	ClientID  string
+	ReqSeq    uint64
+	Seq       int64 // consensus instance that decided the request
+	Tentative bool  // true when delivered tentatively (WHEAT)
+	Result    []byte
+}
+
+func (m *replyMsg) marshal() []byte {
+	w := wire.NewWriter(len(m.ClientID) + len(m.Result) + 32)
+	w.PutString(m.ClientID)
+	w.PutUint64(m.ReqSeq)
+	w.PutInt64(m.Seq)
+	w.PutBool(m.Tentative)
+	w.PutBytes(m.Result)
+	return w.Bytes()
+}
+
+func unmarshalReply(b []byte) (*replyMsg, error) {
+	r := wire.NewReader(b)
+	m := &replyMsg{
+		ClientID:  r.String(),
+		ReqSeq:    r.Uint64(),
+		Seq:       r.Int64(),
+		Tentative: r.Bool(),
+		Result:    r.BytesCopy(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("reply: %w", err)
+	}
+	return m, nil
+}
+
+// batchDigest hashes a proposed batch; WRITE and ACCEPT votes carry this
+// digest rather than the batch itself (Figure 3: votes are hashes).
+func batchDigest(seq int64, batch [][]byte) cryptoutil.Digest {
+	w := wire.NewWriter(64)
+	w.PutInt64(seq)
+	w.PutBytesSlice(batch)
+	return cryptoutil.Hash(w.Bytes())
+}

@@ -1,0 +1,197 @@
+package consensus
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cryptoutil"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := &request{ClientID: "frontend-1", Seq: 42, Op: []byte("envelope")}
+	out, err := unmarshalRequest(in.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.ClientID != in.ClientID || out.Seq != in.Seq || !bytes.Equal(out.Op, in.Op) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(client string, seq uint64, op []byte) bool {
+		in := &request{ClientID: client, Seq: seq, Op: op}
+		out, err := unmarshalRequest(in.marshal())
+		if err != nil {
+			return false
+		}
+		return out.ClientID == in.ClientID && out.Seq == in.Seq && bytes.Equal(out.Op, in.Op)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposeRoundTrip(t *testing.T) {
+	in := &proposeMsg{Regency: 3, Seq: 99, Batch: [][]byte{[]byte("a"), []byte("bb")}}
+	out, err := unmarshalPropose(in.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Regency != in.Regency || out.Seq != in.Seq || len(out.Batch) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Batch[1], []byte("bb")) {
+		t.Fatalf("batch entry mismatch: %q", out.Batch[1])
+	}
+}
+
+func TestVoteRoundTrip(t *testing.T) {
+	in := &voteMsg{Regency: 1, Seq: 7, Digest: cryptoutil.Hash([]byte("batch"))}
+	out, err := unmarshalVote(in.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestStopRoundTrip(t *testing.T) {
+	out, err := unmarshalStop((&stopMsg{NextRegency: 5}).marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.NextRegency != 5 {
+		t.Fatalf("NextRegency = %d", out.NextRegency)
+	}
+}
+
+func TestStopDataRoundTrip(t *testing.T) {
+	in := &stopDataMsg{
+		Regency:     2,
+		LastDecided: 17,
+		Certs: []writeCert{
+			{Seq: 18, Regency: 1, Digest: cryptoutil.Hash([]byte("x")),
+				Batch: [][]byte{[]byte("op1")}},
+			{Seq: 19, Regency: 0, Digest: cryptoutil.Hash([]byte("y"))},
+		},
+		Signature: []byte("sig"),
+	}
+	out, err := unmarshalStopData(in.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Regency != 2 || out.LastDecided != 17 || len(out.Certs) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if out.Certs[0].Seq != 18 || out.Certs[0].Regency != 1 ||
+		out.Certs[0].Digest != in.Certs[0].Digest ||
+		len(out.Certs[0].Batch) != 1 {
+		t.Fatalf("cert mismatch: %+v", out.Certs[0])
+	}
+	if !bytes.Equal(out.Signature, []byte("sig")) {
+		t.Fatalf("signature mismatch")
+	}
+	// The signature must cover the body: same body, same signed bytes.
+	if !bytes.Equal(in.signedBytes(), out.signedBytes()) {
+		t.Fatal("signedBytes not stable across round trip")
+	}
+}
+
+func TestSyncRoundTrip(t *testing.T) {
+	in := &syncMsg{
+		Regency: 4,
+		Decisions: []syncDecision{
+			{Seq: 20, HasCert: true, Batch: [][]byte{[]byte("op")}},
+			{Seq: 21, HasCert: false},
+		},
+	}
+	out, err := unmarshalSync(in.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Regency != 4 || len(out.Decisions) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if !out.Decisions[0].HasCert || out.Decisions[1].HasCert {
+		t.Fatal("HasCert flags mismatched")
+	}
+}
+
+func TestStateMessagesRoundTrip(t *testing.T) {
+	req, err := unmarshalStateRequest((&stateRequestMsg{FromSeq: -1}).marshal())
+	if err != nil {
+		t.Fatalf("unmarshal request: %v", err)
+	}
+	if req.FromSeq != -1 {
+		t.Fatalf("FromSeq = %d", req.FromSeq)
+	}
+
+	in := &stateReplyMsg{
+		CheckpointSeq: 10,
+		Snapshot:      []byte("snap"),
+		Entries: []logEntryWire{
+			{Seq: 11, Batch: [][]byte{[]byte("a")}},
+			{Seq: 12, Batch: nil},
+		},
+	}
+	out, err := unmarshalStateReply(in.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal reply: %v", err)
+	}
+	if out.CheckpointSeq != 10 || string(out.Snapshot) != "snap" || len(out.Entries) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if out.digest() != in.digest() {
+		t.Fatal("digest not stable across round trip")
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	in := &replyMsg{ClientID: "c", ReqSeq: 9, Seq: 3, Tentative: true, Result: []byte("r")}
+	out, err := unmarshalReply(in.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.ClientID != "c" || out.ReqSeq != 9 || out.Seq != 3 || !out.Tentative ||
+		!bytes.Equal(out.Result, []byte("r")) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestBatchDigestProperties(t *testing.T) {
+	a := [][]byte{[]byte("x"), []byte("y")}
+	if batchDigest(1, a) == batchDigest(2, a) {
+		t.Fatal("digest must bind the sequence number")
+	}
+	if batchDigest(1, a) != batchDigest(1, [][]byte{[]byte("x"), []byte("y")}) {
+		t.Fatal("digest must be deterministic")
+	}
+	if batchDigest(1, [][]byte{[]byte("xy")}) == batchDigest(1, a) {
+		t.Fatal("digest must separate entry boundaries")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	garbage := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	if _, err := unmarshalPropose(garbage); err == nil {
+		t.Error("propose accepted garbage")
+	}
+	if _, err := unmarshalVote(garbage[:3]); err == nil {
+		t.Error("vote accepted garbage")
+	}
+	if _, err := unmarshalStopData(garbage); err == nil {
+		t.Error("stopdata accepted garbage")
+	}
+	if _, err := unmarshalSync(garbage); err == nil {
+		t.Error("sync accepted garbage")
+	}
+	if _, err := unmarshalStateReply(garbage); err == nil {
+		t.Error("state reply accepted garbage")
+	}
+	if _, err := unmarshalRequest(garbage); err == nil {
+		t.Error("request accepted garbage")
+	}
+}

@@ -1,0 +1,1000 @@
+package consensus
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/transport"
+)
+
+// Application is the replicated state machine driven by a replica. The
+// ordering service's implementation turns ordered envelopes into signed
+// blocks; tests use simple counter/log applications.
+//
+// All methods are invoked from the replica's event loop, never concurrently.
+type Application interface {
+	// Execute delivers the totally ordered operations of consensus instance
+	// seq. In tentative mode (WHEAT) the call may later be undone by
+	// Rollback if a leader change overrides the instance.
+	Execute(seq int64, ops [][]byte)
+	// Rollback undoes every Execute with sequence greater than seq.
+	// Only invoked in tentative mode.
+	Rollback(seq int64)
+	// Snapshot serializes the application state after the last Execute.
+	Snapshot() []byte
+	// Restore replaces the application state with a snapshot taken at seq.
+	Restore(snapshot []byte, seq int64)
+}
+
+// ResultFunc computes the reply payload for one executed operation. Nil
+// results in empty replies.
+type ResultFunc func(seq int64, op []byte) []byte
+
+// Behavior injects Byzantine faults for testing. The zero value is honest.
+type Behavior struct {
+	// Mute drops every outgoing protocol message (fail-silent).
+	Mute bool
+	// CorruptPropose makes the leader propose malformed batch entries.
+	CorruptPropose bool
+	// Equivocate makes the leader send conflicting proposals to different
+	// replicas.
+	Equivocate bool
+}
+
+// Option customizes a replica.
+type Option func(*Replica)
+
+// WithResultFunc installs the reply computation for client requests.
+func WithResultFunc(f ResultFunc) Option {
+	return func(r *Replica) { r.resultFunc = f }
+}
+
+// WithoutClientReplies disables reply messages entirely; the ordering
+// service uses its block-dissemination replier instead (Section 5.1).
+func WithoutClientReplies() Option {
+	return func(r *Replica) { r.disableReplies = true }
+}
+
+// WithExtraMessageHandler installs a handler for transport messages whose
+// type the consensus layer does not own (anything >= 64). The ordering node
+// uses it to accept frontend registrations on the replica's endpoint. The
+// handler runs on the event loop and must not block.
+func WithExtraMessageHandler(h func(transport.Message)) Option {
+	return func(r *Replica) { r.extraHandler = h }
+}
+
+// maxPendingRequests bounds the request pool; beyond it new requests are
+// dropped (the client retries). Keeps open-loop overload from exhausting
+// memory.
+const maxPendingRequests = 100_000
+
+// instanceWindow bounds how far beyond the last delivered instance a
+// replica participates; anything farther triggers state transfer instead.
+const instanceWindow = 64
+
+// stateGapThreshold is the lag (in instances) beyond which a replica stops
+// trying to catch up vote-by-vote and requests a state transfer.
+const stateGapThreshold = 16
+
+// tickInterval drives batch timeouts, request timeouts, and sync-phase
+// escalation.
+const tickInterval = 2 * time.Millisecond
+
+// pendingReq is a client request waiting to be ordered.
+type pendingReq struct {
+	req      *request
+	raw      []byte // marshalled request (batch entry)
+	arrived  time.Time
+	inFlight bool // included in an open proposal
+}
+
+type voteKey struct {
+	regency int32
+	digest  cryptoutil.Digest
+}
+
+// instance is the per-consensus-instance protocol state.
+type instance struct {
+	seq          int64
+	regency      int32 // regency of the registered proposal
+	batch        [][]byte
+	digest       cryptoutil.Digest
+	haveProposal bool
+	writes       map[voteKey]map[ReplicaID]struct{}
+	accepts      map[voteKey]map[ReplicaID]struct{}
+	writeSent    bool
+	acceptSent   bool
+	// writeCertified is set once a WRITE quorum formed for certDigest; the
+	// pair is the evidence carried through leader changes.
+	writeCertified bool
+	certDigest     cryptoutil.Digest
+	certRegency    int32
+	decided        bool
+	decidedDigest  cryptoutil.Digest
+	executed       bool // delivered to the application (possibly tentatively)
+	undo           []undoRec
+}
+
+// undoRec captures request-bookkeeping changes of a tentative execution so
+// that Rollback can restore them.
+type undoRec struct {
+	key requestKey
+	raw []byte
+}
+
+func newInstance(seq int64) *instance {
+	return &instance{
+		seq:     seq,
+		writes:  make(map[voteKey]map[ReplicaID]struct{}),
+		accepts: make(map[voteKey]map[ReplicaID]struct{}),
+	}
+}
+
+// bufferedStopData holds a STOPDATA that arrived before this replica
+// installed its regency.
+type bufferedStopData struct {
+	from ReplicaID
+	msg  *stopDataMsg
+}
+
+// bufferedSync holds a SYNC that arrived before this replica installed its
+// regency.
+type bufferedSync struct {
+	from ReplicaID
+	msg  *syncMsg
+}
+
+// Stats is a snapshot of replica progress counters.
+type Stats struct {
+	Regency       int32
+	Members       int32
+	LastDelivered int64
+	DeliveredOps  uint64
+	Decided       int64
+	LeaderChanges int64
+	DroppedReqs   uint64
+}
+
+// Replica is one member of the BFT-SMaRt replication group. Create with
+// NewReplica, then Start. All protocol state is owned by the event-loop
+// goroutine.
+type Replica struct {
+	cfg  Config
+	app  Application
+	conn transport.Conn
+
+	membership []ReplicaID
+	qt         *quorumTracker
+
+	// Normal-case protocol state.
+	regency       int32
+	instances     map[int64]*instance
+	lastProposed  int64
+	lastDelivered int64 // contiguous prefix delivered to the app
+	lastStable    int64 // contiguous prefix decided AND delivered (confirm point)
+
+	// Request pool.
+	pending  map[requestKey]*pendingReq
+	queue    []requestKey
+	executed map[string]*clientDedup // exact per-client at-most-once
+
+	// Decision log and checkpointing (Section 5.2).
+	decidedLog     map[int64][][]byte
+	checkpointSeq  int64
+	checkpointSnap []byte
+
+	// Synchronization phase (leader change).
+	syncInProgress bool
+	syncStarted    time.Time
+	stopVotes      map[int32]map[ReplicaID]struct{}
+	stopSent       map[int32]bool
+	stopData       map[ReplicaID]*stopDataMsg
+	futureStopData []bufferedStopData
+	futureSync     *bufferedSync
+
+	// State transfer.
+	fetching     bool
+	fetchStarted time.Time
+	stateReplies map[ReplicaID]*stateReplyMsg
+
+	// Reply generation.
+	disableReplies bool
+	resultFunc     ResultFunc
+
+	// extraHandler receives non-consensus messages (types >= 64).
+	extraHandler func(transport.Message)
+
+	behavior atomic.Pointer[Behavior]
+
+	// Progress counters (read by Stats from other goroutines).
+	statRegency   atomic.Int32
+	statMembers   atomic.Int32
+	statDelivered atomic.Int64
+	statOps       atomic.Uint64
+	statDecided   atomic.Int64
+	statLC        atomic.Int64
+	statDropped   atomic.Uint64
+
+	started atomic.Bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// inspectCh runs closures on the event loop (race-free introspection
+	// for tests and debugging).
+	inspectCh chan func()
+}
+
+// NewReplica validates the configuration and creates a replica attached to
+// the given transport endpoint.
+func NewReplica(cfg Config, app Application, conn transport.Conn, opts ...Option) (*Replica, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if app == nil {
+		return nil, fmt.Errorf("consensus: nil application")
+	}
+	if conn == nil {
+		return nil, fmt.Errorf("consensus: nil transport connection")
+	}
+	membership := make([]ReplicaID, len(cfg.Replicas))
+	copy(membership, cfg.Replicas)
+	sort.Slice(membership, func(i, j int) bool { return membership[i] < membership[j] })
+
+	r := &Replica{
+		cfg:           cfg,
+		app:           app,
+		conn:          conn,
+		membership:    membership,
+		qt:            newQuorumTracker(membership, cfg.Weights, cfg.F),
+		instances:     make(map[int64]*instance),
+		lastProposed:  -1,
+		lastDelivered: -1,
+		lastStable:    -1,
+		pending:       make(map[requestKey]*pendingReq),
+		executed:      make(map[string]*clientDedup),
+		decidedLog:    make(map[int64][][]byte),
+		checkpointSeq: -1,
+		stopVotes:     make(map[int32]map[ReplicaID]struct{}),
+		stopSent:      make(map[int32]bool),
+		stopData:      make(map[ReplicaID]*stopDataMsg),
+		stateReplies:  make(map[ReplicaID]*stateReplyMsg),
+		done:          make(chan struct{}),
+		inspectCh:     make(chan func()),
+	}
+	r.behavior.Store(&Behavior{})
+	r.statMembers.Store(int32(len(membership)))
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r, nil
+}
+
+// ID returns the replica's identity.
+func (r *Replica) ID() ReplicaID { return r.cfg.SelfID }
+
+// SetBehavior installs a (possibly Byzantine) behavior. Safe to call while
+// the replica runs.
+func (r *Replica) SetBehavior(b Behavior) { r.behavior.Store(&b) }
+
+// Stats returns progress counters. Safe to call from any goroutine.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		Regency:       r.statRegency.Load(),
+		Members:       r.statMembers.Load(),
+		LastDelivered: r.statDelivered.Load(),
+		DeliveredOps:  r.statOps.Load(),
+		Decided:       r.statDecided.Load(),
+		LeaderChanges: r.statLC.Load(),
+		DroppedReqs:   r.statDropped.Load(),
+	}
+}
+
+// Start launches the event loop. It must be called exactly once.
+func (r *Replica) Start() {
+	if r.started.Swap(true) {
+		return
+	}
+	r.wg.Add(1)
+	go r.run()
+}
+
+// Stop terminates the event loop and waits for it to exit. The transport
+// connection is left open (the caller owns it).
+func (r *Replica) Stop() {
+	if !r.started.Load() {
+		return
+	}
+	select {
+	case <-r.done:
+		return // already stopped
+	default:
+	}
+	close(r.done)
+	r.wg.Wait()
+}
+
+func (r *Replica) run() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(tickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case m, ok := <-r.conn.Inbox():
+			if !ok {
+				return
+			}
+			r.dispatch(m)
+		case f := <-r.inspectCh:
+			f()
+		case <-ticker.C:
+			r.onTick()
+		}
+	}
+}
+
+// DebugSnapshot renders a replica's protocol state for diagnostics.
+func DebugSnapshot(r *Replica) string {
+	out := "stopped"
+	r.Inspect(func() {
+		next := r.lastDelivered + 1
+		instInfo := "none"
+		if inst, ok := r.instances[next]; ok {
+			instInfo = fmt.Sprintf("prop=%v writeSent=%v acceptSent=%v cert=%v decided=%v writes=%d accepts=%d",
+				inst.haveProposal, inst.writeSent, inst.acceptSent,
+				inst.writeCertified, inst.decided, len(inst.writes), len(inst.accepts))
+		}
+		out = fmt.Sprintf("regency=%d pending=%d queue=%d lastProposed=%d lastDelivered=%d lastStable=%d sync=%v fetch=%v inst[%d]: %s",
+			r.regency, len(r.pending), len(r.queue), r.lastProposed,
+			r.lastDelivered, r.lastStable, r.syncInProgress, r.fetching, next, instInfo)
+	})
+	return out
+}
+
+// Inspect runs f on the event-loop goroutine and waits for it to complete,
+// giving race-free access to protocol state. It returns false if the
+// replica is stopped.
+func (r *Replica) Inspect(f func()) bool {
+	donech := make(chan struct{})
+	select {
+	case r.inspectCh <- func() { f(); close(donech) }:
+		<-donech
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// dispatch routes one transport message to its protocol handler.
+func (r *Replica) dispatch(m transport.Message) {
+	if m.Type >= 64 {
+		if r.extraHandler != nil {
+			r.extraHandler(m)
+		}
+		return
+	}
+	from, isReplica := r.senderID(m.From)
+	switch m.Type {
+	case msgRequest:
+		r.onRequest(m.Payload)
+	case msgPropose:
+		if !isReplica {
+			return
+		}
+		if pm, err := unmarshalPropose(m.Payload); err == nil {
+			r.onPropose(from, pm)
+		}
+	case msgWrite:
+		if !isReplica {
+			return
+		}
+		if vm, err := unmarshalVote(m.Payload); err == nil {
+			r.onVote(from, vm, true)
+		}
+	case msgAccept:
+		if !isReplica {
+			return
+		}
+		if vm, err := unmarshalVote(m.Payload); err == nil {
+			r.onVote(from, vm, false)
+		}
+	case msgStop:
+		if !isReplica {
+			return
+		}
+		if sm, err := unmarshalStop(m.Payload); err == nil {
+			r.onStop(from, sm)
+		}
+	case msgStopData:
+		if !isReplica {
+			return
+		}
+		if sd, err := unmarshalStopData(m.Payload); err == nil {
+			r.onStopData(from, sd)
+		}
+	case msgSync:
+		if !isReplica {
+			return
+		}
+		if sy, err := unmarshalSync(m.Payload); err == nil {
+			r.onSync(from, sy)
+		}
+	case msgStateRequest:
+		if !isReplica {
+			return
+		}
+		if sr, err := unmarshalStateRequest(m.Payload); err == nil {
+			r.onStateRequest(from, sr)
+		}
+	case msgStateReply:
+		if !isReplica {
+			return
+		}
+		if sp, err := unmarshalStateReply(m.Payload); err == nil {
+			r.onStateReply(from, sp)
+		}
+	}
+}
+
+// senderID resolves a transport address to a member replica id.
+func (r *Replica) senderID(addr transport.Addr) (ReplicaID, bool) {
+	for _, id := range r.membership {
+		if id.Addr() == addr {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (r *Replica) leaderOf(regency int32) ReplicaID {
+	n := int32(len(r.membership))
+	idx := regency % n
+	if idx < 0 {
+		idx += n
+	}
+	return r.membership[idx]
+}
+
+func (r *Replica) isLeader() bool {
+	return r.leaderOf(r.regency) == r.cfg.SelfID
+}
+
+// broadcast sends a protocol message to every other member and then
+// processes it locally (self-delivery without touching the network).
+func (r *Replica) broadcast(msgType uint16, payload []byte) {
+	if !r.behavior.Load().Mute {
+		for _, id := range r.membership {
+			if id == r.cfg.SelfID {
+				continue
+			}
+			r.conn.Send(id.Addr(), msgType, payload)
+		}
+	}
+	r.dispatch(transport.Message{
+		From:    r.cfg.SelfID.Addr(),
+		To:      r.cfg.SelfID.Addr(),
+		Type:    msgType,
+		Payload: payload,
+	})
+}
+
+// sendTo sends a protocol message to one member (or processes it locally).
+func (r *Replica) sendTo(id ReplicaID, msgType uint16, payload []byte) {
+	if id == r.cfg.SelfID {
+		r.dispatch(transport.Message{
+			From:    r.cfg.SelfID.Addr(),
+			To:      r.cfg.SelfID.Addr(),
+			Type:    msgType,
+			Payload: payload,
+		})
+		return
+	}
+	if r.behavior.Load().Mute {
+		return
+	}
+	r.conn.Send(id.Addr(), msgType, payload)
+}
+
+// ---- Request handling ------------------------------------------------
+
+func (r *Replica) onRequest(payload []byte) {
+	rq, err := unmarshalRequest(payload)
+	if err != nil {
+		return
+	}
+	key := rq.key()
+	if d, ok := r.executed[rq.ClientID]; ok && d.contains(rq.Seq) {
+		return // already executed
+	}
+	if _, ok := r.pending[key]; ok {
+		return // duplicate
+	}
+	if len(r.pending) >= maxPendingRequests {
+		r.statDropped.Add(1)
+		return
+	}
+	raw := make([]byte, len(payload))
+	copy(raw, payload)
+	r.pending[key] = &pendingReq{req: rq, raw: raw, arrived: time.Now()}
+	r.queue = append(r.queue, key)
+	r.maybePropose(false)
+}
+
+// debugTrace enables stall diagnostics (REPRO_TRACE=1 environment).
+var debugTrace = os.Getenv("REPRO_TRACE") == "1"
+
+// maybePropose lets the leader open the next consensus instance when the
+// pipeline is free and a batch is available. When force is true a partial
+// batch is proposed (batch timeout fired).
+func (r *Replica) maybePropose(force bool) {
+	if r.syncInProgress || r.fetching || !r.isLeader() {
+		return
+	}
+	if !r.pipelineFree() {
+		if debugTrace {
+			fmt.Printf("maybePropose[%d]: pipeline busy (proposed=%d delivered=%d)\n",
+				r.cfg.SelfID, r.lastProposed, r.lastDelivered)
+		}
+		return
+	}
+	batch, keys := r.collectBatch()
+	if len(batch) == 0 {
+		if debugTrace && len(r.pending) > 0 {
+			inflight := 0
+			for _, p := range r.pending {
+				if p.inFlight {
+					inflight++
+				}
+			}
+			fmt.Printf("maybePropose[%d]: empty batch, pending=%d inflight=%d queue=%d\n",
+				r.cfg.SelfID, len(r.pending), inflight, len(r.queue))
+		}
+		return
+	}
+	if len(batch) < r.cfg.BatchSize && !force {
+		// Wait for the batch to fill unless the oldest request has been
+		// waiting longer than the batch timeout.
+		oldest := r.pending[keys[0]]
+		if time.Since(oldest.arrived) < r.cfg.BatchTimeout {
+			return
+		}
+	}
+	seq := r.lastProposed + 1
+	for _, k := range keys {
+		r.pending[k].inFlight = true
+	}
+	r.lastProposed = seq
+	r.propose(seq, batch)
+}
+
+// pipelineFree reports whether every instance up to lastProposed has
+// progressed far enough to open the next one: decided normally, or
+// write-certified in tentative mode (WHEAT overlaps the ACCEPT phase of
+// instance i with instance i+1).
+func (r *Replica) pipelineFree() bool {
+	for s := r.lastDelivered + 1; s <= r.lastProposed; s++ {
+		inst, ok := r.instances[s]
+		if !ok {
+			return false
+		}
+		if r.cfg.Tentative {
+			if !inst.writeCertified {
+				return false
+			}
+			continue
+		}
+		if !inst.decided {
+			return false
+		}
+	}
+	return r.lastProposed-r.lastDelivered < instanceWindow/2
+}
+
+// collectBatch gathers up to BatchSize pending, not-in-flight requests in
+// arrival order. It also compacts the arrival queue.
+func (r *Replica) collectBatch() ([][]byte, []requestKey) {
+	var batch [][]byte
+	var keys []requestKey
+	compacted := r.queue[:0]
+	for _, key := range r.queue {
+		p, ok := r.pending[key]
+		if !ok {
+			continue // executed or dropped
+		}
+		compacted = append(compacted, key)
+		if p.inFlight || len(batch) >= r.cfg.BatchSize {
+			continue
+		}
+		batch = append(batch, p.raw)
+		keys = append(keys, key)
+	}
+	r.queue = compacted
+	return batch, keys
+}
+
+func (r *Replica) propose(seq int64, batch [][]byte) {
+	b := r.behavior.Load()
+	if b.CorruptPropose {
+		garbage := make([][]byte, len(batch))
+		for i := range garbage {
+			garbage[i] = []byte{0xde, 0xad}
+		}
+		batch = garbage
+	}
+	pm := &proposeMsg{Regency: r.regency, Seq: seq, Batch: batch}
+	if b.Equivocate {
+		// Split the other replicas between two conflicting batches so
+		// that neither digest can reach a WRITE quorum (the leader's own
+		// vote plus a minority is below ceil((n+f+1)/2)): honest replicas
+		// time out and run the synchronization phase.
+		alt := &proposeMsg{Regency: r.regency, Seq: seq, Batch: batch[:len(batch)/2]}
+		sent := 0
+		for _, id := range r.membership {
+			if id == r.cfg.SelfID {
+				continue
+			}
+			m := pm
+			if sent < len(r.membership)/2 {
+				m = alt
+			}
+			sent++
+			r.conn.Send(id.Addr(), msgPropose, m.marshal())
+		}
+		r.dispatch(transport.Message{
+			From: r.cfg.SelfID.Addr(), To: r.cfg.SelfID.Addr(),
+			Type: msgPropose, Payload: pm.marshal(),
+		})
+		return
+	}
+	r.broadcast(msgPropose, pm.marshal())
+}
+
+// ---- Normal-case consensus -------------------------------------------
+
+func (r *Replica) onPropose(from ReplicaID, m *proposeMsg) {
+	if r.syncInProgress || m.Regency != r.regency {
+		return
+	}
+	if r.leaderOf(m.Regency) != from {
+		return // only the regency's leader may propose
+	}
+	if m.Seq <= r.lastDelivered {
+		return // stale
+	}
+	if m.Seq > r.lastDelivered+stateGapThreshold {
+		r.requestStateTransfer()
+		return
+	}
+	if len(m.Batch) > r.cfg.BatchSize {
+		return
+	}
+	if !r.validateBatch(m.Batch) {
+		return // malformed proposal: refuse to WRITE; timeout handles the leader
+	}
+	inst := r.instance(m.Seq)
+	if inst.haveProposal && inst.regency == m.Regency {
+		return // first proposal wins within a regency (equivocation defense)
+	}
+	if inst.decided {
+		return
+	}
+	if inst.haveProposal && inst.regency != m.Regency {
+		// The instance restarts under a new regency: vote flags reset so
+		// this replica WRITEs for the re-proposed value.
+		inst.writeSent = false
+		inst.acceptSent = false
+	}
+	inst.batch = m.Batch
+	inst.digest = batchDigest(m.Seq, m.Batch)
+	inst.haveProposal = true
+	inst.regency = m.Regency
+
+	if !inst.writeSent {
+		inst.writeSent = true
+		vm := &voteMsg{Regency: r.regency, Seq: m.Seq, Digest: inst.digest}
+		r.broadcast(msgWrite, vm.marshal())
+	}
+	r.checkQuorums(inst)
+}
+
+func (r *Replica) validateBatch(batch [][]byte) bool {
+	for _, entry := range batch {
+		rq, err := unmarshalRequest(entry)
+		if err != nil {
+			return false
+		}
+		if r.cfg.ValidateRequest != nil {
+			if err := r.cfg.ValidateRequest(rq.Op); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (r *Replica) instance(seq int64) *instance {
+	inst, ok := r.instances[seq]
+	if !ok {
+		inst = newInstance(seq)
+		r.instances[seq] = inst
+	}
+	return inst
+}
+
+func (r *Replica) onVote(from ReplicaID, m *voteMsg, isWrite bool) {
+	if m.Regency != r.regency || r.syncInProgress {
+		return
+	}
+	if m.Seq <= r.lastDelivered {
+		// The instance is already delivered locally; late votes are noise
+		// unless we have fallen behind (handled via propose/state paths).
+		return
+	}
+	if m.Seq > r.lastDelivered+instanceWindow {
+		r.requestStateTransfer()
+		return
+	}
+	inst := r.instance(m.Seq)
+	key := voteKey{regency: m.Regency, digest: m.Digest}
+	votes := inst.writes
+	if !isWrite {
+		votes = inst.accepts
+	}
+	set, ok := votes[key]
+	if !ok {
+		set = make(map[ReplicaID]struct{})
+		votes[key] = set
+	}
+	set[from] = struct{}{}
+	r.checkQuorums(inst)
+}
+
+// checkQuorums advances an instance through WRITE-quorum (accept vote +
+// tentative delivery + leader-change certificate) and ACCEPT-quorum
+// (decision).
+func (r *Replica) checkQuorums(inst *instance) {
+	if inst.decided {
+		return
+	}
+	// WRITE quorum: send ACCEPT for the certified digest.
+	for key, set := range inst.writes {
+		if key.regency != r.regency || !r.qt.isQuorum(toVoterSet(set)) {
+			continue
+		}
+		if !inst.writeCertified || inst.certRegency < key.regency {
+			inst.writeCertified = true
+			inst.certDigest = key.digest
+			inst.certRegency = key.regency
+		}
+		if !inst.acceptSent {
+			inst.acceptSent = true
+			vm := &voteMsg{Regency: r.regency, Seq: inst.seq, Digest: key.digest}
+			r.broadcast(msgAccept, vm.marshal())
+		}
+		if r.cfg.Tentative {
+			r.deliverContiguous()
+		}
+		r.maybePropose(false)
+	}
+	// ACCEPT quorum: decide.
+	for key, set := range inst.accepts {
+		if key.regency != r.regency || !r.qt.isQuorum(toVoterSet(set)) {
+			continue
+		}
+		r.decide(inst, key.digest)
+		return
+	}
+}
+
+func toVoterSet(set map[ReplicaID]struct{}) map[ReplicaID]struct{} { return set }
+
+func (r *Replica) decide(inst *instance, digest cryptoutil.Digest) {
+	if inst.decided {
+		return
+	}
+	inst.decided = true
+	inst.decidedDigest = digest
+	r.statDecided.Add(1)
+
+	if !inst.haveProposal || inst.digest != digest {
+		// Decided by quorum evidence without (or with a conflicting) local
+		// proposal: fetch the decided batches from peers.
+		inst.haveProposal = false
+		r.requestStateTransfer()
+		return
+	}
+	r.deliverContiguous()
+	r.advanceStable()
+	if inst.seq > r.lastDelivered+1 {
+		// Decided ahead of a gap (e.g. a joining replica that missed the
+		// prefix): catch up through state transfer rather than waiting for
+		// votes that will never come.
+		r.requestStateTransfer()
+	}
+	r.maybePropose(false)
+}
+
+// deliverContiguous executes every instance in the contiguous prefix that
+// is ready: decided normally, or write-certified with a registered batch in
+// tentative mode.
+func (r *Replica) deliverContiguous() {
+	for {
+		seq := r.lastDelivered + 1
+		inst, ok := r.instances[seq]
+		if !ok || !inst.haveProposal {
+			return
+		}
+		ready := inst.decided && inst.digest == inst.decidedDigest
+		if !ready && r.cfg.Tentative {
+			ready = inst.writeCertified && inst.certDigest == inst.digest
+		}
+		if !ready || inst.executed {
+			if inst.executed {
+				r.lastDelivered = seq
+				continue
+			}
+			return
+		}
+		r.execute(inst)
+		r.lastDelivered = seq
+		r.statDelivered.Store(seq)
+		if (seq+1)%r.cfg.CheckpointInterval == 0 {
+			// Checkpoint boundaries are absolute (every interval-th
+			// instance) so that all replicas produce byte-identical
+			// checkpoints, which the f+1 matching rule of state transfer
+			// depends on. The snapshot is only taken when the stable
+			// prefix has caught up (no tentative suffix).
+			r.advanceStable()
+			if r.lastStable == seq {
+				r.checkpointAt(seq)
+			}
+		}
+	}
+}
+
+// execute delivers one instance's batch to the application, with
+// deduplication and reply generation.
+func (r *Replica) execute(inst *instance) {
+	ops := make([][]byte, 0, len(inst.batch))
+	var replies []*replyMsg
+	for _, raw := range inst.batch {
+		rq, err := unmarshalRequest(raw)
+		if err != nil {
+			continue // validated at propose time; defensive
+		}
+		dedup, ok := r.executed[rq.ClientID]
+		if !ok {
+			dedup = newClientDedup()
+			r.executed[rq.ClientID] = dedup
+		}
+		if dedup.contains(rq.Seq) {
+			continue // duplicate of an already executed request
+		}
+		if r.cfg.Tentative {
+			inst.undo = append(inst.undo, undoRec{key: rq.key(), raw: raw})
+		}
+		dedup.mark(rq.Seq)
+		key := rq.key()
+		delete(r.pending, key)
+		if rc, isReconfig := decodeReconfigOp(rq.Op); isReconfig {
+			r.applyReconfig(rc)
+			continue // membership changes are consumed by the replica layer
+		}
+		ops = append(ops, rq.Op)
+		if !r.disableReplies {
+			var result []byte
+			if r.resultFunc != nil {
+				result = r.resultFunc(inst.seq, rq.Op)
+			}
+			replies = append(replies, &replyMsg{
+				ClientID:  rq.ClientID,
+				ReqSeq:    rq.Seq,
+				Seq:       inst.seq,
+				Tentative: !inst.decided,
+				Result:    result,
+			})
+		}
+	}
+	inst.executed = true
+	r.app.Execute(inst.seq, ops)
+	r.statOps.Add(uint64(len(ops)))
+	if r.behavior.Load().Mute {
+		return
+	}
+	for _, rm := range replies {
+		r.conn.Send(transport.Addr(rm.ClientID), msgReply, rm.marshal())
+	}
+}
+
+// advanceStable moves the confirm point (contiguous decided + executed
+// prefix), records decisions in the log, and checkpoints periodically.
+func (r *Replica) advanceStable() {
+	for {
+		seq := r.lastStable + 1
+		inst, ok := r.instances[seq]
+		if !ok || !inst.decided || !inst.executed || seq > r.lastDelivered {
+			break
+		}
+		r.decidedLog[seq] = inst.batch
+		r.lastStable = seq
+	}
+	// With no tentative suffix outstanding, the dedup floors may compact
+	// (rollback can never cross the stable prefix).
+	if r.lastDelivered == r.lastStable {
+		for _, d := range r.executed {
+			d.compact()
+		}
+	}
+}
+
+// checkpointAt snapshots the application at seq and truncates the decision
+// log (Section 5.2: the tiny state makes frequent checkpoints cheap).
+func (r *Replica) checkpointAt(seq int64) {
+	if seq <= r.checkpointSeq {
+		return
+	}
+	r.checkpointSeq = seq
+	r.checkpointSnap = r.wrapSnapshot()
+	for s := range r.decidedLog {
+		if s <= seq {
+			delete(r.decidedLog, s)
+		}
+	}
+	for s := range r.instances {
+		if s <= seq {
+			delete(r.instances, s)
+		}
+	}
+}
+
+func (r *Replica) onTick() {
+	now := time.Now()
+	if r.isLeader() {
+		r.maybePropose(true)
+	}
+	if r.fetching && now.Sub(r.fetchStarted) > r.cfg.RequestTimeout {
+		// Retry the state transfer.
+		r.fetching = false
+		r.requestStateTransfer()
+	}
+	if r.syncInProgress {
+		if now.Sub(r.syncStarted) > r.cfg.RequestTimeout {
+			r.triggerLeaderChange(r.regency + 1)
+		}
+		return
+	}
+	// Drop executed requests from the queue head so the watchdog always
+	// inspects the oldest still-pending request, and periodically compact
+	// the whole queue (followers never run collectBatch, which is where
+	// the leader compacts).
+	for len(r.queue) > 0 {
+		if _, ok := r.pending[r.queue[0]]; ok {
+			break
+		}
+		r.queue = r.queue[1:]
+	}
+	if len(r.queue) > 4*len(r.pending)+1024 {
+		compacted := make([]requestKey, 0, len(r.pending))
+		for _, key := range r.queue {
+			if _, ok := r.pending[key]; ok {
+				compacted = append(compacted, key)
+			}
+		}
+		r.queue = compacted
+	}
+	// Request-timeout watchdog: a pending request older than the timeout
+	// indicts the current leader. The queue is in arrival order, so the
+	// head is the oldest.
+	if len(r.queue) > 0 {
+		if p, ok := r.pending[r.queue[0]]; ok && now.Sub(p.arrived) > r.cfg.RequestTimeout {
+			r.triggerLeaderChange(r.regency + 1)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package consensus
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// This file implements durability and state transfer (Section 5.2 of the
+// paper): replicas checkpoint the application snapshot every
+// CheckpointInterval decisions and truncate the decision log; a lagging or
+// joining replica fetches the latest checkpoint plus the log suffix from
+// its peers and replays it. The ordering service's application state is
+// tiny (next block number + previous block hash), which is exactly why the
+// paper argues frequent checkpoints are cheap for this workload.
+
+// wrapSnapshot bundles the application snapshot with the replica-level
+// request-deduplication table; both are replicated state.
+//
+// Layout: uvarint count, (client string, uint64 seq)*, app snapshot bytes.
+func (r *Replica) wrapSnapshot() []byte {
+	clients := make([]string, 0, len(r.executed))
+	for c := range r.executed {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	w := wire.NewWriter(64)
+	r.marshalMembership(w)
+	w.PutUvarint(uint64(len(clients)))
+	for _, c := range clients {
+		w.PutString(c)
+		r.executed[c].marshalInto(w)
+	}
+	w.PutBytes(r.app.Snapshot())
+	return w.Bytes()
+}
+
+// unwrapSnapshot restores the dedup table and returns the application
+// snapshot portion.
+func (r *Replica) unwrapSnapshot(b []byte) ([]byte, bool) {
+	rd := wire.NewReader(b)
+	if err := r.unmarshalMembership(rd); err != nil {
+		return nil, false
+	}
+	n := rd.Uvarint()
+	if rd.Err() != nil || n > maxPendingRequests {
+		return nil, false
+	}
+	executed := make(map[string]*clientDedup, n)
+	for i := uint64(0); i < n; i++ {
+		client := rd.String()
+		executed[client] = readClientDedup(rd)
+	}
+	appSnap := rd.BytesCopy()
+	if err := rd.Finish(); err != nil {
+		return nil, false
+	}
+	r.executed = executed
+	return appSnap, true
+}
+
+// requestStateTransfer broadcasts a state request when the replica detects
+// that it is too far behind to catch up through ordinary votes.
+func (r *Replica) requestStateTransfer() {
+	if r.fetching {
+		return
+	}
+	r.fetching = true
+	r.fetchStarted = time.Now()
+	r.stateReplies = make(map[ReplicaID]*stateReplyMsg)
+	m := &stateRequestMsg{FromSeq: r.lastDelivered}
+	for _, id := range r.membership {
+		if id == r.cfg.SelfID {
+			continue
+		}
+		r.sendTo(id, msgStateRequest, m.marshal())
+	}
+}
+
+func (r *Replica) onStateRequest(from ReplicaID, m *stateRequestMsg) {
+	if r.behavior.Load().Mute {
+		return
+	}
+	reply := &stateReplyMsg{CheckpointSeq: -1}
+	if m.FromSeq < r.checkpointSeq {
+		// The requester predates our checkpoint: ship the snapshot and the
+		// full log suffix.
+		reply.CheckpointSeq = r.checkpointSeq
+		reply.Snapshot = r.checkpointSnap
+	}
+	start := m.FromSeq + 1
+	if reply.CheckpointSeq >= 0 {
+		start = reply.CheckpointSeq + 1
+	}
+	seqs := make([]int64, 0, len(r.decidedLog))
+	for seq := range r.decidedLog {
+		if seq >= start && seq <= r.lastStable {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	// Only a contiguous prefix is useful to the requester.
+	expected := start
+	for _, seq := range seqs {
+		if seq != expected {
+			break
+		}
+		reply.Entries = append(reply.Entries, logEntryWire{Seq: seq, Batch: r.decidedLog[seq]})
+		expected++
+	}
+	if reply.CheckpointSeq < 0 && len(reply.Entries) == 0 {
+		return // nothing helpful to send
+	}
+	r.sendTo(from, msgStateReply, reply.marshal())
+}
+
+func (r *Replica) onStateReply(from ReplicaID, m *stateReplyMsg) {
+	if !r.fetching {
+		return
+	}
+	r.stateReplies[from] = m
+
+	// Require f+1 replicas to agree on the exact reply content before
+	// applying it: at least one of them is correct.
+	counts := make(map[cryptoutil.Digest][]ReplicaID)
+	for id, reply := range r.stateReplies {
+		d := reply.digest()
+		counts[d] = append(counts[d], id)
+	}
+	for _, ids := range counts {
+		if len(ids) < r.qt.f+1 {
+			continue
+		}
+		r.applyState(r.stateReplies[ids[0]])
+		return
+	}
+}
+
+func (r *Replica) applyState(m *stateReplyMsg) {
+	r.fetching = false
+	r.stateReplies = make(map[ReplicaID]*stateReplyMsg)
+
+	if m.CheckpointSeq > r.lastDelivered {
+		appSnap, ok := r.unwrapSnapshot(m.Snapshot)
+		if !ok {
+			return
+		}
+		if r.cfg.Tentative && r.lastDelivered > r.lastStable {
+			// Drop any tentative suffix before jumping states.
+			r.app.Rollback(r.lastStable)
+		}
+		r.app.Restore(appSnap, m.CheckpointSeq)
+		r.lastDelivered = m.CheckpointSeq
+		r.lastStable = m.CheckpointSeq
+		r.checkpointSeq = m.CheckpointSeq
+		r.checkpointSnap = m.Snapshot
+		r.statDelivered.Store(m.CheckpointSeq)
+		// Protocol state below the snapshot is obsolete.
+		for seq := range r.instances {
+			if seq <= m.CheckpointSeq {
+				delete(r.instances, seq)
+			}
+		}
+		for seq := range r.decidedLog {
+			if seq <= m.CheckpointSeq {
+				delete(r.decidedLog, seq)
+			}
+		}
+	}
+
+	for _, entry := range m.Entries {
+		if entry.Seq != r.lastDelivered+1 {
+			continue
+		}
+		inst := r.instance(entry.Seq)
+		if inst.executed {
+			r.lastDelivered = entry.Seq
+			continue
+		}
+		inst.batch = entry.Batch
+		inst.digest = batchDigest(entry.Seq, entry.Batch)
+		inst.haveProposal = true
+		inst.decided = true
+		inst.decidedDigest = inst.digest
+		r.execute(inst)
+		r.lastDelivered = entry.Seq
+		r.statDelivered.Store(entry.Seq)
+	}
+	r.advanceStable()
+	r.deliverContiguous()
+}

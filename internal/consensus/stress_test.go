@@ -1,0 +1,230 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// randomLatency returns a jittery latency model: every delivery gets an
+// independent random delay, which exercises message reordering across links
+// (the scenario that motivates exact request deduplication and per-regency
+// vote tallies).
+type randomLatency struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	max time.Duration
+}
+
+func (r *randomLatency) Delay(_, _ transport.Addr) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(r.max)))
+}
+
+// TestTotalOrderUnderRandomDelays checks the core SMR property: with
+// randomized per-message delays and several concurrent clients, every
+// replica executes exactly the same operations in exactly the same order,
+// with no duplicates and no losses.
+func TestTotalOrderUnderRandomDelays(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{
+		Latency: &randomLatency{rng: rand.New(rand.NewSource(7)), max: 12 * time.Millisecond},
+	})
+	t.Cleanup(func() { net.Close() })
+
+	const n = 4
+	members := ids(n)
+	replicas := make([]*Replica, n)
+	apps := make([]*recordApp, n)
+	for i, id := range members {
+		conn, err := net.Join(id.Addr())
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		apps[i] = &recordApp{}
+		rep, err := NewReplica(Config{
+			SelfID:             id,
+			Replicas:           members,
+			BatchSize:          8,
+			BatchTimeout:       2 * time.Millisecond,
+			RequestTimeout:     5 * time.Second,
+			CheckpointInterval: 16,
+		}, apps[i], conn)
+		if err != nil {
+			t.Fatalf("replica: %v", err)
+		}
+		rep.Start()
+		t.Cleanup(rep.Stop)
+		replicas[i] = rep
+	}
+
+	const clients, each = 3, 40
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		conn, err := net.Join(transport.Addr(fmt.Sprintf("stress-client-%d", c)))
+		if err != nil {
+			t.Fatalf("join client: %v", err)
+		}
+		client, err := NewClient(conn, ClientConfig{Replicas: members})
+		if err != nil {
+			t.Fatalf("client: %v", err)
+		}
+		t.Cleanup(client.Close)
+		wg.Add(1)
+		go func(cl *Client, c int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := cl.Invoke([]byte(fmt.Sprintf("c%d-op%03d", c, i))); err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(client, c)
+	}
+	wg.Wait()
+
+	total := clients * each
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, app := range apps {
+			if app.opCount() < total {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Agreement: identical op sequences everywhere.
+	ref := apps[0].opsFlat()
+	if len(ref) != total {
+		t.Fatalf("replica 0 executed %d/%d ops", len(ref), total)
+	}
+	for i := 1; i < n; i++ {
+		got := apps[i].opsFlat()
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d executed %d ops, want %d", i, len(got), len(ref))
+		}
+		for j := range ref {
+			if string(got[j]) != string(ref[j]) {
+				t.Fatalf("replica %d diverged at op %d: %q vs %q", i, j, got[j], ref[j])
+			}
+		}
+	}
+	// Exactly-once: no duplicates in the reference sequence.
+	seen := make(map[string]bool, total)
+	for _, op := range ref {
+		if seen[string(op)] {
+			t.Fatalf("operation %q executed twice", op)
+		}
+		seen[string(op)] = true
+	}
+	// Per-client FIFO.
+	lastPerClient := make(map[byte]int)
+	for _, op := range ref {
+		c := op[1] // "cX-opYYY"
+		var idx int
+		if _, err := fmt.Sscanf(string(op[3:]), "op%d", &idx); err != nil {
+			t.Fatalf("bad op %q", op)
+		}
+		if prev, ok := lastPerClient[c]; ok && idx <= prev {
+			t.Fatalf("client %c order violated: %d after %d", c, idx, prev)
+		}
+		lastPerClient[c] = idx
+	}
+}
+
+// TestTotalOrderWithLeaderChangeUnderDelays layers a mid-stream leader
+// crash on top of the jittery network.
+func TestTotalOrderWithLeaderChangeUnderDelays(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{
+		Latency: &randomLatency{rng: rand.New(rand.NewSource(11)), max: 8 * time.Millisecond},
+	})
+	t.Cleanup(func() { net.Close() })
+
+	const n = 4
+	members := ids(n)
+	replicas := make([]*Replica, n)
+	apps := make([]*recordApp, n)
+	for i, id := range members {
+		conn, err := net.Join(id.Addr())
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		apps[i] = &recordApp{}
+		rep, err := NewReplica(Config{
+			SelfID:         id,
+			Replicas:       members,
+			BatchSize:      8,
+			BatchTimeout:   2 * time.Millisecond,
+			RequestTimeout: 400 * time.Millisecond,
+		}, apps[i], conn)
+		if err != nil {
+			t.Fatalf("replica: %v", err)
+		}
+		rep.Start()
+		t.Cleanup(rep.Stop)
+		replicas[i] = rep
+	}
+	conn, err := net.Join("lc-client")
+	if err != nil {
+		t.Fatalf("join client: %v", err)
+	}
+	client, err := NewClient(conn, ClientConfig{Replicas: members})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	t.Cleanup(client.Close)
+
+	const total = 60
+	for i := 0; i < total; i++ {
+		if err := client.Invoke([]byte(fmt.Sprintf("op-%03d", i))); err != nil {
+			t.Fatalf("invoke: %v", err)
+		}
+		if i == total/2 {
+			replicas[0].Stop()
+			net.Disconnect(ReplicaID(0).Addr())
+		}
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for i := 1; i < n; i++ {
+			if apps[i].opCount() < total {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ref := apps[1].opsFlat()
+	if len(ref) != total {
+		t.Fatalf("replica 1 executed %d/%d", len(ref), total)
+	}
+	for i := 2; i < n; i++ {
+		got := apps[i].opsFlat()
+		if len(got) != total {
+			t.Fatalf("replica %d executed %d/%d", i, len(got), total)
+		}
+		for j := range ref {
+			if string(got[j]) != string(ref[j]) {
+				t.Fatalf("replica %d diverged at %d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package consensus
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// This file implements Mod-SMaRt's synchronization phase (Section 4 of the
+// paper; protocol details in Sousa & Bessani, EDCC 2012): when the current
+// leader stalls or misbehaves, replicas STOP the current regency, the next
+// regency's leader collects signed STOPDATA progress reports from n-f
+// replicas, and a SYNC message carries every write-certified open value
+// into the new regency so that nothing decided (or tentatively delivered
+// under WHEAT) is lost.
+
+// triggerLeaderChange votes to move to the given regency. Idempotent per
+// target regency.
+func (r *Replica) triggerLeaderChange(target int32) {
+	if target <= r.regency || r.stopSent[target] {
+		return
+	}
+	r.stopSent[target] = true
+	sm := &stopMsg{NextRegency: target}
+	r.broadcast(msgStop, sm.marshal())
+}
+
+func (r *Replica) onStop(from ReplicaID, m *stopMsg) {
+	if m.NextRegency <= r.regency {
+		return
+	}
+	votes, ok := r.stopVotes[m.NextRegency]
+	if !ok {
+		votes = make(map[ReplicaID]struct{})
+		r.stopVotes[m.NextRegency] = votes
+	}
+	votes[from] = struct{}{}
+
+	// Amplification: join the change once f+1 distinct replicas ask for it
+	// (at least one of them is correct).
+	if len(votes) >= r.qt.f+1 && !r.stopSent[m.NextRegency] {
+		r.triggerLeaderChange(m.NextRegency)
+	}
+	// Installation: 2f+1 STOPs install the new regency.
+	if len(votes) >= r.qt.stopQuorum() {
+		r.installRegency(m.NextRegency)
+	}
+}
+
+// installRegency moves to a new regency and sends this replica's STOPDATA
+// to the new leader.
+func (r *Replica) installRegency(target int32) {
+	if target <= r.regency {
+		return
+	}
+	r.regency = target
+	r.statRegency.Store(target)
+	r.statLC.Add(1)
+	r.syncInProgress = true
+	r.syncStarted = time.Now()
+	r.stopData = make(map[ReplicaID]*stopDataMsg)
+	// Regencies below the installed one can never gather again.
+	for reg := range r.stopVotes {
+		if reg <= target {
+			delete(r.stopVotes, reg)
+		}
+	}
+	// In-flight proposals die with the old regency; the new leader re-runs
+	// them from certificates (or fresh batches). Requests return to the
+	// pool via the inFlight reset, and their timeout clocks restart so the
+	// new leader gets a full RequestTimeout to make progress before being
+	// indicted in turn.
+	now := time.Now()
+	for _, p := range r.pending {
+		p.inFlight = false
+		p.arrived = now
+	}
+
+	sd := &stopDataMsg{
+		Regency:     target,
+		LastDecided: r.lastStable,
+		Certs:       r.openCerts(),
+	}
+	if r.cfg.Key != nil {
+		if sig, err := r.cfg.Key.Sign(cryptoutil.Hash(sd.signedBytes()).Bytes()); err == nil {
+			sd.Signature = sig
+		}
+	}
+	r.sendTo(r.leaderOf(target), msgStopData, sd.marshal())
+
+	// Replay any STOPDATA/SYNC that arrived before we installed the
+	// regency.
+	buffered := r.futureStopData
+	r.futureStopData = nil
+	for _, b := range buffered {
+		r.onStopData(b.from, b.msg)
+	}
+	if fs := r.futureSync; fs != nil {
+		r.futureSync = nil
+		r.onSync(fs.from, fs.msg)
+	}
+}
+
+// openCerts returns write certificates for every open (undecided-or-
+// unstable) instance beyond the stable prefix.
+func (r *Replica) openCerts() []writeCert {
+	var certs []writeCert
+	for seq, inst := range r.instances {
+		if seq <= r.lastStable || !inst.writeCertified {
+			continue
+		}
+		cert := writeCert{
+			Seq:     seq,
+			Regency: inst.certRegency,
+			Digest:  inst.certDigest,
+		}
+		if inst.haveProposal && inst.digest == inst.certDigest {
+			cert.Batch = inst.batch
+		}
+		certs = append(certs, cert)
+	}
+	sort.Slice(certs, func(i, j int) bool { return certs[i].Seq < certs[j].Seq })
+	return certs
+}
+
+func (r *Replica) onStopData(from ReplicaID, m *stopDataMsg) {
+	if m.Regency > r.regency {
+		// The sender installed the regency before us (it saw 2f+1 STOPs
+		// first). Buffer and replay after our own installation.
+		r.futureStopData = append(r.futureStopData, bufferedStopData{from: from, msg: m})
+		return
+	}
+	if m.Regency != r.regency || !r.syncInProgress {
+		return
+	}
+	if r.leaderOf(m.Regency) != r.cfg.SelfID {
+		return // only the new leader collects STOPDATA
+	}
+	if !r.verifyStopData(from, m) {
+		return
+	}
+	r.stopData[from] = m
+	if len(r.stopData) < r.qt.stopDataQuorum() {
+		return
+	}
+	r.computeSync()
+}
+
+// verifyStopData checks the sender's signature when a registry is
+// configured. Without keys the report is accepted as-is (crash-fault
+// deployments).
+func (r *Replica) verifyStopData(from ReplicaID, m *stopDataMsg) bool {
+	if r.cfg.Registry == nil {
+		return true
+	}
+	digest := cryptoutil.Hash(m.signedBytes())
+	return r.cfg.Registry.Verify(replicaIdentity(from), digest.Bytes(), m.Signature)
+}
+
+// replicaIdentity names a replica in the identity registry.
+func replicaIdentity(id ReplicaID) string { return string(id.Addr()) }
+
+// computeSync resolves the open instances from the collected STOPDATA and
+// broadcasts the SYNC message that resumes normal operation.
+//
+// Decisions cover every instance above the LOWEST stable prefix any
+// reporter claims: replicas that fell behind re-run the instances they
+// missed from the write certificates of their peers (any decided instance
+// has a certificate inside the n-f collected STOPDATAs, because the accept
+// quorum that decided it intersects every n-f subset in a correct
+// replica). Replicas that already decided an instance simply skip its
+// decision, so nothing decided is ever overridden.
+func (r *Replica) computeSync() {
+	lowest, highest := r.lastStable, r.lastStable
+	for _, sd := range r.stopData {
+		if sd.LastDecided > highest {
+			highest = sd.LastDecided
+		}
+		if sd.LastDecided < lowest {
+			lowest = sd.LastDecided
+		}
+	}
+	// Gather the best certificate per open instance: highest cert regency
+	// wins (it supersedes older write quorums, as in PBFT view changes).
+	best := make(map[int64]*writeCert)
+	maxSeq := highest
+	consider := func(c *writeCert) {
+		if c.Seq <= lowest {
+			return
+		}
+		cur, ok := best[c.Seq]
+		if !ok || c.Regency > cur.Regency || (c.Regency == cur.Regency && len(c.Batch) > len(cur.Batch)) {
+			best[c.Seq] = c
+		}
+		if c.Seq > maxSeq {
+			maxSeq = c.Seq
+		}
+	}
+	for _, sd := range r.stopData {
+		for i := range sd.Certs {
+			consider(&sd.Certs[i])
+		}
+	}
+	// Local certificates participate too (the leader is one of the n-f).
+	local := r.openCerts()
+	for i := range local {
+		consider(&local[i])
+	}
+	// The leader's own decided log also provides batches for instances some
+	// reporters missed.
+	for seq := lowest + 1; seq <= r.lastStable; seq++ {
+		if batch, ok := r.decidedLog[seq]; ok {
+			if _, have := best[seq]; !have || len(best[seq].Batch) == 0 {
+				best[seq] = &writeCert{Seq: seq, Regency: r.regency, Batch: batch}
+			}
+		}
+	}
+
+	decisions := make([]syncDecision, 0, maxSeq-lowest)
+	for seq := lowest + 1; seq <= maxSeq; seq++ {
+		d := syncDecision{Seq: seq}
+		if cert, ok := best[seq]; ok && len(cert.Batch) > 0 {
+			d.HasCert = true
+			d.Batch = cert.Batch
+		} else if seq <= highest {
+			// A decided instance whose batch no reporter supplied: do not
+			// emit a conflicting no-op; the lagging replicas fall back to
+			// state transfer for this prefix.
+			continue
+		}
+		// Instances without a certified batch beyond the decided prefix
+		// restart as no-ops to keep the sequence contiguous.
+		decisions = append(decisions, d)
+	}
+	sy := &syncMsg{Regency: r.regency, Decisions: decisions}
+	r.broadcast(msgSync, sy.marshal())
+}
+
+func (r *Replica) onSync(from ReplicaID, m *syncMsg) {
+	if m.Regency > r.regency {
+		// We have not installed the new regency yet; keep the most recent
+		// future SYNC and replay it after installation.
+		r.futureSync = &bufferedSync{from: from, msg: m}
+		return
+	}
+	if m.Regency != r.regency {
+		return
+	}
+	if r.leaderOf(m.Regency) != from {
+		return
+	}
+	if !r.syncInProgress {
+		return
+	}
+	r.syncInProgress = false
+
+	// Adopt each resolved instance as if freshly proposed in this regency,
+	// then WRITE for it. Instances we already decided keep their decision.
+	for i := range m.Decisions {
+		d := &m.Decisions[i]
+		if d.Seq <= r.lastStable {
+			continue
+		}
+		inst := r.instance(d.Seq)
+		if inst.decided {
+			continue
+		}
+		newDigest := batchDigest(d.Seq, d.Batch)
+		if r.cfg.Tentative && inst.executed && inst.digest != newDigest {
+			// A tentative delivery is being overridden: roll the
+			// application back to just before this instance.
+			r.rollbackTo(d.Seq - 1)
+		}
+		if len(d.Batch) > r.cfg.BatchSize || !r.validateBatch(d.Batch) {
+			continue // malformed sync value; escalation will follow
+		}
+		inst.batch = d.Batch
+		inst.digest = newDigest
+		inst.haveProposal = true
+		inst.regency = m.Regency
+		inst.writeSent = true
+		inst.acceptSent = false
+		vm := &voteMsg{Regency: r.regency, Seq: d.Seq, Digest: inst.digest}
+		r.broadcast(msgWrite, vm.marshal())
+	}
+
+	// The new leader resumes proposing after the resolved range.
+	if r.isLeader() {
+		r.lastProposed = r.lastStable
+		for i := range m.Decisions {
+			if m.Decisions[i].Seq > r.lastProposed {
+				r.lastProposed = m.Decisions[i].Seq
+			}
+		}
+		r.maybePropose(false)
+	}
+}
+
+// rollbackTo undoes tentative executions beyond seq: the application state
+// rewinds and the request bookkeeping of the rolled-back instances is
+// restored so that their requests can be re-proposed and re-executed.
+func (r *Replica) rollbackTo(seq int64) {
+	if seq >= r.lastDelivered {
+		return
+	}
+	for s := r.lastDelivered; s > seq; s-- {
+		inst, ok := r.instances[s]
+		if !ok || !inst.executed {
+			continue
+		}
+		for i := len(inst.undo) - 1; i >= 0; i-- {
+			u := inst.undo[i]
+			if d, ok := r.executed[u.key.client]; ok {
+				d.unmark(u.key.seq)
+			}
+			if _, exists := r.pending[u.key]; !exists {
+				rq, err := unmarshalRequest(u.raw)
+				if err != nil {
+					continue
+				}
+				r.pending[u.key] = &pendingReq{req: rq, raw: u.raw, arrived: time.Now()}
+				r.queue = append(r.queue, u.key)
+			}
+		}
+		inst.undo = nil
+		inst.executed = false
+	}
+	r.app.Rollback(seq)
+	r.lastDelivered = seq
+	r.statDelivered.Store(seq)
+}

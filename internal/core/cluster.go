@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/cryptoutil"
+	"repro/internal/transport"
+)
+
+// ClusterConfig assembles a complete in-process ordering service: n nodes
+// over a shared network, with identities registered for verification.
+type ClusterConfig struct {
+	// Nodes is the cluster size (4, 7, or 10 in the paper's LAN
+	// evaluation; 4 or 5 in the geo evaluation).
+	Nodes int
+	// F is the fault threshold (zero derives the maximum).
+	F int
+	// BlockSize is the envelopes-per-block bound (10 or 100 in the paper).
+	BlockSize int
+	// MaxBlockBytes optionally bounds block bytes.
+	MaxBlockBytes int
+	// BlockTimeout enables deterministic timeout-based cutting.
+	BlockTimeout time.Duration
+	// SigningWorkers sizes each node's signing pool (default 16).
+	SigningWorkers int
+	// DisableSigning skips block signatures (Equation 1 ablation).
+	DisableSigning bool
+	// BatchSize is the consensus batch limit (default 400, as in the
+	// paper).
+	BatchSize int
+	// BatchTimeout is the consensus batching timeout.
+	BatchTimeout time.Duration
+	// RequestTimeout is the leader-change trigger.
+	RequestTimeout time.Duration
+	// CheckpointInterval bounds the decision log.
+	CheckpointInterval int64
+	// Tentative enables WHEAT's tentative execution.
+	Tentative bool
+	// Weights assigns WHEAT votes (nil = classic BFT-SMaRt).
+	Weights map[consensus.ReplicaID]int
+	// Network hosts the cluster; nil creates a zero-latency in-proc
+	// network (an idealized LAN).
+	Network *transport.InProcNetwork
+}
+
+// Cluster is a running in-process ordering service.
+type Cluster struct {
+	// Network is the hub nodes and frontends share.
+	Network *transport.InProcNetwork
+	// Nodes are the ordering nodes, indexed by replica id.
+	Nodes []*OrderingNode
+	// Registry holds every node's verification key.
+	Registry *cryptoutil.Registry
+
+	cfg      ClusterConfig
+	replicas []consensus.ReplicaID
+	ownsNet  bool
+}
+
+// NewCluster builds and starts an ordering cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	network := cfg.Network
+	ownsNet := false
+	if network == nil {
+		network = transport.NewInProcNetwork(transport.InProcConfig{})
+		ownsNet = true
+	}
+	replicas := make([]consensus.ReplicaID, cfg.Nodes)
+	for i := range replicas {
+		replicas[i] = consensus.ReplicaID(i)
+	}
+	registry := cryptoutil.NewRegistry()
+
+	c := &Cluster{
+		Network:  network,
+		Registry: registry,
+		cfg:      cfg,
+		replicas: replicas,
+		ownsNet:  ownsNet,
+	}
+	for _, id := range replicas {
+		key, err := cryptoutil.GenerateKeyPair()
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		registry.Register(string(id.Addr()), key.Public())
+		conn, err := network.Join(id.Addr())
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		node, err := NewNode(NodeConfig{
+			Consensus: consensus.Config{
+				SelfID:             id,
+				Replicas:           replicas,
+				F:                  cfg.F,
+				Weights:            cfg.Weights,
+				BatchSize:          cfg.BatchSize,
+				BatchTimeout:       cfg.BatchTimeout,
+				RequestTimeout:     cfg.RequestTimeout,
+				CheckpointInterval: cfg.CheckpointInterval,
+				Tentative:          cfg.Tentative,
+				Key:                key,
+				Registry:           registry,
+			},
+			BlockSize:      cfg.BlockSize,
+			MaxBlockBytes:  cfg.MaxBlockBytes,
+			BlockTimeout:   cfg.BlockTimeout,
+			SigningWorkers: cfg.SigningWorkers,
+			DisableSigning: cfg.DisableSigning,
+			Key:            key,
+		}, conn)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: node %d: %w", id, err)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	for _, node := range c.Nodes {
+		node.Start()
+	}
+	return c, nil
+}
+
+// Replicas returns the cluster membership.
+func (c *Cluster) Replicas() []consensus.ReplicaID {
+	out := make([]consensus.ReplicaID, len(c.replicas))
+	copy(out, c.replicas)
+	return out
+}
+
+// NewFrontend attaches a frontend to the cluster. verify selects f+1
+// signature verification instead of 2f+1 matching copies.
+func (c *Cluster) NewFrontend(id string, verify bool) (*Frontend, error) {
+	return NewFrontend(FrontendConfig{
+		ID:               id,
+		Replicas:         c.Replicas(),
+		F:                c.cfg.F,
+		VerifySignatures: verify,
+		Registry:         c.Registry,
+	}, c.Network)
+}
+
+// Leader returns the node currently expected to lead (regency of node 0's
+// view). Benchmarks measure throughput at the leader, as the paper does.
+func (c *Cluster) Leader() *OrderingNode {
+	if len(c.Nodes) == 0 {
+		return nil
+	}
+	reg := c.Nodes[0].Replica().Stats().Regency
+	return c.Nodes[int(reg)%len(c.Nodes)]
+}
+
+// Stop shuts down all nodes (and the network if the cluster created it).
+func (c *Cluster) Stop() {
+	for _, node := range c.Nodes {
+		if node != nil {
+			node.Stop()
+		}
+	}
+	if c.ownsNet && c.Network != nil {
+		c.Network.Close()
+	}
+}

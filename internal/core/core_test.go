@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+)
+
+func testCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func testFrontend(t *testing.T, c *Cluster, id string, verify bool) *Frontend {
+	t.Helper()
+	fe, err := c.NewFrontend(id, verify)
+	if err != nil {
+		t.Fatalf("NewFrontend: %v", err)
+	}
+	t.Cleanup(fe.Close)
+	return fe
+}
+
+func mkEnvelope(channel string, i, size int) *fabric.Envelope {
+	payload := make([]byte, size)
+	copy(payload, fmt.Sprintf("tx-%06d", i))
+	return &fabric.Envelope{
+		ChannelID:         channel,
+		ClientID:          "test-client",
+		TimestampUnixNano: int64(i),
+		Payload:           payload,
+	}
+}
+
+// collectBlocks reads blocks from a stream until want envelopes arrived.
+func collectBlocks(t *testing.T, stream <-chan *fabric.Block, wantEnvs int, within time.Duration) []*fabric.Block {
+	t.Helper()
+	deadline := time.After(within)
+	var blocks []*fabric.Block
+	total := 0
+	for total < wantEnvs {
+		select {
+		case b, ok := <-stream:
+			if !ok {
+				t.Fatalf("stream closed after %d/%d envelopes", total, wantEnvs)
+			}
+			blocks = append(blocks, b)
+			total += len(b.Envelopes)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d envelopes", total, wantEnvs)
+		}
+	}
+	return blocks
+}
+
+func TestOrderingServiceEndToEnd(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 5})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch1")
+
+	const envs = 20
+	for i := 0; i < envs; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch1", i, 64)); err != nil {
+			t.Fatalf("broadcast %d: %v", i, err)
+		}
+	}
+	blocks := collectBlocks(t, stream, envs, 10*time.Second)
+	if len(blocks) != envs/5 {
+		t.Fatalf("got %d blocks, want %d", len(blocks), envs/5)
+	}
+	// The chain must verify and carry at least 2f+1 signatures per block.
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	for _, b := range blocks {
+		if len(b.Signatures) < 3 {
+			t.Fatalf("block %d has %d signatures, want >= 3", b.Header.Number, len(b.Signatures))
+		}
+		if got := b.VerifySignatures(c.Registry); got < 3 {
+			t.Fatalf("block %d: only %d signatures verify", b.Header.Number, got)
+		}
+	}
+	// Envelopes arrive in submission order (single client, FIFO).
+	idx := 0
+	for _, b := range blocks {
+		for _, raw := range b.Envelopes {
+			env, err := fabric.UnmarshalEnvelope(raw)
+			if err != nil {
+				t.Fatalf("envelope: %v", err)
+			}
+			if env.TimestampUnixNano != int64(idx) {
+				t.Fatalf("envelope %d out of order (ts %d)", idx, env.TimestampUnixNano)
+			}
+			idx++
+		}
+	}
+}
+
+func TestOrderingServiceVerifyMode(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
+	fe := testFrontend(t, c, "frontend-v", true) // f+1 verified signatures
+	stream := fe.Deliver("ch1")
+	for i := 0; i < 6; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch1", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 6, 10*time.Second)
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+}
+
+func TestOrderingServiceMultiChannel(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 3})
+	fe := testFrontend(t, c, "frontend-0", false)
+	streamA := fe.Deliver("alpha")
+	streamB := fe.Deliver("beta")
+
+	for i := 0; i < 9; i++ {
+		if err := fe.Broadcast(mkEnvelope("alpha", i, 16)); err != nil {
+			t.Fatalf("broadcast alpha: %v", err)
+		}
+		if err := fe.Broadcast(mkEnvelope("beta", 100+i, 16)); err != nil {
+			t.Fatalf("broadcast beta: %v", err)
+		}
+	}
+	blocksA := collectBlocks(t, streamA, 9, 10*time.Second)
+	blocksB := collectBlocks(t, streamB, 9, 10*time.Second)
+	if err := fabric.VerifyChain(blocksA); err != nil {
+		t.Fatalf("alpha chain: %v", err)
+	}
+	if err := fabric.VerifyChain(blocksB); err != nil {
+		t.Fatalf("beta chain: %v", err)
+	}
+	// Channels are independent chains, both starting at block 0.
+	if blocksA[0].Header.Number != 0 || blocksB[0].Header.Number != 0 {
+		t.Fatal("channel chains do not start at block 0")
+	}
+	// No envelope leaks across channels.
+	for _, b := range blocksB {
+		for _, raw := range b.Envelopes {
+			chanID, err := fabric.ChannelOf(raw)
+			if err != nil || chanID != "beta" {
+				t.Fatalf("beta block contains envelope of channel %q", chanID)
+			}
+		}
+	}
+}
+
+func TestMultipleFrontendsSeeSameChain(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 4})
+	fe1 := testFrontend(t, c, "frontend-1", false)
+	fe2 := testFrontend(t, c, "frontend-2", false)
+	stream1 := fe1.Deliver("ch")
+	stream2 := fe2.Deliver("ch")
+
+	const envs = 16
+	for i := 0; i < envs; i++ {
+		src := fe1
+		if i%2 == 1 {
+			src = fe2
+		}
+		if err := src.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks1 := collectBlocks(t, stream1, envs, 10*time.Second)
+	blocks2 := collectBlocks(t, stream2, envs, 10*time.Second)
+	if len(blocks1) != len(blocks2) {
+		t.Fatalf("frontends saw %d vs %d blocks", len(blocks1), len(blocks2))
+	}
+	for i := range blocks1 {
+		if blocks1[i].Header.Hash() != blocks2[i].Header.Hash() {
+			t.Fatalf("block %d differs between frontends", i)
+		}
+	}
+}
+
+func TestOrderingSurvivesCrashFollower(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch")
+
+	// Crash one non-leader node: 3 of 4 remain, quorums still form, and
+	// frontends still gather 2f+1 = 3 matching copies.
+	c.Nodes[2].Stop()
+	c.Network.Disconnect(consensus.ReplicaID(2).Addr())
+
+	for i := 0; i < 8; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 8, 10*time.Second)
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+}
+
+func TestOrderingSurvivesCrashLeader(t *testing.T) {
+	c := testCluster(t, ClusterConfig{
+		Nodes: 4, BlockSize: 2, RequestTimeout: 500 * time.Millisecond,
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch")
+
+	for i := 0; i < 4; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	collectBlocks(t, stream, 4, 10*time.Second)
+
+	// Crash the leader (node 0, regency 0) and keep submitting: the
+	// synchronization phase elects node 1 and ordering resumes.
+	c.Nodes[0].Stop()
+	c.Network.Disconnect(consensus.ReplicaID(0).Addr())
+
+	for i := 4; i < 10; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 6, 15*time.Second)
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain after leader change: %v", err)
+	}
+}
+
+func TestOrderingByzantineLeader(t *testing.T) {
+	c := testCluster(t, ClusterConfig{
+		Nodes: 4, BlockSize: 2, RequestTimeout: 500 * time.Millisecond,
+	})
+	c.Nodes[0].Replica().SetBehavior(consensus.Behavior{Equivocate: true})
+
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch")
+	for i := 0; i < 6; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 6, 15*time.Second)
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain under equivocation: %v", err)
+	}
+}
+
+func TestWheatClusterOrdering(t *testing.T) {
+	replicas := []consensus.ReplicaID{0, 1, 2, 3, 4}
+	weights, err := consensus.BinaryWeights(replicas, 1, 1, []consensus.ReplicaID{0, 1})
+	if err != nil {
+		t.Fatalf("weights: %v", err)
+	}
+	c := testCluster(t, ClusterConfig{
+		Nodes: 5, F: 1, BlockSize: 5, Tentative: true, Weights: weights,
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch")
+	for i := 0; i < 20; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 64)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 20, 10*time.Second)
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("wheat chain: %v", err)
+	}
+}
+
+func TestBlockTimeoutCutsPartialBlocks(t *testing.T) {
+	c := testCluster(t, ClusterConfig{
+		Nodes: 4, BlockSize: 100, BlockTimeout: 100 * time.Millisecond,
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch")
+
+	// Only 3 envelopes: far below the block size; the TTC path must cut.
+	for i := 0; i < 3; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 3, 10*time.Second)
+	if blocks[0].Header.Number != 0 {
+		t.Fatalf("first block number = %d", blocks[0].Header.Number)
+	}
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+}
+
+func TestFrontendRejectsForgedBlocks(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch")
+
+	// An attacker (not an ordering node) floods forged blocks; the
+	// frontend must ignore them because they come from unknown senders.
+	evil, err := c.Network.Join("attacker")
+	if err != nil {
+		t.Fatalf("join attacker: %v", err)
+	}
+	forged := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{mkEnvelope("ch", 999, 8).Marshal()})
+	payload := marshalBlockMsg("ch", forged)
+	for i := 0; i < 10; i++ {
+		evil.Send("frontend-0", MsgBlock, payload)
+	}
+	// A single Byzantine node (fewer than 2f+1 copies) cannot release a
+	// block either: send one forged copy from node 3's address... not
+	// possible via the hub (addresses are unique), so instead verify that
+	// legitimate traffic still flows and the forged block never surfaced.
+	for i := 0; i < 4; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 4, 10*time.Second)
+	for _, b := range blocks {
+		for _, raw := range b.Envelopes {
+			env, err := fabric.UnmarshalEnvelope(raw)
+			if err != nil {
+				t.Fatalf("envelope: %v", err)
+			}
+			if env.TimestampUnixNano == 999 {
+				t.Fatal("forged envelope delivered")
+			}
+		}
+	}
+}
+
+func TestNodeStatsProgress(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch")
+	for i := 0; i < 6; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	collectBlocks(t, stream, 6, 10*time.Second)
+	// Signing completes asynchronously on the pool; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	var s NodeStats
+	for time.Now().Before(deadline) {
+		s = c.Nodes[0].Stats()
+		if s.BlocksSigned >= 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.EnvelopesOrdered < 6 || s.BlocksCut < 3 || s.BlocksSigned < 3 {
+		t.Fatalf("node stats did not progress: %+v", s)
+	}
+	fs := fe.Stats()
+	if fs.EnvelopesSent != 6 || fs.EnvelopesDelivered < 6 || fs.BlocksReleased < 3 {
+		t.Fatalf("frontend stats did not progress: %+v", fs)
+	}
+	if c.Leader() == nil {
+		t.Fatal("no leader reported")
+	}
+}
+
+func TestSoloOrderer(t *testing.T) {
+	key, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	solo, err := NewSoloOrderer(SoloConfig{BlockSize: 3, Key: key, SigningWorkers: 2})
+	if err != nil {
+		t.Fatalf("NewSoloOrderer: %v", err)
+	}
+	defer solo.Close()
+
+	stream := solo.Deliver("ch")
+	for i := 0; i < 9; i++ {
+		if err := solo.Broadcast(mkEnvelope("ch", i, 16)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collectBlocks(t, stream, 9, 5*time.Second)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	envs, blks := solo.Stats()
+	if envs != 9 || blks != 3 {
+		t.Fatalf("stats = %d envs, %d blocks", envs, blks)
+	}
+}
+
+func TestSoloOrdererTimeout(t *testing.T) {
+	key, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	solo, err := NewSoloOrderer(SoloConfig{
+		BlockSize: 100, BlockTimeout: 50 * time.Millisecond, Key: key, SigningWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewSoloOrderer: %v", err)
+	}
+	defer solo.Close()
+	stream := solo.Deliver("ch")
+	if err := solo.Broadcast(mkEnvelope("ch", 0, 16)); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	collectBlocks(t, stream, 1, 5*time.Second)
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	key, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	if _, err := NewNode(NodeConfig{}, nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	if _, err := NewFrontend(FrontendConfig{ID: "", Replicas: []consensus.ReplicaID{0}}, net); err == nil {
+		t.Fatal("empty frontend id accepted")
+	}
+	if _, err := NewFrontend(FrontendConfig{ID: "x"}, net); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := NewFrontend(FrontendConfig{
+		ID: "x", Replicas: []consensus.ReplicaID{0, 1, 2, 3}, VerifySignatures: true,
+	}, net); err == nil {
+		t.Fatal("verification without registry accepted")
+	}
+	if _, err := NewSoloOrderer(SoloConfig{}); err == nil {
+		t.Fatal("solo without key accepted")
+	}
+	_ = key
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/consensus"
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+)
+
+// ErrFrontendClosed is returned by Broadcast after Close.
+var ErrFrontendClosed = errors.New("frontend closed")
+
+// FrontendConfig parameterizes a frontend (the HLF consenter + BFT shim of
+// Figure 5).
+type FrontendConfig struct {
+	// ID names the frontend; its block-reception endpoint uses this as the
+	// transport address and its consensus client uses ID+"-client".
+	ID string
+	// Replicas is the ordering cluster membership.
+	Replicas []consensus.ReplicaID
+	// F is the fault threshold (zero derives the maximum).
+	F int
+	// VerifySignatures switches the release rule from 2f+1 matching copies
+	// to f+1 copies with verified signatures (footnote 8 of the paper).
+	VerifySignatures bool
+	// Registry resolves ordering-node keys; required when verifying.
+	Registry *cryptoutil.Registry
+}
+
+// FrontendStats exposes frontend progress counters.
+type FrontendStats struct {
+	EnvelopesSent      uint64
+	BlocksReleased     uint64
+	EnvelopesDelivered uint64
+}
+
+// Frontend relays envelopes from clients into the ordering cluster and
+// collects the resulting blocks. It implements fabric.Broadcaster.
+type Frontend struct {
+	cfg      FrontendConfig
+	conn     transport.Conn // receives MsgBlock from ordering nodes
+	client   *consensus.Client
+	released int // release threshold: 2f+1 matching or f+1 verified
+
+	mu       sync.Mutex
+	channels map[string]*feChannel
+	subs     map[string][]*blockQueue
+	closed   bool
+
+	statSent      atomic.Uint64
+	statBlocks    atomic.Uint64
+	statEnvs      atomic.Uint64
+	statLatencyCb atomic.Pointer[func(*fabric.Block)]
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// feChannel tracks block collection for one channel.
+type feChannel struct {
+	nextDeliver uint64
+	collecting  map[uint64]map[cryptoutil.Digest]*blockAccum
+	ready       map[uint64]*fabric.Block
+}
+
+// blockAccum accumulates matching copies of one block.
+type blockAccum struct {
+	block    *fabric.Block
+	sigs     map[string][]byte
+	verified int
+	released bool
+}
+
+// NewFrontend joins the network with two endpoints (block reception and
+// consensus client), registers with every ordering node, and starts the
+// receive loop.
+func NewFrontend(cfg FrontendConfig, network *transport.InProcNetwork) (*Frontend, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("frontend: empty id")
+	}
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("frontend: empty replica set")
+	}
+	if cfg.F <= 0 {
+		cfg.F = consensus.MaxFaults(len(cfg.Replicas))
+	}
+	if cfg.VerifySignatures && cfg.Registry == nil {
+		return nil, errors.New("frontend: signature verification requires a registry")
+	}
+	conn, err := network.Join(transport.Addr(cfg.ID))
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	clientConn, err := network.Join(transport.Addr(cfg.ID + "-client"))
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	return newFrontendWithConns(cfg, conn, clientConn)
+}
+
+// NewFrontendWithConns builds a frontend over explicit transport
+// connections: conn receives blocks (its address must be what ordering
+// nodes see as the frontend), clientConn carries consensus-client traffic.
+// Used by the TCP multi-process deployment (cmd/frontend).
+func NewFrontendWithConns(cfg FrontendConfig, conn, clientConn transport.Conn) (*Frontend, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("frontend: empty id")
+	}
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("frontend: empty replica set")
+	}
+	if cfg.F <= 0 {
+		cfg.F = consensus.MaxFaults(len(cfg.Replicas))
+	}
+	if cfg.VerifySignatures && cfg.Registry == nil {
+		return nil, errors.New("frontend: signature verification requires a registry")
+	}
+	return newFrontendWithConns(cfg, conn, clientConn)
+}
+
+// newFrontendWithConns finishes construction over explicit connections
+// (shared with the TCP deployment path).
+func newFrontendWithConns(cfg FrontendConfig, conn, clientConn transport.Conn) (*Frontend, error) {
+	client, err := consensus.NewClient(clientConn, consensus.ClientConfig{
+		Replicas: cfg.Replicas,
+		F:        cfg.F,
+	})
+	if err != nil {
+		conn.Close()
+		clientConn.Close()
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	threshold := 2*cfg.F + 1
+	if cfg.VerifySignatures {
+		threshold = cfg.F + 1
+	}
+	f := &Frontend{
+		cfg:      cfg,
+		conn:     conn,
+		client:   client,
+		released: threshold,
+		channels: make(map[string]*feChannel),
+		subs:     make(map[string][]*blockQueue),
+		done:     make(chan struct{}),
+	}
+	// Register with every ordering node so the custom replier includes
+	// this frontend in block dissemination.
+	for _, id := range cfg.Replicas {
+		conn.Send(id.Addr(), MsgRegister, nil)
+	}
+	f.wg.Add(1)
+	go f.receiveLoop()
+	return f, nil
+}
+
+// ID returns the frontend identity.
+func (f *Frontend) ID() string { return f.cfg.ID }
+
+// Stats returns progress counters.
+func (f *Frontend) Stats() FrontendStats {
+	return FrontendStats{
+		EnvelopesSent:      f.statSent.Load(),
+		BlocksReleased:     f.statBlocks.Load(),
+		EnvelopesDelivered: f.statEnvs.Load(),
+	}
+}
+
+var _ fabric.Broadcaster = (*Frontend)(nil)
+
+// Broadcast relays one envelope to the ordering cluster (protocol step 4).
+// The invocation is asynchronous: the frontend never blocks waiting for
+// replies; ordered results come back as blocks (Section 5.1).
+func (f *Frontend) Broadcast(env *fabric.Envelope) error {
+	if env == nil {
+		return errors.New("frontend: nil envelope")
+	}
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return ErrFrontendClosed
+	}
+	if err := f.client.Invoke(env.Marshal()); err != nil {
+		return fmt.Errorf("frontend: %w", err)
+	}
+	f.statSent.Add(1)
+	return nil
+}
+
+// BroadcastRaw relays an already-marshalled envelope (benchmark hot path).
+func (f *Frontend) BroadcastRaw(raw []byte) error {
+	if err := f.client.Invoke(raw); err != nil {
+		return fmt.Errorf("frontend: %w", err)
+	}
+	f.statSent.Add(1)
+	return nil
+}
+
+// Deliver returns an ordered stream of released blocks for a channel. Each
+// subscriber receives every block from its subscription point on, in block
+// number order, over an unbounded queue (a slow consumer cannot stall the
+// frontend).
+func (f *Frontend) Deliver(channel string) <-chan *fabric.Block {
+	q := newBlockQueue()
+	f.mu.Lock()
+	f.subs[channel] = append(f.subs[channel], q)
+	f.mu.Unlock()
+	return q.out
+}
+
+// OnBlock installs a callback invoked synchronously on the receive loop for
+// every released block (used by the latency harness to timestamp releases
+// precisely). Pass nil to remove.
+func (f *Frontend) OnBlock(cb func(*fabric.Block)) {
+	if cb == nil {
+		f.statLatencyCb.Store(nil)
+		return
+	}
+	f.statLatencyCb.Store(&cb)
+}
+
+func (f *Frontend) receiveLoop() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.done:
+			return
+		case m, ok := <-f.conn.Inbox():
+			if !ok {
+				return
+			}
+			if m.Type != MsgBlock {
+				continue
+			}
+			if !f.fromOrderingNode(m.From) {
+				continue
+			}
+			channel, block, err := unmarshalBlockMsg(m.Payload)
+			if err != nil {
+				continue
+			}
+			f.onBlockCopy(string(m.From), channel, block)
+		}
+	}
+}
+
+func (f *Frontend) fromOrderingNode(addr transport.Addr) bool {
+	for _, id := range f.cfg.Replicas {
+		if id.Addr() == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// onBlockCopy processes one node's copy of a block: copies vote by header
+// hash, signatures accumulate, and the block is released once the
+// threshold is met (2f+1 matching, or f+1 verified).
+func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
+	if block.CheckIntegrity() != nil {
+		return // data hash does not match content: discard this copy
+	}
+	digest := block.Header.Hash()
+
+	f.mu.Lock()
+	ch := f.feChannel(channel)
+	number := block.Header.Number
+	if number < ch.nextDeliver {
+		f.mu.Unlock()
+		return // already delivered
+	}
+	byDigest, ok := ch.collecting[number]
+	if !ok {
+		byDigest = make(map[cryptoutil.Digest]*blockAccum)
+		ch.collecting[number] = byDigest
+	}
+	acc, ok := byDigest[digest]
+	if !ok {
+		acc = &blockAccum{block: block, sigs: make(map[string][]byte)}
+		byDigest[digest] = acc
+	}
+	if _, dup := acc.sigs[sender]; dup {
+		f.mu.Unlock()
+		return // one vote per node
+	}
+	var sig []byte
+	if len(block.Signatures) > 0 && block.Signatures[0].SignerID == sender {
+		sig = block.Signatures[0].Signature
+	}
+	acc.sigs[sender] = sig
+	if f.cfg.VerifySignatures && sig != nil {
+		if f.cfg.Registry.Verify(sender, digest.Bytes(), sig) {
+			acc.verified++
+		}
+	}
+
+	votes := len(acc.sigs)
+	passed := votes >= f.released
+	if f.cfg.VerifySignatures {
+		passed = acc.verified >= f.released
+	}
+	if !passed || acc.released {
+		f.mu.Unlock()
+		return
+	}
+	acc.released = true
+	// Attach the accumulated signatures (deterministic order not required:
+	// peers verify any f+1).
+	released := &fabric.Block{
+		Header:    acc.block.Header,
+		Envelopes: acc.block.Envelopes,
+	}
+	for signer, s := range acc.sigs {
+		if s != nil {
+			released.Signatures = append(released.Signatures, fabric.BlockSignature{
+				SignerID: signer, Signature: s,
+			})
+		}
+	}
+	ch.ready[number] = released
+	// Release the contiguous prefix in block-number order.
+	var deliveries []*fabric.Block
+	for {
+		next, ok := ch.ready[ch.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(ch.ready, ch.nextDeliver)
+		delete(ch.collecting, ch.nextDeliver)
+		ch.nextDeliver++
+		deliveries = append(deliveries, next)
+	}
+	queues := make([]*blockQueue, len(f.subs[channel]))
+	copy(queues, f.subs[channel])
+	f.mu.Unlock()
+
+	for _, b := range deliveries {
+		f.statBlocks.Add(1)
+		f.statEnvs.Add(uint64(len(b.Envelopes)))
+		if cb := f.statLatencyCb.Load(); cb != nil {
+			(*cb)(b)
+		}
+		for _, q := range queues {
+			q.put(b)
+		}
+	}
+}
+
+func (f *Frontend) feChannel(channel string) *feChannel {
+	ch, ok := f.channels[channel]
+	if !ok {
+		ch = &feChannel{
+			collecting: make(map[uint64]map[cryptoutil.Digest]*blockAccum),
+			ready:      make(map[uint64]*fabric.Block),
+		}
+		f.channels[channel] = ch
+	}
+	return ch
+}
+
+// Close unregisters from the ordering nodes and stops the receive loop.
+func (f *Frontend) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	var queues []*blockQueue
+	for _, qs := range f.subs {
+		queues = append(queues, qs...)
+	}
+	f.mu.Unlock()
+
+	for _, id := range f.cfg.Replicas {
+		f.conn.Send(id.Addr(), MsgUnregister, nil)
+	}
+	close(f.done)
+	f.client.Close()
+	f.conn.Close()
+	f.wg.Wait()
+	for _, q := range queues {
+		q.close()
+	}
+}
+
+// blockQueue is an unbounded FIFO of blocks with a channel reader side
+// (same shape as the transport mailbox: producers never block).
+type blockQueue struct {
+	mu     sync.Mutex
+	queue  []*fabric.Block
+	notify chan struct{}
+	done   chan struct{}
+	out    chan *fabric.Block
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newBlockQueue() *blockQueue {
+	q := &blockQueue{
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		out:    make(chan *fabric.Block),
+	}
+	q.wg.Add(1)
+	go q.pump()
+	return q
+}
+
+func (q *blockQueue) put(b *fabric.Block) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.queue = append(q.queue, b)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *blockQueue) pump() {
+	defer q.wg.Done()
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		if len(q.queue) == 0 {
+			q.mu.Unlock()
+			select {
+			case <-q.notify:
+				continue
+			case <-q.done:
+				return
+			}
+		}
+		b := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+		select {
+		case q.out <- b:
+		case <-q.done:
+			return
+		}
+	}
+}
+
+func (q *blockQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.done)
+	q.wg.Wait()
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+)
+
+// fakeNodes joins the network under the ordering nodes' addresses so a test
+// can hand-craft block dissemination to a frontend.
+type fakeNodes struct {
+	conns []transport.Conn
+	keys  []*cryptoutil.KeyPair
+}
+
+func newFakeNodes(t *testing.T, net *transport.InProcNetwork, n int, registry *cryptoutil.Registry) *fakeNodes {
+	t.Helper()
+	fn := &fakeNodes{}
+	for i := 0; i < n; i++ {
+		id := consensus.ReplicaID(i)
+		conn, err := net.Join(id.Addr())
+		if err != nil {
+			t.Fatalf("join fake node %d: %v", i, err)
+		}
+		key, err := cryptoutil.GenerateKeyPair()
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		if registry != nil {
+			registry.Register(string(id.Addr()), key.Public())
+		}
+		fn.conns = append(fn.conns, conn)
+		fn.keys = append(fn.keys, key)
+	}
+	return fn
+}
+
+// send disseminates a signed copy of the block from node idx.
+func (fn *fakeNodes) send(t *testing.T, idx int, channel string, block *fabric.Block, frontend transport.Addr) {
+	t.Helper()
+	sig, err := fn.keys[idx].SignDigest(block.Header.Hash())
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	copyBlock := &fabric.Block{
+		Header:    block.Header,
+		Envelopes: block.Envelopes,
+		Signatures: []fabric.BlockSignature{{
+			SignerID:  string(consensus.ReplicaID(idx).Addr()),
+			Signature: sig,
+		}},
+	}
+	fn.conns[idx].Send(frontend, MsgBlock, marshalBlockMsg(channel, copyBlock))
+}
+
+func feEnv(i int) []byte {
+	return (&fabric.Envelope{ChannelID: "ch", ClientID: "c", TimestampUnixNano: int64(i)}).Marshal()
+}
+
+func awaitBlock(t *testing.T, stream <-chan *fabric.Block, within time.Duration) *fabric.Block {
+	t.Helper()
+	select {
+	case b := <-stream:
+		return b
+	case <-time.After(within):
+		t.Fatal("timed out waiting for block release")
+		return nil
+	}
+}
+
+func expectNoBlock(t *testing.T, stream <-chan *fabric.Block, within time.Duration) {
+	t.Helper()
+	select {
+	case b := <-stream:
+		t.Fatalf("unexpected release of block %d", b.Header.Number)
+	case <-time.After(within):
+	}
+}
+
+func TestFrontendReleasesAtTwoFPlusOne(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	nodes := newFakeNodes(t, net, 4, nil)
+	fe, err := NewFrontend(FrontendConfig{
+		ID:       "fe",
+		Replicas: ids4(),
+	}, net)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("ch")
+
+	block := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
+	nodes.send(t, 0, "ch", block, "fe")
+	nodes.send(t, 1, "ch", block, "fe")
+	expectNoBlock(t, stream, 100*time.Millisecond) // 2 < 2f+1 = 3
+
+	nodes.send(t, 2, "ch", block, "fe")
+	got := awaitBlock(t, stream, 5*time.Second)
+	if got.Header.Number != 0 {
+		t.Fatalf("released block %d", got.Header.Number)
+	}
+	// Signatures from all three copies are accumulated.
+	if len(got.Signatures) != 3 {
+		t.Fatalf("released block carries %d signatures, want 3", len(got.Signatures))
+	}
+	// A duplicate copy from the same node must not double-release.
+	nodes.send(t, 0, "ch", block, "fe")
+	expectNoBlock(t, stream, 100*time.Millisecond)
+}
+
+func TestFrontendReordersBlocks(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	nodes := newFakeNodes(t, net, 4, nil)
+	fe, err := NewFrontend(FrontendConfig{ID: "fe", Replicas: ids4()}, net)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("ch")
+
+	b0 := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
+	b1 := fabric.NewBlock(1, b0.Header.Hash(), [][]byte{feEnv(1)})
+
+	// Block 1 reaches quorum first (parallel signing pools reorder sends).
+	for i := 0; i < 3; i++ {
+		nodes.send(t, i, "ch", b1, "fe")
+	}
+	expectNoBlock(t, stream, 100*time.Millisecond) // must hold for block 0
+
+	for i := 0; i < 3; i++ {
+		nodes.send(t, i, "ch", b0, "fe")
+	}
+	first := awaitBlock(t, stream, 5*time.Second)
+	second := awaitBlock(t, stream, 5*time.Second)
+	if first.Header.Number != 0 || second.Header.Number != 1 {
+		t.Fatalf("blocks released out of order: %d then %d",
+			first.Header.Number, second.Header.Number)
+	}
+}
+
+func TestFrontendConflictingCopiesDoNotMix(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	nodes := newFakeNodes(t, net, 4, nil)
+	fe, err := NewFrontend(FrontendConfig{ID: "fe", Replicas: ids4()}, net)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("ch")
+
+	honest := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
+	forged := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(999)})
+
+	// One Byzantine copy + two honest copies: the forged content must not
+	// count toward the honest quorum, and 2 honest copies are not enough.
+	nodes.send(t, 0, "ch", forged, "fe")
+	nodes.send(t, 1, "ch", honest, "fe")
+	nodes.send(t, 2, "ch", honest, "fe")
+	expectNoBlock(t, stream, 100*time.Millisecond)
+
+	nodes.send(t, 3, "ch", honest, "fe")
+	got := awaitBlock(t, stream, 5*time.Second)
+	env, err := fabric.UnmarshalEnvelope(got.Envelopes[0])
+	if err != nil {
+		t.Fatalf("envelope: %v", err)
+	}
+	if env.TimestampUnixNano == 999 {
+		t.Fatal("forged content released")
+	}
+}
+
+func TestFrontendVerifyModeNeedsValidSignatures(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	registry := cryptoutil.NewRegistry()
+	nodes := newFakeNodes(t, net, 4, registry)
+	fe, err := NewFrontend(FrontendConfig{
+		ID:               "fe",
+		Replicas:         ids4(),
+		VerifySignatures: true,
+		Registry:         registry,
+	}, net)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("ch")
+
+	block := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
+	// A copy with a junk signature must not count toward f+1 verified.
+	junk := &fabric.Block{
+		Header:    block.Header,
+		Envelopes: block.Envelopes,
+		Signatures: []fabric.BlockSignature{{
+			SignerID:  string(consensus.ReplicaID(0).Addr()),
+			Signature: []byte("junk"),
+		}},
+	}
+	nodes.conns[0].Send("fe", MsgBlock, marshalBlockMsg("ch", junk))
+	nodes.send(t, 1, "ch", block, "fe")
+	expectNoBlock(t, stream, 100*time.Millisecond) // only 1 verified < f+1 = 2
+
+	nodes.send(t, 2, "ch", block, "fe")
+	got := awaitBlock(t, stream, 5*time.Second)
+	if got.Header.Number != 0 {
+		t.Fatalf("released block %d", got.Header.Number)
+	}
+}
+
+func TestFrontendIgnoresTamperedCopies(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	nodes := newFakeNodes(t, net, 4, nil)
+	fe, err := NewFrontend(FrontendConfig{ID: "fe", Replicas: ids4()}, net)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("ch")
+
+	block := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
+	// A copy whose envelopes do not match its data hash is discarded even
+	// though its header is "correct".
+	tampered := &fabric.Block{
+		Header:    block.Header,
+		Envelopes: [][]byte{feEnv(666)},
+	}
+	nodes.conns[0].Send("fe", MsgBlock, marshalBlockMsg("ch", tampered))
+	nodes.send(t, 1, "ch", block, "fe")
+	nodes.send(t, 2, "ch", block, "fe")
+	expectNoBlock(t, stream, 100*time.Millisecond) // tampered copy discarded
+
+	nodes.send(t, 3, "ch", block, "fe")
+	awaitBlock(t, stream, 5*time.Second)
+}
+
+func ids4() []consensus.ReplicaID {
+	return []consensus.ReplicaID{0, 1, 2, 3}
+}

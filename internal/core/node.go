@@ -1,0 +1,529 @@
+// Package core implements the paper's contribution: the BFT-SMaRt ordering
+// service for Hyperledger Fabric (Section 5, Figures 4-5).
+//
+// An OrderingNode is a BFT-SMaRt service replica that receives the totally
+// ordered stream of envelopes, demultiplexes it into per-channel block
+// cutters, seals block headers sequentially on the node thread, signs them
+// on a parallel signing pool, and pushes the signed blocks to every
+// registered frontend through a custom replier (instead of replying to the
+// submitting client).
+//
+// A Frontend is the HLF consenter + BFT shim pair: it relays envelopes into
+// the ordering cluster via an asynchronous BFT-SMaRt client invocation and
+// collects blocks from the nodes, releasing each block once 2f+1 matching
+// copies arrived (or f+1 with signature verification enabled - footnote 8
+// of the paper).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Transport message types of the ordering-service layer (>= 64 so they
+// never collide with the consensus layer on a shared endpoint).
+const (
+	// MsgBlock carries a signed block from an ordering node to a frontend.
+	MsgBlock uint16 = 64 + iota
+	// MsgRegister subscribes a frontend to a node's block dissemination.
+	MsgRegister
+	// MsgUnregister removes the subscription.
+	MsgUnregister
+)
+
+// ttcClientPrefix marks time-to-cut marker envelopes; their ClientID is
+// "ttc:<node id>". TTC markers flow through consensus like ordinary
+// envelopes, which keeps timeout-based block cutting deterministic across
+// nodes.
+const ttcClientPrefix = "ttc:"
+
+// NodeConfig parameterizes an ordering node.
+type NodeConfig struct {
+	// Consensus configures the underlying replica (membership, batch
+	// size, weights, tentative mode, ...). SelfID names this node.
+	Consensus consensus.Config
+	// BlockSize is the number of envelopes per block (10 or 100 in the
+	// paper's evaluation).
+	BlockSize int
+	// MaxBlockBytes optionally bounds a block's envelope bytes.
+	MaxBlockBytes int
+	// BlockTimeout cuts partial blocks via ordered time-to-cut markers;
+	// zero disables timeout cutting (the paper's benchmarks drive full
+	// blocks).
+	BlockTimeout time.Duration
+	// SigningWorkers sizes the signing/sending pool (16 in the paper,
+	// matching the testbed's hardware threads).
+	SigningWorkers int
+	// DisableSigning skips ECDSA block signatures entirely (blocks are
+	// disseminated unsigned). Used by the Equation (1) ablation to measure
+	// the raw ordering rate TP_bftsmart in isolation.
+	DisableSigning bool
+	// Key signs block headers. Required unless DisableSigning is set.
+	Key *cryptoutil.KeyPair
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 10
+	}
+	if c.SigningWorkers <= 0 {
+		c.SigningWorkers = 16
+	}
+	return c
+}
+
+// chainState is the per-channel application state: exactly the "sequence
+// number of the next block and the hash of the previous block" the paper
+// calls out as the ordering service's tiny replicated state (Section 5.2),
+// plus the channel's block cutter.
+type chainState struct {
+	nextNumber uint64
+	prevHash   cryptoutil.Digest
+	cutter     *fabric.BlockCutter
+}
+
+// chainSnapshot captures a chain's state for tentative rollback.
+type chainSnapshot struct {
+	nextNumber uint64
+	prevHash   cryptoutil.Digest
+	pending    [][]byte
+}
+
+// rollbackWindow bounds how many per-sequence snapshots are retained for
+// WHEAT's tentative rollback. Tentative overlap never exceeds the pipeline
+// depth, so a small window suffices.
+const rollbackWindow = 32
+
+// NodeStats exposes ordering-node progress counters.
+type NodeStats struct {
+	EnvelopesOrdered uint64
+	BlocksCut        uint64
+	BlocksSigned     uint64
+	Rollbacks        uint64
+}
+
+// OrderingNode is one member of the ordering cluster. Create with NewNode,
+// then Start.
+type OrderingNode struct {
+	cfg    NodeConfig
+	conn   transport.Conn
+	signer *cryptoutil.SigningPool
+
+	replica *consensus.Replica
+
+	// chains and history are confined to the replica's event loop (all
+	// Application methods run there).
+	chains  map[string]*chainState
+	history map[int64]map[string]chainSnapshot
+
+	// frontends is written from the event loop (registration messages)
+	// and read from signing-pool callbacks.
+	mu        sync.Mutex
+	frontends map[transport.Addr]struct{}
+
+	ttcSeq atomic.Uint64
+
+	statEnvelopes atomic.Uint64
+	statBlocks    atomic.Uint64
+	statSigned    atomic.Uint64
+	statRollbacks atomic.Uint64
+
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+}
+
+// NewNode creates an ordering node attached to the given transport
+// endpoint (which must be joined as the node's consensus address).
+func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
+	cfg = cfg.withDefaults()
+	var signer *cryptoutil.SigningPool
+	if !cfg.DisableSigning {
+		if cfg.Key == nil {
+			return nil, errors.New("ordering node: nil signing key")
+		}
+		var err error
+		signer, err = cryptoutil.NewSigningPool(cfg.Key, cfg.SigningWorkers)
+		if err != nil {
+			return nil, fmt.Errorf("ordering node: %w", err)
+		}
+	}
+	n := &OrderingNode{
+		cfg:       cfg,
+		conn:      conn,
+		signer:    signer,
+		chains:    make(map[string]*chainState),
+		history:   make(map[int64]map[string]chainSnapshot),
+		frontends: make(map[transport.Addr]struct{}),
+		done:      make(chan struct{}),
+	}
+	ccfg := cfg.Consensus
+	if ccfg.ValidateRequest == nil {
+		ccfg.ValidateRequest = validateEnvelopeOp
+	}
+	replica, err := consensus.NewReplica(ccfg, n, conn,
+		consensus.WithoutClientReplies(),
+		consensus.WithExtraMessageHandler(n.onServiceMessage),
+	)
+	if err != nil {
+		signer.Close()
+		return nil, fmt.Errorf("ordering node: %w", err)
+	}
+	n.replica = replica
+	return n, nil
+}
+
+// validateEnvelopeOp is the request-validation hook: every batch entry must
+// be a parseable envelope (the consensus layer refuses to WRITE for a
+// proposal containing garbage) or a tagged reconfiguration operation
+// (Section 5.2: membership changes flow through the same total order).
+func validateEnvelopeOp(op []byte) error {
+	if consensus.IsReconfigOp(op) {
+		return nil
+	}
+	_, err := fabric.ChannelOf(op)
+	return err
+}
+
+// ID returns the node's replica identity.
+func (n *OrderingNode) ID() consensus.ReplicaID { return n.cfg.Consensus.SelfID }
+
+// Replica exposes the underlying consensus replica (tests inject faults
+// through it).
+func (n *OrderingNode) Replica() *consensus.Replica { return n.replica }
+
+// Stats returns progress counters. Safe from any goroutine.
+func (n *OrderingNode) Stats() NodeStats {
+	return NodeStats{
+		EnvelopesOrdered: n.statEnvelopes.Load(),
+		BlocksCut:        n.statBlocks.Load(),
+		BlocksSigned:     n.statSigned.Load(),
+		Rollbacks:        n.statRollbacks.Load(),
+	}
+}
+
+// Start launches the consensus replica and the time-to-cut ticker.
+func (n *OrderingNode) Start() {
+	if n.started.Swap(true) {
+		return
+	}
+	n.replica.Start()
+	if n.cfg.BlockTimeout > 0 {
+		n.wg.Add(1)
+		go n.ttcLoop()
+	}
+}
+
+// Stop shuts the node down.
+func (n *OrderingNode) Stop() {
+	if !n.started.Load() {
+		return
+	}
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	close(n.done)
+	n.wg.Wait()
+	n.replica.Stop()
+	if n.signer != nil {
+		n.signer.Close()
+	}
+}
+
+// ---- consensus.Application --------------------------------------------
+
+var _ consensus.Application = (*OrderingNode)(nil)
+
+// Execute receives the decided envelope batch of one consensus instance:
+// the node thread of Figure 5. Envelopes are demultiplexed per channel;
+// whenever a cutter reports a full block, the header is sealed sequentially
+// and handed to the signing pool.
+func (n *OrderingNode) Execute(seq int64, ops [][]byte) {
+	n.snapshotForRollback(seq)
+	for _, op := range ops {
+		channel, client, err := fabric.PeekEnvelope(op)
+		if err != nil {
+			continue // cannot happen for validated batches; defensive
+		}
+		chain := n.chain(channel)
+		if strings.HasPrefix(client, ttcClientPrefix) {
+			n.handleTTC(chain, channel, op)
+			continue
+		}
+		n.statEnvelopes.Add(1)
+		if batch := chain.cutter.Append(op); batch != nil {
+			n.sealBlock(channel, chain, batch)
+		}
+	}
+}
+
+func (n *OrderingNode) chain(channel string) *chainState {
+	chain, ok := n.chains[channel]
+	if !ok {
+		chain = &chainState{
+			cutter: fabric.NewBlockCutter(fabric.CutterConfig{
+				MaxEnvelopes: n.cfg.BlockSize,
+				MaxBytes:     n.cfg.MaxBlockBytes,
+			}),
+		}
+		n.chains[channel] = chain
+	}
+	return chain
+}
+
+// handleTTC processes an ordered time-to-cut marker: cut a partial block if
+// the marker still refers to the chain's current block number and envelopes
+// are pending. Deterministic because every node processes the same marker
+// at the same position in the total order.
+func (n *OrderingNode) handleTTC(chain *chainState, channel string, op []byte) {
+	env, err := fabric.UnmarshalEnvelope(op)
+	if err != nil || len(env.Payload) != 8 {
+		return
+	}
+	r := wire.NewReader(env.Payload)
+	target := r.Uint64()
+	if r.Err() != nil || target != chain.nextNumber {
+		return // stale marker: the block was already cut by size
+	}
+	if batch := chain.cutter.Cut(); batch != nil {
+		n.sealBlock(channel, chain, batch)
+	}
+}
+
+// sealBlock builds the next block header (sequentially - the only ordering
+// state is the previous header, exactly as Section 5.1 argues) and submits
+// it to the signing/sending pool.
+func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]byte) {
+	block := fabric.NewBlock(chain.nextNumber, chain.prevHash, batch)
+	chain.nextNumber++
+	chain.prevHash = block.Header.Hash()
+	n.statBlocks.Add(1)
+
+	headerHash := block.Header.Hash()
+	signerID := string(n.ID().Addr())
+	if n.cfg.DisableSigning {
+		n.statSigned.Add(1)
+		n.disseminate(channel, block)
+		return
+	}
+	err := n.signer.Sign(headerHash, func(sig []byte, err error) {
+		if err != nil {
+			return
+		}
+		block.Signatures = []fabric.BlockSignature{{SignerID: signerID, Signature: sig}}
+		n.statSigned.Add(1)
+		n.disseminate(channel, block)
+	})
+	if err != nil {
+		return // pool closed during shutdown
+	}
+}
+
+// disseminate sends a signed block to every registered frontend (the
+// custom replier of Section 5.1). Runs on signing-pool workers.
+func (n *OrderingNode) disseminate(channel string, block *fabric.Block) {
+	payload := marshalBlockMsg(channel, block)
+	n.mu.Lock()
+	targets := make([]transport.Addr, 0, len(n.frontends))
+	for addr := range n.frontends {
+		targets = append(targets, addr)
+	}
+	n.mu.Unlock()
+	for _, addr := range targets {
+		n.conn.Send(addr, MsgBlock, payload)
+	}
+}
+
+// Rollback undoes tentative executions beyond seq (WHEAT leader changes).
+func (n *OrderingNode) Rollback(seq int64) {
+	snaps, ok := n.history[seq+1]
+	if !ok {
+		// Nothing was executed after seq (or the window was exceeded,
+		// which cannot happen within the consensus pipeline depth).
+		n.statRollbacks.Add(1)
+		return
+	}
+	for channel, snap := range snaps {
+		chain := n.chain(channel)
+		chain.nextNumber = snap.nextNumber
+		chain.prevHash = snap.prevHash
+		chain.cutter.Cut() // drop pending
+		for _, env := range snap.pending {
+			chain.cutter.Append(env)
+		}
+	}
+	for s := range n.history {
+		if s > seq {
+			delete(n.history, s)
+		}
+	}
+	n.statRollbacks.Add(1)
+}
+
+// snapshotForRollback records every chain's state before executing seq.
+func (n *OrderingNode) snapshotForRollback(seq int64) {
+	snaps := make(map[string]chainSnapshot, len(n.chains))
+	for channel, chain := range n.chains {
+		snaps[channel] = chainSnapshot{
+			nextNumber: chain.nextNumber,
+			prevHash:   chain.prevHash,
+			pending:    chain.cutter.PendingSnapshot(),
+		}
+	}
+	n.history[seq] = snaps
+	delete(n.history, seq-rollbackWindow)
+}
+
+// Snapshot serializes the per-channel chain state (Section 5.2: a few
+// dozen bytes per channel plus any uncut envelopes).
+func (n *OrderingNode) Snapshot() []byte {
+	w := wire.NewWriter(64)
+	w.PutUvarint(uint64(len(n.chains)))
+	channels := make([]string, 0, len(n.chains))
+	for ch := range n.chains {
+		channels = append(channels, ch)
+	}
+	sort.Strings(channels)
+	for _, ch := range channels {
+		chain := n.chains[ch]
+		w.PutString(ch)
+		w.PutUint64(chain.nextNumber)
+		w.PutRaw(chain.prevHash[:])
+		w.PutBytesSlice(chain.cutter.PendingSnapshot())
+	}
+	return w.Bytes()
+}
+
+// Restore replaces the chain state from a snapshot (state transfer).
+func (n *OrderingNode) Restore(snapshot []byte, _ int64) {
+	r := wire.NewReader(snapshot)
+	count := r.Uvarint()
+	if count > 1<<16 {
+		return
+	}
+	chains := make(map[string]*chainState, count)
+	for i := uint64(0); i < count; i++ {
+		channel := r.String()
+		chain := &chainState{
+			nextNumber: r.Uint64(),
+			cutter: fabric.NewBlockCutter(fabric.CutterConfig{
+				MaxEnvelopes: n.cfg.BlockSize,
+				MaxBytes:     n.cfg.MaxBlockBytes,
+			}),
+		}
+		copy(chain.prevHash[:], r.Raw(cryptoutil.DigestSize))
+		for _, env := range r.BytesSlice() {
+			chain.cutter.Append(env)
+		}
+		chains[channel] = chain
+	}
+	if r.Finish() != nil {
+		return
+	}
+	n.chains = chains
+	n.history = make(map[int64]map[string]chainSnapshot)
+}
+
+// ---- frontend registration and TTC ------------------------------------
+
+// onServiceMessage handles ordering-layer messages arriving on the
+// replica's endpoint (runs on the event loop).
+func (n *OrderingNode) onServiceMessage(m transport.Message) {
+	switch m.Type {
+	case MsgRegister:
+		n.mu.Lock()
+		n.frontends[m.From] = struct{}{}
+		n.mu.Unlock()
+	case MsgUnregister:
+		n.mu.Lock()
+		delete(n.frontends, m.From)
+		n.mu.Unlock()
+	}
+}
+
+// ttcLoop submits time-to-cut markers for channels whose cutters have aged
+// pending envelopes. Markers are ordered through consensus, so cutting
+// stays deterministic; every node may submit markers, and stale ones are
+// no-ops.
+func (n *OrderingNode) ttcLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.BlockTimeout / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	clientID := ttcClientPrefix + strconv.Itoa(int(n.ID()))
+
+	type chainProbe struct {
+		channel string
+		number  uint64
+	}
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		var due []chainProbe
+		now := time.Now()
+		n.replica.Inspect(func() {
+			for channel, chain := range n.chains {
+				oldest, ok := chain.cutter.OldestPending()
+				if ok && now.Sub(oldest) >= n.cfg.BlockTimeout {
+					due = append(due, chainProbe{channel: channel, number: chain.nextNumber})
+				}
+			}
+		})
+		for _, probe := range due {
+			w := wire.NewWriter(8)
+			w.PutUint64(probe.number)
+			env := &fabric.Envelope{
+				ChannelID: probe.channel,
+				ClientID:  clientID,
+				Payload:   w.Bytes(),
+			}
+			rq := consensus.EncodeRequest(clientID, n.ttcSeq.Add(1), env.Marshal())
+			for _, id := range n.cfg.Consensus.Replicas {
+				n.conn.Send(id.Addr(), consensus.RequestMessageType, rq)
+			}
+		}
+	}
+}
+
+// marshalBlockMsg frames a block for dissemination.
+func marshalBlockMsg(channel string, block *fabric.Block) []byte {
+	w := wire.NewWriter(256)
+	w.PutString(channel)
+	w.PutBytes(block.Marshal())
+	return w.Bytes()
+}
+
+// unmarshalBlockMsg decodes a disseminated block.
+func unmarshalBlockMsg(payload []byte) (string, *fabric.Block, error) {
+	r := wire.NewReader(payload)
+	channel := r.String()
+	blockRaw := r.Bytes()
+	if err := r.Finish(); err != nil {
+		return "", nil, fmt.Errorf("block message: %w", err)
+	}
+	block, err := fabric.UnmarshalBlock(blockRaw)
+	if err != nil {
+		return "", nil, err
+	}
+	return channel, block, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+)
+
+// SoloConfig parameterizes the solo orderer.
+type SoloConfig struct {
+	// BlockSize bounds envelopes per block.
+	BlockSize int
+	// MaxBlockBytes optionally bounds block bytes.
+	MaxBlockBytes int
+	// BlockTimeout cuts partial blocks.
+	BlockTimeout time.Duration
+	// SigningWorkers sizes the signing pool.
+	SigningWorkers int
+	// Key signs block headers. Required.
+	Key *cryptoutil.KeyPair
+}
+
+// SoloOrderer is HLF's centralized, non-replicated ordering service
+// (Section 3: "used mostly for testing the platform... a single point of
+// failure"). It implements the same Broadcast/Deliver surface as the
+// frontend so applications can swap orderers, and serves as the
+// no-replication baseline in the ablation benchmarks.
+type SoloOrderer struct {
+	cfg SoloConfig
+
+	signer *cryptoutil.SigningPool
+
+	mu      sync.Mutex
+	chains  map[string]*chainState
+	subs    map[string][]*blockQueue
+	pending map[string]*fabric.Block // blocks awaiting signature, by channel+number
+	closed  bool
+
+	statEnvelopes atomic.Uint64
+	statBlocks    atomic.Uint64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewSoloOrderer starts a solo orderer.
+func NewSoloOrderer(cfg SoloConfig) (*SoloOrderer, error) {
+	if cfg.Key == nil {
+		return nil, errors.New("solo orderer: nil signing key")
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 10
+	}
+	if cfg.SigningWorkers <= 0 {
+		cfg.SigningWorkers = 16
+	}
+	signer, err := cryptoutil.NewSigningPool(cfg.Key, cfg.SigningWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("solo orderer: %w", err)
+	}
+	s := &SoloOrderer{
+		cfg:    cfg,
+		signer: signer,
+		chains: make(map[string]*chainState),
+		subs:   make(map[string][]*blockQueue),
+		done:   make(chan struct{}),
+	}
+	if cfg.BlockTimeout > 0 {
+		s.wg.Add(1)
+		go s.timeoutLoop()
+	}
+	return s, nil
+}
+
+var _ fabric.Broadcaster = (*SoloOrderer)(nil)
+
+// Broadcast orders one envelope (no replication, no consensus: the solo
+// orderer is the trivial total order).
+func (s *SoloOrderer) Broadcast(env *fabric.Envelope) error {
+	if env == nil {
+		return errors.New("solo orderer: nil envelope")
+	}
+	return s.BroadcastRaw(env.Marshal())
+}
+
+// BroadcastRaw orders an already-marshalled envelope.
+func (s *SoloOrderer) BroadcastRaw(raw []byte) error {
+	channel, err := fabric.ChannelOf(raw)
+	if err != nil {
+		return fmt.Errorf("solo orderer: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("solo orderer closed")
+	}
+	chain := s.chainLocked(channel)
+	s.statEnvelopes.Add(1)
+	batch := chain.cutter.Append(raw)
+	if batch == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.sealLocked(channel, chain, batch)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *SoloOrderer) chainLocked(channel string) *chainState {
+	chain, ok := s.chains[channel]
+	if !ok {
+		chain = &chainState{
+			cutter: fabric.NewBlockCutter(fabric.CutterConfig{
+				MaxEnvelopes: s.cfg.BlockSize,
+				MaxBytes:     s.cfg.MaxBlockBytes,
+				Timeout:      s.cfg.BlockTimeout,
+			}),
+		}
+		s.chains[channel] = chain
+	}
+	return chain
+}
+
+// sealLocked builds, signs, and delivers the next block. Called with the
+// mutex held; signing and delivery complete asynchronously.
+func (s *SoloOrderer) sealLocked(channel string, chain *chainState, batch [][]byte) {
+	block := fabric.NewBlock(chain.nextNumber, chain.prevHash, batch)
+	chain.nextNumber++
+	chain.prevHash = block.Header.Hash()
+	s.statBlocks.Add(1)
+
+	queues := make([]*blockQueue, len(s.subs[channel]))
+	copy(queues, s.subs[channel])
+	headerHash := block.Header.Hash()
+	err := s.signer.Sign(headerHash, func(sig []byte, err error) {
+		if err != nil {
+			return
+		}
+		block.Signatures = []fabric.BlockSignature{{SignerID: "solo", Signature: sig}}
+		for _, q := range queues {
+			q.put(block)
+		}
+	})
+	if err != nil {
+		return // shutting down
+	}
+}
+
+// Deliver returns the ordered block stream of a channel.
+func (s *SoloOrderer) Deliver(channel string) <-chan *fabric.Block {
+	q := newBlockQueue()
+	s.mu.Lock()
+	s.subs[channel] = append(s.subs[channel], q)
+	s.mu.Unlock()
+	return q.out
+}
+
+// Stats returns (envelopes ordered, blocks cut).
+func (s *SoloOrderer) Stats() (envelopes, blocks uint64) {
+	return s.statEnvelopes.Load(), s.statBlocks.Load()
+}
+
+func (s *SoloOrderer) timeoutLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.BlockTimeout / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-ticker.C:
+			s.mu.Lock()
+			for channel, chain := range s.chains {
+				if batch := chain.cutter.CutIfExpired(now); batch != nil {
+					s.sealLocked(channel, chain, batch)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the orderer and its subscribers' streams.
+func (s *SoloOrderer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var queues []*blockQueue
+	for _, qs := range s.subs {
+		queues = append(queues, qs...)
+	}
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	s.signer.Close()
+	for _, q := range queues {
+		q.close()
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+)
+
+// TestOrderingServiceOverTCP deploys a full 4-node ordering service over
+// real TCP sockets on the loopback interface - the cmd/ordernode +
+// cmd/frontend deployment path - and orders envelopes end to end.
+func TestOrderingServiceOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test")
+	}
+	const n = 4
+	replicas := make([]consensus.ReplicaID, n)
+	for i := range replicas {
+		replicas[i] = consensus.ReplicaID(i)
+	}
+
+	// Start listeners first to learn the ports, then hand every endpoint
+	// the full address book.
+	nodeTransports := make([]*transport.TCPTransport, n)
+	for i := range nodeTransports {
+		tt, err := transport.NewTCPTransport(transport.TCPConfig{
+			Addr:   replicas[i].Addr(),
+			Listen: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatalf("node transport %d: %v", i, err)
+		}
+		defer tt.Close()
+		nodeTransports[i] = tt
+	}
+	feConn, err := transport.NewTCPTransport(transport.TCPConfig{
+		Addr:   "fe0",
+		Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("frontend transport: %v", err)
+	}
+	defer feConn.Close()
+	feClientConn, err := transport.NewTCPTransport(transport.TCPConfig{
+		Addr:   "fe0-client",
+		Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("frontend client transport: %v", err)
+	}
+	defer feClientConn.Close()
+
+	book := map[transport.Addr]string{
+		"fe0":        feConn.ListenAddr(),
+		"fe0-client": feClientConn.ListenAddr(),
+	}
+	for i, tt := range nodeTransports {
+		book[replicas[i].Addr()] = tt.ListenAddr()
+	}
+	for _, tt := range nodeTransports {
+		tt.SetPeers(book)
+	}
+	feConn.SetPeers(book)
+	feClientConn.SetPeers(book)
+
+	registry := cryptoutil.NewRegistry()
+	nodes := make([]*OrderingNode, n)
+	for i := range nodes {
+		key, err := cryptoutil.GenerateKeyPair()
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		registry.Register(string(replicas[i].Addr()), key.Public())
+		node, err := NewNode(NodeConfig{
+			Consensus: consensus.Config{
+				SelfID:         replicas[i],
+				Replicas:       replicas,
+				RequestTimeout: 10 * time.Second,
+				Key:            key,
+				Registry:       registry,
+			},
+			BlockSize:      4,
+			SigningWorkers: 2,
+			Key:            key,
+		}, nodeTransports[i])
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		node.Start()
+		defer node.Stop()
+		nodes[i] = node
+	}
+
+	fe, err := NewFrontendWithConns(FrontendConfig{
+		ID:       "fe0",
+		Replicas: replicas,
+	}, feConn, feClientConn)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("tcp-channel")
+
+	const envs = 12
+	for i := 0; i < envs; i++ {
+		env := &fabric.Envelope{
+			ChannelID:         "tcp-channel",
+			ClientID:          "tcp-test",
+			TimestampUnixNano: int64(i),
+			Payload:           []byte(fmt.Sprintf("payload-%d", i)),
+		}
+		if err := fe.Broadcast(env); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	deadline := time.After(30 * time.Second)
+	var blocks []*fabric.Block
+	total := 0
+	probe := time.NewTicker(2 * time.Second)
+	defer probe.Stop()
+	for total < envs {
+		select {
+		case b := <-stream:
+			blocks = append(blocks, b)
+			total += len(b.Envelopes)
+		case <-probe.C:
+			for i, node := range nodes {
+				s := node.Stats()
+				r := node.Replica().Stats()
+				t.Logf("probe node%d: ordered=%d cut=%d signed=%d decided=%d delivered=%d regency=%d",
+					i, s.EnvelopesOrdered, s.BlocksCut, s.BlocksSigned, r.Decided, r.LastDelivered, r.Regency)
+			}
+			fs := fe.Stats()
+			t.Logf("probe fe: sent=%d released=%d delivered=%d", fs.EnvelopesSent, fs.BlocksReleased, fs.EnvelopesDelivered)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d envelopes over TCP", total, envs)
+		}
+	}
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	for _, b := range blocks {
+		if got := b.VerifySignatures(registry); got < 3 {
+			t.Fatalf("block %d: %d valid signatures", b.Header.Number, got)
+		}
+	}
+}

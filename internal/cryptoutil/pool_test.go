@@ -1,0 +1,112 @@
+package cryptoutil
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newTestPool(t *testing.T, workers int) *SigningPool {
+	t.Helper()
+	kp, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("GenerateKeyPair: %v", err)
+	}
+	pool, err := NewSigningPool(kp, workers)
+	if err != nil {
+		t.Fatalf("NewSigningPool: %v", err)
+	}
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+func TestSigningPoolSync(t *testing.T) {
+	kp, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("GenerateKeyPair: %v", err)
+	}
+	pool, err := NewSigningPool(kp, 2)
+	if err != nil {
+		t.Fatalf("NewSigningPool: %v", err)
+	}
+	defer pool.Close()
+
+	d := Hash([]byte("pool"))
+	sig, err := pool.SignSync(d)
+	if err != nil {
+		t.Fatalf("SignSync: %v", err)
+	}
+	if !kp.Public().VerifyDigest(d, sig) {
+		t.Fatal("pool produced invalid signature")
+	}
+	if pool.Signed() != 1 {
+		t.Fatalf("Signed() = %d, want 1", pool.Signed())
+	}
+}
+
+func TestSigningPoolAsyncMany(t *testing.T) {
+	pool := newTestPool(t, 4)
+	const jobs = 64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures int
+	wg.Add(jobs)
+	for i := 0; i < jobs; i++ {
+		d := Hash([]byte{byte(i)})
+		err := pool.Sign(d, func(sig []byte, err error) {
+			defer wg.Done()
+			if err != nil || len(sig) == 0 {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			t.Fatalf("Sign enqueue %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if failures != 0 {
+		t.Fatalf("%d signing jobs failed", failures)
+	}
+	if pool.Signed() != jobs {
+		t.Fatalf("Signed() = %d, want %d", pool.Signed(), jobs)
+	}
+}
+
+func TestSigningPoolClose(t *testing.T) {
+	pool := newTestPool(t, 1)
+	pool.Close()
+	pool.Close() // idempotent
+	err := pool.Sign(Hash([]byte("late")), func([]byte, error) {})
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Sign after close: got %v, want ErrPoolClosed", err)
+	}
+	if _, err := pool.SignSync(Hash([]byte("late"))); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("SignSync after close: got %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestSigningPoolValidation(t *testing.T) {
+	if _, err := NewSigningPool(nil, 1); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	kp, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("GenerateKeyPair: %v", err)
+	}
+	if _, err := NewSigningPool(kp, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	pool, err := NewSigningPool(kp, 1)
+	if err != nil {
+		t.Fatalf("NewSigningPool: %v", err)
+	}
+	defer pool.Close()
+	if err := pool.Sign(Digest{}, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	if pool.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", pool.Workers())
+	}
+}

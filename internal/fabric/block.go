@@ -1,0 +1,170 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// BlockHeader is the part of a block every ordering node signs: the block
+// number, the hash of the previous header, and the hash of this block's
+// envelopes (Figure 1: each block carries the cryptographic hash of the
+// previous block, so forging block j requires forging all of j+1..i).
+type BlockHeader struct {
+	Number   uint64
+	PrevHash cryptoutil.Digest
+	DataHash cryptoutil.Digest
+}
+
+// headerWireSize is the fixed encoding size of a header.
+const headerWireSize = 8 + 2*cryptoutil.DigestSize
+
+// Marshal encodes the header in its fixed layout.
+func (h *BlockHeader) Marshal() []byte {
+	w := wire.NewWriter(headerWireSize)
+	w.PutUint64(h.Number)
+	w.PutRaw(h.PrevHash[:])
+	w.PutRaw(h.DataHash[:])
+	return w.Bytes()
+}
+
+func readHeader(r *wire.Reader) BlockHeader {
+	var h BlockHeader
+	h.Number = r.Uint64()
+	copy(h.PrevHash[:], r.Raw(cryptoutil.DigestSize))
+	copy(h.DataHash[:], r.Raw(cryptoutil.DigestSize))
+	return h
+}
+
+// Hash returns the header digest: the value chained into the next block and
+// the value ordering nodes sign. Signing the (constant-size) header rather
+// than the whole block is why signature throughput is independent of
+// envelope and block sizes (Section 6.1).
+func (h *BlockHeader) Hash() cryptoutil.Digest {
+	return cryptoutil.Hash(h.Marshal())
+}
+
+// BlockSignature is one ordering node's signature over the header hash.
+type BlockSignature struct {
+	SignerID  string
+	Signature []byte
+}
+
+// Block is the unit appended to a channel's chain: a header, the ordered
+// envelopes, and the ordering nodes' signatures.
+type Block struct {
+	Header     BlockHeader
+	Envelopes  [][]byte // marshalled envelopes, in total order
+	Signatures []BlockSignature
+}
+
+// ComputeDataHash hashes the ordered envelopes of a block.
+func ComputeDataHash(envelopes [][]byte) cryptoutil.Digest {
+	return cryptoutil.HashConcat(envelopes...)
+}
+
+// NewBlock assembles an unsigned block extending prevHeader with the given
+// envelopes.
+func NewBlock(number uint64, prevHash cryptoutil.Digest, envelopes [][]byte) *Block {
+	return &Block{
+		Header: BlockHeader{
+			Number:   number,
+			PrevHash: prevHash,
+			DataHash: ComputeDataHash(envelopes),
+		},
+		Envelopes: envelopes,
+	}
+}
+
+// Marshal encodes the block.
+func (b *Block) Marshal() []byte {
+	size := headerWireSize + 16
+	for _, e := range b.Envelopes {
+		size += len(e) + 4
+	}
+	w := wire.NewWriter(size)
+	w.PutRaw(b.Header.Marshal())
+	w.PutBytesSlice(b.Envelopes)
+	w.PutUvarint(uint64(len(b.Signatures)))
+	for _, s := range b.Signatures {
+		w.PutString(s.SignerID)
+		w.PutBytes(s.Signature)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalBlock decodes a block.
+func UnmarshalBlock(raw []byte) (*Block, error) {
+	r := wire.NewReader(raw)
+	b := &Block{
+		Header:    readHeader(r),
+		Envelopes: r.BytesSlice(),
+	}
+	n := r.Uvarint()
+	if n > 1<<16 {
+		return nil, errors.New("block: signature count out of range")
+	}
+	b.Signatures = make([]BlockSignature, 0, n)
+	for i := uint64(0); i < n; i++ {
+		b.Signatures = append(b.Signatures, BlockSignature{
+			SignerID:  r.String(),
+			Signature: r.BytesCopy(),
+		})
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("block: %w", err)
+	}
+	return b, nil
+}
+
+// CheckIntegrity verifies that the data hash matches the envelopes.
+func (b *Block) CheckIntegrity() error {
+	if got := ComputeDataHash(b.Envelopes); got != b.Header.DataHash {
+		return fmt.Errorf("block %d: data hash mismatch", b.Header.Number)
+	}
+	return nil
+}
+
+// VerifySignatures counts how many of the block's signatures verify against
+// the registry. Frontends configured for verification accept a block once
+// f+1 signatures check out (footnote 8 of the paper).
+func (b *Block) VerifySignatures(registry *cryptoutil.Registry) int {
+	digest := b.Header.Hash()
+	valid := 0
+	seen := make(map[string]bool, len(b.Signatures))
+	for _, s := range b.Signatures {
+		if seen[s.SignerID] {
+			continue
+		}
+		seen[s.SignerID] = true
+		if registry.Verify(s.SignerID, digest.Bytes(), s.Signature) {
+			valid++
+		}
+	}
+	return valid
+}
+
+// VerifyChain checks the hash chain across consecutive blocks: block i+1
+// must reference the hash of block i's header and carry a data hash
+// matching its envelopes.
+func VerifyChain(blocks []*Block) error {
+	for i, b := range blocks {
+		if err := b.CheckIntegrity(); err != nil {
+			return err
+		}
+		if i == 0 {
+			continue
+		}
+		prev := blocks[i-1]
+		if b.Header.Number != prev.Header.Number+1 {
+			return fmt.Errorf("block %d follows block %d: number gap",
+				b.Header.Number, prev.Header.Number)
+		}
+		if b.Header.PrevHash != prev.Header.Hash() {
+			return fmt.Errorf("block %d: previous-hash mismatch", b.Header.Number)
+		}
+	}
+	return nil
+}

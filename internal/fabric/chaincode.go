@@ -1,0 +1,263 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Chaincode is HLF's smart contract abstraction (Section 3). Invocations run
+// against a Stub that records every state access into a read/write set;
+// execution during endorsement never mutates the ledger (step 2 of the
+// protocol: "No updates are made to the ledger at this point").
+type Chaincode interface {
+	// Name returns the chaincode id.
+	Name() string
+	// Invoke executes a function with arguments against the stub and
+	// returns the chaincode response.
+	Invoke(stub Stub, fn string, args [][]byte) ([]byte, error)
+}
+
+// Stub is the chaincode's view of the state during simulation.
+type Stub interface {
+	// GetState reads a key (nil, nil when absent).
+	GetState(key string) ([]byte, error)
+	// PutState buffers a write.
+	PutState(key string, value []byte) error
+	// DelState buffers a deletion.
+	DelState(key string) error
+}
+
+// simStub simulates against a StateDB, recording reads (with versions) and
+// buffering writes, with read-your-writes semantics within the simulation.
+type simStub struct {
+	db     *StateDB
+	reads  []KVRead
+	readKs map[string]bool
+	writes []KVWrite
+	wIndex map[string]int // key -> index into writes
+}
+
+var _ Stub = (*simStub)(nil)
+
+func newSimStub(db *StateDB) *simStub {
+	return &simStub{
+		db:     db,
+		readKs: make(map[string]bool),
+		wIndex: make(map[string]int),
+	}
+}
+
+func (s *simStub) GetState(key string) ([]byte, error) {
+	// Read-your-writes: a value written earlier in this simulation wins.
+	if idx, ok := s.wIndex[key]; ok {
+		w := s.writes[idx]
+		if w.Delete {
+			return nil, nil
+		}
+		return append([]byte(nil), w.Value...), nil
+	}
+	v, exists := s.db.Get(key)
+	if !s.readKs[key] {
+		s.readKs[key] = true
+		s.reads = append(s.reads, KVRead{Key: key, Version: v.Version, Exists: exists})
+	}
+	if !exists {
+		return nil, nil
+	}
+	return v.Value, nil
+}
+
+func (s *simStub) PutState(key string, value []byte) error {
+	s.record(KVWrite{Key: key, Value: append([]byte(nil), value...)})
+	return nil
+}
+
+func (s *simStub) DelState(key string) error {
+	s.record(KVWrite{Key: key, Delete: true})
+	return nil
+}
+
+func (s *simStub) record(w KVWrite) {
+	if idx, ok := s.wIndex[w.Key]; ok {
+		s.writes[idx] = w
+		return
+	}
+	s.wIndex[w.Key] = len(s.writes)
+	s.writes = append(s.writes, w)
+}
+
+func (s *simStub) rwset() RWSet {
+	return RWSet{Reads: s.reads, Writes: s.writes}
+}
+
+// ---- Sample chaincodes -------------------------------------------------
+
+// KVChaincode is a plain key/value store: put(k,v), get(k), del(k).
+type KVChaincode struct{}
+
+var _ Chaincode = KVChaincode{}
+
+// Name implements Chaincode.
+func (KVChaincode) Name() string { return "kv" }
+
+// Invoke implements Chaincode.
+func (KVChaincode) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "put":
+		if len(args) != 2 {
+			return nil, errors.New("kv put: want key and value")
+		}
+		if err := stub.PutState(string(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case "get":
+		if len(args) != 1 {
+			return nil, errors.New("kv get: want key")
+		}
+		return stub.GetState(string(args[0]))
+	case "del":
+		if len(args) != 1 {
+			return nil, errors.New("kv del: want key")
+		}
+		if err := stub.DelState(string(args[0])); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	default:
+		return nil, fmt.Errorf("kv: unknown function %q", fn)
+	}
+}
+
+// AssetChaincode manages ownable assets: create(id,owner), transfer(id,to),
+// owner(id). It is the kind of business workload HLF's introduction
+// motivates.
+type AssetChaincode struct{}
+
+var _ Chaincode = AssetChaincode{}
+
+// Name implements Chaincode.
+func (AssetChaincode) Name() string { return "asset" }
+
+// Invoke implements Chaincode.
+func (AssetChaincode) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	key := func(id []byte) string { return "asset:" + string(id) }
+	switch fn {
+	case "create":
+		if len(args) != 2 {
+			return nil, errors.New("asset create: want id and owner")
+		}
+		existing, err := stub.GetState(key(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		if existing != nil {
+			return nil, fmt.Errorf("asset %q already exists", args[0])
+		}
+		if err := stub.PutState(key(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return []byte("created"), nil
+	case "transfer":
+		if len(args) != 2 {
+			return nil, errors.New("asset transfer: want id and new owner")
+		}
+		owner, err := stub.GetState(key(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		if owner == nil {
+			return nil, fmt.Errorf("asset %q does not exist", args[0])
+		}
+		if err := stub.PutState(key(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return owner, nil // previous owner
+	case "owner":
+		if len(args) != 1 {
+			return nil, errors.New("asset owner: want id")
+		}
+		return stub.GetState(key(args[0]))
+	default:
+		return nil, fmt.Errorf("asset: unknown function %q", fn)
+	}
+}
+
+// BankChaincode is a small-bank style payment workload: open(acct,balance),
+// transfer(from,to,amount), balance(acct).
+type BankChaincode struct{}
+
+var _ Chaincode = BankChaincode{}
+
+// Name implements Chaincode.
+func (BankChaincode) Name() string { return "bank" }
+
+// Invoke implements Chaincode.
+func (BankChaincode) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	key := func(acct []byte) string { return "acct:" + string(acct) }
+	readBalance := func(acct []byte) (int64, error) {
+		raw, err := stub.GetState(key(acct))
+		if err != nil {
+			return 0, err
+		}
+		if raw == nil {
+			return 0, fmt.Errorf("account %q does not exist", acct)
+		}
+		return strconv.ParseInt(string(raw), 10, 64)
+	}
+	writeBalance := func(acct []byte, amount int64) error {
+		return stub.PutState(key(acct), []byte(strconv.FormatInt(amount, 10)))
+	}
+	switch fn {
+	case "open":
+		if len(args) != 2 {
+			return nil, errors.New("bank open: want account and balance")
+		}
+		initial, err := strconv.ParseInt(string(args[1]), 10, 64)
+		if err != nil || initial < 0 {
+			return nil, fmt.Errorf("bank open: bad balance %q", args[1])
+		}
+		if err := writeBalance(args[0], initial); err != nil {
+			return nil, err
+		}
+		return []byte("opened"), nil
+	case "transfer":
+		if len(args) != 3 {
+			return nil, errors.New("bank transfer: want from, to, amount")
+		}
+		amount, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil || amount <= 0 {
+			return nil, fmt.Errorf("bank transfer: bad amount %q", args[2])
+		}
+		from, err := readBalance(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if from < amount {
+			return nil, fmt.Errorf("insufficient funds in %q", args[0])
+		}
+		to, err := readBalance(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := writeBalance(args[0], from-amount); err != nil {
+			return nil, err
+		}
+		if err := writeBalance(args[1], to+amount); err != nil {
+			return nil, err
+		}
+		return []byte("transferred"), nil
+	case "balance":
+		if len(args) != 1 {
+			return nil, errors.New("bank balance: want account")
+		}
+		balance, err := readBalance(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []byte(strconv.FormatInt(balance, 10)), nil
+	default:
+		return nil, fmt.Errorf("bank: unknown function %q", fn)
+	}
+}

@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPolicyTOutOfN(t *testing.T) {
+	p, err := NewTOutOfN(2, "p0", "p1", "p2")
+	if err != nil {
+		t.Fatalf("NewTOutOfN: %v", err)
+	}
+	if !p.Satisfied([]string{"p0", "p2"}) {
+		t.Fatal("2 of 3 rejected")
+	}
+	if p.Satisfied([]string{"p0"}) {
+		t.Fatal("1 of 3 accepted")
+	}
+	if p.Satisfied([]string{"p0", "p0"}) {
+		t.Fatal("duplicate endorser counted twice")
+	}
+	if p.Satisfied([]string{"intruder", "other"}) {
+		t.Fatal("unknown endorsers accepted")
+	}
+	if !p.Satisfied([]string{"intruder", "p1", "p0"}) {
+		t.Fatal("extra unknown endorser poisoned a valid set")
+	}
+	if p.String() != "2-of(p0,p1,p2)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	all, err := NewAllOf("a", "b")
+	if err != nil {
+		t.Fatalf("NewAllOf: %v", err)
+	}
+	if all.Satisfied([]string{"a"}) || !all.Satisfied([]string{"a", "b"}) {
+		t.Fatal("AllOf misbehaves")
+	}
+	anyP, err := NewAnyOf("a", "b")
+	if err != nil {
+		t.Fatalf("NewAnyOf: %v", err)
+	}
+	if !anyP.Satisfied([]string{"b"}) {
+		t.Fatal("AnyOf misbehaves")
+	}
+	if _, err := NewTOutOfN(0, "a"); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := NewTOutOfN(3, "a", "b"); err == nil {
+		t.Fatal("t>n accepted")
+	}
+	if _, err := NewTOutOfN(1); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewTOutOfN(1, "a", "a"); err == nil {
+		t.Fatal("duplicate peers accepted")
+	}
+}
+
+func TestSimStubReadsRecordVersions(t *testing.T) {
+	db := NewStateDB()
+	db.ApplyWrites([]KVWrite{{Key: "k", Value: []byte("v")}}, Version{BlockNum: 5, TxNum: 2})
+	stub := newSimStub(db)
+
+	got, err := stub.GetState("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("GetState = %q, %v", got, err)
+	}
+	if _, err := stub.GetState("absent"); err != nil {
+		t.Fatalf("GetState absent: %v", err)
+	}
+	// Re-reading the same key records it once.
+	if _, err := stub.GetState("k"); err != nil {
+		t.Fatalf("GetState again: %v", err)
+	}
+	rw := stub.rwset()
+	if len(rw.Reads) != 2 {
+		t.Fatalf("reads = %+v", rw.Reads)
+	}
+	if rw.Reads[0].Key != "k" || rw.Reads[0].Version != (Version{BlockNum: 5, TxNum: 2}) || !rw.Reads[0].Exists {
+		t.Fatalf("read record wrong: %+v", rw.Reads[0])
+	}
+	if rw.Reads[1].Key != "absent" || rw.Reads[1].Exists {
+		t.Fatalf("absent read record wrong: %+v", rw.Reads[1])
+	}
+}
+
+func TestSimStubReadYourWrites(t *testing.T) {
+	db := NewStateDB()
+	db.ApplyWrites([]KVWrite{{Key: "k", Value: []byte("old")}}, Version{BlockNum: 1})
+	stub := newSimStub(db)
+
+	if err := stub.PutState("k", []byte("new")); err != nil {
+		t.Fatalf("PutState: %v", err)
+	}
+	got, err := stub.GetState("k")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("read-your-writes = %q, %v", got, err)
+	}
+	if err := stub.DelState("k"); err != nil {
+		t.Fatalf("DelState: %v", err)
+	}
+	got, err = stub.GetState("k")
+	if err != nil || got != nil {
+		t.Fatalf("read after delete = %q, %v", got, err)
+	}
+	rw := stub.rwset()
+	// A written-then-read key must not appear in the read set (it was
+	// never read from committed state).
+	if len(rw.Reads) != 0 {
+		t.Fatalf("reads of own writes recorded: %+v", rw.Reads)
+	}
+	// The last write per key wins.
+	if len(rw.Writes) != 1 || !rw.Writes[0].Delete {
+		t.Fatalf("writes = %+v", rw.Writes)
+	}
+	// The database itself was never touched.
+	got2, _ := db.Get("k")
+	if string(got2.Value) != "old" {
+		t.Fatal("simulation mutated the state database")
+	}
+}
+
+func TestKVChaincode(t *testing.T) {
+	db := NewStateDB()
+	cc := KVChaincode{}
+
+	stub := newSimStub(db)
+	resp, err := cc.Invoke(stub, "put", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("put: %q, %v", resp, err)
+	}
+	db.ApplyWrites(stub.rwset().Writes, Version{BlockNum: 1})
+
+	stub = newSimStub(db)
+	resp, err = cc.Invoke(stub, "get", [][]byte{[]byte("k")})
+	if err != nil || string(resp) != "v" {
+		t.Fatalf("get: %q, %v", resp, err)
+	}
+
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "del", [][]byte{[]byte("k")}); err != nil {
+		t.Fatalf("del: %v", err)
+	}
+	if _, err := cc.Invoke(stub, "nope", nil); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if _, err := cc.Invoke(stub, "put", [][]byte{[]byte("k")}); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+func TestAssetChaincode(t *testing.T) {
+	db := NewStateDB()
+	cc := AssetChaincode{}
+
+	stub := newSimStub(db)
+	if _, err := cc.Invoke(stub, "create", [][]byte{[]byte("car1"), []byte("alice")}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	db.ApplyWrites(stub.rwset().Writes, Version{BlockNum: 1})
+
+	// Double-create fails.
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "create", [][]byte{[]byte("car1"), []byte("bob")}); err == nil {
+		t.Fatal("double create accepted")
+	}
+
+	stub = newSimStub(db)
+	prev, err := cc.Invoke(stub, "transfer", [][]byte{[]byte("car1"), []byte("bob")})
+	if err != nil || string(prev) != "alice" {
+		t.Fatalf("transfer: %q, %v", prev, err)
+	}
+	db.ApplyWrites(stub.rwset().Writes, Version{BlockNum: 2})
+
+	stub = newSimStub(db)
+	owner, err := cc.Invoke(stub, "owner", [][]byte{[]byte("car1")})
+	if err != nil || string(owner) != "bob" {
+		t.Fatalf("owner: %q, %v", owner, err)
+	}
+
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "transfer", [][]byte{[]byte("ghost"), []byte("x")}); err == nil {
+		t.Fatal("transfer of missing asset accepted")
+	}
+}
+
+func TestBankChaincode(t *testing.T) {
+	db := NewStateDB()
+	cc := BankChaincode{}
+	commit := func(stub *simStub, block uint64) {
+		db.ApplyWrites(stub.rwset().Writes, Version{BlockNum: block})
+	}
+
+	stub := newSimStub(db)
+	if _, err := cc.Invoke(stub, "open", [][]byte{[]byte("alice"), []byte("100")}); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	commit(stub, 1)
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "open", [][]byte{[]byte("bob"), []byte("50")}); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	commit(stub, 2)
+
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "transfer", [][]byte{[]byte("alice"), []byte("bob"), []byte("30")}); err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	commit(stub, 3)
+
+	check := func(acct, want string) {
+		t.Helper()
+		stub := newSimStub(db)
+		got, err := cc.Invoke(stub, "balance", [][]byte{[]byte(acct)})
+		if err != nil || !bytes.Equal(got, []byte(want)) {
+			t.Fatalf("balance(%s) = %q, %v; want %q", acct, got, err, want)
+		}
+	}
+	check("alice", "70")
+	check("bob", "80")
+
+	// Overdraft rejected.
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "transfer", [][]byte{[]byte("alice"), []byte("bob"), []byte("1000")}); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+	// Bad amount rejected.
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "transfer", [][]byte{[]byte("alice"), []byte("bob"), []byte("-5")}); err == nil {
+		t.Fatal("negative amount accepted")
+	}
+	// Missing account rejected.
+	stub = newSimStub(db)
+	if _, err := cc.Invoke(stub, "balance", [][]byte{[]byte("carol")}); err == nil {
+		t.Fatal("missing account accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Broadcaster delivers an assembled envelope to the ordering service
+// (protocol step 4). The ordering-service frontend implements it.
+type Broadcaster interface {
+	Broadcast(env *Envelope) error
+}
+
+// Client errors.
+var (
+	ErrEndorsementMismatch = errors.New("client: endorsers returned divergent read/write sets")
+	ErrPolicyUnsatisfiable = errors.New("client: collected endorsements do not satisfy the policy")
+)
+
+// ClientConfig parameterizes an application client.
+type ClientConfig struct {
+	// ID is the client identity (appears in envelopes).
+	ID string
+	// Key signs envelopes.
+	Key *cryptoutil.KeyPair
+	// ChannelID is the channel transactions are submitted to.
+	ChannelID string
+	// Endorsers are the endorsing peers contacted per transaction.
+	Endorsers []*Endorser
+	// Policy is checked client-side before broadcasting (step 3: the
+	// client "checks if the endorsement policies has been fulfilled").
+	Policy Policy
+	// Orderer broadcasts assembled envelopes.
+	Orderer Broadcaster
+	// Committer is the peer whose commit events complete Submit. In a real
+	// network the client would subscribe to its own organization's peer.
+	Committer *Peer
+}
+
+// TxResult is the outcome of a committed transaction.
+type TxResult struct {
+	TxID     string
+	BlockNum uint64
+	Code     TxValidationCode
+	Response []byte
+}
+
+// Client drives the full six-step HLF protocol of Figure 2: simulate at the
+// endorsers, verify and assemble the endorsements, broadcast to the
+// ordering service, and wait for the commit event.
+type Client struct {
+	cfg    ClientConfig
+	nonce  atomic.Uint64
+	events <-chan CommitEvent
+}
+
+// NewClient validates the configuration and subscribes to commit events.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("client: empty id")
+	}
+	if cfg.Key == nil {
+		return nil, errors.New("client: nil key")
+	}
+	if len(cfg.Endorsers) == 0 {
+		return nil, errors.New("client: no endorsers")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("client: nil policy")
+	}
+	if cfg.Orderer == nil {
+		return nil, errors.New("client: nil orderer")
+	}
+	if cfg.Committer == nil {
+		return nil, errors.New("client: nil committer")
+	}
+	return &Client{cfg: cfg, events: cfg.Committer.Subscribe()}, nil
+}
+
+// newTxID derives a transaction id from the client identity and a nonce.
+func (c *Client) newTxID() string {
+	n := c.nonce.Add(1)
+	d := cryptoutil.Hash([]byte(c.cfg.ID + ":" + strconv.FormatUint(n, 10)))
+	return d.String()
+}
+
+// Submit runs one transaction through endorsement, ordering, validation,
+// and commit, returning the validation outcome.
+func (c *Client) Submit(ctx context.Context, chaincodeID, fn string, args [][]byte) (*TxResult, error) {
+	txID := c.newTxID()
+	proposal := &Proposal{
+		TxID:              txID,
+		ChannelID:         c.cfg.ChannelID,
+		ChaincodeID:       chaincodeID,
+		Fn:                fn,
+		Args:              args,
+		ClientID:          c.cfg.ID,
+		TimestampUnixNano: time.Now().UnixNano(),
+	}
+
+	// Step 2: endorsing peers simulate the transaction.
+	responses := make([]*ProposalResponse, 0, len(c.cfg.Endorsers))
+	for _, endorser := range c.cfg.Endorsers {
+		resp, err := endorser.ProcessProposal(proposal)
+		if err != nil {
+			return nil, fmt.Errorf("endorsement from %s: %w", endorser.ID(), err)
+		}
+		responses = append(responses, resp)
+	}
+
+	// Step 3: the client checks that responses carry matching read/write
+	// sets and that the policy is satisfiable, then assembles the
+	// transaction.
+	first := responses[0]
+	tx := &Transaction{
+		TxID:        txID,
+		ChaincodeID: chaincodeID,
+		RWSet:       first.RWSet,
+		Response:    first.Response,
+	}
+	refDigest := tx.ResponseDigest()
+	endorserIDs := make([]string, 0, len(responses))
+	for _, resp := range responses {
+		check := &Transaction{
+			TxID:        txID,
+			ChaincodeID: chaincodeID,
+			RWSet:       resp.RWSet,
+			Response:    resp.Response,
+		}
+		if check.ResponseDigest() != refDigest {
+			return nil, ErrEndorsementMismatch
+		}
+		tx.Endorsements = append(tx.Endorsements, resp.Endorsement)
+		endorserIDs = append(endorserIDs, resp.PeerID)
+	}
+	if !c.cfg.Policy.Satisfied(endorserIDs) {
+		return nil, fmt.Errorf("%w: have %v, need %s", ErrPolicyUnsatisfiable, endorserIDs, c.cfg.Policy)
+	}
+
+	// Step 4: broadcast the signed envelope to the ordering service.
+	env := &Envelope{
+		ChannelID:         c.cfg.ChannelID,
+		ClientID:          c.cfg.ID,
+		TimestampUnixNano: proposal.TimestampUnixNano,
+		Payload:           tx.Marshal(),
+	}
+	if err := env.Sign(c.cfg.Key); err != nil {
+		return nil, err
+	}
+	if err := c.cfg.Orderer.Broadcast(env); err != nil {
+		return nil, fmt.Errorf("broadcast: %w", err)
+	}
+
+	// Step 6: wait for the commit notification.
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("await commit of %s: %w", txID, ctx.Err())
+		case ev, ok := <-c.events:
+			if !ok {
+				return nil, errors.New("client: commit event stream closed")
+			}
+			if ev.TxID != txID {
+				continue
+			}
+			return &TxResult{
+				TxID:     txID,
+				BlockNum: ev.BlockNum,
+				Code:     ev.Code,
+				Response: first.Response,
+			}, nil
+		}
+	}
+}

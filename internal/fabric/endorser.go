@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// Proposal is a client's request to simulate a chaincode invocation
+// (protocol step 1: a signed request carrying chaincode id, timestamp, and
+// payload).
+type Proposal struct {
+	TxID              string
+	ChannelID         string
+	ChaincodeID       string
+	Fn                string
+	Args              [][]byte
+	ClientID          string
+	TimestampUnixNano int64
+}
+
+// ProposalResponse is an endorsing peer's simulation result (protocol
+// step 2): the read/write sets against its current state, the chaincode
+// response, and the peer's endorsement signature.
+type ProposalResponse struct {
+	PeerID      string
+	RWSet       RWSet
+	Response    []byte
+	Endorsement Endorsement
+}
+
+// Endorser is an endorsing peer: it holds the channel state, the installed
+// chaincodes, and a signing key. Simulation never mutates the state.
+type Endorser struct {
+	id  string
+	key *cryptoutil.KeyPair
+	db  *StateDB
+
+	mu         sync.RWMutex
+	chaincodes map[string]Chaincode
+}
+
+// NewEndorser creates an endorsing peer over the given state database. The
+// database is typically shared with the same peer's committing side.
+func NewEndorser(id string, key *cryptoutil.KeyPair, db *StateDB) (*Endorser, error) {
+	if id == "" {
+		return nil, errors.New("endorser: empty id")
+	}
+	if key == nil {
+		return nil, errors.New("endorser: nil key")
+	}
+	if db == nil {
+		return nil, errors.New("endorser: nil state database")
+	}
+	return &Endorser{
+		id:         id,
+		key:        key,
+		db:         db,
+		chaincodes: make(map[string]Chaincode),
+	}, nil
+}
+
+// ID returns the peer identity.
+func (e *Endorser) ID() string { return e.id }
+
+// Install registers a chaincode on this peer.
+func (e *Endorser) Install(cc Chaincode) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.chaincodes[cc.Name()] = cc
+}
+
+// ProcessProposal simulates the proposal against the current state and
+// endorses the result: it executes the chaincode with a read/write-set
+// recording stub and signs the response digest.
+func (e *Endorser) ProcessProposal(p *Proposal) (*ProposalResponse, error) {
+	if p.TxID == "" {
+		return nil, errors.New("endorser: proposal missing tx id")
+	}
+	e.mu.RLock()
+	cc, ok := e.chaincodes[p.ChaincodeID]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("endorser %s: chaincode %q not installed", e.id, p.ChaincodeID)
+	}
+	stub := newSimStub(e.db)
+	response, err := cc.Invoke(stub, p.Fn, p.Args)
+	if err != nil {
+		return nil, fmt.Errorf("endorser %s: chaincode %q: %w", e.id, p.ChaincodeID, err)
+	}
+	tx := &Transaction{
+		TxID:        p.TxID,
+		ChaincodeID: p.ChaincodeID,
+		RWSet:       stub.rwset(),
+		Response:    response,
+	}
+	sig, err := e.key.SignDigest(tx.ResponseDigest())
+	if err != nil {
+		return nil, fmt.Errorf("endorser %s: sign: %w", e.id, err)
+	}
+	return &ProposalResponse{
+		PeerID:      e.id,
+		RWSet:       tx.RWSet,
+		Response:    response,
+		Endorsement: Endorsement{PeerID: e.id, Signature: sig},
+	}, nil
+}

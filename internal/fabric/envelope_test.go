@@ -1,0 +1,170 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cryptoutil"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := &Envelope{
+		ChannelID:         "ch1",
+		ClientID:          "client-A",
+		TimestampUnixNano: 12345,
+		Payload:           []byte("payload"),
+		Signature:         []byte("sig"),
+	}
+	out, err := UnmarshalEnvelope(in.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.ChannelID != in.ChannelID || out.ClientID != in.ClientID ||
+		out.TimestampUnixNano != in.TimestampUnixNano ||
+		!bytes.Equal(out.Payload, in.Payload) || !bytes.Equal(out.Signature, in.Signature) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	f := func(ch, client string, ts int64, payload, sig []byte) bool {
+		in := &Envelope{ChannelID: ch, ClientID: client, TimestampUnixNano: ts,
+			Payload: payload, Signature: sig}
+		out, err := UnmarshalEnvelope(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.ChannelID == ch && out.ClientID == client &&
+			out.TimestampUnixNano == ts && bytes.Equal(out.Payload, payload) &&
+			bytes.Equal(out.Signature, sig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelOfFastPath(t *testing.T) {
+	env := &Envelope{ChannelID: "payments", Payload: make([]byte, 4096)}
+	ch, err := ChannelOf(env.Marshal())
+	if err != nil {
+		t.Fatalf("ChannelOf: %v", err)
+	}
+	if ch != "payments" {
+		t.Fatalf("channel = %q", ch)
+	}
+	if _, err := ChannelOf(nil); err == nil {
+		t.Fatal("ChannelOf accepted empty input")
+	}
+}
+
+func TestEnvelopeSignVerify(t *testing.T) {
+	kp, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	env := &Envelope{ChannelID: "ch1", ClientID: "c", Payload: []byte("data")}
+	if err := env.Sign(kp); err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if !kp.Public().VerifyDigest(env.SignedDigest(), env.Signature) {
+		t.Fatal("envelope signature does not verify")
+	}
+	env.Payload = []byte("tampered")
+	if kp.Public().VerifyDigest(env.SignedDigest(), env.Signature) {
+		t.Fatal("signature verified after payload tampering")
+	}
+}
+
+func TestRWSetRoundTrip(t *testing.T) {
+	in := RWSet{
+		Reads: []KVRead{
+			{Key: "a", Version: Version{BlockNum: 1, TxNum: 2}, Exists: true},
+			{Key: "missing", Exists: false},
+		},
+		Writes: []KVWrite{
+			{Key: "a", Value: []byte("v")},
+			{Key: "gone", Delete: true},
+		},
+	}
+	out, err := UnmarshalRWSet(in.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out.Reads) != 2 || len(out.Writes) != 2 {
+		t.Fatalf("round trip sizes: %+v", out)
+	}
+	if out.Reads[0] != in.Reads[0] || out.Reads[1] != in.Reads[1] {
+		t.Fatalf("reads mismatch: %+v", out.Reads)
+	}
+	if out.Writes[1].Key != "gone" || !out.Writes[1].Delete {
+		t.Fatalf("writes mismatch: %+v", out.Writes)
+	}
+}
+
+func TestTransactionRoundTrip(t *testing.T) {
+	in := &Transaction{
+		TxID:        "tx-1",
+		ChaincodeID: "kv",
+		RWSet: RWSet{
+			Reads:  []KVRead{{Key: "k", Version: Version{BlockNum: 3}, Exists: true}},
+			Writes: []KVWrite{{Key: "k", Value: []byte("v2")}},
+		},
+		Response: []byte("ok"),
+		Endorsements: []Endorsement{
+			{PeerID: "peer0", Signature: []byte("s0")},
+			{PeerID: "peer1", Signature: []byte("s1")},
+		},
+	}
+	out, err := UnmarshalTransaction(in.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.TxID != in.TxID || out.ChaincodeID != in.ChaincodeID ||
+		len(out.Endorsements) != 2 || out.Endorsements[1].PeerID != "peer1" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if out.ResponseDigest() != in.ResponseDigest() {
+		t.Fatal("response digest unstable across round trip")
+	}
+}
+
+func TestResponseDigestBindsEverything(t *testing.T) {
+	base := &Transaction{TxID: "t", ChaincodeID: "kv", Response: []byte("r")}
+	d := base.ResponseDigest()
+
+	alt := *base
+	alt.TxID = "t2"
+	if alt.ResponseDigest() == d {
+		t.Fatal("digest must bind tx id")
+	}
+	alt = *base
+	alt.Response = []byte("r2")
+	if alt.ResponseDigest() == d {
+		t.Fatal("digest must bind response")
+	}
+	alt = *base
+	alt.RWSet.Writes = []KVWrite{{Key: "k", Value: []byte("v")}}
+	if alt.ResponseDigest() == d {
+		t.Fatal("digest must bind write set")
+	}
+	// Endorsements are deliberately outside the digest: each endorser
+	// signs the same digest.
+	alt = *base
+	alt.Endorsements = []Endorsement{{PeerID: "p", Signature: []byte("s")}}
+	if alt.ResponseDigest() != d {
+		t.Fatal("digest must not bind endorsements")
+	}
+}
+
+func TestVersionLess(t *testing.T) {
+	if !(Version{BlockNum: 1, TxNum: 5}).Less(Version{BlockNum: 2, TxNum: 0}) {
+		t.Fatal("block number must dominate")
+	}
+	if !(Version{BlockNum: 1, TxNum: 1}).Less(Version{BlockNum: 1, TxNum: 2}) {
+		t.Fatal("tx number must break ties")
+	}
+	if (Version{BlockNum: 1, TxNum: 1}).Less(Version{BlockNum: 1, TxNum: 1}) {
+		t.Fatal("equal versions are not less")
+	}
+}

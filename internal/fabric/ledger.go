@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// Ledger errors.
+var (
+	ErrBlockNumber   = errors.New("ledger: block number out of sequence")
+	ErrBrokenChain   = errors.New("ledger: previous-hash mismatch")
+	ErrBlockNotFound = errors.New("ledger: block not found")
+)
+
+// Ledger is one channel's append-only blockchain, as maintained by a
+// committing peer. Append verifies the hash chain, so a tampered or
+// out-of-order block is rejected rather than stored. Safe for concurrent
+// use.
+type Ledger struct {
+	mu     sync.RWMutex
+	blocks []*Block
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{}
+}
+
+// Height returns the number of blocks appended so far.
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.blocks))
+}
+
+// Append verifies and appends a block: its number must be the current
+// height, its previous hash must match the last header, and its data hash
+// must match its envelopes.
+func (l *Ledger) Append(b *Block) error {
+	if err := b.CheckIntegrity(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	height := uint64(len(l.blocks))
+	if b.Header.Number != height {
+		return fmt.Errorf("%w: got %d, want %d", ErrBlockNumber, b.Header.Number, height)
+	}
+	if height == 0 {
+		if !b.Header.PrevHash.IsZero() {
+			return fmt.Errorf("%w: genesis must have zero previous hash", ErrBrokenChain)
+		}
+	} else if prev := l.blocks[height-1].Header.Hash(); b.Header.PrevHash != prev {
+		return fmt.Errorf("%w at block %d", ErrBrokenChain, b.Header.Number)
+	}
+	l.blocks = append(l.blocks, b)
+	return nil
+}
+
+// Block returns the block at the given number.
+func (l *Ledger) Block(number uint64) (*Block, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if number >= uint64(len(l.blocks)) {
+		return nil, fmt.Errorf("%w: %d (height %d)", ErrBlockNotFound, number, len(l.blocks))
+	}
+	return l.blocks[number], nil
+}
+
+// LastHash returns the header hash of the newest block (zero digest for an
+// empty ledger).
+func (l *Ledger) LastHash() cryptoutil.Digest {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.blocks) == 0 {
+		return cryptoutil.Digest{}
+	}
+	return l.blocks[len(l.blocks)-1].Header.Hash()
+}
+
+// Blocks returns the chain from start (inclusive) onward.
+func (l *Ledger) Blocks(start uint64) []*Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if start >= uint64(len(l.blocks)) {
+		return nil
+	}
+	out := make([]*Block, len(l.blocks)-int(start))
+	copy(out, l.blocks[start:])
+	return out
+}
+
+// VerifyChain re-validates the whole chain (integrity + linkage).
+func (l *Ledger) VerifyChain() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return VerifyChain(l.blocks)
+}
+
+// EnvelopeCount returns the total number of envelopes across all blocks.
+func (l *Ledger) EnvelopeCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	total := 0
+	for _, b := range l.blocks {
+		total += len(b.Envelopes)
+	}
+	return total
+}

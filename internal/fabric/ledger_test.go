@@ -1,0 +1,157 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+func chainOf(t *testing.T, n int) []*Block {
+	t.Helper()
+	blocks := make([]*Block, n)
+	prev := cryptoutil.Digest{}
+	for i := range blocks {
+		blocks[i] = NewBlock(uint64(i), prev, testEnvelopes(2))
+		prev = blocks[i].Header.Hash()
+	}
+	return blocks
+}
+
+func TestLedgerAppendAndQuery(t *testing.T) {
+	l := NewLedger()
+	if l.Height() != 0 {
+		t.Fatal("fresh ledger not empty")
+	}
+	for _, b := range chainOf(t, 3) {
+		if err := l.Append(b); err != nil {
+			t.Fatalf("append %d: %v", b.Header.Number, err)
+		}
+	}
+	if l.Height() != 3 {
+		t.Fatalf("height = %d", l.Height())
+	}
+	b, err := l.Block(1)
+	if err != nil {
+		t.Fatalf("block 1: %v", err)
+	}
+	if b.Header.Number != 1 {
+		t.Fatalf("wrong block: %d", b.Header.Number)
+	}
+	if _, err := l.Block(9); !errors.Is(err, ErrBlockNotFound) {
+		t.Fatalf("missing block error = %v", err)
+	}
+	if err := l.VerifyChain(); err != nil {
+		t.Fatalf("verify chain: %v", err)
+	}
+	if got := l.EnvelopeCount(); got != 6 {
+		t.Fatalf("envelope count = %d, want 6", got)
+	}
+}
+
+func TestLedgerRejectsOutOfSequence(t *testing.T) {
+	l := NewLedger()
+	blocks := chainOf(t, 3)
+	if err := l.Append(blocks[1]); !errors.Is(err, ErrBlockNumber) {
+		t.Fatalf("out-of-sequence append error = %v", err)
+	}
+	if err := l.Append(blocks[0]); err != nil {
+		t.Fatalf("append genesis: %v", err)
+	}
+	if err := l.Append(blocks[0]); !errors.Is(err, ErrBlockNumber) {
+		t.Fatalf("duplicate append error = %v", err)
+	}
+}
+
+func TestLedgerRejectsBrokenChain(t *testing.T) {
+	l := NewLedger()
+	blocks := chainOf(t, 2)
+	if err := l.Append(blocks[0]); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	forged := NewBlock(1, cryptoutil.Hash([]byte("wrong")), testEnvelopes(1))
+	if err := l.Append(forged); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("broken chain error = %v", err)
+	}
+	// Genesis with nonzero prev hash.
+	l2 := NewLedger()
+	badGenesis := NewBlock(0, cryptoutil.Hash([]byte("x")), testEnvelopes(1))
+	if err := l2.Append(badGenesis); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("bad genesis error = %v", err)
+	}
+}
+
+func TestLedgerRejectsTamperedData(t *testing.T) {
+	l := NewLedger()
+	b := chainOf(t, 1)[0]
+	b.Envelopes[0][0] ^= 0xff
+	if err := l.Append(b); err == nil {
+		t.Fatal("tampered block accepted")
+	}
+}
+
+func TestLedgerLastHash(t *testing.T) {
+	l := NewLedger()
+	if !l.LastHash().IsZero() {
+		t.Fatal("empty ledger last hash not zero")
+	}
+	blocks := chainOf(t, 2)
+	for _, b := range blocks {
+		if err := l.Append(b); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if l.LastHash() != blocks[1].Header.Hash() {
+		t.Fatal("last hash mismatch")
+	}
+}
+
+func TestLedgerBlocksSlice(t *testing.T) {
+	l := NewLedger()
+	for _, b := range chainOf(t, 4) {
+		if err := l.Append(b); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	tail := l.Blocks(2)
+	if len(tail) != 2 || tail[0].Header.Number != 2 {
+		t.Fatalf("Blocks(2) = %d blocks starting at %d", len(tail), tail[0].Header.Number)
+	}
+	if got := l.Blocks(99); got != nil {
+		t.Fatalf("Blocks beyond height = %v", got)
+	}
+}
+
+func TestLedgerConcurrentReaders(t *testing.T) {
+	l := NewLedger()
+	blocks := chainOf(t, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, b := range blocks {
+			if err := l.Append(b); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h := l.Height()
+				if h > 0 {
+					if _, err := l.Block(h - 1); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				}
+				l.LastHash()
+			}
+		}()
+	}
+	wg.Wait()
+}

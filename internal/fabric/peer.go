@@ -1,0 +1,214 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+// TxValidationCode classifies a transaction during block validation
+// (protocol step 5). Invalid transactions remain in the block — "invalid
+// transactions are also added to the ledger, but they are not executed at
+// the peers" (protocol step 6) — which also exposes malicious clients.
+type TxValidationCode int
+
+// Validation outcomes.
+const (
+	TxValid TxValidationCode = iota + 1
+	TxBadEnvelope
+	TxBadPayload
+	TxEndorsementPolicyFailure
+	TxMVCCConflict
+)
+
+// String renders the code.
+func (c TxValidationCode) String() string {
+	switch c {
+	case TxValid:
+		return "VALID"
+	case TxBadEnvelope:
+		return "BAD_ENVELOPE"
+	case TxBadPayload:
+		return "BAD_PAYLOAD"
+	case TxEndorsementPolicyFailure:
+		return "ENDORSEMENT_POLICY_FAILURE"
+	case TxMVCCConflict:
+		return "MVCC_READ_CONFLICT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// CommitEvent notifies a subscriber that a transaction was immutably
+// recorded (protocol step 6: the client learns both that the transaction is
+// in the chain and whether it was valid).
+type CommitEvent struct {
+	BlockNum uint64
+	TxID     string
+	Code     TxValidationCode
+}
+
+// CommitResult summarizes one committed block.
+type CommitResult struct {
+	BlockNum uint64
+	Codes    []TxValidationCode
+	Valid    int
+	Invalid  int
+}
+
+// PeerConfig parameterizes a committing peer.
+type PeerConfig struct {
+	// ID is the peer identity.
+	ID string
+	// Registry resolves endorser public keys; nil skips signature checks
+	// (benchmark mode with opaque payloads).
+	Registry *cryptoutil.Registry
+	// Policies maps chaincode id to its endorsement policy. Chaincodes
+	// without an entry fail validation.
+	Policies map[string]Policy
+	// VerifyClientSigs additionally verifies envelope signatures against
+	// the registry.
+	VerifyClientSigs bool
+}
+
+// Peer is a committing peer: it validates ordered blocks (endorsement
+// policy + MVCC read-set checks), appends them to its ledger, applies valid
+// write sets to its state, and emits commit events. Validation is
+// deterministic — every peer processing the same chain reaches the same
+// state (Section 3: "the validation code needs to be deterministic").
+type Peer struct {
+	cfg    PeerConfig
+	ledger *Ledger
+	db     *StateDB
+
+	mu   sync.Mutex
+	subs []chan CommitEvent
+}
+
+// NewPeer creates a committing peer with an empty ledger and state.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("peer: empty id")
+	}
+	return &Peer{
+		cfg:    cfg,
+		ledger: NewLedger(),
+		db:     NewStateDB(),
+	}, nil
+}
+
+// Ledger exposes the peer's chain.
+func (p *Peer) Ledger() *Ledger { return p.ledger }
+
+// StateDB exposes the peer's world state.
+func (p *Peer) StateDB() *StateDB { return p.db }
+
+// Subscribe returns a channel of commit events. The channel is buffered;
+// if the subscriber stops draining it, events are dropped rather than
+// blocking the commit path.
+func (p *Peer) Subscribe() <-chan CommitEvent {
+	ch := make(chan CommitEvent, 1024)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subs = append(p.subs, ch)
+	return ch
+}
+
+func (p *Peer) notify(ev CommitEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ch := range p.subs {
+		select {
+		case ch <- ev:
+		default: // subscriber too slow: drop rather than stall commits
+		}
+	}
+}
+
+// CommitBlock validates every transaction in the block, appends the block
+// to the ledger, applies the write sets of valid transactions, and emits
+// events. The block must extend the peer's current chain.
+func (p *Peer) CommitBlock(b *Block) (*CommitResult, error) {
+	if err := p.ledger.Append(b); err != nil {
+		return nil, fmt.Errorf("peer %s: %w", p.cfg.ID, err)
+	}
+	result := &CommitResult{
+		BlockNum: b.Header.Number,
+		Codes:    make([]TxValidationCode, len(b.Envelopes)),
+	}
+	// MVCC overlay: writes of earlier valid transactions in this block are
+	// visible to the conflict checks of later ones.
+	overlay := make(map[string]bool)
+
+	for i, raw := range b.Envelopes {
+		code, tx := p.validateEnvelope(raw, overlay)
+		result.Codes[i] = code
+		txID := ""
+		if tx != nil {
+			txID = tx.TxID
+		}
+		if code == TxValid {
+			result.Valid++
+			version := Version{BlockNum: b.Header.Number, TxNum: uint32(i)}
+			p.db.ApplyWrites(tx.RWSet.Writes, version)
+			for _, w := range tx.RWSet.Writes {
+				overlay[w.Key] = true
+			}
+		} else {
+			result.Invalid++
+		}
+		p.notify(CommitEvent{BlockNum: b.Header.Number, TxID: txID, Code: code})
+	}
+	return result, nil
+}
+
+// validateEnvelope runs steps 5's two checks: endorsement policy
+// fulfilment and read-set version freshness.
+func (p *Peer) validateEnvelope(raw []byte, overlay map[string]bool) (TxValidationCode, *Transaction) {
+	env, err := UnmarshalEnvelope(raw)
+	if err != nil {
+		return TxBadEnvelope, nil
+	}
+	if p.cfg.VerifyClientSigs && p.cfg.Registry != nil {
+		if !p.cfg.Registry.Verify(env.ClientID, env.SignedDigest().Bytes(), env.Signature) {
+			return TxBadEnvelope, nil
+		}
+	}
+	tx, err := UnmarshalTransaction(env.Payload)
+	if err != nil {
+		return TxBadPayload, nil
+	}
+	// Endorsement policy: verify signatures, then evaluate the policy over
+	// the set of peers whose endorsements verified.
+	policy, ok := p.cfg.Policies[tx.ChaincodeID]
+	if !ok {
+		return TxEndorsementPolicyFailure, tx
+	}
+	endorsers := make([]string, 0, len(tx.Endorsements))
+	digest := tx.ResponseDigest()
+	for _, e := range tx.Endorsements {
+		if p.cfg.Registry != nil {
+			if !p.cfg.Registry.Verify(e.PeerID, digest.Bytes(), e.Signature) {
+				continue
+			}
+		}
+		endorsers = append(endorsers, e.PeerID)
+	}
+	if !policy.Satisfied(endorsers) {
+		return TxEndorsementPolicyFailure, tx
+	}
+	// MVCC: every read version must still be current, considering both the
+	// committed state and earlier valid transactions in this block.
+	for _, rd := range tx.RWSet.Reads {
+		if overlay[rd.Key] {
+			return TxMVCCConflict, tx
+		}
+		version, exists := p.db.VersionOf(rd.Key)
+		if exists != rd.Exists || (exists && version != rd.Version) {
+			return TxMVCCConflict, tx
+		}
+	}
+	return TxValid, tx
+}

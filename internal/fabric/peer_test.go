@@ -1,0 +1,494 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// fabricNet bundles endorsers, a committing peer, and a loopback orderer
+// (cut a block per envelope, commit immediately) for tests that exercise
+// the full six-step flow without the BFT ordering service.
+type fabricNet struct {
+	t         *testing.T
+	registry  *cryptoutil.Registry
+	endorsers []*Endorser
+	peer      *Peer
+	clientKey *cryptoutil.KeyPair
+
+	mu     sync.Mutex
+	cutter *BlockCutter
+}
+
+func newFabricNet(t *testing.T, nEndorsers, blockSize int) *fabricNet {
+	t.Helper()
+	registry := cryptoutil.NewRegistry()
+
+	peerNames := make([]string, nEndorsers)
+	for i := range peerNames {
+		peerNames[i] = "peer" + string(rune('0'+i))
+	}
+	policy, err := NewTOutOfN((nEndorsers+1)/2+1, peerNames...)
+	if err != nil {
+		// Fall back for tiny endorser sets.
+		policy, err = NewAnyOf(peerNames...)
+		if err != nil {
+			t.Fatalf("policy: %v", err)
+		}
+	}
+	peer, err := NewPeer(PeerConfig{
+		ID:       "committer",
+		Registry: registry,
+		Policies: map[string]Policy{
+			"kv": policy, "asset": policy, "bank": policy,
+		},
+	})
+	if err != nil {
+		t.Fatalf("peer: %v", err)
+	}
+
+	// As in a real Fabric network, the endorsing side simulates against
+	// the committed state of the peer.
+	endorsers := make([]*Endorser, nEndorsers)
+	for i := range endorsers {
+		kp, err := cryptoutil.GenerateKeyPair()
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		registry.Register(peerNames[i], kp.Public())
+		e, err := NewEndorser(peerNames[i], kp, peer.StateDB())
+		if err != nil {
+			t.Fatalf("endorser: %v", err)
+		}
+		e.Install(KVChaincode{})
+		e.Install(AssetChaincode{})
+		e.Install(BankChaincode{})
+		endorsers[i] = e
+	}
+
+	clientKey, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	return &fabricNet{
+		t:         t,
+		registry:  registry,
+		endorsers: endorsers,
+		peer:      peer,
+		clientKey: clientKey,
+		cutter:    NewBlockCutter(CutterConfig{MaxEnvelopes: blockSize}),
+	}
+}
+
+// Broadcast implements Broadcaster: it cuts size-1 blocks and commits them
+// to the peer, emulating the ordering service synchronously. Note that the
+// endorsers simulate against the committing peer's live state because the
+// test shares one StateDB... except it does not: endorsers got their own db
+// in newFabricNet. See sharedStateNet for the MVCC scenarios.
+func (fn *fabricNet) Broadcast(env *Envelope) error {
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	batch := fn.cutter.Append(env.Marshal())
+	if batch == nil {
+		return nil
+	}
+	block := NewBlock(fn.peer.Ledger().Height(), fn.peer.Ledger().LastHash(), batch)
+	_, err := fn.peer.CommitBlock(block)
+	return err
+}
+
+func (fn *fabricNet) client(policy Policy) *Client {
+	fn.t.Helper()
+	if policy == nil {
+		names := make([]string, len(fn.endorsers))
+		for i, e := range fn.endorsers {
+			names[i] = e.ID()
+		}
+		var err error
+		policy, err = NewTOutOfN((len(names)+1)/2+1, names...)
+		if err != nil {
+			policy, _ = NewAnyOf(names...)
+		}
+	}
+	c, err := NewClient(ClientConfig{
+		ID:        "app-client",
+		Key:       fn.clientKey,
+		ChannelID: "ch1",
+		Endorsers: fn.endorsers,
+		Policy:    policy,
+		Orderer:   fn,
+		Committer: fn.peer,
+	})
+	if err != nil {
+		fn.t.Fatalf("client: %v", err)
+	}
+	return c
+}
+
+func TestEndorserProcessProposal(t *testing.T) {
+	fn := newFabricNet(t, 1, 1)
+	resp, err := fn.endorsers[0].ProcessProposal(&Proposal{
+		TxID: "tx1", ChaincodeID: "kv", Fn: "put",
+		Args: [][]byte{[]byte("k"), []byte("v")},
+	})
+	if err != nil {
+		t.Fatalf("ProcessProposal: %v", err)
+	}
+	if len(resp.RWSet.Writes) != 1 || resp.RWSet.Writes[0].Key != "k" {
+		t.Fatalf("writes = %+v", resp.RWSet.Writes)
+	}
+	tx := &Transaction{TxID: "tx1", ChaincodeID: "kv", RWSet: resp.RWSet, Response: resp.Response}
+	if !fn.registry.Verify(resp.PeerID, tx.ResponseDigest().Bytes(), resp.Endorsement.Signature) {
+		t.Fatal("endorsement signature does not verify")
+	}
+	// Unknown chaincode and missing tx id fail.
+	if _, err := fn.endorsers[0].ProcessProposal(&Proposal{TxID: "t", ChaincodeID: "nope"}); err == nil {
+		t.Fatal("unknown chaincode accepted")
+	}
+	if _, err := fn.endorsers[0].ProcessProposal(&Proposal{ChaincodeID: "kv"}); err == nil {
+		t.Fatal("missing tx id accepted")
+	}
+}
+
+func TestFullFlowCommit(t *testing.T) {
+	fn := newFabricNet(t, 3, 1)
+	client := fn.client(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	res, err := client.Submit(ctx, "kv", "put", [][]byte{[]byte("name"), []byte("fabric")})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if res.Code != TxValid {
+		t.Fatalf("validation code = %v", res.Code)
+	}
+	got, ok := fn.peer.StateDB().Get("name")
+	if !ok || string(got.Value) != "fabric" {
+		t.Fatalf("state after commit = %+v, %v", got, ok)
+	}
+	if fn.peer.Ledger().Height() != 1 {
+		t.Fatalf("ledger height = %d", fn.peer.Ledger().Height())
+	}
+	if err := fn.peer.Ledger().VerifyChain(); err != nil {
+		t.Fatalf("chain verify: %v", err)
+	}
+}
+
+func TestFullFlowSequential(t *testing.T) {
+	fn := newFabricNet(t, 3, 1)
+	client := fn.client(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if _, err := client.Submit(ctx, "bank", "open", [][]byte{[]byte("alice"), []byte("100")}); err != nil {
+		t.Fatalf("open alice: %v", err)
+	}
+	if _, err := client.Submit(ctx, "bank", "open", [][]byte{[]byte("bob"), []byte("10")}); err != nil {
+		t.Fatalf("open bob: %v", err)
+	}
+	res, err := client.Submit(ctx, "bank", "transfer",
+		[][]byte{[]byte("alice"), []byte("bob"), []byte("25")})
+	if err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	if res.Code != TxValid {
+		t.Fatalf("transfer marked %v", res.Code)
+	}
+	got, _ := fn.peer.StateDB().Get("acct:bob")
+	if string(got.Value) != "35" {
+		t.Fatalf("bob balance = %q", got.Value)
+	}
+}
+
+func TestEndorsementPolicyFailureDetected(t *testing.T) {
+	fn := newFabricNet(t, 3, 1)
+	// The committing peer requires 3 endorsements, but the client only
+	// collects from one endorser; client-side check passes (AnyOf), the
+	// peer marks the transaction invalid.
+	strict, err := NewAllOf("peer0", "peer1", "peer2")
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	fn.peer.cfg.Policies["kv"] = strict
+	anyOf, err := NewAnyOf("peer0")
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	client, err := NewClient(ClientConfig{
+		ID: "weak-client", Key: fn.clientKey, ChannelID: "ch1",
+		Endorsers: fn.endorsers[:1], Policy: anyOf,
+		Orderer: fn, Committer: fn.peer,
+	})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := client.Submit(ctx, "kv", "put", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if res.Code != TxEndorsementPolicyFailure {
+		t.Fatalf("code = %v, want policy failure", res.Code)
+	}
+	// Invalid transaction is recorded in the ledger but not applied.
+	if fn.peer.Ledger().Height() != 1 {
+		t.Fatal("invalid tx not recorded in ledger")
+	}
+	if _, ok := fn.peer.StateDB().Get("k"); ok {
+		t.Fatal("invalid tx mutated state")
+	}
+}
+
+func TestForgedEndorsementRejected(t *testing.T) {
+	fn := newFabricNet(t, 3, 1)
+	// Build a transaction with fabricated endorsements.
+	tx := &Transaction{
+		TxID: "forged", ChaincodeID: "kv",
+		RWSet:    RWSet{Writes: []KVWrite{{Key: "k", Value: []byte("evil")}}},
+		Response: []byte("ok"),
+		Endorsements: []Endorsement{
+			{PeerID: "peer0", Signature: []byte("fake")},
+			{PeerID: "peer1", Signature: []byte("fake")},
+			{PeerID: "peer2", Signature: []byte("fake")},
+		},
+	}
+	env := &Envelope{ChannelID: "ch1", ClientID: "attacker", Payload: tx.Marshal()}
+	block := NewBlock(0, cryptoutil.Digest{}, [][]byte{env.Marshal()})
+	result, err := fn.peer.CommitBlock(block)
+	if err != nil {
+		t.Fatalf("CommitBlock: %v", err)
+	}
+	if result.Codes[0] != TxEndorsementPolicyFailure {
+		t.Fatalf("forged endorsements validated: %v", result.Codes[0])
+	}
+	if _, ok := fn.peer.StateDB().Get("k"); ok {
+		t.Fatal("forged tx mutated state")
+	}
+}
+
+func TestMVCCConflictWithinBlock(t *testing.T) {
+	fn := newFabricNet(t, 1, 2) // blocks of 2: both txs land in one block
+	anyOf, err := NewAnyOf("peer0")
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	fn.peer.cfg.Policies["kv"] = anyOf
+
+	// Two transactions read the same key version and both write it: the
+	// first is valid, the second must be an MVCC conflict.
+	mkEnv := func(txID string) []byte {
+		resp, err := fn.endorsers[0].ProcessProposal(&Proposal{
+			TxID: txID, ChaincodeID: "kv", Fn: "get", Args: [][]byte{[]byte("shared")},
+		})
+		if err != nil {
+			t.Fatalf("endorse: %v", err)
+		}
+		tx := &Transaction{
+			TxID: txID, ChaincodeID: "kv",
+			RWSet: RWSet{
+				Reads:  resp.RWSet.Reads,
+				Writes: []KVWrite{{Key: "shared", Value: []byte(txID)}},
+			},
+			Response: resp.Response,
+		}
+		// Re-sign with the extended write set.
+		sig, err := fn.endorsers[0].key.SignDigest(tx.ResponseDigest())
+		if err != nil {
+			t.Fatalf("sign: %v", err)
+		}
+		tx.Endorsements = []Endorsement{{PeerID: "peer0", Signature: sig}}
+		env := &Envelope{ChannelID: "ch1", ClientID: "c", Payload: tx.Marshal()}
+		return env.Marshal()
+	}
+
+	block := NewBlock(0, cryptoutil.Digest{}, [][]byte{mkEnv("tx-a"), mkEnv("tx-b")})
+	result, err := fn.peer.CommitBlock(block)
+	if err != nil {
+		t.Fatalf("CommitBlock: %v", err)
+	}
+	if result.Codes[0] != TxValid {
+		t.Fatalf("first tx = %v, want valid", result.Codes[0])
+	}
+	if result.Codes[1] != TxMVCCConflict {
+		t.Fatalf("second tx = %v, want MVCC conflict", result.Codes[1])
+	}
+	got, _ := fn.peer.StateDB().Get("shared")
+	if string(got.Value) != "tx-a" {
+		t.Fatalf("state = %q, want tx-a", got.Value)
+	}
+}
+
+func TestMVCCStaleReadAcrossBlocks(t *testing.T) {
+	fn := newFabricNet(t, 1, 1)
+	anyOf, err := NewAnyOf("peer0")
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	fn.peer.cfg.Policies["kv"] = anyOf
+
+	// Endorse a read of key "x" (absent), then commit an unrelated write
+	// of "x" first: the stale read set must be rejected.
+	resp, err := fn.endorsers[0].ProcessProposal(&Proposal{
+		TxID: "stale", ChaincodeID: "kv", Fn: "get", Args: [][]byte{[]byte("x")},
+	})
+	if err != nil {
+		t.Fatalf("endorse: %v", err)
+	}
+	staleTx := &Transaction{
+		TxID: "stale", ChaincodeID: "kv",
+		RWSet: RWSet{Reads: resp.RWSet.Reads,
+			Writes: []KVWrite{{Key: "y", Value: []byte("1")}}},
+		Response: resp.Response,
+	}
+	sig, err := fn.endorsers[0].key.SignDigest(staleTx.ResponseDigest())
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	staleTx.Endorsements = []Endorsement{{PeerID: "peer0", Signature: sig}}
+
+	// Interleaving write to "x" committed first.
+	writeTx := &Transaction{
+		TxID: "writer", ChaincodeID: "kv",
+		RWSet:    RWSet{Writes: []KVWrite{{Key: "x", Value: []byte("now-set")}}},
+		Response: []byte("ok"),
+	}
+	sig2, err := fn.endorsers[0].key.SignDigest(writeTx.ResponseDigest())
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	writeTx.Endorsements = []Endorsement{{PeerID: "peer0", Signature: sig2}}
+
+	envW := &Envelope{ChannelID: "ch1", ClientID: "c", Payload: writeTx.Marshal()}
+	b0 := NewBlock(0, cryptoutil.Digest{}, [][]byte{envW.Marshal()})
+	if _, err := fn.peer.CommitBlock(b0); err != nil {
+		t.Fatalf("commit b0: %v", err)
+	}
+
+	envS := &Envelope{ChannelID: "ch1", ClientID: "c", Payload: staleTx.Marshal()}
+	b1 := NewBlock(1, b0.Header.Hash(), [][]byte{envS.Marshal()})
+	result, err := fn.peer.CommitBlock(b1)
+	if err != nil {
+		t.Fatalf("commit b1: %v", err)
+	}
+	if result.Codes[0] != TxMVCCConflict {
+		t.Fatalf("stale read = %v, want MVCC conflict", result.Codes[0])
+	}
+}
+
+func TestBadEnvelopeAndPayloadCodes(t *testing.T) {
+	fn := newFabricNet(t, 1, 1)
+	badEnv := [][]byte{{0xff, 0xee}}
+	b0 := NewBlock(0, cryptoutil.Digest{}, badEnv)
+	res, err := fn.peer.CommitBlock(b0)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if res.Codes[0] != TxBadEnvelope {
+		t.Fatalf("code = %v, want bad envelope", res.Codes[0])
+	}
+
+	env := &Envelope{ChannelID: "ch1", ClientID: "c", Payload: []byte("not a tx")}
+	b1 := NewBlock(1, b0.Header.Hash(), [][]byte{env.Marshal()})
+	res, err = fn.peer.CommitBlock(b1)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if res.Codes[0] != TxBadPayload {
+		t.Fatalf("code = %v, want bad payload", res.Codes[0])
+	}
+}
+
+func TestPeerDeterminism(t *testing.T) {
+	// Two peers processing the same chain finish with identical state
+	// hashes (Section 3: validation is deterministic).
+	fnA := newFabricNet(t, 3, 1)
+	mk := func() (*Peer, error) {
+		return NewPeer(PeerConfig{
+			ID:       "peer-b",
+			Registry: fnA.registry,
+			Policies: fnA.peer.cfg.Policies,
+		})
+	}
+	peerB, err := mk()
+	if err != nil {
+		t.Fatalf("peer: %v", err)
+	}
+	client := fnA.client(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		key := []byte{byte('a' + i)}
+		if _, err := client.Submit(ctx, "kv", "put", [][]byte{key, key}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for _, b := range fnA.peer.Ledger().Blocks(0) {
+		if _, err := peerB.CommitBlock(b); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	if fnA.peer.StateDB().Hash() != peerB.StateDB().Hash() {
+		t.Fatal("peers diverged on identical chains")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	fn := newFabricNet(t, 1, 1)
+	anyOf, err := NewAnyOf("peer0")
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	base := ClientConfig{
+		ID: "c", Key: fn.clientKey, ChannelID: "ch1",
+		Endorsers: fn.endorsers, Policy: anyOf,
+		Orderer: fn, Committer: fn.peer,
+	}
+	bad := base
+	bad.ID = ""
+	if _, err := NewClient(bad); err == nil {
+		t.Error("empty id accepted")
+	}
+	bad = base
+	bad.Key = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("nil key accepted")
+	}
+	bad = base
+	bad.Endorsers = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("no endorsers accepted")
+	}
+	bad = base
+	bad.Orderer = nil
+	if _, err := NewClient(bad); err == nil {
+		t.Error("nil orderer accepted")
+	}
+}
+
+func TestSubmitContextCancel(t *testing.T) {
+	fn := newFabricNet(t, 1, 10) // block size 10: a single tx never commits
+	anyOf, err := NewAnyOf("peer0")
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	client, err := NewClient(ClientConfig{
+		ID: "c", Key: fn.clientKey, ChannelID: "ch1",
+		Endorsers: fn.endorsers, Policy: anyOf,
+		Orderer: fn, Committer: fn.peer,
+	})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err = client.Submit(ctx, "kv", "put", [][]byte{[]byte("k"), []byte("v")})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit error = %v, want deadline exceeded", err)
+	}
+}

@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy is an endorsement policy: a predicate over the set of peers whose
+// endorsements verified. Clients check policies before assembling a
+// transaction (protocol step 3) and committing peers re-check them during
+// validation (step 5).
+type Policy interface {
+	// Satisfied reports whether the given endorsing peers fulfil the
+	// policy.
+	Satisfied(endorsers []string) bool
+	// String renders the policy for documentation and errors.
+	String() string
+}
+
+// tOutOfN requires endorsements from at least T of the listed peers.
+type tOutOfN struct {
+	t     int
+	peers map[string]bool
+	names []string
+}
+
+// NewTOutOfN builds a "t out of the listed peers" policy. t must be between
+// 1 and the number of peers.
+func NewTOutOfN(t int, peers ...string) (Policy, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("policy: no peers")
+	}
+	if t < 1 || t > len(peers) {
+		return nil, fmt.Errorf("policy: t=%d out of range for %d peers", t, len(peers))
+	}
+	set := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if set[p] {
+			return nil, fmt.Errorf("policy: duplicate peer %q", p)
+		}
+		set[p] = true
+	}
+	names := make([]string, len(peers))
+	copy(names, peers)
+	sort.Strings(names)
+	return &tOutOfN{t: t, peers: set, names: names}, nil
+}
+
+// NewAllOf requires every listed peer.
+func NewAllOf(peers ...string) (Policy, error) {
+	return NewTOutOfN(len(peers), peers...)
+}
+
+// NewAnyOf requires any one of the listed peers.
+func NewAnyOf(peers ...string) (Policy, error) {
+	return NewTOutOfN(1, peers...)
+}
+
+var _ Policy = (*tOutOfN)(nil)
+
+func (p *tOutOfN) Satisfied(endorsers []string) bool {
+	seen := make(map[string]bool, len(endorsers))
+	count := 0
+	for _, e := range endorsers {
+		if seen[e] || !p.peers[e] {
+			continue
+		}
+		seen[e] = true
+		count++
+	}
+	return count >= p.t
+}
+
+func (p *tOutOfN) String() string {
+	return fmt.Sprintf("%d-of(%s)", p.t, strings.Join(p.names, ","))
+}

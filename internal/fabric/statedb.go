@@ -1,0 +1,108 @@
+package fabric
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// VersionedValue is a state value plus the commit position that wrote it.
+type VersionedValue struct {
+	Value   []byte
+	Version Version
+}
+
+// StateDB is the versioned key/value store endorsing peers simulate against
+// and committing peers apply write sets to (Section 3: the state of a
+// database "modeled as a versioned key/value store"). Safe for concurrent
+// use.
+type StateDB struct {
+	mu   sync.RWMutex
+	data map[string]VersionedValue
+}
+
+// NewStateDB creates an empty state database.
+func NewStateDB() *StateDB {
+	return &StateDB{data: make(map[string]VersionedValue)}
+}
+
+// Get returns the value and version of a key.
+func (db *StateDB) Get(key string) (VersionedValue, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.data[key]
+	if !ok {
+		return VersionedValue{}, false
+	}
+	out := v
+	out.Value = append([]byte(nil), v.Value...)
+	return out, true
+}
+
+// VersionOf returns the version of a key and whether it exists.
+func (db *StateDB) VersionOf(key string) (Version, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.data[key]
+	return v.Version, ok
+}
+
+// ApplyWrites commits a write set at the given version (one transaction's
+// effects). Deletes remove keys; writes replace value and version.
+func (db *StateDB) ApplyWrites(writes []KVWrite, version Version) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, w := range writes {
+		if w.Delete {
+			delete(db.data, w.Key)
+			continue
+		}
+		db.data[w.Key] = VersionedValue{
+			Value:   append([]byte(nil), w.Value...),
+			Version: version,
+		}
+	}
+}
+
+// Len returns the number of keys.
+func (db *StateDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data)
+}
+
+// Keys returns all keys in sorted order.
+func (db *StateDB) Keys() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.data))
+	for k := range db.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Hash returns a deterministic digest of the full state (keys, values, and
+// versions in sorted key order). Used by tests to check that every peer
+// that processed the same chain holds the same state.
+func (db *StateDB) Hash() cryptoutil.Digest {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.data))
+	for k := range db.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(len(keys) * 32)
+	for _, k := range keys {
+		v := db.data[k]
+		w.PutString(k)
+		w.PutBytes(v.Value)
+		w.PutUint64(v.Version.BlockNum)
+		w.PutUint32(v.Version.TxNum)
+	}
+	return cryptoutil.Hash(w.Bytes())
+}

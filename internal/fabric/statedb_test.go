@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateDBGetApply(t *testing.T) {
+	db := NewStateDB()
+	if _, ok := db.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	v1 := Version{BlockNum: 1, TxNum: 0}
+	db.ApplyWrites([]KVWrite{{Key: "a", Value: []byte("1")}}, v1)
+	got, ok := db.Get("a")
+	if !ok || string(got.Value) != "1" || got.Version != v1 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	ver, ok := db.VersionOf("a")
+	if !ok || ver != v1 {
+		t.Fatalf("VersionOf = %+v, %v", ver, ok)
+	}
+
+	v2 := Version{BlockNum: 2, TxNum: 3}
+	db.ApplyWrites([]KVWrite{
+		{Key: "a", Value: []byte("2")},
+		{Key: "b", Value: []byte("x")},
+	}, v2)
+	got, _ = db.Get("a")
+	if string(got.Value) != "2" || got.Version != v2 {
+		t.Fatalf("overwrite failed: %+v", got)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+
+	db.ApplyWrites([]KVWrite{{Key: "a", Delete: true}}, Version{BlockNum: 3})
+	if _, ok := db.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestStateDBKeysSorted(t *testing.T) {
+	db := NewStateDB()
+	db.ApplyWrites([]KVWrite{
+		{Key: "z", Value: []byte("1")},
+		{Key: "a", Value: []byte("2")},
+		{Key: "m", Value: []byte("3")},
+	}, Version{})
+	keys := db.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "m" || keys[2] != "z" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestStateDBGetCopies(t *testing.T) {
+	db := NewStateDB()
+	db.ApplyWrites([]KVWrite{{Key: "k", Value: []byte("abc")}}, Version{})
+	got, _ := db.Get("k")
+	got.Value[0] = 'X'
+	again, _ := db.Get("k")
+	if !bytes.Equal(again.Value, []byte("abc")) {
+		t.Fatal("Get aliased internal storage")
+	}
+}
+
+func TestStateDBApplyCopies(t *testing.T) {
+	db := NewStateDB()
+	val := []byte("abc")
+	db.ApplyWrites([]KVWrite{{Key: "k", Value: val}}, Version{})
+	val[0] = 'X'
+	got, _ := db.Get("k")
+	if !bytes.Equal(got.Value, []byte("abc")) {
+		t.Fatal("ApplyWrites aliased the caller's slice")
+	}
+}
+
+func TestStateDBHashDeterminism(t *testing.T) {
+	// Two databases receiving the same writes in the same order hash
+	// identically; different content hashes differently.
+	mk := func() *StateDB {
+		db := NewStateDB()
+		db.ApplyWrites([]KVWrite{{Key: "a", Value: []byte("1")}}, Version{BlockNum: 1})
+		db.ApplyWrites([]KVWrite{{Key: "b", Value: []byte("2")}}, Version{BlockNum: 2})
+		return db
+	}
+	if mk().Hash() != mk().Hash() {
+		t.Fatal("identical histories produced different hashes")
+	}
+	other := mk()
+	other.ApplyWrites([]KVWrite{{Key: "c", Value: []byte("3")}}, Version{BlockNum: 3})
+	if other.Hash() == mk().Hash() {
+		t.Fatal("different states hashed equal")
+	}
+}
+
+func TestStateDBHashInsensitiveToWriteOrderAcrossKeys(t *testing.T) {
+	// The hash is over sorted keys: interleaving order of distinct keys
+	// within the same version must not matter.
+	f := func(keysRaw []string) bool {
+		if len(keysRaw) == 0 {
+			return true
+		}
+		seen := map[string]bool{}
+		var keys []string
+		for _, k := range keysRaw {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		db1 := NewStateDB()
+		db2 := NewStateDB()
+		v := Version{BlockNum: 1}
+		for _, k := range keys {
+			db1.ApplyWrites([]KVWrite{{Key: k, Value: []byte(k)}}, v)
+		}
+		for i := len(keys) - 1; i >= 0; i-- {
+			db2.ApplyWrites([]KVWrite{{Key: keys[i], Value: []byte(keys[i])}}, v)
+		}
+		return db1.Hash() == db2.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package kafka implements the crash-fault-tolerant baseline ordering
+// service that Hyperledger Fabric v1.0 shipped with (Section 3 of the
+// paper): an Apache Kafka-style replicated log plus ordering service nodes
+// that consume the log and cut blocks deterministically.
+//
+// The simulated cluster reproduces the properties the orderer depends on:
+// a partition per channel with a single total order, leader-based
+// replication with an in-sync-replica (ISR) set, a high watermark exposing
+// only fully replicated records, leader fail-over to the longest in-sync
+// log, and crash tolerance of up to n-minISR broker failures. It does NOT
+// tolerate Byzantine brokers - which is exactly the gap the paper's
+// BFT-SMaRt ordering service (internal/core) fills.
+package kafka
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Cluster errors.
+var (
+	ErrNoLeader      = errors.New("kafka: no leader available")
+	ErrBrokerDown    = errors.New("kafka: broker is down")
+	ErrNotEnoughISR  = errors.New("kafka: not enough in-sync replicas")
+	ErrUnknownBroker = errors.New("kafka: unknown broker")
+)
+
+// record is one log entry of a partition.
+type record struct {
+	payload []byte
+}
+
+// partition is one topic-partition's replicated log as seen by one broker.
+type partition struct {
+	log []record
+}
+
+// broker is one Kafka node.
+type broker struct {
+	id         int
+	alive      bool
+	partitions map[string]*partition
+}
+
+func (b *broker) partition(topic string) *partition {
+	p, ok := b.partitions[topic]
+	if !ok {
+		p = &partition{}
+		b.partitions[topic] = p
+	}
+	return p
+}
+
+// ClusterConfig parameterizes the simulated Kafka cluster.
+type ClusterConfig struct {
+	// Brokers is the cluster size (Fabric deployments typically use 3-5).
+	Brokers int
+	// MinISR is the minimum in-sync replica count required to acknowledge
+	// a produce (Kafka's min.insync.replicas with acks=all).
+	MinISR int
+}
+
+// Cluster is a simulated Kafka cluster: synchronous replication from the
+// partition leader to all live brokers, acknowledgement once MinISR
+// replicas hold the record, and fail-over to the longest live log.
+type Cluster struct {
+	cfg ClusterConfig
+
+	mu      sync.Mutex
+	brokers []*broker
+	leader  int
+}
+
+// NewCluster starts a cluster with all brokers alive; broker 0 leads.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Brokers < 1 {
+		return nil, fmt.Errorf("kafka: need at least 1 broker, got %d", cfg.Brokers)
+	}
+	if cfg.MinISR < 1 {
+		cfg.MinISR = 1
+	}
+	if cfg.MinISR > cfg.Brokers {
+		return nil, fmt.Errorf("kafka: min ISR %d exceeds broker count %d", cfg.MinISR, cfg.Brokers)
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Brokers; i++ {
+		c.brokers = append(c.brokers, &broker{
+			id:         i,
+			alive:      true,
+			partitions: make(map[string]*partition),
+		})
+	}
+	return c, nil
+}
+
+// Produce appends payload to the topic's partition through the leader. It
+// returns the assigned offset once MinISR replicas hold the record.
+func (c *Cluster) Produce(topic string, payload []byte) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	leader, err := c.leaderLocked()
+	if err != nil {
+		return 0, err
+	}
+	copied := make([]byte, len(payload))
+	copy(copied, payload)
+	rec := record{payload: copied}
+
+	// Leader appends, then replicates synchronously to every live broker.
+	lp := leader.partition(topic)
+	offset := int64(len(lp.log))
+	lp.log = append(lp.log, rec)
+	acks := 1
+	for _, b := range c.brokers {
+		if b == leader || !b.alive {
+			continue
+		}
+		bp := b.partition(topic)
+		// Followers may have fallen behind while down; they re-sync here
+		// (simplified catch-up replication).
+		for int64(len(bp.log)) < offset {
+			bp.log = append(bp.log, leader.partition(topic).log[len(bp.log)])
+		}
+		bp.log = append(bp.log, rec)
+		acks++
+	}
+	if acks < c.cfg.MinISR {
+		// Roll the append back: the produce is not acknowledged.
+		lp.log = lp.log[:offset]
+		for _, b := range c.brokers {
+			if b == leader || !b.alive {
+				continue
+			}
+			bp := b.partition(topic)
+			if int64(len(bp.log)) > offset {
+				bp.log = bp.log[:offset]
+			}
+		}
+		return 0, fmt.Errorf("%w: %d < %d", ErrNotEnoughISR, acks, c.cfg.MinISR)
+	}
+	return offset, nil
+}
+
+// leaderLocked returns the current leader, electing the live broker with
+// the longest total log when the previous leader is down.
+func (c *Cluster) leaderLocked() (*broker, error) {
+	if c.leader < len(c.brokers) && c.brokers[c.leader].alive {
+		return c.brokers[c.leader], nil
+	}
+	best := -1
+	bestLen := -1
+	for _, b := range c.brokers {
+		if !b.alive {
+			continue
+		}
+		total := 0
+		for _, p := range b.partitions {
+			total += len(p.log)
+		}
+		if total > bestLen {
+			best = b.id
+			bestLen = total
+		}
+	}
+	if best < 0 {
+		return nil, ErrNoLeader
+	}
+	c.leader = best
+	return c.brokers[best], nil
+}
+
+// Consume returns records of a topic from offset (inclusive) up to the high
+// watermark: the shortest live log, i.e. only fully replicated records.
+func (c *Cluster) Consume(topic string, offset int64) ([][]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hw := c.highWatermarkLocked(topic)
+	if offset >= hw {
+		return nil, nil
+	}
+	leader, err := c.leaderLocked()
+	if err != nil {
+		return nil, err
+	}
+	log := leader.partition(topic).log
+	if hw > int64(len(log)) {
+		hw = int64(len(log))
+	}
+	out := make([][]byte, 0, hw-offset)
+	for _, rec := range log[offset:hw] {
+		payload := make([]byte, len(rec.payload))
+		copy(payload, rec.payload)
+		out = append(out, payload)
+	}
+	return out, nil
+}
+
+func (c *Cluster) highWatermarkLocked(topic string) int64 {
+	hw := int64(-1)
+	for _, b := range c.brokers {
+		if !b.alive {
+			continue
+		}
+		l := int64(len(b.partition(topic).log))
+		if hw < 0 || l < hw {
+			hw = l
+		}
+	}
+	if hw < 0 {
+		return 0
+	}
+	return hw
+}
+
+// CrashBroker takes a broker down. Producing keeps working while at least
+// MinISR brokers remain alive.
+func (c *Cluster) CrashBroker(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.brokers) {
+		return ErrUnknownBroker
+	}
+	c.brokers[id].alive = false
+	return nil
+}
+
+// RestartBroker brings a broker back; it re-syncs lazily on the next
+// produce.
+func (c *Cluster) RestartBroker(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.brokers) {
+		return ErrUnknownBroker
+	}
+	b := c.brokers[id]
+	if b.alive {
+		return nil
+	}
+	// Catch up from the current leader before rejoining the ISR.
+	if c.leader < len(c.brokers) && c.brokers[c.leader].alive && c.brokers[c.leader] != b {
+		leader := c.brokers[c.leader]
+		for topic, lp := range leader.partitions {
+			bp := b.partition(topic)
+			for len(bp.log) < len(lp.log) {
+				bp.log = append(bp.log, lp.log[len(bp.log)])
+			}
+		}
+	}
+	b.alive = true
+	return nil
+}
+
+// Leader returns the current leader's id.
+func (c *Cluster) Leader() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := c.leaderLocked()
+	if err != nil {
+		return -1, err
+	}
+	return b.id, nil
+}
+
+// AliveBrokers returns how many brokers are up.
+func (c *Cluster) AliveBrokers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.brokers {
+		if b.alive {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,300 @@
+package kafka
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+)
+
+func TestClusterProduceConsume(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		off, err := c.Produce("topic", []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+		if off != int64(i) {
+			t.Fatalf("offset = %d, want %d", off, i)
+		}
+	}
+	records, err := c.Consume("topic", 0)
+	if err != nil {
+		t.Fatalf("consume: %v", err)
+	}
+	if len(records) != 5 {
+		t.Fatalf("consumed %d records", len(records))
+	}
+	for i, rec := range records {
+		if rec[0] != byte(i) {
+			t.Fatalf("record %d = %v", i, rec)
+		}
+	}
+	// Partial consume.
+	tail, err := c.Consume("topic", 3)
+	if err != nil || len(tail) != 2 {
+		t.Fatalf("tail consume = %d records, %v", len(tail), err)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Brokers: 0}); err == nil {
+		t.Fatal("zero brokers accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Brokers: 2, MinISR: 3}); err == nil {
+		t.Fatal("minISR > brokers accepted")
+	}
+}
+
+func TestClusterLeaderFailover(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if _, err := c.Produce("t", []byte("a")); err != nil {
+		t.Fatalf("produce: %v", err)
+	}
+	leader, err := c.Leader()
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := c.CrashBroker(leader); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	// Production continues through the new leader; no records are lost.
+	if _, err := c.Produce("t", []byte("b")); err != nil {
+		t.Fatalf("produce after crash: %v", err)
+	}
+	newLeader, err := c.Leader()
+	if err != nil {
+		t.Fatalf("leader after crash: %v", err)
+	}
+	if newLeader == leader {
+		t.Fatal("crashed broker still leads")
+	}
+	records, err := c.Consume("t", 0)
+	if err != nil {
+		t.Fatalf("consume: %v", err)
+	}
+	if len(records) != 2 || string(records[0]) != "a" || string(records[1]) != "b" {
+		t.Fatalf("records after failover: %q", records)
+	}
+}
+
+func TestClusterMinISREnforced(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.CrashBroker(1)
+	c.CrashBroker(2)
+	if _, err := c.Produce("t", []byte("x")); !errors.Is(err, ErrNotEnoughISR) {
+		t.Fatalf("produce below ISR = %v, want ErrNotEnoughISR", err)
+	}
+	if c.AliveBrokers() != 1 {
+		t.Fatalf("alive = %d", c.AliveBrokers())
+	}
+	// Restart a broker: production resumes.
+	if err := c.RestartBroker(1); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if _, err := c.Produce("t", []byte("y")); err != nil {
+		t.Fatalf("produce after restart: %v", err)
+	}
+}
+
+func TestClusterAllBrokersDown(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Brokers: 2, MinISR: 1})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.CrashBroker(0)
+	c.CrashBroker(1)
+	if _, err := c.Produce("t", []byte("x")); !errors.Is(err, ErrNoLeader) {
+		t.Fatalf("produce with no brokers = %v", err)
+	}
+	if err := c.CrashBroker(9); !errors.Is(err, ErrUnknownBroker) {
+		t.Fatalf("crash unknown = %v", err)
+	}
+}
+
+func TestRestartedBrokerCatchesUp(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.CrashBroker(2)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Produce("t", []byte{byte(i)}); err != nil {
+			t.Fatalf("produce: %v", err)
+		}
+	}
+	if err := c.RestartBroker(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	// The high watermark counts the restarted broker again; all records
+	// must remain consumable.
+	records, err := c.Consume("t", 0)
+	if err != nil || len(records) != 4 {
+		t.Fatalf("consume after catch-up = %d, %v", len(records), err)
+	}
+}
+
+func newTestOSN(t *testing.T, cluster *Cluster, id string, blockSize int, timeout time.Duration) *OSN {
+	t.Helper()
+	key, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	osn, err := NewOSN(OSNConfig{
+		ID: id, Cluster: cluster, BlockSize: blockSize,
+		BlockTimeout: timeout, Key: key, SigningWorkers: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewOSN: %v", err)
+	}
+	t.Cleanup(osn.Close)
+	return osn
+}
+
+func mkEnv(channel string, i int) *fabric.Envelope {
+	return &fabric.Envelope{
+		ChannelID:         channel,
+		ClientID:          "client",
+		TimestampUnixNano: int64(i),
+		Payload:           []byte(fmt.Sprintf("payload-%d", i)),
+	}
+}
+
+func collect(t *testing.T, stream <-chan *fabric.Block, wantEnvs int) []*fabric.Block {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	var blocks []*fabric.Block
+	total := 0
+	for total < wantEnvs {
+		select {
+		case b := <-stream:
+			blocks = append(blocks, b)
+			total += len(b.Envelopes)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d envelopes", total, wantEnvs)
+		}
+	}
+	return blocks
+}
+
+func TestOSNOrdersIntoBlocks(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	osn := newTestOSN(t, cluster, "osn0", 4, 0)
+	stream := osn.Deliver("ch")
+	for i := 0; i < 12; i++ {
+		if err := osn.Broadcast(mkEnv("ch", i)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocks := collect(t, stream, 12)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+}
+
+func TestTwoOSNsBuildIdenticalChains(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	osnA := newTestOSN(t, cluster, "osnA", 3, 0)
+	osnB := newTestOSN(t, cluster, "osnB", 3, 0)
+	streamA := osnA.Deliver("ch")
+	streamB := osnB.Deliver("ch")
+
+	for i := 0; i < 9; i++ {
+		if err := osnA.Broadcast(mkEnv("ch", i)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	blocksA := collect(t, streamA, 9)
+	blocksB := collect(t, streamB, 9)
+	if len(blocksA) != len(blocksB) {
+		t.Fatalf("OSNs cut %d vs %d blocks", len(blocksA), len(blocksB))
+	}
+	for i := range blocksA {
+		if blocksA[i].Header.Hash() != blocksB[i].Header.Hash() {
+			t.Fatalf("block %d differs between OSNs", i)
+		}
+	}
+}
+
+func TestOSNTimeoutCut(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	osn := newTestOSN(t, cluster, "osn0", 100, 30*time.Millisecond)
+	stream := osn.Deliver("ch")
+	if err := osn.Broadcast(mkEnv("ch", 0)); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	blocks := collect(t, stream, 1)
+	if len(blocks[0].Envelopes) != 1 {
+		t.Fatalf("partial block has %d envelopes", len(blocks[0].Envelopes))
+	}
+}
+
+func TestOSNSurvivesBrokerCrash(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{Brokers: 3, MinISR: 2})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	osn := newTestOSN(t, cluster, "osn0", 2, 0)
+	stream := osn.Deliver("ch")
+	for i := 0; i < 4; i++ {
+		if err := osn.Broadcast(mkEnv("ch", i)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	collect(t, stream, 4)
+
+	leader, err := cluster.Leader()
+	if err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	cluster.CrashBroker(leader)
+	for i := 4; i < 8; i++ {
+		if err := osn.Broadcast(mkEnv("ch", i)); err != nil {
+			t.Fatalf("broadcast after crash: %v", err)
+		}
+	}
+	blocks := collect(t, stream, 4)
+	if err := fabric.VerifyChain(blocks); err != nil {
+		t.Fatalf("chain continuity after failover: %v", err)
+	}
+}
+
+func TestTTCCodec(t *testing.T) {
+	for _, n := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		got, ok := decodeTTC(encodeTTC(n))
+		if !ok || got != n {
+			t.Fatalf("TTC round trip of %d = %d, %v", n, got, ok)
+		}
+	}
+	if _, ok := decodeTTC([]byte("not a marker")); ok {
+		t.Fatal("garbage decoded as TTC")
+	}
+	env := mkEnv("ch", 1)
+	if _, ok := decodeTTC(env.Marshal()); ok {
+		t.Fatal("envelope decoded as TTC")
+	}
+}

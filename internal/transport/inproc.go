@@ -1,0 +1,470 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// InProcConfig parameterizes an in-process network.
+type InProcConfig struct {
+	// Latency supplies the one-way propagation delay per link. Nil means
+	// instantaneous delivery.
+	Latency LatencyModel
+	// EgressBytesPerSec, when > 0, models each sender's NIC: outgoing
+	// messages are serialized per sender and each occupies the link for
+	// size/rate seconds before propagation starts. 125_000_000 models the
+	// paper's Gigabit Ethernet.
+	EgressBytesPerSec int64
+}
+
+// GigabitEthernet is the egress rate of the paper's LAN testbed in bytes/s.
+const GigabitEthernet int64 = 125_000_000
+
+// InProcNetwork is an in-memory network hub. Endpoints Join with a unique
+// address; messages flow through per-sender egress serializers (bandwidth
+// model), a propagation delay (latency model), and per-receiver unbounded
+// mailboxes. Sends never block the sender beyond the bandwidth model, which
+// matches the asynchronous-network model of the BFT-SMaRt protocol stack.
+type InProcNetwork struct {
+	cfg InProcConfig
+
+	mu     sync.RWMutex
+	peers  map[Addr]*inprocConn
+	filter func(Message) bool // nil => deliver; false => drop
+	closed bool
+
+	// links serialize delayed deliveries per (from, to) pair so that
+	// latency never reorders a link (TCP semantics). Created lazily.
+	linkMu sync.Mutex
+	links  map[linkKey]*link
+	done   chan struct{}
+	pumps  sync.WaitGroup
+}
+
+type linkKey struct {
+	from, to Addr
+}
+
+// NewInProcNetwork creates a hub with the given configuration.
+func NewInProcNetwork(cfg InProcConfig) *InProcNetwork {
+	if cfg.Latency == nil {
+		cfg.Latency = ZeroLatency()
+	}
+	return &InProcNetwork{
+		cfg:   cfg,
+		peers: make(map[Addr]*inprocConn),
+		links: make(map[linkKey]*link),
+		done:  make(chan struct{}),
+	}
+}
+
+// Join attaches a new endpoint to the network.
+func (n *InProcNetwork) Join(addr Addr) (Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.peers[addr]; ok {
+		return nil, fmt.Errorf("join %q: %w", addr, ErrDuplicate)
+	}
+	c := newInprocConn(n, addr)
+	n.peers[addr] = c
+	return c, nil
+}
+
+// SetFilter installs a delivery predicate: messages for which filter returns
+// false are dropped. Passing nil removes the filter. Used by the fault
+// injection tests (drops, partitions, Byzantine link behaviour).
+func (n *InProcNetwork) SetFilter(filter func(Message) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.filter = filter
+}
+
+// Partition drops every message crossing between the two groups, in both
+// directions. Endpoints not listed in either group communicate freely with
+// everyone. Calling Heal removes the partition.
+func (n *InProcNetwork) Partition(groupA, groupB []Addr) {
+	inA := make(map[Addr]bool, len(groupA))
+	for _, a := range groupA {
+		inA[a] = true
+	}
+	inB := make(map[Addr]bool, len(groupB))
+	for _, b := range groupB {
+		inB[b] = true
+	}
+	n.SetFilter(func(m Message) bool {
+		if inA[m.From] && inB[m.To] {
+			return false
+		}
+		if inB[m.From] && inA[m.To] {
+			return false
+		}
+		return true
+	})
+}
+
+// Heal removes any partition or filter.
+func (n *InProcNetwork) Heal() { n.SetFilter(nil) }
+
+// Disconnect forcefully detaches an endpoint (models a crash: in-flight and
+// future messages to it are dropped).
+func (n *InProcNetwork) Disconnect(addr Addr) {
+	n.mu.Lock()
+	c, ok := n.peers[addr]
+	if ok {
+		delete(n.peers, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		c.shutdown()
+	}
+}
+
+// Close shuts down the hub and all endpoints.
+func (n *InProcNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	peers := make([]*inprocConn, 0, len(n.peers))
+	for _, c := range n.peers {
+		peers = append(peers, c)
+	}
+	n.peers = make(map[Addr]*inprocConn)
+	n.mu.Unlock()
+
+	for _, c := range peers {
+		c.shutdown()
+	}
+	close(n.done)
+	n.pumps.Wait()
+	return nil
+}
+
+// route is called by a sender's egress stage to deliver a message after the
+// propagation delay.
+func (n *InProcNetwork) route(m Message) {
+	n.mu.RLock()
+	filter := n.filter
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return
+	}
+	if filter != nil && !filter(m) {
+		return
+	}
+	delay := n.cfg.Latency.Delay(m.From, m.To)
+	if delay <= 0 {
+		// Zero-delay links deliver inline: the caller is the sender's
+		// goroutine (or its egress pump), so per-link order is preserved.
+		n.deliver(m)
+		return
+	}
+	n.link(m.From, m.To).enqueue(m, time.Now().Add(delay))
+}
+
+// link returns (creating if needed) the FIFO delivery pump for a pair.
+func (n *InProcNetwork) link(from, to Addr) *link {
+	key := linkKey{from: from, to: to}
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	l, ok := n.links[key]
+	if !ok {
+		l = newLink(n)
+		n.links[key] = l
+	}
+	return l
+}
+
+// link delivers one direction of one endpoint pair in FIFO order, each
+// message no earlier than its release time. A later-sent message never
+// overtakes an earlier one even when jitter hands it a smaller delay.
+type link struct {
+	net    *InProcNetwork
+	mu     sync.Mutex
+	queue  []timedMessage
+	notify chan struct{}
+}
+
+type timedMessage struct {
+	msg     Message
+	release time.Time
+}
+
+func newLink(n *InProcNetwork) *link {
+	l := &link{net: n, notify: make(chan struct{}, 1)}
+	n.pumps.Add(1)
+	go l.pump()
+	return l
+}
+
+func (l *link) enqueue(m Message, release time.Time) {
+	l.mu.Lock()
+	l.queue = append(l.queue, timedMessage{msg: m, release: release})
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (l *link) pump() {
+	defer l.net.pumps.Done()
+	for {
+		l.mu.Lock()
+		if len(l.queue) == 0 {
+			l.mu.Unlock()
+			select {
+			case <-l.notify:
+				continue
+			case <-l.net.done:
+				return
+			}
+		}
+		tm := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+
+		if wait := time.Until(tm.release); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-l.net.done:
+				return
+			}
+		}
+		l.net.deliver(tm.msg)
+	}
+}
+
+func (n *InProcNetwork) deliver(m Message) {
+	n.mu.RLock()
+	dst, ok := n.peers[m.To]
+	n.mu.RUnlock()
+	if ok {
+		dst.mailbox.put(m)
+	}
+}
+
+// inprocConn is one endpoint of an InProcNetwork.
+type inprocConn struct {
+	net     *InProcNetwork
+	addr    Addr
+	mailbox *mailbox
+	egress  *egress
+
+	closeOnce sync.Once
+}
+
+func newInprocConn(n *InProcNetwork, addr Addr) *inprocConn {
+	c := &inprocConn{
+		net:     n,
+		addr:    addr,
+		mailbox: newMailbox(),
+	}
+	if n.cfg.EgressBytesPerSec > 0 {
+		c.egress = newEgress(n.cfg.EgressBytesPerSec, n.route)
+	}
+	return c
+}
+
+var _ Conn = (*inprocConn)(nil)
+
+func (c *inprocConn) Addr() Addr { return c.addr }
+
+func (c *inprocConn) Send(to Addr, msgType uint16, payload []byte) {
+	m := Message{From: c.addr, To: to, Type: msgType, Payload: payload}
+	if c.egress != nil {
+		c.egress.enqueue(m)
+		return
+	}
+	c.net.route(m)
+}
+
+func (c *inprocConn) Inbox() <-chan Message { return c.mailbox.out }
+
+func (c *inprocConn) Close() error {
+	c.net.mu.Lock()
+	delete(c.net.peers, c.addr)
+	c.net.mu.Unlock()
+	c.shutdown()
+	return nil
+}
+
+func (c *inprocConn) shutdown() {
+	c.closeOnce.Do(func() {
+		if c.egress != nil {
+			c.egress.stop()
+		}
+		c.mailbox.close()
+	})
+}
+
+// mailbox is an unbounded FIFO of messages with a channel-based reader side.
+// Producers never block: the asynchronous network model requires that a slow
+// or stalled receiver cannot back-pressure a broadcasting consensus replica
+// into deadlock. A pump goroutine drains the queue into the out channel.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []Message
+	notify chan struct{} // capacity 1: wake-up signal for the pump
+	done   chan struct{}
+	out    chan Message
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		out:    make(chan Message),
+	}
+	mb.wg.Add(1)
+	go mb.pump()
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	select {
+	case mb.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (mb *mailbox) pump() {
+	defer mb.wg.Done()
+	defer close(mb.out)
+	for {
+		mb.mu.Lock()
+		if len(mb.queue) == 0 {
+			mb.mu.Unlock()
+			select {
+			case <-mb.notify:
+				continue
+			case <-mb.done:
+				return
+			}
+		}
+		m := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		mb.mu.Unlock()
+
+		select {
+		case mb.out <- m:
+		case <-mb.done:
+			return
+		}
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.closed = true
+	mb.mu.Unlock()
+	close(mb.done)
+	mb.wg.Wait()
+}
+
+// egress serializes a sender's outgoing messages at a fixed byte rate,
+// modelling NIC transmission time. Messages wait FIFO for the virtual link,
+// occupy it for size/rate, then enter propagation (handled by route).
+type egress struct {
+	rate int64 // bytes per second
+	emit func(Message)
+
+	mu     sync.Mutex
+	queue  []Message
+	notify chan struct{}
+	done   chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newEgress(rate int64, emit func(Message)) *egress {
+	e := &egress{
+		rate:   rate,
+		emit:   emit,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+func (e *egress) enqueue(m Message) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, m)
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (e *egress) run() {
+	defer e.wg.Done()
+	// debt accumulates sub-millisecond transmission times so that small
+	// messages are charged accurately without a timer per message.
+	var debt time.Duration
+	const sleepGranularity = 200 * time.Microsecond
+	for {
+		e.mu.Lock()
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			select {
+			case <-e.notify:
+				continue
+			case <-e.done:
+				return
+			}
+		}
+		m := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+
+		debt += time.Duration(float64(m.Size()) / float64(e.rate) * float64(time.Second))
+		if debt >= sleepGranularity {
+			select {
+			case <-time.After(debt):
+			case <-e.done:
+				return
+			}
+			debt = 0
+		}
+		e.emit(m)
+	}
+}
+
+func (e *egress) stop() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.wg.Wait()
+}

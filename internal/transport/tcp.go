@@ -1,0 +1,343 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrameBytes bounds incoming frames to protect against corrupt or
+// malicious length prefixes. PROPOSE batches top out at a few megabytes
+// (400 envelopes x 4 KB in the paper's largest configuration).
+const maxFrameBytes = 64 << 20
+
+// TCPConfig parameterizes a TCP endpoint.
+type TCPConfig struct {
+	// Addr is this endpoint's logical address.
+	Addr Addr
+	// Listen is the host:port to accept connections on.
+	Listen string
+	// Peers maps logical addresses to host:port for outgoing connections.
+	// Destinations not in the map are dropped (like the in-proc network).
+	Peers map[Addr]string
+	// DialTimeout bounds each connection attempt. Zero means 3 seconds.
+	DialTimeout time.Duration
+	// RedialBackoff is the pause between reconnection attempts. Zero means
+	// 500 milliseconds.
+	RedialBackoff time.Duration
+}
+
+// TCPTransport implements Conn over real sockets with length-prefixed binary
+// frames. Each remote peer gets a dedicated writer goroutine fed by an
+// unbounded queue (sends never block, mirroring the in-proc semantics);
+// incoming connections are demultiplexed into one mailbox.
+type TCPTransport struct {
+	cfg      TCPConfig
+	listener net.Listener
+	mailbox  *mailbox
+
+	mu       sync.Mutex
+	peers    map[Addr]string
+	writers  map[Addr]*tcpWriter
+	accepted map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ Conn = (*TCPTransport)(nil)
+
+// NewTCPTransport starts listening and returns the endpoint. Outgoing
+// connections are established lazily on first send.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("tcp transport: empty address")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 500 * time.Millisecond
+	}
+	peers := make(map[Addr]string, len(cfg.Peers))
+	for addr, hostport := range cfg.Peers {
+		peers[addr] = hostport
+	}
+	t := &TCPTransport{
+		cfg:      cfg,
+		peers:    peers,
+		mailbox:  newMailbox(),
+		writers:  make(map[Addr]*tcpWriter),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("tcp listen %s: %w", cfg.Listen, err)
+		}
+		t.listener = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// ListenAddr returns the bound listen address (useful with ":0").
+func (t *TCPTransport) ListenAddr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mailbox.put(m)
+	}
+}
+
+func (t *TCPTransport) Addr() Addr { return t.cfg.Addr }
+
+// SetPeers replaces the outgoing address book (used by deployments that
+// learn peer ports after start, e.g. ":0" listeners in tests). Existing
+// writer connections are kept; new destinations become reachable.
+func (t *TCPTransport) SetPeers(peers map[Addr]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers = make(map[Addr]string, len(peers))
+	for addr, hostport := range peers {
+		t.peers[addr] = hostport
+	}
+}
+
+func (t *TCPTransport) Send(to Addr, msgType uint16, payload []byte) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	hostport, ok := t.peers[to]
+	if !ok {
+		t.mu.Unlock()
+		return // unknown destination: drop, as in the in-proc network
+	}
+	w, ok := t.writers[to]
+	if !ok {
+		w = newTCPWriter(hostport, t.cfg.DialTimeout, t.cfg.RedialBackoff)
+		t.writers[to] = w
+	}
+	t.mu.Unlock()
+	w.enqueue(Message{From: t.cfg.Addr, To: to, Type: msgType, Payload: payload})
+}
+
+func (t *TCPTransport) Inbox() <-chan Message { return t.mailbox.out }
+
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	writers := make([]*tcpWriter, 0, len(t.writers))
+	for _, w := range t.writers {
+		writers = append(writers, w)
+	}
+	conns := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	if t.listener != nil {
+		t.listener.Close()
+	}
+	for _, c := range conns {
+		c.Close() // unblocks readLoop goroutines
+	}
+	for _, w := range writers {
+		w.stop()
+	}
+	t.wg.Wait()
+	t.mailbox.close()
+	return nil
+}
+
+// tcpWriter owns the outgoing connection to one peer. It reconnects with
+// backoff and drops messages while the peer is unreachable (asynchronous
+// network semantics: the layer above must tolerate loss).
+type tcpWriter struct {
+	hostport string
+	dialTO   time.Duration
+	backoff  time.Duration
+
+	mu     sync.Mutex
+	queue  []Message
+	notify chan struct{}
+	done   chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newTCPWriter(hostport string, dialTO, backoff time.Duration) *tcpWriter {
+	w := &tcpWriter{
+		hostport: hostport,
+		dialTO:   dialTO,
+		backoff:  backoff,
+		notify:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+func (w *tcpWriter) enqueue(m Message) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.queue = append(w.queue, m)
+	w.mu.Unlock()
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (w *tcpWriter) run() {
+	defer w.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		w.mu.Lock()
+		if len(w.queue) == 0 {
+			w.mu.Unlock()
+			select {
+			case <-w.notify:
+				continue
+			case <-w.done:
+				return
+			}
+		}
+		m := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+
+		if conn == nil {
+			var err error
+			conn, err = net.DialTimeout("tcp", w.hostport, w.dialTO)
+			if err != nil {
+				conn = nil
+				// Drop this message and back off before the next attempt.
+				select {
+				case <-time.After(w.backoff):
+				case <-w.done:
+					return
+				}
+				continue
+			}
+		}
+		if err := writeFrame(conn, m); err != nil {
+			conn.Close()
+			conn = nil
+		}
+	}
+}
+
+func (w *tcpWriter) stop() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.done)
+	w.wg.Wait()
+}
+
+// Frame layout: u32 total length, then u16 type, u16 fromLen, u16 toLen,
+// from, to, payload.
+func writeFrame(conn net.Conn, m Message) error {
+	total := 2 + 2 + 2 + len(m.From) + len(m.To) + len(m.Payload)
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
+	binary.BigEndian.PutUint16(buf[4:6], m.Type)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(m.From)))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(len(m.To)))
+	off := 10
+	off += copy(buf[off:], m.From)
+	off += copy(buf[off:], m.To)
+	copy(buf[off:], m.Payload)
+	_, err := conn.Write(buf)
+	return err
+}
+
+func readFrame(conn net.Conn) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 6 || total > maxFrameBytes {
+		return Message{}, fmt.Errorf("tcp frame length %d out of range", total)
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return Message{}, err
+	}
+	msgType := binary.BigEndian.Uint16(buf[0:2])
+	fromLen := int(binary.BigEndian.Uint16(buf[2:4]))
+	toLen := int(binary.BigEndian.Uint16(buf[4:6]))
+	if 6+fromLen+toLen > int(total) {
+		return Message{}, errors.New("tcp frame header lengths exceed frame")
+	}
+	off := 6
+	from := Addr(buf[off : off+fromLen])
+	off += fromLen
+	to := Addr(buf[off : off+toLen])
+	off += toLen
+	payload := buf[off:]
+	return Message{From: from, To: to, Type: msgType, Payload: payload}, nil
+}

@@ -1,0 +1,143 @@
+// Package wan models the wide-area network of the paper's geo-distributed
+// experiment (Section 6.3): ordering nodes in Oregon, Ireland, Sydney, and
+// São Paulo (plus Virginia as WHEAT's additional replica) and frontends in
+// Canada, Oregon, Virginia, and São Paulo.
+//
+// The latency matrix holds approximate Amazon EC2 inter-region round-trip
+// times; the transport's LatencyModel consumes one-way delays (RTT/2) with a
+// small jitter. Substituting this model for the paper's real EC2 deployment
+// preserves the quantity the experiment measures: consensus latency dominated
+// by WAN round trips on the protocol's critical path.
+package wan
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Region names the EC2 regions used in the paper.
+type Region string
+
+// The regions of the paper's deployment (Section 6.3).
+const (
+	Oregon   Region = "oregon"   // us-west-2
+	Ireland  Region = "ireland"  // eu-west-1
+	Sydney   Region = "sydney"   // ap-southeast-2
+	SaoPaulo Region = "saopaulo" // sa-east-1
+	Virginia Region = "virginia" // us-east-1
+	Canada   Region = "canada"   // ca-central-1
+)
+
+// Regions returns all modelled regions.
+func Regions() []Region {
+	return []Region{Oregon, Ireland, Sydney, SaoPaulo, Virginia, Canada}
+}
+
+// rttMillis holds approximate inter-region round-trip times in milliseconds,
+// from public EC2 latency measurements contemporary with the paper. The map
+// stores each unordered pair once; lookup symmetrizes.
+var rttMillis = map[[2]Region]int{
+	{Oregon, Ireland}:    130,
+	{Oregon, Sydney}:     140,
+	{Oregon, SaoPaulo}:   180,
+	{Oregon, Virginia}:   70,
+	{Oregon, Canada}:     60,
+	{Ireland, Sydney}:    280,
+	{Ireland, SaoPaulo}:  185,
+	{Ireland, Virginia}:  80,
+	{Ireland, Canada}:    70,
+	{Sydney, SaoPaulo}:   310,
+	{Sydney, Virginia}:   200,
+	{Sydney, Canada}:     210,
+	{SaoPaulo, Virginia}: 120,
+	{SaoPaulo, Canada}:   125,
+	{Virginia, Canada}:   15,
+}
+
+// intraRegionRTT is the round-trip time between two endpoints in the same
+// region (same availability zone).
+const intraRegionRTT = 1 * time.Millisecond
+
+// RTT returns the modelled round-trip time between two regions.
+func RTT(a, b Region) time.Duration {
+	if a == b {
+		return intraRegionRTT
+	}
+	if ms, ok := rttMillis[[2]Region{a, b}]; ok {
+		return time.Duration(ms) * time.Millisecond
+	}
+	if ms, ok := rttMillis[[2]Region{b, a}]; ok {
+		return time.Duration(ms) * time.Millisecond
+	}
+	// Unknown pairing: be conservative rather than instantaneous.
+	return 150 * time.Millisecond
+}
+
+// OneWay returns the modelled one-way delay between two regions.
+func OneWay(a, b Region) time.Duration {
+	return RTT(a, b) / 2
+}
+
+// Model is a transport.LatencyModel that maps endpoint addresses to regions.
+// Unmapped addresses are treated as collocated with everything (zero delay),
+// which keeps test-only observers out of the latency path.
+type Model struct {
+	mu        sync.RWMutex
+	placement map[transport.Addr]Region
+	jitterPct int // +/- percent uniform jitter applied to each delay
+	rng       *rand.Rand
+}
+
+// NewModel creates a WAN latency model with the given placement. A jitter of
+// jitterPct percent (e.g. 5) is applied uniformly at random to each delay;
+// zero disables jitter and makes the model deterministic.
+func NewModel(placement map[transport.Addr]Region, jitterPct int) *Model {
+	copied := make(map[transport.Addr]Region, len(placement))
+	for addr, region := range placement {
+		copied[addr] = region
+	}
+	return &Model{
+		placement: copied,
+		jitterPct: jitterPct,
+		rng:       rand.New(rand.NewSource(42)),
+	}
+}
+
+var _ transport.LatencyModel = (*Model)(nil)
+
+// Place assigns (or reassigns) an endpoint to a region.
+func (m *Model) Place(addr transport.Addr, region Region) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.placement[addr] = region
+}
+
+// RegionOf returns the region an endpoint is placed in.
+func (m *Model) RegionOf(addr transport.Addr) (Region, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.placement[addr]
+	return r, ok
+}
+
+// Delay implements transport.LatencyModel.
+func (m *Model) Delay(from, to transport.Addr) time.Duration {
+	m.mu.RLock()
+	ra, okA := m.placement[from]
+	rb, okB := m.placement[to]
+	m.mu.RUnlock()
+	if !okA || !okB {
+		return 0
+	}
+	base := OneWay(ra, rb)
+	if m.jitterPct <= 0 {
+		return base
+	}
+	m.mu.Lock()
+	f := 1 + (m.rng.Float64()*2-1)*float64(m.jitterPct)/100
+	m.mu.Unlock()
+	return time.Duration(float64(base) * f)
+}

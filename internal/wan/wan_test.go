@@ -1,0 +1,119 @@
+package wan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestRTTSymmetry(t *testing.T) {
+	regions := Regions()
+	for _, a := range regions {
+		for _, b := range regions {
+			if RTT(a, b) != RTT(b, a) {
+				t.Fatalf("RTT(%s,%s) != RTT(%s,%s)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestRTTAllPairsDefined(t *testing.T) {
+	regions := Regions()
+	for i, a := range regions {
+		for _, b := range regions[i+1:] {
+			rtt := RTT(a, b)
+			if rtt <= 0 {
+				t.Fatalf("RTT(%s,%s) = %v, want > 0", a, b, rtt)
+			}
+			if rtt >= 150*time.Millisecond && rtt != expectedRTT(a, b) {
+				// Hitting the unknown-pair fallback would mean a missing
+				// matrix entry.
+				t.Fatalf("RTT(%s,%s) fell back to default", a, b)
+			}
+		}
+	}
+}
+
+func expectedRTT(a, b Region) time.Duration {
+	if ms, ok := rttMillis[[2]Region{a, b}]; ok {
+		return time.Duration(ms) * time.Millisecond
+	}
+	ms := rttMillis[[2]Region{b, a}]
+	return time.Duration(ms) * time.Millisecond
+}
+
+func TestIntraRegionRTT(t *testing.T) {
+	if got := RTT(Oregon, Oregon); got != intraRegionRTT {
+		t.Fatalf("intra-region RTT = %v, want %v", got, intraRegionRTT)
+	}
+}
+
+func TestOneWayIsHalfRTT(t *testing.T) {
+	if got, want := OneWay(Oregon, Ireland), RTT(Oregon, Ireland)/2; got != want {
+		t.Fatalf("OneWay = %v, want %v", got, want)
+	}
+}
+
+func TestModelDelay(t *testing.T) {
+	m := NewModel(map[transport.Addr]Region{
+		"n0": Oregon,
+		"n1": Ireland,
+	}, 0)
+	got := m.Delay("n0", "n1")
+	if want := OneWay(Oregon, Ireland); got != want {
+		t.Fatalf("Delay = %v, want %v", got, want)
+	}
+	// Unmapped endpoints never add latency.
+	if d := m.Delay("n0", "observer"); d != 0 {
+		t.Fatalf("unmapped endpoint delay = %v, want 0", d)
+	}
+}
+
+func TestModelPlaceAndRegionOf(t *testing.T) {
+	m := NewModel(nil, 0)
+	if _, ok := m.RegionOf("x"); ok {
+		t.Fatal("unplaced endpoint has a region")
+	}
+	m.Place("x", Sydney)
+	r, ok := m.RegionOf("x")
+	if !ok || r != Sydney {
+		t.Fatalf("RegionOf = %v,%v; want sydney,true", r, ok)
+	}
+}
+
+func TestModelJitterBounds(t *testing.T) {
+	m := NewModel(map[transport.Addr]Region{"a": Oregon, "b": Sydney}, 10)
+	base := OneWay(Oregon, Sydney)
+	lo := time.Duration(float64(base) * 0.89)
+	hi := time.Duration(float64(base) * 1.11)
+	for i := 0; i < 200; i++ {
+		d := m.Delay("a", "b")
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v,%v]", d, lo, hi)
+		}
+	}
+}
+
+func TestModelCopiesPlacement(t *testing.T) {
+	placement := map[transport.Addr]Region{"a": Oregon}
+	m := NewModel(placement, 0)
+	placement["a"] = Sydney // mutate the caller's map
+	r, _ := m.RegionOf("a")
+	if r != Oregon {
+		t.Fatal("model aliased the caller's placement map")
+	}
+}
+
+func TestPaperPlacementSanity(t *testing.T) {
+	// In the paper, Virginia frontends (collocated with a V_max replica)
+	// observe lower latency than the Sao Paulo frontend (V_min). The matrix
+	// must be consistent with that: Virginia is closer to the replica
+	// majority (Oregon/Virginia/Ireland) than Sao Paulo is.
+	viaVirginia := RTT(Virginia, Oregon) + RTT(Virginia, Ireland)
+	viaSaoPaulo := RTT(SaoPaulo, Oregon) + RTT(SaoPaulo, Ireland)
+	if viaVirginia >= viaSaoPaulo {
+		t.Fatalf("matrix inconsistent with the paper: virginia %v >= saopaulo %v",
+			viaVirginia, viaSaoPaulo)
+	}
+}
