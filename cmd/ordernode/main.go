@@ -32,6 +32,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -51,6 +52,7 @@ func run() error {
 	blockTimeout := flag.Duration("block-timeout", 500*time.Millisecond, "partial-block cut timeout (0 disables)")
 	batch := flag.Int("batch", 400, "consensus batch limit")
 	workers := flag.Int("workers", 16, "signing workers")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + blocks + checkpoints); empty runs in-memory")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
@@ -99,6 +101,15 @@ func run() error {
 	}
 	defer conn.Close()
 
+	var store *storage.NodeStorage
+	if *dataDir != "" {
+		store, err = storage.Open(*dataDir, storage.Options{})
+		if err != nil {
+			return fmt.Errorf("opening data dir: %w", err)
+		}
+		defer store.Close()
+	}
+
 	node, err := core.NewNode(core.NodeConfig{
 		Consensus: consensus.Config{
 			SelfID:    consensus.ReplicaID(*id),
@@ -110,14 +121,19 @@ func run() error {
 		BlockTimeout:   *blockTimeout,
 		SigningWorkers: *workers,
 		Key:            key,
+		Storage:        store,
 	}, conn)
 	if err != nil {
 		return err
 	}
 	node.Start()
 	defer node.Stop()
-	fmt.Printf("ordering node %d listening on %s (%d replicas, block size %d)\n",
-		*id, conn.ListenAddr(), len(replicas), *block)
+	durability := "in-memory"
+	if store != nil {
+		durability = "durable at " + store.Dir()
+	}
+	fmt.Printf("ordering node %d listening on %s (%d replicas, block size %d, %s)\n",
+		*id, conn.ListenAddr(), len(replicas), *block, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

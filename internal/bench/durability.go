@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// WALBenchConfig parameterizes the group-commit append benchmark.
+type WALBenchConfig struct {
+	// Dir is where the WAL lives (a fresh temp directory per run).
+	Dir string
+	// Appenders is the number of concurrent appending goroutines; group
+	// commit amortizes one fsync across all of them, so rate scales with
+	// concurrency until the disk saturates.
+	Appenders int
+	// AppendsPerAppender is how many records each goroutine writes.
+	AppendsPerAppender int
+	// RecordSize is the payload size per record (a decision-log record is
+	// roughly batch-size x envelope-size).
+	RecordSize int
+	// NoSync measures the raw buffered write path for comparison.
+	NoSync bool
+}
+
+func (c WALBenchConfig) withDefaults() WALBenchConfig {
+	if c.Appenders <= 0 {
+		c.Appenders = 32
+	}
+	if c.AppendsPerAppender <= 0 {
+		c.AppendsPerAppender = 64
+	}
+	if c.RecordSize <= 0 {
+		c.RecordSize = 512
+	}
+	return c
+}
+
+// WALBenchRow is one measured WAL configuration.
+type WALBenchRow struct {
+	Appenders     int
+	RecordSize    int
+	AppendsPerSec float64
+	Synced        bool
+}
+
+// RunWALBench measures durable appends per second through the group-commit
+// writer: every Append blocks until its record is fsynced, and the rate
+// shows how many such calls the log absorbs when they arrive concurrently.
+func RunWALBench(cfg WALBenchConfig) (WALBenchRow, error) {
+	cfg = cfg.withDefaults()
+	wal, err := storage.OpenWAL(storage.WALConfig{Dir: cfg.Dir, NoSync: cfg.NoSync})
+	if err != nil {
+		return WALBenchRow{}, err
+	}
+	defer wal.Close()
+
+	rec := make([]byte, cfg.RecordSize)
+	var failures atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.Appenders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.AppendsPerAppender; i++ {
+				if _, err := wal.Append(rec); err != nil {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failures.Load(); n > 0 {
+		return WALBenchRow{}, fmt.Errorf("bench: %d appenders failed", n)
+	}
+	total := cfg.Appenders * cfg.AppendsPerAppender
+	return WALBenchRow{
+		Appenders:     cfg.Appenders,
+		RecordSize:    cfg.RecordSize,
+		AppendsPerSec: float64(total) / elapsed.Seconds(),
+		Synced:        !cfg.NoSync,
+	}, nil
+}
+
+// RunDurabilityComparison measures the same Figure-7 style cell twice,
+// in-memory and durable, quantifying what the fsync discipline costs (the
+// number the paper's evaluation silently excludes by running tmpfs-free
+// replicas).
+func RunDurabilityComparison(cell Fig7Cell, dataDir string) (memory, durable Fig7Row, err error) {
+	cell.DataDir = ""
+	memory, err = RunFigure7Cell(cell)
+	if err != nil {
+		return memory, durable, err
+	}
+	cell.DataDir = dataDir
+	durable, err = RunFigure7Cell(cell)
+	return memory, durable, err
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWALGroupCommitRate is the acceptance floor for the durable append
+// path: concurrent fsynced appends must sustain at least 1k/s (group
+// commit amortizes each fsync across every append queued behind it, so
+// even slow disks clear this by a wide margin).
+func TestWALGroupCommitRate(t *testing.T) {
+	row, err := RunWALBench(WALBenchConfig{
+		Dir:                t.TempDir(),
+		Appenders:          32,
+		AppendsPerAppender: 64,
+		RecordSize:         512,
+	})
+	if err != nil {
+		t.Fatalf("RunWALBench: %v", err)
+	}
+	t.Logf("group-commit WAL: %.0f appends/s (%d appenders, %dB records)",
+		row.AppendsPerSec, row.Appenders, row.RecordSize)
+	if row.AppendsPerSec < 1000 {
+		t.Fatalf("group-commit WAL sustained %.0f appends/s, want >= 1000", row.AppendsPerSec)
+	}
+}
+
+func TestRunDurableFigure7CellSmoke(t *testing.T) {
+	cell := Fig7Cell{
+		Nodes:     4,
+		BlockSize: 10,
+		EnvSize:   40,
+		Receivers: 1,
+		Clients:   4,
+		Window:    200,
+		Warmup:    300 * time.Millisecond,
+		Measure:   700 * time.Millisecond,
+		DataDir:   t.TempDir(),
+	}
+	row, err := RunFigure7Cell(cell)
+	if err != nil {
+		t.Fatalf("RunFigure7Cell (durable): %v", err)
+	}
+	if row.TxPerSec <= 0 || row.BlockPerSec <= 0 {
+		t.Fatalf("no throughput with durability on: %+v", row)
+	}
+	t.Logf("durable cell: %.0f tx/s, %.0f blocks/s", row.TxPerSec, row.BlockPerSec)
+}

@@ -99,6 +99,10 @@ type Fig7Cell struct {
 	// DisableSigning measures the raw ordering rate (Equation 1's
 	// TP_bftsmart term).
 	DisableSigning bool
+	// DataDir, when non-empty, runs every node with durable storage
+	// rooted there, so the measured throughput includes the WAL fsync
+	// cost a production deployment pays.
+	DataDir string
 }
 
 func (c Fig7Cell) withDefaults() Fig7Cell {
@@ -152,6 +156,7 @@ func RunFigure7Cell(cell Fig7Cell) (Fig7Row, error) {
 		RequestTimeout:     5 * time.Minute, // saturation must not trigger leader changes
 		CheckpointInterval: 64,
 		Network:            network,
+		DataDir:            cell.DataDir,
 	})
 	if err != nil {
 		return Fig7Row{}, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/transport"
@@ -75,6 +76,16 @@ func NewClient(conn transport.Conn, cfg ClientConfig) (*Client, error) {
 		pending: make(map[uint64]*clientCall),
 		done:    make(chan struct{}),
 	}
+	// Sequence numbers start at a per-session base (wall-clock nanos) so a
+	// client that restarts under the same identity never reuses sequences
+	// its previous incarnation already had executed — with durable replicas
+	// the old dedup state survives crashes, and seqs restarting at 1 would
+	// be swallowed as duplicates. The replica-side dedup floor jumps over
+	// session-sized gaps (see clientDedup.compact). Caveat: this relies on
+	// the client host's clock not stepping backwards across restarts; a
+	// client restarted under an earlier clock (VM snapshot restore) must
+	// take a new identity.
+	c.nextSeq.Store(uint64(time.Now().UnixNano()))
 	c.wg.Add(1)
 	go c.receiveLoop()
 	return c, nil

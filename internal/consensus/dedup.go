@@ -41,10 +41,42 @@ func (d *clientDedup) unmark(seq uint64) {
 	delete(d.sparse, seq)
 }
 
+// sessionGap is the sequence gap beyond which compaction concludes the
+// client started a new session (clients base each session's sequences on
+// wall-clock nanos). A gap this large can never fill: the request pool
+// holds at most maxPendingRequests outstanding sequences per client.
+const sessionGap = maxPendingRequests
+
+// compactHeadroom is how far below a new session's lowest executed
+// sequence the floor parks. A same-session request displaced by a leader
+// change can execute after later sequences of its session, so jumping the
+// floor to lowest-1 could swallow it; the in-flight window is bounded by
+// the proposal pipeline (instanceWindow/2 batches), which this headroom
+// comfortably exceeds.
+const compactHeadroom = 1 << 15
+
 // compact advances the floor over contiguous executed sequences. Callers
 // must ensure no tentative execution is outstanding (rollback cannot cross
-// the floor).
+// the floor). Two gap rules keep the floor moving across client sessions:
+// a stuck floor more than sessionGap below the sparse set belongs to a
+// previous session and jumps to compactHeadroom below the new session's
+// lowest sequence; once the client's progress since then exceeds the
+// headroom, nothing in flight can still land in the remaining hole and it
+// closes.
 func (d *clientDedup) compact() {
+	if len(d.sparse) > 0 && !d.sparse[d.floor+1] {
+		lowest := uint64(0)
+		for s := range d.sparse {
+			if lowest == 0 || s < lowest {
+				lowest = s
+			}
+		}
+		if lowest > d.floor+sessionGap {
+			d.floor = lowest - compactHeadroom
+		} else if lowest > d.floor+1 && len(d.sparse) >= compactHeadroom {
+			d.floor = lowest - 1
+		}
+	}
 	for d.sparse[d.floor+1] {
 		d.floor++
 		delete(d.sparse, d.floor)

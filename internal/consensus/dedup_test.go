@@ -112,3 +112,37 @@ func TestClientDedupProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDedupSessionJumpKeepsStragglerHeadroom(t *testing.T) {
+	d := newClientDedup()
+	base := uint64(1_700_000_000_000_000_000) // wall-clock-nanos session base
+	// Out-of-order execution across a leader change: base+2 lands first.
+	d.mark(base + 2)
+	d.compact()
+	if d.floor >= base+1 {
+		t.Fatalf("floor %d jumped over in-flight seq %d", d.floor, base+1)
+	}
+	if d.floor <= sessionGap {
+		t.Fatalf("floor %d did not jump over the session gap", d.floor)
+	}
+	// The displaced straggler still executes exactly once.
+	if d.contains(base + 1) {
+		t.Fatal("straggler swallowed as duplicate")
+	}
+	d.mark(base + 1)
+	if !d.contains(base+1) || !d.contains(base+2) {
+		t.Fatal("marked sequences not deduplicated")
+	}
+	// Once the session's progress exceeds the headroom, the hole below the
+	// session base closes and the sparse set compacts into the floor.
+	for i := uint64(3); i <= compactHeadroom+2; i++ {
+		d.mark(base + i)
+	}
+	d.compact()
+	if len(d.sparse) != 0 {
+		t.Fatalf("sparse set not compacted: %d entries left (floor %d)", len(d.sparse), d.floor)
+	}
+	if !d.contains(base+1) || d.contains(base+compactHeadroom+3) {
+		t.Fatal("floor compaction lost dedup state")
+	}
+}

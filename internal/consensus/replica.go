@@ -188,9 +188,20 @@ type Replica struct {
 	checkpointSeq  int64
 	checkpointSnap []byte
 
+	// Durable storage (optional): decisions are fsynced before execution
+	// and checkpoints persisted as taken. durableSeq is the newest seq
+	// covered on disk (by log record or checkpoint).
+	durable      Durability
+	durableSeq   int64
+	recoverState *DurableState
+
 	// Synchronization phase (leader change).
 	syncInProgress bool
 	syncStarted    time.Time
+	// peerRegency tracks the highest regency observed per peer; f+1 peers
+	// beyond ours prove the group moved on (a restarted replica catches
+	// up to the current view this way).
+	peerRegency    map[ReplicaID]int32
 	stopVotes      map[int32]map[ReplicaID]struct{}
 	stopSent       map[int32]bool
 	stopData       map[ReplicaID]*stopDataMsg
@@ -260,6 +271,8 @@ func NewReplica(cfg Config, app Application, conn transport.Conn, opts ...Option
 		executed:      make(map[string]*clientDedup),
 		decidedLog:    make(map[int64][][]byte),
 		checkpointSeq: -1,
+		durableSeq:    -1,
+		peerRegency:   make(map[ReplicaID]int32),
 		stopVotes:     make(map[int32]map[ReplicaID]struct{}),
 		stopSent:      make(map[int32]bool),
 		stopData:      make(map[ReplicaID]*stopDataMsg),
@@ -271,6 +284,13 @@ func NewReplica(cfg Config, app Application, conn transport.Conn, opts ...Option
 	r.statMembers.Store(int32(len(membership)))
 	for _, opt := range opts {
 		opt(r)
+	}
+	if r.recoverState != nil {
+		st := r.recoverState
+		r.recoverState = nil
+		if err := r.restoreDurable(st); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }
@@ -659,6 +679,7 @@ func (r *Replica) propose(seq int64, batch [][]byte) {
 // ---- Normal-case consensus -------------------------------------------
 
 func (r *Replica) onPropose(from ReplicaID, m *proposeMsg) {
+	r.noteRegency(from, m.Regency)
 	if r.syncInProgress || m.Regency != r.regency {
 		return
 	}
@@ -729,6 +750,7 @@ func (r *Replica) instance(seq int64) *instance {
 }
 
 func (r *Replica) onVote(from ReplicaID, m *voteMsg, isWrite bool) {
+	r.noteRegency(from, m.Regency)
 	if m.Regency != r.regency || r.syncInProgress {
 		return
 	}
@@ -862,6 +884,12 @@ func (r *Replica) deliverContiguous() {
 // execute delivers one instance's batch to the application, with
 // deduplication and reply generation.
 func (r *Replica) execute(inst *instance) {
+	if inst.decided {
+		// Write-ahead: the decision must be on disk before its effects
+		// (sealed blocks, dissemination) become visible. Tentative
+		// executions are logged later, once they turn stable.
+		r.logDecision(inst.seq, inst.batch)
+	}
 	ops := make([][]byte, 0, len(inst.batch))
 	var replies []*replyMsg
 	for _, raw := range inst.batch {
@@ -922,6 +950,7 @@ func (r *Replica) advanceStable() {
 		if !ok || !inst.decided || !inst.executed || seq > r.lastDelivered {
 			break
 		}
+		r.logDecision(seq, inst.batch)
 		r.decidedLog[seq] = inst.batch
 		r.lastStable = seq
 	}
@@ -942,6 +971,7 @@ func (r *Replica) checkpointAt(seq int64) {
 	}
 	r.checkpointSeq = seq
 	r.checkpointSnap = r.wrapSnapshot()
+	r.logCheckpoint(seq, r.checkpointSnap)
 	for s := range r.decidedLog {
 		if s <= seq {
 			delete(r.decidedLog, s)

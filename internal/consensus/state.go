@@ -156,6 +156,9 @@ func (r *Replica) applyState(m *stateReplyMsg) {
 		r.lastStable = m.CheckpointSeq
 		r.checkpointSeq = m.CheckpointSeq
 		r.checkpointSnap = m.Snapshot
+		// A checkpoint jump is a durability event: persist it so a crash
+		// right after state transfer does not fall back behind the jump.
+		r.logCheckpoint(m.CheckpointSeq, m.Snapshot)
 		r.statDelivered.Store(m.CheckpointSeq)
 		// Protocol state below the snapshot is obsolete.
 		for seq := range r.instances {

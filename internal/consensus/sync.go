@@ -26,6 +26,66 @@ func (r *Replica) triggerLeaderChange(target int32) {
 	r.broadcast(msgStop, sm.marshal())
 }
 
+// noteRegency records that a peer sent normal-case traffic for a regency
+// beyond ours. A replica that rejoins after a crash (durable restart) may
+// find the group several leader changes ahead; once f+1 distinct peers —
+// at least one of them correct — demonstrate a higher regency, it adopts
+// the highest regency that f+1 peers support and rejoins the current view
+// (the PBFT view catch-up rule). No STOPDATA/SYNC round is needed: the
+// group already completed it, and ordinary gap detection plus state
+// transfer recover whatever was decided meanwhile.
+func (r *Replica) noteRegency(from ReplicaID, regency int32) {
+	if regency <= r.regency || from == r.cfg.SelfID {
+		return
+	}
+	if r.peerRegency[from] >= regency {
+		return
+	}
+	r.peerRegency[from] = regency
+
+	ahead := make([]int32, 0, len(r.peerRegency))
+	for _, reg := range r.peerRegency {
+		if reg > r.regency {
+			ahead = append(ahead, reg)
+		}
+	}
+	if len(ahead) < r.qt.f+1 {
+		return
+	}
+	sort.Slice(ahead, func(i, j int) bool { return ahead[i] > ahead[j] })
+	target := ahead[r.qt.f] // highest regency f+1 peers are at or beyond
+	if target <= r.regency {
+		return
+	}
+	r.adoptRegency(target)
+}
+
+// adoptRegency jumps straight into an already-installed view: the group
+// finished its synchronization phase without us, so there is no STOPDATA
+// to send — just follow the view's leader and let requests re-propose.
+func (r *Replica) adoptRegency(target int32) {
+	r.regency = target
+	r.statRegency.Store(target)
+	r.statLC.Add(1)
+	r.syncInProgress = false
+	r.stopData = make(map[ReplicaID]*stopDataMsg)
+	for reg := range r.stopVotes {
+		if reg <= target {
+			delete(r.stopVotes, reg)
+		}
+	}
+	for id, reg := range r.peerRegency {
+		if reg <= target {
+			delete(r.peerRegency, id)
+		}
+	}
+	now := time.Now()
+	for _, p := range r.pending {
+		p.inFlight = false
+		p.arrived = now
+	}
+}
+
 func (r *Replica) onStop(from ReplicaID, m *stopMsg) {
 	if m.NextRegency <= r.regency {
 		return

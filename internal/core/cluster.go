@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
+	"strconv"
 	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -43,6 +46,10 @@ type ClusterConfig struct {
 	// Network hosts the cluster; nil creates a zero-latency in-proc
 	// network (an idealized LAN).
 	Network *transport.InProcNetwork
+	// DataDir, when non-empty, makes every node durable: node i keeps its
+	// WAL, block store, and checkpoints under DataDir/node-<i>, and
+	// RestartNode can crash-recover it from there.
+	DataDir string
 }
 
 // Cluster is a running in-process ordering service.
@@ -56,6 +63,8 @@ type Cluster struct {
 
 	cfg      ClusterConfig
 	replicas []consensus.ReplicaID
+	keys     []*cryptoutil.KeyPair
+	storages []*storage.NodeStorage
 	ownsNet  bool
 }
 
@@ -83,42 +92,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		replicas: replicas,
 		ownsNet:  ownsNet,
 	}
-	for _, id := range replicas {
+	c.keys = make([]*cryptoutil.KeyPair, cfg.Nodes)
+	c.storages = make([]*storage.NodeStorage, cfg.Nodes)
+	for i, id := range replicas {
 		key, err := cryptoutil.GenerateKeyPair()
 		if err != nil {
 			c.Stop()
 			return nil, fmt.Errorf("cluster: %w", err)
 		}
+		c.keys[i] = key
 		registry.Register(string(id.Addr()), key.Public())
-		conn, err := network.Join(id.Addr())
+		node, err := c.startNode(i)
 		if err != nil {
 			c.Stop()
-			return nil, fmt.Errorf("cluster: %w", err)
-		}
-		node, err := NewNode(NodeConfig{
-			Consensus: consensus.Config{
-				SelfID:             id,
-				Replicas:           replicas,
-				F:                  cfg.F,
-				Weights:            cfg.Weights,
-				BatchSize:          cfg.BatchSize,
-				BatchTimeout:       cfg.BatchTimeout,
-				RequestTimeout:     cfg.RequestTimeout,
-				CheckpointInterval: cfg.CheckpointInterval,
-				Tentative:          cfg.Tentative,
-				Key:                key,
-				Registry:           registry,
-			},
-			BlockSize:      cfg.BlockSize,
-			MaxBlockBytes:  cfg.MaxBlockBytes,
-			BlockTimeout:   cfg.BlockTimeout,
-			SigningWorkers: cfg.SigningWorkers,
-			DisableSigning: cfg.DisableSigning,
-			Key:            key,
-		}, conn)
-		if err != nil {
-			c.Stop()
-			return nil, fmt.Errorf("cluster: node %d: %w", id, err)
+			return nil, err
 		}
 		c.Nodes = append(c.Nodes, node)
 	}
@@ -126,6 +113,92 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		node.Start()
 	}
 	return c, nil
+}
+
+// startNode joins node i to the network (opening its durable storage when
+// the cluster has a data directory) and constructs it. The caller starts
+// it.
+func (c *Cluster) startNode(i int) (*OrderingNode, error) {
+	id := c.replicas[i]
+	var store *storage.NodeStorage
+	if c.cfg.DataDir != "" {
+		var err error
+		store, err = storage.Open(c.NodeDataDir(i), storage.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d storage: %w", id, err)
+		}
+		c.storages[i] = store
+	}
+	conn, err := c.Network.Join(id.Addr())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	node, err := NewNode(NodeConfig{
+		Consensus: consensus.Config{
+			SelfID:             id,
+			Replicas:           c.replicas,
+			F:                  c.cfg.F,
+			Weights:            c.cfg.Weights,
+			BatchSize:          c.cfg.BatchSize,
+			BatchTimeout:       c.cfg.BatchTimeout,
+			RequestTimeout:     c.cfg.RequestTimeout,
+			CheckpointInterval: c.cfg.CheckpointInterval,
+			Tentative:          c.cfg.Tentative,
+			Key:                c.keys[i],
+			Registry:           c.Registry,
+		},
+		BlockSize:      c.cfg.BlockSize,
+		MaxBlockBytes:  c.cfg.MaxBlockBytes,
+		BlockTimeout:   c.cfg.BlockTimeout,
+		SigningWorkers: c.cfg.SigningWorkers,
+		DisableSigning: c.cfg.DisableSigning,
+		Key:            c.keys[i],
+		Storage:        store,
+	}, conn)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
+	}
+	return node, nil
+}
+
+// NodeDataDir returns node i's storage root (meaningful only with a
+// DataDir-configured cluster).
+func (c *Cluster) NodeDataDir(i int) string {
+	return filepath.Join(c.cfg.DataDir, "node-"+strconv.Itoa(i))
+}
+
+// KillNode crashes node i: it is stopped, detached from the network, and
+// its storage is closed, leaving only the on-disk state. A no-op for an
+// already-killed node.
+func (c *Cluster) KillNode(i int) {
+	if c.Nodes[i] == nil {
+		return
+	}
+	c.Nodes[i].Stop()
+	c.Network.Disconnect(c.replicas[i].Addr())
+	c.Nodes[i] = nil
+	if c.storages[i] != nil {
+		c.storages[i].Close()
+		c.storages[i] = nil
+	}
+}
+
+// RestartNode recovers a killed node from its data directory and rejoins
+// it to the cluster. Requires a DataDir-configured cluster.
+func (c *Cluster) RestartNode(i int) error {
+	if c.cfg.DataDir == "" {
+		return fmt.Errorf("cluster: restart needs a data directory")
+	}
+	if c.Nodes[i] != nil {
+		return fmt.Errorf("cluster: node %d is still running", c.replicas[i])
+	}
+	node, err := c.startNode(i)
+	if err != nil {
+		return err
+	}
+	c.Nodes[i] = node
+	node.Start()
+	return nil
 }
 
 // Replicas returns the cluster membership.
@@ -157,11 +230,18 @@ func (c *Cluster) Leader() *OrderingNode {
 	return c.Nodes[int(reg)%len(c.Nodes)]
 }
 
-// Stop shuts down all nodes (and the network if the cluster created it).
+// Stop shuts down all nodes, closes their storage, and closes the network
+// if the cluster created it.
 func (c *Cluster) Stop() {
 	for _, node := range c.Nodes {
 		if node != nil {
 			node.Stop()
+		}
+	}
+	for i, store := range c.storages {
+		if store != nil {
+			store.Close()
+			c.storages[i] = nil
 		}
 	}
 	if c.ownsNet && c.Network != nil {

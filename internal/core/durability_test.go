@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/fabric"
+	"repro/internal/storage"
+)
+
+// waitLedgerHeight polls a durable node's ledger until it reaches height.
+func waitLedgerHeight(t *testing.T, n *OrderingNode, channel string, height uint64, within time.Duration) *fabric.Ledger {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if led := n.Ledger(channel); led != nil && led.Height() >= height {
+			return led
+		}
+		if time.Now().After(deadline) {
+			var got uint64
+			if led := n.Ledger(channel); led != nil {
+				got = led.Height()
+			}
+			t.Fatalf("node %d ledger stuck at height %d, want %d", n.ID(), got, height)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDurableClusterRecoversAcrossFullRestart is the acceptance scenario:
+// order N blocks into data directories, stop the whole cluster, reopen the
+// data directory directly and check the durable chain, then restart a full
+// cluster from the same directories and keep ordering on top of the
+// recovered chain.
+func TestDurableClusterRecoversAcrossFullRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 5, DataDir: dataDir})
+	fe := testFrontend(t, c, "frontend-a", false)
+	stream := fe.Deliver("ch1")
+
+	const envs = 20
+	for i := 0; i < envs; i++ {
+		if err := fe.Broadcast(mkEnvelope("ch1", i, 64)); err != nil {
+			t.Fatalf("broadcast: %v", err)
+		}
+	}
+	collectBlocks(t, stream, envs, 10*time.Second)
+	for i := range c.Nodes {
+		waitLedgerHeight(t, c.Nodes[i], "ch1", 4, 5*time.Second)
+	}
+	fe.Close()
+	c.Stop() // hard stop: only the data directories survive
+
+	// Cold read of node 0's directory: the chain must be fully there.
+	store, err := storage.Open(c.NodeDataDir(0), storage.Options{})
+	if err != nil {
+		t.Fatalf("reopening node 0 storage: %v", err)
+	}
+	rec := store.Recovered()
+	chain := rec.Blocks["ch1"]
+	if len(chain) != 4 {
+		t.Fatalf("recovered %d blocks, want 4", len(chain))
+	}
+	led := fabric.NewLedger()
+	for _, b := range chain {
+		if err := led.Append(b); err != nil {
+			t.Fatalf("rebuilding ledger: %v", err)
+		}
+	}
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("recovered chain does not verify: %v", err)
+	}
+	if led.Height() != 4 {
+		t.Fatalf("recovered height %d, want 4", led.Height())
+	}
+	store.Close()
+
+	// Restart the whole cluster from the same directories and extend the
+	// chain: recovery must hand every node the exact (height, prevHash)
+	// frontier or the new blocks would break the hash chain.
+	c2 := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 5, DataDir: dataDir})
+	fe2 := testFrontend(t, c2, "frontend-b", false)
+	stream2 := fe2.Deliver("ch1")
+	for i := envs; i < envs+5; i++ {
+		if err := fe2.Broadcast(mkEnvelope("ch1", i, 64)); err != nil {
+			t.Fatalf("broadcast after restart: %v", err)
+		}
+	}
+	fresh := collectBlocks(t, stream2, 5, 10*time.Second)
+	if fresh[0].Header.Number != 4 {
+		t.Fatalf("first block after restart has number %d, want 4", fresh[0].Header.Number)
+	}
+	led2 := waitLedgerHeight(t, c2.Nodes[0], "ch1", 5, 5*time.Second)
+	if err := led2.VerifyChain(); err != nil {
+		t.Fatalf("extended chain does not verify: %v", err)
+	}
+}
+
+// TestKilledNodeRestartsFromDataDirAndCatchesUp kills one replica, keeps
+// the cluster ordering without it, restarts it from its data directory,
+// and checks it recovers its durable height and then catches back up to
+// the cluster's full chain.
+func TestKilledNodeRestartsFromDataDirAndCatchesUp(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2, DataDir: t.TempDir()})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch1")
+
+	submit := func(from, count int) {
+		t.Helper()
+		for i := from; i < from+count; i++ {
+			if err := fe.Broadcast(mkEnvelope("ch1", i, 32)); err != nil {
+				t.Fatalf("broadcast %d: %v", i, err)
+			}
+		}
+		collectBlocks(t, stream, count, 10*time.Second)
+	}
+
+	submit(0, 6) // blocks 0..2
+	waitLedgerHeight(t, c.Nodes[3], "ch1", 3, 5*time.Second)
+	c.KillNode(3)
+
+	submit(6, 6) // blocks 3..5, ordered by the surviving n-f nodes
+
+	if err := c.RestartNode(3); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	// Recovery alone must bring back the pre-crash height...
+	led := waitLedgerHeight(t, c.Nodes[3], "ch1", 3, 5*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("recovered chain: %v", err)
+	}
+	// ...and fresh traffic makes the node state-transfer the missed
+	// decisions and extend its durable chain to the cluster's height.
+	submit(12, 6) // blocks 6..8
+	led = waitLedgerHeight(t, c.Nodes[3], "ch1", 9, 15*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("caught-up chain: %v", err)
+	}
+}
+
+// TestRestartedNodeCatchesUpAcrossLeaderChange crashes a node, forces a
+// leader change while it is down (the restarted replica comes back in a
+// stale regency), and checks the f+1 regency catch-up rule brings it back
+// into the current view and up to the full chain.
+func TestRestartedNodeCatchesUpAcrossLeaderChange(t *testing.T) {
+	c := testCluster(t, ClusterConfig{
+		Nodes:          4,
+		BlockSize:      2,
+		DataDir:        t.TempDir(),
+		RequestTimeout: time.Second, // fast leader change
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := fe.Deliver("ch1")
+
+	submit := func(from, count int) {
+		t.Helper()
+		for i := from; i < from+count; i++ {
+			if err := fe.Broadcast(mkEnvelope("ch1", i, 32)); err != nil {
+				t.Fatalf("broadcast %d: %v", i, err)
+			}
+		}
+		collectBlocks(t, stream, count, 20*time.Second)
+	}
+
+	submit(0, 6) // blocks 0..2
+	waitLedgerHeight(t, c.Nodes[3], "ch1", 3, 5*time.Second)
+	c.KillNode(3)
+
+	// Depose the leader while node 3 is down: the survivors move to a
+	// newer regency that node 3 has never heard of.
+	c.Nodes[0].Replica().SetBehavior(consensus.Behavior{Equivocate: true})
+	submit(6, 6) // blocks 3..5, ordered after the leader change
+	c.Nodes[0].Replica().SetBehavior(consensus.Behavior{})
+	if reg := c.Nodes[1].Replica().Stats().Regency; reg < 1 {
+		t.Fatalf("no leader change happened (regency %d)", reg)
+	}
+
+	if err := c.RestartNode(3); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	submit(12, 6) // blocks 6..8
+	led := waitLedgerHeight(t, c.Nodes[3], "ch1", 9, 20*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("caught-up chain: %v", err)
+	}
+	if reg := c.Nodes[3].Replica().Stats().Regency; reg < 1 {
+		t.Fatalf("restarted node never adopted the current regency (%d)", reg)
+	}
+}

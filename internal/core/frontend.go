@@ -324,6 +324,13 @@ func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
 		}
 	}
 	ch.ready[number] = released
+	// A frontend subscribing mid-chain (a restarted durable cluster keeps
+	// numbering where it left off) would wait forever for blocks sealed
+	// before it registered: fast-forward the cursor past blocks that can
+	// no longer release.
+	if number > ch.nextDeliver {
+		ch.maybeFastForward(number, len(f.cfg.Replicas), f.released)
+	}
 	// Release the contiguous prefix in block-number order.
 	var deliveries []*fabric.Block
 	for {
@@ -350,6 +357,57 @@ func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
 			q.put(b)
 		}
 	}
+}
+
+// maybeFastForward advances the delivery cursor after block `number`
+// released. Nodes disseminate per channel in block order over FIFO links,
+// so every node that voted on `number` has already sent every lower block
+// it will ever send. A lower block still short of the release threshold
+// can only gain copies from the remaining nodes; if even all of them
+// cannot complete it, the block predates this frontend's subscription and
+// is dead — the cursor moves past it. A registration race (one node
+// sending a block the release quorum never will) therefore cannot stall
+// the channel, while a reordering minority (<= f) can never force a skip:
+// a block that f+1 honest nodes sealed before `number` has their copies
+// already counted by the time `number` releases.
+func (ch *feChannel) maybeFastForward(number uint64, replicas, threshold int) {
+	past := make(map[string]bool)
+	for _, acc := range ch.collecting[number] {
+		for sender := range acc.sigs {
+			past[sender] = true
+		}
+	}
+	remaining := replicas - len(past)
+	if remaining < 0 {
+		remaining = 0
+	}
+	// Released-but-gapped blocks below deliver first; only the range under
+	// the lowest of them must be dead to move the cursor.
+	target := number
+	for n := range ch.ready {
+		if n < target {
+			target = n
+		}
+	}
+	if target <= ch.nextDeliver {
+		return
+	}
+	for n, byDigest := range ch.collecting {
+		if n >= target || n < ch.nextDeliver {
+			continue
+		}
+		for _, acc := range byDigest {
+			if len(acc.sigs)+remaining >= threshold {
+				return // still live: hold for it
+			}
+		}
+	}
+	for n := range ch.collecting {
+		if n < target {
+			delete(ch.collecting, n)
+		}
+	}
+	ch.nextDeliver = target
 }
 
 func (f *Frontend) feChannel(channel string) *feChannel {

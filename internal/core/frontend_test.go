@@ -128,20 +128,87 @@ func TestFrontendReordersBlocks(t *testing.T) {
 	b0 := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
 	b1 := fabric.NewBlock(1, b0.Header.Hash(), [][]byte{feEnv(1)})
 
-	// Block 1 reaches quorum first (parallel signing pools reorder sends).
-	for i := 0; i < 3; i++ {
-		nodes.send(t, i, "ch", b1, "fe")
-	}
-	expectNoBlock(t, stream, 100*time.Millisecond) // must hold for block 0
+	// Honest nodes disseminate per channel in block order; at most f may
+	// reorder. A Byzantine early copy of block 1 must neither release it
+	// nor make the frontend skip block 0.
+	nodes.send(t, 0, "ch", b1, "fe")
+	expectNoBlock(t, stream, 100*time.Millisecond)
 
-	for i := 0; i < 3; i++ {
+	for i := 1; i < 4; i++ {
 		nodes.send(t, i, "ch", b0, "fe")
 	}
 	first := awaitBlock(t, stream, 5*time.Second)
+	if first.Header.Number != 0 {
+		t.Fatalf("released block %d first, want 0", first.Header.Number)
+	}
+	// The honest copies of block 1 complete it (the early Byzantine copy
+	// counts once) and it releases in order.
+	nodes.send(t, 1, "ch", b1, "fe")
+	nodes.send(t, 2, "ch", b1, "fe")
 	second := awaitBlock(t, stream, 5*time.Second)
-	if first.Header.Number != 0 || second.Header.Number != 1 {
-		t.Fatalf("blocks released out of order: %d then %d",
-			first.Header.Number, second.Header.Number)
+	if second.Header.Number != 1 {
+		t.Fatalf("released block %d second, want 1", second.Header.Number)
+	}
+}
+
+// TestFrontendRegistrationRaceDoesNotStall: one node registered the
+// frontend a block earlier than the others, so the frontend holds a
+// single copy of a block the release quorum will never send. Once the
+// next block releases, that straggler is provably dead (even every
+// not-yet-voted node could not complete it) and delivery proceeds.
+func TestFrontendRegistrationRaceDoesNotStall(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	nodes := newFakeNodes(t, net, 4, nil)
+	fe, err := NewFrontend(FrontendConfig{ID: "fe", Replicas: ids4()}, net)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("ch")
+
+	b4 := fabric.NewBlock(4, cryptoutil.Hash([]byte("earlier chain")), [][]byte{feEnv(4)})
+	b5 := fabric.NewBlock(5, b4.Header.Hash(), [][]byte{feEnv(5)})
+
+	nodes.send(t, 3, "ch", b4, "fe") // only node 3 registered us in time for block 4
+	for i := 0; i < 4; i++ {
+		nodes.send(t, i, "ch", b5, "fe")
+	}
+	got := awaitBlock(t, stream, 5*time.Second)
+	if got.Header.Number != 5 {
+		t.Fatalf("delivered block %d, want 5 (block 4 is dead: max 1+0 copies)", got.Header.Number)
+	}
+}
+
+// TestFrontendJoinsMidChain: a frontend subscribing after the chain has
+// grown (a durable cluster restarted from disk keeps numbering where it
+// left off) starts delivery at the first block a release quorum sends it,
+// rather than waiting forever for a genesis that predates it.
+func TestFrontendJoinsMidChain(t *testing.T) {
+	net := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer net.Close()
+	nodes := newFakeNodes(t, net, 4, nil)
+	fe, err := NewFrontend(FrontendConfig{ID: "fe", Replicas: ids4()}, net)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	defer fe.Close()
+	stream := fe.Deliver("ch")
+
+	b6 := fabric.NewBlock(6, cryptoutil.Hash([]byte("pre-subscription chain")), [][]byte{feEnv(6)})
+	b7 := fabric.NewBlock(7, b6.Header.Hash(), [][]byte{feEnv(7)})
+	for i := 0; i < 3; i++ {
+		nodes.send(t, i, "ch", b6, "fe")
+	}
+	got := awaitBlock(t, stream, 5*time.Second)
+	if got.Header.Number != 6 {
+		t.Fatalf("mid-chain subscription delivered block %d, want 6", got.Header.Number)
+	}
+	for i := 0; i < 3; i++ {
+		nodes.send(t, i, "ch", b7, "fe")
+	}
+	if got := awaitBlock(t, stream, 5*time.Second); got.Header.Number != 7 {
+		t.Fatalf("follow-up block %d, want 7", got.Header.Number)
 	}
 }
 

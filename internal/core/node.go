@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -72,6 +74,11 @@ type NodeConfig struct {
 	DisableSigning bool
 	// Key signs block headers. Required unless DisableSigning is set.
 	Key *cryptoutil.KeyPair
+	// Storage, when set, makes the node durable: decided batches are
+	// write-ahead logged before block sealing, sealed blocks and consensus
+	// checkpoints are persisted, and construction recovers ledger +
+	// consensus state from disk. Nil keeps the node fully in-memory.
+	Storage *storage.NodeStorage
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -128,10 +135,25 @@ type OrderingNode struct {
 	chains  map[string]*chainState
 	history map[int64]map[string]chainSnapshot
 
+	// Durable state (nil without cfg.Storage). ledgers holds the node's
+	// persistent copy of each channel's chain; ledgerMu guards the map
+	// (values are internally synchronized). recovering suppresses signing
+	// and dissemination while construction replays the decision log.
+	storage    *storage.NodeStorage
+	ledgerMu   sync.Mutex
+	ledgers    map[string]*fabric.Ledger
+	recovering bool
+
 	// frontends is written from the event loop (registration messages)
 	// and read from signing-pool callbacks.
 	mu        sync.Mutex
 	frontends map[transport.Addr]struct{}
+
+	// senders sequence block dissemination per channel: signing runs on a
+	// parallel pool, but blocks leave the node in block-number order, so a
+	// frontend can rely on FIFO links to detect its subscription point.
+	sendMu  sync.Mutex
+	senders map[string]*blockSender
 
 	ttcSeq atomic.Uint64
 
@@ -164,25 +186,97 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		cfg:       cfg,
 		conn:      conn,
 		signer:    signer,
+		storage:   cfg.Storage,
 		chains:    make(map[string]*chainState),
 		history:   make(map[int64]map[string]chainSnapshot),
 		frontends: make(map[transport.Addr]struct{}),
+		senders:   make(map[string]*blockSender),
 		done:      make(chan struct{}),
 	}
+	// TTC markers are consensus requests under this node's "ttc:" client
+	// identity; a session base keeps a restarted node's markers from
+	// colliding with its pre-crash sequences in the recovered dedup state.
+	n.ttcSeq.Store(uint64(time.Now().UnixNano()))
 	ccfg := cfg.Consensus
 	if ccfg.ValidateRequest == nil {
 		ccfg.ValidateRequest = validateEnvelopeOp
 	}
-	replica, err := consensus.NewReplica(ccfg, n, conn,
+	opts := []consensus.Option{
 		consensus.WithoutClientReplies(),
 		consensus.WithExtraMessageHandler(n.onServiceMessage),
-	)
+	}
+	if n.storage != nil {
+		// Rebuild the persistent ledgers first: replaying the decision log
+		// below re-seals the tail blocks, and the ledgers' recovered
+		// heights are what makes that replay idempotent.
+		rec := n.storage.Recovered()
+		n.ledgers = make(map[string]*fabric.Ledger, len(rec.Blocks))
+		for channel, blocks := range rec.Blocks {
+			led := fabric.NewPersistentLedger(channel, n.storage)
+			for _, b := range blocks {
+				if err := led.Append(b); err != nil {
+					if signer != nil {
+						signer.Close()
+					}
+					return nil, fmt.Errorf("ordering node: recovering channel %q: %w", channel, err)
+				}
+			}
+			n.ledgers[channel] = led
+		}
+		opts = append(opts, consensus.WithDurability(n.storage, &consensus.DurableState{
+			CheckpointSeq: rec.CheckpointSeq,
+			Checkpoint:    rec.Checkpoint,
+			Decisions:     durableEntries(rec.Decisions),
+		}))
+		n.recovering = true
+	}
+	replica, err := consensus.NewReplica(ccfg, n, conn, opts...)
+	n.recovering = false
+	if err == nil && n.storage != nil {
+		err = n.checkRecoveredFrontier()
+	}
 	if err != nil {
-		signer.Close()
+		if signer != nil {
+			signer.Close()
+		}
 		return nil, fmt.Errorf("ordering node: %w", err)
 	}
 	n.replica = replica
 	return n, nil
+}
+
+// checkRecoveredFrontier cross-checks the two durable records after
+// recovery. A block is only persisted after its decision was fsynced, so
+// the replayed chain state can never trail the block store under the
+// crash model; if it does, the decision log lost fsynced records (disk
+// corruption) and running on would silently fork the node's history.
+// Runs before the replica starts, so the chain state is safe to read.
+func (n *OrderingNode) checkRecoveredFrontier() error {
+	for channel, led := range n.ledgers {
+		height := led.Height()
+		chain, ok := n.chains[channel]
+		if !ok {
+			if height > 0 {
+				return fmt.Errorf("recovery: channel %q has %d persisted blocks but no decision history (corrupt data dir?)",
+					channel, height)
+			}
+			continue
+		}
+		if chain.nextNumber < height {
+			return fmt.Errorf("recovery: channel %q block store at height %d but decision replay reached %d (corrupt data dir?)",
+				channel, height, chain.nextNumber)
+		}
+	}
+	return nil
+}
+
+// durableEntries adapts storage log entries to the consensus type.
+func durableEntries(in []storage.DecidedEntry) []consensus.DurableEntry {
+	out := make([]consensus.DurableEntry, len(in))
+	for i, e := range in {
+		out[i] = consensus.DurableEntry{Seq: e.Seq, Batch: e.Batch}
+	}
+	return out
 }
 
 // validateEnvelopeOp is the request-validation hook: every batch entry must
@@ -313,11 +407,22 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 	chain.prevHash = block.Header.Hash()
 	n.statBlocks.Add(1)
 
+	if n.storage != nil {
+		n.persistBlock(channel, block)
+	}
+	if n.recovering {
+		// Replaying the decision log: the block is already durable (or was
+		// just re-persisted); frontends saw it before the crash, so no
+		// signing or dissemination.
+		return
+	}
+
+	epoch := n.reserveSend(channel, block.Header.Number)
 	headerHash := block.Header.Hash()
 	signerID := string(n.ID().Addr())
 	if n.cfg.DisableSigning {
 		n.statSigned.Add(1)
-		n.disseminate(channel, block)
+		n.completeSend(channel, epoch, block)
 		return
 	}
 	err := n.signer.Sign(headerHash, func(sig []byte, err error) {
@@ -326,11 +431,126 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 		}
 		block.Signatures = []fabric.BlockSignature{{SignerID: signerID, Signature: sig}}
 		n.statSigned.Add(1)
-		n.disseminate(channel, block)
+		n.completeSend(channel, epoch, block)
 	})
 	if err != nil {
 		return // pool closed during shutdown
 	}
+}
+
+// blockSender sequences one channel's dissemination. Signing completes out
+// of order on the pool, so completed blocks park in pending until every
+// lower number has been sent. epoch invalidates in-flight completions when
+// a rollback or state transfer rewrites the chain.
+type blockSender struct {
+	epoch   uint64
+	started bool
+	next    uint64
+	pending map[uint64]*fabric.Block
+}
+
+// reserveSend anchors the channel's send cursor at the first block sealed
+// in the current epoch. Runs on the event loop, in seal order.
+func (n *OrderingNode) reserveSend(channel string, number uint64) uint64 {
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	s, ok := n.senders[channel]
+	if !ok {
+		s = &blockSender{pending: make(map[uint64]*fabric.Block)}
+		n.senders[channel] = s
+	}
+	if !s.started {
+		s.started = true
+		s.next = number
+	}
+	return s.epoch
+}
+
+// completeSend hands a signed block to the sequencer; everything that is
+// now contiguous goes out. Runs on signing-pool workers (or the event loop
+// with signing disabled).
+func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.Block) {
+	n.sendMu.Lock()
+	s, ok := n.senders[channel]
+	if !ok || s.epoch != epoch {
+		n.sendMu.Unlock()
+		return // the chain was rolled back or replaced since sealing
+	}
+	s.pending[block.Header.Number] = block
+	var out []*fabric.Block
+	for {
+		b, ok := s.pending[s.next]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.next)
+		s.next++
+		out = append(out, b)
+	}
+	n.sendMu.Unlock()
+	for _, b := range out {
+		n.disseminate(channel, b)
+	}
+}
+
+// resetSender invalidates a channel's in-flight dissemination after its
+// chain state was rewritten (rollback or state transfer); the next sealed
+// block re-anchors the cursor.
+func (n *OrderingNode) resetSender(channel string) {
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	s, ok := n.senders[channel]
+	if !ok {
+		return
+	}
+	s.epoch++
+	s.started = false
+	s.pending = make(map[uint64]*fabric.Block)
+}
+
+// persistBlock appends a sealed block to the channel's durable ledger. A
+// block below the ledger height is a replay duplicate (skipped); a block
+// above it means state transfer jumped the chain past blocks this node
+// never sealed, so the local copy cannot extend until the gap is
+// back-filled (ROADMAP: state transfer from disk). The ledger stores a
+// shallow copy because the signing callback mutates Signatures
+// asynchronously.
+func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
+	led := n.ledger(channel)
+	height := led.Height()
+	if block.Header.Number != height {
+		return
+	}
+	stored := *block
+	stored.Signatures = nil
+	if err := led.Append(&stored); err != nil {
+		fmt.Fprintf(os.Stderr, "ordering node %d: persisting block %d on %q: %v\n",
+			n.ID(), block.Header.Number, channel, err)
+	}
+}
+
+// ledger returns (creating if needed) the durable ledger for a channel.
+func (n *OrderingNode) ledger(channel string) *fabric.Ledger {
+	n.ledgerMu.Lock()
+	defer n.ledgerMu.Unlock()
+	led, ok := n.ledgers[channel]
+	if !ok {
+		led = fabric.NewPersistentLedger(channel, n.storage)
+		n.ledgers[channel] = led
+	}
+	return led
+}
+
+// Ledger returns the node's durable copy of a channel's chain, or nil when
+// the node runs without storage or has never sealed a block for the
+// channel. Safe from any goroutine.
+func (n *OrderingNode) Ledger(channel string) *fabric.Ledger {
+	if n.storage == nil {
+		return nil
+	}
+	n.ledgerMu.Lock()
+	defer n.ledgerMu.Unlock()
+	return n.ledgers[channel]
 }
 
 // disseminate sends a signed block to every registered frontend (the
@@ -365,6 +585,7 @@ func (n *OrderingNode) Rollback(seq int64) {
 		for _, env := range snap.pending {
 			chain.cutter.Append(env)
 		}
+		n.resetSender(channel)
 	}
 	for s := range n.history {
 		if s > seq {
@@ -436,6 +657,15 @@ func (n *OrderingNode) Restore(snapshot []byte, _ int64) {
 	}
 	n.chains = chains
 	n.history = make(map[int64]map[string]chainSnapshot)
+	// The chains were replaced wholesale: in-flight dissemination for any
+	// channel is stale.
+	n.sendMu.Lock()
+	for _, s := range n.senders {
+		s.epoch++
+		s.started = false
+		s.pending = make(map[uint64]*fabric.Block)
+	}
+	n.sendMu.Unlock()
 }
 
 // ---- frontend registration and TTC ------------------------------------

@@ -15,18 +15,35 @@ var (
 	ErrBlockNotFound = errors.New("ledger: block not found")
 )
 
-// Ledger is one channel's append-only blockchain, as maintained by a
-// committing peer. Append verifies the hash chain, so a tampered or
-// out-of-order block is rejected rather than stored. Safe for concurrent
-// use.
-type Ledger struct {
-	mu     sync.RWMutex
-	blocks []*Block
+// BlockBackend persists blocks accepted by a ledger. Implementations
+// (storage.NodeStorage, storage.BlockStore) must be idempotent for block
+// numbers they already hold, so recovery can replay a chain through
+// Append without duplicating records.
+type BlockBackend interface {
+	PutBlock(channel string, b *Block) error
 }
 
-// NewLedger creates an empty ledger.
+// Ledger is one channel's append-only blockchain, as maintained by a
+// committing peer. Append verifies the hash chain, so a tampered or
+// out-of-order block is rejected rather than stored. With a backend
+// attached, every accepted block is durably persisted before it becomes
+// visible in memory. Safe for concurrent use.
+type Ledger struct {
+	mu      sync.RWMutex
+	blocks  []*Block
+	channel string
+	backend BlockBackend
+}
+
+// NewLedger creates an empty in-memory ledger.
 func NewLedger() *Ledger {
 	return &Ledger{}
+}
+
+// NewPersistentLedger creates an empty ledger whose appended blocks are
+// written through to backend under the given channel name.
+func NewPersistentLedger(channel string, backend BlockBackend) *Ledger {
+	return &Ledger{channel: channel, backend: backend}
 }
 
 // Height returns the number of blocks appended so far.
@@ -38,7 +55,9 @@ func (l *Ledger) Height() uint64 {
 
 // Append verifies and appends a block: its number must be the current
 // height, its previous hash must match the last header, and its data hash
-// must match its envelopes.
+// must match its envelopes. With a backend attached, the block is durably
+// persisted before the in-memory chain (and thus any reader) sees it; a
+// persistence failure rejects the append entirely.
 func (l *Ledger) Append(b *Block) error {
 	if err := b.CheckIntegrity(); err != nil {
 		return err
@@ -55,6 +74,11 @@ func (l *Ledger) Append(b *Block) error {
 		}
 	} else if prev := l.blocks[height-1].Header.Hash(); b.Header.PrevHash != prev {
 		return fmt.Errorf("%w at block %d", ErrBrokenChain, b.Header.Number)
+	}
+	if l.backend != nil {
+		if err := l.backend.PutBlock(l.channel, b); err != nil {
+			return fmt.Errorf("ledger: persisting block %d: %w", b.Header.Number, err)
+		}
 	}
 	l.blocks = append(l.blocks, b)
 	return nil

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/wire"
+)
+
+// BlockStore persists sealed blocks, per channel, in an append-only WAL of
+// its own (one record per block, wire-encoded with the channel name). It
+// is the durable mirror of a fabric.Ledger: Recovered() rebuilds the full
+// chain after a restart, and Put is idempotent for already-stored block
+// numbers so that WAL-driven re-execution of the tail never duplicates
+// blocks.
+type BlockStore struct {
+	wal *WAL
+
+	mu        sync.Mutex
+	heights   map[string]uint64 // next expected block number per channel
+	recovered map[string][]*fabric.Block
+}
+
+// OpenBlockStore opens the store in dir and replays every persisted block.
+// The recovered chains stay available via Recovered until the caller takes
+// them.
+func OpenBlockStore(dir string, noSync bool) (*BlockStore, error) {
+	wal, err := OpenWAL(WALConfig{Dir: dir, NoSync: noSync})
+	if err != nil {
+		return nil, err
+	}
+	s := &BlockStore{
+		wal:       wal,
+		heights:   make(map[string]uint64),
+		recovered: make(map[string][]*fabric.Block),
+	}
+	err = wal.Replay(func(_ uint64, rec []byte) error {
+		channel, block, err := decodeBlockRecord(rec)
+		if err != nil {
+			return err
+		}
+		if block.Header.Number != s.heights[channel] {
+			return fmt.Errorf("%w: channel %q block %d, want %d",
+				ErrCorrupt, channel, block.Header.Number, s.heights[channel])
+		}
+		s.recovered[channel] = append(s.recovered[channel], block)
+		s.heights[channel] = block.Header.Number + 1
+		return nil
+	})
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Recovered returns the chains replayed at open, keyed by channel, and
+// releases the store's reference to them. Blocks persisted after open are
+// not included.
+func (s *BlockStore) Recovered() map[string][]*fabric.Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.recovered
+	s.recovered = nil
+	return out
+}
+
+// Height returns the next expected block number for a channel (== the
+// number of blocks stored).
+func (s *BlockStore) Height(channel string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heights[channel]
+}
+
+// Put durably appends a sealed block. A block below the stored height is a
+// replay duplicate and is silently skipped; a block above it is a gap and
+// is rejected (the caller lost blocks and must state-transfer them before
+// persisting more). Calls for the same channel must not race each other
+// (record order in the log is recovery order); calls for different
+// channels may run concurrently and share one group commit.
+func (s *BlockStore) Put(channel string, b *fabric.Block) error {
+	s.mu.Lock()
+	height := s.heights[channel]
+	if b.Header.Number < height {
+		s.mu.Unlock()
+		return nil
+	}
+	if b.Header.Number > height {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: channel %q block %d leaves a gap (height %d)",
+			channel, b.Header.Number, height)
+	}
+	s.heights[channel] = b.Header.Number + 1
+	s.mu.Unlock()
+
+	raw := b.Marshal()
+	w := wire.NewWriter(16 + len(channel) + len(raw))
+	w.PutString(channel)
+	w.PutBytes(raw)
+	if _, err := s.wal.Append(w.Bytes()); err != nil {
+		// Roll the height back so a retry is possible.
+		s.mu.Lock()
+		if s.heights[channel] == b.Header.Number+1 {
+			s.heights[channel] = b.Header.Number
+		}
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying log.
+func (s *BlockStore) Close() error { return s.wal.Close() }
+
+func decodeBlockRecord(rec []byte) (string, *fabric.Block, error) {
+	r := wire.NewReader(rec)
+	channel := r.String()
+	raw := r.Bytes()
+	if err := r.Finish(); err != nil {
+		return "", nil, fmt.Errorf("storage: block record: %w", err)
+	}
+	block, err := fabric.UnmarshalBlock(raw)
+	if err != nil {
+		return "", nil, fmt.Errorf("storage: %w", err)
+	}
+	return channel, block, nil
+}

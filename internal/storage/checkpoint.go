@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// checkpointMagic guards against reading a foreign file as a checkpoint.
+const checkpointMagic = 0x43504b31 // "CPK1"
+
+// checkpointFile is the stable name; writes go to checkpointFile+".tmp"
+// first and are renamed into place, so a crash never leaves a half-written
+// checkpoint under the stable name.
+const checkpointFile = "checkpoint"
+
+// ErrCheckpointCorrupt reports a checkpoint file that fails its CRC.
+var ErrCheckpointCorrupt = errors.New("storage: checkpoint corrupt")
+
+// Checkpointer atomically persists consensus snapshots. Layout of the
+// file: uint32 magic, int64 seq, uint32 snapshot length, snapshot bytes,
+// uint32 CRC32 (IEEE) over everything before it.
+type Checkpointer struct {
+	dir string
+}
+
+// NewCheckpointer prepares a checkpointer rooted at dir (created if
+// missing).
+func NewCheckpointer(dir string) (*Checkpointer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &Checkpointer{dir: dir}, nil
+}
+
+// Save durably replaces the checkpoint with (seq, snapshot): write to a
+// temp file, fsync, rename over the stable name, fsync the directory.
+func (c *Checkpointer) Save(seq int64, snapshot []byte) error {
+	buf := make([]byte, 0, 20+len(snapshot))
+	buf = binary.BigEndian.AppendUint32(buf, checkpointMagic)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(seq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(snapshot)))
+	buf = append(buf, snapshot...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	tmp := filepath.Join(c.dir, checkpointFile+".tmp")
+	final := filepath.Join(c.dir, checkpointFile)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	d, err := os.Open(c.dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// Load returns the latest checkpoint. found is false when none was ever
+// saved. A stale temp file from an interrupted Save is ignored (the rename
+// never happened, so the previous stable checkpoint — if any — still
+// governs).
+func (c *Checkpointer) Load() (seq int64, snapshot []byte, found bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(c.dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("storage: %w", err)
+	}
+	if len(raw) < 20 {
+		return 0, nil, false, ErrCheckpointCorrupt
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return 0, nil, false, ErrCheckpointCorrupt
+	}
+	if binary.BigEndian.Uint32(body[:4]) != checkpointMagic {
+		return 0, nil, false, ErrCheckpointCorrupt
+	}
+	seq = int64(binary.BigEndian.Uint64(body[4:12]))
+	n := binary.BigEndian.Uint32(body[12:16])
+	if int(n) != len(body)-16 {
+		return 0, nil, false, ErrCheckpointCorrupt
+	}
+	snapshot = make([]byte, n)
+	copy(snapshot, body[16:])
+	return seq, snapshot, true, nil
+}

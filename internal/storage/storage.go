@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/wire"
+)
+
+// DecidedEntry is one consensus decision recovered from the decision log.
+type DecidedEntry struct {
+	Seq   int64
+	Batch [][]byte
+}
+
+// RecoveredState is everything a restarting node gets back from disk: the
+// newest consensus checkpoint, the decided batches logged after it, and
+// the persisted block chains.
+type RecoveredState struct {
+	// CheckpointSeq is the sequence of the newest checkpoint, -1 when no
+	// checkpoint was ever written.
+	CheckpointSeq int64
+	// Checkpoint is the wrapped consensus snapshot at CheckpointSeq.
+	Checkpoint []byte
+	// Decisions are the logged batches with Seq > CheckpointSeq, in
+	// sequence order.
+	Decisions []DecidedEntry
+	// Blocks are the persisted chains, keyed by channel.
+	Blocks map[string][]*fabric.Block
+}
+
+// NodeStorage is one ordering node's durable state, rooted at a data
+// directory:
+//
+//	<dir>/wal/     decision log (segmented WAL, group commit)
+//	<dir>/blocks/  sealed blocks (segmented WAL, group commit)
+//	<dir>/checkpoint  newest consensus snapshot (atomic replace)
+//
+// The decision log is the write-ahead half: a batch is fsynced before the
+// node executes it, so on restart the node replays checkpoint + log and
+// arrives at exactly the state it had durably reached. Checkpoints prune
+// the log behind them (whole segments at a time).
+type NodeStorage struct {
+	dir    string
+	wal    *WAL
+	blocks *BlockStore
+	ckpt   *Checkpointer
+
+	recovered *RecoveredState
+
+	// mu guards the seq<->wal-index correspondence of the decision log.
+	mu      sync.Mutex
+	lastSeq int64  // newest decision seq on disk (-1 when none)
+	lastIdx uint64 // its WAL index
+}
+
+// Options tunes a NodeStorage.
+type Options struct {
+	// SegmentBytes overrides the decision-log segment size (default 4 MiB).
+	SegmentBytes int64
+	// NoSync disables fsync everywhere. Only for benchmarks isolating the
+	// write path.
+	NoSync bool
+}
+
+// Open opens (or initializes) a node's durable state under dir and
+// recovers whatever a previous incarnation left behind.
+func Open(dir string, opts Options) (*NodeStorage, error) {
+	ckpt, err := NewCheckpointer(dir)
+	if err != nil {
+		return nil, err
+	}
+	wal, err := OpenWAL(WALConfig{
+		Dir:          filepath.Join(dir, "wal"),
+		SegmentBytes: opts.SegmentBytes,
+		NoSync:       opts.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := OpenBlockStore(filepath.Join(dir, "blocks"), opts.NoSync)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s := &NodeStorage{
+		dir:     dir,
+		wal:     wal,
+		blocks:  blocks,
+		ckpt:    ckpt,
+		lastSeq: -1,
+	}
+	if err := s.recover(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover loads the checkpoint and replays the decision log.
+func (s *NodeStorage) recover() error {
+	st := &RecoveredState{CheckpointSeq: -1}
+	seq, snap, found, err := s.ckpt.Load()
+	if err != nil {
+		return err
+	}
+	if found {
+		st.CheckpointSeq = seq
+		st.Checkpoint = snap
+		s.lastSeq = seq // pruning floor; log entries replayed below override
+	}
+	err = s.wal.Replay(func(idx uint64, rec []byte) error {
+		entry, err := decodeDecision(rec)
+		if err != nil {
+			return err
+		}
+		s.lastSeq = entry.Seq
+		s.lastIdx = idx
+		if entry.Seq <= st.CheckpointSeq {
+			return nil // already covered by the checkpoint; awaiting prune
+		}
+		if n := len(st.Decisions); n > 0 && entry.Seq != st.Decisions[n-1].Seq+1 {
+			return fmt.Errorf("%w: decision log gap at seq %d", ErrCorrupt, entry.Seq)
+		}
+		st.Decisions = append(st.Decisions, entry)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(st.Decisions) > 0 && st.CheckpointSeq >= 0 &&
+		st.Decisions[0].Seq != st.CheckpointSeq+1 {
+		return fmt.Errorf("%w: decision log starts at seq %d after checkpoint %d",
+			ErrCorrupt, st.Decisions[0].Seq, st.CheckpointSeq)
+	}
+	st.Blocks = s.blocks.Recovered()
+	s.recovered = st
+	return nil
+}
+
+// Recovered returns the state replayed at Open and releases the storage's
+// reference to it.
+func (s *NodeStorage) Recovered() *RecoveredState {
+	st := s.recovered
+	s.recovered = nil
+	if st == nil {
+		st = &RecoveredState{CheckpointSeq: -1, Blocks: map[string][]*fabric.Block{}}
+	}
+	return st
+}
+
+// AppendDecision durably logs one decided batch. It blocks until the
+// record is fsynced; concurrent appends to the decision log coalesce into
+// one group commit. (Block Puts go to a separate log with its own group
+// commit, so a decision and its sealed block currently pay two fsyncs —
+// see ROADMAP "storage pipelining".) Sequences must arrive in order
+// without gaps.
+func (s *NodeStorage) AppendDecision(seq int64, batch [][]byte) error {
+	s.mu.Lock()
+	if s.lastSeq >= 0 && seq <= s.lastSeq {
+		s.mu.Unlock()
+		return nil // replay duplicate
+	}
+	s.mu.Unlock()
+
+	w := wire.NewWriter(64)
+	w.PutInt64(seq)
+	w.PutBytesSlice(batch)
+	idx, err := s.wal.Append(w.Bytes())
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.lastSeq = seq
+	s.lastIdx = idx
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveCheckpoint atomically persists the consensus snapshot at seq, then
+// prunes decision-log segments wholly behind it.
+func (s *NodeStorage) SaveCheckpoint(seq int64, snapshot []byte) error {
+	if err := s.ckpt.Save(seq, snapshot); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	lastSeq, lastIdx := s.lastSeq, s.lastIdx
+	s.mu.Unlock()
+	if lastIdx == 0 || seq > lastSeq {
+		return nil // nothing logged yet, or checkpoint ahead of the log
+	}
+	// Decisions are logged contiguously, so index arithmetic maps seq to
+	// its WAL index: keep records strictly after seq.
+	keepFrom := lastIdx - uint64(lastSeq-seq) + 1
+	return s.wal.PruneTo(keepFrom)
+}
+
+// PutBlock durably appends a sealed block for a channel (fabric.BlockBackend).
+func (s *NodeStorage) PutBlock(channel string, b *fabric.Block) error {
+	return s.blocks.Put(channel, b)
+}
+
+// BlockHeight returns the number of blocks persisted for a channel.
+func (s *NodeStorage) BlockHeight(channel string) uint64 {
+	return s.blocks.Height(channel)
+}
+
+// Dir returns the storage root.
+func (s *NodeStorage) Dir() string { return s.dir }
+
+// Close flushes and closes both logs.
+func (s *NodeStorage) Close() error {
+	var first error
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			first = err
+		}
+	}
+	if s.blocks != nil {
+		if err := s.blocks.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func decodeDecision(rec []byte) (DecidedEntry, error) {
+	r := wire.NewReader(rec)
+	entry := DecidedEntry{
+		Seq:   r.Int64(),
+		Batch: r.BytesSlice(),
+	}
+	if err := r.Finish(); err != nil {
+		return DecidedEntry{}, fmt.Errorf("storage: decision record: %w", err)
+	}
+	return entry, nil
+}

@@ -1,0 +1,543 @@
+// Package storage is the durable backbone of the ordering service: a
+// segmented append-only write-ahead log with group-commit fsync batching, a
+// block store that persists sealed fabric blocks, and an atomic checkpointer
+// for consensus snapshots. The paper's replicas (Section 5.2) survive
+// crashes because decisions and checkpoints hit disk before they take
+// effect; this package supplies exactly that discipline for the
+// reproduction's in-memory stack.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WAL errors.
+var (
+	ErrClosed  = errors.New("storage: wal closed")
+	ErrCorrupt = errors.New("storage: wal corrupt")
+	ErrTooBig  = errors.New("storage: record exceeds segment size")
+)
+
+// recordHeaderSize is the fixed per-record framing overhead: a uint32
+// payload length followed by a uint32 CRC32 (IEEE) of the payload.
+const recordHeaderSize = 8
+
+// maxRecordSize bounds a single record to protect replay against corrupt
+// length prefixes.
+const maxRecordSize = 64 << 20
+
+// segSuffix names WAL segment files; the stem is the zero-padded index of
+// the segment's first record, so lexical order is replay order.
+const segSuffix = ".seg"
+
+// WALConfig parameterizes a write-ahead log.
+type WALConfig struct {
+	// Dir holds the segment files. Created if missing.
+	Dir string
+	// SegmentBytes is the rotation threshold: once the active segment
+	// reaches it, the next append opens a new segment. Default 4 MiB.
+	SegmentBytes int64
+	// NoSync skips the fsync on every group commit. Only for tests and
+	// benchmarks that measure the non-durable append path.
+	NoSync bool
+}
+
+func (c WALConfig) withDefaults() WALConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	return c
+}
+
+// segment describes one on-disk segment file.
+type segment struct {
+	path  string
+	first uint64 // index of the segment's first record
+	last  uint64 // index of the segment's last record (first-1 when empty)
+}
+
+// appendReq is one enqueued append awaiting group commit.
+type appendReq struct {
+	rec  []byte
+	idx  uint64
+	done chan error
+}
+
+// WAL is a segmented append-only log. Records are opaque byte strings,
+// identified by a dense index assigned at append time (first record of an
+// empty log is index 1). Appends from any number of goroutines are
+// coalesced by a single writer into one fsync per group (group commit), so
+// concurrent load amortizes the dominant durability cost.
+type WAL struct {
+	cfg WALConfig
+
+	// mu guards the segment table and the active file. The writer
+	// goroutine holds it for the duration of each group commit; Replay and
+	// PruneTo hold it to read or drop sealed segments.
+	mu       sync.Mutex
+	segments []segment // sorted by first index; last entry is active
+	active   *os.File
+	size     int64  // bytes in the active segment
+	next     uint64 // index the next append receives
+
+	appendCh chan *appendReq
+	closeCh  chan struct{}
+	closed   bool
+	// failErr poisons the log after a failed commit: the file may hold a
+	// torn frame past which nothing can be appended safely (recovery
+	// would truncate records acknowledged after it), so every later
+	// append fails with the original error.
+	failErr error
+	// appendWg counts Appends that passed the closed check but have not
+	// yet handed their request to the writer; Close waits for it before
+	// signalling the writer, so every accepted request is served.
+	appendWg sync.WaitGroup
+	wg       sync.WaitGroup
+}
+
+// OpenWAL opens (or creates) the log in cfg.Dir, scans every segment,
+// truncates a torn tail in the newest segment, and starts the group-commit
+// writer. A torn or partially written record anywhere but the tail of the
+// newest segment is reported as ErrCorrupt: crashes only ever tear the end
+// of the log, so mid-log damage means real corruption.
+func OpenWAL(cfg WALConfig) (*WAL, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	w := &WAL{
+		cfg:      cfg,
+		next:     1,
+		appendCh: make(chan *appendReq, 256),
+		closeCh:  make(chan struct{}),
+	}
+	if err := w.scan(); err != nil {
+		return nil, err
+	}
+	if err := w.openActive(); err != nil {
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.writer()
+	return w, nil
+}
+
+// scan builds the segment table, validating every record and truncating the
+// torn tail of the newest segment.
+func (w *WAL) scan() error {
+	entries, err := os.ReadDir(w.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, segment{path: filepath.Join(w.cfg.Dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	for i := range segs {
+		seg := &segs[i]
+		tail := i == len(segs)-1
+		count, validLen, err := validateSegment(seg.path)
+		if err != nil {
+			if !tail {
+				return fmt.Errorf("%w: segment %s: %v", ErrCorrupt, seg.path, err)
+			}
+			// Torn tail: drop everything from the first bad frame on.
+			if terr := os.Truncate(seg.path, validLen); terr != nil {
+				return fmt.Errorf("storage: truncating torn tail: %w", terr)
+			}
+		}
+		seg.last = seg.first + count - 1 // first-1 when empty
+		if i > 0 && seg.first != segs[i-1].last+1 {
+			return fmt.Errorf("%w: segment %s does not follow index %d",
+				ErrCorrupt, seg.path, segs[i-1].last)
+		}
+	}
+	w.segments = segs
+	if len(segs) > 0 {
+		w.next = segs[len(segs)-1].last + 1
+	}
+	return nil
+}
+
+// validateSegment walks a segment file and returns the number of valid
+// records and the byte offset of the first invalid frame (== file size when
+// the whole file is valid). A non-nil error means the file has a torn or
+// corrupt tail starting at validLen.
+func validateSegment(path string) (count uint64, validLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	size := info.Size()
+	var hdr [recordHeaderSize]byte
+	for validLen < size {
+		if size-validLen < recordHeaderSize {
+			return count, validLen, fmt.Errorf("torn header at %d", validLen)
+		}
+		if _, err := f.ReadAt(hdr[:], validLen); err != nil {
+			return count, validLen, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n > maxRecordSize || int64(n) > size-validLen-recordHeaderSize {
+			return count, validLen, fmt.Errorf("torn record at %d", validLen)
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, validLen+recordHeaderSize); err != nil {
+			return count, validLen, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return count, validLen, fmt.Errorf("crc mismatch at %d", validLen)
+		}
+		validLen += recordHeaderSize + int64(n)
+		count++
+	}
+	return count, validLen, nil
+}
+
+// openActive opens the newest segment for appending, creating the first
+// segment of an empty log.
+func (w *WAL) openActive() error {
+	if len(w.segments) == 0 {
+		w.segments = append(w.segments, segment{
+			path:  w.segmentPath(w.next),
+			first: w.next,
+			last:  w.next - 1,
+		})
+	}
+	seg := &w.segments[len(w.segments)-1]
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	w.active = f
+	w.size = size
+	return w.syncDir()
+}
+
+func (w *WAL) segmentPath(first uint64) string {
+	return filepath.Join(w.cfg.Dir, fmt.Sprintf("%020d%s", first, segSuffix))
+}
+
+// syncDir fsyncs the log directory so segment creations and deletions
+// survive a crash.
+func (w *WAL) syncDir() error {
+	if w.cfg.NoSync {
+		return nil
+	}
+	d, err := os.Open(w.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Append durably writes one record and returns its index. It blocks until
+// the record (and every record batched into the same group commit) is
+// fsynced. Safe for concurrent use; concurrency is what makes group commit
+// pay off.
+func (w *WAL) Append(rec []byte) (uint64, error) {
+	if int64(len(rec))+recordHeaderSize > w.cfg.SegmentBytes {
+		return 0, ErrTooBig
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.failErr != nil {
+		err := w.failErr
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.appendWg.Add(1)
+	w.mu.Unlock()
+	req := &appendReq{rec: rec, done: make(chan error, 1)}
+	w.appendCh <- req
+	w.appendWg.Done()
+	err := <-req.done
+	return req.idx, err
+}
+
+// writer is the group-commit loop: it blocks for one request, greedily
+// drains whatever else queued up, writes the whole group, fsyncs once, and
+// only then completes every request in the group.
+func (w *WAL) writer() {
+	defer w.wg.Done()
+	for {
+		var group []*appendReq
+		select {
+		case req := <-w.appendCh:
+			group = append(group, req)
+		case <-w.closeCh:
+			// Close waited for in-flight Appends before signalling, so
+			// whatever remains queued is the final group: commit it and
+			// exit.
+			for {
+				select {
+				case req := <-w.appendCh:
+					group = append(group, req)
+					continue
+				default:
+				}
+				break
+			}
+			if len(group) > 0 {
+				err := w.commit(group)
+				for _, req := range group {
+					req.done <- err
+				}
+			}
+			return
+		}
+	drain:
+		for len(group) < 1024 {
+			select {
+			case req := <-w.appendCh:
+				group = append(group, req)
+			default:
+				break drain
+			}
+		}
+		err := w.commit(group)
+		for _, req := range group {
+			req.done <- err
+		}
+	}
+}
+
+// commit writes and fsyncs one group, rotating segments as needed. Any
+// failure poisons the log (see failErr).
+func (w *WAL) commit(group []*appendReq) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr != nil {
+		return w.failErr
+	}
+	err := w.commitLocked(group)
+	if err != nil {
+		w.failErr = err
+	}
+	return err
+}
+
+func (w *WAL) commitLocked(group []*appendReq) error {
+	var buf []byte
+	dirty := false
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := w.active.Write(buf); err != nil {
+			return err
+		}
+		w.size += int64(len(buf))
+		buf = buf[:0]
+		dirty = true
+		return nil
+	}
+	for _, req := range group {
+		framed := int64(len(req.rec)) + recordHeaderSize
+		if w.size+int64(len(buf))+framed > w.cfg.SegmentBytes && w.size+int64(len(buf)) > 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := w.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		req.idx = w.next
+		w.next++
+		w.segments[len(w.segments)-1].last = req.idx
+		var hdr [recordHeaderSize]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(req.rec)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(req.rec))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, req.rec...)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if dirty && !w.cfg.NoSync {
+		return w.active.Sync()
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens the next one.
+func (w *WAL) rotateLocked() error {
+	if !w.cfg.NoSync {
+		if err := w.active.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := w.active.Close(); err != nil {
+		return err
+	}
+	w.segments = append(w.segments, segment{
+		path:  w.segmentPath(w.next),
+		first: w.next,
+		last:  w.next - 1,
+	})
+	f, err := os.OpenFile(w.segments[len(w.segments)-1].path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.active = f
+	w.size = 0
+	return w.syncDir()
+}
+
+// Replay streams every record in index order to fn. It must not run
+// concurrently with Append (callers replay once, right after OpenWAL,
+// before going live). A non-nil error from fn aborts the walk.
+func (w *WAL) Replay(fn func(idx uint64, rec []byte) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, seg := range w.segments {
+		if seg.last < seg.first {
+			continue // empty segment
+		}
+		if err := replaySegment(seg, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(seg segment, fn func(idx uint64, rec []byte) error) error {
+	raw, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	idx := seg.first
+	off := 0
+	for off < len(raw) {
+		if len(raw)-off < recordHeaderSize {
+			return fmt.Errorf("%w: torn header in %s", ErrCorrupt, seg.path)
+		}
+		n := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		sum := binary.BigEndian.Uint32(raw[off+4 : off+8])
+		off += recordHeaderSize
+		if n > maxRecordSize || n > len(raw)-off {
+			return fmt.Errorf("%w: torn record in %s", ErrCorrupt, seg.path)
+		}
+		payload := raw[off : off+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return fmt.Errorf("%w: crc mismatch in %s", ErrCorrupt, seg.path)
+		}
+		off += n
+		if err := fn(idx, payload); err != nil {
+			return err
+		}
+		idx++
+	}
+	return nil
+}
+
+// FirstIndex returns the index of the oldest retained record (0 when the
+// log is empty).
+func (w *WAL) FirstIndex() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, seg := range w.segments {
+		if seg.last >= seg.first {
+			return seg.first
+		}
+	}
+	return 0
+}
+
+// LastIndex returns the index of the newest record (0 when the log is
+// empty).
+func (w *WAL) LastIndex() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next - 1
+}
+
+// PruneTo deletes sealed segments every record of which has index below
+// keepFrom. The active segment is never deleted, so pruning keeps whole-
+// segment granularity: some records below keepFrom may survive until their
+// segment rotates out.
+func (w *WAL) PruneTo(keepFrom uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	kept := make([]segment, 0, len(w.segments))
+	removed := false
+	var rmErr error
+	for i, seg := range w.segments {
+		if rmErr == nil && i < len(w.segments)-1 && seg.last < keepFrom {
+			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				rmErr = err // removal failed: the file is still there, keep it
+			} else {
+				removed = true
+				continue
+			}
+		}
+		kept = append(kept, seg)
+	}
+	w.segments = kept
+	if rmErr != nil {
+		return fmt.Errorf("storage: %w", rmErr)
+	}
+	if removed {
+		return w.syncDir()
+	}
+	return nil
+}
+
+// Close stops the writer, fsyncs, and closes the active segment. Appends
+// in flight complete or fail with ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.appendWg.Wait()
+	close(w.closeCh)
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.cfg.NoSync {
+		if err := w.active.Sync(); err != nil {
+			w.active.Close()
+			return err
+		}
+	}
+	return w.active.Close()
+}
