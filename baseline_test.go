@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
 	"repro/internal/kafka"
 )
 
@@ -28,10 +29,14 @@ func runSoloBaseline(measure time.Duration) (float64, error) {
 	}
 	defer solo.Close()
 
-	stream := solo.Deliver("bench")
+	stream, err := solo.Deliver("bench", fabric.DeliverNewest())
+	if err != nil {
+		return 0, err
+	}
+	defer stream.Cancel()
 	var delivered atomic.Uint64
 	go func() {
-		for b := range stream {
+		for b := range stream.Blocks() {
 			delivered.Add(uint64(len(b.Envelopes)))
 		}
 	}()
@@ -46,7 +51,7 @@ func runSoloBaseline(measure time.Duration) (float64, error) {
 			default:
 			}
 			raw, _ := gen.Next()
-			if err := solo.BroadcastRaw(raw); err != nil {
+			if solo.BroadcastRaw(raw) != fabric.StatusSuccess {
 				return
 			}
 			// Closed loop against delivery so the signing pool, not an
@@ -110,7 +115,7 @@ func runKafkaBaseline(measure time.Duration) (float64, error) {
 			default:
 			}
 			raw, _ := gen.Next()
-			if err := osn.BroadcastRaw(raw); err != nil {
+			if osn.BroadcastRaw(raw) != fabric.StatusSuccess {
 				return
 			}
 			for delivered.Load()+2000 < gen.Sent() {

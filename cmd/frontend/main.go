@@ -1,23 +1,35 @@
-// Command frontend runs one ordering-service frontend over TCP: it relays
-// envelopes read from stdin (one payload per line) to the ordering cluster
-// and prints every released block.
+// Command frontend runs one ordering-service frontend over TCP and serves
+// the length-framed client protocol (internal/clientapi) to external
+// processes: Broadcast with typed status acks and Deliver positioned by a
+// seek (oldest / newest / a block number, with an optional stop).
 //
-// Example against the 4-node cluster of cmd/ordernode:
+// Server mode, against the 4-node cluster of cmd/ordernode:
 //
-//	frontend -id fe0 -listen :7100 \
-//	  -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003 \
-//	  -channel demo
+//	frontend -id fe0 -listen :7100 -client-listen :7101 -serve :7102 \
+//	  -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003
+//
+// Client mode (any number of processes, second terminal):
+//
+//	frontend -connect localhost:7102 -channel demo -seek oldest
+//
+// A client broadcasts every stdin line as an envelope payload and prints
+// the typed ack; delivered blocks print as they arrive, replayed history
+// first when the seek starts below the chain head.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/clientapi"
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -32,14 +44,32 @@ func main() {
 }
 
 func run() error {
+	// Server mode.
 	id := flag.String("id", "fe0", "frontend name (must match the nodes' -frontends entry)")
 	listen := flag.String("listen", ":7100", "TCP listen address for block reception")
 	clientListen := flag.String("client-listen", ":7101", "TCP listen address for the consensus client")
+	serve := flag.String("serve", ":7102", "TCP listen address for the external client protocol")
 	peersFlag := flag.String("peers", "", "replica address book: id=host:port,...")
-	channel := flag.String("channel", "demo", "channel to submit to and deliver from")
+	channelsFlag := flag.String("channels", "", "optional comma-separated channel allowlist (empty serves all)")
+	window := flag.Int("max-inflight", core.DefaultMaxInflight, "per-client backpressure window (envelopes in flight)")
+
+	// Client mode.
+	connect := flag.String("connect", "", "client mode: connect to a frontend's -serve address")
+	channel := flag.String("channel", "demo", "client mode: channel to submit to and deliver from")
+	seekFlag := flag.String("seek", "newest", "client mode: deliver position: oldest, newest, or a block number")
+	until := flag.Int64("until", -1, "client mode: stop (inclusive) block number; -1 tails forever")
 	flag.Parse()
 
-	peers, err := parseBook(*peersFlag)
+	if *connect != "" {
+		return runClient(*connect, *channel, *seekFlag, *until)
+	}
+	return runServer(*id, *listen, *clientListen, *serve, *peersFlag, *channelsFlag, *window)
+}
+
+// ---- server mode -------------------------------------------------------
+
+func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, window int) error {
+	peers, err := parseBook(peersFlag)
 	if err != nil {
 		return fmt.Errorf("bad -peers: %w", err)
 	}
@@ -56,10 +86,14 @@ func run() error {
 		replicas = append(replicas, consensus.ReplicaID(rid))
 		book[consensus.ReplicaID(rid).Addr()] = hostport
 	}
+	var channels []string
+	if strings.TrimSpace(channelsFlag) != "" {
+		channels = strings.Split(channelsFlag, ",")
+	}
 
 	conn, err := transport.NewTCPTransport(transport.TCPConfig{
-		Addr:   transport.Addr(*id),
-		Listen: *listen,
+		Addr:   transport.Addr(id),
+		Listen: listen,
 		Peers:  book,
 	})
 	if err != nil {
@@ -67,8 +101,8 @@ func run() error {
 	}
 	defer conn.Close()
 	clientConn, err := transport.NewTCPTransport(transport.TCPConfig{
-		Addr:   transport.Addr(*id + "-client"),
-		Listen: *clientListen,
+		Addr:   transport.Addr(id + "-client"),
+		Listen: clientListen,
 		Peers:  book,
 	})
 	if err != nil {
@@ -77,17 +111,72 @@ func run() error {
 	defer clientConn.Close()
 
 	fe, err := core.NewFrontendWithConns(core.FrontendConfig{
-		ID:       *id,
-		Replicas: replicas,
+		ID:          id,
+		Replicas:    replicas,
+		Channels:    channels,
+		MaxInflight: window,
+		// The window is shared by every wire client of this frontend; a
+		// bounded wait turns a stalled cluster into SERVICE_UNAVAILABLE
+		// acks instead of wedging client connections indefinitely.
+		BroadcastTimeout: 10 * time.Second,
 	}, conn, clientConn)
 	if err != nil {
 		return err
 	}
 	defer fe.Close()
 
-	blocks := fe.Deliver(*channel)
+	ln, err := net.Listen("tcp", serve)
+	if err != nil {
+		return err
+	}
+	srv := clientapi.NewServer(fe)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	defer srv.Close()
+
+	scope := "all channels"
+	if len(channels) > 0 {
+		scope = "channels " + strings.Join(channels, ", ")
+	}
+	fmt.Printf("frontend %s: %d ordering nodes, client API on %s (%s)\n",
+		id, len(replicas), ln.Addr(), scope)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("shutting down")
+		return nil
+	case err := <-errCh:
+		return err
+	}
+}
+
+// ---- client mode -------------------------------------------------------
+
+func runClient(addr, channel, seekFlag string, until int64) error {
+	seek, err := parseSeek(seekFlag)
+	if err != nil {
+		return err
+	}
+	if until >= 0 {
+		seek = seek.Through(uint64(until))
+	}
+	cli, err := clientapi.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	stream, err := cli.Deliver(channel, seek)
+	if err != nil {
+		return err
+	}
+	streamDone := make(chan struct{})
+	var streamErr error
 	go func() {
-		for b := range blocks {
+		defer close(streamDone)
+		for b := range stream.Blocks() {
 			fmt.Printf("block %d: %d envelopes, hash %s, %d signatures\n",
 				b.Header.Number, len(b.Envelopes), b.Header.Hash(), len(b.Signatures))
 			for _, raw := range b.Envelopes {
@@ -96,9 +185,13 @@ func run() error {
 				}
 			}
 		}
+		if streamErr = stream.Err(); streamErr != nil {
+			return
+		}
+		fmt.Println("stream complete")
 	}()
 
-	fmt.Printf("frontend %s connected to %d ordering nodes; type payloads:\n", *id, len(replicas))
+	fmt.Printf("connected to %s, delivering %q from %s; type payloads:\n", addr, channel, seekFlag)
 	scanner := bufio.NewScanner(os.Stdin)
 	for scanner.Scan() {
 		line := scanner.Text()
@@ -106,16 +199,49 @@ func run() error {
 			continue
 		}
 		env := &fabric.Envelope{
-			ChannelID:         *channel,
-			ClientID:          *id,
+			ChannelID:         channel,
+			ClientID:          "frontend-cli",
 			TimestampUnixNano: time.Now().UnixNano(),
 			Payload:           []byte(line),
 		}
-		if err := fe.Broadcast(env); err != nil {
+		status, detail, err := cli.Broadcast(env)
+		if err != nil {
 			return err
 		}
+		if status != fabric.StatusSuccess {
+			fmt.Printf("ack %s: %s\n", status, detail)
+			continue
+		}
+		fmt.Printf("ack %s\n", status)
 	}
-	return scanner.Err()
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	// stdin closed: with a stop position, wait for the replay to finish —
+	// and fail the process if the stream did, so scripted checks can trust
+	// the exit code.
+	if seek.HasStop {
+		<-streamDone
+		if streamErr != nil {
+			return fmt.Errorf("deliver: %w", streamErr)
+		}
+	}
+	return nil
+}
+
+// parseSeek maps the -seek flag onto a SeekInfo.
+func parseSeek(s string) (fabric.SeekInfo, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "oldest":
+		return fabric.DeliverOldest(), nil
+	case "newest", "":
+		return fabric.DeliverNewest(), nil
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return fabric.SeekInfo{}, fmt.Errorf("bad -seek %q: want oldest, newest, or a block number", s)
+	}
+	return fabric.DeliverFrom(n), nil
 }
 
 // parseBook parses "name=host:port,name=host:port" address books.

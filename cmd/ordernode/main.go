@@ -32,7 +32,6 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
-	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -53,6 +52,8 @@ func run() error {
 	batch := flag.Int("batch", 400, "consensus batch limit")
 	workers := flag.Int("workers", 16, "signing workers")
 	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + blocks + checkpoints); empty runs in-memory")
+	walSegment := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment size for the decision log and block store (compaction granularity)")
+	checkpointIvl := flag.Int64("checkpoint-interval", 0, "decisions between consensus checkpoints (0 = default); checkpoints prune the decision log")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
@@ -101,27 +102,20 @@ func run() error {
 	}
 	defer conn.Close()
 
-	var store *storage.NodeStorage
-	if *dataDir != "" {
-		store, err = storage.Open(*dataDir, storage.Options{})
-		if err != nil {
-			return fmt.Errorf("opening data dir: %w", err)
-		}
-		defer store.Close()
-	}
-
 	node, err := core.NewNode(core.NodeConfig{
 		Consensus: consensus.Config{
-			SelfID:    consensus.ReplicaID(*id),
-			Replicas:  replicas,
-			BatchSize: *batch,
-			Key:       key,
+			SelfID:             consensus.ReplicaID(*id),
+			Replicas:           replicas,
+			BatchSize:          *batch,
+			CheckpointInterval: *checkpointIvl,
+			Key:                key,
 		},
-		BlockSize:      *block,
-		BlockTimeout:   *blockTimeout,
-		SigningWorkers: *workers,
-		Key:            key,
-		Storage:        store,
+		BlockSize:       *block,
+		BlockTimeout:    *blockTimeout,
+		SigningWorkers:  *workers,
+		Key:             key,
+		DataDir:         *dataDir,
+		WALSegmentBytes: *walSegment,
 	}, conn)
 	if err != nil {
 		return err
@@ -129,8 +123,8 @@ func run() error {
 	node.Start()
 	defer node.Stop()
 	durability := "in-memory"
-	if store != nil {
-		durability = "durable at " + store.Dir()
+	if *dataDir != "" {
+		durability = "durable at " + *dataDir
 	}
 	fmt.Printf("ordering node %d listening on %s (%d replicas, block size %d, %s)\n",
 		*id, conn.ListenAddr(), len(replicas), *block, durability)

@@ -79,9 +79,12 @@ func run() error {
 
 	// Pump ordered blocks from the frontend into the committing peer
 	// (protocol step 5-6: validation and commit).
-	blocks := frontend.Deliver("business-channel")
+	stream, err := frontend.Deliver("business-channel", fabric.DeliverNewest())
+	if err != nil {
+		return err
+	}
 	go func() {
-		for b := range blocks {
+		for b := range stream.Blocks() {
 			result, err := committer.CommitBlock(b)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "commit:", err)
@@ -178,11 +181,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := frontend.Broadcast(envA); err != nil {
-		return err
+	if status := frontend.Broadcast(envA); status != fabric.StatusSuccess {
+		return fmt.Errorf("broadcast race-a ack %s", status)
 	}
-	if err := frontend.Broadcast(envB); err != nil {
-		return err
+	if status := frontend.Broadcast(envB); status != fabric.StatusSuccess {
+		return fmt.Errorf("broadcast race-b ack %s", status)
 	}
 	outcomes := map[string]fabric.TxValidationCode{}
 	for len(outcomes) < 2 {

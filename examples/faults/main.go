@@ -47,7 +47,11 @@ func run() error {
 		return err
 	}
 	defer frontend.Close()
-	blocks := frontend.Deliver("ch")
+	stream, err := frontend.Deliver("ch", fabric.DeliverNewest())
+	if err != nil {
+		return err
+	}
+	blocks := stream.Blocks()
 
 	var chain []*fabric.Block
 	next := 0
@@ -60,8 +64,8 @@ func run() error {
 				Payload:           []byte(fmt.Sprintf("%s-%d", label, next)),
 			}
 			next++
-			if err := frontend.Broadcast(env); err != nil {
-				return err
+			if status := frontend.Broadcast(env); status != fabric.StatusSuccess {
+				return fmt.Errorf("%s: broadcast ack %s", label, status)
 			}
 		}
 		received := 0

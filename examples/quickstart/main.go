@@ -39,7 +39,11 @@ func run() error {
 		return err
 	}
 	defer frontend.Close()
-	blocks := frontend.Deliver("demo-channel")
+	// Deliver(Newest) is the live tail: every block released from here on.
+	stream, err := frontend.Deliver("demo-channel", fabric.DeliverNewest())
+	if err != nil {
+		return err
+	}
 
 	const total = 12
 	for i := 0; i < total; i++ {
@@ -49,8 +53,8 @@ func run() error {
 			TimestampUnixNano: time.Now().UnixNano(),
 			Payload:           []byte(fmt.Sprintf("transaction %02d", i)),
 		}
-		if err := frontend.Broadcast(env); err != nil {
-			return err
+		if status := frontend.Broadcast(env); status != fabric.StatusSuccess {
+			return fmt.Errorf("broadcast ack %s", status)
 		}
 	}
 	fmt.Printf("submitted %d envelopes\n", total)
@@ -59,7 +63,7 @@ func run() error {
 	received := 0
 	for received < total {
 		select {
-		case b := <-blocks:
+		case b := <-stream.Blocks():
 			chain = append(chain, b)
 			received += len(b.Envelopes)
 			fmt.Printf("block %d: %d envelopes, header %s, %d node signatures\n",
@@ -68,6 +72,7 @@ func run() error {
 			return fmt.Errorf("timed out after %d envelopes", received)
 		}
 	}
+	stream.Cancel()
 
 	// The delivered blocks form a verifiable hash chain, and every block
 	// signature checks out against the nodes' registered keys.
@@ -80,5 +85,24 @@ func run() error {
 		}
 	}
 	fmt.Printf("verified: %d blocks, hash chain intact, all signatures valid\n", len(chain))
+
+	// Seek semantics: a second Deliver replays the sealed chain from block
+	// 0 and closes after the stop position — no resubmission, no gaps.
+	replay, err := frontend.Deliver("demo-channel",
+		fabric.DeliverOldest().Through(chain[len(chain)-1].Header.Number))
+	if err != nil {
+		return err
+	}
+	replayed := 0
+	for b := range replay.Blocks() {
+		if b.Header.Number != uint64(replayed) {
+			return fmt.Errorf("replay out of order: block %d at position %d", b.Header.Number, replayed)
+		}
+		replayed++
+	}
+	if err := replay.Err(); err != nil {
+		return fmt.Errorf("replay stream: %w", err)
+	}
+	fmt.Printf("replayed %d blocks via Deliver(Oldest..%d)\n", replayed, chain[len(chain)-1].Header.Number)
 	return nil
 }

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,4 +103,35 @@ func RunDurabilityComparison(cell Fig7Cell, dataDir string) (memory, durable Fig
 	cell.DataDir = dataDir
 	durable, err = RunFigure7Cell(cell)
 	return memory, durable, err
+}
+
+// DurabilityReport is the serialized form of one in-memory-vs-durable
+// comparison, written to BENCH_durability.json at the repo root so the
+// fsync cost's trajectory is tracked across PRs (a regression in the
+// group-commit path shows up as a falling DurableFraction).
+type DurabilityReport struct {
+	// Cell is the measured configuration.
+	Cell Fig7Cell
+	// Memory and Durable are the two measured rows.
+	Memory, Durable Fig7Row
+	// DurableFraction is Durable.TxPerSec / Memory.TxPerSec.
+	DurableFraction float64
+}
+
+// NewDurabilityReport assembles a report from one comparison.
+func NewDurabilityReport(cell Fig7Cell, memory, durable Fig7Row) DurabilityReport {
+	rep := DurabilityReport{Cell: cell, Memory: memory, Durable: durable}
+	if memory.TxPerSec > 0 {
+		rep.DurableFraction = durable.TxPerSec / memory.TxPerSec
+	}
+	return rep
+}
+
+// WriteDurabilityReport writes the report as indented JSON.
+func WriteDurabilityReport(path string, rep DurabilityReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

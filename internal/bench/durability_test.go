@@ -47,3 +47,33 @@ func TestRunDurableFigure7CellSmoke(t *testing.T) {
 	}
 	t.Logf("durable cell: %.0f tx/s, %.0f blocks/s", row.TxPerSec, row.BlockPerSec)
 }
+
+// TestDurabilityComparisonTrajectory runs one small Figure-7 cell twice
+// (in-memory and durable) and writes the result to BENCH_durability.json
+// at the repo root, so the cost of the fsync discipline is tracked across
+// PRs.
+func TestDurabilityComparisonTrajectory(t *testing.T) {
+	cell := Fig7Cell{
+		Nodes:     4,
+		BlockSize: 10,
+		EnvSize:   40,
+		Receivers: 1,
+		Clients:   4,
+		Window:    200,
+		Warmup:    300 * time.Millisecond,
+		Measure:   700 * time.Millisecond,
+	}
+	memory, durable, err := RunDurabilityComparison(cell, t.TempDir())
+	if err != nil {
+		t.Fatalf("RunDurabilityComparison: %v", err)
+	}
+	if memory.TxPerSec <= 0 || durable.TxPerSec <= 0 {
+		t.Fatalf("no throughput: memory %+v durable %+v", memory, durable)
+	}
+	rep := NewDurabilityReport(cell, memory, durable)
+	if err := WriteDurabilityReport("../../BENCH_durability.json", rep); err != nil {
+		t.Fatalf("writing report: %v", err)
+	}
+	t.Logf("durability: %.0f tx/s in-memory, %.0f tx/s durable (%.0f%%)",
+		memory.TxPerSec, durable.TxPerSec, 100*rep.DurableFraction)
+}

@@ -456,7 +456,7 @@ func RunGeoCell(cell GeoCell) ([]GeoRow, error) {
 				raw, seq := gen.Next()
 				run.times.Store(seq, time.Now())
 				run.inflight.Add(1)
-				if err := run.fe.BroadcastRaw(raw); err != nil {
+				if run.fe.BroadcastRaw(raw) != fabric.StatusSuccess {
 					return
 				}
 			}

@@ -1,0 +1,175 @@
+package clientapi
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+)
+
+// startSoloServer serves a solo orderer over the wire protocol on a
+// loopback listener and returns its address.
+func startSoloServer(t *testing.T, blockSize int) (string, *core.SoloOrderer) {
+	t.Helper()
+	key, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	solo, err := core.NewSoloOrderer(core.SoloConfig{BlockSize: blockSize, Key: key, SigningWorkers: 2})
+	if err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	t.Cleanup(solo.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(solo)
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), solo
+}
+
+func mkEnv(channel string, i int) *fabric.Envelope {
+	return &fabric.Envelope{
+		ChannelID:         channel,
+		ClientID:          "wire-test",
+		TimestampUnixNano: int64(i),
+		Payload:           []byte(fmt.Sprintf("payload-%d", i)),
+	}
+}
+
+// TestWireProtocolBroadcastAndDeliver drives the full loop over real TCP:
+// typed acks, a live Deliver stream, and a historical replay with a stop
+// position from a second connection.
+func TestWireProtocolBroadcastAndDeliver(t *testing.T) {
+	addr, _ := startSoloServer(t, 2)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cli.Close()
+
+	stream, err := cli.Deliver("ch", fabric.DeliverNewest())
+	if err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		status, detail, err := cli.Broadcast(mkEnv("ch", i))
+		if err != nil {
+			t.Fatalf("broadcast %d: %v", i, err)
+		}
+		if status != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d acked %s (%s)", i, status, detail)
+		}
+	}
+	var got []*fabric.Block
+	deadline := time.After(10 * time.Second)
+	for len(got) < 3 {
+		select {
+		case b, ok := <-stream.Blocks():
+			if !ok {
+				t.Fatalf("stream closed early: %v", stream.Err())
+			}
+			got = append(got, b)
+		case <-deadline:
+			t.Fatalf("timed out with %d blocks", len(got))
+		}
+	}
+	if err := fabric.VerifyChain(got); err != nil {
+		t.Fatalf("delivered chain: %v", err)
+	}
+	stream.Cancel()
+
+	// A second, late connection replays the sealed chain via a seek and
+	// stops at the stop position.
+	cli2, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer cli2.Close()
+	replay, err := cli2.Deliver("ch", fabric.DeliverOldest().Through(1))
+	if err != nil {
+		t.Fatalf("deliver oldest: %v", err)
+	}
+	var replayed []*fabric.Block
+	for b := range replay.Blocks() {
+		replayed = append(replayed, b)
+	}
+	if err := replay.Err(); err != nil {
+		t.Fatalf("replay ended with: %v", err)
+	}
+	if len(replayed) != 2 || replayed[0].Header.Number != 0 || replayed[1].Header.Number != 1 {
+		t.Fatalf("replayed %d blocks, want exactly 0..1", len(replayed))
+	}
+}
+
+// TestWireProtocolTypedErrors maps orderer rejections onto wire statuses.
+func TestWireProtocolTypedErrors(t *testing.T) {
+	addr, _ := startSoloServer(t, 2)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cli.Close()
+
+	// Empty channel: rejected by the orderer with BAD_REQUEST.
+	status, _, err := cli.Broadcast(&fabric.Envelope{ClientID: "x", Payload: []byte("y")})
+	if err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if status != fabric.StatusBadRequest {
+		t.Fatalf("empty-channel envelope acked %s, want BAD_REQUEST", status)
+	}
+	// A seek whose stop precedes its start fails the stream immediately.
+	stream, err := cli.Deliver("ch", fabric.DeliverFrom(5).Through(2))
+	if err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	select {
+	case _, ok := <-stream.Blocks():
+		if ok {
+			t.Fatal("bad seek delivered a block")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bad seek stream never ended")
+	}
+	if stream.Err() == nil {
+		t.Fatal("bad seek ended without error")
+	}
+}
+
+// TestWireProtocolCancel cancels a live tail and checks the stream closes
+// cleanly while the connection stays usable.
+func TestWireProtocolCancel(t *testing.T) {
+	addr, _ := startSoloServer(t, 2)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cli.Close()
+	stream, err := cli.Deliver("ch", fabric.DeliverNewest())
+	if err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	stream.Cancel()
+	select {
+	case _, ok := <-stream.Blocks():
+		if ok {
+			t.Fatal("canceled stream delivered a block")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled stream never closed")
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatalf("canceled stream ended with: %v", err)
+	}
+	// The connection still serves broadcasts.
+	if status, _, err := cli.Broadcast(mkEnv("ch", 0)); err != nil || status != fabric.StatusSuccess {
+		t.Fatalf("broadcast after cancel: %s, %v", status, err)
+	}
+}

@@ -1,0 +1,234 @@
+package clientapi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/fabric"
+)
+
+// Server exposes an orderer's AtomicBroadcast surface over the
+// length-framed TCP protocol. One server handles any number of client
+// connections; each connection multiplexes broadcast acks and any number
+// of concurrent Deliver streams. On the Deliver side a client that stops
+// draining its socket only stalls its own connection (the kernel send
+// buffer fills and that connection's stream pumps block). On the
+// Broadcast side the backpressure window belongs to the underlying
+// frontend and is shared by every connection it serves — deployments
+// should set the frontend's BroadcastTimeout (cmd/frontend does) so a
+// full window degrades into SERVICE_UNAVAILABLE acks rather than
+// blocking all connections' read loops for as long as the cluster
+// stalls.
+type Server struct {
+	orderer fabric.Orderer
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps an orderer (a core.Frontend or core.SoloOrderer).
+func NewServer(orderer fabric.Orderer) *Server {
+	return &Server{orderer: orderer, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes (or Close is
+// called). It blocks; run it on its own goroutine for a concurrent
+// server.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("clientapi: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, drops every connection, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// serverConn is one client connection's state.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frames from acks and stream pumps
+
+	mu      sync.Mutex
+	streams map[uint64]*fabric.BlockStream
+	wg      sync.WaitGroup
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	sc := &serverConn{srv: s, conn: conn, streams: make(map[uint64]*fabric.BlockStream)}
+	sc.readLoop()
+	// Tear down: cancel every stream the client left open, wait for their
+	// pumps, then drop the connection.
+	sc.mu.Lock()
+	for _, stream := range sc.streams {
+		stream.Cancel()
+	}
+	sc.mu.Unlock()
+	sc.wg.Wait()
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (sc *serverConn) readLoop() {
+	for {
+		payload, err := readFrame(sc.conn)
+		if err != nil {
+			return
+		}
+		f, err := decodeFrame(payload)
+		if err != nil {
+			return // protocol violation: drop the connection
+		}
+		switch f.kind {
+		case msgBroadcast:
+			sc.onBroadcast(f)
+		case msgDeliver:
+			sc.onDeliver(f)
+		case msgCancel:
+			sc.mu.Lock()
+			stream := sc.streams[f.id]
+			sc.mu.Unlock()
+			if stream != nil {
+				stream.Cancel()
+			}
+		default:
+			return // clients must not send server-side frames
+		}
+	}
+}
+
+func (sc *serverConn) write(frame []byte) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	return writeFrame(sc.conn, frame)
+}
+
+// onBroadcast unmarshals and submits the envelope, then acks with the
+// orderer's typed status. The submit runs on the read loop, so a full
+// backpressure window slows this client's own frame intake — exactly the
+// per-client flow control the window exists for.
+func (sc *serverConn) onBroadcast(f frame) {
+	env, err := fabric.UnmarshalEnvelope(f.envelope)
+	var status fabric.BroadcastStatus
+	detail := ""
+	if err != nil {
+		status = fabric.StatusBadRequest
+		detail = err.Error()
+	} else {
+		status = sc.srv.orderer.Broadcast(env)
+		if status != fabric.StatusSuccess {
+			detail = status.Err().Error()
+		}
+	}
+	sc.write(encodeAck(f.id, status, detail))
+}
+
+// onDeliver opens the stream and pumps its blocks to the client until it
+// ends; the terminal frame carries the stream's outcome.
+func (sc *serverConn) onDeliver(f frame) {
+	stream, err := sc.srv.orderer.Deliver(f.channel, f.seek)
+	if err != nil {
+		sc.write(encodeStreamEnd(f.id, fabric.StatusOf(err), err.Error()))
+		return
+	}
+	sc.mu.Lock()
+	if _, dup := sc.streams[f.id]; dup {
+		sc.mu.Unlock()
+		stream.Cancel()
+		sc.write(encodeStreamEnd(f.id, fabric.StatusBadRequest, "stream id already in use"))
+		return
+	}
+	sc.streams[f.id] = stream
+	sc.wg.Add(1)
+	sc.mu.Unlock()
+
+	go func() {
+		defer sc.wg.Done()
+		// On a write failure the stream is canceled but still drained to
+		// the close: Err is only valid (and race-free) once Blocks()
+		// closed, which the producer does after observing the cancel.
+		writeFailed := false
+		for b := range stream.Blocks() {
+			if writeFailed {
+				continue
+			}
+			if err := sc.write(encodeBlock(f.id, b)); err != nil {
+				stream.Cancel()
+				writeFailed = true
+			}
+		}
+		status, detail := fabric.StatusSuccess, ""
+		if err := stream.Err(); err != nil {
+			status = fabric.StatusOf(err)
+			detail = err.Error()
+		}
+		sc.write(encodeStreamEnd(f.id, status, detail))
+		sc.mu.Lock()
+		delete(sc.streams, f.id)
+		sc.mu.Unlock()
+	}()
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("clientapi: %w", err)
+	}
+	return s.Serve(ln)
+}

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
-	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -37,7 +36,8 @@ type ClusterConfig struct {
 	BatchTimeout time.Duration
 	// RequestTimeout is the leader-change trigger.
 	RequestTimeout time.Duration
-	// CheckpointInterval bounds the decision log.
+	// CheckpointInterval bounds the decision log (decisions between
+	// application checkpoints; zero keeps the consensus default).
 	CheckpointInterval int64
 	// Tentative enables WHEAT's tentative execution.
 	Tentative bool
@@ -50,6 +50,9 @@ type ClusterConfig struct {
 	// WAL, block store, and checkpoints under DataDir/node-<i>, and
 	// RestartNode can crash-recover it from there.
 	DataDir string
+	// WALSegmentBytes overrides the nodes' WAL segment size (decision log
+	// and block store; zero keeps the 4 MiB default).
+	WALSegmentBytes int64
 }
 
 // Cluster is a running in-process ordering service.
@@ -64,7 +67,6 @@ type Cluster struct {
 	cfg      ClusterConfig
 	replicas []consensus.ReplicaID
 	keys     []*cryptoutil.KeyPair
-	storages []*storage.NodeStorage
 	ownsNet  bool
 }
 
@@ -93,7 +95,6 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		ownsNet:  ownsNet,
 	}
 	c.keys = make([]*cryptoutil.KeyPair, cfg.Nodes)
-	c.storages = make([]*storage.NodeStorage, cfg.Nodes)
 	for i, id := range replicas {
 		key, err := cryptoutil.GenerateKeyPair()
 		if err != nil {
@@ -115,19 +116,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// startNode joins node i to the network (opening its durable storage when
-// the cluster has a data directory) and constructs it. The caller starts
-// it.
+// startNode joins node i to the network and constructs it; with a data
+// directory the node opens (and owns) its durable storage under
+// DataDir/node-<i>. The caller starts it.
 func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 	id := c.replicas[i]
-	var store *storage.NodeStorage
+	dataDir := ""
 	if c.cfg.DataDir != "" {
-		var err error
-		store, err = storage.Open(c.NodeDataDir(i), storage.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: node %d storage: %w", id, err)
-		}
-		c.storages[i] = store
+		dataDir = c.NodeDataDir(i)
 	}
 	conn, err := c.Network.Join(id.Addr())
 	if err != nil {
@@ -147,13 +143,14 @@ func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 			Key:                c.keys[i],
 			Registry:           c.Registry,
 		},
-		BlockSize:      c.cfg.BlockSize,
-		MaxBlockBytes:  c.cfg.MaxBlockBytes,
-		BlockTimeout:   c.cfg.BlockTimeout,
-		SigningWorkers: c.cfg.SigningWorkers,
-		DisableSigning: c.cfg.DisableSigning,
-		Key:            c.keys[i],
-		Storage:        store,
+		BlockSize:       c.cfg.BlockSize,
+		MaxBlockBytes:   c.cfg.MaxBlockBytes,
+		BlockTimeout:    c.cfg.BlockTimeout,
+		SigningWorkers:  c.cfg.SigningWorkers,
+		DisableSigning:  c.cfg.DisableSigning,
+		Key:             c.keys[i],
+		DataDir:         dataDir,
+		WALSegmentBytes: c.cfg.WALSegmentBytes,
 	}, conn)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
@@ -167,9 +164,9 @@ func (c *Cluster) NodeDataDir(i int) string {
 	return filepath.Join(c.cfg.DataDir, "node-"+strconv.Itoa(i))
 }
 
-// KillNode crashes node i: it is stopped, detached from the network, and
-// its storage is closed, leaving only the on-disk state. A no-op for an
-// already-killed node.
+// KillNode crashes node i: it is stopped (which closes its storage,
+// leaving only the on-disk state) and detached from the network. A no-op
+// for an already-killed node.
 func (c *Cluster) KillNode(i int) {
 	if c.Nodes[i] == nil {
 		return
@@ -177,10 +174,6 @@ func (c *Cluster) KillNode(i int) {
 	c.Nodes[i].Stop()
 	c.Network.Disconnect(c.replicas[i].Addr())
 	c.Nodes[i] = nil
-	if c.storages[i] != nil {
-		c.storages[i].Close()
-		c.storages[i] = nil
-	}
 }
 
 // RestartNode recovers a killed node from its data directory and rejoins
@@ -230,18 +223,12 @@ func (c *Cluster) Leader() *OrderingNode {
 	return c.Nodes[int(reg)%len(c.Nodes)]
 }
 
-// Stop shuts down all nodes, closes their storage, and closes the network
-// if the cluster created it.
+// Stop shuts down all nodes (each closes its own storage) and closes the
+// network if the cluster created it.
 func (c *Cluster) Stop() {
 	for _, node := range c.Nodes {
 		if node != nil {
 			node.Stop()
-		}
-	}
-	for i, store := range c.storages {
-		if store != nil {
-			store.Close()
-			c.storages[i] = nil
 		}
 	}
 	if c.ownsNet && c.Network != nil {

@@ -45,6 +45,18 @@ func mkEnvelope(channel string, i, size int) *fabric.Envelope {
 	}
 }
 
+// deliverNewest subscribes to a channel's live tail (the pre-seek Deliver
+// semantics) and returns the raw block channel.
+func deliverNewest(t *testing.T, ord fabric.Orderer, channel string) <-chan *fabric.Block {
+	t.Helper()
+	stream, err := ord.Deliver(channel, fabric.DeliverNewest())
+	if err != nil {
+		t.Fatalf("deliver %q: %v", channel, err)
+	}
+	t.Cleanup(stream.Cancel)
+	return stream.Blocks()
+}
+
 // collectBlocks reads blocks from a stream until want envelopes arrived.
 func collectBlocks(t *testing.T, stream <-chan *fabric.Block, wantEnvs int, within time.Duration) []*fabric.Block {
 	t.Helper()
@@ -69,12 +81,12 @@ func collectBlocks(t *testing.T, stream <-chan *fabric.Block, wantEnvs int, with
 func TestOrderingServiceEndToEnd(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 5})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch1")
+	stream := deliverNewest(t, fe, "ch1")
 
 	const envs = 20
 	for i := 0; i < envs; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch1", i, 64)); err != nil {
-			t.Fatalf("broadcast %d: %v", i, err)
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 64)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d: %v", i, st)
 		}
 	}
 	blocks := collectBlocks(t, stream, envs, 10*time.Second)
@@ -112,10 +124,10 @@ func TestOrderingServiceEndToEnd(t *testing.T) {
 func TestOrderingServiceVerifyMode(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
 	fe := testFrontend(t, c, "frontend-v", true) // f+1 verified signatures
-	stream := fe.Deliver("ch1")
+	stream := deliverNewest(t, fe, "ch1")
 	for i := 0; i < 6; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch1", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 6, 10*time.Second)
@@ -127,15 +139,15 @@ func TestOrderingServiceVerifyMode(t *testing.T) {
 func TestOrderingServiceMultiChannel(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 3})
 	fe := testFrontend(t, c, "frontend-0", false)
-	streamA := fe.Deliver("alpha")
-	streamB := fe.Deliver("beta")
+	streamA := deliverNewest(t, fe, "alpha")
+	streamB := deliverNewest(t, fe, "beta")
 
 	for i := 0; i < 9; i++ {
-		if err := fe.Broadcast(mkEnvelope("alpha", i, 16)); err != nil {
-			t.Fatalf("broadcast alpha: %v", err)
+		if st := fe.Broadcast(mkEnvelope("alpha", i, 16)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast alpha: %v", st)
 		}
-		if err := fe.Broadcast(mkEnvelope("beta", 100+i, 16)); err != nil {
-			t.Fatalf("broadcast beta: %v", err)
+		if st := fe.Broadcast(mkEnvelope("beta", 100+i, 16)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast beta: %v", st)
 		}
 	}
 	blocksA := collectBlocks(t, streamA, 9, 10*time.Second)
@@ -165,8 +177,8 @@ func TestMultipleFrontendsSeeSameChain(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 4})
 	fe1 := testFrontend(t, c, "frontend-1", false)
 	fe2 := testFrontend(t, c, "frontend-2", false)
-	stream1 := fe1.Deliver("ch")
-	stream2 := fe2.Deliver("ch")
+	stream1 := deliverNewest(t, fe1, "ch")
+	stream2 := deliverNewest(t, fe2, "ch")
 
 	const envs = 16
 	for i := 0; i < envs; i++ {
@@ -174,8 +186,8 @@ func TestMultipleFrontendsSeeSameChain(t *testing.T) {
 		if i%2 == 1 {
 			src = fe2
 		}
-		if err := src.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := src.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks1 := collectBlocks(t, stream1, envs, 10*time.Second)
@@ -193,7 +205,7 @@ func TestMultipleFrontendsSeeSameChain(t *testing.T) {
 func TestOrderingSurvivesCrashFollower(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	// Crash one non-leader node: 3 of 4 remain, quorums still form, and
 	// frontends still gather 2f+1 = 3 matching copies.
@@ -201,8 +213,8 @@ func TestOrderingSurvivesCrashFollower(t *testing.T) {
 	c.Network.Disconnect(consensus.ReplicaID(2).Addr())
 
 	for i := 0; i < 8; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 8, 10*time.Second)
@@ -216,11 +228,11 @@ func TestOrderingSurvivesCrashLeader(t *testing.T) {
 		Nodes: 4, BlockSize: 2, RequestTimeout: 500 * time.Millisecond,
 	})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	for i := 0; i < 4; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	collectBlocks(t, stream, 4, 10*time.Second)
@@ -231,8 +243,8 @@ func TestOrderingSurvivesCrashLeader(t *testing.T) {
 	c.Network.Disconnect(consensus.ReplicaID(0).Addr())
 
 	for i := 4; i < 10; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 6, 15*time.Second)
@@ -248,10 +260,10 @@ func TestOrderingByzantineLeader(t *testing.T) {
 	c.Nodes[0].Replica().SetBehavior(consensus.Behavior{Equivocate: true})
 
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 	for i := 0; i < 6; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 6, 15*time.Second)
@@ -270,10 +282,10 @@ func TestWheatClusterOrdering(t *testing.T) {
 		Nodes: 5, F: 1, BlockSize: 5, Tentative: true, Weights: weights,
 	})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 	for i := 0; i < 20; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 64)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 64)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 20, 10*time.Second)
@@ -287,12 +299,12 @@ func TestBlockTimeoutCutsPartialBlocks(t *testing.T) {
 		Nodes: 4, BlockSize: 100, BlockTimeout: 100 * time.Millisecond,
 	})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	// Only 3 envelopes: far below the block size; the TTC path must cut.
 	for i := 0; i < 3; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 3, 10*time.Second)
@@ -307,7 +319,7 @@ func TestBlockTimeoutCutsPartialBlocks(t *testing.T) {
 func TestFrontendRejectsForgedBlocks(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	// An attacker (not an ordering node) floods forged blocks; the
 	// frontend must ignore them because they come from unknown senders.
@@ -325,8 +337,8 @@ func TestFrontendRejectsForgedBlocks(t *testing.T) {
 	// possible via the hub (addresses are unique), so instead verify that
 	// legitimate traffic still flows and the forged block never surfaced.
 	for i := 0; i < 4; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 4, 10*time.Second)
@@ -346,10 +358,10 @@ func TestFrontendRejectsForgedBlocks(t *testing.T) {
 func TestNodeStatsProgress(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 	for i := 0; i < 6; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch", i, 32)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	collectBlocks(t, stream, 6, 10*time.Second)
@@ -386,10 +398,10 @@ func TestSoloOrderer(t *testing.T) {
 	}
 	defer solo.Close()
 
-	stream := solo.Deliver("ch")
+	stream := deliverNewest(t, solo, "ch")
 	for i := 0; i < 9; i++ {
-		if err := solo.Broadcast(mkEnvelope("ch", i, 16)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := solo.Broadcast(mkEnvelope("ch", i, 16)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collectBlocks(t, stream, 9, 5*time.Second)
@@ -417,9 +429,9 @@ func TestSoloOrdererTimeout(t *testing.T) {
 		t.Fatalf("NewSoloOrderer: %v", err)
 	}
 	defer solo.Close()
-	stream := solo.Deliver("ch")
-	if err := solo.Broadcast(mkEnvelope("ch", 0, 16)); err != nil {
-		t.Fatalf("broadcast: %v", err)
+	stream := deliverNewest(t, solo, "ch")
+	if st := solo.Broadcast(mkEnvelope("ch", 0, 16)); st != fabric.StatusSuccess {
+		t.Fatalf("broadcast: %v", st)
 	}
 	collectBlocks(t, stream, 1, 5*time.Second)
 }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+)
+
+// streamDeliverer drives one Deliver subscription for any orderer: it
+// stitches replayed history (the orderer's retained window, plus ranges
+// fetched through the optional fetch hook) and the live queue into one
+// gapless, duplicate-free stream, honoring the seek's start and stop
+// positions. Frontend and solo orderer share this loop; only the fetch
+// hooks differ.
+type streamDeliverer struct {
+	seek   fabric.SeekInfo
+	hist   []*fabric.Block // retained released blocks, contiguous
+	q      *blockQueue     // live feed
+	stream *fabric.BlockStream
+
+	// fetch retrieves blocks [from, to) authenticated against anchorPrev
+	// (the header hash of block to-1). Nil when the orderer has no fetch
+	// path (solo): history below the retained window is then unavailable.
+	fetch func(from, to uint64, anchorPrev cryptoutil.Digest) ([]*fabric.Block, error)
+	// quorumFetch retrieves blocks [from, to) authenticated by quorum
+	// agreement on the top block instead of a locally trusted anchor.
+	// Used (when non-nil) for bounded historical seeks issued before any
+	// live block has anchored the chain; a failure falls back to
+	// quorumHead, then to waiting for a live anchor.
+	quorumFetch func(from, to uint64) ([]*fabric.Block, error)
+	// quorumHead returns a block f+1 peers agree sits at (or near) the
+	// chain's head, anchoring unbounded historical seeks on an idle chain
+	// — without it, replay would stall until fresh live traffic arrives.
+	quorumHead func() (*fabric.Block, error)
+	// closedErr is what the stream closes with when the live queue closes
+	// under it (the orderer shut down).
+	closedErr error
+
+	next uint64 // next block number owed to the stream
+}
+
+// run executes the delivery plan. It must be called on its own goroutine;
+// the caller owns queue registration and stream cleanup.
+func (d *streamDeliverer) run() {
+	d.next = d.seek.FirstNumber()
+
+	var pendingLive *fabric.Block
+	if d.seek.Kind != fabric.SeekNewest {
+		// With no retained history, try to resolve the replay without
+		// waiting for live traffic: a bounded seek fetches its exact range
+		// under quorum agreement on the stop block; otherwise a
+		// quorum-agreed head block anchors the replay up to the current
+		// chain tip (the live stream's gap fill covers anything sealed
+		// after the probe).
+		anchored := false
+		// A bounded seek that ends below the retained window resolves by
+		// an exact quorum fetch of just [start, stop] — both when there is
+		// no history at all and when the window starts far above the stop
+		// (replaying the whole gap up to the window only to discard it
+		// would cost a full-chain fetch).
+		belowWindow := len(d.hist) == 0 || (d.seek.HasStop && d.seek.Stop < d.hist[0].Header.Number)
+		if belowWindow {
+			if d.seek.HasStop && d.quorumFetch != nil {
+				if blocks, err := d.quorumFetch(d.next, d.seek.Stop+1); err == nil {
+					for _, b := range blocks {
+						if !d.emit(b) {
+							return
+						}
+					}
+					d.stream.Close(nil)
+					return
+				}
+				// Unresolvable (e.g. the stop block is not sealed yet):
+				// try the head anchor, then the live-anchor path.
+			}
+		}
+		if len(d.hist) == 0 {
+			if d.quorumHead != nil {
+				if head, err := d.quorumHead(); err == nil {
+					if d.next < head.Header.Number {
+						if !d.fetchAndEmit(d.next, head.Header.Number, head.Header.PrevHash) {
+							return
+						}
+					}
+					if head.Header.Number >= d.next && !d.emit(head) {
+						return
+					}
+					anchored = true
+				}
+			}
+		}
+		// Establish the trusted anchor for any range that must be fetched:
+		// the oldest retained block, or — with no history for the channel —
+		// the first released live block.
+		var anchorNum uint64
+		var anchorPrev cryptoutil.Digest
+		switch {
+		case anchored:
+			// History already replayed up to the quorum head; the live
+			// loop takes over from d.next.
+		case len(d.hist) > 0:
+			anchorNum = d.hist[0].Header.Number
+			anchorPrev = d.hist[0].Header.PrevHash
+		default:
+			b, ok := d.nextLive()
+			if !ok {
+				return
+			}
+			pendingLive = b
+			anchorNum = b.Header.Number
+			anchorPrev = b.Header.PrevHash
+		}
+		if !anchored && d.next < anchorNum {
+			if !d.fetchAndEmit(d.next, anchorNum, anchorPrev) {
+				return
+			}
+		}
+		for _, b := range d.hist {
+			if b.Header.Number < d.next {
+				continue
+			}
+			if b.Header.Number > d.next {
+				// Defensive: the retained window is kept contiguous, but a
+				// gap here must fetch rather than silently skip.
+				if !d.fetchAndEmit(d.next, b.Header.Number, b.Header.PrevHash) {
+					return
+				}
+			}
+			if !d.emit(b) {
+				return
+			}
+		}
+	}
+
+	first := d.seek.Kind == fabric.SeekNewest
+	handleLive := func(b *fabric.Block) bool {
+		if first {
+			d.next = b.Header.Number
+			first = false
+		}
+		if b.Header.Number < d.next {
+			return true // duplicate of the replayed history
+		}
+		if b.Header.Number > d.next {
+			// The release path skipped past blocks this subscription still
+			// owes (it provably cannot release them itself, e.g. they
+			// predate the frontend's registration): back-fill the gap,
+			// anchored at the live block above it.
+			if !d.fetchAndEmit(d.next, b.Header.Number, b.Header.PrevHash) {
+				return false
+			}
+		}
+		return d.emit(b)
+	}
+	if pendingLive != nil && !handleLive(pendingLive) {
+		return
+	}
+	for {
+		b, ok := d.nextLive()
+		if !ok {
+			return
+		}
+		if !handleLive(b) {
+			return
+		}
+	}
+}
+
+// emit pushes the next block and handles the stop position; it returns
+// false when the stream is finished (stop reached or canceled).
+func (d *streamDeliverer) emit(b *fabric.Block) bool {
+	if d.seek.HasStop && b.Header.Number > d.seek.Stop {
+		d.stream.Close(nil)
+		return false
+	}
+	if !d.stream.Push(b) {
+		d.stream.Close(nil) // canceled
+		return false
+	}
+	d.next = b.Header.Number + 1
+	if d.seek.HasStop && b.Header.Number == d.seek.Stop {
+		d.stream.Close(nil)
+		return false
+	}
+	return true
+}
+
+// fetchAndEmit retrieves and emits blocks [from, to) through the fetch
+// hook, closing the stream with an error when no verifiable copy exists.
+func (d *streamDeliverer) fetchAndEmit(from, to uint64, anchorPrev cryptoutil.Digest) bool {
+	if d.fetch == nil {
+		d.stream.Close(fmt.Errorf("%w: blocks %d..%d fell out of the retained history",
+			fabric.ErrBlockNotFound, from, to-1))
+		return false
+	}
+	blocks, err := d.fetch(from, to, anchorPrev)
+	if err != nil {
+		// A fetch aborted by the consumer's own cancel is a clean stop,
+		// not a failure.
+		select {
+		case <-d.stream.Canceled():
+			d.stream.Close(nil)
+		default:
+			d.stream.Close(err)
+		}
+		return false
+	}
+	for _, b := range blocks {
+		if !d.emit(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextLive waits for the next live block, honoring cancellation and
+// orderer shutdown.
+func (d *streamDeliverer) nextLive() (*fabric.Block, bool) {
+	select {
+	case b, ok := <-d.q.out:
+		if !ok {
+			d.stream.Close(d.closedErr)
+			return nil, false
+		}
+		return b, true
+	case <-d.stream.Canceled():
+		d.stream.Close(nil)
+		return nil, false
+	}
+}

@@ -37,12 +37,12 @@ func TestDurableClusterRecoversAcrossFullRestart(t *testing.T) {
 	dataDir := t.TempDir()
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 5, DataDir: dataDir})
 	fe := testFrontend(t, c, "frontend-a", false)
-	stream := fe.Deliver("ch1")
+	stream := deliverNewest(t, fe, "ch1")
 
 	const envs = 20
 	for i := 0; i < envs; i++ {
-		if err := fe.Broadcast(mkEnvelope("ch1", i, 64)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 64)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	collectBlocks(t, stream, envs, 10*time.Second)
@@ -81,10 +81,10 @@ func TestDurableClusterRecoversAcrossFullRestart(t *testing.T) {
 	// frontier or the new blocks would break the hash chain.
 	c2 := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 5, DataDir: dataDir})
 	fe2 := testFrontend(t, c2, "frontend-b", false)
-	stream2 := fe2.Deliver("ch1")
+	stream2 := deliverNewest(t, fe2, "ch1")
 	for i := envs; i < envs+5; i++ {
-		if err := fe2.Broadcast(mkEnvelope("ch1", i, 64)); err != nil {
-			t.Fatalf("broadcast after restart: %v", err)
+		if st := fe2.Broadcast(mkEnvelope("ch1", i, 64)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast after restart: %v", st)
 		}
 	}
 	fresh := collectBlocks(t, stream2, 5, 10*time.Second)
@@ -104,13 +104,13 @@ func TestDurableClusterRecoversAcrossFullRestart(t *testing.T) {
 func TestKilledNodeRestartsFromDataDirAndCatchesUp(t *testing.T) {
 	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2, DataDir: t.TempDir()})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch1")
+	stream := deliverNewest(t, fe, "ch1")
 
 	submit := func(from, count int) {
 		t.Helper()
 		for i := from; i < from+count; i++ {
-			if err := fe.Broadcast(mkEnvelope("ch1", i, 32)); err != nil {
-				t.Fatalf("broadcast %d: %v", i, err)
+			if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+				t.Fatalf("broadcast %d: %v", i, st)
 			}
 		}
 		collectBlocks(t, stream, count, 10*time.Second)
@@ -151,13 +151,13 @@ func TestRestartedNodeCatchesUpAcrossLeaderChange(t *testing.T) {
 		RequestTimeout: time.Second, // fast leader change
 	})
 	fe := testFrontend(t, c, "frontend-0", false)
-	stream := fe.Deliver("ch1")
+	stream := deliverNewest(t, fe, "ch1")
 
 	submit := func(from, count int) {
 		t.Helper()
 		for i := from; i < from+count; i++ {
-			if err := fe.Broadcast(mkEnvelope("ch1", i, 32)); err != nil {
-				t.Fatalf("broadcast %d: %v", i, err)
+			if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+				t.Fatalf("broadcast %d: %v", i, st)
 			}
 		}
 		collectBlocks(t, stream, count, 20*time.Second)
@@ -186,5 +186,74 @@ func TestRestartedNodeCatchesUpAcrossLeaderChange(t *testing.T) {
 	}
 	if reg := c.Nodes[3].Replica().Stats().Regency; reg < 1 {
 		t.Fatalf("restarted node never adopted the current regency (%d)", reg)
+	}
+}
+
+// TestRestartAfterCheckpointJumpBackfillsBlocks: kill a node, advance the
+// cluster far past a (small) checkpoint interval so the survivors prune
+// the decision log, restart the node, and keep ordering. The restarted
+// replica is jumped forward by a peer checkpoint, which skips blocks its
+// local store never sealed; the FetchBlocks back-fill must close that gap
+// so the durable chain is contiguous to full height.
+func TestRestartAfterCheckpointJumpBackfillsBlocks(t *testing.T) {
+	c := testCluster(t, ClusterConfig{
+		Nodes:              4,
+		BlockSize:          2,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2, // checkpoint (and prune) aggressively
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := deliverNewest(t, fe, "ch1")
+
+	next := 0
+	submit := func(count int) {
+		t.Helper()
+		for i := 0; i < count; i++ {
+			if st := fe.Broadcast(mkEnvelope("ch1", next, 32)); st != fabric.StatusSuccess {
+				t.Fatalf("broadcast %d: %s", next, st)
+			}
+			next++
+		}
+		collectBlocks(t, stream, count, 10*time.Second)
+	}
+
+	submit(6) // blocks 0..2
+	waitLedgerHeight(t, c.Nodes[3], "ch1", 3, 5*time.Second)
+	c.KillNode(3)
+
+	// Many separate submit rounds while the node is down: each round is at
+	// least one consensus decision, so the survivors take several
+	// checkpoints and prune the log the restarted node would need to
+	// replay — forcing a checkpoint jump instead of decision catch-up.
+	for round := 0; round < 8; round++ {
+		submit(2) // blocks 3..10
+	}
+
+	if err := c.RestartNode(3); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	submit(4) // fresh traffic drives the state transfer and the jump
+
+	// The back-fill must leave node 3's durable chain contiguous at full
+	// height: every block from genesis, hash-chain intact.
+	target := uint64(next / 2)
+	led := waitLedgerHeight(t, c.Nodes[3], "ch1", target, 30*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("back-filled chain does not verify: %v", err)
+	}
+	b0, err := led.Block(0)
+	if err != nil || b0.Header.Number != 0 {
+		t.Fatalf("genesis missing after back-fill: %v", err)
+	}
+
+	// And the on-disk copy agrees after another restart: the gap was
+	// filled durably, not just in memory.
+	c.KillNode(3)
+	if err := c.RestartNode(3); err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	led = waitLedgerHeight(t, c.Nodes[3], "ch1", target, 15*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("chain after second restart: %v", err)
 	}
 }

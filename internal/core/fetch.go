@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file implements the FetchBlocks RPC: a requester (a frontend
+// serving a historical Deliver seek, or a restarted node back-filling the
+// gap a peer-checkpoint jump left in its durable chain) asks a peer for a
+// range of sealed blocks, and the peer serves them from its durable
+// ledger. A single peer is never trusted: every fetched range must link,
+// hash over hash, into an anchor the requester already trusts (a
+// quorum-released block for frontends, the post-jump chain state for
+// nodes), so a Byzantine server can stall a fetch but never feed a forged
+// history.
+
+// maxFetchBlocks caps the blocks served per response; requesters ask for
+// the next window until the range is covered.
+const maxFetchBlocks = 128
+
+// Fetch tuning.
+const (
+	// fetchWindowTimeout bounds one request/response round trip.
+	fetchWindowTimeout = 2 * time.Second
+	// fetchRounds is how many passes over the peer set a range fetch makes
+	// before giving up.
+	fetchRounds = 3
+	// fetchRetryDelay spaces consecutive passes (peers may still be
+	// recovering).
+	fetchRetryDelay = 250 * time.Millisecond
+)
+
+// ErrFetchFailed reports that no peer could serve a verifiable block range.
+var ErrFetchFailed = errors.New("core: block fetch failed")
+
+// fetchRequest asks for blocks [From, To) of Channel.
+type fetchRequest struct {
+	ReqID   uint64
+	Channel string
+	From    uint64
+	To      uint64
+}
+
+func (q fetchRequest) marshal() []byte {
+	w := wire.NewWriter(32 + len(q.Channel))
+	w.PutUint64(q.ReqID)
+	w.PutString(q.Channel)
+	w.PutUint64(q.From)
+	w.PutUint64(q.To)
+	return w.Bytes()
+}
+
+func unmarshalFetchRequest(payload []byte) (fetchRequest, error) {
+	r := wire.NewReader(payload)
+	q := fetchRequest{
+		ReqID:   r.Uint64(),
+		Channel: r.String(),
+		From:    r.Uint64(),
+		To:      r.Uint64(),
+	}
+	if err := r.Finish(); err != nil {
+		return fetchRequest{}, fmt.Errorf("fetch request: %w", err)
+	}
+	return q, nil
+}
+
+// fetchResponse carries a contiguous run of marshalled blocks starting at
+// From (empty when the server cannot serve the range).
+type fetchResponse struct {
+	ReqID  uint64
+	From   uint64
+	Blocks [][]byte
+}
+
+func (p fetchResponse) marshal() []byte {
+	size := 32
+	for _, b := range p.Blocks {
+		size += len(b) + 4
+	}
+	w := wire.NewWriter(size)
+	w.PutUint64(p.ReqID)
+	w.PutUint64(p.From)
+	w.PutBytesSlice(p.Blocks)
+	return w.Bytes()
+}
+
+func unmarshalFetchResponse(payload []byte) (fetchResponse, error) {
+	r := wire.NewReader(payload)
+	p := fetchResponse{
+		ReqID:  r.Uint64(),
+		From:   r.Uint64(),
+		Blocks: r.BytesSlice(),
+	}
+	if err := r.Finish(); err != nil {
+		return fetchResponse{}, fmt.Errorf("fetch response: %w", err)
+	}
+	return p, nil
+}
+
+// fetchHeadProbe is the sentinel From/To of a head probe: the server
+// answers with its single newest block (From set to that block's number).
+const fetchHeadProbe = ^uint64(0)
+
+// blockFetcher issues FetchBlocks requests over a transport connection and
+// routes responses back to the waiting call by request id. HandleResponse
+// must be wired into the owner's receive path.
+type blockFetcher struct {
+	conn transport.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*pendingFetch
+}
+
+// pendingFetch is one in-flight request: only a response from the peer it
+// was sent to may answer it. Without the sender check, any single
+// Byzantine replica could spray responses at guessed sequential request
+// ids, occupy the reply slot before the honest peer answers, and thereby
+// cast the "vote" of every peer a quorum fetch queries.
+type pendingFetch struct {
+	peer transport.Addr
+	ch   chan fetchResponse
+}
+
+func newBlockFetcher(conn transport.Conn) *blockFetcher {
+	return &blockFetcher{conn: conn, pending: make(map[uint64]*pendingFetch)}
+}
+
+// HandleResponse routes one MsgFetchResponse payload to its waiting call.
+// Responses from the wrong sender, and unknown or late responses, are
+// dropped.
+func (bf *blockFetcher) HandleResponse(from transport.Addr, payload []byte) {
+	resp, err := unmarshalFetchResponse(payload)
+	if err != nil {
+		return
+	}
+	bf.mu.Lock()
+	p := bf.pending[resp.ReqID]
+	bf.mu.Unlock()
+	if p == nil || p.peer != from {
+		return
+	}
+	select {
+	case p.ch <- resp:
+	default: // already answered
+	}
+}
+
+// request sends one fetch request to a peer and awaits its response.
+func (bf *blockFetcher) request(peer transport.Addr, channel string, from, to uint64, done <-chan struct{}) (fetchResponse, error) {
+	bf.mu.Lock()
+	bf.nextID++
+	id := bf.nextID
+	p := &pendingFetch{peer: peer, ch: make(chan fetchResponse, 1)}
+	bf.pending[id] = p
+	bf.mu.Unlock()
+	defer func() {
+		bf.mu.Lock()
+		delete(bf.pending, id)
+		bf.mu.Unlock()
+	}()
+
+	req := fetchRequest{ReqID: id, Channel: channel, From: from, To: to}
+	bf.conn.Send(peer, MsgFetchRequest, req.marshal())
+
+	timer := time.NewTimer(fetchWindowTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-p.ch:
+		return resp, nil
+	case <-timer.C:
+		return fetchResponse{}, fmt.Errorf("fetch: peer %s timed out", peer)
+	case <-done:
+		return fetchResponse{}, ErrFetchFailed
+	}
+}
+
+// fetchWindow asks one peer for blocks [from, to) and returns the decoded
+// prefix it served (possibly shorter than the window).
+func (bf *blockFetcher) fetchWindow(peer transport.Addr, channel string, from, to uint64, done <-chan struct{}) ([]*fabric.Block, error) {
+	resp, err := bf.request(peer, channel, from, to, done)
+	if err != nil {
+		return nil, err
+	}
+	if resp.From != from {
+		return nil, fmt.Errorf("fetch: peer %s answered from block %d, want %d", peer, resp.From, from)
+	}
+	blocks := make([]*fabric.Block, 0, len(resp.Blocks))
+	for i, raw := range resp.Blocks {
+		b, err := fabric.UnmarshalBlock(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fetch: peer %s block %d: %w", peer, from+uint64(i), err)
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}
+
+// probeHead asks one peer for its newest block.
+func (bf *blockFetcher) probeHead(peer transport.Addr, channel string, done <-chan struct{}) (*fabric.Block, error) {
+	resp, err := bf.request(peer, channel, fetchHeadProbe, fetchHeadProbe, done)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Blocks) != 1 {
+		return nil, fmt.Errorf("fetch: peer %s has no head for the channel", peer)
+	}
+	b, err := fabric.UnmarshalBlock(resp.Blocks[0])
+	if err != nil {
+		return nil, fmt.Errorf("fetch: peer %s head: %w", peer, err)
+	}
+	if b.Header.Number != resp.From || b.CheckIntegrity() != nil {
+		return nil, fmt.Errorf("fetch: peer %s served a malformed head", peer)
+	}
+	return b, nil
+}
+
+// QuorumHead returns a block f+1 peers agree is (part of) the chain's
+// head region: each peer nominates its newest block, and the first header
+// hash reaching f+1 votes is trusted (at least one voter is correct).
+// The returned block may trail the true head — callers replay up to it
+// and let the live stream's gap fill cover the rest.
+func (bf *blockFetcher) QuorumHead(done <-chan struct{}, peers []transport.Addr, channel string, f int) (*fabric.Block, error) {
+	votes := make(map[cryptoutil.Digest]int)
+	blocks := make(map[cryptoutil.Digest]*fabric.Block)
+	for _, peer := range peers {
+		b, err := bf.probeHead(peer, channel, done)
+		if err != nil {
+			select {
+			case <-done:
+				return nil, ErrFetchFailed
+			default:
+			}
+			continue
+		}
+		h := b.Header.Hash()
+		votes[h]++
+		blocks[h] = b
+		if votes[h] >= f+1 {
+			return blocks[h], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no f+1 quorum on %s's head", ErrFetchFailed, channel)
+}
+
+// FetchRange retrieves blocks [from, to) of a channel, trying each peer in
+// turn, and authenticates the whole range against the trusted anchor:
+// anchorPrev must equal the header hash of block to-1 (i.e. the PrevHash
+// of the first block the requester already trusts above the range). The
+// range is fetched window by window from a single peer, so a forged
+// response is discarded wholesale rather than partially applied.
+func (bf *blockFetcher) FetchRange(done <-chan struct{}, peers []transport.Addr, channel string, from, to uint64, anchorPrev cryptoutil.Digest) ([]*fabric.Block, error) {
+	if to <= from {
+		return nil, nil
+	}
+	var lastErr error = ErrFetchFailed
+	for round := 0; round < fetchRounds; round++ {
+		for _, peer := range peers {
+			blocks, err := bf.fetchRangeFromPeer(peer, channel, from, to, done)
+			if err != nil {
+				lastErr = err
+				select {
+				case <-done:
+					return nil, ErrFetchFailed
+				default:
+				}
+				continue
+			}
+			if err := fabric.VerifyRange(blocks, from, to, anchorPrev); err != nil {
+				lastErr = fmt.Errorf("fetch: peer %s served an unverifiable range: %w", peer, err)
+				continue
+			}
+			return blocks, nil
+		}
+		select {
+		case <-done:
+			return nil, ErrFetchFailed
+		case <-time.After(fetchRetryDelay):
+		}
+	}
+	return nil, fmt.Errorf("%w: %s blocks %d..%d: %v", ErrFetchFailed, channel, from, to-1, lastErr)
+}
+
+// FetchRangeQuorum retrieves blocks [from, to) authenticated by quorum
+// agreement instead of a locally trusted anchor: f+1 peers must serve
+// identical copies of the top block to-1 (at least one of them is
+// correct), and the full range must then chain into that agreed hash.
+// Used for bounded historical seeks issued before any live block has
+// anchored the chain; fails when fewer than f+1 peers hold the top block
+// (e.g. it is not sealed yet).
+func (bf *blockFetcher) FetchRangeQuorum(done <-chan struct{}, peers []transport.Addr, channel string, from, to uint64, f int) ([]*fabric.Block, error) {
+	if to <= from {
+		return nil, nil
+	}
+	votes := make(map[cryptoutil.Digest]int)
+	var anchorPrev cryptoutil.Digest
+	agreed := false
+	for _, peer := range peers {
+		blocks, err := bf.fetchWindow(peer, channel, to-1, to, done)
+		if err != nil || len(blocks) != 1 || blocks[0].Header.Number != to-1 {
+			select {
+			case <-done:
+				return nil, ErrFetchFailed
+			default:
+			}
+			continue
+		}
+		h := blocks[0].Header.Hash()
+		votes[h]++
+		if votes[h] >= f+1 {
+			anchorPrev = h
+			agreed = true
+			break
+		}
+	}
+	if !agreed {
+		return nil, fmt.Errorf("%w: no f+1 quorum on %s block %d", ErrFetchFailed, channel, to-1)
+	}
+	return bf.FetchRange(done, peers, channel, from, to, anchorPrev)
+}
+
+// fetchRangeFromPeer accumulates [from, to) from one peer, window by
+// window.
+func (bf *blockFetcher) fetchRangeFromPeer(peer transport.Addr, channel string, from, to uint64, done <-chan struct{}) ([]*fabric.Block, error) {
+	out := make([]*fabric.Block, 0, to-from)
+	for next := from; next < to; {
+		blocks, err := bf.fetchWindow(peer, channel, next, to, done)
+		if err != nil {
+			return nil, err
+		}
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("fetch: peer %s cannot serve block %d", peer, next)
+		}
+		out = append(out, blocks...)
+		next += uint64(len(blocks))
+	}
+	return out, nil
+}

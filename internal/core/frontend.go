@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
@@ -12,8 +13,19 @@ import (
 	"repro/internal/transport"
 )
 
-// ErrFrontendClosed is returned by Broadcast after Close.
+// ErrFrontendClosed terminates calls and streams after Close.
 var ErrFrontendClosed = errors.New("frontend closed")
+
+// Frontend defaults.
+const (
+	// DefaultMaxInflight is the per-client backpressure window: envelopes
+	// broadcast but not yet observed in a released block.
+	DefaultMaxInflight = 32768
+	// DefaultHistoryLimit is how many released blocks per channel the
+	// frontend retains in memory to serve Deliver seeks without refetching
+	// from the ordering nodes.
+	DefaultHistoryLimit = 1024
+)
 
 // FrontendConfig parameterizes a frontend (the HLF consenter + BFT shim of
 // Figure 5).
@@ -30,6 +42,23 @@ type FrontendConfig struct {
 	VerifySignatures bool
 	// Registry resolves ordering-node keys; required when verifying.
 	Registry *cryptoutil.Registry
+	// Channels optionally restricts the channels this frontend serves.
+	// Empty serves every channel; otherwise Broadcast and Deliver answer
+	// StatusNotFound / ErrChannelNotFound for unlisted channels.
+	Channels []string
+	// MaxInflight bounds the envelopes this frontend has broadcast but not
+	// yet seen come back in a released block. A full window makes
+	// Broadcast block (backpressure) rather than buffer without bound.
+	// Zero selects DefaultMaxInflight; negative disables the window.
+	MaxInflight int
+	// BroadcastTimeout bounds how long Broadcast blocks waiting for window
+	// space before answering StatusServiceUnavailable. Zero waits until
+	// space frees or the frontend closes.
+	BroadcastTimeout time.Duration
+	// HistoryLimit bounds the released blocks retained per channel for
+	// Deliver seeks; older blocks are refetched from the ordering nodes'
+	// durable ledgers on demand. Zero selects DefaultHistoryLimit.
+	HistoryLimit int
 }
 
 // FrontendStats exposes frontend progress counters.
@@ -40,17 +69,29 @@ type FrontendStats struct {
 }
 
 // Frontend relays envelopes from clients into the ordering cluster and
-// collects the resulting blocks. It implements fabric.Broadcaster.
+// collects the resulting blocks. It implements the fabric.Orderer surface:
+// Broadcast with typed status acknowledgements and a seekable Deliver that
+// replays history (from its retained window, or fetched and
+// hash-chain-verified from the nodes' durable ledgers) before switching to
+// the live stream with no gaps or duplicates.
 type Frontend struct {
 	cfg      FrontendConfig
-	conn     transport.Conn // receives MsgBlock from ordering nodes
+	conn     transport.Conn // receives MsgBlock / MsgFetchResponse from ordering nodes
 	client   *consensus.Client
 	released int // release threshold: 2f+1 matching or f+1 verified
+	fetcher  *blockFetcher
+	peers    []transport.Addr
+	channels map[string]struct{} // non-nil when cfg.Channels restricts
 
-	mu       sync.Mutex
-	channels map[string]*feChannel
-	subs     map[string][]*blockQueue
-	closed   bool
+	mu     sync.Mutex
+	chans  map[string]*feChannel
+	subs   map[string][]*feSub
+	closed bool
+
+	// inflight is the per-client backpressure window (nil when disabled):
+	// a slot is held from Broadcast until the envelope surfaces in a
+	// released block.
+	inflight *inflightWindow
 
 	statSent      atomic.Uint64
 	statBlocks    atomic.Uint64
@@ -61,11 +102,23 @@ type Frontend struct {
 	wg   sync.WaitGroup
 }
 
-// feChannel tracks block collection for one channel.
+// feSub is one Deliver subscription: the live queue the release path feeds
+// and the stream handed to the consumer.
+type feSub struct {
+	q      *blockQueue
+	stream *fabric.BlockStream
+}
+
+// feChannel tracks block collection and retained history for one channel.
 type feChannel struct {
 	nextDeliver uint64
 	collecting  map[uint64]map[cryptoutil.Digest]*blockAccum
 	ready       map[uint64]*fabric.Block
+
+	// hist retains the newest released blocks (bounded by HistoryLimit):
+	// hist[i].Number == histStart+i.
+	hist      []*fabric.Block
+	histStart uint64
 }
 
 // blockAccum accumulates matching copies of one block.
@@ -80,17 +133,8 @@ type blockAccum struct {
 // consensus client), registers with every ordering node, and starts the
 // receive loop.
 func NewFrontend(cfg FrontendConfig, network *transport.InProcNetwork) (*Frontend, error) {
-	if cfg.ID == "" {
-		return nil, errors.New("frontend: empty id")
-	}
-	if len(cfg.Replicas) == 0 {
-		return nil, errors.New("frontend: empty replica set")
-	}
-	if cfg.F <= 0 {
-		cfg.F = consensus.MaxFaults(len(cfg.Replicas))
-	}
-	if cfg.VerifySignatures && cfg.Registry == nil {
-		return nil, errors.New("frontend: signature verification requires a registry")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	conn, err := network.Join(transport.Addr(cfg.ID))
 	if err != nil {
@@ -109,19 +153,32 @@ func NewFrontend(cfg FrontendConfig, network *transport.InProcNetwork) (*Fronten
 // nodes see as the frontend), clientConn carries consensus-client traffic.
 // Used by the TCP multi-process deployment (cmd/frontend).
 func NewFrontendWithConns(cfg FrontendConfig, conn, clientConn transport.Conn) (*Frontend, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return newFrontendWithConns(cfg, conn, clientConn)
+}
+
+func (cfg *FrontendConfig) validate() error {
 	if cfg.ID == "" {
-		return nil, errors.New("frontend: empty id")
+		return errors.New("frontend: empty id")
 	}
 	if len(cfg.Replicas) == 0 {
-		return nil, errors.New("frontend: empty replica set")
+		return errors.New("frontend: empty replica set")
 	}
 	if cfg.F <= 0 {
 		cfg.F = consensus.MaxFaults(len(cfg.Replicas))
 	}
 	if cfg.VerifySignatures && cfg.Registry == nil {
-		return nil, errors.New("frontend: signature verification requires a registry")
+		return errors.New("frontend: signature verification requires a registry")
 	}
-	return newFrontendWithConns(cfg, conn, clientConn)
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.HistoryLimit <= 0 {
+		cfg.HistoryLimit = DefaultHistoryLimit
+	}
+	return nil
 }
 
 // newFrontendWithConns finishes construction over explicit connections
@@ -145,14 +202,28 @@ func newFrontendWithConns(cfg FrontendConfig, conn, clientConn transport.Conn) (
 		conn:     conn,
 		client:   client,
 		released: threshold,
-		channels: make(map[string]*feChannel),
-		subs:     make(map[string][]*blockQueue),
+		fetcher:  newBlockFetcher(conn),
+		chans:    make(map[string]*feChannel),
+		subs:     make(map[string][]*feSub),
 		done:     make(chan struct{}),
+	}
+	if cfg.MaxInflight > 0 {
+		f.inflight = newInflightWindow(cfg.MaxInflight)
+	}
+	if len(cfg.Channels) > 0 {
+		f.channels = make(map[string]struct{}, len(cfg.Channels))
+		for _, ch := range cfg.Channels {
+			f.channels[ch] = struct{}{}
+		}
+	}
+	f.peers = make([]transport.Addr, len(cfg.Replicas))
+	for i, id := range cfg.Replicas {
+		f.peers[i] = id.Addr()
 	}
 	// Register with every ordering node so the custom replier includes
 	// this frontend in block dissemination.
-	for _, id := range cfg.Replicas {
-		conn.Send(id.Addr(), MsgRegister, nil)
+	for _, addr := range f.peers {
+		conn.Send(addr, MsgRegister, nil)
 	}
 	f.wg.Add(1)
 	go f.receiveLoop()
@@ -171,47 +242,132 @@ func (f *Frontend) Stats() FrontendStats {
 	}
 }
 
-var _ fabric.Broadcaster = (*Frontend)(nil)
+var _ fabric.Orderer = (*Frontend)(nil)
 
-// Broadcast relays one envelope to the ordering cluster (protocol step 4).
-// The invocation is asynchronous: the frontend never blocks waiting for
-// replies; ordered results come back as blocks (Section 5.1).
-func (f *Frontend) Broadcast(env *fabric.Envelope) error {
-	if env == nil {
-		return errors.New("frontend: nil envelope")
+// serves reports whether the frontend accepts traffic for a channel.
+func (f *Frontend) serves(channel string) bool {
+	if f.channels == nil {
+		return true
+	}
+	_, ok := f.channels[channel]
+	return ok
+}
+
+// Broadcast relays one envelope to the ordering cluster (protocol step 4)
+// and acknowledges with a typed status. The invocation is asynchronous:
+// the frontend never blocks waiting for replies; ordered results come back
+// as blocks (Section 5.1). The per-client window bounds unacknowledged
+// envelopes: a full window blocks the caller (up to BroadcastTimeout)
+// instead of buffering without bound.
+func (f *Frontend) Broadcast(env *fabric.Envelope) fabric.BroadcastStatus {
+	if env == nil || env.ChannelID == "" {
+		return fabric.StatusBadRequest
+	}
+	return f.BroadcastRaw(env.Marshal())
+}
+
+// BroadcastRaw relays an already-marshalled envelope (benchmark hot path).
+func (f *Frontend) BroadcastRaw(raw []byte) fabric.BroadcastStatus {
+	channel, err := fabric.ChannelOf(raw)
+	if err != nil {
+		return fabric.StatusBadRequest
+	}
+	if !f.serves(channel) {
+		return fabric.StatusNotFound
 	}
 	f.mu.Lock()
 	closed := f.closed
 	f.mu.Unlock()
 	if closed {
-		return ErrFrontendClosed
+		return fabric.StatusServiceUnavailable
 	}
-	if err := f.client.Invoke(env.Marshal()); err != nil {
-		return fmt.Errorf("frontend: %w", err)
+	if f.inflight != nil {
+		if !f.inflight.acquire(cryptoutil.Hash(raw), f.cfg.BroadcastTimeout, f.done) {
+			return fabric.StatusServiceUnavailable
+		}
 	}
-	f.statSent.Add(1)
-	return nil
-}
-
-// BroadcastRaw relays an already-marshalled envelope (benchmark hot path).
-func (f *Frontend) BroadcastRaw(raw []byte) error {
 	if err := f.client.Invoke(raw); err != nil {
-		return fmt.Errorf("frontend: %w", err)
+		if f.inflight != nil {
+			f.inflight.release(cryptoutil.Hash(raw))
+		}
+		return fabric.StatusServiceUnavailable
 	}
 	f.statSent.Add(1)
-	return nil
+	return fabric.StatusSuccess
 }
 
-// Deliver returns an ordered stream of released blocks for a channel. Each
-// subscriber receives every block from its subscription point on, in block
-// number order, over an unbounded queue (a slow consumer cannot stall the
-// frontend).
-func (f *Frontend) Deliver(channel string) <-chan *fabric.Block {
-	q := newBlockQueue()
+// Deliver opens a block stream for a channel, positioned by seek: history
+// below the live stream is replayed first — from the frontend's retained
+// window when possible, otherwise fetched from the ordering nodes' durable
+// ledgers and authenticated by hash-chain linkage into a quorum-released
+// anchor block — then the stream switches to live blocks with no gaps or
+// duplicates. A seek past the current head emits nothing until that block
+// is sealed. With a stop position the stream closes after the stop block;
+// otherwise it tails live blocks until canceled.
+func (f *Frontend) Deliver(channel string, seek fabric.SeekInfo) (*fabric.BlockStream, error) {
+	if err := seek.Validate(); err != nil {
+		return nil, err
+	}
+	if !f.serves(channel) {
+		return nil, fabric.ErrChannelNotFound
+	}
 	f.mu.Lock()
-	f.subs[channel] = append(f.subs[channel], q)
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrFrontendClosed
+	}
+	ch := f.feChannel(channel)
+	hist := append([]*fabric.Block(nil), ch.hist...)
+	q := newBlockQueue()
+	stream := fabric.NewBlockStream()
+	f.subs[channel] = append(f.subs[channel], &feSub{q: q, stream: stream})
+	f.wg.Add(1)
 	f.mu.Unlock()
-	return q.out
+
+	go f.deliverLoop(channel, seek, hist, q, stream)
+	return stream, nil
+}
+
+// deliverLoop drives one Deliver subscription through the shared
+// streamDeliverer: history below the live stream is fetched from the
+// nodes' durable ledgers — chain-verified against a quorum-released
+// anchor, or against f+1 matching top-block copies for bounded seeks
+// issued before any live block anchored the chain.
+func (f *Frontend) deliverLoop(channel string, seek fabric.SeekInfo, hist []*fabric.Block, q *blockQueue, stream *fabric.BlockStream) {
+	defer f.wg.Done()
+	defer f.dropSub(channel, q, stream)
+	d := &streamDeliverer{
+		seek:      seek,
+		hist:      hist,
+		q:         q,
+		stream:    stream,
+		closedErr: ErrFrontendClosed,
+		fetch: func(from, to uint64, anchorPrev cryptoutil.Digest) ([]*fabric.Block, error) {
+			return f.fetcher.FetchRange(stream.Canceled(), f.peers, channel, from, to, anchorPrev)
+		},
+		quorumFetch: func(from, to uint64) ([]*fabric.Block, error) {
+			return f.fetcher.FetchRangeQuorum(stream.Canceled(), f.peers, channel, from, to, f.cfg.F)
+		},
+		quorumHead: func() (*fabric.Block, error) {
+			return f.fetcher.QuorumHead(stream.Canceled(), f.peers, channel, f.cfg.F)
+		},
+	}
+	d.run()
+}
+
+// dropSub unregisters a finished subscription and releases its queue.
+func (f *Frontend) dropSub(channel string, q *blockQueue, stream *fabric.BlockStream) {
+	f.mu.Lock()
+	subs := f.subs[channel]
+	for i, s := range subs {
+		if s.q == q {
+			f.subs[channel] = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+	q.close()
+	stream.Close(nil)
 }
 
 // OnBlock installs a callback invoked synchronously on the receive loop for
@@ -235,24 +391,26 @@ func (f *Frontend) receiveLoop() {
 			if !ok {
 				return
 			}
-			if m.Type != MsgBlock {
-				continue
-			}
 			if !f.fromOrderingNode(m.From) {
 				continue
 			}
-			channel, block, err := unmarshalBlockMsg(m.Payload)
-			if err != nil {
-				continue
+			switch m.Type {
+			case MsgBlock:
+				channel, block, err := unmarshalBlockMsg(m.Payload)
+				if err != nil {
+					continue
+				}
+				f.onBlockCopy(string(m.From), channel, block)
+			case MsgFetchResponse:
+				f.fetcher.HandleResponse(m.From, m.Payload)
 			}
-			f.onBlockCopy(string(m.From), channel, block)
 		}
 	}
 }
 
 func (f *Frontend) fromOrderingNode(addr transport.Addr) bool {
-	for _, id := range f.cfg.Replicas {
-		if id.Addr() == addr {
+	for _, peer := range f.peers {
+		if peer == addr {
 			return true
 		}
 	}
@@ -327,9 +485,11 @@ func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
 	// A frontend subscribing mid-chain (a restarted durable cluster keeps
 	// numbering where it left off) would wait forever for blocks sealed
 	// before it registered: fast-forward the cursor past blocks that can
-	// no longer release.
+	// no longer release. Envelope copies collected for the skipped blocks
+	// are returned so their inflight-window slots free below.
+	var skipped [][]byte
 	if number > ch.nextDeliver {
-		ch.maybeFastForward(number, len(f.cfg.Replicas), f.released)
+		skipped = ch.maybeFastForward(number, len(f.cfg.Replicas), f.released)
 	}
 	// Release the contiguous prefix in block-number order.
 	var deliveries []*fabric.Block
@@ -343,13 +503,52 @@ func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
 		ch.nextDeliver++
 		deliveries = append(deliveries, next)
 	}
-	queues := make([]*blockQueue, len(f.subs[channel]))
-	copy(queues, f.subs[channel])
+	// Retain the released blocks for Deliver seeks. The window must stay
+	// contiguous (deliverers replay it without per-block checks): if the
+	// cursor ever skipped dead blocks mid-stream, restart the window at
+	// the first block after the skip.
+	for _, b := range deliveries {
+		if len(ch.hist) > 0 && b.Header.Number != ch.histStart+uint64(len(ch.hist)) {
+			ch.hist = ch.hist[:0]
+		}
+		if len(ch.hist) == 0 {
+			ch.histStart = b.Header.Number
+		}
+		ch.hist = append(ch.hist, b)
+	}
+	// Trim with slack: the copy amortizes to O(1) per release instead of
+	// recurring on every block once the window is full.
+	if over := len(ch.hist) - f.cfg.HistoryLimit; over > f.cfg.HistoryLimit/4 {
+		ch.hist = append(ch.hist[:0:0], ch.hist[over:]...)
+		ch.histStart += uint64(over)
+	}
+	queues := make([]*blockQueue, 0, len(f.subs[channel]))
+	for _, s := range f.subs[channel] {
+		queues = append(queues, s.q)
+	}
 	f.mu.Unlock()
 
+	// Window accounting hashes every envelope, so skip it entirely on
+	// deliver-only frontends (nothing pending): the release path is the
+	// throughput-critical side of the benchmark receivers.
+	accounting := f.inflight != nil && f.inflight.active()
+	if accounting {
+		// Free window slots for envelopes the frontend will never deliver:
+		// they rode in blocks the cursor skipped as dead. release is a
+		// no-op for digests this client never broadcast, so counting every
+		// collected copy is safe.
+		for _, raw := range skipped {
+			f.inflight.release(cryptoutil.Hash(raw))
+		}
+	}
 	for _, b := range deliveries {
 		f.statBlocks.Add(1)
 		f.statEnvs.Add(uint64(len(b.Envelopes)))
+		if accounting {
+			for _, raw := range b.Envelopes {
+				f.inflight.release(cryptoutil.Hash(raw))
+			}
+		}
 		if cb := f.statLatencyCb.Load(); cb != nil {
 			(*cb)(b)
 		}
@@ -370,7 +569,11 @@ func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
 // the channel, while a reordering minority (<= f) can never force a skip:
 // a block that f+1 honest nodes sealed before `number` has their copies
 // already counted by the time `number` releases.
-func (ch *feChannel) maybeFastForward(number uint64, replicas, threshold int) {
+//
+// The envelopes of every dropped copy are returned so the caller can free
+// their backpressure-window slots: those envelopes will never pass
+// through the delivery path.
+func (ch *feChannel) maybeFastForward(number uint64, replicas, threshold int) (dropped [][]byte) {
 	past := make(map[string]bool)
 	for _, acc := range ch.collecting[number] {
 		for sender := range acc.sigs {
@@ -390,7 +593,7 @@ func (ch *feChannel) maybeFastForward(number uint64, replicas, threshold int) {
 		}
 	}
 	if target <= ch.nextDeliver {
-		return
+		return nil
 	}
 	for n, byDigest := range ch.collecting {
 		if n >= target || n < ch.nextDeliver {
@@ -398,31 +601,36 @@ func (ch *feChannel) maybeFastForward(number uint64, replicas, threshold int) {
 		}
 		for _, acc := range byDigest {
 			if len(acc.sigs)+remaining >= threshold {
-				return // still live: hold for it
+				return nil // still live: hold for it
 			}
 		}
 	}
-	for n := range ch.collecting {
+	for n, byDigest := range ch.collecting {
 		if n < target {
+			for _, acc := range byDigest {
+				dropped = append(dropped, acc.block.Envelopes...)
+			}
 			delete(ch.collecting, n)
 		}
 	}
 	ch.nextDeliver = target
+	return dropped
 }
 
 func (f *Frontend) feChannel(channel string) *feChannel {
-	ch, ok := f.channels[channel]
+	ch, ok := f.chans[channel]
 	if !ok {
 		ch = &feChannel{
 			collecting: make(map[uint64]map[cryptoutil.Digest]*blockAccum),
 			ready:      make(map[uint64]*fabric.Block),
 		}
-		f.channels[channel] = ch
+		f.chans[channel] = ch
 	}
 	return ch
 }
 
-// Close unregisters from the ordering nodes and stops the receive loop.
+// Close unregisters from the ordering nodes, cancels every Deliver stream,
+// and stops the receive loop.
 func (f *Frontend) Close() {
 	f.mu.Lock()
 	if f.closed {
@@ -430,23 +638,100 @@ func (f *Frontend) Close() {
 		return
 	}
 	f.closed = true
-	var queues []*blockQueue
-	for _, qs := range f.subs {
-		queues = append(queues, qs...)
+	var subs []*feSub
+	for _, ss := range f.subs {
+		subs = append(subs, ss...)
 	}
 	f.mu.Unlock()
 
-	for _, id := range f.cfg.Replicas {
-		f.conn.Send(id.Addr(), MsgUnregister, nil)
+	for _, addr := range f.peers {
+		f.conn.Send(addr, MsgUnregister, nil)
 	}
 	close(f.done)
+	// Cancel first so deliverers blocked in a fetch or a Push return
+	// promptly, then close their queues to wake live waits.
+	for _, s := range subs {
+		s.stream.Cancel()
+		s.q.close()
+	}
 	f.client.Close()
 	f.conn.Close()
 	f.wg.Wait()
-	for _, q := range queues {
-		q.close()
+}
+
+// ---- per-client backpressure window ------------------------------------
+
+// inflightWindow is a counting semaphore keyed by envelope digest: a slot
+// is held from Broadcast until the envelope surfaces in a released block,
+// bounding how much a client can buffer inside the ordering pipeline.
+type inflightWindow struct {
+	sem chan struct{}
+
+	mu      sync.Mutex
+	pending map[cryptoutil.Digest]int
+}
+
+func newInflightWindow(size int) *inflightWindow {
+	return &inflightWindow{
+		sem:     make(chan struct{}, size),
+		pending: make(map[cryptoutil.Digest]int),
 	}
 }
+
+// acquire takes a window slot for the envelope, blocking while the window
+// is full (bounded by timeout when > 0, and by closed). It reports whether
+// the slot was obtained.
+func (w *inflightWindow) acquire(d cryptoutil.Digest, timeout time.Duration, closed <-chan struct{}) bool {
+	select {
+	case w.sem <- struct{}{}:
+	default:
+		var expire <-chan time.Time
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
+			defer t.Stop()
+			expire = t.C
+		}
+		select {
+		case w.sem <- struct{}{}:
+		case <-expire:
+			return false
+		case <-closed:
+			return false
+		}
+	}
+	w.mu.Lock()
+	w.pending[d]++
+	w.mu.Unlock()
+	return true
+}
+
+// active reports whether any slot is currently held (false for
+// deliver-only clients, letting the release path skip envelope hashing).
+func (w *inflightWindow) active() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending) > 0
+}
+
+// release frees the slot held for an envelope digest; digests the window
+// never saw (other clients' envelopes, TTC markers) are ignored.
+func (w *inflightWindow) release(d cryptoutil.Digest) {
+	w.mu.Lock()
+	n, ok := w.pending[d]
+	if !ok {
+		w.mu.Unlock()
+		return
+	}
+	if n == 1 {
+		delete(w.pending, d)
+	} else {
+		w.pending[d] = n - 1
+	}
+	w.mu.Unlock()
+	<-w.sem
+}
+
+// ---- block queue --------------------------------------------------------
 
 // blockQueue is an unbounded FIFO of blocks with a channel reader side
 // (same shape as the transport mailbox: producers never block).

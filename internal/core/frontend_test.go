@@ -93,7 +93,7 @@ func TestFrontendReleasesAtTwoFPlusOne(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	block := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
 	nodes.send(t, 0, "ch", block, "fe")
@@ -123,7 +123,7 @@ func TestFrontendReordersBlocks(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	b0 := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
 	b1 := fabric.NewBlock(1, b0.Header.Hash(), [][]byte{feEnv(1)})
@@ -165,7 +165,7 @@ func TestFrontendRegistrationRaceDoesNotStall(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	b4 := fabric.NewBlock(4, cryptoutil.Hash([]byte("earlier chain")), [][]byte{feEnv(4)})
 	b5 := fabric.NewBlock(5, b4.Header.Hash(), [][]byte{feEnv(5)})
@@ -193,7 +193,7 @@ func TestFrontendJoinsMidChain(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	b6 := fabric.NewBlock(6, cryptoutil.Hash([]byte("pre-subscription chain")), [][]byte{feEnv(6)})
 	b7 := fabric.NewBlock(7, b6.Header.Hash(), [][]byte{feEnv(7)})
@@ -221,7 +221,7 @@ func TestFrontendConflictingCopiesDoNotMix(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	honest := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
 	forged := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(999)})
@@ -259,7 +259,7 @@ func TestFrontendVerifyModeNeedsValidSignatures(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	block := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
 	// A copy with a junk signature must not count toward f+1 verified.
@@ -291,7 +291,7 @@ func TestFrontendIgnoresTamperedCopies(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("ch")
+	stream := deliverNewest(t, fe, "ch")
 
 	block := fabric.NewBlock(0, cryptoutil.Digest{}, [][]byte{feEnv(0)})
 	// A copy whose envelopes do not match its data hash is discarded even

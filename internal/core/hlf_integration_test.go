@@ -64,7 +64,7 @@ func newHLFStack(t *testing.T, nodes int) *hlfStack {
 	}
 
 	// Commit pump: ordered blocks flow into validation + commit.
-	blocks := frontend.Deliver("hlf-channel")
+	blocks := deliverNewest(t, frontend, "hlf-channel")
 	go func() {
 		for b := range blocks {
 			if _, err := committer.CommitBlock(b); err != nil {

@@ -43,6 +43,12 @@ const (
 	MsgRegister
 	// MsgUnregister removes the subscription.
 	MsgUnregister
+	// MsgFetchRequest asks a node for a range of sealed blocks from its
+	// durable ledger (historical Deliver seeks, restart back-fill).
+	MsgFetchRequest
+	// MsgFetchResponse answers a fetch request with a contiguous run of
+	// blocks.
+	MsgFetchResponse
 )
 
 // ttcClientPrefix marks time-to-cut marker envelopes; their ClientID is
@@ -79,6 +85,13 @@ type NodeConfig struct {
 	// checkpoints are persisted, and construction recovers ledger +
 	// consensus state from disk. Nil keeps the node fully in-memory.
 	Storage *storage.NodeStorage
+	// DataDir, when non-empty and Storage is nil, makes NewNode open (and
+	// own: Stop closes it) durable storage rooted at this directory.
+	DataDir string
+	// WALSegmentBytes overrides the WAL segment size (decision log and
+	// block store) of storage opened via DataDir; zero keeps the 4 MiB
+	// default. Smaller segments prune sooner behind checkpoints.
+	WALSegmentBytes int64
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -135,14 +148,26 @@ type OrderingNode struct {
 	chains  map[string]*chainState
 	history map[int64]map[string]chainSnapshot
 
-	// Durable state (nil without cfg.Storage). ledgers holds the node's
-	// persistent copy of each channel's chain; ledgerMu guards the map
-	// (values are internally synchronized). recovering suppresses signing
-	// and dissemination while construction replays the decision log.
-	storage    *storage.NodeStorage
-	ledgerMu   sync.Mutex
-	ledgers    map[string]*fabric.Ledger
-	recovering bool
+	// Durable state (nil without storage). ledgers holds the node's
+	// persistent copy of each channel's chain; ledgerMu guards the map and
+	// the parked blocks (ledger values are internally synchronized).
+	// recovering suppresses signing and dissemination while construction
+	// replays the decision log. parked holds blocks sealed above the local
+	// ledger height after a state-transfer jump, awaiting the FetchBlocks
+	// back-fill that closes the gap beneath them.
+	storage     *storage.NodeStorage
+	ownsStorage bool
+	ledgerMu    sync.Mutex
+	ledgers     map[string]*fabric.Ledger
+	parked      map[string]map[uint64]*fabric.Block
+	recovering  bool
+
+	// fetcher issues FetchBlocks requests during back-fill; backfilling
+	// guards one back-fill task per channel.
+	fetcher         *blockFetcher
+	backfillMu      sync.Mutex
+	backfilling     map[string]bool
+	backfillStopped bool
 
 	// frontends is written from the event loop (registration messages)
 	// and read from signing-pool callbacks.
@@ -165,6 +190,7 @@ type OrderingNode struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	started atomic.Bool
+	stopped atomic.Bool
 }
 
 // NewNode creates an ordering node attached to the given transport
@@ -182,16 +208,33 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 			return nil, fmt.Errorf("ordering node: %w", err)
 		}
 	}
+	store := cfg.Storage
+	ownsStorage := false
+	if store == nil && cfg.DataDir != "" {
+		var err error
+		store, err = storage.Open(cfg.DataDir, storage.Options{SegmentBytes: cfg.WALSegmentBytes})
+		if err != nil {
+			if signer != nil {
+				signer.Close()
+			}
+			return nil, fmt.Errorf("ordering node: opening data dir: %w", err)
+		}
+		ownsStorage = true
+	}
 	n := &OrderingNode{
-		cfg:       cfg,
-		conn:      conn,
-		signer:    signer,
-		storage:   cfg.Storage,
-		chains:    make(map[string]*chainState),
-		history:   make(map[int64]map[string]chainSnapshot),
-		frontends: make(map[transport.Addr]struct{}),
-		senders:   make(map[string]*blockSender),
-		done:      make(chan struct{}),
+		cfg:         cfg,
+		conn:        conn,
+		signer:      signer,
+		storage:     store,
+		ownsStorage: ownsStorage,
+		chains:      make(map[string]*chainState),
+		history:     make(map[int64]map[string]chainSnapshot),
+		frontends:   make(map[transport.Addr]struct{}),
+		senders:     make(map[string]*blockSender),
+		parked:      make(map[string]map[uint64]*fabric.Block),
+		fetcher:     newBlockFetcher(conn),
+		backfilling: make(map[string]bool),
+		done:        make(chan struct{}),
 	}
 	// TTC markers are consensus requests under this node's "ttc:" client
 	// identity; a session base keeps a restarted node's markers from
@@ -215,9 +258,7 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 			led := fabric.NewPersistentLedger(channel, n.storage)
 			for _, b := range blocks {
 				if err := led.Append(b); err != nil {
-					if signer != nil {
-						signer.Close()
-					}
+					n.closeOwned()
 					return nil, fmt.Errorf("ordering node: recovering channel %q: %w", channel, err)
 				}
 			}
@@ -236,13 +277,21 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		err = n.checkRecoveredFrontier()
 	}
 	if err != nil {
-		if signer != nil {
-			signer.Close()
-		}
+		n.closeOwned()
 		return nil, fmt.Errorf("ordering node: %w", err)
 	}
 	n.replica = replica
 	return n, nil
+}
+
+// closeOwned releases resources the half-constructed node owns.
+func (n *OrderingNode) closeOwned() {
+	if n.signer != nil {
+		n.signer.Close()
+	}
+	if n.ownsStorage && n.storage != nil {
+		n.storage.Close()
+	}
 }
 
 // checkRecoveredFrontier cross-checks the two durable records after
@@ -308,33 +357,57 @@ func (n *OrderingNode) Stats() NodeStats {
 	}
 }
 
-// Start launches the consensus replica and the time-to-cut ticker.
+// Start launches the consensus replica, the time-to-cut ticker, and — when
+// the recovered decision state is ahead of the recovered block store (the
+// previous incarnation was jumped forward by a peer checkpoint and crashed
+// before back-filling) — a FetchBlocks back-fill that restores the durable
+// chain's contiguity.
 func (n *OrderingNode) Start() {
 	if n.started.Swap(true) {
 		return
 	}
+	// Safe to read the chains directly: the event loop does not exist yet.
+	type gap struct {
+		channel  string
+		from, to uint64
+		anchor   cryptoutil.Digest
+	}
+	var gaps []gap
+	if n.storage != nil {
+		for channel, chain := range n.chains {
+			if h := n.ledger(channel).Height(); h < chain.nextNumber {
+				gaps = append(gaps, gap{channel, h, chain.nextNumber, chain.prevHash})
+			}
+		}
+	}
 	n.replica.Start()
+	for _, g := range gaps {
+		n.maybeBackfill(g.channel, g.from, g.to, g.anchor)
+	}
 	if n.cfg.BlockTimeout > 0 {
 		n.wg.Add(1)
 		go n.ttcLoop()
 	}
 }
 
-// Stop shuts the node down.
+// Stop shuts the node down and closes storage the node opened itself.
 func (n *OrderingNode) Stop() {
-	if !n.started.Load() {
+	if n.stopped.Swap(true) {
 		return
 	}
-	select {
-	case <-n.done:
-		return
-	default:
+	if n.started.Load() {
+		n.backfillMu.Lock()
+		n.backfillStopped = true
+		n.backfillMu.Unlock()
+		close(n.done)
+		n.wg.Wait()
+		n.replica.Stop()
 	}
-	close(n.done)
-	n.wg.Wait()
-	n.replica.Stop()
 	if n.signer != nil {
 		n.signer.Close()
+	}
+	if n.ownsStorage && n.storage != nil {
+		n.storage.Close()
 	}
 }
 
@@ -511,18 +584,37 @@ func (n *OrderingNode) resetSender(channel string) {
 // persistBlock appends a sealed block to the channel's durable ledger. A
 // block below the ledger height is a replay duplicate (skipped); a block
 // above it means state transfer jumped the chain past blocks this node
-// never sealed, so the local copy cannot extend until the gap is
-// back-filled (ROADMAP: state transfer from disk). The ledger stores a
-// shallow copy because the signing callback mutates Signatures
+// never sealed — it is parked until the FetchBlocks back-fill closes the
+// gap beneath it, so the durable chain stays contiguous. The ledger stores
+// a shallow copy because the signing callback mutates Signatures
 // asynchronously.
 func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
 	led := n.ledger(channel)
-	height := led.Height()
-	if block.Header.Number != height {
-		return
-	}
 	stored := *block
 	stored.Signatures = nil
+	n.ledgerMu.Lock()
+	defer n.ledgerMu.Unlock()
+	height := led.Height()
+	switch {
+	case block.Header.Number < height:
+		return // replay duplicate
+	case block.Header.Number > height:
+		parked, ok := n.parked[channel]
+		if !ok {
+			parked = make(map[uint64]*fabric.Block)
+			n.parked[channel] = parked
+		}
+		parked[block.Header.Number] = &stored
+		// Re-arm the back-fill on every parked block (a no-op while one is
+		// already running): if an earlier attempt exhausted its retries,
+		// the gap would otherwise persist — and parked blocks accumulate —
+		// for the node's lifetime. The lowest parked block pins the gap's
+		// upper bound and anchor.
+		if low, ok := lowestParked(parked); ok {
+			n.maybeBackfill(channel, height, low, parked[low].Header.PrevHash)
+		}
+		return
+	}
 	if err := led.Append(&stored); err != nil {
 		fmt.Fprintf(os.Stderr, "ordering node %d: persisting block %d on %q: %v\n",
 			n.ID(), block.Header.Number, channel, err)
@@ -666,6 +758,18 @@ func (n *OrderingNode) Restore(snapshot []byte, _ int64) {
 		s.pending = make(map[uint64]*fabric.Block)
 	}
 	n.sendMu.Unlock()
+	// A state transfer that jumped a chain past the local ledger height
+	// leaves a gap the node never sealed: back-fill it from peers so the
+	// durable chain stays contiguous. (During construction-time recovery
+	// the scan runs in Start instead, once the event loop can route fetch
+	// responses.)
+	if n.storage != nil && !n.recovering {
+		for channel, chain := range n.chains {
+			if h := n.ledger(channel).Height(); h < chain.nextNumber {
+				n.maybeBackfill(channel, h, chain.nextNumber, chain.prevHash)
+			}
+		}
+	}
 }
 
 // ---- frontend registration and TTC ------------------------------------
@@ -682,7 +786,200 @@ func (n *OrderingNode) onServiceMessage(m transport.Message) {
 		n.mu.Lock()
 		delete(n.frontends, m.From)
 		n.mu.Unlock()
+	case MsgFetchRequest:
+		// Served off the event loop: the range read may hit disk, and the
+		// ledger is safe for concurrent readers.
+		go n.serveFetch(m.From, m.Payload)
+	case MsgFetchResponse:
+		n.fetcher.HandleResponse(m.From, m.Payload)
 	}
+}
+
+// serveFetch answers a FetchBlocks request from the node's durable ledger
+// with up to maxFetchBlocks blocks of the requested range. Nodes without
+// durable storage (or without the channel) answer with an empty run so the
+// requester moves on quickly.
+func (n *OrderingNode) serveFetch(from transport.Addr, payload []byte) {
+	req, err := unmarshalFetchRequest(payload)
+	if err != nil {
+		return
+	}
+	resp := fetchResponse{ReqID: req.ReqID, From: req.From}
+	if req.From == fetchHeadProbe {
+		// Head probe: answer with the newest durable block.
+		if led := n.Ledger(req.Channel); led != nil {
+			if h := led.Height(); h > 0 {
+				if b, err := led.Block(h - 1); err == nil {
+					resp.From = h - 1
+					resp.Blocks = [][]byte{b.Marshal()}
+				}
+			}
+		}
+		n.conn.Send(from, MsgFetchResponse, resp.marshal())
+		return
+	}
+	if led := n.Ledger(req.Channel); led != nil && req.To > req.From {
+		end := req.To
+		if h := led.Height(); end > h {
+			end = h
+		}
+		if end > req.From+maxFetchBlocks {
+			end = req.From + maxFetchBlocks
+		}
+		if end > req.From {
+			if blocks, err := led.Range(req.From, end); err == nil {
+				resp.Blocks = make([][]byte, 0, len(blocks))
+				for _, b := range blocks {
+					resp.Blocks = append(resp.Blocks, b.Marshal())
+				}
+			}
+		}
+	}
+	n.conn.Send(from, MsgFetchResponse, resp.marshal())
+}
+
+// ---- FetchBlocks back-fill ---------------------------------------------
+
+// maybeBackfill starts (at most one per channel) a background task that
+// fetches blocks [from, to) from peers and appends them to the channel's
+// durable ledger, verified against the post-jump anchor (to, anchor=
+// PrevHash of block to).
+func (n *OrderingNode) maybeBackfill(channel string, from, to uint64, anchor cryptoutil.Digest) {
+	if n.storage == nil || to <= from {
+		return
+	}
+	n.backfillMu.Lock()
+	if n.backfillStopped || n.backfilling[channel] {
+		n.backfillMu.Unlock()
+		return
+	}
+	n.backfilling[channel] = true
+	// The Add happens under backfillMu, which Stop also takes before its
+	// Wait, so a task can never be added after the node began waiting.
+	n.wg.Add(1)
+	n.backfillMu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		n.runBackfill(channel, from, to, anchor)
+		n.backfillMu.Lock()
+		delete(n.backfilling, channel)
+		n.backfillMu.Unlock()
+		// A block may have parked between the final drain and the flag
+		// clearing (or the fill may have failed): re-arm until the chain
+		// is contiguous, so no gap outlives its retry budget silently.
+		n.rearmBackfill(channel)
+	}()
+}
+
+// rearmBackfill restarts the back-fill if parked blocks still sit above a
+// gap in the channel's durable chain.
+func (n *OrderingNode) rearmBackfill(channel string) {
+	n.ledgerMu.Lock()
+	parked := n.parked[channel]
+	led := n.ledgers[channel]
+	low, found := lowestParked(parked)
+	if !found || led == nil {
+		n.ledgerMu.Unlock()
+		return
+	}
+	height := led.Height()
+	anchor := parked[low].Header.PrevHash
+	n.ledgerMu.Unlock()
+	if height < low {
+		n.maybeBackfill(channel, height, low, anchor)
+	}
+}
+
+// runBackfill closes one gap, then drains any blocks that parked above it
+// while it ran; a second state-transfer jump during the fetch surfaces as
+// a fresh gap below the parked blocks and is filled in the next pass.
+func (n *OrderingNode) runBackfill(channel string, from, to uint64, anchor cryptoutil.Digest) {
+	for {
+		blocks, err := n.fetcher.FetchRange(n.done, n.peerAddrs(), channel, from, to, anchor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ordering node %d: back-fill of %q blocks %d..%d failed: %v\n",
+				n.ID(), channel, from, to-1, err)
+			return
+		}
+		led := n.ledger(channel)
+		// Append in bounded batches so the fsync work does not hold
+		// ledgerMu (and thereby the event loop's persistBlock path) for
+		// the whole gap at once.
+		const appendBatch = 64
+		for start := 0; start < len(blocks); start += appendBatch {
+			end := start + appendBatch
+			if end > len(blocks) {
+				end = len(blocks)
+			}
+			n.ledgerMu.Lock()
+			for _, b := range blocks[start:end] {
+				if b.Header.Number < led.Height() {
+					continue // raced with a replay duplicate
+				}
+				if err := led.Append(b); err != nil {
+					n.ledgerMu.Unlock()
+					fmt.Fprintf(os.Stderr, "ordering node %d: back-fill append of %q block %d: %v\n",
+						n.ID(), channel, b.Header.Number, err)
+					return
+				}
+			}
+			n.ledgerMu.Unlock()
+		}
+		var again bool
+		n.ledgerMu.Lock()
+		from, to, anchor, again = n.drainParkedLocked(channel, led)
+		n.ledgerMu.Unlock()
+		if !again {
+			return
+		}
+	}
+}
+
+// drainParkedLocked appends every parked block that is now contiguous with
+// the ledger and reports the next gap, if any (from, to, anchor of a
+// follow-up back-fill). Callers hold ledgerMu.
+func (n *OrderingNode) drainParkedLocked(channel string, led *fabric.Ledger) (from, to uint64, anchor cryptoutil.Digest, again bool) {
+	parked := n.parked[channel]
+	for {
+		b, ok := parked[led.Height()]
+		if !ok {
+			break
+		}
+		delete(parked, b.Header.Number)
+		if err := led.Append(b); err != nil {
+			fmt.Fprintf(os.Stderr, "ordering node %d: draining parked block %d on %q: %v\n",
+				n.ID(), b.Header.Number, channel, err)
+			return 0, 0, cryptoutil.Digest{}, false
+		}
+	}
+	lowest, found := lowestParked(parked)
+	if !found {
+		return 0, 0, cryptoutil.Digest{}, false
+	}
+	return led.Height(), lowest, parked[lowest].Header.PrevHash, true
+}
+
+// lowestParked returns the smallest parked block number.
+func lowestParked(parked map[uint64]*fabric.Block) (uint64, bool) {
+	lowest, found := uint64(0), false
+	for num := range parked {
+		if !found || num < lowest {
+			lowest = num
+			found = true
+		}
+	}
+	return lowest, found
+}
+
+// peerAddrs returns the other replicas' transport addresses.
+func (n *OrderingNode) peerAddrs() []transport.Addr {
+	peers := make([]transport.Addr, 0, len(n.cfg.Consensus.Replicas)-1)
+	for _, id := range n.cfg.Consensus.Replicas {
+		if id != n.cfg.Consensus.SelfID {
+			peers = append(peers, id.Addr())
+		}
+	}
+	return peers
 }
 
 // ttcLoop submits time-to-cut markers for channels whose cutters have aged

@@ -23,13 +23,18 @@ type SoloConfig struct {
 	SigningWorkers int
 	// Key signs block headers. Required.
 	Key *cryptoutil.KeyPair
+	// HistoryLimit bounds the delivered blocks retained per channel for
+	// Deliver seeks (default DefaultHistoryLimit). The solo orderer has no
+	// durable ledger; seeks below the retained window fail.
+	HistoryLimit int
 }
 
 // SoloOrderer is HLF's centralized, non-replicated ordering service
 // (Section 3: "used mostly for testing the platform... a single point of
-// failure"). It implements the same Broadcast/Deliver surface as the
-// frontend so applications can swap orderers, and serves as the
-// no-replication baseline in the ablation benchmarks.
+// failure"). It implements the same AtomicBroadcast surface as the
+// frontend (typed Broadcast acks, seekable Deliver) so applications can
+// swap orderers, and serves as the no-replication baseline in the ablation
+// benchmarks.
 type SoloOrderer struct {
 	cfg SoloConfig
 
@@ -37,8 +42,9 @@ type SoloOrderer struct {
 
 	mu      sync.Mutex
 	chains  map[string]*chainState
-	subs    map[string][]*blockQueue
-	pending map[string]*fabric.Block // blocks awaiting signature, by channel+number
+	subs    map[string][]*feSub
+	seq     map[string]*soloSequencer
+	history map[string][]*fabric.Block // retained delivered tail, contiguous
 	closed  bool
 
 	statEnvelopes atomic.Uint64
@@ -46,6 +52,14 @@ type SoloOrderer struct {
 
 	done chan struct{}
 	wg   sync.WaitGroup
+}
+
+// soloSequencer re-orders asynchronously signed blocks back into
+// block-number order before delivery (the signing pool may complete out of
+// order).
+type soloSequencer struct {
+	next    uint64
+	pending map[uint64]*fabric.Block
 }
 
 // NewSoloOrderer starts a solo orderer.
@@ -59,16 +73,21 @@ func NewSoloOrderer(cfg SoloConfig) (*SoloOrderer, error) {
 	if cfg.SigningWorkers <= 0 {
 		cfg.SigningWorkers = 16
 	}
+	if cfg.HistoryLimit <= 0 {
+		cfg.HistoryLimit = DefaultHistoryLimit
+	}
 	signer, err := cryptoutil.NewSigningPool(cfg.Key, cfg.SigningWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("solo orderer: %w", err)
 	}
 	s := &SoloOrderer{
-		cfg:    cfg,
-		signer: signer,
-		chains: make(map[string]*chainState),
-		subs:   make(map[string][]*blockQueue),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		signer:  signer,
+		chains:  make(map[string]*chainState),
+		subs:    make(map[string][]*feSub),
+		seq:     make(map[string]*soloSequencer),
+		history: make(map[string][]*fabric.Block),
+		done:    make(chan struct{}),
 	}
 	if cfg.BlockTimeout > 0 {
 		s.wg.Add(1)
@@ -77,38 +96,38 @@ func NewSoloOrderer(cfg SoloConfig) (*SoloOrderer, error) {
 	return s, nil
 }
 
-var _ fabric.Broadcaster = (*SoloOrderer)(nil)
+var _ fabric.Orderer = (*SoloOrderer)(nil)
 
 // Broadcast orders one envelope (no replication, no consensus: the solo
 // orderer is the trivial total order).
-func (s *SoloOrderer) Broadcast(env *fabric.Envelope) error {
-	if env == nil {
-		return errors.New("solo orderer: nil envelope")
+func (s *SoloOrderer) Broadcast(env *fabric.Envelope) fabric.BroadcastStatus {
+	if env == nil || env.ChannelID == "" {
+		return fabric.StatusBadRequest
 	}
 	return s.BroadcastRaw(env.Marshal())
 }
 
 // BroadcastRaw orders an already-marshalled envelope.
-func (s *SoloOrderer) BroadcastRaw(raw []byte) error {
+func (s *SoloOrderer) BroadcastRaw(raw []byte) fabric.BroadcastStatus {
 	channel, err := fabric.ChannelOf(raw)
 	if err != nil {
-		return fmt.Errorf("solo orderer: %w", err)
+		return fabric.StatusBadRequest
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("solo orderer closed")
+		return fabric.StatusServiceUnavailable
 	}
 	chain := s.chainLocked(channel)
 	s.statEnvelopes.Add(1)
 	batch := chain.cutter.Append(raw)
 	if batch == nil {
 		s.mu.Unlock()
-		return nil
+		return fabric.StatusSuccess
 	}
 	s.sealLocked(channel, chain, batch)
 	s.mu.Unlock()
-	return nil
+	return fabric.StatusSuccess
 }
 
 func (s *SoloOrderer) chainLocked(channel string) *chainState {
@@ -126,38 +145,118 @@ func (s *SoloOrderer) chainLocked(channel string) *chainState {
 	return chain
 }
 
-// sealLocked builds, signs, and delivers the next block. Called with the
-// mutex held; signing and delivery complete asynchronously.
+// sealLocked builds and signs the next block. Called with the mutex held;
+// signing completes asynchronously, and completed blocks are re-sequenced
+// into block-number order before delivery. The sequencer is created here,
+// in seal order, so its cursor starts at the channel's first sealed
+// number regardless of which signature completes first.
 func (s *SoloOrderer) sealLocked(channel string, chain *chainState, batch [][]byte) {
 	block := fabric.NewBlock(chain.nextNumber, chain.prevHash, batch)
 	chain.nextNumber++
 	chain.prevHash = block.Header.Hash()
 	s.statBlocks.Add(1)
+	if _, ok := s.seq[channel]; !ok {
+		s.seq[channel] = &soloSequencer{
+			next:    block.Header.Number,
+			pending: make(map[uint64]*fabric.Block),
+		}
+	}
 
-	queues := make([]*blockQueue, len(s.subs[channel]))
-	copy(queues, s.subs[channel])
-	headerHash := block.Header.Hash()
-	err := s.signer.Sign(headerHash, func(sig []byte, err error) {
+	err := s.signer.Sign(block.Header.Hash(), func(sig []byte, err error) {
 		if err != nil {
 			return
 		}
 		block.Signatures = []fabric.BlockSignature{{SignerID: "solo", Signature: sig}}
-		for _, q := range queues {
-			q.put(block)
-		}
+		s.deliverSigned(channel, block)
 	})
 	if err != nil {
 		return // shutting down
 	}
 }
 
-// Deliver returns the ordered block stream of a channel.
-func (s *SoloOrderer) Deliver(channel string) <-chan *fabric.Block {
-	q := newBlockQueue()
+// deliverSigned hands one signed block to the channel's sequencer and
+// delivers everything that became contiguous: append to the retained
+// history and fan out to the live subscriptions. The queue puts happen
+// under the mutex — puts never block (unbounded queues) and two signing
+// workers completing back-to-back would otherwise race their put loops
+// and enqueue out of order.
+func (s *SoloOrderer) deliverSigned(channel string, block *fabric.Block) {
 	s.mu.Lock()
-	s.subs[channel] = append(s.subs[channel], q)
+	defer s.mu.Unlock()
+	sq := s.seq[channel] // created at seal time, in seal order
+	sq.pending[block.Header.Number] = block
+	hist := s.history[channel]
+	for {
+		b, ok := sq.pending[sq.next]
+		if !ok {
+			break
+		}
+		delete(sq.pending, sq.next)
+		sq.next++
+		hist = append(hist, b)
+		for _, sub := range s.subs[channel] {
+			sub.q.put(b)
+		}
+	}
+	// Trim with slack so the copy amortizes across deliveries.
+	if over := len(hist) - s.cfg.HistoryLimit; over > s.cfg.HistoryLimit/4 {
+		hist = append(hist[:0:0], hist[over:]...)
+	}
+	s.history[channel] = hist
+}
+
+// Deliver opens a block stream for a channel positioned by seek. History
+// is served from the retained in-memory window (the solo orderer keeps no
+// durable ledger); a seek below the window fails the stream with
+// fabric.ErrBlockNotFound.
+func (s *SoloOrderer) Deliver(channel string, seek fabric.SeekInfo) (*fabric.BlockStream, error) {
+	if err := seek.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fabric.ErrServiceUnavailable
+	}
+	hist := append([]*fabric.Block(nil), s.history[channel]...)
+	q := newBlockQueue()
+	stream := fabric.NewBlockStream()
+	s.subs[channel] = append(s.subs[channel], &feSub{q: q, stream: stream})
+	s.wg.Add(1)
 	s.mu.Unlock()
-	return q.out
+
+	go s.deliverLoop(channel, seek, hist, q, stream)
+	return stream, nil
+}
+
+// deliverLoop replays the retained history then tails live blocks through
+// the shared streamDeliverer. The solo orderer has no fetch path: history
+// below the retained window fails the stream with fabric.ErrBlockNotFound.
+func (s *SoloOrderer) deliverLoop(channel string, seek fabric.SeekInfo, hist []*fabric.Block, q *blockQueue, stream *fabric.BlockStream) {
+	defer s.wg.Done()
+	defer s.dropSub(channel, q, stream)
+	d := &streamDeliverer{
+		seek:      seek,
+		hist:      hist,
+		q:         q,
+		stream:    stream,
+		closedErr: fabric.ErrServiceUnavailable,
+	}
+	d.run()
+}
+
+func (s *SoloOrderer) dropSub(channel string, q *blockQueue, stream *fabric.BlockStream) {
+	s.mu.Lock()
+	subs := s.subs[channel]
+	for i, sub := range subs {
+		if sub.q == q {
+			s.subs[channel] = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	q.close()
+	stream.Close(nil)
 }
 
 // Stats returns (envelopes ordered, blocks cut).
@@ -197,15 +296,16 @@ func (s *SoloOrderer) Close() {
 		return
 	}
 	s.closed = true
-	var queues []*blockQueue
-	for _, qs := range s.subs {
-		queues = append(queues, qs...)
+	var subs []*feSub
+	for _, ss := range s.subs {
+		subs = append(subs, ss...)
 	}
 	s.mu.Unlock()
 	close(s.done)
-	s.wg.Wait()
-	s.signer.Close()
-	for _, q := range queues {
-		q.close()
+	s.signer.Close() // waits for in-flight signatures
+	for _, sub := range subs {
+		sub.stream.Cancel()
+		sub.q.close()
 	}
+	s.wg.Wait()
 }

@@ -104,7 +104,7 @@ func TestOrderingServiceOverTCP(t *testing.T) {
 		t.Fatalf("frontend: %v", err)
 	}
 	defer fe.Close()
-	stream := fe.Deliver("tcp-channel")
+	stream := deliverNewest(t, fe, "tcp-channel")
 
 	const envs = 12
 	for i := 0; i < envs; i++ {
@@ -114,8 +114,8 @@ func TestOrderingServiceOverTCP(t *testing.T) {
 			TimestampUnixNano: int64(i),
 			Payload:           []byte(fmt.Sprintf("payload-%d", i)),
 		}
-		if err := fe.Broadcast(env); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := fe.Broadcast(env); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	deadline := time.After(30 * time.Second)

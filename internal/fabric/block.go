@@ -146,6 +146,36 @@ func (b *Block) VerifySignatures(registry *cryptoutil.Registry) int {
 	return valid
 }
 
+// VerifyRange authenticates a fetched block range [from, to) against a
+// trusted anchor: anchorPrev is the PrevHash of trusted block `to` (i.e.
+// the header hash of block to-1). Because every header embeds the previous
+// header's hash, linking the top of the range into the anchor
+// transitively authenticates every block below it, so a single untrusted
+// peer cannot feed a forged or diverging history. For from == 0 the
+// genesis block must additionally carry a zero previous hash.
+func VerifyRange(blocks []*Block, from, to uint64, anchorPrev cryptoutil.Digest) error {
+	if to <= from {
+		return fmt.Errorf("verify range: empty range %d..%d", from, to)
+	}
+	if uint64(len(blocks)) != to-from {
+		return fmt.Errorf("verify range: %d blocks for range %d..%d", len(blocks), from, to-1)
+	}
+	if blocks[0].Header.Number != from {
+		return fmt.Errorf("verify range: starts at block %d, want %d", blocks[0].Header.Number, from)
+	}
+	if from == 0 && !blocks[0].Header.PrevHash.IsZero() {
+		return fmt.Errorf("verify range: genesis has non-zero previous hash")
+	}
+	if err := VerifyChain(blocks); err != nil {
+		return err
+	}
+	if got := blocks[len(blocks)-1].Header.Hash(); got != anchorPrev {
+		return fmt.Errorf("verify range: block %d does not link into the trusted anchor",
+			to-1)
+	}
+	return nil
+}
+
 // VerifyChain checks the hash chain across consecutive blocks: block i+1
 // must reference the hash of block i's header and carry a data hash
 // matching its envelopes.

@@ -11,12 +11,6 @@ import (
 	"repro/internal/cryptoutil"
 )
 
-// Broadcaster delivers an assembled envelope to the ordering service
-// (protocol step 4). The ordering-service frontend implements it.
-type Broadcaster interface {
-	Broadcast(env *Envelope) error
-}
-
 // Client errors.
 var (
 	ErrEndorsementMismatch = errors.New("client: endorsers returned divergent read/write sets")
@@ -153,8 +147,8 @@ func (c *Client) Submit(ctx context.Context, chaincodeID, fn string, args [][]by
 	if err := env.Sign(c.cfg.Key); err != nil {
 		return nil, err
 	}
-	if err := c.cfg.Orderer.Broadcast(env); err != nil {
-		return nil, fmt.Errorf("broadcast: %w", err)
+	if status := c.cfg.Orderer.Broadcast(env); status != StatusSuccess {
+		return nil, fmt.Errorf("broadcast rejected with %s: %w", status, status.Err())
 	}
 
 	// Step 6: wait for the commit notification.

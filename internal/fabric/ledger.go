@@ -23,16 +23,39 @@ type BlockBackend interface {
 	PutBlock(channel string, b *Block) error
 }
 
+// BlockReader serves random-access reads of persisted blocks: up to max
+// blocks of one channel starting at block number start, in order. A
+// backend that also implements BlockReader lets a persistent ledger keep
+// only a bounded tail of the chain in memory and page older blocks back
+// in on demand (historical Deliver seeks, FetchBlocks back-fill).
+type BlockReader interface {
+	ReadBlocks(channel string, start uint64, max int) ([]*Block, error)
+}
+
+// DefaultLedgerRetain is how many recent blocks a persistent ledger with a
+// read-capable backend keeps in memory; older blocks are served from the
+// backend.
+const DefaultLedgerRetain = 1024
+
 // Ledger is one channel's append-only blockchain, as maintained by a
-// committing peer. Append verifies the hash chain, so a tampered or
-// out-of-order block is rejected rather than stored. With a backend
-// attached, every accepted block is durably persisted before it becomes
-// visible in memory. Safe for concurrent use.
+// committing peer or an ordering node. Append verifies the hash chain, so
+// a tampered or out-of-order block is rejected rather than stored. With a
+// backend attached, every accepted block is durably persisted before it
+// becomes visible in memory; when the backend can also read blocks back,
+// the ledger retains only the newest blocks in memory and serves older
+// ones from storage. Safe for concurrent use.
 type Ledger struct {
 	mu      sync.RWMutex
-	blocks  []*Block
 	channel string
 	backend BlockBackend
+	reader  BlockReader
+	retain  int // in-memory window when reader != nil (0 = unlimited)
+
+	blocks   []*Block // in-memory tail, blocks[i].Number == base+i
+	base     uint64   // number of blocks[0]
+	height   uint64   // next block number to append
+	lastHash cryptoutil.Digest
+	envCount int
 }
 
 // NewLedger creates an empty in-memory ledger.
@@ -41,16 +64,23 @@ func NewLedger() *Ledger {
 }
 
 // NewPersistentLedger creates an empty ledger whose appended blocks are
-// written through to backend under the given channel name.
+// written through to backend under the given channel name. If the backend
+// also implements BlockReader, the ledger keeps only DefaultLedgerRetain
+// blocks in memory and pages older ones from the backend.
 func NewPersistentLedger(channel string, backend BlockBackend) *Ledger {
-	return &Ledger{channel: channel, backend: backend}
+	l := &Ledger{channel: channel, backend: backend}
+	if r, ok := backend.(BlockReader); ok {
+		l.reader = r
+		l.retain = DefaultLedgerRetain
+	}
+	return l
 }
 
 // Height returns the number of blocks appended so far.
 func (l *Ledger) Height() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return uint64(len(l.blocks))
+	return l.height
 }
 
 // Append verifies and appends a block: its number must be the current
@@ -64,15 +94,14 @@ func (l *Ledger) Append(b *Block) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	height := uint64(len(l.blocks))
-	if b.Header.Number != height {
-		return fmt.Errorf("%w: got %d, want %d", ErrBlockNumber, b.Header.Number, height)
+	if b.Header.Number != l.height {
+		return fmt.Errorf("%w: got %d, want %d", ErrBlockNumber, b.Header.Number, l.height)
 	}
-	if height == 0 {
+	if l.height == 0 {
 		if !b.Header.PrevHash.IsZero() {
 			return fmt.Errorf("%w: genesis must have zero previous hash", ErrBrokenChain)
 		}
-	} else if prev := l.blocks[height-1].Header.Hash(); b.Header.PrevHash != prev {
+	} else if b.Header.PrevHash != l.lastHash {
 		return fmt.Errorf("%w at block %d", ErrBrokenChain, b.Header.Number)
 	}
 	if l.backend != nil {
@@ -81,17 +110,120 @@ func (l *Ledger) Append(b *Block) error {
 		}
 	}
 	l.blocks = append(l.blocks, b)
+	l.height++
+	l.lastHash = b.Header.Hash()
+	l.envCount += len(b.Envelopes)
+	// Trim with slack so the O(retain) copy amortizes to O(1) per append
+	// instead of recurring on every block at steady state.
+	if l.reader != nil && l.retain > 0 && len(l.blocks) > l.retain+l.retain/4 {
+		drop := len(l.blocks) - l.retain
+		l.blocks = append(l.blocks[:0:0], l.blocks[drop:]...)
+		l.base += uint64(drop)
+	}
 	return nil
 }
 
-// Block returns the block at the given number.
+// Block returns the block at the given number, reading it back from the
+// backend if it fell out of the in-memory window.
 func (l *Ledger) Block(number uint64) (*Block, error) {
 	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if number >= uint64(len(l.blocks)) {
-		return nil, fmt.Errorf("%w: %d (height %d)", ErrBlockNotFound, number, len(l.blocks))
+	if number >= l.height {
+		height := l.height
+		l.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %d (height %d)", ErrBlockNotFound, number, height)
 	}
-	return l.blocks[number], nil
+	if number >= l.base {
+		b := l.blocks[number-l.base]
+		l.mu.RUnlock()
+		return b, nil
+	}
+	reader, channel := l.reader, l.channel
+	l.mu.RUnlock()
+	blocks, err := reader.ReadBlocks(channel, number, 1)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: reading block %d: %w", number, err)
+	}
+	if len(blocks) == 0 || blocks[0].Header.Number != number {
+		return nil, fmt.Errorf("%w: %d (backend miss)", ErrBlockNotFound, number)
+	}
+	return blocks[0], nil
+}
+
+// Range returns blocks [start, end) in order, combining the backend (for
+// blocks below the in-memory window) with the in-memory tail. end is
+// clamped to the current height.
+func (l *Ledger) Range(start, end uint64) ([]*Block, error) {
+	l.mu.RLock()
+	if end > l.height {
+		end = l.height
+	}
+	if start >= end {
+		l.mu.RUnlock()
+		return nil, nil
+	}
+	base := l.base
+	var tail []*Block
+	if end > base {
+		from := base
+		if start > base {
+			from = start
+		}
+		tail = append(tail, l.blocks[from-base:end-base]...)
+	}
+	reader, channel := l.reader, l.channel
+	l.mu.RUnlock()
+
+	if start >= base {
+		return tail, nil
+	}
+	if reader == nil {
+		return nil, fmt.Errorf("%w: blocks %d..%d not retained", ErrBlockNotFound, start, base-1)
+	}
+	out := make([]*Block, 0, end-start)
+	for next := start; next < base && next < end; {
+		want := int(base - next)
+		if stop := end - next; stop < uint64(want) {
+			want = int(stop)
+		}
+		blocks, err := reader.ReadBlocks(channel, next, want)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: reading blocks from %d: %w", next, err)
+		}
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("%w: %d (backend miss)", ErrBlockNotFound, next)
+		}
+		for _, b := range blocks {
+			if b.Header.Number != next {
+				return nil, fmt.Errorf("ledger: backend returned block %d, want %d", b.Header.Number, next)
+			}
+			out = append(out, b)
+			next++
+		}
+	}
+	return append(out, tail...), nil
+}
+
+// Blocks returns the chain from start (inclusive) onward. Blocks that are
+// no longer retained in memory and cannot be read back are omitted from
+// the front.
+func (l *Ledger) Blocks(start uint64) []*Block {
+	l.mu.RLock()
+	height := l.height
+	l.mu.RUnlock()
+	out, err := l.Range(start, height)
+	if err != nil {
+		// Serve what memory still holds rather than failing a legacy read.
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		if start < l.base {
+			start = l.base
+		}
+		if start >= l.height {
+			return nil
+		}
+		return append([]*Block(nil), l.blocks[start-l.base:]...)
+	}
+	return out
 }
 
 // LastHash returns the header hash of the newest block (zero digest for an
@@ -99,38 +231,46 @@ func (l *Ledger) Block(number uint64) (*Block, error) {
 func (l *Ledger) LastHash() cryptoutil.Digest {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if len(l.blocks) == 0 {
-		return cryptoutil.Digest{}
-	}
-	return l.blocks[len(l.blocks)-1].Header.Hash()
+	return l.lastHash
 }
 
-// Blocks returns the chain from start (inclusive) onward.
-func (l *Ledger) Blocks(start uint64) []*Block {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if start >= uint64(len(l.blocks)) {
-		return nil
-	}
-	out := make([]*Block, len(l.blocks)-int(start))
-	copy(out, l.blocks[start:])
-	return out
-}
-
-// VerifyChain re-validates the whole chain (integrity + linkage).
+// VerifyChain re-validates the whole chain (integrity + linkage),
+// streaming paged-out blocks back from the backend in bounded windows.
 func (l *Ledger) VerifyChain() error {
+	const window = 256
 	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return VerifyChain(l.blocks)
+	height := l.height
+	l.mu.RUnlock()
+	var prev *Block
+	for start := uint64(0); start < height; start += window {
+		end := start + window
+		if end > height {
+			end = height
+		}
+		blocks, err := l.Range(start, end)
+		if err != nil {
+			return err
+		}
+		if uint64(len(blocks)) != end-start {
+			return fmt.Errorf("%w: range %d..%d returned %d blocks",
+				ErrBlockNotFound, start, end-1, len(blocks))
+		}
+		if prev != nil {
+			if blocks[0].Header.PrevHash != prev.Header.Hash() {
+				return fmt.Errorf("%w at block %d", ErrBrokenChain, blocks[0].Header.Number)
+			}
+		}
+		if err := VerifyChain(blocks); err != nil {
+			return err
+		}
+		prev = blocks[len(blocks)-1]
+	}
+	return nil
 }
 
 // EnvelopeCount returns the total number of envelopes across all blocks.
 func (l *Ledger) EnvelopeCount() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	total := 0
-	for _, b := range l.blocks {
-		total += len(b.Envelopes)
-	}
-	return total
+	return l.envCount
 }

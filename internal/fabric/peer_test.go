@@ -89,16 +89,18 @@ func newFabricNet(t *testing.T, nEndorsers, blockSize int) *fabricNet {
 // endorsers simulate against the committing peer's live state because the
 // test shares one StateDB... except it does not: endorsers got their own db
 // in newFabricNet. See sharedStateNet for the MVCC scenarios.
-func (fn *fabricNet) Broadcast(env *Envelope) error {
+func (fn *fabricNet) Broadcast(env *Envelope) BroadcastStatus {
 	fn.mu.Lock()
 	defer fn.mu.Unlock()
 	batch := fn.cutter.Append(env.Marshal())
 	if batch == nil {
-		return nil
+		return StatusSuccess
 	}
 	block := NewBlock(fn.peer.Ledger().Height(), fn.peer.Ledger().LastHash(), batch)
-	_, err := fn.peer.CommitBlock(block)
-	return err
+	if _, err := fn.peer.CommitBlock(block); err != nil {
+		return StatusServiceUnavailable
+	}
+	return StatusSuccess
 }
 
 func (fn *fabricNet) client(policy Policy) *Client {

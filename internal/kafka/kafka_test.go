@@ -197,8 +197,8 @@ func TestOSNOrdersIntoBlocks(t *testing.T) {
 	osn := newTestOSN(t, cluster, "osn0", 4, 0)
 	stream := osn.Deliver("ch")
 	for i := 0; i < 12; i++ {
-		if err := osn.Broadcast(mkEnv("ch", i)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := osn.Broadcast(mkEnv("ch", i)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocks := collect(t, stream, 12)
@@ -221,8 +221,8 @@ func TestTwoOSNsBuildIdenticalChains(t *testing.T) {
 	streamB := osnB.Deliver("ch")
 
 	for i := 0; i < 9; i++ {
-		if err := osnA.Broadcast(mkEnv("ch", i)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := osnA.Broadcast(mkEnv("ch", i)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	blocksA := collect(t, streamA, 9)
@@ -244,8 +244,8 @@ func TestOSNTimeoutCut(t *testing.T) {
 	}
 	osn := newTestOSN(t, cluster, "osn0", 100, 30*time.Millisecond)
 	stream := osn.Deliver("ch")
-	if err := osn.Broadcast(mkEnv("ch", 0)); err != nil {
-		t.Fatalf("broadcast: %v", err)
+	if st := osn.Broadcast(mkEnv("ch", 0)); st != fabric.StatusSuccess {
+		t.Fatalf("broadcast: %v", st)
 	}
 	blocks := collect(t, stream, 1)
 	if len(blocks[0].Envelopes) != 1 {
@@ -261,8 +261,8 @@ func TestOSNSurvivesBrokerCrash(t *testing.T) {
 	osn := newTestOSN(t, cluster, "osn0", 2, 0)
 	stream := osn.Deliver("ch")
 	for i := 0; i < 4; i++ {
-		if err := osn.Broadcast(mkEnv("ch", i)); err != nil {
-			t.Fatalf("broadcast: %v", err)
+		if st := osn.Broadcast(mkEnv("ch", i)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast: %v", st)
 		}
 	}
 	collect(t, stream, 4)
@@ -273,8 +273,8 @@ func TestOSNSurvivesBrokerCrash(t *testing.T) {
 	}
 	cluster.CrashBroker(leader)
 	for i := 4; i < 8; i++ {
-		if err := osn.Broadcast(mkEnv("ch", i)); err != nil {
-			t.Fatalf("broadcast after crash: %v", err)
+		if st := osn.Broadcast(mkEnv("ch", i)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast after crash: %v", st)
 		}
 	}
 	blocks := collect(t, stream, 4)

@@ -105,24 +105,24 @@ func NewOSN(cfg OSNConfig) (*OSN, error) {
 var _ fabric.Broadcaster = (*OSN)(nil)
 
 // Broadcast produces one envelope into its channel's partition.
-func (o *OSN) Broadcast(env *fabric.Envelope) error {
+func (o *OSN) Broadcast(env *fabric.Envelope) fabric.BroadcastStatus {
 	if env == nil {
-		return errors.New("kafka osn: nil envelope")
+		return fabric.StatusBadRequest
 	}
 	return o.BroadcastRaw(env.Marshal())
 }
 
 // BroadcastRaw produces an already-marshalled envelope.
-func (o *OSN) BroadcastRaw(raw []byte) error {
+func (o *OSN) BroadcastRaw(raw []byte) fabric.BroadcastStatus {
 	channel, err := fabric.ChannelOf(raw)
 	if err != nil {
-		return fmt.Errorf("kafka osn: %w", err)
+		return fabric.StatusBadRequest
 	}
 	o.track(channel)
 	if _, err := o.cfg.Cluster.Produce(channel, raw); err != nil {
-		return fmt.Errorf("kafka osn: %w", err)
+		return fabric.StatusServiceUnavailable
 	}
-	return nil
+	return fabric.StatusSuccess
 }
 
 // track ensures the consume loop follows the channel.

@@ -11,31 +11,35 @@ import (
 // BlockStore persists sealed blocks, per channel, in an append-only WAL of
 // its own (one record per block, wire-encoded with the channel name). It
 // is the durable mirror of a fabric.Ledger: Recovered() rebuilds the full
-// chain after a restart, and Put is idempotent for already-stored block
+// chain after a restart, Put is idempotent for already-stored block
 // numbers so that WAL-driven re-execution of the tail never duplicates
-// blocks.
+// blocks, and ReadBlocks serves random-access reads (historical Deliver
+// seeks, FetchBlocks back-fill) through an in-memory block-number ->
+// WAL-index map maintained across restarts.
 type BlockStore struct {
 	wal *WAL
 
 	mu        sync.Mutex
-	heights   map[string]uint64 // next expected block number per channel
+	heights   map[string]uint64   // next expected block number per channel
+	index     map[string][]uint64 // block number -> WAL record index
 	recovered map[string][]*fabric.Block
 }
 
-// OpenBlockStore opens the store in dir and replays every persisted block.
-// The recovered chains stay available via Recovered until the caller takes
-// them.
-func OpenBlockStore(dir string, noSync bool) (*BlockStore, error) {
-	wal, err := OpenWAL(WALConfig{Dir: dir, NoSync: noSync})
+// OpenBlockStore opens the store in cfg.Dir and replays every persisted
+// block. The recovered chains stay available via Recovered until the
+// caller takes them.
+func OpenBlockStore(cfg WALConfig) (*BlockStore, error) {
+	wal, err := OpenWAL(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &BlockStore{
 		wal:       wal,
 		heights:   make(map[string]uint64),
+		index:     make(map[string][]uint64),
 		recovered: make(map[string][]*fabric.Block),
 	}
-	err = wal.Replay(func(_ uint64, rec []byte) error {
+	err = wal.Replay(func(idx uint64, rec []byte) error {
 		channel, block, err := decodeBlockRecord(rec)
 		if err != nil {
 			return err
@@ -45,6 +49,7 @@ func OpenBlockStore(dir string, noSync bool) (*BlockStore, error) {
 				ErrCorrupt, channel, block.Header.Number, s.heights[channel])
 		}
 		s.recovered[channel] = append(s.recovered[channel], block)
+		s.index[channel] = append(s.index[channel], idx)
 		s.heights[channel] = block.Header.Number + 1
 		return nil
 	})
@@ -76,7 +81,7 @@ func (s *BlockStore) Height(channel string) uint64 {
 
 // Put durably appends a sealed block. A block below the stored height is a
 // replay duplicate and is silently skipped; a block above it is a gap and
-// is rejected (the caller lost blocks and must state-transfer them before
+// is rejected (the caller lost blocks and must back-fill them before
 // persisting more). Calls for the same channel must not race each other
 // (record order in the log is recovery order); calls for different
 // channels may run concurrently and share one group commit.
@@ -99,7 +104,8 @@ func (s *BlockStore) Put(channel string, b *fabric.Block) error {
 	w := wire.NewWriter(16 + len(channel) + len(raw))
 	w.PutString(channel)
 	w.PutBytes(raw)
-	if _, err := s.wal.Append(w.Bytes()); err != nil {
+	idx, err := s.wal.Append(w.Bytes())
+	if err != nil {
 		// Roll the height back so a retry is possible.
 		s.mu.Lock()
 		if s.heights[channel] == b.Header.Number+1 {
@@ -108,7 +114,60 @@ func (s *BlockStore) Put(channel string, b *fabric.Block) error {
 		s.mu.Unlock()
 		return err
 	}
+	s.mu.Lock()
+	s.index[channel] = append(s.index[channel], idx)
+	s.mu.Unlock()
 	return nil
+}
+
+// ReadBlocks reads up to max blocks of one channel back from disk,
+// starting at block number start, in order (fabric.BlockReader). It
+// returns fewer blocks when the chain ends (or the newest appends have not
+// finished committing); a start at or past the committed height returns
+// nil.
+func (s *BlockStore) ReadBlocks(channel string, start uint64, max int) ([]*fabric.Block, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	idxs := s.index[channel]
+	if start >= uint64(len(idxs)) {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	end := start + uint64(max)
+	if end > uint64(len(idxs)) {
+		end = uint64(len(idxs))
+	}
+	want := append([]uint64(nil), idxs[start:end]...)
+	s.mu.Unlock()
+
+	out := make([]*fabric.Block, 0, len(want))
+	pos := 0
+	err := s.wal.ReadRange(want[0], want[len(want)-1], func(idx uint64, rec []byte) error {
+		if pos >= len(want) || idx != want[pos] {
+			return nil // a record of another channel interleaved in the range
+		}
+		gotChannel, block, err := decodeBlockRecord(rec)
+		if err != nil {
+			return err
+		}
+		if gotChannel != channel || block.Header.Number != start+uint64(pos) {
+			return fmt.Errorf("%w: index points at channel %q block %d, want %q block %d",
+				ErrCorrupt, gotChannel, block.Header.Number, channel, start+uint64(pos))
+		}
+		out = append(out, block)
+		pos++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(want) {
+		return nil, fmt.Errorf("%w: channel %q blocks %d..%d missing from log",
+			ErrCorrupt, channel, start+uint64(pos), end-1)
+	}
+	return out, nil
 }
 
 // Close flushes and closes the underlying log.

@@ -58,7 +58,9 @@ type NodeStorage struct {
 
 // Options tunes a NodeStorage.
 type Options struct {
-	// SegmentBytes overrides the decision-log segment size (default 4 MiB).
+	// SegmentBytes overrides the WAL segment size of both the decision log
+	// and the block store (default 4 MiB). Smaller segments mean
+	// finer-grained pruning behind checkpoints at the cost of more files.
 	SegmentBytes int64
 	// NoSync disables fsync everywhere. Only for benchmarks isolating the
 	// write path.
@@ -80,7 +82,11 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 	if err != nil {
 		return nil, err
 	}
-	blocks, err := OpenBlockStore(filepath.Join(dir, "blocks"), opts.NoSync)
+	blocks, err := OpenBlockStore(WALConfig{
+		Dir:          filepath.Join(dir, "blocks"),
+		SegmentBytes: opts.SegmentBytes,
+		NoSync:       opts.NoSync,
+	})
 	if err != nil {
 		wal.Close()
 		return nil, err
@@ -205,6 +211,14 @@ func (s *NodeStorage) PutBlock(channel string, b *fabric.Block) error {
 // BlockHeight returns the number of blocks persisted for a channel.
 func (s *NodeStorage) BlockHeight(channel string) uint64 {
 	return s.blocks.Height(channel)
+}
+
+// ReadBlocks reads up to max persisted blocks of a channel back from disk,
+// starting at block number start (fabric.BlockReader). Ledgers backed by a
+// NodeStorage therefore keep only a bounded tail in memory and page older
+// blocks in on demand.
+func (s *NodeStorage) ReadBlocks(channel string, start uint64, max int) ([]*fabric.Block, error) {
+	return s.blocks.ReadBlocks(channel, start, max)
 }
 
 // Dir returns the storage root.
