@@ -52,6 +52,8 @@ func run() error {
 	peersFlag := flag.String("peers", "", "replica address book: id=host:port,...")
 	channelsFlag := flag.String("channels", "", "optional comma-separated channel allowlist (empty serves all)")
 	window := flag.Int("max-inflight", core.DefaultMaxInflight, "per-client backpressure window (envelopes in flight)")
+	clientIdle := flag.Duration("client-idle-timeout", clientapi.DefaultIdleTimeout, "silence before the client API pings a connection (negative disables keepalive)")
+	clientPing := flag.Duration("client-ping-timeout", clientapi.DefaultPingTimeout, "post-ping grace before a silent client connection is dropped")
 
 	// Client mode.
 	connect := flag.String("connect", "", "client mode: connect to a frontend's -serve address")
@@ -63,12 +65,13 @@ func run() error {
 	if *connect != "" {
 		return runClient(*connect, *channel, *seekFlag, *until)
 	}
-	return runServer(*id, *listen, *clientListen, *serve, *peersFlag, *channelsFlag, *window)
+	return runServer(*id, *listen, *clientListen, *serve, *peersFlag, *channelsFlag, *window,
+		clientapi.ServerOptions{IdleTimeout: *clientIdle, PingTimeout: *clientPing})
 }
 
 // ---- server mode -------------------------------------------------------
 
-func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, window int) error {
+func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, window int, apiOpts clientapi.ServerOptions) error {
 	peers, err := parseBook(peersFlag)
 	if err != nil {
 		return fmt.Errorf("bad -peers: %w", err)
@@ -129,7 +132,7 @@ func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, 
 	if err != nil {
 		return err
 	}
-	srv := clientapi.NewServer(fe)
+	srv := clientapi.NewServerWithOptions(fe, apiOpts)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	defer srv.Close()

@@ -54,6 +54,9 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + blocks + checkpoints); empty runs in-memory")
 	walSegment := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment size for the decision log and block store (compaction granularity)")
 	checkpointIvl := flag.Int64("checkpoint-interval", 0, "decisions between consensus checkpoints (0 = default); checkpoints prune the decision log")
+	blockSegment := flag.Int64("block-segment-bytes", 0, "block-store segment size (retention compaction granularity; 0 inherits -wal-segment-bytes)")
+	retainBlocks := flag.Uint64("retain-blocks", 0, "durable blocks retained per channel before block-store compaction prunes below the floor (0 = retain everything)")
+	retainBytes := flag.Int64("retain-bytes", 0, "block-store on-disk size that triggers compaction (0 = no bytes trigger); SIGHUP forces a compaction")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
@@ -110,12 +113,15 @@ func run() error {
 			CheckpointInterval: *checkpointIvl,
 			Key:                key,
 		},
-		BlockSize:       *block,
-		BlockTimeout:    *blockTimeout,
-		SigningWorkers:  *workers,
-		Key:             key,
-		DataDir:         *dataDir,
-		WALSegmentBytes: *walSegment,
+		BlockSize:            *block,
+		BlockTimeout:         *blockTimeout,
+		SigningWorkers:       *workers,
+		Key:                  key,
+		DataDir:              *dataDir,
+		WALSegmentBytes:      *walSegment,
+		BlockWALSegmentBytes: *blockSegment,
+		RetainBlocks:         *retainBlocks,
+		RetainBytes:          *retainBytes,
 	}, conn)
 	if err != nil {
 		return err
@@ -130,8 +136,19 @@ func run() error {
 		*id, conn.ListenAddr(), len(replicas), *block, durability)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			// Explicit admin trigger: compact the block store now.
+			if err := node.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "ordernode: compaction:", err)
+			} else {
+				fmt.Println("block-store compaction triggered")
+			}
+			continue
+		}
+		break
+	}
 	fmt.Println("shutting down")
 	return nil
 }

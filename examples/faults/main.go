@@ -6,10 +6,14 @@
 // its durable chain and catch back up to the cluster's full height. The
 // frontend's 2f+1-matching rule, the synchronization phase (leader
 // change), and the storage subsystem's WAL + checkpoint recovery keep the
-// chain growing and consistent throughout.
+// chain growing and consistent throughout. Retention is on as well: the
+// nodes prune their block stores behind a snapshot manifest while the
+// faults play out, and the final phase shows a seek below the pruned
+// floor answering the typed NOT_FOUND status.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -33,10 +37,12 @@ func run() error {
 	}
 	defer os.RemoveAll(dataDir)
 	cluster, err := core.NewCluster(core.ClusterConfig{
-		Nodes:          4,
-		BlockSize:      2,
-		RequestTimeout: time.Second, // fast leader change for the demo
-		DataDir:        dataDir,     // every node keeps a WAL + block store
+		Nodes:                4,
+		BlockSize:            2,
+		RequestTimeout:       time.Second, // fast leader change for the demo
+		DataDir:              dataDir,     // every node keeps a WAL + block store
+		BlockWALSegmentBytes: 1024,        // tiny block segments so pruning bites early
+		RetainBlocks:         6,           // durable blocks retained per channel
 	})
 	if err != nil {
 		return err
@@ -148,6 +154,69 @@ func run() error {
 	}
 	fmt.Printf("  node 0 rejoined at full height %d; its durable chain verifies\n",
 		recovered.Height())
+
+	fmt.Println("phase 6: retention prunes the block stores while the cluster runs")
+	// Push traffic until the retention policy compacts: the durable
+	// ledgers drop everything below the floor (whole WAL segments are
+	// deleted behind a snapshot manifest).
+	// Compaction is per node and asynchronous: keep ordering until EVERY
+	// node pruned, so the below-floor seek is unservable cluster-wide.
+	allPruned := func() bool {
+		for _, node := range cluster.Nodes {
+			led := node.Ledger("ch")
+			if led == nil || led.Floor() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	pruneDeadline := time.Now().Add(60 * time.Second)
+	for !allPruned() {
+		if time.Now().After(pruneDeadline) {
+			return fmt.Errorf("retention never compacted on every node")
+		}
+		if err := submitAndAwait("retention", 6); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  node 0 pruned below block %d (height %d); retained chain still verifies: %v\n",
+		recovered.Floor(), recovered.Height(), recovered.VerifyChain() == nil)
+
+	// Restart node 0 once more: recovery now loads the snapshot manifest
+	// first and serves the chain from the floor upward.
+	cluster.KillNode(0)
+	if err := cluster.RestartNode(0); err != nil {
+		return err
+	}
+	rec2 := cluster.Nodes[0].Ledger("ch")
+	if rec2 == nil {
+		return fmt.Errorf("restarted node lost its durable ledger")
+	}
+	if err := rec2.VerifyChain(); err != nil {
+		return fmt.Errorf("post-prune recovery does not verify: %w", err)
+	}
+	fmt.Printf("  restarted from the manifest: height %d, floor %d, chain verifies from the anchor\n",
+		rec2.Height(), rec2.Floor())
+
+	// A fresh frontend (no retained history) seeking the pruned genesis
+	// gets the typed pruned status — NOT_FOUND on the wire.
+	fe2, err := cluster.NewFrontend("frontend-1", false)
+	if err != nil {
+		return err
+	}
+	defer fe2.Close()
+	pruned, err := fe2.Deliver("ch", fabric.DeliverFrom(0).Through(0))
+	if err != nil {
+		return err
+	}
+	for range pruned.Blocks() {
+		return fmt.Errorf("seek below the floor delivered a pruned block")
+	}
+	perr := pruned.Err()
+	if !errors.Is(perr, fabric.ErrPruned) {
+		return fmt.Errorf("seek below the floor ended with %v, want the pruned status", perr)
+	}
+	fmt.Printf("  seek at pruned block 0 answered %s (%v)\n", fabric.StatusOf(perr), perr)
 
 	fmt.Printf("done: %d blocks ordered across all fault phases; final chain verifies\n",
 		len(chain))

@@ -1,9 +1,11 @@
 // Quickstart: start a 4-node BFT ordering service in-process, submit
-// envelopes through a frontend, and read back the signed, hash-chained
-// blocks.
+// envelopes through a frontend, read back the signed, hash-chained
+// blocks — then watch ledger retention prune old history, survive a
+// full-cluster restart, and answer below-floor seeks with NOT_FOUND.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -20,12 +22,23 @@ func main() {
 }
 
 func run() error {
+	dataDir, err := os.MkdirTemp("", "quickstart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
 	// A 4-node cluster tolerates f=1 Byzantine ordering node. Blocks hold
-	// 5 envelopes; partial blocks are cut after 250 ms.
+	// 5 envelopes; partial blocks are cut after 250 ms. Every node keeps
+	// a durable ledger under dataDir bounded by retention: once a channel
+	// exceeds 8 durable blocks, nodes snapshot a manifest and drop old
+	// block-WAL segments (tiny segments here so pruning bites quickly).
 	cluster, err := core.NewCluster(core.ClusterConfig{
-		Nodes:        4,
-		BlockSize:    5,
-		BlockTimeout: 250 * time.Millisecond,
+		Nodes:                4,
+		BlockSize:            5,
+		BlockTimeout:         250 * time.Millisecond,
+		DataDir:              dataDir,
+		BlockWALSegmentBytes: 2048,
+		RetainBlocks:         8,
 	})
 	if err != nil {
 		return err
@@ -104,5 +117,109 @@ func run() error {
 		return fmt.Errorf("replay stream: %w", err)
 	}
 	fmt.Printf("replayed %d blocks via Deliver(Oldest..%d)\n", replayed, chain[len(chain)-1].Header.Number)
+
+	// ---- part 2: retention ---------------------------------------------
+	// Keep ordering until the nodes' retention policy compacts: the
+	// durable ledgers keep only the newest blocks, old WAL segments are
+	// deleted, and the retention floor rises above zero.
+	fmt.Println("part 2: retention — ordering more traffic until old blocks prune")
+	for i := 0; i < 200; i++ {
+		env := &fabric.Envelope{
+			ChannelID:         "demo-channel",
+			ClientID:          "quickstart",
+			TimestampUnixNano: time.Now().UnixNano(),
+			Payload:           []byte(fmt.Sprintf("bulk transaction %03d", i)),
+		}
+		if status := frontend.Broadcast(env); status != fabric.StatusSuccess {
+			return fmt.Errorf("bulk broadcast ack %s", status)
+		}
+	}
+	// Compaction is per node and asynchronous: wait until EVERY node
+	// pruned, so the below-floor seek is unservable cluster-wide.
+	deadline := time.Now().Add(30 * time.Second)
+	var floor uint64
+	for pruned := 0; pruned < len(cluster.Nodes); {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("retention never compacted on %d nodes", len(cluster.Nodes)-pruned)
+		}
+		pruned = 0
+		for _, node := range cluster.Nodes {
+			if led := node.Ledger("demo-channel"); led != nil && led.Floor() > 0 {
+				floor = led.Floor()
+				pruned++
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	height := cluster.Nodes[0].Ledger("demo-channel").Height()
+	fmt.Printf("node 0 pruned below block %d (height %d): disk now holds the retained window only\n",
+		floor, height)
+	frontend.Close()
+
+	// A full restart recovers every node from its snapshot manifest: the
+	// chain resumes from the floor, not from block 0.
+	fmt.Println("restarting the whole cluster from its data directories")
+	for i := range cluster.Nodes {
+		cluster.KillNode(i)
+	}
+	for i := range cluster.Nodes {
+		if err := cluster.RestartNode(i); err != nil {
+			return fmt.Errorf("restarting node %d: %w", i, err)
+		}
+	}
+	recovered := cluster.Nodes[0].Ledger("demo-channel")
+	if recovered == nil {
+		return fmt.Errorf("restarted node has no durable ledger")
+	}
+	if err := recovered.VerifyChain(); err != nil {
+		return fmt.Errorf("recovered chain does not verify from the floor: %w", err)
+	}
+	fmt.Printf("recovered: height %d, floor %d, chain verifies from the retention anchor\n",
+		recovered.Height(), recovered.Floor())
+
+	// A fresh frontend has no retained history, so its seeks hit the
+	// nodes' durable ledgers. Seeking a pruned block answers the typed
+	// pruned status — what a wire client sees as NOT_FOUND.
+	fe2, err := cluster.NewFrontend("frontend-1", false)
+	if err != nil {
+		return err
+	}
+	defer fe2.Close()
+	pruned, err := fe2.Deliver("demo-channel", fabric.DeliverFrom(0).Through(0))
+	if err != nil {
+		return err
+	}
+	for range pruned.Blocks() {
+		return fmt.Errorf("seek below the floor delivered a pruned block")
+	}
+	perr := pruned.Err()
+	if !errors.Is(perr, fabric.ErrPruned) {
+		return fmt.Errorf("seek below the floor ended with %v, want the pruned status", perr)
+	}
+	fmt.Printf("seek at block 0 answered %s (%v)\n", fabric.StatusOf(perr), perr)
+
+	// Deliver(Oldest) means oldest *available*: the stream starts at the
+	// floor instead of failing.
+	head := recovered.Height() - 1
+	oldest, err := fe2.Deliver("demo-channel", fabric.DeliverOldest().Through(head))
+	if err != nil {
+		return err
+	}
+	first := uint64(0)
+	count := 0
+	for b := range oldest.Blocks() {
+		if count == 0 {
+			first = b.Header.Number
+		}
+		count++
+	}
+	if err := oldest.Err(); err != nil {
+		return fmt.Errorf("oldest-available replay: %w", err)
+	}
+	if first == 0 || count == 0 {
+		return fmt.Errorf("oldest-available replay started at %d with %d blocks", first, count)
+	}
+	fmt.Printf("Deliver(Oldest) resumed at the floor: %d blocks from block %d to %d\n",
+		count, first, head)
 	return nil
 }

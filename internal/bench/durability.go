@@ -116,6 +116,10 @@ type DurabilityReport struct {
 	Memory, Durable Fig7Row
 	// DurableFraction is Durable.TxPerSec / Memory.TxPerSec.
 	DurableFraction float64
+	// Retention, when measured, is the block-store disk-amplification
+	// row: bytes on disk before/after compaction under a sustained
+	// append workload with a retention cap.
+	Retention *RetentionBenchRow `json:",omitempty"`
 }
 
 // NewDurabilityReport assembles a report from one comparison.

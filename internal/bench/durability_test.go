@@ -3,6 +3,8 @@ package bench
 import (
 	"testing"
 	"time"
+
+	"repro/internal/storage/retention"
 )
 
 // TestWALGroupCommitRate is the acceptance floor for the durable append
@@ -71,9 +73,55 @@ func TestDurabilityComparisonTrajectory(t *testing.T) {
 		t.Fatalf("no throughput: memory %+v durable %+v", memory, durable)
 	}
 	rep := NewDurabilityReport(cell, memory, durable)
+	retRow, err := RunRetentionBench(RetentionBenchConfig{
+		Dir:    t.TempDir(),
+		Blocks: 600,
+		Policy: retention.Policy{RetainBytes: 64 << 10},
+	})
+	if err != nil {
+		t.Fatalf("RunRetentionBench: %v", err)
+	}
+	rep.Retention = &retRow
 	if err := WriteDurabilityReport("../../BENCH_durability.json", rep); err != nil {
 		t.Fatalf("writing report: %v", err)
 	}
-	t.Logf("durability: %.0f tx/s in-memory, %.0f tx/s durable (%.0f%%)",
-		memory.TxPerSec, durable.TxPerSec, 100*rep.DurableFraction)
+	t.Logf("durability: %.0f tx/s in-memory, %.0f tx/s durable (%.0f%%); retention: %d B before / %d B after compaction (peak %d B)",
+		memory.TxPerSec, durable.TxPerSec, 100*rep.DurableFraction,
+		retRow.BytesBeforeCompaction, retRow.BytesAfterCompaction, retRow.PeakBytes)
+}
+
+// TestDiskGrowthBoundedUnderRetention is the disk-growth regression
+// check (wired into CI's race-detector job): a sustained append workload
+// with a retention cap must keep the block store's on-disk size under
+// the cap plus bounded slack (whole-segment pruning granularity plus the
+// block in flight), and old segments must actually be deleted.
+func TestDiskGrowthBoundedUnderRetention(t *testing.T) {
+	const (
+		capBytes     = 64 << 10
+		segmentBytes = 8 << 10
+	)
+	row, err := RunRetentionBench(RetentionBenchConfig{
+		Dir:          t.TempDir(),
+		Blocks:       2000,
+		SegmentBytes: segmentBytes,
+		Policy:       retention.Policy{RetainBytes: capBytes},
+	})
+	if err != nil {
+		t.Fatalf("RunRetentionBench: %v", err)
+	}
+	t.Logf("retention bench: peak %d B, before %d B, after %d B, floor %d, %d compactions",
+		row.PeakBytes, row.BytesBeforeCompaction, row.BytesAfterCompaction, row.Floor, row.Compactions)
+	if row.Compactions == 0 || row.Floor == 0 {
+		t.Fatalf("retention never compacted: %+v", row)
+	}
+	// Whole segments are the pruning granularity and one oversized
+	// append can land before the next compaction runs.
+	slack := int64(2*segmentBytes + 4096)
+	if row.PeakBytes > capBytes+slack {
+		t.Fatalf("block store peaked at %d B, cap %d B (+%d B slack)", row.PeakBytes, capBytes, slack)
+	}
+	if row.BytesAfterCompaction*2 >= row.AppendedBytes {
+		t.Fatalf("compaction deleted nothing: %d B on disk after appending ~%d B",
+			row.BytesAfterCompaction, row.AppendedBytes)
+	}
 }

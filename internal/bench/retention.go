@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/storage"
+	"repro/internal/storage/retention"
+)
+
+// RetentionBenchConfig parameterizes the disk-amplification measurement:
+// a sustained block-append workload against a block store with a
+// retention policy, tracking how large the store gets on disk.
+type RetentionBenchConfig struct {
+	// Dir holds the block store (a fresh temp directory per run).
+	Dir string
+	// Blocks is how many blocks the workload appends.
+	Blocks int
+	// EnvelopesPerBlock and EnvelopeBytes shape each block.
+	EnvelopesPerBlock int
+	EnvelopeBytes     int
+	// SegmentBytes is the block WAL segment size (the compaction
+	// granularity).
+	SegmentBytes int64
+	// Policy is the retention policy under test.
+	Policy retention.Policy
+}
+
+func (c RetentionBenchConfig) withDefaults() RetentionBenchConfig {
+	if c.Blocks <= 0 {
+		c.Blocks = 1000
+	}
+	if c.EnvelopesPerBlock <= 0 {
+		c.EnvelopesPerBlock = 5
+	}
+	if c.EnvelopeBytes <= 0 {
+		c.EnvelopeBytes = 64
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 8 << 10
+	}
+	return c
+}
+
+// RetentionBenchRow is one measured retention run: the before/after
+// compaction sizes feed BENCH_durability.json so disk amplification is
+// tracked across PRs.
+type RetentionBenchRow struct {
+	// BlocksAppended is the workload length.
+	BlocksAppended int
+	// PeakBytes is the largest on-disk size observed across the run —
+	// the number the retention cap is supposed to bound.
+	PeakBytes int64
+	// BytesBeforeCompaction and BytesAfterCompaction bracket the final
+	// explicit compaction.
+	BytesBeforeCompaction int64
+	BytesAfterCompaction  int64
+	// AppendedBytes approximates the total bytes the workload wrote
+	// (what an unbounded store would hold).
+	AppendedBytes int64
+	// Floor is the final retention floor.
+	Floor uint64
+	// Compactions is how many policy-driven compactions ran.
+	Compactions int
+}
+
+// RunRetentionBench appends a hash-chained block workload, compacting
+// whenever the policy says one is due (synchronously, so the measured
+// sizes are deterministic), and reports the disk-size trajectory.
+func RunRetentionBench(cfg RetentionBenchConfig) (RetentionBenchRow, error) {
+	cfg = cfg.withDefaults()
+	store, err := storage.OpenBlockStore(storage.WALConfig{
+		Dir:          cfg.Dir,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return RetentionBenchRow{}, err
+	}
+	defer store.Close()
+
+	row := RetentionBenchRow{BlocksAppended: cfg.Blocks}
+	payload := make([]byte, cfg.EnvelopeBytes)
+	var prev cryptoutil.Digest
+	for i := 0; i < cfg.Blocks; i++ {
+		envs := make([][]byte, cfg.EnvelopesPerBlock)
+		for j := range envs {
+			env := &fabric.Envelope{ChannelID: "bench", ClientID: "r", Payload: payload}
+			envs[j] = env.Marshal()
+		}
+		b := fabric.NewBlock(uint64(i), prev, envs)
+		prev = b.Header.Hash()
+		if err := store.Put("bench", b); err != nil {
+			return row, fmt.Errorf("bench: put block %d: %w", i, err)
+		}
+		row.AppendedBytes += int64(len(b.Marshal())) + 24 // record framing + channel
+		if st := store.RetentionState(); cfg.Policy.Due(st) {
+			if _, err := store.CompactTo(cfg.Policy.Plan(st)); err != nil {
+				return row, fmt.Errorf("bench: compacting at block %d: %w", i, err)
+			}
+			row.Compactions++
+		}
+		if size := store.SizeBytes(); size > row.PeakBytes {
+			row.PeakBytes = size
+		}
+	}
+	row.BytesBeforeCompaction = store.SizeBytes()
+	// Final explicit compaction (the admin trigger): everything above the
+	// policy floor is retained, everything below is dropped.
+	if floors := cfg.Policy.Plan(store.RetentionState()); len(floors) > 0 {
+		if _, err := store.CompactTo(floors); err != nil {
+			return row, fmt.Errorf("bench: final compaction: %w", err)
+		}
+		row.Compactions++
+	}
+	row.BytesAfterCompaction = store.SizeBytes()
+	if row.BytesAfterCompaction > row.PeakBytes {
+		row.PeakBytes = row.BytesAfterCompaction
+	}
+	row.Floor = store.Floor("bench")
+	return row, nil
+}

@@ -229,6 +229,13 @@ func (c *Client) readLoop() {
 				}
 				cs.finish(err)
 			}
+		case msgPing:
+			// Server keepalive probe: answer so an idle but healthy
+			// connection (e.g. tailing a quiet channel) is not dropped.
+			c.write(encodePong(f.id))
+		case msgPong:
+			// Nothing to do: receiving any frame already proves the
+			// server alive.
 		}
 	}
 	c.teardown(readErr)

@@ -22,10 +22,20 @@
 //	block:      u64 stream id, bytes block
 //	stream end: u64 stream id, u16 status, string detail
 //
+// Either direction (keepalive):
+//
+//	ping:       u64 nonce
+//	pong:       u64 nonce (echoed)
+//
 // Broadcast requests are acknowledged in submission order with the typed
 // BroadcastStatus. Deliver streams carry blocks in order, then exactly one
 // stream-end frame (StatusSuccess after a stop position or cancel,
-// otherwise the status describing the failure).
+// otherwise the status describing the failure). A Deliver positioned
+// below the orderer's retention floor ends with StatusNotFound (the
+// blocks were pruned). The server pings after an idle period and drops
+// connections that stay silent through the grace period, so dead clients
+// release their Deliver streams and backpressure window promptly; every
+// client must answer pings with pongs (the Client here does).
 package clientapi
 
 import (
@@ -46,6 +56,13 @@ const (
 	msgAck
 	msgBlock
 	msgStreamEnd
+	// msgPing / msgPong are the keepalive frames: either side may ping
+	// (the server does, after an idle period) and the peer answers with
+	// a pong echoing the nonce. A connection that stays silent through
+	// the ping grace period is dead and is dropped, releasing its
+	// Deliver streams and backpressure window promptly.
+	msgPing
+	msgPong
 )
 
 // maxFrameBytes bounds one frame to protect both sides against corrupt or
@@ -139,6 +156,20 @@ func encodeStreamEnd(streamID uint64, status fabric.BroadcastStatus, detail stri
 	return w.Bytes()
 }
 
+func encodePing(nonce uint64) []byte {
+	w := wire.NewWriter(16)
+	w.PutByte(msgPing)
+	w.PutUint64(nonce)
+	return w.Bytes()
+}
+
+func encodePong(nonce uint64) []byte {
+	w := wire.NewWriter(16)
+	w.PutByte(msgPong)
+	w.PutUint64(nonce)
+	return w.Bytes()
+}
+
 // frame is one decoded protocol message (union of all bodies).
 type frame struct {
 	kind     byte
@@ -165,7 +196,7 @@ func decodeFrame(payload []byte) (frame, error) {
 		f.id = r.Uint64()
 		f.channel = r.String()
 		f.seek = fabric.ReadSeekInfo(r)
-	case msgCancel:
+	case msgCancel, msgPing, msgPong:
 		f.id = r.Uint64()
 	case msgAck, msgStreamEnd:
 		f.id = r.Uint64()

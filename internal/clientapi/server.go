@@ -1,10 +1,14 @@
 package clientapi
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fabric"
 )
@@ -23,6 +27,7 @@ import (
 // stalls.
 type Server struct {
 	orderer fabric.Orderer
+	opts    ServerOptions
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -31,9 +36,51 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer wraps an orderer (a core.Frontend or core.SoloOrderer).
+// Keepalive defaults.
+const (
+	// DefaultIdleTimeout is how long a connection may stay silent before
+	// the server pings it.
+	DefaultIdleTimeout = 45 * time.Second
+	// DefaultPingTimeout is how long the server waits for any frame after
+	// pinging before declaring the connection dead.
+	DefaultPingTimeout = 10 * time.Second
+)
+
+// ServerOptions tunes a Server.
+type ServerOptions struct {
+	// IdleTimeout is the silence period after which the server pings a
+	// connection; a connection that stays silent for PingTimeout after
+	// the ping is dropped, releasing its Deliver streams and window.
+	// Zero selects DefaultIdleTimeout; negative disables keepalive.
+	IdleTimeout time.Duration
+	// PingTimeout is the post-ping grace period. Zero selects
+	// DefaultPingTimeout.
+	PingTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = DefaultIdleTimeout
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = DefaultPingTimeout
+	}
+	return o
+}
+
+// NewServer wraps an orderer (a core.Frontend or core.SoloOrderer) with
+// default keepalive options.
 func NewServer(orderer fabric.Orderer) *Server {
-	return &Server{orderer: orderer, conns: make(map[net.Conn]struct{})}
+	return NewServerWithOptions(orderer, ServerOptions{})
+}
+
+// NewServerWithOptions wraps an orderer with explicit options.
+func NewServerWithOptions(orderer fabric.Orderer, opts ServerOptions) *Server {
+	return &Server{
+		orderer: orderer,
+		opts:    opts.withDefaults(),
+		conns:   make(map[net.Conn]struct{}),
+	}
 }
 
 // Serve accepts connections until the listener closes (or Close is
@@ -104,6 +151,8 @@ type serverConn struct {
 	mu      sync.Mutex
 	streams map[uint64]*fabric.BlockStream
 	wg      sync.WaitGroup
+
+	pingNonce atomic.Uint64
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -124,12 +173,42 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// readLoop dispatches frames; with keepalive enabled it reads under an
+// idle deadline, pings the client once the deadline passes, and drops
+// the connection when even the ping goes unanswered — the teardown in
+// handle then cancels the dead client's Deliver streams.
 func (sc *serverConn) readLoop() {
+	idle := sc.srv.opts.IdleTimeout
+	fr := frameReader{conn: sc.conn}
+	pinged := false
 	for {
-		payload, err := readFrame(sc.conn)
-		if err != nil {
-			return
+		if idle > 0 {
+			wait := idle
+			if pinged {
+				wait = sc.srv.opts.PingTimeout
+			}
+			sc.conn.SetReadDeadline(time.Now().Add(wait))
 		}
+		before := fr.received
+		payload, err := fr.next()
+		if err != nil {
+			if idle > 0 && isTimeout(err) {
+				if fr.received > before {
+					// Bytes arrived (a large frame trickling in): that is
+					// liveness; keep reading without burning the ping.
+					pinged = false
+					continue
+				}
+				if !pinged {
+					pinged = true
+					if sc.write(encodePing(sc.pingNonce.Add(1))) == nil {
+						continue
+					}
+				}
+			}
+			return // dead, gone, or mid-frame garbage
+		}
+		pinged = false // any complete frame proves liveness
 		f, err := decodeFrame(payload)
 		if err != nil {
 			return // protocol violation: drop the connection
@@ -146,8 +225,65 @@ func (sc *serverConn) readLoop() {
 			if stream != nil {
 				stream.Cancel()
 			}
+		case msgPing:
+			sc.write(encodePong(f.id))
+		case msgPong:
+			// Liveness already noted above; the nonce carries no state.
 		default:
 			return // clients must not send server-side frames
+		}
+	}
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// frameReader reads length-prefixed frames while tolerating read-deadline
+// expiries: partially read bytes are kept across calls, so a ping-probe
+// timeout in the middle of a slowly arriving frame never corrupts the
+// stream.
+type frameReader struct {
+	conn     net.Conn
+	buf      []byte // accumulated bytes of the current frame (incl. header)
+	need     int    // full frame size once the header is in (0 = unknown)
+	received int64  // total bytes read: progress == liveness for keepalive
+}
+
+// next returns the next complete frame payload. On a deadline expiry it
+// returns the timeout error and can be called again to resume.
+func (fr *frameReader) next() ([]byte, error) {
+	for {
+		if len(fr.buf) >= 4 && fr.need == 0 {
+			n := binary.BigEndian.Uint32(fr.buf[:4])
+			if n > maxFrameBytes {
+				return nil, ErrFrameTooLarge
+			}
+			fr.need = int(n) + 4
+		}
+		if fr.need > 0 && len(fr.buf) >= fr.need {
+			payload := fr.buf[4:fr.need]
+			fr.buf = append([]byte(nil), fr.buf[fr.need:]...)
+			fr.need = 0
+			return payload, nil
+		}
+		want := 4
+		if fr.need > 0 {
+			want = fr.need
+		}
+		if cap(fr.buf) < want {
+			grown := make([]byte, len(fr.buf), want)
+			copy(grown, fr.buf)
+			fr.buf = grown
+		}
+		chunk := fr.buf[len(fr.buf):want]
+		n, err := io.ReadAtLeast(fr.conn, chunk, 1)
+		fr.buf = fr.buf[:len(fr.buf)+n]
+		fr.received += int64(n)
+		if err != nil {
+			return nil, err
 		}
 	}
 }

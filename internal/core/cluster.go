@@ -53,6 +53,18 @@ type ClusterConfig struct {
 	// WALSegmentBytes overrides the nodes' WAL segment size (decision log
 	// and block store; zero keeps the 4 MiB default).
 	WALSegmentBytes int64
+	// BlockWALSegmentBytes overrides the nodes' block-store segment size
+	// independently (zero inherits WALSegmentBytes); retention deletes
+	// whole block segments, so this is the compaction granularity.
+	BlockWALSegmentBytes int64
+	// RetainBlocks bounds every node's durable blocks per channel:
+	// exceeding it triggers block-store compaction (snapshot manifest +
+	// segment deletion), and seeks below the floor answer the pruned
+	// status. Zero retains everything.
+	RetainBlocks uint64
+	// RetainBytes bounds every node's block store size on disk. Zero
+	// disables the bytes trigger.
+	RetainBytes int64
 }
 
 // Cluster is a running in-process ordering service.
@@ -143,14 +155,17 @@ func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 			Key:                c.keys[i],
 			Registry:           c.Registry,
 		},
-		BlockSize:       c.cfg.BlockSize,
-		MaxBlockBytes:   c.cfg.MaxBlockBytes,
-		BlockTimeout:    c.cfg.BlockTimeout,
-		SigningWorkers:  c.cfg.SigningWorkers,
-		DisableSigning:  c.cfg.DisableSigning,
-		Key:             c.keys[i],
-		DataDir:         dataDir,
-		WALSegmentBytes: c.cfg.WALSegmentBytes,
+		BlockSize:            c.cfg.BlockSize,
+		MaxBlockBytes:        c.cfg.MaxBlockBytes,
+		BlockTimeout:         c.cfg.BlockTimeout,
+		SigningWorkers:       c.cfg.SigningWorkers,
+		DisableSigning:       c.cfg.DisableSigning,
+		Key:                  c.keys[i],
+		DataDir:              dataDir,
+		WALSegmentBytes:      c.cfg.WALSegmentBytes,
+		BlockWALSegmentBytes: c.cfg.BlockWALSegmentBytes,
+		RetainBlocks:         c.cfg.RetainBlocks,
+		RetainBytes:          c.cfg.RetainBytes,
 	}, conn)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)

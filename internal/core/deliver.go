@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cryptoutil"
@@ -62,7 +63,8 @@ func (d *streamDeliverer) run() {
 		belowWindow := len(d.hist) == 0 || (d.seek.HasStop && d.seek.Stop < d.hist[0].Header.Number)
 		if belowWindow {
 			if d.seek.HasStop && d.quorumFetch != nil {
-				if blocks, err := d.quorumFetch(d.next, d.seek.Stop+1); err == nil {
+				blocks, err := d.quorumFetch(d.next, d.seek.Stop+1)
+				if err == nil {
 					for _, b := range blocks {
 						if !d.emit(b) {
 							return
@@ -71,8 +73,16 @@ func (d *streamDeliverer) run() {
 					d.stream.Close(nil)
 					return
 				}
-				// Unresolvable (e.g. the stop block is not sealed yet):
-				// try the head anchor, then the live-anchor path.
+				if floor, ok := d.resumeFloor(err); ok {
+					// The cluster compacted part of the range away; an
+					// Oldest seek restarts at the retention floor (the
+					// fall-through paths fetch from d.next).
+					d.next = floor
+				}
+				// Otherwise unresolvable here (e.g. the stop block is not
+				// sealed yet, or the seek addressed pruned blocks — the
+				// fetch below rediscovers and reports that): try the head
+				// anchor, then the live-anchor path.
 			}
 		}
 		if len(d.hist) == 0 {
@@ -188,30 +198,66 @@ func (d *streamDeliverer) emit(b *fabric.Block) bool {
 
 // fetchAndEmit retrieves and emits blocks [from, to) through the fetch
 // hook, closing the stream with an error when no verifiable copy exists.
+// A range the cluster compacted away resumes at the retention floor for
+// an Oldest seek (oldest means oldest available, as in Fabric) and fails
+// the stream with the typed pruned error — surfaced to wire clients as
+// NOT_FOUND — for seeks that addressed the pruned blocks explicitly.
 func (d *streamDeliverer) fetchAndEmit(from, to uint64, anchorPrev cryptoutil.Digest) bool {
-	if d.fetch == nil {
-		d.stream.Close(fmt.Errorf("%w: blocks %d..%d fell out of the retained history",
-			fabric.ErrBlockNotFound, from, to-1))
-		return false
-	}
-	blocks, err := d.fetch(from, to, anchorPrev)
-	if err != nil {
-		// A fetch aborted by the consumer's own cancel is a clean stop,
-		// not a failure.
-		select {
-		case <-d.stream.Canceled():
-			d.stream.Close(nil)
-		default:
-			d.stream.Close(err)
-		}
-		return false
-	}
-	for _, b := range blocks {
-		if !d.emit(b) {
+	for {
+		if d.fetch == nil {
+			d.stream.Close(fmt.Errorf("%w: blocks %d..%d fell out of the retained history",
+				fabric.ErrBlockNotFound, from, to-1))
 			return false
 		}
+		blocks, err := d.fetch(from, to, anchorPrev)
+		if err != nil {
+			if floor, ok := d.resumeFloor(err); ok {
+				if floor >= to {
+					// The whole range is gone everywhere; the caller's
+					// anchor block itself is the next thing served.
+					d.next = to
+					return true
+				}
+				d.next = floor
+				from = floor
+				continue
+			}
+			// A fetch aborted by the consumer's own cancel is a clean
+			// stop, not a failure.
+			select {
+			case <-d.stream.Canceled():
+				d.stream.Close(nil)
+			default:
+				d.stream.Close(err)
+			}
+			return false
+		}
+		for _, b := range blocks {
+			if !d.emit(b) {
+				return false
+			}
+		}
+		return true
 	}
-	return true
+}
+
+// resumeFloor reports whether a fetch failure is a retention pruning the
+// stream may transparently skip: only an Oldest seek (which asks for the
+// oldest available history) resumes, and only when its stop — if any —
+// is still at or above the floor; the floor must make progress so a
+// lying peer cannot loop the stream.
+func (d *streamDeliverer) resumeFloor(err error) (uint64, bool) {
+	var pe *fabric.PrunedError
+	if !errors.As(err, &pe) {
+		return 0, false
+	}
+	if d.seek.Kind != fabric.SeekOldest || pe.Floor <= d.next {
+		return 0, false
+	}
+	if d.seek.HasStop && d.seek.Stop < pe.Floor {
+		return 0, false
+	}
+	return pe.Floor, true
 }
 
 // nextLive waits for the next live block, honoring cancellation and

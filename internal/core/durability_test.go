@@ -58,16 +58,16 @@ func TestDurableClusterRecoversAcrossFullRestart(t *testing.T) {
 		t.Fatalf("reopening node 0 storage: %v", err)
 	}
 	rec := store.Recovered()
-	chain := rec.Blocks["ch1"]
-	if len(chain) != 4 {
-		t.Fatalf("recovered %d blocks, want 4", len(chain))
+	info := rec.Chains["ch1"]
+	if info.Height != 4 {
+		t.Fatalf("recovered height %d, want 4", info.Height)
 	}
-	led := fabric.NewLedger()
-	for _, b := range chain {
-		if err := led.Append(b); err != nil {
-			t.Fatalf("rebuilding ledger: %v", err)
-		}
-	}
+	led := fabric.RestoreLedger("ch1", store, fabric.ChainState{
+		Floor:    info.Floor,
+		Anchor:   info.Anchor,
+		Height:   info.Height,
+		LastHash: info.LastHash,
+	})
 	if err := led.VerifyChain(); err != nil {
 		t.Fatalf("recovered chain does not verify: %v", err)
 	}

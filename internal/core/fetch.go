@@ -73,10 +73,13 @@ func unmarshalFetchRequest(payload []byte) (fetchRequest, error) {
 }
 
 // fetchResponse carries a contiguous run of marshalled blocks starting at
-// From (empty when the server cannot serve the range).
+// From (empty when the server cannot serve the range). Floor, when
+// non-zero, is the server's retention floor: the requested range starts
+// below it and was compacted away.
 type fetchResponse struct {
 	ReqID  uint64
 	From   uint64
+	Floor  uint64
 	Blocks [][]byte
 }
 
@@ -88,6 +91,7 @@ func (p fetchResponse) marshal() []byte {
 	w := wire.NewWriter(size)
 	w.PutUint64(p.ReqID)
 	w.PutUint64(p.From)
+	w.PutUint64(p.Floor)
 	w.PutBytesSlice(p.Blocks)
 	return w.Bytes()
 }
@@ -97,6 +101,7 @@ func unmarshalFetchResponse(payload []byte) (fetchResponse, error) {
 	p := fetchResponse{
 		ReqID:  r.Uint64(),
 		From:   r.Uint64(),
+		Floor:  r.Uint64(),
 		Blocks: r.BytesSlice(),
 	}
 	if err := r.Finish(); err != nil {
@@ -183,12 +188,28 @@ func (bf *blockFetcher) request(peer transport.Addr, channel string, from, to ui
 	}
 }
 
+// errPeerPruned reports one peer answering that the requested range fell
+// below its retention floor.
+type errPeerPruned struct {
+	peer  transport.Addr
+	floor uint64
+}
+
+func (e *errPeerPruned) Error() string {
+	return fmt.Sprintf("fetch: peer %s pruned the range (floor %d)", e.peer, e.floor)
+}
+
 // fetchWindow asks one peer for blocks [from, to) and returns the decoded
-// prefix it served (possibly shorter than the window).
+// prefix it served (possibly shorter than the window). A peer that
+// compacted the range away answers with its floor, surfaced as
+// *errPeerPruned.
 func (bf *blockFetcher) fetchWindow(peer transport.Addr, channel string, from, to uint64, done <-chan struct{}) ([]*fabric.Block, error) {
 	resp, err := bf.request(peer, channel, from, to, done)
 	if err != nil {
 		return nil, err
+	}
+	if len(resp.Blocks) == 0 && resp.Floor > from {
+		return nil, &errPeerPruned{peer: peer, floor: resp.Floor}
 	}
 	if resp.From != from {
 		return nil, fmt.Errorf("fetch: peer %s answered from block %d, want %d", peer, resp.From, from)
@@ -257,16 +278,26 @@ func (bf *blockFetcher) QuorumHead(done <-chan struct{}, peers []transport.Addr,
 // of the first block the requester already trusts above the range). The
 // range is fetched window by window from a single peer, so a forged
 // response is discarded wholesale rather than partially applied.
-func (bf *blockFetcher) FetchRange(done <-chan struct{}, peers []transport.Addr, channel string, from, to uint64, anchorPrev cryptoutil.Digest) ([]*fabric.Block, error) {
+//
+// f is the fault threshold: when f+1 distinct peers answer that the range
+// fell below their retention floor, the range is authoritatively pruned
+// (at least one of them is honest) and the call fails with a typed
+// *fabric.PrunedError carrying the smallest reported floor — callers
+// either surface it (NOT_FOUND) or restart their read from the floor.
+func (bf *blockFetcher) FetchRange(done <-chan struct{}, peers []transport.Addr, channel string, from, to uint64, anchorPrev cryptoutil.Digest, f int) ([]*fabric.Block, error) {
 	if to <= from {
 		return nil, nil
 	}
 	var lastErr error = ErrFetchFailed
+	pruned := newPrunedTally(f)
 	for round := 0; round < fetchRounds; round++ {
 		for _, peer := range peers {
 			blocks, err := bf.fetchRangeFromPeer(peer, channel, from, to, done)
 			if err != nil {
 				lastErr = err
+				if pe := pruned.note(channel, err); pe != nil {
+					return nil, pe
+				}
 				select {
 				case <-done:
 					return nil, ErrFetchFailed
@@ -289,6 +320,37 @@ func (bf *blockFetcher) FetchRange(done <-chan struct{}, peers []transport.Addr,
 	return nil, fmt.Errorf("%w: %s blocks %d..%d: %v", ErrFetchFailed, channel, from, to-1, lastErr)
 }
 
+// prunedTally accumulates per-peer pruned answers until f+1 distinct
+// peers agree the range is gone.
+type prunedTally struct {
+	f        int
+	peers    map[transport.Addr]struct{}
+	minFloor uint64
+}
+
+func newPrunedTally(f int) *prunedTally {
+	return &prunedTally{f: f, peers: make(map[transport.Addr]struct{})}
+}
+
+// note records err if it is a peer-pruned answer and returns the typed
+// pruned error once f+1 distinct peers reported one.
+func (t *prunedTally) note(channel string, err error) *fabric.PrunedError {
+	var pp *errPeerPruned
+	if !errors.As(err, &pp) {
+		return nil
+	}
+	if _, seen := t.peers[pp.peer]; !seen {
+		t.peers[pp.peer] = struct{}{}
+		if len(t.peers) == 1 || pp.floor < t.minFloor {
+			t.minFloor = pp.floor
+		}
+	}
+	if len(t.peers) >= t.f+1 {
+		return &fabric.PrunedError{Channel: channel, Floor: t.minFloor}
+	}
+	return nil
+}
+
 // FetchRangeQuorum retrieves blocks [from, to) authenticated by quorum
 // agreement instead of a locally trusted anchor: f+1 peers must serve
 // identical copies of the top block to-1 (at least one of them is
@@ -301,11 +363,17 @@ func (bf *blockFetcher) FetchRangeQuorum(done <-chan struct{}, peers []transport
 		return nil, nil
 	}
 	votes := make(map[cryptoutil.Digest]int)
+	pruned := newPrunedTally(f)
 	var anchorPrev cryptoutil.Digest
 	agreed := false
 	for _, peer := range peers {
 		blocks, err := bf.fetchWindow(peer, channel, to-1, to, done)
 		if err != nil || len(blocks) != 1 || blocks[0].Header.Number != to-1 {
+			if err != nil {
+				if pe := pruned.note(channel, err); pe != nil {
+					return nil, pe
+				}
+			}
 			select {
 			case <-done:
 				return nil, ErrFetchFailed
@@ -324,7 +392,114 @@ func (bf *blockFetcher) FetchRangeQuorum(done <-chan struct{}, peers []transport
 	if !agreed {
 		return nil, fmt.Errorf("%w: no f+1 quorum on %s block %d", ErrFetchFailed, channel, to-1)
 	}
-	return bf.FetchRange(done, peers, channel, from, to, anchorPrev)
+	return bf.FetchRange(done, peers, channel, from, to, anchorPrev, f)
+}
+
+// FetchRangeVerified retrieves blocks [from, to) authenticated by node
+// signatures instead of a trusted anchor: every block must carry f+1
+// valid signatures from distinct ordering nodes (at least one of which
+// is honest), which makes a fetched range independently verifiable with
+// no prior chain state at all. Nodes persist (at least) their own
+// signature with every block they seal, so one peer's copy rarely
+// carries f+1 on its own; the fetcher merges the signature sets of
+// identical blocks served by further peers until the threshold is met.
+// Chains persisted before signature retention (legacy) cannot reach the
+// threshold and fail with ErrUnverifiedRange — callers fall back to
+// hash-chain anchoring.
+func (bf *blockFetcher) FetchRangeVerified(done <-chan struct{}, peers []transport.Addr, channel string, from, to uint64, registry *cryptoutil.Registry, f int) ([]*fabric.Block, error) {
+	if to <= from {
+		return nil, nil
+	}
+	pruned := newPrunedTally(f)
+	var base []*fabric.Block
+	short := 0 // blocks still below f+1 verified signatures
+	verified := make([]map[string]bool, 0, to-from)
+	var lastErr error = ErrFetchFailed
+	for _, peer := range peers {
+		blocks, err := bf.fetchRangeFromPeer(peer, channel, from, to, done)
+		if err != nil {
+			lastErr = err
+			if pe := pruned.note(channel, err); pe != nil {
+				return nil, pe
+			}
+			select {
+			case <-done:
+				return nil, ErrFetchFailed
+			default:
+			}
+			continue
+		}
+		if uint64(len(blocks)) != to-from || blocks[0].Header.Number != from ||
+			fabric.VerifyChain(blocks) != nil {
+			lastErr = fmt.Errorf("fetch: peer %s served a malformed range", peer)
+			continue
+		}
+		if base == nil {
+			base = blocks
+			short = len(blocks)
+			for _, b := range base {
+				signers := countVerified(registry, b, b)
+				verified = append(verified, signers)
+				if len(signers) >= f+1 {
+					short--
+				}
+			}
+		} else {
+			// Merge this peer's signatures into matching blocks.
+			for i, b := range base {
+				if len(verified[i]) >= f+1 {
+					continue
+				}
+				if blocks[i].Header.Hash() != b.Header.Hash() {
+					continue // diverging copy: its signatures prove nothing here
+				}
+				before := len(verified[i])
+				mergeVerified(registry, b, blocks[i], verified[i])
+				if before < f+1 && len(verified[i]) >= f+1 {
+					short--
+				}
+			}
+		}
+		if short == 0 {
+			return base, nil
+		}
+	}
+	if base != nil {
+		return nil, fmt.Errorf("%w: %s blocks %d..%d", ErrUnverifiedRange, channel, from, to-1)
+	}
+	return nil, fmt.Errorf("%w: %s blocks %d..%d: %v", ErrFetchFailed, channel, from, to-1, lastErr)
+}
+
+// ErrUnverifiedRange reports a fetched range that could not accumulate
+// f+1 valid signatures per block (typically history persisted before
+// signature retention).
+var ErrUnverifiedRange = errors.New("core: fetched range lacks f+1 signatures")
+
+// countVerified returns the set of distinct signers of src whose
+// signatures over dst's header verify, merging into a fresh set.
+func countVerified(registry *cryptoutil.Registry, dst, src *fabric.Block) map[string]bool {
+	signers := make(map[string]bool)
+	mergeVerified(registry, dst, src, signers)
+	return signers
+}
+
+// mergeVerified adds src's valid signatures over dst's header to the
+// signer set, appending newly seen ones to dst so the caller hands on a
+// block that carries its own proof.
+func mergeVerified(registry *cryptoutil.Registry, dst, src *fabric.Block, signers map[string]bool) {
+	digest := dst.Header.Hash()
+	for _, sig := range src.Signatures {
+		if signers[sig.SignerID] {
+			continue
+		}
+		if !registry.Verify(sig.SignerID, digest.Bytes(), sig.Signature) {
+			continue
+		}
+		signers[sig.SignerID] = true
+		if dst != src {
+			dst.Signatures = append(dst.Signatures, sig)
+		}
+	}
 }
 
 // fetchRangeFromPeer accumulates [from, to) from one peer, window by

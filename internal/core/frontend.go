@@ -331,8 +331,10 @@ func (f *Frontend) Deliver(channel string, seek fabric.SeekInfo) (*fabric.BlockS
 // deliverLoop drives one Deliver subscription through the shared
 // streamDeliverer: history below the live stream is fetched from the
 // nodes' durable ledgers — chain-verified against a quorum-released
-// anchor, or against f+1 matching top-block copies for bounded seeks
-// issued before any live block anchored the chain.
+// anchor, or, for anchorless seeks, by f+1 node signatures per block
+// (merged across peers; nodes persist their signatures with each block)
+// with a fall-back to f+1 matching top-block copies for chains persisted
+// before signature retention.
 func (f *Frontend) deliverLoop(channel string, seek fabric.SeekInfo, hist []*fabric.Block, q *blockQueue, stream *fabric.BlockStream) {
 	defer f.wg.Done()
 	defer f.dropSub(channel, q, stream)
@@ -343,9 +345,16 @@ func (f *Frontend) deliverLoop(channel string, seek fabric.SeekInfo, hist []*fab
 		stream:    stream,
 		closedErr: ErrFrontendClosed,
 		fetch: func(from, to uint64, anchorPrev cryptoutil.Digest) ([]*fabric.Block, error) {
-			return f.fetcher.FetchRange(stream.Canceled(), f.peers, channel, from, to, anchorPrev)
+			return f.fetcher.FetchRange(stream.Canceled(), f.peers, channel, from, to, anchorPrev, f.cfg.F)
 		},
 		quorumFetch: func(from, to uint64) ([]*fabric.Block, error) {
+			if f.cfg.Registry != nil {
+				blocks, err := f.fetcher.FetchRangeVerified(stream.Canceled(), f.peers, channel, from, to, f.cfg.Registry, f.cfg.F)
+				if err == nil || errors.Is(err, fabric.ErrPruned) {
+					return blocks, err
+				}
+				// Legacy (unsigned) history: fall back to quorum copies.
+			}
 			return f.fetcher.FetchRangeQuorum(stream.Canceled(), f.peers, channel, from, to, f.cfg.F)
 		},
 		quorumHead: func() (*fabric.Block, error) {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
 	"repro/internal/storage"
+	"repro/internal/storage/retention"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -90,8 +91,22 @@ type NodeConfig struct {
 	DataDir string
 	// WALSegmentBytes overrides the WAL segment size (decision log and
 	// block store) of storage opened via DataDir; zero keeps the 4 MiB
-	// default. Smaller segments prune sooner behind checkpoints.
+	// default. Smaller segments prune sooner behind checkpoints (and,
+	// with retention enabled, behind the block-store floor).
 	WALSegmentBytes int64
+	// BlockWALSegmentBytes overrides the block store's segment size
+	// independently (zero inherits WALSegmentBytes). Retention deletes
+	// whole block segments, so this is the compaction granularity.
+	BlockWALSegmentBytes int64
+	// RetainBlocks bounds the durable blocks retained per channel: once a
+	// channel's ledger grows past it, the node snapshots a retention
+	// manifest and drops whole block-WAL segments below the floor. Seeks
+	// below the floor answer the pruned status. Zero retains everything.
+	RetainBlocks uint64
+	// RetainBytes bounds the block store's total on-disk size: when
+	// exceeded, every channel drops the older half of its retained
+	// window. Zero disables the bytes trigger.
+	RetainBytes int64
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -162,6 +177,12 @@ type OrderingNode struct {
 	parked      map[string]map[uint64]*fabric.Block
 	recovering  bool
 
+	// retention drives block-store compaction (nil when disabled): the
+	// send drain and the back-fill nudge it after appends, it snapshots
+	// + prunes off the hot path, and applied floors advance the
+	// in-memory ledgers.
+	retention *retention.Manager
+
 	// fetcher issues FetchBlocks requests during back-fill; backfilling
 	// guards one back-fill task per channel.
 	fetcher         *blockFetcher
@@ -212,7 +233,10 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 	ownsStorage := false
 	if store == nil && cfg.DataDir != "" {
 		var err error
-		store, err = storage.Open(cfg.DataDir, storage.Options{SegmentBytes: cfg.WALSegmentBytes})
+		store, err = storage.Open(cfg.DataDir, storage.Options{
+			SegmentBytes:      cfg.WALSegmentBytes,
+			BlockSegmentBytes: cfg.BlockWALSegmentBytes,
+		})
 		if err != nil {
 			if signer != nil {
 				signer.Close()
@@ -249,20 +273,20 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		consensus.WithExtraMessageHandler(n.onServiceMessage),
 	}
 	if n.storage != nil {
-		// Rebuild the persistent ledgers first: replaying the decision log
-		// below re-seals the tail blocks, and the ledgers' recovered
-		// heights are what makes that replay idempotent.
+		// Restore the persistent ledgers first — from the recovered chain
+		// frontiers (the retention manifest plus the replayed log tail),
+		// without loading any blocks: replaying the decision log below
+		// re-seals the tail blocks, and the ledgers' recovered heights
+		// are what makes that replay idempotent.
 		rec := n.storage.Recovered()
-		n.ledgers = make(map[string]*fabric.Ledger, len(rec.Blocks))
-		for channel, blocks := range rec.Blocks {
-			led := fabric.NewPersistentLedger(channel, n.storage)
-			for _, b := range blocks {
-				if err := led.Append(b); err != nil {
-					n.closeOwned()
-					return nil, fmt.Errorf("ordering node: recovering channel %q: %w", channel, err)
-				}
-			}
-			n.ledgers[channel] = led
+		n.ledgers = make(map[string]*fabric.Ledger, len(rec.Chains))
+		for channel, info := range rec.Chains {
+			n.ledgers[channel] = fabric.RestoreLedger(channel, n.storage, fabric.ChainState{
+				Floor:    info.Floor,
+				Anchor:   info.Anchor,
+				Height:   info.Height,
+				LastHash: info.LastHash,
+			})
 		}
 		opts = append(opts, consensus.WithDurability(n.storage, &consensus.DurableState{
 			CheckpointSeq: rec.CheckpointSeq,
@@ -280,8 +304,39 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		n.closeOwned()
 		return nil, fmt.Errorf("ordering node: %w", err)
 	}
+	if n.storage != nil {
+		policy := retention.Policy{RetainBlocks: cfg.RetainBlocks, RetainBytes: cfg.RetainBytes}
+		if policy.Enabled() {
+			n.retention = retention.NewManager(n.storage, policy, n.advanceLedgerFloors)
+		}
+	}
 	n.replica = replica
 	return n, nil
+}
+
+// advanceLedgerFloors raises the in-memory ledgers' retention floors
+// after a compaction applied (so reads stop paging into pruned ranges).
+func (n *OrderingNode) advanceLedgerFloors(floors map[string]uint64) {
+	for channel, floor := range floors {
+		led := n.Ledger(channel)
+		if led == nil {
+			continue
+		}
+		if err := led.AdvanceFloor(floor); err != nil {
+			fmt.Fprintf(os.Stderr, "ordering node %d: advancing %q floor to %d: %v\n",
+				n.ID(), channel, floor, err)
+		}
+	}
+}
+
+// Compact forces a policy-driven block-store compaction now (the
+// explicit admin trigger; cmd/ordernode wires it to SIGHUP). A no-op
+// when retention is disabled or nothing is due.
+func (n *OrderingNode) Compact() error {
+	if n.retention == nil {
+		return nil
+	}
+	return n.retention.Compact()
 }
 
 // closeOwned releases resources the half-constructed node owns.
@@ -406,6 +461,9 @@ func (n *OrderingNode) Stop() {
 	if n.signer != nil {
 		n.signer.Close()
 	}
+	if n.retention != nil {
+		n.retention.Close() // waits out an in-flight compaction
+	}
 	if n.ownsStorage && n.storage != nil {
 		n.storage.Close()
 	}
@@ -473,20 +531,26 @@ func (n *OrderingNode) handleTTC(chain *chainState, channel string, op []byte) {
 
 // sealBlock builds the next block header (sequentially - the only ordering
 // state is the previous header, exactly as Section 5.1 argues) and submits
-// it to the signing/sending pool.
+// it to the signing/sending pool. Persistence happens in the send drain,
+// after the node's signature attached, so the durable ledger keeps the
+// signature and fetched history is independently verifiable; during
+// decision-log replay the (already durable) block is re-persisted
+// directly instead.
 func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]byte) {
 	block := fabric.NewBlock(chain.nextNumber, chain.prevHash, batch)
 	chain.nextNumber++
 	chain.prevHash = block.Header.Hash()
 	n.statBlocks.Add(1)
 
-	if n.storage != nil {
-		n.persistBlock(channel, block)
-	}
 	if n.recovering {
-		// Replaying the decision log: the block is already durable (or was
-		// just re-persisted); frontends saw it before the crash, so no
-		// signing or dissemination.
+		// Replaying the decision log: frontends saw the block before the
+		// crash, so no signing or dissemination; the persist is a replay
+		// duplicate unless the crash hit between the decision fsync and
+		// the block append (those few tail blocks land unsigned — readers
+		// fall back to hash-chain anchoring for them).
+		if n.storage != nil {
+			n.persistBlock(channel, block)
+		}
 		return
 	}
 
@@ -511,15 +575,19 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 	}
 }
 
-// blockSender sequences one channel's dissemination. Signing completes out
-// of order on the pool, so completed blocks park in pending until every
-// lower number has been sent. epoch invalidates in-flight completions when
-// a rollback or state transfer rewrites the chain.
+// blockSender sequences one channel's persist + dissemination. Signing
+// completes out of order on the pool, so completed blocks park in pending
+// until every lower number has been handled; one worker at a time drains
+// the contiguous run (draining guards it), which keeps both the durable
+// appends and the outgoing sends in strict block-number order. epoch
+// invalidates in-flight completions when a rollback or state transfer
+// rewrites the chain.
 type blockSender struct {
-	epoch   uint64
-	started bool
-	next    uint64
-	pending map[uint64]*fabric.Block
+	epoch    uint64
+	started  bool
+	next     uint64
+	pending  map[uint64]*fabric.Block
+	draining bool
 }
 
 // reserveSend anchors the channel's send cursor at the first block sealed
@@ -540,8 +608,14 @@ func (n *OrderingNode) reserveSend(channel string, number uint64) uint64 {
 }
 
 // completeSend hands a signed block to the sequencer; everything that is
-// now contiguous goes out. Runs on signing-pool workers (or the event loop
-// with signing disabled).
+// now contiguous is persisted (signature included) and then disseminated,
+// in block-number order. Runs on signing-pool workers (or the event loop
+// with signing disabled). The drain is single-flight per channel: a
+// worker that finds another one draining just deposits its block, so the
+// durable appends — which were previously a stripped-signature write on
+// the consensus event loop — run in order, off the event loop, after
+// signing. That also pipelines the decision-log fsync and the
+// block-store fsync instead of paying them back-to-back on the loop.
 func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.Block) {
 	n.sendMu.Lock()
 	s, ok := n.senders[channel]
@@ -550,19 +624,56 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 		return // the chain was rolled back or replaced since sealing
 	}
 	s.pending[block.Header.Number] = block
-	var out []*fabric.Block
-	for {
-		b, ok := s.pending[s.next]
-		if !ok {
-			break
-		}
-		delete(s.pending, s.next)
-		s.next++
-		out = append(out, b)
+	if s.draining {
+		n.sendMu.Unlock()
+		return // the draining worker picks this block up
 	}
-	n.sendMu.Unlock()
-	for _, b := range out {
-		n.disseminate(channel, b)
+	s.draining = true
+	for {
+		var out []*fabric.Block
+		for {
+			b, ok := s.pending[s.next]
+			if !ok {
+				break
+			}
+			delete(s.pending, s.next)
+			s.next++
+			out = append(out, b)
+		}
+		if len(out) == 0 {
+			s.draining = false
+			n.sendMu.Unlock()
+			return
+		}
+		n.sendMu.Unlock()
+		for _, b := range out {
+			// Re-check the epoch per block: a rollback or state transfer
+			// that lands while this worker is out invalidates the rest of
+			// the extracted run. (The check narrows, but cannot close, the
+			// instant between it and the append — see ROADMAP on
+			// tentative-mode durability.)
+			n.sendMu.Lock()
+			stale := s.epoch != epoch
+			n.sendMu.Unlock()
+			if stale {
+				return // the reset cleared the drain flag for the new epoch
+			}
+			if n.storage != nil {
+				n.persistBlock(channel, b)
+			}
+			n.disseminate(channel, b)
+		}
+		if n.retention != nil {
+			n.retention.MaybeCompact()
+		}
+		n.sendMu.Lock()
+		if s.epoch != epoch {
+			// The chain was rewritten while this worker was out: the
+			// reset cleared the drain flag on behalf of the new epoch, so
+			// this stale worker must not touch it.
+			n.sendMu.Unlock()
+			return
+		}
 	}
 }
 
@@ -579,19 +690,23 @@ func (n *OrderingNode) resetSender(channel string) {
 	s.epoch++
 	s.started = false
 	s.pending = make(map[uint64]*fabric.Block)
+	// A stale drain worker may still be out disseminating; it observes the
+	// epoch bump and exits without touching the flag again.
+	s.draining = false
 }
 
-// persistBlock appends a sealed block to the channel's durable ledger. A
+// persistBlock appends a sealed block to the channel's durable ledger,
+// signatures included: the drain calls it after the node's signature
+// attached (and back-filled blocks carry the serving peers' signatures),
+// so replayed and fetched history can be independently verified with f+1
+// signature checks, falling back to hash-chain anchoring for blocks
+// persisted without signatures (legacy chains, recovery re-seals). A
 // block below the ledger height is a replay duplicate (skipped); a block
 // above it means state transfer jumped the chain past blocks this node
 // never sealed — it is parked until the FetchBlocks back-fill closes the
-// gap beneath it, so the durable chain stays contiguous. The ledger stores
-// a shallow copy because the signing callback mutates Signatures
-// asynchronously.
+// gap beneath it, so the durable chain stays contiguous.
 func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
 	led := n.ledger(channel)
-	stored := *block
-	stored.Signatures = nil
 	n.ledgerMu.Lock()
 	defer n.ledgerMu.Unlock()
 	height := led.Height()
@@ -604,7 +719,7 @@ func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
 			parked = make(map[uint64]*fabric.Block)
 			n.parked[channel] = parked
 		}
-		parked[block.Header.Number] = &stored
+		parked[block.Header.Number] = block
 		// Re-arm the back-fill on every parked block (a no-op while one is
 		// already running): if an earlier attempt exhausted its retries,
 		// the gap would otherwise persist — and parked blocks accumulate —
@@ -615,7 +730,7 @@ func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
 		}
 		return
 	}
-	if err := led.Append(&stored); err != nil {
+	if err := led.Append(block); err != nil {
 		fmt.Fprintf(os.Stderr, "ordering node %d: persisting block %d on %q: %v\n",
 			n.ID(), block.Header.Number, channel, err)
 	}
@@ -756,6 +871,7 @@ func (n *OrderingNode) Restore(snapshot []byte, _ int64) {
 		s.epoch++
 		s.started = false
 		s.pending = make(map[uint64]*fabric.Block)
+		s.draining = false
 	}
 	n.sendMu.Unlock()
 	// A state transfer that jumped a chain past the local ledger height
@@ -827,10 +943,19 @@ func (n *OrderingNode) serveFetch(from transport.Addr, payload []byte) {
 			end = req.From + maxFetchBlocks
 		}
 		if end > req.From {
-			if blocks, err := led.Range(req.From, end); err == nil {
+			blocks, err := led.Range(req.From, end)
+			switch {
+			case err == nil:
 				resp.Blocks = make([][]byte, 0, len(blocks))
 				for _, b := range blocks {
 					resp.Blocks = append(resp.Blocks, b.Marshal())
+				}
+			default:
+				// Retention compacted the range away: tell the requester
+				// where this node's history now starts.
+				var pe *fabric.PrunedError
+				if errors.As(err, &pe) {
+					resp.Floor = pe.Floor
 				}
 			}
 		}
@@ -893,15 +1018,42 @@ func (n *OrderingNode) rearmBackfill(channel string) {
 // runBackfill closes one gap, then drains any blocks that parked above it
 // while it ran; a second state-transfer jump during the fetch surfaces as
 // a fresh gap below the parked blocks and is filled in the next pass.
+//
+// When f+1 peers answer that the bottom of the gap fell below their
+// retention floors, those blocks no longer exist anywhere trustworthy:
+// the node takes the snapshot jump instead — it re-fetches from the
+// cluster's floor, verifies the suffix into its trusted anchor, and
+// rebases its durable chain at the floor (manifest first, so a crash
+// mid-jump recovers the rebased chain). Disk usage then tracks the
+// retained window, not how long the node was down.
 func (n *OrderingNode) runBackfill(channel string, from, to uint64, anchor cryptoutil.Digest) {
 	for {
-		blocks, err := n.fetcher.FetchRange(n.done, n.peerAddrs(), channel, from, to, anchor)
+		blocks, start, err := n.fetchGap(channel, from, to, anchor)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ordering node %d: back-fill of %q blocks %d..%d failed: %v\n",
 				n.ID(), channel, from, to-1, err)
 			return
 		}
 		led := n.ledger(channel)
+		if start > from {
+			// The fetched suffix (or, for an empty suffix, the parked
+			// block at `to`) links into the trusted anchor, so its first
+			// PrevHash is a trusted stand-in for the pruned prefix.
+			rebaseAnchor := anchor
+			if len(blocks) > 0 {
+				rebaseAnchor = blocks[0].Header.PrevHash
+			}
+			n.ledgerMu.Lock()
+			err := led.Rebase(start, rebaseAnchor)
+			n.ledgerMu.Unlock()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ordering node %d: rebasing %q over pruned blocks %d..%d: %v\n",
+					n.ID(), channel, from, start-1, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ordering node %d: %q blocks %d..%d pruned cluster-wide; rebased at snapshot floor %d\n",
+				n.ID(), channel, from, start-1, start)
+		}
 		// Append in bounded batches so the fsync work does not hold
 		// ledgerMu (and thereby the event loop's persistBlock path) for
 		// the whole gap at once.
@@ -924,6 +1076,9 @@ func (n *OrderingNode) runBackfill(channel string, from, to uint64, anchor crypt
 				}
 			}
 			n.ledgerMu.Unlock()
+		}
+		if n.retention != nil {
+			n.retention.MaybeCompact()
 		}
 		var again bool
 		n.ledgerMu.Lock()
@@ -969,6 +1124,40 @@ func lowestParked(parked map[uint64]*fabric.Block) (uint64, bool) {
 		}
 	}
 	return lowest, found
+}
+
+// fetchGap fetches blocks [from, to) for a back-fill, following the
+// cluster's retention floor upward: each time f+1 peers report the
+// bottom of the remaining range pruned, the fetch restarts at the
+// reported floor (strictly increasing, so a moving floor — compaction
+// racing the fetch — cannot loop it). It returns the fetched blocks and
+// the number the fetch actually started at: a start above `from` means
+// the blocks below it are gone cluster-wide and the caller must rebase.
+// A start equal to `to` (with no blocks) means the whole gap is pruned.
+func (n *OrderingNode) fetchGap(channel string, from, to uint64, anchor cryptoutil.Digest) (blocks []*fabric.Block, start uint64, err error) {
+	start = from
+	for {
+		blocks, err = n.fetcher.FetchRange(n.done, n.peerAddrs(), channel, start, to, anchor, n.faults())
+		if err == nil {
+			return blocks, start, nil
+		}
+		var pe *fabric.PrunedError
+		if !errors.As(err, &pe) || pe.Floor <= start {
+			return nil, start, err
+		}
+		start = pe.Floor
+		if start >= to {
+			return nil, to, nil
+		}
+	}
+}
+
+// faults returns the cluster's fault threshold f.
+func (n *OrderingNode) faults() int {
+	if f := n.cfg.Consensus.F; f > 0 {
+		return f
+	}
+	return consensus.MaxFaults(len(n.cfg.Consensus.Replicas))
 }
 
 // peerAddrs returns the other replicas' transport addresses.

@@ -60,7 +60,34 @@ var (
 	ErrServiceUnavailable = errors.New("ordering: service unavailable")
 	// ErrBadSeek rejects a SeekInfo whose stop precedes its start.
 	ErrBadSeek = errors.New("ordering: seek stop precedes start")
+	// ErrPruned reports that the sought blocks fell below a ledger's
+	// retention floor and were compacted away. Surfaced to clients as
+	// StatusNotFound (Fabric's NOT_FOUND for unservable seeks). Match
+	// with errors.Is; the concrete *PrunedError carries the floor.
+	ErrPruned = errors.New("ordering: blocks pruned by retention")
 )
+
+// PrunedError is the typed form of ErrPruned: the requested range starts
+// below Floor, the first block the responder still retains. errors.Is
+// (err, ErrPruned) matches it.
+type PrunedError struct {
+	// Channel is the chain the seek addressed (may be empty when the
+	// responder scopes the error implicitly).
+	Channel string
+	// Floor is the first retained block number; a client can restart
+	// its seek there.
+	Floor uint64
+}
+
+func (e *PrunedError) Error() string {
+	if e.Channel == "" {
+		return fmt.Sprintf("ordering: blocks below %d pruned by retention", e.Floor)
+	}
+	return fmt.Sprintf("ordering: channel %q blocks below %d pruned by retention", e.Channel, e.Floor)
+}
+
+// Is matches the ErrPruned sentinel.
+func (e *PrunedError) Is(target error) bool { return target == ErrPruned }
 
 // Err converts a status into its sentinel error (nil for StatusSuccess).
 func (s BroadcastStatus) Err() error {
@@ -85,7 +112,7 @@ func StatusOf(err error) BroadcastStatus {
 		return StatusSuccess
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrBadSeek):
 		return StatusBadRequest
-	case errors.Is(err, ErrChannelNotFound):
+	case errors.Is(err, ErrChannelNotFound), errors.Is(err, ErrPruned):
 		return StatusNotFound
 	}
 	return StatusServiceUnavailable

@@ -32,6 +32,14 @@ type BlockReader interface {
 	ReadBlocks(channel string, start uint64, max int) ([]*Block, error)
 }
 
+// BlockRebaser is implemented by backends that support retention: Rebase
+// jumps a channel's durable chain forward over a pruned gap (the blocks
+// in between are unobtainable cluster-wide), and future appends resume
+// at the new floor, anchored by the given previous-hash.
+type BlockRebaser interface {
+	RebaseBlocks(channel string, floor uint64, anchor cryptoutil.Digest) error
+}
+
 // DefaultLedgerRetain is how many recent blocks a persistent ledger with a
 // read-capable backend keeps in memory; older blocks are served from the
 // backend.
@@ -56,6 +64,13 @@ type Ledger struct {
 	height   uint64   // next block number to append
 	lastHash cryptoutil.Digest
 	envCount int
+
+	// floor is the first retained block number (0 without retention);
+	// reads below it answer ErrPruned. anchor is the PrevHash of block
+	// floor (zero when floor is 0): the linkage the first retained block
+	// must carry, standing in for the pruned prefix.
+	floor  uint64
+	anchor cryptoutil.Digest
 }
 
 // NewLedger creates an empty in-memory ledger.
@@ -76,11 +91,42 @@ func NewPersistentLedger(channel string, backend BlockBackend) *Ledger {
 	return l
 }
 
+// ChainState positions a restored ledger: the retention floor and its
+// anchor, plus the chain frontier (height and the newest header's hash).
+type ChainState struct {
+	Floor    uint64
+	Anchor   cryptoutil.Digest
+	Height   uint64
+	LastHash cryptoutil.Digest
+}
+
+// RestoreLedger rebuilds a persistent ledger from a recovered chain
+// frontier without loading any blocks into memory: the backend already
+// holds blocks [st.Floor, st.Height), appends continue at st.Height, and
+// reads page from the backend on demand. This is what makes recovery
+// O(manifest) instead of O(chain).
+func RestoreLedger(channel string, backend BlockBackend, st ChainState) *Ledger {
+	l := NewPersistentLedger(channel, backend)
+	l.floor = st.Floor
+	l.anchor = st.Anchor
+	l.base = st.Height
+	l.height = st.Height
+	l.lastHash = st.LastHash
+	return l
+}
+
 // Height returns the number of blocks appended so far.
 func (l *Ledger) Height() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.height
+}
+
+// Floor returns the first retained block number (0 without retention).
+func (l *Ledger) Floor() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.floor
 }
 
 // Append verifies and appends a block: its number must be the current
@@ -97,12 +143,22 @@ func (l *Ledger) Append(b *Block) error {
 	if b.Header.Number != l.height {
 		return fmt.Errorf("%w: got %d, want %d", ErrBlockNumber, b.Header.Number, l.height)
 	}
-	if l.height == 0 {
+	switch {
+	case l.height > l.floor:
+		if b.Header.PrevHash != l.lastHash {
+			return fmt.Errorf("%w at block %d", ErrBrokenChain, b.Header.Number)
+		}
+	case l.floor == 0:
 		if !b.Header.PrevHash.IsZero() {
 			return fmt.Errorf("%w: genesis must have zero previous hash", ErrBrokenChain)
 		}
-	} else if b.Header.PrevHash != l.lastHash {
-		return fmt.Errorf("%w at block %d", ErrBrokenChain, b.Header.Number)
+	default:
+		// First block above a retention floor: it must link into the
+		// anchor the pruned prefix left behind.
+		if b.Header.PrevHash != l.anchor {
+			return fmt.Errorf("%w: block %d does not link into the retention anchor",
+				ErrBrokenChain, b.Header.Number)
+		}
 	}
 	if l.backend != nil {
 		if err := l.backend.PutBlock(l.channel, b); err != nil {
@@ -124,9 +180,15 @@ func (l *Ledger) Append(b *Block) error {
 }
 
 // Block returns the block at the given number, reading it back from the
-// backend if it fell out of the in-memory window.
+// backend if it fell out of the in-memory window. Numbers below the
+// retention floor answer ErrPruned.
 func (l *Ledger) Block(number uint64) (*Block, error) {
 	l.mu.RLock()
+	if number < l.floor {
+		pe := &PrunedError{Channel: l.channel, Floor: l.floor}
+		l.mu.RUnlock()
+		return nil, pe
+	}
 	if number >= l.height {
 		height := l.height
 		l.mu.RUnlock()
@@ -151,9 +213,15 @@ func (l *Ledger) Block(number uint64) (*Block, error) {
 
 // Range returns blocks [start, end) in order, combining the backend (for
 // blocks below the in-memory window) with the in-memory tail. end is
-// clamped to the current height.
+// clamped to the current height. A start below the retention floor
+// answers ErrPruned.
 func (l *Ledger) Range(start, end uint64) ([]*Block, error) {
 	l.mu.RLock()
+	if start < l.floor {
+		pe := &PrunedError{Channel: l.channel, Floor: l.floor}
+		l.mu.RUnlock()
+		return nil, pe
+	}
 	if end > l.height {
 		end = l.height
 	}
@@ -204,11 +272,14 @@ func (l *Ledger) Range(start, end uint64) ([]*Block, error) {
 }
 
 // Blocks returns the chain from start (inclusive) onward. Blocks that are
-// no longer retained in memory and cannot be read back are omitted from
-// the front.
+// no longer retained in memory and cannot be read back — or fell below
+// the retention floor — are omitted from the front.
 func (l *Ledger) Blocks(start uint64) []*Block {
 	l.mu.RLock()
 	height := l.height
+	if start < l.floor {
+		start = l.floor
+	}
 	l.mu.RUnlock()
 	out, err := l.Range(start, height)
 	if err != nil {
@@ -234,15 +305,82 @@ func (l *Ledger) LastHash() cryptoutil.Digest {
 	return l.lastHash
 }
 
-// VerifyChain re-validates the whole chain (integrity + linkage),
+// AdvanceFloor raises the retention floor after the backend compacted:
+// reads below the new floor answer ErrPruned and the in-memory tail
+// drops anything beneath it. The anchor is taken from the block at the
+// new floor (which the backend still retains). A floor at or below the
+// current one, or at or above the height, is a no-op.
+func (l *Ledger) AdvanceFloor(floor uint64) error {
+	l.mu.RLock()
+	current, height := l.floor, l.height
+	l.mu.RUnlock()
+	if floor <= current || floor >= height {
+		return nil
+	}
+	b, err := l.Block(floor)
+	if err != nil {
+		return fmt.Errorf("ledger: advancing floor to %d: %w", floor, err)
+	}
+	anchor := b.Header.PrevHash
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if floor <= l.floor || floor >= l.height {
+		return nil // raced with another advance or a rebase
+	}
+	l.floor = floor
+	l.anchor = anchor
+	if l.base < floor {
+		drop := floor - l.base
+		if drop >= uint64(len(l.blocks)) {
+			l.blocks = nil
+			l.base = l.height
+		} else {
+			l.blocks = append(l.blocks[:0:0], l.blocks[drop:]...)
+			l.base = floor
+		}
+	}
+	return nil
+}
+
+// Rebase jumps the chain forward over a gap that can no longer be
+// filled: every peer pruned the blocks between the current height and
+// floor, so the node adopts floor as its new retention floor and resumes
+// appending there, anchored by the given previous-hash (verified by the
+// caller against a trusted chain suffix). The backend, when it supports
+// rebasing, is moved first so the durable record never trails the
+// in-memory state.
+func (l *Ledger) Rebase(floor uint64, anchor cryptoutil.Digest) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if floor < l.height {
+		return fmt.Errorf("ledger: rebase to %d behind height %d", floor, l.height)
+	}
+	if rb, ok := l.backend.(BlockRebaser); ok {
+		if err := rb.RebaseBlocks(l.channel, floor, anchor); err != nil {
+			return fmt.Errorf("ledger: rebasing backend: %w", err)
+		}
+	}
+	l.blocks = nil
+	l.base = floor
+	l.height = floor
+	l.floor = floor
+	l.anchor = anchor
+	l.lastHash = cryptoutil.Digest{}
+	return nil
+}
+
+// VerifyChain re-validates the retained chain (integrity + linkage from
+// the retention floor, whose first block must link into the anchor),
 // streaming paged-out blocks back from the backend in bounded windows.
 func (l *Ledger) VerifyChain() error {
 	const window = 256
 	l.mu.RLock()
 	height := l.height
+	floor := l.floor
+	anchor := l.anchor
 	l.mu.RUnlock()
 	var prev *Block
-	for start := uint64(0); start < height; start += window {
+	for start := floor; start < height; start += window {
 		end := start + window
 		if end > height {
 			end = height
@@ -259,6 +397,9 @@ func (l *Ledger) VerifyChain() error {
 			if blocks[0].Header.PrevHash != prev.Header.Hash() {
 				return fmt.Errorf("%w at block %d", ErrBrokenChain, blocks[0].Header.Number)
 			}
+		} else if floor > 0 && blocks[0].Header.PrevHash != anchor {
+			return fmt.Errorf("%w: block %d does not link into the retention anchor",
+				ErrBrokenChain, blocks[0].Header.Number)
 		}
 		if err := VerifyChain(blocks); err != nil {
 			return err

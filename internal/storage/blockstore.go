@@ -1,69 +1,250 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/storage/retention"
 	"repro/internal/wire"
 )
 
 // BlockStore persists sealed blocks, per channel, in an append-only WAL of
-// its own (one record per block, wire-encoded with the channel name). It
-// is the durable mirror of a fabric.Ledger: Recovered() rebuilds the full
-// chain after a restart, Put is idempotent for already-stored block
-// numbers so that WAL-driven re-execution of the tail never duplicates
-// blocks, and ReadBlocks serves random-access reads (historical Deliver
-// seeks, FetchBlocks back-fill) through an in-memory block-number ->
-// WAL-index map maintained across restarts.
+// its own (one record per block, wire-encoded with the channel name, with
+// whatever node signatures the block carries). It is the durable mirror
+// of a fabric.Ledger, bounded by retention: a snapshot manifest records,
+// per channel, the first retained block, its previous-hash anchor, and
+// the block-number → WAL-record index of the retained window; compaction
+// rewrites the manifest and drops whole WAL segments below the retention
+// floor. Recovery loads the manifest first, seeds its read index from it
+// without decoding the retained window, and replays only records above
+// the manifest frontier — so a restarted node serves ReadBlocks from the
+// floor upward and answers below-floor reads with a typed
+// fabric.ErrPruned. Reads go through the WAL's per-segment byte-offset
+// index: a single positioned read per block, not a decode-from-zero
+// prefix scan.
 type BlockStore struct {
+	dir string
 	wal *WAL
 
-	mu        sync.Mutex
-	heights   map[string]uint64   // next expected block number per channel
-	index     map[string][]uint64 // block number -> WAL record index
-	recovered map[string][]*fabric.Block
+	mu   sync.Mutex
+	cond *sync.Cond // signaled when an in-flight Put finishes indexing
+
+	heights map[string]uint64            // next expected block number per channel
+	floors  map[string]uint64            // first retained block number per channel
+	anchors map[string]cryptoutil.Digest // PrevHash of the block at the floor
+	// index[ch][i] is the WAL record index of block floors[ch]+i.
+	index map[string][]uint64
+
+	recovered map[string]ChainInfo
 }
 
-// OpenBlockStore opens the store in cfg.Dir and replays every persisted
-// block. The recovered chains stay available via Recovered until the
-// caller takes them.
+// ChainInfo is one channel's recovered chain frontier: enough to restore
+// a fabric.Ledger without loading a single block into memory.
+type ChainInfo struct {
+	// Floor is the first retained block number (0 when never compacted).
+	Floor uint64
+	// Anchor is the PrevHash of block Floor (zero when Floor is 0).
+	Anchor cryptoutil.Digest
+	// Height is the next block number to append.
+	Height uint64
+	// LastHash is the header hash of block Height-1 (zero when the
+	// retained window is empty).
+	LastHash cryptoutil.Digest
+}
+
+// OpenBlockStore opens the store in cfg.Dir: it loads the retention
+// manifest (when one exists), re-applies any segment deletions a crash
+// interrupted, seeds the block index from the manifest, and replays only
+// the records above the manifest frontier. The recovered chain frontiers
+// stay available via Chains until the caller takes them.
 func OpenBlockStore(cfg WALConfig) (*BlockStore, error) {
 	wal, err := OpenWAL(cfg)
 	if err != nil {
 		return nil, err
 	}
 	s := &BlockStore{
-		wal:       wal,
-		heights:   make(map[string]uint64),
-		index:     make(map[string][]uint64),
-		recovered: make(map[string][]*fabric.Block),
+		dir:     cfg.Dir,
+		wal:     wal,
+		heights: make(map[string]uint64),
+		floors:  make(map[string]uint64),
+		anchors: make(map[string]cryptoutil.Digest),
+		index:   make(map[string][]uint64),
 	}
-	err = wal.Replay(func(idx uint64, rec []byte) error {
-		channel, block, err := decodeBlockRecord(rec)
-		if err != nil {
-			return err
-		}
-		if block.Header.Number != s.heights[channel] {
-			return fmt.Errorf("%w: channel %q block %d, want %d",
-				ErrCorrupt, channel, block.Header.Number, s.heights[channel])
-		}
-		s.recovered[channel] = append(s.recovered[channel], block)
-		s.index[channel] = append(s.index[channel], idx)
-		s.heights[channel] = block.Header.Number + 1
-		return nil
-	})
-	if err != nil {
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
 		wal.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// Recovered returns the chains replayed at open, keyed by channel, and
-// releases the store's reference to them. Blocks persisted after open are
-// not included.
-func (s *BlockStore) Recovered() map[string][]*fabric.Block {
+// recover seeds the store from the manifest and replays the log tail.
+func (s *BlockStore) recover() error {
+	manifest, found, err := retention.LoadManifest(s.dir)
+	if err != nil {
+		return err
+	}
+	frontier := uint64(0)
+	seeded := make(map[string]int) // manifest-indexed blocks per channel
+	if found {
+		if last := s.wal.LastIndex(); manifest.Frontier > last {
+			return fmt.Errorf("%w: manifest frontier %d past log end %d",
+				ErrCorrupt, manifest.Frontier, last)
+		}
+		for channel, ch := range manifest.Channels {
+			s.floors[channel] = ch.Floor
+			s.anchors[channel] = ch.Anchor
+			s.heights[channel] = ch.Floor + uint64(len(ch.Index))
+			s.index[channel] = append([]uint64(nil), ch.Index...)
+			seeded[channel] = len(ch.Index)
+		}
+		frontier = manifest.Frontier
+		// Re-apply deletions a crash may have interrupted: everything
+		// below KeepIdx is covered by the manifest floors.
+		if err := s.wal.PruneTo(manifest.KeepIdx); err != nil {
+			return err
+		}
+	}
+
+	// Replay the tail above the frontier. Records of a channel's pruned
+	// prefix that survive inside kept segments (whole-segment pruning, or
+	// a rebase over stale history) are skipped by block number.
+	last := make(map[string]*fabric.Block)
+	err = s.wal.ReadRange(frontier+1, s.wal.LastIndex(), func(idx uint64, rec []byte) error {
+		channel, block, err := decodeBlockRecord(rec)
+		if err != nil {
+			return err
+		}
+		num := block.Header.Number
+		if num < s.floors[channel] {
+			return nil // below the retention floor: pruned, awaiting deletion
+		}
+		if num != s.heights[channel] {
+			return fmt.Errorf("%w: channel %q block %d, want %d",
+				ErrCorrupt, channel, num, s.heights[channel])
+		}
+		if prev := last[channel]; prev != nil {
+			if block.Header.PrevHash != prev.Header.Hash() {
+				return fmt.Errorf("%w: channel %q block %d breaks the hash chain",
+					ErrCorrupt, channel, num)
+			}
+		}
+		s.index[channel] = append(s.index[channel], idx)
+		s.heights[channel] = num + 1
+		last[channel] = block
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Finalize per channel: verify the seams the seeded index skipped
+	// (floor anchor, manifest-to-replay linkage) with two positioned
+	// reads, and compute the chain frontier.
+	s.recovered = make(map[string]ChainInfo, len(s.heights))
+	for channel, height := range s.heights {
+		info := ChainInfo{
+			Floor:  s.floors[channel],
+			Anchor: s.anchors[channel],
+			Height: height,
+		}
+		n := seeded[channel]
+		if n > 0 {
+			first, err := s.readOne(channel, s.index[channel][0])
+			if err != nil {
+				return err
+			}
+			if first.Header.Number != info.Floor {
+				return fmt.Errorf("%w: channel %q first retained block is %d, manifest says %d",
+					ErrCorrupt, channel, first.Header.Number, info.Floor)
+			}
+			if info.Floor > 0 && first.Header.PrevHash != info.Anchor {
+				return fmt.Errorf("%w: channel %q block %d does not link into the manifest anchor",
+					ErrCorrupt, channel, info.Floor)
+			}
+			tip, err := s.readOne(channel, s.index[channel][n-1])
+			if err != nil {
+				return err
+			}
+			if tip.Header.Number != info.Floor+uint64(n-1) {
+				return fmt.Errorf("%w: channel %q manifest index is inconsistent at block %d",
+					ErrCorrupt, channel, tip.Header.Number)
+			}
+			if replayedFirst := firstReplayed(s.index[channel], n); replayedFirst != nil {
+				// Seam: the first replayed block must link into the
+				// newest manifest-indexed block.
+				b, err := s.readOne(channel, *replayedFirst)
+				if err != nil {
+					return err
+				}
+				if b.Header.PrevHash != tip.Header.Hash() {
+					return fmt.Errorf("%w: channel %q block %d breaks the hash chain at the manifest seam",
+						ErrCorrupt, channel, b.Header.Number)
+				}
+			}
+		} else if b := last[channel]; b != nil && info.Floor > 0 {
+			// A rebase left no retained window; the first appended block
+			// carried the anchor check at append time, re-verify here.
+			firstIdx := s.index[channel][0]
+			first, err := s.readOne(channel, firstIdx)
+			if err != nil {
+				return err
+			}
+			if first.Header.PrevHash != info.Anchor {
+				return fmt.Errorf("%w: channel %q block %d does not link into the rebase anchor",
+					ErrCorrupt, channel, first.Header.Number)
+			}
+		}
+		if b := last[channel]; b != nil {
+			info.LastHash = b.Header.Hash()
+		} else if n > 0 {
+			tip, err := s.readOne(channel, s.index[channel][n-1])
+			if err != nil {
+				return err
+			}
+			info.LastHash = tip.Header.Hash()
+		}
+		s.recovered[channel] = info
+	}
+	return nil
+}
+
+// firstReplayed returns the first index entry past the seeded prefix.
+func firstReplayed(idxs []uint64, seeded int) *uint64 {
+	if seeded >= len(idxs) {
+		return nil
+	}
+	return &idxs[seeded]
+}
+
+// readOne reads and decodes a single block record by WAL index.
+func (s *BlockStore) readOne(channel string, idx uint64) (*fabric.Block, error) {
+	var out *fabric.Block
+	err := s.wal.ReadRecords([]uint64{idx}, func(_ uint64, rec []byte) error {
+		ch, block, err := decodeBlockRecord(rec)
+		if err != nil {
+			return err
+		}
+		if ch != channel {
+			return fmt.Errorf("%w: record %d holds channel %q, want %q",
+				ErrCorrupt, idx, ch, channel)
+		}
+		out = block
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Chains returns the chain frontiers recovered at open, keyed by channel,
+// and releases the store's reference to them. Blocks persisted after
+// open are not included.
+func (s *BlockStore) Chains() map[string]ChainInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := s.recovered
@@ -71,20 +252,28 @@ func (s *BlockStore) Recovered() map[string][]*fabric.Block {
 	return out
 }
 
-// Height returns the next expected block number for a channel (== the
-// number of blocks stored).
+// Height returns the next expected block number for a channel.
 func (s *BlockStore) Height(channel string) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.heights[channel]
 }
 
-// Put durably appends a sealed block. A block below the stored height is a
-// replay duplicate and is silently skipped; a block above it is a gap and
-// is rejected (the caller lost blocks and must back-fill them before
-// persisting more). Calls for the same channel must not race each other
-// (record order in the log is recovery order); calls for different
-// channels may run concurrently and share one group commit.
+// Floor returns the channel's retention floor: the first block number
+// still served; everything below it was compacted away.
+func (s *BlockStore) Floor(channel string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floors[channel]
+}
+
+// Put durably appends a sealed block (with whatever signatures it
+// carries). A block below the stored height is a replay duplicate and is
+// silently skipped; a block above it is a gap and is rejected (the
+// caller lost blocks and must back-fill them before persisting more).
+// Calls for the same channel must not race each other (record order in
+// the log is recovery order); calls for different channels may run
+// concurrently and share one group commit.
 func (s *BlockStore) Put(channel string, b *fabric.Block) error {
 	s.mu.Lock()
 	height := s.heights[channel]
@@ -105,70 +294,234 @@ func (s *BlockStore) Put(channel string, b *fabric.Block) error {
 	w.PutString(channel)
 	w.PutBytes(raw)
 	idx, err := s.wal.Append(w.Bytes())
+
+	s.mu.Lock()
 	if err != nil {
 		// Roll the height back so a retry is possible.
-		s.mu.Lock()
 		if s.heights[channel] == b.Header.Number+1 {
 			s.heights[channel] = b.Header.Number
 		}
-		s.mu.Unlock()
-		return err
+	} else {
+		s.index[channel] = append(s.index[channel], idx)
 	}
-	s.mu.Lock()
-	s.index[channel] = append(s.index[channel], idx)
+	// Either way the channel is quiescent again: wake a waiting
+	// compaction.
+	s.cond.Broadcast()
 	s.mu.Unlock()
-	return nil
+	return err
 }
 
 // ReadBlocks reads up to max blocks of one channel back from disk,
-// starting at block number start, in order (fabric.BlockReader). It
-// returns fewer blocks when the chain ends (or the newest appends have not
+// starting at block number start, in order (fabric.BlockReader). Each
+// block is one positioned read through the offset index. It returns
+// fewer blocks when the chain ends (or the newest appends have not
 // finished committing); a start at or past the committed height returns
-// nil.
+// nil; a start below the retention floor returns fabric.ErrPruned.
 func (s *BlockStore) ReadBlocks(channel string, start uint64, max int) ([]*fabric.Block, error) {
 	if max <= 0 {
 		return nil, nil
 	}
 	s.mu.Lock()
+	floor := s.floors[channel]
+	if start < floor {
+		s.mu.Unlock()
+		return nil, &fabric.PrunedError{Channel: channel, Floor: floor}
+	}
 	idxs := s.index[channel]
-	if start >= uint64(len(idxs)) {
+	if start-floor >= uint64(len(idxs)) {
 		s.mu.Unlock()
 		return nil, nil
 	}
-	end := start + uint64(max)
+	end := start - floor + uint64(max)
 	if end > uint64(len(idxs)) {
 		end = uint64(len(idxs))
 	}
-	want := append([]uint64(nil), idxs[start:end]...)
+	want := append([]uint64(nil), idxs[start-floor:end]...)
 	s.mu.Unlock()
 
 	out := make([]*fabric.Block, 0, len(want))
-	pos := 0
-	err := s.wal.ReadRange(want[0], want[len(want)-1], func(idx uint64, rec []byte) error {
-		if pos >= len(want) || idx != want[pos] {
-			return nil // a record of another channel interleaved in the range
-		}
+	err := s.wal.ReadRecords(want, func(_ uint64, rec []byte) error {
 		gotChannel, block, err := decodeBlockRecord(rec)
 		if err != nil {
 			return err
 		}
-		if gotChannel != channel || block.Header.Number != start+uint64(pos) {
+		if gotChannel != channel || block.Header.Number != start+uint64(len(out)) {
 			return fmt.Errorf("%w: index points at channel %q block %d, want %q block %d",
-				ErrCorrupt, gotChannel, block.Header.Number, channel, start+uint64(pos))
+				ErrCorrupt, gotChannel, block.Header.Number, channel, start+uint64(len(out)))
 		}
 		out = append(out, block)
-		pos++
 		return nil
 	})
+	if errors.Is(err, ErrRecordGone) {
+		// A compaction pruned under the read: report the new floor.
+		s.mu.Lock()
+		floor = s.floors[channel]
+		s.mu.Unlock()
+		if start < floor {
+			return nil, &fabric.PrunedError{Channel: channel, Floor: floor}
+		}
+		return nil, err
+	}
 	if err != nil {
 		return nil, err
 	}
-	if pos != len(want) {
-		return nil, fmt.Errorf("%w: channel %q blocks %d..%d missing from log",
-			ErrCorrupt, channel, start+uint64(pos), end-1)
-	}
 	return out, nil
 }
+
+// ---- retention ---------------------------------------------------------
+
+// RetentionState reports the retained windows and on-disk size
+// (retention.Store).
+func (s *BlockStore) RetentionState() retention.State {
+	s.mu.Lock()
+	st := retention.State{Channels: make(map[string]retention.ChannelState, len(s.heights))}
+	for channel, height := range s.heights {
+		st.Channels[channel] = retention.ChannelState{
+			Floor:  s.floors[channel],
+			Height: height,
+		}
+	}
+	s.mu.Unlock()
+	st.Bytes = s.wal.SizeBytes()
+	return st
+}
+
+// CompactTo snapshots and prunes: for each listed channel the retention
+// floor rises to the target (clamped so at least one block stays
+// retained and floors never regress), the manifest is atomically
+// replaced, and WAL segments wholly below every channel's floor are
+// deleted. The manifest lands before any deletion, so a crash anywhere
+// in between recovers a contiguous chain from the new floors. Returns
+// the floors actually applied (retention.Store).
+func (s *BlockStore) CompactTo(floors map[string]uint64) (map[string]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Wait out in-flight Puts so the manifest's frontier covers every
+	// record below it (a Put between its WAL append and its index update
+	// would otherwise vanish from recovery).
+	for !s.quiescentLocked() {
+		s.cond.Wait()
+	}
+
+	applied := make(map[string]uint64)
+	for channel, target := range floors {
+		height, ok := s.heights[channel]
+		if !ok || height == 0 {
+			continue
+		}
+		if target > height-1 {
+			target = height - 1
+		}
+		if target <= s.floors[channel] {
+			continue
+		}
+		applied[channel] = target
+	}
+	if len(applied) == 0 {
+		return nil, nil
+	}
+
+	// Resolve the new anchors (PrevHash of each new floor block) before
+	// touching any state.
+	anchors := make(map[string]cryptoutil.Digest, len(applied))
+	for channel, target := range applied {
+		b, err := s.readOne(channel, s.index[channel][target-s.floors[channel]])
+		if err != nil {
+			return nil, err
+		}
+		if b.Header.Number != target {
+			return nil, fmt.Errorf("%w: channel %q index points at block %d, want %d",
+				ErrCorrupt, channel, b.Header.Number, target)
+		}
+		anchors[channel] = b.Header.PrevHash
+	}
+	for channel, target := range applied {
+		drop := target - s.floors[channel]
+		s.index[channel] = append([]uint64(nil), s.index[channel][drop:]...)
+		s.floors[channel] = target
+		s.anchors[channel] = anchors[channel]
+	}
+	if err := s.saveManifestLocked(); err != nil {
+		return nil, err
+	}
+	if err := s.wal.PruneTo(s.keepIdxLocked()); err != nil {
+		return nil, err
+	}
+	return applied, nil
+}
+
+// RebaseBlocks jumps a channel forward over a gap that no peer can serve
+// anymore (everyone pruned it): the channel's floor, height, and anchor
+// move to the target, its stale history becomes prunable, and the
+// manifest is rewritten so a crash right after still recovers the
+// rebased chain (fabric.BlockRebaser).
+func (s *BlockStore) RebaseBlocks(channel string, floor uint64, anchor cryptoutil.Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.quiescentLocked() {
+		s.cond.Wait()
+	}
+	if floor < s.heights[channel] {
+		return fmt.Errorf("storage: rebase of %q to %d behind height %d",
+			channel, floor, s.heights[channel])
+	}
+	s.floors[channel] = floor
+	s.heights[channel] = floor
+	s.anchors[channel] = anchor
+	s.index[channel] = nil
+	if err := s.saveManifestLocked(); err != nil {
+		return err
+	}
+	return s.wal.PruneTo(s.keepIdxLocked())
+}
+
+// quiescentLocked reports whether every height is reflected in the index
+// (no Put between its WAL append and its index update).
+func (s *BlockStore) quiescentLocked() bool {
+	for channel, height := range s.heights {
+		if height-s.floors[channel] != uint64(len(s.index[channel])) {
+			return false
+		}
+	}
+	return true
+}
+
+// keepIdxLocked returns the WAL pruning floor: the smallest record index
+// any channel still retains (everything below it belongs to pruned
+// prefixes).
+func (s *BlockStore) keepIdxLocked() uint64 {
+	keep := s.wal.LastIndex() + 1
+	for _, idxs := range s.index {
+		if len(idxs) > 0 && idxs[0] < keep {
+			keep = idxs[0]
+		}
+	}
+	return keep
+}
+
+// saveManifestLocked snapshots the full per-channel state into the
+// manifest file (tmp + rename + dir fsync).
+func (s *BlockStore) saveManifestLocked() error {
+	m := &retention.Manifest{
+		KeepIdx:  s.keepIdxLocked(),
+		Channels: make(map[string]retention.ChannelManifest, len(s.heights)),
+	}
+	for channel := range s.heights {
+		cm := retention.ChannelManifest{
+			Floor:  s.floors[channel],
+			Anchor: s.anchors[channel],
+			Index:  append([]uint64(nil), s.index[channel]...),
+		}
+		if n := len(cm.Index); n > 0 && cm.Index[n-1] > m.Frontier {
+			m.Frontier = cm.Index[n-1]
+		}
+		m.Channels[channel] = cm
+	}
+	return retention.SaveManifest(s.dir, m)
+}
+
+// SizeBytes returns the store's on-disk size.
+func (s *BlockStore) SizeBytes() int64 { return s.wal.SizeBytes() }
 
 // Close flushes and closes the underlying log.
 func (s *BlockStore) Close() error { return s.wal.Close() }

@@ -1,0 +1,143 @@
+package retention
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		KeepIdx:  17,
+		Frontier: 42,
+		Channels: map[string]ChannelManifest{
+			"alpha": {
+				Floor:  9,
+				Anchor: cryptoutil.Hash([]byte("anchor-alpha")),
+				Index:  []uint64{17, 19, 22, 23, 42},
+			},
+			"beta": {
+				Floor: 0,
+				Index: []uint64{18, 20, 21},
+			},
+			"rebased": {
+				Floor:  100,
+				Anchor: cryptoutil.Hash([]byte("anchor-rebased")),
+			},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	got, err := UnmarshalManifest(m.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.KeepIdx != m.KeepIdx || got.Frontier != m.Frontier {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for name, want := range m.Channels {
+		gotCh := got.Channels[name]
+		if gotCh.Floor != want.Floor || gotCh.Anchor != want.Anchor {
+			t.Fatalf("channel %q = %+v, want %+v", name, gotCh, want)
+		}
+		if len(want.Index) == 0 && len(gotCh.Index) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(gotCh.Index, want.Index) {
+			t.Fatalf("channel %q index = %v, want %v", name, gotCh.Index, want.Index)
+		}
+	}
+}
+
+func TestManifestSaveLoadAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if _, found, err := LoadManifest(dir); err != nil || found {
+		t.Fatalf("empty load: found=%v err=%v", found, err)
+	}
+	m := sampleManifest()
+	if err := SaveManifest(dir, m); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// A stale temp file from an interrupted save is ignored.
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile+".tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := LoadManifest(dir)
+	if err != nil || !found || got.KeepIdx != m.KeepIdx {
+		t.Fatalf("load: %+v found=%v err=%v", got, found, err)
+	}
+	// A flipped byte fails the CRC.
+	path := filepath.Join(dir, ManifestFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(dir); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("corrupt load: %v", err)
+	}
+}
+
+func TestPolicyPlan(t *testing.T) {
+	st := State{
+		Channels: map[string]ChannelState{
+			"big":   {Floor: 10, Height: 110}, // 100 retained
+			"small": {Floor: 0, Height: 3},    // 3 retained
+			"empty": {Floor: 0, Height: 0},
+		},
+		Bytes: 1000,
+	}
+
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	if (Policy{}).Plan(st) != nil {
+		t.Fatal("zero policy planned a compaction")
+	}
+
+	// Count trigger: only channels over the bound move, down to the bound.
+	p := Policy{RetainBlocks: 20}
+	if !p.Due(st) {
+		t.Fatal("count policy not due at 100 retained")
+	}
+	floors := p.Plan(st)
+	if floors["big"] != 90 {
+		t.Fatalf("big floor = %d, want 90", floors["big"])
+	}
+	if _, ok := floors["small"]; ok {
+		t.Fatal("small channel under the bound was planned")
+	}
+
+	// Slack delays the trigger near the bound.
+	nearly := State{Channels: map[string]ChannelState{"ch": {Floor: 0, Height: 21}}}
+	if p.Due(nearly) {
+		t.Fatal("due with only 1 block of overshoot despite slack")
+	}
+
+	// Bytes trigger: every channel halves its retained window, but at
+	// least one block always stays.
+	pb := Policy{RetainBytes: 500}
+	floors = pb.Plan(st)
+	if floors["big"] != 60 {
+		t.Fatalf("bytes-trigger big floor = %d, want 60", floors["big"])
+	}
+	if floors["small"] != 1 {
+		t.Fatalf("bytes-trigger small floor = %d, want 1", floors["small"])
+	}
+	if _, ok := floors["empty"]; ok {
+		t.Fatal("empty channel was planned")
+	}
+	under := State{Channels: st.Channels, Bytes: 100}
+	if pb.Due(under) {
+		t.Fatal("bytes policy due under the cap")
+	}
+}

@@ -1,0 +1,318 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+)
+
+// listSegments returns the block store's segment file names, sorted.
+func listSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// snapshotFiles reads every segment file into memory.
+func snapshotFiles(t *testing.T, paths []string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p] = raw
+	}
+	return out
+}
+
+func TestBlockStoreCompactionPrunesSegmentsAndFloorsReads(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := makeChain(t, 40)
+	for _, b := range chain {
+		if err := s.Put("ch", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := listSegments(t, dir)
+	if len(before) < 4 {
+		t.Fatalf("want several segments, got %d", len(before))
+	}
+
+	applied, err := s.CompactTo(map[string]uint64{"ch": 30})
+	if err != nil {
+		t.Fatalf("CompactTo: %v", err)
+	}
+	if applied["ch"] != 30 {
+		t.Fatalf("applied = %v", applied)
+	}
+	after := listSegments(t, dir)
+	if len(after) >= len(before) {
+		t.Fatalf("compaction deleted nothing: %d -> %d segments", len(before), len(after))
+	}
+	if got := s.Floor("ch"); got != 30 {
+		t.Fatalf("floor = %d", got)
+	}
+
+	// Below-floor reads answer the typed pruned error; the floor upward
+	// still serves.
+	_, err = s.ReadBlocks("ch", 0, 5)
+	var pe *fabric.PrunedError
+	if !errors.As(err, &pe) || pe.Floor != 30 {
+		t.Fatalf("below-floor read: %v", err)
+	}
+	got, err := s.ReadBlocks("ch", 30, 40)
+	if err != nil || len(got) != 10 || got[0].Header.Number != 30 {
+		t.Fatalf("floor read = %d blocks, err %v", len(got), err)
+	}
+	if err := fabric.VerifyChain(got); err != nil {
+		t.Fatalf("retained chain: %v", err)
+	}
+	// Floors never regress and at least one block stays retained.
+	if applied, err := s.CompactTo(map[string]uint64{"ch": 10}); err != nil || applied != nil {
+		t.Fatalf("regressing compaction applied %v, err %v", applied, err)
+	}
+	if applied, err := s.CompactTo(map[string]uint64{"ch": 99}); err != nil || applied["ch"] != 39 {
+		t.Fatalf("over-height compaction applied %v, err %v", applied, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery loads the manifest first: the chain serves from the floor.
+	s2, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer s2.Close()
+	info := s2.Chains()["ch"]
+	if info.Floor != 39 || info.Height != 40 {
+		t.Fatalf("recovered frontier = %+v", info)
+	}
+	if info.Anchor != chain[38].Header.Hash() {
+		t.Fatal("recovered anchor is not the pruned predecessor's hash")
+	}
+	if info.LastHash != chain[39].Header.Hash() {
+		t.Fatal("recovered last hash differs")
+	}
+	if _, err := s2.ReadBlocks("ch", 20, 5); !errors.Is(err, fabric.ErrPruned) {
+		t.Fatalf("below-floor read after reopen: %v", err)
+	}
+}
+
+// TestCompactionCrashWindows simulates the two crash windows the manifest
+// ordering covers: a kill after the manifest write but before any segment
+// deletion, and a kill after only some deletions. Both must recover a
+// contiguous chain from the manifest floor (and finish the interrupted
+// deletions).
+func TestCompactionCrashWindows(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		// restore selects which deleted segments reappear before reopen:
+		// all of them (crash before any deletion) or all but the oldest
+		// (crash between deletions; deletion runs oldest-first, so the
+		// surviving set is a suffix).
+		restoreAll bool
+	}{
+		{name: "before-any-deletion", restoreAll: true},
+		{name: "between-deletions", restoreAll: false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain := makeChain(t, 40)
+			for _, b := range chain {
+				if err := s.Put("ch", b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := listSegments(t, dir)
+			saved := snapshotFiles(t, before)
+			if _, err := s.CompactTo(map[string]uint64{"ch": 30}); err != nil {
+				t.Fatal(err)
+			}
+			after := listSegments(t, dir)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			kept := make(map[string]bool, len(after))
+			for _, p := range after {
+				kept[p] = true
+			}
+			var deleted []string
+			for _, p := range before {
+				if !kept[p] {
+					deleted = append(deleted, p)
+				}
+			}
+			if len(deleted) < 2 {
+				t.Fatalf("need >= 2 deleted segments to exercise the windows, got %d", len(deleted))
+			}
+			restore := deleted
+			if !tc.restoreAll {
+				restore = deleted[1:] // the oldest deletion completed
+			}
+			for _, p := range restore {
+				if err := os.WriteFile(p, saved[p], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Recovery: manifest first, then finish the deletions.
+			s2, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+			if err != nil {
+				t.Fatalf("reopen mid-compaction: %v", err)
+			}
+			defer s2.Close()
+			info := s2.Chains()["ch"]
+			if info.Floor != 30 || info.Height != 40 {
+				t.Fatalf("recovered frontier = %+v", info)
+			}
+			got, err := s2.ReadBlocks("ch", 30, 40)
+			if err != nil || len(got) != 10 {
+				t.Fatalf("read from floor = %d blocks, err %v", len(got), err)
+			}
+			if err := fabric.VerifyChain(got); err != nil {
+				t.Fatalf("recovered chain from floor: %v", err)
+			}
+			if got[0].Header.PrevHash != info.Anchor {
+				t.Fatal("first retained block does not carry the manifest anchor")
+			}
+			if _, err := s2.ReadBlocks("ch", 0, 5); !errors.Is(err, fabric.ErrPruned) {
+				t.Fatalf("below-floor read after crash recovery: %v", err)
+			}
+			// The interrupted deletions were re-applied at open.
+			reopened := listSegments(t, dir)
+			for _, p := range deleted {
+				for _, q := range reopened {
+					if p == q {
+						t.Fatalf("segment %s survived recovery", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReadBlocksUsesOffsetIndexNotPrefixScan proves the read path is a
+// positioned read: corrupting an EARLIER record in a sealed segment must
+// not affect reading a LATER block from the same segment (a
+// decode-from-zero prefix scan would trip over the corrupt record).
+func TestReadBlocksUsesOffsetIndexNotPrefixScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	chain := makeChain(t, 30)
+	for _, b := range chain {
+		if err := s.Put("ch", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.wal.mu.Lock()
+	if len(s.wal.segments) < 3 {
+		s.wal.mu.Unlock()
+		t.Fatalf("want several segments, got %d", len(s.wal.segments))
+	}
+	seg := s.wal.segments[0] // sealed: the writer only appends to the last
+	s.wal.mu.Unlock()
+	if seg.last <= seg.first {
+		t.Fatalf("first segment holds %d records", seg.last-seg.first+1)
+	}
+
+	// Flip a payload byte of the segment's FIRST record on disk.
+	f, err := os.OpenFile(seg.path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], seg.offsets[0]+recordHeaderSize+2); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], seg.offsets[0]+recordHeaderSize+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Block numbers are wal index - 1 here (single channel). The last
+	// record of the corrupted segment must still read cleanly.
+	lastBlock := seg.last - 1
+	got, err := s.ReadBlocks("ch", lastBlock, 1)
+	if err != nil || len(got) != 1 || got[0].Header.Number != lastBlock {
+		t.Fatalf("offset read of block %d: %d blocks, err %v", lastBlock, len(got), err)
+	}
+	// The corrupted record itself fails its CRC.
+	if _, err := s.ReadBlocks("ch", seg.first-1, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt record read: %v", err)
+	}
+}
+
+func TestBlockStoreRebaseJumpsOverPrunedGap(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := makeChain(t, 5)
+	for _, b := range chain {
+		if err := s.Put("ch", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cluster pruned blocks 5..19 away while this node was down: jump
+	// to floor 20, anchored by the (trusted) PrevHash of block 20.
+	anchor := cryptoutil.Hash([]byte("pruned-predecessor"))
+	if err := s.RebaseBlocks("ch", 20, anchor); err != nil {
+		t.Fatalf("RebaseBlocks: %v", err)
+	}
+	if h, f := s.Height("ch"), s.Floor("ch"); h != 20 || f != 20 {
+		t.Fatalf("after rebase: height %d floor %d", h, f)
+	}
+	b20 := fabric.NewBlock(20, anchor, [][]byte{chain[0].Envelopes[0]})
+	if err := s.Put("ch", b20); err != nil {
+		t.Fatalf("put after rebase: %v", err)
+	}
+	if _, err := s.ReadBlocks("ch", 0, 5); !errors.Is(err, fabric.ErrPruned) {
+		t.Fatalf("stale read after rebase: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebase manifest governs recovery: the stale records below the
+	// floor are skipped, the rebased chain serves.
+	s2, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatalf("reopen after rebase: %v", err)
+	}
+	defer s2.Close()
+	info := s2.Chains()["ch"]
+	if info.Floor != 20 || info.Height != 21 || info.Anchor != anchor {
+		t.Fatalf("recovered frontier = %+v", info)
+	}
+	got, err := s2.ReadBlocks("ch", 20, 5)
+	if err != nil || len(got) != 1 || got[0].Header.Hash() != b20.Header.Hash() {
+		t.Fatalf("rebased read = %d blocks, err %v", len(got), err)
+	}
+}

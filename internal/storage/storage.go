@@ -5,7 +5,9 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/storage/retention"
 	"repro/internal/wire"
 )
 
@@ -17,7 +19,9 @@ type DecidedEntry struct {
 
 // RecoveredState is everything a restarting node gets back from disk: the
 // newest consensus checkpoint, the decided batches logged after it, and
-// the persisted block chains.
+// the persisted chains' frontiers. Chains carry no blocks — recovery is
+// O(manifest + log tail), and ledgers restored from a ChainInfo page
+// blocks back from the store on demand.
 type RecoveredState struct {
 	// CheckpointSeq is the sequence of the newest checkpoint, -1 when no
 	// checkpoint was ever written.
@@ -27,8 +31,9 @@ type RecoveredState struct {
 	// Decisions are the logged batches with Seq > CheckpointSeq, in
 	// sequence order.
 	Decisions []DecidedEntry
-	// Blocks are the persisted chains, keyed by channel.
-	Blocks map[string][]*fabric.Block
+	// Chains are the persisted chains' frontiers (floor, anchor, height,
+	// last hash), keyed by channel.
+	Chains map[string]ChainInfo
 }
 
 // NodeStorage is one ordering node's durable state, rooted at a data
@@ -62,6 +67,13 @@ type Options struct {
 	// and the block store (default 4 MiB). Smaller segments mean
 	// finer-grained pruning behind checkpoints at the cost of more files.
 	SegmentBytes int64
+	// BlockSegmentBytes overrides the block store's segment size
+	// independently (zero inherits SegmentBytes). Retention deletes whole
+	// block segments, so this is the compaction granularity — and block
+	// records are a single block each, far smaller than the decision
+	// log's batch records, so the block store tolerates much smaller
+	// segments.
+	BlockSegmentBytes int64
 	// NoSync disables fsync everywhere. Only for benchmarks isolating the
 	// write path.
 	NoSync bool
@@ -82,9 +94,13 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 	if err != nil {
 		return nil, err
 	}
+	blockSegment := opts.BlockSegmentBytes
+	if blockSegment <= 0 {
+		blockSegment = opts.SegmentBytes
+	}
 	blocks, err := OpenBlockStore(WALConfig{
 		Dir:          filepath.Join(dir, "blocks"),
-		SegmentBytes: opts.SegmentBytes,
+		SegmentBytes: blockSegment,
 		NoSync:       opts.NoSync,
 	})
 	if err != nil {
@@ -141,7 +157,7 @@ func (s *NodeStorage) recover() error {
 		return fmt.Errorf("%w: decision log starts at seq %d after checkpoint %d",
 			ErrCorrupt, st.Decisions[0].Seq, st.CheckpointSeq)
 	}
-	st.Blocks = s.blocks.Recovered()
+	st.Chains = s.blocks.Chains()
 	s.recovered = st
 	return nil
 }
@@ -152,7 +168,7 @@ func (s *NodeStorage) Recovered() *RecoveredState {
 	st := s.recovered
 	s.recovered = nil
 	if st == nil {
-		st = &RecoveredState{CheckpointSeq: -1, Blocks: map[string][]*fabric.Block{}}
+		st = &RecoveredState{CheckpointSeq: -1, Chains: map[string]ChainInfo{}}
 	}
 	return st
 }
@@ -216,10 +232,39 @@ func (s *NodeStorage) BlockHeight(channel string) uint64 {
 // ReadBlocks reads up to max persisted blocks of a channel back from disk,
 // starting at block number start (fabric.BlockReader). Ledgers backed by a
 // NodeStorage therefore keep only a bounded tail in memory and page older
-// blocks in on demand.
+// blocks in on demand. A start below the retention floor answers
+// fabric.ErrPruned.
 func (s *NodeStorage) ReadBlocks(channel string, start uint64, max int) ([]*fabric.Block, error) {
 	return s.blocks.ReadBlocks(channel, start, max)
 }
+
+// BlockFloor returns a channel's retention floor: the first block number
+// the store still serves.
+func (s *NodeStorage) BlockFloor(channel string) uint64 {
+	return s.blocks.Floor(channel)
+}
+
+// RetentionState reports the block store's retained windows and on-disk
+// size (retention.Store).
+func (s *NodeStorage) RetentionState() retention.State {
+	return s.blocks.RetentionState()
+}
+
+// CompactTo snapshots and prunes the block store to the given per-channel
+// floors (retention.Store). The decision log is unaffected — consensus
+// checkpoints already prune it.
+func (s *NodeStorage) CompactTo(floors map[string]uint64) (map[string]uint64, error) {
+	return s.blocks.CompactTo(floors)
+}
+
+// RebaseBlocks jumps a channel's durable chain over a cluster-wide pruned
+// gap (fabric.BlockRebaser).
+func (s *NodeStorage) RebaseBlocks(channel string, floor uint64, anchor cryptoutil.Digest) error {
+	return s.blocks.RebaseBlocks(channel, floor, anchor)
+}
+
+// BlockStoreBytes returns the block store's on-disk size.
+func (s *NodeStorage) BlockStoreBytes() int64 { return s.blocks.SizeBytes() }
 
 // Dir returns the storage root.
 func (s *NodeStorage) Dir() string { return s.dir }

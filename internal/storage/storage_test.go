@@ -131,7 +131,17 @@ func TestBlockStoreRecoverAndIdempotence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	rec := s2.Recovered()["ch"]
+	info := s2.Chains()["ch"]
+	if info.Height != 5 || info.Floor != 0 {
+		t.Fatalf("recovered frontier = %+v", info)
+	}
+	if info.LastHash != chain[4].Header.Hash() {
+		t.Fatal("recovered last hash differs")
+	}
+	rec, err := s2.ReadBlocks("ch", 0, 5)
+	if err != nil {
+		t.Fatalf("reading recovered chain: %v", err)
+	}
 	if len(rec) != 5 {
 		t.Fatalf("recovered %d blocks", len(rec))
 	}
@@ -191,8 +201,8 @@ func TestNodeStorageRecoverSequence(t *testing.T) {
 			t.Fatalf("decision %d batch corrupted: %v", i, e.Batch)
 		}
 	}
-	if len(rec.Blocks["ch"]) != 3 {
-		t.Fatalf("blocks recovered: %d", len(rec.Blocks["ch"]))
+	if info := rec.Chains["ch"]; info.Height != 3 || info.Floor != 0 {
+		t.Fatalf("chain frontier recovered: %+v", info)
 	}
 }
 
@@ -225,13 +235,19 @@ func TestNodeStorageReplayIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := s2.Recovered()
-	// Recovery-style replay: push everything we just recovered back in.
+	// Recovery-style replay: push everything we just recovered back in
+	// (a recovering node re-executes the logged decisions, which re-seals
+	// and re-persists the tail blocks).
 	for _, e := range rec.Decisions {
 		if err := s2.AppendDecision(e.Seq, e.Batch); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for _, b := range rec.Blocks["ch"] {
+	replayed, err := s2.ReadBlocks("ch", 0, len(chain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range replayed {
 		if err := s2.PutBlock("ch", b); err != nil {
 			t.Fatal(err)
 		}
@@ -249,8 +265,8 @@ func TestNodeStorageReplayIdempotent(t *testing.T) {
 	if len(rec3.Decisions) != len(rec.Decisions) {
 		t.Fatalf("decisions grew under replay: %d -> %d", len(rec.Decisions), len(rec3.Decisions))
 	}
-	if len(rec3.Blocks["ch"]) != len(rec.Blocks["ch"]) {
-		t.Fatalf("blocks grew under replay: %d -> %d", len(rec.Blocks["ch"]), len(rec3.Blocks["ch"]))
+	if rec3.Chains["ch"].Height != rec.Chains["ch"].Height {
+		t.Fatalf("blocks grew under replay: %d -> %d", rec.Chains["ch"].Height, rec3.Chains["ch"].Height)
 	}
 }
 
@@ -293,16 +309,16 @@ func TestTornBlockWALRecoversToDurablePrefix(t *testing.T) {
 	}
 	defer s2.Close()
 	rec := s2.Recovered()
-	blocks := rec.Blocks["ch"]
-	if len(blocks) != 5 {
-		t.Fatalf("recovered %d blocks after torn tail, want 5", len(blocks))
+	chainInfo := rec.Chains["ch"]
+	if chainInfo.Height != 5 {
+		t.Fatalf("recovered height %d after torn tail, want 5", chainInfo.Height)
 	}
-	led := fabric.NewPersistentLedger("ch", s2)
-	for _, b := range blocks {
-		if err := led.Append(b); err != nil {
-			t.Fatalf("rebuilding ledger: %v", err)
-		}
-	}
+	led := fabric.RestoreLedger("ch", s2, fabric.ChainState{
+		Floor:    chainInfo.Floor,
+		Anchor:   chainInfo.Anchor,
+		Height:   chainInfo.Height,
+		LastHash: chainInfo.LastHash,
+	})
 	if err := led.VerifyChain(); err != nil {
 		t.Fatalf("recovered chain does not verify: %v", err)
 	}
@@ -397,7 +413,7 @@ func TestBlockStoreRandomAccessReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	s2.Recovered() // release the replayed chains; reads must hit disk
+	s2.Chains() // release the recovered frontiers; reads must hit disk
 	check(s2, "reopened")
 }
 

@@ -64,6 +64,12 @@ type segment struct {
 	path  string
 	first uint64 // index of the segment's first record
 	last  uint64 // index of the segment's last record (first-1 when empty)
+	size  int64  // committed bytes (maintained for the active segment too)
+	// offsets[i] is the byte offset of record first+i inside the file:
+	// the index that turns a record read into a single seek-and-read
+	// instead of a decode-from-zero prefix scan. Rebuilt for free during
+	// the open-time validation walk; appended to on every commit.
+	offsets []int64
 }
 
 // appendReq is one enqueued append awaiting group commit.
@@ -156,7 +162,7 @@ func (w *WAL) scan() error {
 	for i := range segs {
 		seg := &segs[i]
 		tail := i == len(segs)-1
-		count, validLen, err := validateSegment(seg.path)
+		count, validLen, offsets, err := validateSegment(seg.path)
 		if err != nil {
 			if !tail {
 				return fmt.Errorf("%w: segment %s: %v", ErrCorrupt, seg.path, err)
@@ -167,6 +173,8 @@ func (w *WAL) scan() error {
 			}
 		}
 		seg.last = seg.first + count - 1 // first-1 when empty
+		seg.size = validLen
+		seg.offsets = offsets
 		if i > 0 && seg.first != segs[i-1].last+1 {
 			return fmt.Errorf("%w: segment %s does not follow index %d",
 				ErrCorrupt, seg.path, segs[i-1].last)
@@ -180,44 +188,46 @@ func (w *WAL) scan() error {
 }
 
 // validateSegment walks a segment file and returns the number of valid
-// records and the byte offset of the first invalid frame (== file size when
-// the whole file is valid). A non-nil error means the file has a torn or
-// corrupt tail starting at validLen.
-func validateSegment(path string) (count uint64, validLen int64, err error) {
+// records, the byte offset of the first invalid frame (== file size when
+// the whole file is valid), and the byte offset of every valid record. A
+// non-nil error means the file has a torn or corrupt tail starting at
+// validLen.
+func validateSegment(path string) (count uint64, validLen int64, offsets []int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	defer f.Close()
 	info, err := f.Stat()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	size := info.Size()
 	var hdr [recordHeaderSize]byte
 	for validLen < size {
 		if size-validLen < recordHeaderSize {
-			return count, validLen, fmt.Errorf("torn header at %d", validLen)
+			return count, validLen, offsets, fmt.Errorf("torn header at %d", validLen)
 		}
 		if _, err := f.ReadAt(hdr[:], validLen); err != nil {
-			return count, validLen, err
+			return count, validLen, offsets, err
 		}
 		n := binary.BigEndian.Uint32(hdr[:4])
 		sum := binary.BigEndian.Uint32(hdr[4:])
 		if n > maxRecordSize || int64(n) > size-validLen-recordHeaderSize {
-			return count, validLen, fmt.Errorf("torn record at %d", validLen)
+			return count, validLen, offsets, fmt.Errorf("torn record at %d", validLen)
 		}
 		payload := make([]byte, n)
 		if _, err := f.ReadAt(payload, validLen+recordHeaderSize); err != nil {
-			return count, validLen, err
+			return count, validLen, offsets, err
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return count, validLen, fmt.Errorf("crc mismatch at %d", validLen)
+			return count, validLen, offsets, fmt.Errorf("crc mismatch at %d", validLen)
 		}
+		offsets = append(offsets, validLen)
 		validLen += recordHeaderSize + int64(n)
 		count++
 	}
-	return count, validLen, nil
+	return count, validLen, offsets, nil
 }
 
 // openActive opens the newest segment for appending, creating the first
@@ -363,6 +373,7 @@ func (w *WAL) commitLocked(group []*appendReq) error {
 			return err
 		}
 		w.size += int64(len(buf))
+		w.segments[len(w.segments)-1].size = w.size
 		buf = buf[:0]
 		dirty = true
 		return nil
@@ -379,7 +390,9 @@ func (w *WAL) commitLocked(group []*appendReq) error {
 		}
 		req.idx = w.next
 		w.next++
-		w.segments[len(w.segments)-1].last = req.idx
+		seg := &w.segments[len(w.segments)-1]
+		seg.last = req.idx
+		seg.offsets = append(seg.offsets, w.size+int64(len(buf)))
 		var hdr [recordHeaderSize]byte
 		binary.BigEndian.PutUint32(hdr[:4], uint32(len(req.rec)))
 		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(req.rec))
@@ -472,10 +485,12 @@ func replaySegment(seg segment, fn func(idx uint64, rec []byte) error) error {
 // record bytes are never rewritten and the scan stops at the snapshot's
 // last committed index of each segment, before any frame a concurrent
 // group commit may be appending. The caller must ensure the segments it
-// reads are not pruned concurrently (the block store's log never prunes;
-// the decision log prunes but is only ever replayed at open). Indices
-// below the pruning floor are silently absent. A non-nil error from fn
-// aborts the walk.
+// reads are not pruned concurrently: the decision log prunes but is only
+// ever replayed at open, and the block store — whose log prunes under
+// retention — only calls ReadRange during open-time recovery; its
+// concurrent read path is ReadRecords, which translates a deleted
+// segment into ErrRecordGone. Indices below the pruning floor are
+// silently absent. A non-nil error from fn aborts the walk.
 func (w *WAL) ReadRange(from, to uint64, fn func(idx uint64, rec []byte) error) error {
 	if from == 0 {
 		from = 1
@@ -520,6 +535,97 @@ func (w *WAL) ReadRange(from, to uint64, fn func(idx uint64, rec []byte) error) 
 
 // errStopReplay aborts a range walk early once the range is covered.
 var errStopReplay = errors.New("storage: stop replay")
+
+// ErrRecordGone reports a record that vanished under a reader: its index
+// fell below the pruning floor (or its segment file was deleted)
+// between the caller's index lookup and the read. Callers that prune
+// concurrently (the block store under retention) translate it by
+// re-checking their floor.
+var ErrRecordGone = errors.New("storage: record pruned during read")
+
+// ReadRecords streams the records with the given indices (which must be
+// sorted ascending and committed) to fn, in order. Each record is a
+// single positioned read through the per-segment offset index — no
+// prefix decoding — so serving a window of blocks costs O(window) reads
+// regardless of where in its segment the window starts. Records whose
+// index fell below the pruning floor (a concurrent compaction) surface
+// as ErrRecordGone. A non-nil error from fn aborts the walk.
+func (w *WAL) ReadRecords(idxs []uint64, fn func(idx uint64, rec []byte) error) error {
+	if len(idxs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	segs := append([]segment(nil), w.segments...)
+	w.mu.Unlock()
+
+	pos := 0
+	for _, seg := range segs {
+		if pos >= len(idxs) {
+			break
+		}
+		if seg.last < seg.first || seg.last < idxs[pos] {
+			continue
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return fmt.Errorf("%w: segment %s", ErrRecordGone, seg.path)
+			}
+			return fmt.Errorf("storage: %w", err)
+		}
+		for pos < len(idxs) && idxs[pos] >= seg.first && idxs[pos] <= seg.last {
+			idx := idxs[pos]
+			rec, err := readRecordAt(f, seg.offsets[idx-seg.first])
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%w: record %d in %s: %v", ErrCorrupt, idx, seg.path, err)
+			}
+			if err := fn(idx, rec); err != nil {
+				f.Close()
+				return err
+			}
+			pos++
+		}
+		f.Close()
+	}
+	if pos < len(idxs) {
+		return fmt.Errorf("%w: record %d", ErrRecordGone, idxs[pos])
+	}
+	return nil
+}
+
+// readRecordAt reads and CRC-checks one framed record at a known offset.
+func readRecordAt(f *os.File, off int64) ([]byte, error) {
+	var hdr [recordHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	sum := binary.BigEndian.Uint32(hdr[4:])
+	if n > maxRecordSize {
+		return nil, fmt.Errorf("oversized record (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := f.ReadAt(payload, off+recordHeaderSize); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("crc mismatch at offset %d", off)
+	}
+	return payload, nil
+}
+
+// SizeBytes returns the committed on-disk size of the log (the sum of
+// all segment sizes). Retention policies use it as the bytes trigger.
+func (w *WAL) SizeBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total int64
+	for _, seg := range w.segments {
+		total += seg.size
+	}
+	return total
+}
 
 // FirstIndex returns the index of the oldest retained record (0 when the
 // log is empty).
