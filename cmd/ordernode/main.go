@@ -57,6 +57,8 @@ func run() error {
 	blockSegment := flag.Int64("block-segment-bytes", 0, "block-store segment size (retention compaction granularity; 0 inherits -wal-segment-bytes)")
 	retainBlocks := flag.Uint64("retain-blocks", 0, "durable blocks retained per channel before block-store compaction prunes below the floor (0 = retain everything)")
 	retainBytes := flag.Int64("retain-bytes", 0, "block-store on-disk size that triggers compaction (0 = no bytes trigger); SIGHUP forces a compaction")
+	commitDelay := flag.Duration("commit-max-delay", 0, "fsync coalescing window of the shared commit queue (0 = commit greedily); longer waves trade commit latency for fewer fsyncs")
+	commitBatch := flag.Int("commit-max-batch", 0, "max records one log contributes to a single fsync wave (0 = default 1024)")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
@@ -122,6 +124,8 @@ func run() error {
 		BlockWALSegmentBytes: *blockSegment,
 		RetainBlocks:         *retainBlocks,
 		RetainBytes:          *retainBytes,
+		CommitMaxDelay:       *commitDelay,
+		CommitMaxBatch:       *commitBatch,
 	}, conn)
 	if err != nil {
 		return err

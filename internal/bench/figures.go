@@ -103,6 +103,9 @@ type Fig7Cell struct {
 	// rooted there, so the measured throughput includes the WAL fsync
 	// cost a production deployment pays.
 	DataDir string
+	// CommitMaxDelay is each node's fsync coalescing window (see
+	// core.ClusterConfig); zero commits greedily.
+	CommitMaxDelay time.Duration
 }
 
 func (c Fig7Cell) withDefaults() Fig7Cell {
@@ -157,6 +160,7 @@ func RunFigure7Cell(cell Fig7Cell) (Fig7Row, error) {
 		CheckpointInterval: 64,
 		Network:            network,
 		DataDir:            cell.DataDir,
+		CommitMaxDelay:     cell.CommitMaxDelay,
 	})
 	if err != nil {
 		return Fig7Row{}, err

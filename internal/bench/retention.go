@@ -52,8 +52,13 @@ type RetentionBenchRow struct {
 	// PeakBytes is the largest on-disk size observed across the run —
 	// the number the retention cap is supposed to bound.
 	PeakBytes int64
-	// BytesBeforeCompaction and BytesAfterCompaction bracket the final
-	// explicit compaction.
+	// BytesBeforeCompaction and BytesAfterCompaction bracket the last
+	// compaction that actually reclaimed disk: the before sample is
+	// taken immediately before CompactTo, the after sample immediately
+	// after, so the pair shows what one compaction reclaims. (A
+	// compaction may advance floors without freeing a whole segment —
+	// such no-reclaim runs are counted in Compactions but do not
+	// overwrite the pair.)
 	BytesBeforeCompaction int64
 	BytesAfterCompaction  int64
 	// AppendedBytes approximates the total bytes the workload wrote
@@ -95,27 +100,49 @@ func RunRetentionBench(cfg RetentionBenchConfig) (RetentionBenchRow, error) {
 		}
 		row.AppendedBytes += int64(len(b.Marshal())) + 24 // record framing + channel
 		if st := store.RetentionState(); cfg.Policy.Due(st) {
+			// Sample the on-disk size before the compaction runs —
+			// sampling afterwards (or outside the compaction entirely)
+			// reports before == after and turns the disk-growth gate
+			// vacuous.
+			before := store.SizeBytes()
+			if before > row.PeakBytes {
+				row.PeakBytes = before
+			}
 			if _, err := store.CompactTo(cfg.Policy.Plan(st)); err != nil {
 				return row, fmt.Errorf("bench: compacting at block %d: %w", i, err)
 			}
 			row.Compactions++
+			// Whole segments are the pruning granularity, so a compaction
+			// may advance floors without freeing bytes; only a reclaiming
+			// run updates the tracked pair.
+			if after := store.SizeBytes(); after < before {
+				row.BytesBeforeCompaction = before
+				row.BytesAfterCompaction = after
+			}
 		}
 		if size := store.SizeBytes(); size > row.PeakBytes {
 			row.PeakBytes = size
 		}
 	}
-	row.BytesBeforeCompaction = store.SizeBytes()
 	// Final explicit compaction (the admin trigger): everything above the
-	// policy floor is retained, everything below is dropped.
+	// policy floor is retained, everything below is dropped. Sampled the
+	// same way.
 	if floors := cfg.Policy.Plan(store.RetentionState()); len(floors) > 0 {
-		if _, err := store.CompactTo(floors); err != nil {
+		before := store.SizeBytes()
+		applied, err := store.CompactTo(floors)
+		if err != nil {
 			return row, fmt.Errorf("bench: final compaction: %w", err)
 		}
-		row.Compactions++
+		if len(applied) > 0 {
+			row.Compactions++
+		}
+		if after := store.SizeBytes(); after < before {
+			row.BytesBeforeCompaction = before
+			row.BytesAfterCompaction = after
+		}
 	}
-	row.BytesAfterCompaction = store.SizeBytes()
-	if row.BytesAfterCompaction > row.PeakBytes {
-		row.PeakBytes = row.BytesAfterCompaction
+	if size := store.SizeBytes(); size > row.PeakBytes {
+		row.PeakBytes = size
 	}
 	row.Floor = store.Floor("bench")
 	return row, nil

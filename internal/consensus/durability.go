@@ -24,6 +24,35 @@ type Durability interface {
 	SaveCheckpoint(seq int64, snapshot []byte) error
 }
 
+// DecisionToken tracks an asynchronously enqueued decision record: Wait
+// blocks until the record is fsynced and returns the commit error, if
+// any.
+type DecisionToken interface {
+	Wait() error
+}
+
+// AsyncDurability is the optional extension backends implement when they
+// can enqueue a decision record and complete it on a later group commit
+// (storage.NodeStorage's shared commit queue). A replica whose backend
+// implements it logs decisions without blocking the event loop on the
+// fsync: the record is enqueued in sequence order, the loop keeps
+// executing, and the application gates externally visible effects on the
+// token — the write-ahead discipline moves from "fsync before execute"
+// to "fsync before anything leaves the node", which is what the paper
+// actually requires, at a fraction of the stall.
+type AsyncDurability interface {
+	Durability
+	// AppendDecisionAsync enqueues the decided batch of instance seq for
+	// the next group commit and returns its durability token. Appends
+	// must commit in call order.
+	AppendDecisionAsync(seq int64, batch [][]byte) DecisionToken
+	// SaveCheckpointAsync persists the snapshot off the calling
+	// goroutine (a checkpoint subsumes older ones, so backends may
+	// coalesce). The replica uses it so the checkpoint fsyncs never run
+	// on the event loop either.
+	SaveCheckpointAsync(seq int64, snapshot []byte)
+}
+
 // DurableEntry is one logged decision handed back at recovery.
 type DurableEntry struct {
 	Seq   int64
@@ -48,6 +77,9 @@ type DurableState struct {
 func WithDurability(d Durability, state *DurableState) Option {
 	return func(r *Replica) {
 		r.durable = d
+		if ad, ok := d.(AsyncDurability); ok {
+			r.durableAsync = ad
+		}
 		r.recoverState = state
 	}
 }
@@ -105,6 +137,16 @@ func (r *Replica) logDecision(seq int64, batch [][]byte) {
 	if r.durable == nil || seq != r.durableSeq+1 {
 		return
 	}
+	if r.durableAsync != nil {
+		// Enqueue and keep going: records commit in call order, so the
+		// on-disk log stays dense, and the application gates visible
+		// effects on the token. A commit failure poisons the backend's
+		// log (later enqueues fail too) and surfaces on the token at the
+		// gate — the event loop itself never stalls on the fsync.
+		r.durableAsync.AppendDecisionAsync(seq, batch)
+		r.durableSeq = seq
+		return
+	}
 	if err := r.durable.AppendDecision(seq, batch); err != nil {
 		// Durability is lost but the replica can still make progress in
 		// memory; surface the failure loudly rather than killing consensus.
@@ -121,6 +163,18 @@ func (r *Replica) logCheckpoint(seq int64, snapshot []byte) {
 	if r.durable == nil {
 		return
 	}
+	if r.durableAsync != nil && seq <= r.durableSeq {
+		// Routine checkpoint: every decision at or below seq is already
+		// in the durable log (or enqueued ahead of this save's effects),
+		// so the checkpoint is pure optimization — it only shortens
+		// recovery's replay — and the loop need not wait for its fsyncs.
+		r.durableAsync.SaveCheckpointAsync(seq, snapshot)
+		return
+	}
+	// Bridging checkpoint (seq > durableSeq, e.g. a state-transfer jump
+	// over decisions this replica never logged): it must be on disk
+	// before any later decision record, or a crash in between would
+	// leave a gap in the durable history. Save synchronously.
 	if err := r.durable.SaveCheckpoint(seq, snapshot); err != nil {
 		fmt.Fprintf(os.Stderr, "consensus: replica %d: checkpoint write failed at seq %d: %v\n",
 			r.cfg.SelfID, seq, err)

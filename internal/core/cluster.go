@@ -65,6 +65,15 @@ type ClusterConfig struct {
 	// RetainBytes bounds every node's block store size on disk. Zero
 	// disables the bytes trigger.
 	RetainBytes int64
+	// CommitMaxDelay tunes every node's shared commit queue: the fsync
+	// coalescing window (zero commits greedily).
+	CommitMaxDelay time.Duration
+	// CommitMaxBatch caps the records one log contributes to a single
+	// fsync wave (zero keeps the default).
+	CommitMaxBatch int
+	// CommitSyncHook, when set, runs at the start of every commit wave
+	// on every node (test instrumentation; see storage.Options.SyncHook).
+	CommitSyncHook func()
 }
 
 // Cluster is a running in-process ordering service.
@@ -166,6 +175,9 @@ func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 		BlockWALSegmentBytes: c.cfg.BlockWALSegmentBytes,
 		RetainBlocks:         c.cfg.RetainBlocks,
 		RetainBytes:          c.cfg.RetainBytes,
+		CommitMaxDelay:       c.cfg.CommitMaxDelay,
+		CommitMaxBatch:       c.cfg.CommitMaxBatch,
+		CommitSyncHook:       c.cfg.CommitSyncHook,
 	}, conn)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)

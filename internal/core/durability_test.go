@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -186,6 +187,171 @@ func TestRestartedNodeCatchesUpAcrossLeaderChange(t *testing.T) {
 	}
 	if reg := c.Nodes[3].Replica().Stats().Regency; reg < 1 {
 		t.Fatalf("restarted node never adopted the current regency (%d)", reg)
+	}
+}
+
+// TestBlockNotDisseminatedBeforeDecisionDurable proves the write-ahead
+// invariant under asynchronous decision logging: with every node's commit
+// waves stalled (decisions enqueued but not fsynced), consensus keeps
+// ordering and sealing blocks — the event loop is no longer serialized on
+// the fsync — but no block is persisted or disseminated anywhere, because
+// the send drain gates on the decision's durability token. Releasing the
+// waves lets everything flow. A node killed in the stalled window would
+// lose the blocks (see storage's crash-window test) — it can never have
+// shipped them unsynced.
+func TestBlockNotDisseminatedBeforeDecisionDurable(t *testing.T) {
+	release := make(chan struct{})
+	c := testCluster(t, ClusterConfig{
+		Nodes:          4,
+		BlockSize:      2,
+		DataDir:        t.TempDir(),
+		CommitSyncHook: func() { <-release },
+	})
+	// The hook must be released before cluster teardown, or Stop would
+	// wait forever on the stalled flush barriers.
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := deliverNewest(t, fe, "ch1")
+
+	const envs = 6 // 3 blocks
+	for i := 0; i < envs; i++ {
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d: %v", i, st)
+		}
+	}
+
+	// Consensus must make progress while every fsync is stalled: the
+	// decision log is enqueue-and-continue now.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Nodes[0].Stats().BlocksCut < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("consensus stalled with fsyncs held: %d blocks cut", c.Nodes[0].Stats().BlocksCut)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ...but nothing may leave any node before the decisions are on disk:
+	// no dissemination (the frontend sees nothing) and no block persist.
+	select {
+	case b := <-stream:
+		t.Fatalf("block %d disseminated before its decision was fsynced", b.Header.Number)
+	case <-time.After(300 * time.Millisecond):
+	}
+	for i := range c.Nodes {
+		if led := c.Nodes[i].Ledger("ch1"); led != nil && led.Height() > 0 {
+			t.Fatalf("node %d persisted %d blocks before the decisions were fsynced", i, led.Height())
+		}
+	}
+
+	// Release the fsync waves: the gated blocks drain in order.
+	released = true
+	close(release)
+	collectBlocks(t, stream, envs, 10*time.Second)
+	for i := range c.Nodes {
+		led := waitLedgerHeight(t, c.Nodes[i], "ch1", 3, 5*time.Second)
+		if err := led.VerifyChain(); err != nil {
+			t.Fatalf("node %d chain after release: %v", i, err)
+		}
+	}
+}
+
+// TestKillBetweenDecisionEnqueueAndBlockPersistRecovers extends the
+// kill/restart harness to the new crash window: a node is killed while
+// its commit waves are stalled — decisions enqueued on the shared queue,
+// blocks sealed but held at the durability gate, nothing persisted. The
+// kill's storage close flushes the enqueued decisions (they were accepted
+// into the queue), so restart recovery must replay them and re-persist
+// every block exactly once, leaving a verifiable chain at full height.
+func TestKillBetweenDecisionEnqueueAndBlockPersistRecovers(t *testing.T) {
+	release := make(chan struct{})
+	stall := make(chan struct{})
+	close(stall) // start released; armed per-test below
+	var hookMu sync.Mutex
+	hook := func() {
+		hookMu.Lock()
+		ch := stall
+		hookMu.Unlock()
+		<-ch
+	}
+	c := testCluster(t, ClusterConfig{
+		Nodes:          4,
+		BlockSize:      2,
+		DataDir:        t.TempDir(),
+		CommitSyncHook: hook,
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := deliverNewest(t, fe, "ch1")
+
+	submit := func(from, count int) {
+		t.Helper()
+		for i := from; i < from+count; i++ {
+			if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+				t.Fatalf("broadcast %d: %v", i, st)
+			}
+		}
+		collectBlocks(t, stream, count, 10*time.Second)
+	}
+
+	submit(0, 4) // blocks 0..1, fully durable everywhere
+	for i := range c.Nodes {
+		waitLedgerHeight(t, c.Nodes[i], "ch1", 2, 5*time.Second)
+	}
+
+	// Arm the stall and order more traffic: decisions for blocks 2..3 are
+	// enqueued but no node persists or disseminates them.
+	hookMu.Lock()
+	stall = release
+	hookMu.Unlock()
+	for i := 4; i < 8; i++ {
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d: %v", i, st)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Nodes[3].Stats().BlocksCut < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 3 stalled: %d blocks cut", c.Nodes[3].Stats().BlocksCut)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h := c.Nodes[3].Ledger("ch1").Height(); h != 2 {
+		t.Fatalf("node 3 persisted height %d while stalled, want 2", h)
+	}
+
+	// Release and immediately kill node 3: the close-time flush makes the
+	// enqueued decisions durable, but the block persists race the kill —
+	// recovery must land on the same chain either way.
+	close(release)
+	c.KillNode(3)
+	collectBlocks(t, stream, 4, 10*time.Second) // survivors deliver blocks 2..3
+
+	if err := c.RestartNode(3); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	// Recovery alone (decision-log replay, no new traffic) must re-seal
+	// and re-persist the blocks whose decisions were flushed at kill
+	// time, exactly once: height 4, hash chain intact.
+	led := waitLedgerHeight(t, c.Nodes[3], "ch1", 4, 10*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("recovered chain: %v", err)
+	}
+	for num := uint64(0); num < 4; num++ {
+		b, err := led.Block(num)
+		if err != nil || b.Header.Number != num {
+			t.Fatalf("block %d after recovery: %v", num, err)
+		}
+	}
+
+	// And the node keeps ordering on top of the recovered chain.
+	submit(8, 4) // blocks 4..5
+	led = waitLedgerHeight(t, c.Nodes[3], "ch1", 6, 15*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("extended chain: %v", err)
 	}
 }
 

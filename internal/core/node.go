@@ -98,6 +98,19 @@ type NodeConfig struct {
 	// independently (zero inherits WALSegmentBytes). Retention deletes
 	// whole block segments, so this is the compaction granularity.
 	BlockWALSegmentBytes int64
+	// CommitMaxDelay tunes the shared commit queue of storage opened via
+	// DataDir: how long an fsync wave waits after its first pending
+	// append before flushing, trading commit latency for larger groups.
+	// Zero commits greedily.
+	CommitMaxDelay time.Duration
+	// CommitMaxBatch caps the records one log contributes to a single
+	// fsync wave (zero keeps the default, 1024).
+	CommitMaxBatch int
+	// CommitSyncHook, when set, runs at the start of every commit wave
+	// of storage opened via DataDir. Test instrumentation: stalling it
+	// keeps every enqueued record non-durable, which is how the
+	// write-ahead gating tests hold blocks at the dissemination gate.
+	CommitSyncHook func()
 	// RetainBlocks bounds the durable blocks retained per channel: once a
 	// channel's ledger grows past it, the node snapshots a retention
 	// manifest and drops whole block-WAL segments below the floor. Seeks
@@ -236,6 +249,9 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		store, err = storage.Open(cfg.DataDir, storage.Options{
 			SegmentBytes:      cfg.WALSegmentBytes,
 			BlockSegmentBytes: cfg.BlockWALSegmentBytes,
+			CommitMaxDelay:    cfg.CommitMaxDelay,
+			CommitMaxBatch:    cfg.CommitMaxBatch,
+			SyncHook:          cfg.CommitSyncHook,
 		})
 		if err != nil {
 			if signer != nil {
@@ -288,7 +304,7 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 				LastHash: info.LastHash,
 			})
 		}
-		opts = append(opts, consensus.WithDurability(n.storage, &consensus.DurableState{
+		opts = append(opts, consensus.WithDurability(asyncDurability{n.storage}, &consensus.DurableState{
 			CheckpointSeq: rec.CheckpointSeq,
 			Checkpoint:    rec.Checkpoint,
 			Decisions:     durableEntries(rec.Decisions),
@@ -372,6 +388,17 @@ func (n *OrderingNode) checkRecoveredFrontier() error {
 		}
 	}
 	return nil
+}
+
+// asyncDurability adapts NodeStorage's concrete token type to the
+// consensus AsyncDurability interface (interface satisfaction is by
+// signature, so the method must return consensus.DecisionToken itself).
+type asyncDurability struct {
+	*storage.NodeStorage
+}
+
+func (a asyncDurability) AppendDecisionAsync(seq int64, batch [][]byte) consensus.DecisionToken {
+	return a.NodeStorage.AppendDecisionAsync(seq, batch)
 }
 
 // durableEntries adapts storage log entries to the consensus type.
@@ -554,12 +581,23 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 		return
 	}
 
+	// The durability gate: the token of the newest enqueued decision.
+	// The decision that sealed this block was enqueued on this same
+	// event loop before Execute ran (and the decision log is FIFO), so
+	// the token's completion implies this block's decision — and every
+	// earlier one — is on disk. The send drain waits on it before the
+	// block becomes externally visible; the event loop itself never
+	// blocks on the fsync.
+	var gate *storage.Token
+	if n.storage != nil {
+		gate = n.storage.DecisionToken()
+	}
 	epoch := n.reserveSend(channel, block.Header.Number)
 	headerHash := block.Header.Hash()
 	signerID := string(n.ID().Addr())
 	if n.cfg.DisableSigning {
 		n.statSigned.Add(1)
-		n.completeSend(channel, epoch, block)
+		n.completeSend(channel, epoch, block, gate)
 		return
 	}
 	err := n.signer.Sign(headerHash, func(sig []byte, err error) {
@@ -568,7 +606,7 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 		}
 		block.Signatures = []fabric.BlockSignature{{SignerID: signerID, Signature: sig}}
 		n.statSigned.Add(1)
-		n.completeSend(channel, epoch, block)
+		n.completeSend(channel, epoch, block, gate)
 	})
 	if err != nil {
 		return // pool closed during shutdown
@@ -586,8 +624,17 @@ type blockSender struct {
 	epoch    uint64
 	started  bool
 	next     uint64
-	pending  map[uint64]*fabric.Block
+	pending  map[uint64]pendingBlock
 	draining bool
+}
+
+// pendingBlock is one signed block parked in a sender, with the
+// durability token of the decision that sealed it: the drain waits out
+// the token before the block is persisted or disseminated, which is the
+// write-ahead gate that lets decision logging run asynchronously.
+type pendingBlock struct {
+	block *fabric.Block
+	gate  *storage.Token
 }
 
 // reserveSend anchors the channel's send cursor at the first block sealed
@@ -597,7 +644,7 @@ func (n *OrderingNode) reserveSend(channel string, number uint64) uint64 {
 	defer n.sendMu.Unlock()
 	s, ok := n.senders[channel]
 	if !ok {
-		s = &blockSender{pending: make(map[uint64]*fabric.Block)}
+		s = &blockSender{pending: make(map[uint64]pendingBlock)}
 		n.senders[channel] = s
 	}
 	if !s.started {
@@ -608,37 +655,40 @@ func (n *OrderingNode) reserveSend(channel string, number uint64) uint64 {
 }
 
 // completeSend hands a signed block to the sequencer; everything that is
-// now contiguous is persisted (signature included) and then disseminated,
-// in block-number order. Runs on signing-pool workers (or the event loop
-// with signing disabled). The drain is single-flight per channel: a
-// worker that finds another one draining just deposits its block, so the
-// durable appends — which were previously a stripped-signature write on
-// the consensus event loop — run in order, off the event loop, after
-// signing. That also pipelines the decision-log fsync and the
-// block-store fsync instead of paying them back-to-back on the loop.
-func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.Block) {
+// now contiguous waits out its decision's durability token, is persisted
+// (signature included), and then disseminated, in block-number order.
+// Runs on signing-pool workers (or the event loop with signing disabled).
+// The drain is single-flight per channel: a worker that finds another one
+// draining just deposits its block, so the durable appends run in order,
+// off the event loop, after signing. With decision logging asynchronous,
+// the token wait here is the write-ahead discipline's enforcement point:
+// nothing leaves the node before its decision record is fsynced, but the
+// consensus loop never stalls on that fsync — and because both logs share
+// one commit queue, the block append that follows rides a wave with
+// whatever decisions are in flight.
+func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.Block, gate *storage.Token) {
 	n.sendMu.Lock()
 	s, ok := n.senders[channel]
 	if !ok || s.epoch != epoch {
 		n.sendMu.Unlock()
 		return // the chain was rolled back or replaced since sealing
 	}
-	s.pending[block.Header.Number] = block
+	s.pending[block.Header.Number] = pendingBlock{block: block, gate: gate}
 	if s.draining {
 		n.sendMu.Unlock()
 		return // the draining worker picks this block up
 	}
 	s.draining = true
 	for {
-		var out []*fabric.Block
+		var out []pendingBlock
 		for {
-			b, ok := s.pending[s.next]
+			pb, ok := s.pending[s.next]
 			if !ok {
 				break
 			}
 			delete(s.pending, s.next)
 			s.next++
-			out = append(out, b)
+			out = append(out, pb)
 		}
 		if len(out) == 0 {
 			s.draining = false
@@ -646,7 +696,24 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 			return
 		}
 		n.sendMu.Unlock()
-		for _, b := range out {
+		// Persist the whole contiguous run first, asynchronously: each
+		// append is enqueued on the shared commit queue and the run's
+		// last token covers every earlier one (FIFO), so the run costs
+		// one fsync wave instead of one per block.
+		var lastPut fabric.DurableToken
+		for _, pb := range out {
+			b := pb.block
+			if pb.gate != nil {
+				// Write-ahead gate: the decision that sealed this block
+				// must be on disk before the block is persisted or shown
+				// to anyone. A failed token means the decision log is
+				// poisoned; match the synchronous path's behavior
+				// (durability lost, progress continues) loudly.
+				if err := pb.gate.Wait(); err != nil {
+					fmt.Fprintf(os.Stderr, "ordering node %d: decision for %q block %d never became durable: %v\n",
+						n.ID(), channel, b.Header.Number, err)
+				}
+			}
 			// Re-check the epoch per block: a rollback or state transfer
 			// that lands while this worker is out invalidates the rest of
 			// the extracted run. (The check narrows, but cannot close, the
@@ -659,9 +726,22 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 				return // the reset cleared the drain flag for the new epoch
 			}
 			if n.storage != nil {
-				n.persistBlock(channel, b)
+				if tok := n.persistBlockAsync(channel, b); tok != nil {
+					lastPut = tok
+				}
 			}
-			n.disseminate(channel, b)
+		}
+		if lastPut != nil {
+			// The run leaves the node only after it is on disk (the
+			// historical persist-before-disseminate order, now paid once
+			// per run).
+			if err := lastPut.Wait(); err != nil {
+				fmt.Fprintf(os.Stderr, "ordering node %d: persisting %q blocks: %v\n",
+					n.ID(), channel, err)
+			}
+		}
+		for _, pb := range out {
+			n.disseminate(channel, pb.block)
 		}
 		if n.retention != nil {
 			n.retention.MaybeCompact()
@@ -689,7 +769,7 @@ func (n *OrderingNode) resetSender(channel string) {
 	}
 	s.epoch++
 	s.started = false
-	s.pending = make(map[uint64]*fabric.Block)
+	s.pending = make(map[uint64]pendingBlock)
 	// A stale drain worker may still be out disseminating; it observes the
 	// epoch bump and exits without touching the flag again.
 	s.draining = false
@@ -706,13 +786,27 @@ func (n *OrderingNode) resetSender(channel string) {
 // never sealed — it is parked until the FetchBlocks back-fill closes the
 // gap beneath it, so the durable chain stays contiguous.
 func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
+	n.persistOrPark(channel, block, false)
+}
+
+// persistBlockAsync is persistBlock for the send drain: the block's
+// record is enqueued on the shared commit queue and the returned token
+// completes when it is on disk (nil when nothing was enqueued: a replay
+// duplicate, a parked gap block, or a rejected append). Same-channel
+// calls are ordered by the drain's single-flight discipline; ledgerMu is
+// held only for the enqueue, never across the fsync.
+func (n *OrderingNode) persistBlockAsync(channel string, block *fabric.Block) fabric.DurableToken {
+	return n.persistOrPark(channel, block, true)
+}
+
+func (n *OrderingNode) persistOrPark(channel string, block *fabric.Block, async bool) fabric.DurableToken {
 	led := n.ledger(channel)
 	n.ledgerMu.Lock()
 	defer n.ledgerMu.Unlock()
 	height := led.Height()
 	switch {
 	case block.Header.Number < height:
-		return // replay duplicate
+		return nil // replay duplicate
 	case block.Header.Number > height:
 		parked, ok := n.parked[channel]
 		if !ok {
@@ -728,12 +822,23 @@ func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
 		if low, ok := lowestParked(parked); ok {
 			n.maybeBackfill(channel, height, low, parked[low].Header.PrevHash)
 		}
-		return
+		return nil
 	}
-	if err := led.Append(block); err != nil {
+	var tok fabric.DurableToken
+	var err error
+	if async {
+		// The drain only ever sees blocks this node sealed itself, so
+		// the envelope-hash re-verification is skipped.
+		tok, err = led.AppendSealedAsync(block)
+	} else {
+		err = led.Append(block)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ordering node %d: persisting block %d on %q: %v\n",
 			n.ID(), block.Header.Number, channel, err)
+		return nil
 	}
+	return tok
 }
 
 // ledger returns (creating if needed) the durable ledger for a channel.
@@ -870,7 +975,7 @@ func (n *OrderingNode) Restore(snapshot []byte, _ int64) {
 	for _, s := range n.senders {
 		s.epoch++
 		s.started = false
-		s.pending = make(map[uint64]*fabric.Block)
+		s.pending = make(map[uint64]pendingBlock)
 		s.draining = false
 	}
 	n.sendMu.Unlock()

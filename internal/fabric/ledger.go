@@ -23,6 +23,27 @@ type BlockBackend interface {
 	PutBlock(channel string, b *Block) error
 }
 
+// DurableToken tracks an asynchronously persisted block: Wait blocks
+// until the record's group commit fsynced and returns the commit error,
+// if any. Backends complete tokens in append order, so waiting on the
+// newest token of a run implies the whole run is durable.
+type DurableToken interface {
+	Wait() error
+}
+
+// AsyncBlockBackend is the optional extension backends implement when
+// they can enqueue a block put and complete it on a later group commit
+// (storage.NodeStorage's shared commit queue). AppendAsync uses it to
+// persist a contiguous run of blocks in one fsync wave instead of one
+// wave per block.
+type AsyncBlockBackend interface {
+	BlockBackend
+	// PutBlockAsync enqueues the block for the next group commit and
+	// returns its durability token. Puts for one channel must be called
+	// in block order and commit in call order.
+	PutBlockAsync(channel string, b *Block) (DurableToken, error)
+}
+
 // BlockReader serves random-access reads of persisted blocks: up to max
 // blocks of one channel starting at block number start, in order. A
 // backend that also implements BlockReader lets a persistent ledger keep
@@ -140,6 +161,73 @@ func (l *Ledger) Append(b *Block) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.checkLinkLocked(b); err != nil {
+		return err
+	}
+	if l.backend != nil {
+		if err := l.backend.PutBlock(l.channel, b); err != nil {
+			return fmt.Errorf("ledger: persisting block %d: %w", b.Header.Number, err)
+		}
+	}
+	l.commitLocked(b)
+	return nil
+}
+
+// AppendAsync verifies and appends a block like Append, but when the
+// backend supports asynchronous puts the block's record is only enqueued
+// for the next group commit: the call returns immediately with a
+// durability token (nil for a backend-less or synchronous-backend
+// ledger, in which case the append is already durable). The block is
+// visible in memory right away; callers that must not show it to anyone
+// before it is on disk (the ordering node's send drain) wait on the
+// token. Puts commit in append order, so persisting a contiguous run
+// costs one fsync wave — wait on the run's last token.
+func (l *Ledger) AppendAsync(b *Block) (DurableToken, error) {
+	return l.appendAsync(b, true)
+}
+
+// AppendSealedAsync is AppendAsync for blocks the caller just sealed
+// itself (fabric.NewBlock computes DataHash from the envelopes, so
+// re-hashing them to verify integrity is pure waste on the hot path).
+// Blocks obtained from anyone else must go through Append/AppendAsync,
+// which verify before storing.
+func (l *Ledger) AppendSealedAsync(b *Block) (DurableToken, error) {
+	return l.appendAsync(b, false)
+}
+
+func (l *Ledger) appendAsync(b *Block, verify bool) (DurableToken, error) {
+	if verify {
+		if err := b.CheckIntegrity(); err != nil {
+			return nil, err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkLinkLocked(b); err != nil {
+		return nil, err
+	}
+	var tok DurableToken
+	if l.backend != nil {
+		async, ok := l.backend.(AsyncBlockBackend)
+		if !ok {
+			if err := l.backend.PutBlock(l.channel, b); err != nil {
+				return nil, fmt.Errorf("ledger: persisting block %d: %w", b.Header.Number, err)
+			}
+		} else {
+			var err error
+			tok, err = async.PutBlockAsync(l.channel, b)
+			if err != nil {
+				return nil, fmt.Errorf("ledger: persisting block %d: %w", b.Header.Number, err)
+			}
+		}
+	}
+	l.commitLocked(b)
+	return tok, nil
+}
+
+// checkLinkLocked verifies a block extends the chain: the next number,
+// linked by previous hash (or anchored at the retention floor).
+func (l *Ledger) checkLinkLocked(b *Block) error {
 	if b.Header.Number != l.height {
 		return fmt.Errorf("%w: got %d, want %d", ErrBlockNumber, b.Header.Number, l.height)
 	}
@@ -160,11 +248,11 @@ func (l *Ledger) Append(b *Block) error {
 				ErrBrokenChain, b.Header.Number)
 		}
 	}
-	if l.backend != nil {
-		if err := l.backend.PutBlock(l.channel, b); err != nil {
-			return fmt.Errorf("ledger: persisting block %d: %w", b.Header.Number, err)
-		}
-	}
+	return nil
+}
+
+// commitLocked makes an accepted block visible in memory.
+func (l *Ledger) commitLocked(b *Block) {
 	l.blocks = append(l.blocks, b)
 	l.height++
 	l.lastHash = b.Header.Hash()
@@ -176,7 +264,6 @@ func (l *Ledger) Append(b *Block) error {
 		l.blocks = append(l.blocks[:0:0], l.blocks[drop:]...)
 		l.base += uint64(drop)
 	}
-	return nil
 }
 
 // Block returns the block at the given number, reading it back from the

@@ -268,47 +268,80 @@ func (s *BlockStore) Floor(channel string) uint64 {
 }
 
 // Put durably appends a sealed block (with whatever signatures it
-// carries). A block below the stored height is a replay duplicate and is
-// silently skipped; a block above it is a gap and is rejected (the
-// caller lost blocks and must back-fill them before persisting more).
-// Calls for the same channel must not race each other (record order in
-// the log is recovery order); calls for different channels may run
-// concurrently and share one group commit.
+// carries), blocking until its group commit fsynced. A block below the
+// stored height is a replay duplicate and is silently skipped; a block
+// above it is a gap and is rejected (the caller lost blocks and must
+// back-fill them before persisting more). Calls for the same channel
+// must not race each other (record order in the log is recovery order);
+// calls for different channels may run concurrently and share one group
+// commit.
 func (s *BlockStore) Put(channel string, b *fabric.Block) error {
+	tok, err := s.PutAsync(channel, b)
+	if err != nil {
+		return err
+	}
+	return tok.Wait()
+}
+
+// PutAsync enqueues a sealed block for the next group commit and returns
+// its durability token without waiting for the fsync. Height and gap
+// rules match Put (a replay duplicate returns an already-completed
+// token). Puts for one channel commit in call order, so a contiguous run
+// of blocks persists in one fsync wave — wait on the run's last token.
+// This is the block half of the shared commit queue's payoff: the send
+// drain enqueues the whole run and the records ride a wave together with
+// whatever decisions are in flight.
+func (s *BlockStore) PutAsync(channel string, b *fabric.Block) (*Token, error) {
 	s.mu.Lock()
 	height := s.heights[channel]
 	if b.Header.Number < height {
 		s.mu.Unlock()
-		return nil
+		return doneToken(nil), nil
 	}
 	if b.Header.Number > height {
 		s.mu.Unlock()
-		return fmt.Errorf("storage: channel %q block %d leaves a gap (height %d)",
+		return nil, fmt.Errorf("storage: channel %q block %d leaves a gap (height %d)",
 			channel, b.Header.Number, height)
 	}
 	s.heights[channel] = b.Header.Number + 1
 	s.mu.Unlock()
 
 	raw := b.Marshal()
-	w := wire.NewWriter(16 + len(channel) + len(raw))
+	w := wire.GetWriter(16 + len(channel) + len(raw))
 	w.PutString(channel)
 	w.PutBytes(raw)
-	idx, err := s.wal.Append(w.Bytes())
-
-	s.mu.Lock()
+	tok, err := s.wal.appendAsync(w.Bytes(), func(idx uint64, err error) {
+		// Commit callback (runs in log order): the frame was copied into
+		// the commit buffer, so the encode buffer recycles; on success
+		// the read index gains the record, re-quiescing the channel for
+		// a waiting compaction.
+		wire.PutWriter(w)
+		s.mu.Lock()
+		if err != nil {
+			// Roll the height back so a retry is possible. (With several
+			// puts in flight the log is poisoned and later callbacks fail
+			// too; only the newest height can roll back, which is all a
+			// retry could use anyway.)
+			if s.heights[channel] == b.Header.Number+1 {
+				s.heights[channel] = b.Header.Number
+			}
+		} else {
+			s.index[channel] = append(s.index[channel], idx)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
 	if err != nil {
-		// Roll the height back so a retry is possible.
+		wire.PutWriter(w)
+		s.mu.Lock()
 		if s.heights[channel] == b.Header.Number+1 {
 			s.heights[channel] = b.Header.Number
 		}
-	} else {
-		s.index[channel] = append(s.index[channel], idx)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil, err
 	}
-	// Either way the channel is quiescent again: wake a waiting
-	// compaction.
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	return err
+	return tok, nil
 }
 
 // ReadBlocks reads up to max blocks of one channel back from disk,

@@ -1,0 +1,278 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// This file is the shared group-commit fsync scheduler. A node's durable
+// state is two append-only logs on the same device — the decision WAL and
+// the block-store WAL — and with a writer per log each pays its own fsync:
+// a decided batch and the block it seals cost two device flushes back to
+// back. The CommitQueue replaces the per-log writers with one scheduler
+// that drains pending appends from every registered log, writes each log's
+// group, and then fsyncs all dirty logs in one parallel wave, so the two
+// flushes overlap instead of serializing and every append queued behind
+// them rides the same wave. Appenders are completed through per-record
+// durability Tokens, which is what lets callers enqueue (AppendAsync) and
+// gate later effects on durability instead of blocking for the fsync.
+
+// Token tracks one enqueued record's durability: it completes when the
+// group commit that carried the record has fsynced (or failed). Tokens are
+// how the write-ahead discipline survives asynchronous logging — the
+// consensus loop enqueues a decision and moves on, and everything
+// externally visible (block persist, dissemination) waits on the token.
+type Token struct {
+	done chan struct{}
+	err  error
+	idx  uint64
+}
+
+func newToken() *Token { return &Token{done: make(chan struct{})} }
+
+// doneToken returns an already-completed token (for records that were
+// already durable, e.g. replay duplicates).
+func doneToken(err error) *Token {
+	t := newToken()
+	t.err = err
+	close(t.done)
+	return t
+}
+
+// Wait blocks until the record is durable and returns the commit error,
+// if any.
+func (t *Token) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Done reports whether the record's group commit has completed, without
+// blocking.
+func (t *Token) Done() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Index returns the record's log index. Valid only after Wait returned
+// nil (indices are assigned at write time, not enqueue time).
+func (t *Token) Index() uint64 { return t.idx }
+
+// CommitQueueConfig tunes the shared scheduler.
+type CommitQueueConfig struct {
+	// MaxDelay is the coalescing window: after waking for the first
+	// pending append, the scheduler waits this long before starting the
+	// wave, letting more appends (from either log) pile in. Zero commits
+	// greedily — under concurrent load the natural arrival rate already
+	// batches well, so the delay only helps thin workloads trade latency
+	// for fewer fsyncs.
+	MaxDelay time.Duration
+	// MaxBatch caps how many records of one log merge into a single
+	// wave (default 1024); the surplus carries into the next wave.
+	MaxBatch int
+	// SyncHook, when set, runs at the start of every commit wave, before
+	// any record of the wave is written. Test instrumentation: stalling
+	// it holds every enqueued record in the not-yet-durable state, which
+	// is how the write-ahead gating and crash-window tests open the
+	// window between enqueue and fsync.
+	SyncHook func()
+}
+
+func (c CommitQueueConfig) withDefaults() CommitQueueConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	return c
+}
+
+// CommitQueue coalesces appends from any number of WALs into shared fsync
+// waves. Create with NewCommitQueue, hand it to the WALs via
+// WALConfig.Queue, and Close it only after every participating WAL is
+// closed.
+type CommitQueue struct {
+	cfg CommitQueueConfig
+
+	mu      sync.Mutex
+	pending map[*WAL][]*appendReq
+	order   []*WAL // logs with pending work, oldest first
+	closed  bool
+
+	notify chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewCommitQueue starts a shared group-commit scheduler.
+func NewCommitQueue(cfg CommitQueueConfig) *CommitQueue {
+	q := &CommitQueue{
+		cfg:     cfg.withDefaults(),
+		pending: make(map[*WAL][]*appendReq),
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	q.wg.Add(1)
+	go q.run()
+	return q
+}
+
+// enqueue adds one append (or a nil-record flush barrier) to a log's
+// pending group. FIFO per log is the ordering contract the decision log's
+// dense indices and the block store's recovery both rely on.
+func (q *CommitQueue) enqueue(w *WAL, req *appendReq) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		completeGroup([]*appendReq{req}, ErrClosed)
+		return
+	}
+	if len(q.pending[w]) == 0 {
+		q.order = append(q.order, w)
+	}
+	q.pending[w] = append(q.pending[w], req)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *CommitQueue) run() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.notify:
+		case <-q.done:
+			// Close happens only after every participating WAL closed
+			// (each flushes itself with a barrier), so whatever remains
+			// is the final wave.
+			q.wave()
+			return
+		}
+		if q.cfg.MaxDelay > 0 {
+			timer := time.NewTimer(q.cfg.MaxDelay)
+			select {
+			case <-timer.C:
+			case <-q.done:
+				timer.Stop()
+			}
+		}
+		q.wave()
+	}
+}
+
+// wave is one shared group commit: take every log's pending group, write
+// them all, fsync the dirty logs in parallel, then complete the tokens.
+func (q *CommitQueue) wave() {
+	q.mu.Lock()
+	if len(q.order) == 0 {
+		q.mu.Unlock()
+		return
+	}
+	logs := q.order
+	groups := make([][]*appendReq, len(logs))
+	q.order = nil
+	leftovers := false
+	for i, w := range logs {
+		reqs := q.pending[w]
+		if len(reqs) > q.cfg.MaxBatch {
+			groups[i] = reqs[:q.cfg.MaxBatch]
+			q.pending[w] = reqs[q.cfg.MaxBatch:]
+			q.order = append(q.order, w)
+			leftovers = true
+		} else {
+			groups[i] = reqs
+			delete(q.pending, w)
+		}
+	}
+	q.mu.Unlock()
+	if leftovers {
+		select {
+		case q.notify <- struct{}{}:
+		default:
+		}
+	}
+
+	if hook := q.cfg.SyncHook; hook != nil {
+		hook()
+	}
+
+	// Write phase: frames land in each log's active segment (page cache
+	// only). Indices are assigned here, in enqueue order.
+	type flush struct {
+		file *os.File
+		err  error
+	}
+	flushes := make([]flush, len(logs))
+	for i, w := range logs {
+		flushes[i].file, flushes[i].err = w.writeGroup(groups[i])
+	}
+
+	// Sync phase: one fsync per dirty log, issued concurrently so flushes
+	// of co-located logs overlap in the device instead of queueing behind
+	// each other. The last dirty log syncs on this goroutine — a
+	// single-log wave (the common idle-channel case) spawns nothing.
+	var dirty []int
+	for i := range flushes {
+		if flushes[i].err == nil && flushes[i].file != nil {
+			dirty = append(dirty, i)
+		}
+	}
+	var syncers sync.WaitGroup
+	syncOne := func(i int) {
+		if err := flushes[i].file.Sync(); err != nil {
+			flushes[i].err = err
+			logs[i].poison(err)
+		}
+	}
+	for _, i := range dirty[:max(len(dirty)-1, 0)] {
+		syncers.Add(1)
+		go func(i int) {
+			defer syncers.Done()
+			syncOne(i)
+		}(i)
+	}
+	if len(dirty) > 0 {
+		syncOne(dirty[len(dirty)-1])
+	}
+	syncers.Wait()
+
+	for i := range logs {
+		if err := flushes[i].err; err != nil {
+			fmt.Fprintf(os.Stderr, "storage: commit wave failed for %s: %v\n", logs[i].cfg.Dir, err)
+		}
+		completeGroup(groups[i], flushes[i].err)
+	}
+}
+
+// Close stops the scheduler after a final drain wave. Call it only after
+// every WAL registered on the queue has been closed.
+func (q *CommitQueue) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.done)
+	q.wg.Wait()
+	return nil
+}
+
+// completeGroup finishes every request of one committed group: record the
+// error, run per-record commit callbacks (in log order), and release the
+// waiters.
+func completeGroup(group []*appendReq, err error) {
+	for _, req := range group {
+		req.tok.err = err
+		if req.onCommit != nil {
+			req.onCommit(req.tok.idx, err)
+		}
+		close(req.tok.done)
+	}
+}

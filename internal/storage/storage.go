@@ -2,8 +2,10 @@ package storage
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
@@ -43,22 +45,52 @@ type RecoveredState struct {
 //	<dir>/blocks/  sealed blocks (segmented WAL, group commit)
 //	<dir>/checkpoint  newest consensus snapshot (atomic replace)
 //
-// The decision log is the write-ahead half: a batch is fsynced before the
-// node executes it, so on restart the node replays checkpoint + log and
-// arrives at exactly the state it had durably reached. Checkpoints prune
-// the log behind them (whole segments at a time).
+// The decision log is the write-ahead half: a batch is fsynced before its
+// effects become externally visible, so on restart the node replays
+// checkpoint + log and arrives at exactly the state it had durably
+// reached. Decisions may be enqueued asynchronously (AppendDecisionAsync):
+// the caller keeps running and gates visible effects on the returned
+// durability token instead of blocking on the fsync. Both logs commit
+// through one shared CommitQueue, so a decision and the block it seals
+// ride the same fsync wave instead of paying two serialized flushes.
+// Checkpoints prune the decision log behind them (whole segments at a
+// time).
 type NodeStorage struct {
 	dir    string
 	wal    *WAL
 	blocks *BlockStore
 	ckpt   *Checkpointer
+	queue  *CommitQueue
 
 	recovered *RecoveredState
 
 	// mu guards the seq<->wal-index correspondence of the decision log.
 	mu      sync.Mutex
-	lastSeq int64  // newest decision seq on disk (-1 when none)
+	lastSeq int64  // newest decision seq committed to disk (-1 when none)
 	lastIdx uint64 // its WAL index
+	enqSeq  int64  // newest decision seq enqueued (>= lastSeq)
+	lastTok *Token // durability token of the newest enqueued decision
+
+	// Checkpoint worker: SaveCheckpointAsync hands the newest snapshot
+	// to this goroutine so the checkpoint's two fsyncs (tmp file + dir)
+	// never run on the consensus event loop. Only the newest pending
+	// snapshot matters, so the slot holds at most one. ckptSaveMu
+	// serializes the actual saves (the worker and direct SaveCheckpoint
+	// calls), and ckptSavedSeq keeps them monotonic — a stale coalesced
+	// save must never replace a newer checkpoint on disk.
+	ckptMu       sync.Mutex
+	ckptPending  *ckptReq
+	ckptNotify   chan struct{}
+	ckptDone     chan struct{}
+	ckptWg       sync.WaitGroup
+	ckptSaveMu   sync.Mutex
+	ckptSavedSeq int64
+}
+
+// ckptReq is one pending asynchronous checkpoint save.
+type ckptReq struct {
+	seq  int64
+	snap []byte
 }
 
 // Options tunes a NodeStorage.
@@ -77,6 +109,20 @@ type Options struct {
 	// NoSync disables fsync everywhere. Only for benchmarks isolating the
 	// write path.
 	NoSync bool
+	// CommitMaxDelay is the shared commit queue's coalescing window: how
+	// long a wave waits after its first pending append before fsyncing,
+	// trading commit latency for larger groups. Zero (the default)
+	// commits greedily.
+	CommitMaxDelay time.Duration
+	// CommitMaxBatch caps how many records of one log merge into a
+	// single fsync wave (default 1024).
+	CommitMaxBatch int
+	// SyncHook, when set, runs at the start of every commit wave, before
+	// any record of the wave is written. Test instrumentation: stalling
+	// it keeps enqueued records non-durable, which is how the
+	// write-ahead gating and crash-window tests open the window between
+	// enqueue and fsync.
+	SyncHook func()
 }
 
 // Open opens (or initializes) a node's durable state under dir and
@@ -86,12 +132,21 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Both logs live on the same device; one shared queue coalesces their
+	// group commits into joint fsync waves.
+	queue := NewCommitQueue(CommitQueueConfig{
+		MaxDelay: opts.CommitMaxDelay,
+		MaxBatch: opts.CommitMaxBatch,
+		SyncHook: opts.SyncHook,
+	})
 	wal, err := OpenWAL(WALConfig{
 		Dir:          filepath.Join(dir, "wal"),
 		SegmentBytes: opts.SegmentBytes,
 		NoSync:       opts.NoSync,
+		Queue:        queue,
 	})
 	if err != nil {
+		queue.Close()
 		return nil, err
 	}
 	blockSegment := opts.BlockSegmentBytes
@@ -102,22 +157,31 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 		Dir:          filepath.Join(dir, "blocks"),
 		SegmentBytes: blockSegment,
 		NoSync:       opts.NoSync,
+		Queue:        queue,
 	})
 	if err != nil {
 		wal.Close()
+		queue.Close()
 		return nil, err
 	}
 	s := &NodeStorage{
-		dir:     dir,
-		wal:     wal,
-		blocks:  blocks,
-		ckpt:    ckpt,
-		lastSeq: -1,
+		dir:        dir,
+		wal:        wal,
+		blocks:     blocks,
+		ckpt:       ckpt,
+		queue:        queue,
+		lastSeq:      -1,
+		enqSeq:       -1,
+		ckptNotify:   make(chan struct{}, 1),
+		ckptDone:     make(chan struct{}),
+		ckptSavedSeq: -1,
 	}
 	if err := s.recover(); err != nil {
 		s.Close()
 		return nil, err
 	}
+	s.ckptWg.Add(1)
+	go s.ckptWorker()
 	return s, nil
 }
 
@@ -132,6 +196,7 @@ func (s *NodeStorage) recover() error {
 		st.CheckpointSeq = seq
 		st.Checkpoint = snap
 		s.lastSeq = seq // pruning floor; log entries replayed below override
+		s.ckptSavedSeq = seq
 	}
 	err = s.wal.Replay(func(idx uint64, rec []byte) error {
 		entry, err := decodeDecision(rec)
@@ -159,6 +224,7 @@ func (s *NodeStorage) recover() error {
 	}
 	st.Chains = s.blocks.Chains()
 	s.recovered = st
+	s.enqSeq = s.lastSeq
 	return nil
 }
 
@@ -173,40 +239,93 @@ func (s *NodeStorage) Recovered() *RecoveredState {
 	return st
 }
 
-// AppendDecision durably logs one decided batch. It blocks until the
-// record is fsynced; concurrent appends to the decision log coalesce into
-// one group commit. (Block Puts go to a separate log with its own group
-// commit, so a decision and its sealed block currently pay two fsyncs —
-// see ROADMAP "storage pipelining".) Sequences must arrive in order
-// without gaps.
+// AppendDecision durably logs one decided batch, blocking until the
+// record is fsynced. Sequences must arrive in order without gaps.
 func (s *NodeStorage) AppendDecision(seq int64, batch [][]byte) error {
+	return s.AppendDecisionAsync(seq, batch).Wait()
+}
+
+// AppendDecisionAsync enqueues one decided batch on the shared commit
+// queue and returns its durability token without waiting for the fsync.
+// The consensus event loop calls this and keeps executing; the node's
+// send drain gates block persist and dissemination on the token, which
+// preserves the write-ahead discipline (nothing leaves the node before
+// its decision is on disk) without serializing the loop on the flush.
+// Sequences must arrive in order without gaps; a duplicate returns the
+// newest enqueued decision's token (the log is FIFO, so its completion
+// implies the duplicate's record is durable too).
+func (s *NodeStorage) AppendDecisionAsync(seq int64, batch [][]byte) *Token {
 	s.mu.Lock()
-	if s.lastSeq >= 0 && seq <= s.lastSeq {
+	if s.enqSeq >= 0 && seq <= s.enqSeq {
+		tok := s.lastTok
 		s.mu.Unlock()
-		return nil // replay duplicate
+		if tok == nil {
+			return doneToken(nil) // recovered replay duplicate: already on disk
+		}
+		return tok
 	}
 	s.mu.Unlock()
 
-	w := wire.NewWriter(64)
+	size := 16
+	for _, op := range batch {
+		size += len(op) + 8
+	}
+	w := wire.GetWriter(size)
 	w.PutInt64(seq)
 	w.PutBytesSlice(batch)
-	idx, err := s.wal.Append(w.Bytes())
+	tok, err := s.wal.appendAsync(w.Bytes(), func(idx uint64, err error) {
+		// Runs on the committing goroutine, after the record's bytes were
+		// copied into the commit buffer: the encode buffer is free again,
+		// and on success the seq<->index correspondence advances (the
+		// pair SaveCheckpoint's prune arithmetic relies on).
+		wire.PutWriter(w)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.lastSeq = seq
+		s.lastIdx = idx
+		s.mu.Unlock()
+	})
 	if err != nil {
-		return err
+		wire.PutWriter(w)
+		return doneToken(err)
 	}
 	s.mu.Lock()
-	s.lastSeq = seq
-	s.lastIdx = idx
+	s.enqSeq = seq
+	s.lastTok = tok
 	s.mu.Unlock()
-	return nil
+	return tok
+}
+
+// DecisionToken returns the durability token of the newest enqueued
+// decision (an already-completed token when nothing is outstanding). The
+// decision log is FIFO, so waiting on it implies every earlier decision
+// is on disk; the node's send drain uses exactly that to gate block
+// dissemination.
+func (s *NodeStorage) DecisionToken() *Token {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastTok == nil {
+		return doneToken(nil)
+	}
+	return s.lastTok
 }
 
 // SaveCheckpoint atomically persists the consensus snapshot at seq, then
-// prunes decision-log segments wholly behind it.
+// prunes decision-log segments wholly behind it. Saves are serialized
+// and monotonic: a save at or below the newest on-disk checkpoint is a
+// no-op (a checkpoint subsumes every older one).
 func (s *NodeStorage) SaveCheckpoint(seq int64, snapshot []byte) error {
+	s.ckptSaveMu.Lock()
+	defer s.ckptSaveMu.Unlock()
+	if seq <= s.ckptSavedSeq {
+		return nil
+	}
 	if err := s.ckpt.Save(seq, snapshot); err != nil {
 		return err
 	}
+	s.ckptSavedSeq = seq
 	s.mu.Lock()
 	lastSeq, lastIdx := s.lastSeq, s.lastIdx
 	s.mu.Unlock()
@@ -219,9 +338,65 @@ func (s *NodeStorage) SaveCheckpoint(seq int64, snapshot []byte) error {
 	return s.wal.PruneTo(keepFrom)
 }
 
+// SaveCheckpointAsync hands the snapshot to the checkpoint worker and
+// returns immediately: the save's fsyncs run off the caller's goroutine
+// (the consensus event loop). Only the newest pending snapshot is kept —
+// a checkpoint subsumes every older one — so a slow disk coalesces
+// checkpoints instead of queueing them. A crash before the worker gets
+// there just recovers from the previous checkpoint with a longer
+// decision-log replay; Close flushes the pending save.
+func (s *NodeStorage) SaveCheckpointAsync(seq int64, snapshot []byte) {
+	s.ckptMu.Lock()
+	s.ckptPending = &ckptReq{seq: seq, snap: snapshot}
+	s.ckptMu.Unlock()
+	select {
+	case s.ckptNotify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *NodeStorage) ckptWorker() {
+	defer s.ckptWg.Done()
+	for {
+		select {
+		case <-s.ckptNotify:
+		case <-s.ckptDone:
+			s.flushCheckpoint()
+			return
+		}
+		s.flushCheckpoint()
+	}
+}
+
+// flushCheckpoint saves the pending snapshot, if any.
+func (s *NodeStorage) flushCheckpoint() {
+	s.ckptMu.Lock()
+	req := s.ckptPending
+	s.ckptPending = nil
+	s.ckptMu.Unlock()
+	if req == nil {
+		return
+	}
+	if err := s.SaveCheckpoint(req.seq, req.snap); err != nil {
+		fmt.Fprintf(os.Stderr, "storage: async checkpoint at seq %d failed: %v\n", req.seq, err)
+	}
+}
+
 // PutBlock durably appends a sealed block for a channel (fabric.BlockBackend).
 func (s *NodeStorage) PutBlock(channel string, b *fabric.Block) error {
 	return s.blocks.Put(channel, b)
+}
+
+// PutBlockAsync enqueues a sealed block on the shared commit queue and
+// returns its durability token (fabric.AsyncBlockBackend): a persistent
+// ledger's AppendAsync rides one fsync wave per contiguous run instead
+// of one per block.
+func (s *NodeStorage) PutBlockAsync(channel string, b *fabric.Block) (fabric.DurableToken, error) {
+	tok, err := s.blocks.PutAsync(channel, b)
+	if err != nil {
+		return nil, err
+	}
+	return tok, nil
 }
 
 // BlockHeight returns the number of blocks persisted for a channel.
@@ -269,9 +444,20 @@ func (s *NodeStorage) BlockStoreBytes() int64 { return s.blocks.SizeBytes() }
 // Dir returns the storage root.
 func (s *NodeStorage) Dir() string { return s.dir }
 
-// Close flushes and closes both logs.
+// Close flushes the pending checkpoint, flushes and closes both logs,
+// then stops the shared commit queue (each log drains itself through the
+// queue first, so order matters).
 func (s *NodeStorage) Close() error {
 	var first error
+	if s.ckptDone != nil {
+		select {
+		case <-s.ckptDone:
+			// already closed
+		default:
+			close(s.ckptDone)
+		}
+		s.ckptWg.Wait()
+	}
 	if s.wal != nil {
 		if err := s.wal.Close(); err != nil {
 			first = err
@@ -279,6 +465,11 @@ func (s *NodeStorage) Close() error {
 	}
 	if s.blocks != nil {
 		if err := s.blocks.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.queue != nil {
+		if err := s.queue.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

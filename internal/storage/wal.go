@@ -50,6 +50,11 @@ type WALConfig struct {
 	// NoSync skips the fsync on every group commit. Only for tests and
 	// benchmarks that measure the non-durable append path.
 	NoSync bool
+	// Queue, when set, routes this log's group commits through a shared
+	// scheduler instead of a dedicated writer goroutine, so logs that
+	// share a device also share fsync waves. The queue must outlive the
+	// WAL (close the WAL first, then the queue).
+	Queue *CommitQueue
 }
 
 func (c WALConfig) withDefaults() WALConfig {
@@ -72,11 +77,13 @@ type segment struct {
 	offsets []int64
 }
 
-// appendReq is one enqueued append awaiting group commit.
+// appendReq is one enqueued append awaiting group commit. A nil rec is a
+// flush barrier: it writes nothing and completes once every request ahead
+// of it has committed (Close uses one to drain a queue-attached log).
 type appendReq struct {
-	rec  []byte
-	idx  uint64
-	done chan error
+	rec      []byte
+	tok      *Token
+	onCommit func(idx uint64, err error)
 }
 
 // WAL is a segmented append-only log. Records are opaque byte strings,
@@ -109,6 +116,11 @@ type WAL struct {
 	// signalling the writer, so every accepted request is served.
 	appendWg sync.WaitGroup
 	wg       sync.WaitGroup
+
+	// commitBuf is the reusable frame-assembly buffer of the (single)
+	// committing goroutine; reusing it keeps the hot append path free of
+	// per-group allocations.
+	commitBuf []byte
 }
 
 // OpenWAL opens (or creates) the log in cfg.Dir, scans every segment,
@@ -133,8 +145,10 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 	if err := w.openActive(); err != nil {
 		return nil, err
 	}
-	w.wg.Add(1)
-	go w.writer()
+	if cfg.Queue == nil {
+		w.wg.Add(1)
+		go w.writer()
+	}
 	return w, nil
 }
 
@@ -278,31 +292,59 @@ func (w *WAL) syncDir() error {
 // fsynced. Safe for concurrent use; concurrency is what makes group commit
 // pay off.
 func (w *WAL) Append(rec []byte) (uint64, error) {
+	tok, err := w.AppendAsync(rec)
+	if err != nil {
+		return 0, err
+	}
+	if err := tok.Wait(); err != nil {
+		return 0, err
+	}
+	return tok.idx, nil
+}
+
+// AppendAsync enqueues one record for the next group commit and returns
+// immediately with a durability token; the record's index is assigned at
+// write time (Token.Index after a successful Wait). Records commit in
+// enqueue order. This is the storage half of asynchronous decision
+// logging: the caller keeps running and gates externally visible effects
+// on the token instead of blocking the hot path on the fsync.
+func (w *WAL) AppendAsync(rec []byte) (*Token, error) {
+	return w.appendAsync(rec, nil)
+}
+
+// appendAsync is AppendAsync plus an optional commit callback, invoked on
+// the committing goroutine (in log order) before the token completes.
+// Callbacks must be cheap: they run inside the commit wave.
+func (w *WAL) appendAsync(rec []byte, onCommit func(idx uint64, err error)) (*Token, error) {
 	if int64(len(rec))+recordHeaderSize > w.cfg.SegmentBytes {
-		return 0, ErrTooBig
+		return nil, ErrTooBig
 	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return 0, ErrClosed
+		return nil, ErrClosed
 	}
 	if w.failErr != nil {
 		err := w.failErr
 		w.mu.Unlock()
-		return 0, err
+		return nil, err
 	}
 	w.appendWg.Add(1)
 	w.mu.Unlock()
-	req := &appendReq{rec: rec, done: make(chan error, 1)}
-	w.appendCh <- req
+	req := &appendReq{rec: rec, tok: newToken(), onCommit: onCommit}
+	if w.cfg.Queue != nil {
+		w.cfg.Queue.enqueue(w, req)
+	} else {
+		w.appendCh <- req
+	}
 	w.appendWg.Done()
-	err := <-req.done
-	return req.idx, err
+	return req.tok, nil
 }
 
-// writer is the group-commit loop: it blocks for one request, greedily
-// drains whatever else queued up, writes the whole group, fsyncs once, and
-// only then completes every request in the group.
+// writer is the standalone group-commit loop (no shared queue): it blocks
+// for one request, greedily drains whatever else queued up, writes the
+// whole group, fsyncs once, and only then completes every request in the
+// group.
 func (w *WAL) writer() {
 	defer w.wg.Done()
 	for {
@@ -324,10 +366,7 @@ func (w *WAL) writer() {
 				break
 			}
 			if len(group) > 0 {
-				err := w.commit(group)
-				for _, req := range group {
-					req.done <- err
-				}
+				completeGroup(group, w.commit(group))
 			}
 			return
 		}
@@ -340,31 +379,61 @@ func (w *WAL) writer() {
 				break drain
 			}
 		}
-		err := w.commit(group)
-		for _, req := range group {
-			req.done <- err
-		}
+		completeGroup(group, w.commit(group))
 	}
 }
 
-// commit writes and fsyncs one group, rotating segments as needed. Any
-// failure poisons the log (see failErr).
+// commit writes and fsyncs one group (the standalone writer's path; the
+// shared queue drives writeGroup and the fsync itself).
 func (w *WAL) commit(group []*appendReq) error {
+	f, err := w.writeGroup(group)
+	if err != nil || f == nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		w.poison(err)
+		return err
+	}
+	return nil
+}
+
+// poison marks the log failed: the file may hold a torn frame past which
+// nothing can be appended safely, so every later append fails with the
+// original error.
+func (w *WAL) poison(err error) {
+	w.mu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.mu.Unlock()
+}
+
+// writeGroup writes one group's frames into the active segment (rotating
+// as needed) and assigns record indices, without fsyncing. It returns the
+// file that must be fsynced before the group may be completed (nil when
+// nothing needs syncing: an all-barrier group, or NoSync). Only one
+// goroutine — the standalone writer or the shared queue's scheduler —
+// calls it. A write failure poisons the log.
+func (w *WAL) writeGroup(group []*appendReq) (*os.File, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failErr != nil {
-		return w.failErr
+		return nil, w.failErr
 	}
-	err := w.commitLocked(group)
+	dirty, err := w.writeGroupLocked(group)
 	if err != nil {
 		w.failErr = err
+		return nil, err
 	}
-	return err
+	if !dirty || w.cfg.NoSync {
+		return nil, nil
+	}
+	return w.active, nil
 }
 
-func (w *WAL) commitLocked(group []*appendReq) error {
-	var buf []byte
-	dirty := false
+func (w *WAL) writeGroupLocked(group []*appendReq) (dirty bool, err error) {
+	buf := w.commitBuf[:0]
+	defer func() { w.commitBuf = buf[:0] }()
 	flush := func() error {
 		if len(buf) == 0 {
 			return nil
@@ -379,19 +448,22 @@ func (w *WAL) commitLocked(group []*appendReq) error {
 		return nil
 	}
 	for _, req := range group {
+		if req.rec == nil {
+			continue // flush barrier: completes with the group, writes nothing
+		}
 		framed := int64(len(req.rec)) + recordHeaderSize
 		if w.size+int64(len(buf))+framed > w.cfg.SegmentBytes && w.size+int64(len(buf)) > 0 {
 			if err := flush(); err != nil {
-				return err
+				return dirty, err
 			}
 			if err := w.rotateLocked(); err != nil {
-				return err
+				return dirty, err
 			}
 		}
-		req.idx = w.next
+		req.tok.idx = w.next
 		w.next++
 		seg := &w.segments[len(w.segments)-1]
-		seg.last = req.idx
+		seg.last = req.tok.idx
 		seg.offsets = append(seg.offsets, w.size+int64(len(buf)))
 		var hdr [recordHeaderSize]byte
 		binary.BigEndian.PutUint32(hdr[:4], uint32(len(req.rec)))
@@ -400,12 +472,9 @@ func (w *WAL) commitLocked(group []*appendReq) error {
 		buf = append(buf, req.rec...)
 	}
 	if err := flush(); err != nil {
-		return err
+		return dirty, err
 	}
-	if dirty && !w.cfg.NoSync {
-		return w.active.Sync()
-	}
-	return nil
+	return dirty, nil
 }
 
 // rotateLocked seals the active segment and opens the next one.
@@ -680,7 +749,9 @@ func (w *WAL) PruneTo(keepFrom uint64) error {
 }
 
 // Close stops the writer, fsyncs, and closes the active segment. Appends
-// in flight complete or fail with ErrClosed.
+// in flight complete or fail with ErrClosed. A queue-attached log drains
+// itself through the shared queue (which must still be open) with a flush
+// barrier before closing its file.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -690,8 +761,14 @@ func (w *WAL) Close() error {
 	w.closed = true
 	w.mu.Unlock()
 	w.appendWg.Wait()
-	close(w.closeCh)
-	w.wg.Wait()
+	if w.cfg.Queue != nil {
+		barrier := &appendReq{tok: newToken()}
+		w.cfg.Queue.enqueue(w, barrier)
+		barrier.tok.Wait() // every request ahead of it has committed
+	} else {
+		close(w.closeCh)
+		w.wg.Wait()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if !w.cfg.NoSync {

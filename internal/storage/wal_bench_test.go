@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Microbenchmarks for the durable hot path. Run with -benchmem (the
+// benchmarks also force ReportAllocs) so the per-append allocation count
+// is tracked: the commit buffer and encode-buffer pooling only stay won
+// if these numbers don't regress.
+
+// runWALAppendBench drives b.N appends through `appenders` concurrent
+// goroutines, so the writer coalesces groups of roughly that size.
+func runWALAppendBench(b *testing.B, appenders, recordSize int, noSync bool) {
+	b.Helper()
+	wal, err := OpenWAL(WALConfig{Dir: b.TempDir(), NoSync: noSync})
+	if err != nil {
+		b.Fatalf("OpenWAL: %v", err)
+	}
+	rec := make([]byte, recordSize)
+	b.ReportAllocs()
+	b.SetBytes(int64(recordSize))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / appenders
+	extra := b.N % appenders
+	for g := 0; g < appenders; g++ {
+		n := per
+		if g < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := wal.Append(rec); err != nil {
+					b.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := wal.Close(); err != nil {
+		b.Fatalf("close: %v", err)
+	}
+}
+
+// BenchmarkWALAppendNoSync isolates the write path (frame assembly, index
+// bookkeeping, buffered write) from the fsync, across group sizes.
+func BenchmarkWALAppendNoSync(b *testing.B) {
+	for _, g := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("appenders=%d", g), func(b *testing.B) {
+			runWALAppendBench(b, g, 512, true)
+		})
+	}
+}
+
+// BenchmarkWALAppendFsync measures the full durable append across group
+// sizes: larger groups amortize each fsync over more records.
+func BenchmarkWALAppendFsync(b *testing.B) {
+	for _, g := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("appenders=%d", g), func(b *testing.B) {
+			runWALAppendBench(b, g, 512, false)
+		})
+	}
+}
+
+// BenchmarkSharedQueueAppend drives two logs through one shared commit
+// queue (the NodeStorage arrangement: decision WAL + block WAL on one
+// device) with appenders split across both, measuring the joint fsync
+// wave the scheduler is for.
+func BenchmarkSharedQueueAppend(b *testing.B) {
+	for _, g := range []int{2, 8, 64} {
+		b.Run(fmt.Sprintf("appenders=%d", g), func(b *testing.B) {
+			queue := NewCommitQueue(CommitQueueConfig{})
+			open := func(dir string) *WAL {
+				w, err := OpenWAL(WALConfig{Dir: dir, Queue: queue})
+				if err != nil {
+					b.Fatalf("OpenWAL: %v", err)
+				}
+				return w
+			}
+			logs := []*WAL{open(b.TempDir()), open(b.TempDir())}
+			rec := make([]byte, 512)
+			b.ReportAllocs()
+			b.SetBytes(512)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g2 := 0; g2 < g; g2++ {
+				n := b.N / g
+				if g2 < b.N%g {
+					n++
+				}
+				wal := logs[g2%len(logs)]
+				wg.Add(1)
+				go func(wal *WAL, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := wal.Append(rec); err != nil {
+							b.Errorf("append: %v", err)
+							return
+						}
+					}
+				}(wal, n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, wal := range logs {
+				if err := wal.Close(); err != nil {
+					b.Fatalf("close: %v", err)
+				}
+			}
+			queue.Close()
+		})
+	}
+}
+
+// BenchmarkWALAppendAsync measures the enqueue path the consensus loop
+// pays under asynchronous decision logging: the token handoff must stay
+// cheap because it runs on the event loop.
+func BenchmarkWALAppendAsync(b *testing.B) {
+	wal, err := OpenWAL(WALConfig{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatalf("OpenWAL: %v", err)
+	}
+	rec := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *Token
+	for i := 0; i < b.N; i++ {
+		tok, err := wal.AppendAsync(rec)
+		if err != nil {
+			b.Fatalf("append async: %v", err)
+		}
+		last = tok
+	}
+	if err := last.Wait(); err != nil {
+		b.Fatalf("final token: %v", err)
+	}
+	b.StopTimer()
+	if err := wal.Close(); err != nil {
+		b.Fatalf("close: %v", err)
+	}
+}

@@ -206,6 +206,12 @@ type tcpWriter struct {
 	dialTO   time.Duration
 	backoff  time.Duration
 
+	// frameBuf is the writer goroutine's reusable framing buffer: one
+	// steady-state allocation per connection instead of one per message.
+	// Capped at retainedFrameCap after each write so one jumbo frame
+	// does not pin megabytes for the connection's lifetime.
+	frameBuf []byte
+
 	mu     sync.Mutex
 	queue  []Message
 	notify chan struct{}
@@ -278,12 +284,20 @@ func (w *tcpWriter) run() {
 				continue
 			}
 		}
-		if err := writeFrame(conn, m); err != nil {
+		w.frameBuf = appendFrame(w.frameBuf[:0], m)
+		if _, err := conn.Write(w.frameBuf); err != nil {
 			conn.Close()
 			conn = nil
 		}
+		if cap(w.frameBuf) > retainedFrameCap {
+			w.frameBuf = nil
+		}
 	}
 }
+
+// retainedFrameCap bounds the framing buffer a writer keeps between
+// messages; larger frames are allocated ad hoc and released.
+const retainedFrameCap = 1 << 20
 
 func (w *tcpWriter) stop() {
 	w.mu.Lock()
@@ -299,18 +313,25 @@ func (w *tcpWriter) stop() {
 
 // Frame layout: u32 total length, then u16 type, u16 fromLen, u16 toLen,
 // from, to, payload.
-func writeFrame(conn net.Conn, m Message) error {
+
+// appendFrame appends one framed message to buf and returns the extended
+// slice, so a writer goroutine can reuse one buffer across messages.
+func appendFrame(buf []byte, m Message) []byte {
 	total := 2 + 2 + 2 + len(m.From) + len(m.To) + len(m.Payload)
-	buf := make([]byte, 4+total)
-	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
-	binary.BigEndian.PutUint16(buf[4:6], m.Type)
-	binary.BigEndian.PutUint16(buf[6:8], uint16(len(m.From)))
-	binary.BigEndian.PutUint16(buf[8:10], uint16(len(m.To)))
-	off := 10
-	off += copy(buf[off:], m.From)
-	off += copy(buf[off:], m.To)
-	copy(buf[off:], m.Payload)
-	_, err := conn.Write(buf)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(total))
+	buf = binary.BigEndian.AppendUint16(buf, m.Type)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.From)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.To)))
+	buf = append(buf, m.From...)
+	buf = append(buf, m.To...)
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+// writeFrame frames and writes one message (one allocation per call; the
+// tcpWriter hot path uses appendFrame with a reused buffer instead).
+func writeFrame(conn net.Conn, m Message) error {
+	_, err := conn.Write(appendFrame(nil, m))
 	return err
 }
 

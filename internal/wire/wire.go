@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Encoding errors.
@@ -30,6 +31,39 @@ type Writer struct {
 // NewWriter returns a writer with the given capacity pre-allocated.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// writerPool recycles encode buffers for hot paths (WAL record encoding,
+// transport framing) where the encoding's lifetime is clearly bounded.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// pooledBufCap bounds the buffers the pool retains; the occasional huge
+// encoding (a jumbo batch) should not pin megabytes per pool slot.
+const pooledBufCap = 1 << 20
+
+// GetWriter returns a pooled writer with at least the given capacity.
+// Pair it with PutWriter once the encoding — including every slice
+// obtained from Bytes — is no longer referenced; paths whose encodings
+// escape into long-lived structures should use NewWriter instead.
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < capacity {
+		w.buf = make([]byte, 0, capacity)
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return w
+}
+
+// PutWriter recycles a writer obtained from GetWriter. The caller must
+// not touch w (or any Bytes result aliasing it) afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > pooledBufCap {
+		w.buf = nil
+	} else {
+		w.buf = w.buf[:0]
+	}
+	writerPool.Put(w)
 }
 
 // Bytes returns the accumulated encoding. The slice aliases the writer's
