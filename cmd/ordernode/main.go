@@ -51,14 +51,13 @@ func run() error {
 	blockTimeout := flag.Duration("block-timeout", 500*time.Millisecond, "partial-block cut timeout (0 disables)")
 	batch := flag.Int("batch", 400, "consensus batch limit")
 	workers := flag.Int("workers", 16, "signing workers")
-	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + blocks + checkpoints); empty runs in-memory")
-	walSegment := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment size for the decision log and block store (compaction granularity)")
-	checkpointIvl := flag.Int64("checkpoint-interval", 0, "decisions between consensus checkpoints (0 = default); checkpoints prune the decision log")
-	blockSegment := flag.Int64("block-segment-bytes", 0, "block-store segment size (retention compaction granularity; 0 inherits -wal-segment-bytes)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (unified commit log + checkpoints); empty runs in-memory")
+	walSegment := flag.Int64("wal-segment-bytes", 4<<20, "unified commit-log segment size; segments are reclaimed only once behind the consensus checkpoint AND below every channel's retention floor")
+	checkpointIvl := flag.Int64("checkpoint-interval", 0, "decisions between consensus checkpoints (0 = default); checkpoints make decision records reclaimable")
 	retainBlocks := flag.Uint64("retain-blocks", 0, "durable blocks retained per channel before block-store compaction prunes below the floor (0 = retain everything)")
 	retainBytes := flag.Int64("retain-bytes", 0, "block-store on-disk size that triggers compaction (0 = no bytes trigger); SIGHUP forces a compaction")
-	commitDelay := flag.Duration("commit-max-delay", 0, "fsync coalescing window of the shared commit queue (0 = commit greedily); longer waves trade commit latency for fewer fsyncs")
-	commitBatch := flag.Int("commit-max-batch", 0, "max records one log contributes to a single fsync wave (0 = default 1024)")
+	commitDelay := flag.Duration("commit-max-delay", 0, "fsync coalescing window of the commit queue (0 = commit greedily); longer waves trade commit latency for fewer fsyncs — each wave is exactly one fsync")
+	commitBatch := flag.Int("commit-max-batch", 0, "max records merged into a single fsync wave (0 = default 1024)")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
@@ -115,17 +114,16 @@ func run() error {
 			CheckpointInterval: *checkpointIvl,
 			Key:                key,
 		},
-		BlockSize:            *block,
-		BlockTimeout:         *blockTimeout,
-		SigningWorkers:       *workers,
-		Key:                  key,
-		DataDir:              *dataDir,
-		WALSegmentBytes:      *walSegment,
-		BlockWALSegmentBytes: *blockSegment,
-		RetainBlocks:         *retainBlocks,
-		RetainBytes:          *retainBytes,
-		CommitMaxDelay:       *commitDelay,
-		CommitMaxBatch:       *commitBatch,
+		BlockSize:       *block,
+		BlockTimeout:    *blockTimeout,
+		SigningWorkers:  *workers,
+		Key:             key,
+		DataDir:         *dataDir,
+		WALSegmentBytes: *walSegment,
+		RetainBlocks:    *retainBlocks,
+		RetainBytes:     *retainBytes,
+		CommitMaxDelay:  *commitDelay,
+		CommitMaxBatch:  *commitBatch,
 	}, conn)
 	if err != nil {
 		return err

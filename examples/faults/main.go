@@ -37,12 +37,13 @@ func run() error {
 	}
 	defer os.RemoveAll(dataDir)
 	cluster, err := core.NewCluster(core.ClusterConfig{
-		Nodes:                4,
-		BlockSize:            2,
-		RequestTimeout:       time.Second, // fast leader change for the demo
-		DataDir:              dataDir,     // every node keeps a WAL + block store
-		BlockWALSegmentBytes: 1024,        // tiny block segments so pruning bites early
-		RetainBlocks:         6,           // durable blocks retained per channel
+		Nodes:              4,
+		BlockSize:          2,
+		RequestTimeout:     time.Second, // fast leader change for the demo
+		DataDir:            dataDir,     // every node keeps a unified commit log
+		WALSegmentBytes:    2048,        // tiny segments so pruning bites early
+		CheckpointInterval: 4,           // frequent checkpoints free decision records
+		RetainBlocks:       6,           // durable blocks retained per channel
 	})
 	if err != nil {
 		return err

@@ -30,15 +30,21 @@ func run() error {
 	// A 4-node cluster tolerates f=1 Byzantine ordering node. Blocks hold
 	// 5 envelopes; partial blocks are cut after 250 ms. Every node keeps
 	// a durable ledger under dataDir bounded by retention: once a channel
-	// exceeds 8 durable blocks, nodes snapshot a manifest and drop old
-	// block-WAL segments (tiny segments here so pruning bites quickly).
+	// exceeds 8 durable blocks, nodes snapshot a manifest and drop whole
+	// commit-log segments that hold no live decision or block.
 	cluster, err := core.NewCluster(core.ClusterConfig{
-		Nodes:                4,
-		BlockSize:            5,
-		BlockTimeout:         250 * time.Millisecond,
-		DataDir:              dataDir,
-		BlockWALSegmentBytes: 2048,
-		RetainBlocks:         8,
+		Nodes:        4,
+		BlockSize:    5,
+		BlockTimeout: 250 * time.Millisecond,
+		DataDir:      dataDir,
+		// Decisions and blocks share one unified commit log; a segment
+		// is reclaimed only when it is behind the consensus checkpoint
+		// AND below the retention floor, so the demo checkpoints often
+		// (and uses tiny segments) to make pruning visible quickly.
+		WALSegmentBytes:    2048,
+		BatchSize:          10, // keep decision records well under the tiny segments
+		CheckpointInterval: 4,
+		RetainBlocks:       8,
 	})
 	if err != nil {
 		return err

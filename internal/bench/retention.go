@@ -20,7 +20,7 @@ type RetentionBenchConfig struct {
 	// EnvelopesPerBlock and EnvelopeBytes shape each block.
 	EnvelopesPerBlock int
 	EnvelopeBytes     int
-	// SegmentBytes is the block WAL segment size (the compaction
+	// SegmentBytes is the commit-log segment size (the compaction
 	// granularity).
 	SegmentBytes int64
 	// Policy is the retention policy under test.

@@ -16,6 +16,13 @@ import (
 type clientDedup struct {
 	floor  uint64 // every seq in [1, floor] has been executed
 	sparse map[uint64]bool
+	// lowest memoizes the smallest sequence in sparse (0 = unknown,
+	// recompute on demand). compact runs once per decided instance per
+	// client; without the memo its find-the-lowest scan walks the whole
+	// sparse set every time, because a session-gap jump leaves a
+	// permanent hole right above the floor. The memo makes compact O(1)
+	// amortized on the hot path.
+	lowest uint64
 }
 
 func newClientDedup() *clientDedup {
@@ -32,13 +39,36 @@ func (d *clientDedup) mark(seq uint64) {
 	if seq <= d.floor {
 		return
 	}
+	wasEmpty := len(d.sparse) == 0
 	d.sparse[seq] = true
+	if wasEmpty || (d.lowest != 0 && seq < d.lowest) {
+		// An unknown memo (0) over a non-empty set stays unknown: seq may
+		// not be the true minimum.
+		d.lowest = seq
+	}
 }
 
 // unmark forgets seq (tentative rollback). Only sequences above the floor
 // can be rolled back: compaction is restricted to stable prefixes.
 func (d *clientDedup) unmark(seq uint64) {
 	delete(d.sparse, seq)
+	if seq == d.lowest {
+		d.lowest = 0 // unknown; recomputed on the next compact
+	}
+}
+
+// lowestSparse returns the smallest sequence in the sparse set (which
+// must be non-empty), recomputing the memo only when an unmark or a
+// floor advance invalidated it.
+func (d *clientDedup) lowestSparse() uint64 {
+	if d.lowest == 0 {
+		for s := range d.sparse {
+			if d.lowest == 0 || s < d.lowest {
+				d.lowest = s
+			}
+		}
+	}
+	return d.lowest
 }
 
 // sessionGap is the sequence gap beyond which compaction concludes the
@@ -65,12 +95,7 @@ const compactHeadroom = 1 << 15
 // closes.
 func (d *clientDedup) compact() {
 	if len(d.sparse) > 0 && !d.sparse[d.floor+1] {
-		lowest := uint64(0)
-		for s := range d.sparse {
-			if lowest == 0 || s < lowest {
-				lowest = s
-			}
-		}
+		lowest := d.lowestSparse()
 		if lowest > d.floor+sessionGap {
 			d.floor = lowest - compactHeadroom
 		} else if lowest > d.floor+1 && len(d.sparse) >= compactHeadroom {
@@ -80,6 +105,9 @@ func (d *clientDedup) compact() {
 	for d.sparse[d.floor+1] {
 		d.floor++
 		delete(d.sparse, d.floor)
+		if d.floor == d.lowest {
+			d.lowest = 0 // consumed; recomputed on demand
+		}
 	}
 }
 

@@ -26,14 +26,17 @@ type Durability interface {
 
 // DecisionToken tracks an asynchronously enqueued decision record: Wait
 // blocks until the record is fsynced and returns the commit error, if
-// any.
+// any; Done reports completion without blocking (the replica polls it to
+// surface commit failures from the event loop without ever stalling on
+// the fsync).
 type DecisionToken interface {
 	Wait() error
+	Done() bool
 }
 
 // AsyncDurability is the optional extension backends implement when they
 // can enqueue a decision record and complete it on a later group commit
-// (storage.NodeStorage's shared commit queue). A replica whose backend
+// (storage.NodeStorage's commit queue over the unified log). A replica whose backend
 // implements it logs decisions without blocking the event loop on the
 // fsync: the record is enqueued in sequence order, the loop keeps
 // executing, and the application gates externally visible effects on the
@@ -142,8 +145,18 @@ func (r *Replica) logDecision(seq int64, batch [][]byte) {
 		// on-disk log stays dense, and the application gates visible
 		// effects on the token. A commit failure poisons the backend's
 		// log (later enqueues fail too) and surfaces on the token at the
-		// gate — the event loop itself never stalls on the fsync.
-		r.durableAsync.AppendDecisionAsync(seq, batch)
+		// gate — the event loop itself never stalls on the fsync. The
+		// previous token is polled (never waited on) so a poisoned log is
+		// also reported here, from the loop, not only at the
+		// dissemination gate.
+		if prev := r.lastDecisionTok; prev != nil && prev.Done() {
+			if err := prev.Wait(); err != nil && !r.durableFailureLogged {
+				r.durableFailureLogged = true
+				fmt.Fprintf(os.Stderr, "consensus: replica %d: async decision log failed before seq %d: %v\n",
+					r.cfg.SelfID, seq, err)
+			}
+		}
+		r.lastDecisionTok = r.durableAsync.AppendDecisionAsync(seq, batch)
 		r.durableSeq = seq
 		return
 	}

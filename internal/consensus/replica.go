@@ -197,6 +197,11 @@ type Replica struct {
 	durableAsync AsyncDurability
 	durableSeq   int64
 	recoverState *DurableState
+	// lastDecisionTok is the newest enqueued decision's durability token
+	// (event-loop confined); logDecision polls it so a poisoned log is
+	// reported from the loop, once.
+	lastDecisionTok      DecisionToken
+	durableFailureLogged bool
 
 	// Synchronization phase (leader change).
 	syncInProgress bool

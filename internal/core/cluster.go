@@ -50,13 +50,11 @@ type ClusterConfig struct {
 	// WAL, block store, and checkpoints under DataDir/node-<i>, and
 	// RestartNode can crash-recover it from there.
 	DataDir string
-	// WALSegmentBytes overrides the nodes' WAL segment size (decision log
-	// and block store; zero keeps the 4 MiB default).
+	// WALSegmentBytes overrides the nodes' unified commit-log segment
+	// size (zero keeps the 4 MiB default); decisions and blocks share the
+	// log, so this is both the checkpoint-pruning and the retention
+	// compaction granularity.
 	WALSegmentBytes int64
-	// BlockWALSegmentBytes overrides the nodes' block-store segment size
-	// independently (zero inherits WALSegmentBytes); retention deletes
-	// whole block segments, so this is the compaction granularity.
-	BlockWALSegmentBytes int64
 	// RetainBlocks bounds every node's durable blocks per channel:
 	// exceeding it triggers block-store compaction (snapshot manifest +
 	// segment deletion), and seeks below the floor answer the pruned
@@ -65,7 +63,7 @@ type ClusterConfig struct {
 	// RetainBytes bounds every node's block store size on disk. Zero
 	// disables the bytes trigger.
 	RetainBytes int64
-	// CommitMaxDelay tunes every node's shared commit queue: the fsync
+	// CommitMaxDelay tunes every node's commit queue: the fsync
 	// coalescing window (zero commits greedily).
 	CommitMaxDelay time.Duration
 	// CommitMaxBatch caps the records one log contributes to a single
@@ -74,6 +72,11 @@ type ClusterConfig struct {
 	// CommitSyncHook, when set, runs at the start of every commit wave
 	// on every node (test instrumentation; see storage.Options.SyncHook).
 	CommitSyncHook func()
+	// CommitSyncHookFor, when set, supplies a per-node sync hook (nil
+	// results fall back to CommitSyncHook). Test instrumentation for
+	// scenarios that stall a single node's fsync waves while the rest of
+	// the cluster runs free.
+	CommitSyncHookFor func(node int) func()
 }
 
 // Cluster is a running in-process ordering service.
@@ -164,25 +167,35 @@ func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 			Key:                c.keys[i],
 			Registry:           c.Registry,
 		},
-		BlockSize:            c.cfg.BlockSize,
-		MaxBlockBytes:        c.cfg.MaxBlockBytes,
-		BlockTimeout:         c.cfg.BlockTimeout,
-		SigningWorkers:       c.cfg.SigningWorkers,
-		DisableSigning:       c.cfg.DisableSigning,
-		Key:                  c.keys[i],
-		DataDir:              dataDir,
-		WALSegmentBytes:      c.cfg.WALSegmentBytes,
-		BlockWALSegmentBytes: c.cfg.BlockWALSegmentBytes,
-		RetainBlocks:         c.cfg.RetainBlocks,
-		RetainBytes:          c.cfg.RetainBytes,
-		CommitMaxDelay:       c.cfg.CommitMaxDelay,
-		CommitMaxBatch:       c.cfg.CommitMaxBatch,
-		CommitSyncHook:       c.cfg.CommitSyncHook,
+		BlockSize:       c.cfg.BlockSize,
+		MaxBlockBytes:   c.cfg.MaxBlockBytes,
+		BlockTimeout:    c.cfg.BlockTimeout,
+		SigningWorkers:  c.cfg.SigningWorkers,
+		DisableSigning:  c.cfg.DisableSigning,
+		Key:             c.keys[i],
+		DataDir:         dataDir,
+		WALSegmentBytes: c.cfg.WALSegmentBytes,
+		RetainBlocks:    c.cfg.RetainBlocks,
+		RetainBytes:     c.cfg.RetainBytes,
+		CommitMaxDelay:  c.cfg.CommitMaxDelay,
+		CommitMaxBatch:  c.cfg.CommitMaxBatch,
+		CommitSyncHook:  c.nodeSyncHook(i),
 	}, conn)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
 	}
 	return node, nil
+}
+
+// nodeSyncHook resolves node i's commit sync hook: the per-node factory
+// wins, falling back to the cluster-wide hook.
+func (c *Cluster) nodeSyncHook(i int) func() {
+	if c.cfg.CommitSyncHookFor != nil {
+		if hook := c.cfg.CommitSyncHookFor(i); hook != nil {
+			return hook
+		}
+	}
+	return c.cfg.CommitSyncHook
 }
 
 // NodeDataDir returns node i's storage root (meaningful only with a

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -421,5 +422,188 @@ func TestRestartAfterCheckpointJumpBackfillsBlocks(t *testing.T) {
 	led = waitLedgerHeight(t, c.Nodes[3], "ch1", target, 15*time.Second)
 	if err := led.VerifyChain(); err != nil {
 		t.Fatalf("chain after second restart: %v", err)
+	}
+}
+
+// TestBlockDisseminatedBeforeBlockRecordDurable proves the decision-gated
+// early-dissemination contract, both directions, against a single node
+// whose commit waves the test controls (the other three run free, so the
+// cluster keeps ordering):
+//
+//  1. while node 0's waves are stalled, its sealed block is NOT
+//     disseminated — the decision record is not durable yet (the gate
+//     the paper's write-ahead rule requires);
+//  2. after exactly one wave (the one carrying the decision records)
+//     commits, node 0 disseminates the block although its BLOCK record
+//     is still stuck in a later, stalled wave — observed as the persist
+//     watermark sitting below the disseminated height.
+//
+// A raw transport endpoint registered only with node 0 observes that
+// node's dissemination directly, so the assertions are per node, not
+// quorum-blurred.
+func TestBlockDisseminatedBeforeBlockRecordDurable(t *testing.T) {
+	permits := make(chan struct{})
+	var open atomic.Bool
+	open.Store(true)
+	var closeOnce sync.Once
+	releaseAll := func() {
+		open.Store(true)
+		closeOnce.Do(func() { close(permits) })
+	}
+	defer releaseAll()
+	hook := func() {
+		if open.Load() {
+			return
+		}
+		<-permits
+	}
+	c := testCluster(t, ClusterConfig{
+		Nodes:     4,
+		BlockSize: 2,
+		DataDir:   t.TempDir(),
+		CommitSyncHookFor: func(node int) func() {
+			if node == 0 {
+				return hook
+			}
+			return nil
+		},
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := deliverNewest(t, fe, "ch1")
+
+	// A raw listener subscribed to node 0 only: every MsgBlock it sees
+	// left node 0.
+	listener, err := c.Network.Join("listener-0")
+	if err != nil {
+		t.Fatalf("join listener: %v", err)
+	}
+	defer listener.Close()
+	node0 := c.Replicas()[0].Addr()
+	listener.Send(node0, MsgRegister, nil)
+	fromNode0 := make(chan *fabric.Block, 16)
+	go func() {
+		for m := range listener.Inbox() {
+			if m.Type != MsgBlock {
+				continue
+			}
+			if _, b, err := unmarshalBlockMsg(m.Payload); err == nil {
+				fromNode0 <- b
+			}
+		}
+	}()
+	waitNode0Block := func(number uint64, within time.Duration) bool {
+		deadline := time.After(within)
+		for {
+			select {
+			case b := <-fromNode0:
+				if b.Header.Number == number {
+					return true
+				}
+			case <-deadline:
+				return false
+			}
+		}
+	}
+
+	// Phase 1: waves open. Block 0 flows everywhere; node 0's put token
+	// completes, so its persist watermark reaches 1.
+	for i := 0; i < 2; i++ {
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d: %v", i, st)
+		}
+	}
+	collectBlocks(t, stream, 2, 10*time.Second)
+	if !waitNode0Block(0, 10*time.Second) {
+		t.Fatal("node 0 never disseminated block 0")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Nodes[0].PersistWatermark("ch1") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 persist watermark stuck at %d, want 1", c.Nodes[0].PersistWatermark("ch1"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 2: stall node 0's waves and order block 1. The other three
+	// nodes release it to the frontend; node 0 seals it (async decision
+	// logging keeps its event loop running) but must disseminate NOTHING
+	// — its decision record is not durable.
+	open.Store(false)
+	for i := 2; i < 4; i++ {
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d: %v", i, st)
+		}
+	}
+	collectBlocks(t, stream, 2, 10*time.Second) // quorum of the unstalled nodes
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Nodes[0].Stats().BlocksCut < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 stalled entirely: %d blocks cut", c.Nodes[0].Stats().BlocksCut)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if waitNode0Block(1, 300*time.Millisecond) {
+		t.Fatal("node 0 disseminated block 1 before its decision record was durable")
+	}
+
+	// Phase 3: grant single wave permits. The first wave that commits
+	// carries node 0's pending decision records (its block put is still
+	// held at the gate, so it cannot be in that wave); dissemination must
+	// follow while the block record sits in the next, still-stalled wave.
+	disseminated := false
+	for i := 0; i < 10 && !disseminated; i++ {
+		select {
+		case permits <- struct{}{}:
+		case <-time.After(2 * time.Second):
+			t.Fatal("no wave waiting for a permit")
+		}
+		disseminated = waitNode0Block(1, time.Second)
+	}
+	if !disseminated {
+		t.Fatal("node 0 never disseminated block 1 after its decision waves committed")
+	}
+	if mark := c.Nodes[0].PersistWatermark("ch1"); mark != 1 {
+		t.Fatalf("persist watermark = %d at dissemination time, want 1 (block record must not be durable yet)", mark)
+	}
+
+	// Phase 4: release everything; the block record drains, the watermark
+	// catches up, and the durable chain verifies.
+	releaseAll()
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Nodes[0].PersistWatermark("ch1") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("persist watermark stuck at %d after release", c.Nodes[0].PersistWatermark("ch1"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	led := waitLedgerHeight(t, c.Nodes[0], "ch1", 2, 5*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("node 0 chain after release: %v", err)
+	}
+}
+
+// TestPersistWatermarkTracksDurableHeight checks the watermark under
+// normal operation: it converges to the ledger height once put tokens
+// complete, on every node.
+func TestPersistWatermarkTracksDurableHeight(t *testing.T) {
+	c := testCluster(t, ClusterConfig{Nodes: 4, BlockSize: 2, DataDir: t.TempDir()})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := deliverNewest(t, fe, "ch1")
+	const envs = 8 // 4 blocks
+	for i := 0; i < envs; i++ {
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d: %v", i, st)
+		}
+	}
+	collectBlocks(t, stream, envs, 10*time.Second)
+	for i := range c.Nodes {
+		waitLedgerHeight(t, c.Nodes[i], "ch1", 4, 5*time.Second)
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Nodes[i].PersistWatermark("ch1") < 4 {
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d watermark stuck at %d, want 4", i, c.Nodes[i].PersistWatermark("ch1"))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 	}
 }

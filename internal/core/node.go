@@ -89,16 +89,14 @@ type NodeConfig struct {
 	// DataDir, when non-empty and Storage is nil, makes NewNode open (and
 	// own: Stop closes it) durable storage rooted at this directory.
 	DataDir string
-	// WALSegmentBytes overrides the WAL segment size (decision log and
-	// block store) of storage opened via DataDir; zero keeps the 4 MiB
-	// default. Smaller segments prune sooner behind checkpoints (and,
-	// with retention enabled, behind the block-store floor).
+	// WALSegmentBytes overrides the unified commit log's segment size of
+	// storage opened via DataDir; zero keeps the 4 MiB default. Decisions
+	// and blocks share one physical log, so this is both the
+	// checkpoint-pruning and the retention-compaction granularity: a
+	// segment is reclaimed only once it is behind the consensus
+	// checkpoint AND below every channel's retention floor.
 	WALSegmentBytes int64
-	// BlockWALSegmentBytes overrides the block store's segment size
-	// independently (zero inherits WALSegmentBytes). Retention deletes
-	// whole block segments, so this is the compaction granularity.
-	BlockWALSegmentBytes int64
-	// CommitMaxDelay tunes the shared commit queue of storage opened via
+	// CommitMaxDelay tunes the commit queue of storage opened via
 	// DataDir: how long an fsync wave waits after its first pending
 	// append before flushing, trading commit latency for larger groups.
 	// Zero commits greedily.
@@ -247,11 +245,10 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 	if store == nil && cfg.DataDir != "" {
 		var err error
 		store, err = storage.Open(cfg.DataDir, storage.Options{
-			SegmentBytes:      cfg.WALSegmentBytes,
-			BlockSegmentBytes: cfg.BlockWALSegmentBytes,
-			CommitMaxDelay:    cfg.CommitMaxDelay,
-			CommitMaxBatch:    cfg.CommitMaxBatch,
-			SyncHook:          cfg.CommitSyncHook,
+			SegmentBytes:   cfg.WALSegmentBytes,
+			CommitMaxDelay: cfg.CommitMaxDelay,
+			CommitMaxBatch: cfg.CommitMaxBatch,
+			SyncHook:       cfg.CommitSyncHook,
 		})
 		if err != nil {
 			if signer != nil {
@@ -619,13 +616,18 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 // the contiguous run (draining guards it), which keeps both the durable
 // appends and the outgoing sends in strict block-number order. epoch
 // invalidates in-flight completions when a rollback or state transfer
-// rewrites the chain.
+// rewrites the chain. durableHeight is the persist watermark: the height
+// up to which this channel's block records are known durable (put tokens
+// completed) — dissemination does NOT wait for it, only the decision
+// gate; the watermark exists for observability and for crash reasoning
+// (everything above it is re-derivable from the decision log or peers).
 type blockSender struct {
-	epoch    uint64
-	started  bool
-	next     uint64
-	pending  map[uint64]pendingBlock
-	draining bool
+	epoch         uint64
+	started       bool
+	next          uint64
+	pending       map[uint64]pendingBlock
+	draining      bool
+	durableHeight uint64
 }
 
 // pendingBlock is one signed block parked in a sender, with the
@@ -655,17 +657,27 @@ func (n *OrderingNode) reserveSend(channel string, number uint64) uint64 {
 }
 
 // completeSend hands a signed block to the sequencer; everything that is
-// now contiguous waits out its decision's durability token, is persisted
-// (signature included), and then disseminated, in block-number order.
-// Runs on signing-pool workers (or the event loop with signing disabled).
-// The drain is single-flight per channel: a worker that finds another one
+// now contiguous waits out its decision's durability token and is then
+// persisted AND disseminated, in block-number order. Runs on
+// signing-pool workers (or the event loop with signing disabled). The
+// drain is single-flight per channel: a worker that finds another one
 // draining just deposits its block, so the durable appends run in order,
-// off the event loop, after signing. With decision logging asynchronous,
-// the token wait here is the write-ahead discipline's enforcement point:
-// nothing leaves the node before its decision record is fsynced, but the
-// consensus loop never stalls on that fsync — and because both logs share
-// one commit queue, the block append that follows rides a wave with
-// whatever decisions are in flight.
+// off the event loop, after signing.
+//
+// The decision token is the ONLY durability gate: the paper's
+// write-ahead rule requires the decision to be on disk before anything
+// leaves the node — the block record itself is re-derivable (recovery
+// re-seals blocks from the decision replay, and peers hold disseminated
+// copies), so the drain disseminates as soon as the decision is durable
+// and lets the block put complete in a later commit wave,
+// fire-and-forget. A per-channel persist watermark (advanced by a waiter
+// on each run's last put token; puts are FIFO) records how far the
+// durable block prefix actually reaches, so crash re-persist and tests
+// can see exactly which tail a kill would need to re-derive. Because
+// decisions and blocks share one unified commit log, the wave that made
+// the decision durable — the one this drain just waited out — is a
+// single fsync, and the block records ride whichever single-fsync wave
+// comes next.
 func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.Block, gate *storage.Token) {
 	n.sendMu.Lock()
 	s, ok := n.senders[channel]
@@ -696,11 +708,8 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 			return
 		}
 		n.sendMu.Unlock()
-		// Persist the whole contiguous run first, asynchronously: each
-		// append is enqueued on the shared commit queue and the run's
-		// last token covers every earlier one (FIFO), so the run costs
-		// one fsync wave instead of one per block.
 		var lastPut fabric.DurableToken
+		var lastNum uint64
 		for _, pb := range out {
 			b := pb.block
 			if pb.gate != nil {
@@ -725,23 +734,21 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 			if stale {
 				return // the reset cleared the drain flag for the new epoch
 			}
+			// Enqueue the block record (fire-and-forget) and disseminate
+			// immediately: the decision gate above is the only durability
+			// the paper requires before the block leaves the node.
 			if n.storage != nil {
 				if tok := n.persistBlockAsync(channel, b); tok != nil {
 					lastPut = tok
+					lastNum = b.Header.Number
 				}
 			}
+			n.disseminate(channel, b)
 		}
 		if lastPut != nil {
-			// The run leaves the node only after it is on disk (the
-			// historical persist-before-disseminate order, now paid once
-			// per run).
-			if err := lastPut.Wait(); err != nil {
-				fmt.Fprintf(os.Stderr, "ordering node %d: persisting %q blocks: %v\n",
-					n.ID(), channel, err)
-			}
-		}
-		for _, pb := range out {
-			n.disseminate(channel, pb.block)
+			// Advance the persist watermark off the drain: puts are FIFO
+			// per channel, so the run's last token covers the whole run.
+			go n.advanceWatermark(channel, epoch, lastNum, lastPut)
 		}
 		if n.retention != nil {
 			n.retention.MaybeCompact()
@@ -755,6 +762,42 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 			return
 		}
 	}
+}
+
+// advanceWatermark waits out a run's last put token and records the
+// durable block height it proves. A failed put means the log is poisoned
+// — durability of the tail is lost (recovery re-derives it from the
+// decision log or peers); report it loudly, once per failure.
+func (n *OrderingNode) advanceWatermark(channel string, epoch uint64, lastNum uint64, tok fabric.DurableToken) {
+	if err := tok.Wait(); err != nil {
+		fmt.Fprintf(os.Stderr, "ordering node %d: persisting %q blocks through %d: %v\n",
+			n.ID(), channel, lastNum, err)
+		return
+	}
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	s, ok := n.senders[channel]
+	if !ok || s.epoch != epoch {
+		return // the chain was rewritten; the new epoch re-anchors the mark
+	}
+	if lastNum+1 > s.durableHeight {
+		s.durableHeight = lastNum + 1
+	}
+}
+
+// PersistWatermark returns the channel's durable block height as proven
+// by completed put tokens: every block below it has its record fsynced
+// in the unified commit log. Dissemination may run ahead of it — the
+// decision gate, not block durability, is what blocks wait for — which
+// is exactly what the early-dissemination tests assert. Safe from any
+// goroutine.
+func (n *OrderingNode) PersistWatermark(channel string) uint64 {
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	if s, ok := n.senders[channel]; ok {
+		return s.durableHeight
+	}
+	return 0
 }
 
 // resetSender invalidates a channel's in-flight dissemination after its
@@ -790,7 +833,7 @@ func (n *OrderingNode) persistBlock(channel string, block *fabric.Block) {
 }
 
 // persistBlockAsync is persistBlock for the send drain: the block's
-// record is enqueued on the shared commit queue and the returned token
+// record is enqueued on the unified commit log and the returned token
 // completes when it is on disk (nil when nothing was enqueued: a replay
 // duplicate, a parked gap block, or a rejected append). Same-channel
 // calls are ordered by the drain's single-flight discipline; ledgerMu is

@@ -35,11 +35,18 @@ func waitLedgerFloor(t *testing.T, n *OrderingNode, channel string, floor uint64
 // error, and Deliver(Oldest) resumes at the cluster's floor.
 func TestRetentionBoundsDiskAndSeeksAnswerPruned(t *testing.T) {
 	c := testCluster(t, ClusterConfig{
-		Nodes:                4,
-		BlockSize:            2,
-		DataDir:              t.TempDir(),
-		BlockWALSegmentBytes: 1024,
-		RetainBlocks:         6,
+		Nodes:     4,
+		BlockSize: 2,
+		DataDir:   t.TempDir(),
+		// Decisions and blocks share the unified log, so reclamation
+		// needs BOTH floors to move: small segments make whole-segment
+		// pruning bite, a small batch keeps decision records under the
+		// segment size, and aggressive checkpoints keep the decision
+		// floor from pinning segments the retention floor has passed.
+		WALSegmentBytes:    2048,
+		BatchSize:          8,
+		CheckpointInterval: 4,
+		RetainBlocks:       6,
 	})
 	fe := testFrontend(t, c, "frontend-0", false)
 	stream := deliverNewest(t, fe, "ch")
@@ -116,12 +123,13 @@ func TestRetentionBoundsDiskAndSeeksAnswerPruned(t *testing.T) {
 // a second restart proves.
 func TestRestartedNodeRebasesOverClusterWidePrunedGap(t *testing.T) {
 	c := testCluster(t, ClusterConfig{
-		Nodes:                4,
-		BlockSize:            2,
-		DataDir:              t.TempDir(),
-		CheckpointInterval:   2, // aggressive checkpoints force a state-transfer jump
-		BlockWALSegmentBytes: 512,
-		RetainBlocks:         4,
+		Nodes:              4,
+		BlockSize:          2,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2, // aggressive checkpoints force a state-transfer jump
+		WALSegmentBytes:    1024,
+		BatchSize:          8,
+		RetainBlocks:       4,
 	})
 	fe := testFrontend(t, c, "frontend-0", false)
 	stream := deliverNewest(t, fe, "ch")

@@ -78,20 +78,39 @@ func NewBlock(number uint64, prevHash cryptoutil.Digest, envelopes [][]byte) *Bl
 	}
 }
 
-// Marshal encodes the block.
-func (b *Block) Marshal() []byte {
+// MarshaledSize returns an upper bound on the block's encoded size
+// (callers size encode buffers with it; the hot persist path uses pooled
+// buffers and must not guess low).
+func (b *Block) MarshaledSize() int {
 	size := headerWireSize + 16
 	for _, e := range b.Envelopes {
 		size += len(e) + 4
 	}
-	w := wire.NewWriter(size)
-	w.PutRaw(b.Header.Marshal())
+	for _, s := range b.Signatures {
+		size += len(s.SignerID) + len(s.Signature) + 8
+	}
+	return size
+}
+
+// MarshalInto appends the block's encoding to an existing writer. The
+// storage layer uses it to frame block records in pooled buffers without
+// an intermediate allocation per put.
+func (b *Block) MarshalInto(w *wire.Writer) {
+	w.PutUint64(b.Header.Number)
+	w.PutRaw(b.Header.PrevHash[:])
+	w.PutRaw(b.Header.DataHash[:])
 	w.PutBytesSlice(b.Envelopes)
 	w.PutUvarint(uint64(len(b.Signatures)))
 	for _, s := range b.Signatures {
 		w.PutString(s.SignerID)
 		w.PutBytes(s.Signature)
 	}
+}
+
+// Marshal encodes the block.
+func (b *Block) Marshal() []byte {
+	w := wire.NewWriter(b.MarshaledSize())
+	b.MarshalInto(w)
 	return w.Bytes()
 }
 

@@ -33,7 +33,7 @@ type DurableToken interface {
 
 // AsyncBlockBackend is the optional extension backends implement when
 // they can enqueue a block put and complete it on a later group commit
-// (storage.NodeStorage's shared commit queue). AppendAsync uses it to
+// (storage.NodeStorage's commit queue over the unified log). AppendAsync uses it to
 // persist a contiguous run of blocks in one fsync wave instead of one
 // wave per block.
 type AsyncBlockBackend interface {

@@ -3,6 +3,8 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/cryptoutil"
@@ -11,23 +13,35 @@ import (
 	"repro/internal/wire"
 )
 
-// BlockStore persists sealed blocks, per channel, in an append-only WAL of
-// its own (one record per block, wire-encoded with the channel name, with
-// whatever node signatures the block carries). It is the durable mirror
-// of a fabric.Ledger, bounded by retention: a snapshot manifest records,
-// per channel, the first retained block, its previous-hash anchor, and
-// the block-number → WAL-record index of the retained window; compaction
-// rewrites the manifest and drops whole WAL segments below the retention
-// floor. Recovery loads the manifest first, seeds its read index from it
-// without decoding the retained window, and replays only records above
-// the manifest frontier — so a restarted node serves ReadBlocks from the
-// floor upward and answers below-floor reads with a typed
-// fabric.ErrPruned. Reads go through the WAL's per-segment byte-offset
-// index: a single positioned read per block, not a decode-from-zero
-// prefix scan.
+// BlockStore persists sealed blocks, per channel, as typed block records
+// in the unified commit log it shares with the decision log (one record
+// per block, wire-encoded with the channel name and whatever node
+// signatures the block carries). It is the durable mirror of a
+// fabric.Ledger, bounded by retention: a snapshot manifest records, per
+// channel, the first retained block, its previous-hash anchor, and the
+// block-number → log-record index of the retained window; compaction
+// rewrites the manifest and drops whole shared-log segments — but only
+// segments that are dead under the two-condition rule (no live block
+// record AND wholly behind the consensus checkpoint's decision floor),
+// because decisions and blocks now interleave in the same segment files.
+// Recovery is a single typed walk driven by the owner (NodeStorage, or
+// OpenBlockStore standalone): the manifest seeds the read index without
+// decoding the retained window, block records above the manifest frontier
+// rebuild the index tail, channel-meta records replay rebases, and
+// decision records are someone else's (skipped here after a one-byte
+// peek). Reads go through the log's per-segment byte-offset index: a
+// single positioned read per block, not a decode-from-zero prefix scan.
 type BlockStore struct {
-	dir string
-	wal *WAL
+	dir     string
+	wal     *WAL
+	ownsWAL bool
+
+	// decisionFloor reports the decision-liveness floor of the shared
+	// log (every record below it holds no decision the newest consensus
+	// checkpoint has not subsumed). NodeStorage wires it; a standalone
+	// store (no decisions in its log) leaves it nil, which means "no
+	// decision constraint".
+	decisionFloor func() uint64
 
 	mu   sync.Mutex
 	cond *sync.Cond // signaled when an in-flight Put finishes indexing
@@ -35,8 +49,13 @@ type BlockStore struct {
 	heights map[string]uint64            // next expected block number per channel
 	floors  map[string]uint64            // first retained block number per channel
 	anchors map[string]cryptoutil.Digest // PrevHash of the block at the floor
-	// index[ch][i] is the WAL record index of block floors[ch]+i.
+	// index[ch][i] is the shared-log record index of block floors[ch]+i.
 	index map[string][]uint64
+
+	// Recovery-walk state, cleared by finishRecovery.
+	manifestFrontier uint64
+	seeded           map[string]int // manifest-indexed blocks per channel
+	lastReplayed     map[string]*fabric.Block
 
 	recovered map[string]ChainInfo
 }
@@ -55,65 +74,117 @@ type ChainInfo struct {
 	LastHash cryptoutil.Digest
 }
 
-// OpenBlockStore opens the store in cfg.Dir: it loads the retention
-// manifest (when one exists), re-applies any segment deletions a crash
-// interrupted, seeds the block index from the manifest, and replays only
-// the records above the manifest frontier. The recovered chain frontiers
-// stay available via Chains until the caller takes them.
+// newBlockStore builds the index layer over an already-open shared log.
+// The caller drives recovery: seedFromManifest, then a typed walk feeding
+// applyRecord, then finishRecovery.
+func newBlockStore(dir string, wal *WAL, ownsWAL bool) *BlockStore {
+	s := &BlockStore{
+		dir:     dir,
+		wal:     wal,
+		ownsWAL: ownsWAL,
+		heights: make(map[string]uint64),
+		floors:  make(map[string]uint64),
+		anchors: make(map[string]cryptoutil.Digest),
+		index:   make(map[string][]uint64),
+		seeded:  make(map[string]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// OpenBlockStore opens a standalone store that owns its log in cfg.Dir
+// (benchmarks and block-only deployments; an ordering node's store is
+// opened by NodeStorage over the node's unified log instead). Recovery is
+// the same typed walk NodeStorage runs: manifest seed, record walk,
+// seam verification, then re-application of any segment deletions a
+// crash interrupted.
 func OpenBlockStore(cfg WALConfig) (*BlockStore, error) {
 	wal, err := OpenWAL(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &BlockStore{
-		dir:     cfg.Dir,
-		wal:     wal,
-		heights: make(map[string]uint64),
-		floors:  make(map[string]uint64),
-		anchors: make(map[string]cryptoutil.Digest),
-		index:   make(map[string][]uint64),
+	s := newBlockStore(cfg.Dir, wal, true)
+	if _, err := s.seedFromManifest(); err != nil {
+		wal.Close()
+		return nil, err
 	}
-	s.cond = sync.NewCond(&s.mu)
-	if err := s.recover(); err != nil {
+	err = wal.Replay(func(idx uint64, rec []byte) error {
+		return s.applyRecord(idx, rec)
+	})
+	if err == nil {
+		err = s.finishRecovery()
+	}
+	if err == nil {
+		err = s.prune()
+	}
+	if err != nil {
 		wal.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// recover seeds the store from the manifest and replays the log tail.
-func (s *BlockStore) recover() error {
+// seedFromManifest loads the retention manifest (when one exists) and
+// seeds floors, anchors, heights, and the read index from it, without
+// decoding a single block. It returns the manifest frontier: the walk
+// skips block records at or below it. Segment deletions a crash
+// interrupted are re-applied here from the manifest's own liveness
+// summary — the prefix of segments the snapshot already declared dead
+// under the two-condition rule goes before the walk even starts; the
+// post-walk prune then reclaims anything that became dead since.
+func (s *BlockStore) seedFromManifest() (frontier uint64, err error) {
 	manifest, found, err := retention.LoadManifest(s.dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	frontier := uint64(0)
-	seeded := make(map[string]int) // manifest-indexed blocks per channel
-	if found {
-		if last := s.wal.LastIndex(); manifest.Frontier > last {
-			return fmt.Errorf("%w: manifest frontier %d past log end %d",
-				ErrCorrupt, manifest.Frontier, last)
+	if !found {
+		return 0, nil
+	}
+	if last := s.wal.LastIndex(); manifest.Frontier > last {
+		return 0, fmt.Errorf("%w: manifest frontier %d past log end %d",
+			ErrCorrupt, manifest.Frontier, last)
+	}
+	for channel, ch := range manifest.Channels {
+		s.floors[channel] = ch.Floor
+		s.anchors[channel] = ch.Anchor
+		s.heights[channel] = ch.Floor + uint64(len(ch.Index))
+		s.index[channel] = append([]uint64(nil), ch.Index...)
+		s.seeded[channel] = len(ch.Index)
+	}
+	s.manifestFrontier = manifest.Frontier
+	keep := uint64(0)
+	for _, seg := range manifest.Segments {
+		if !seg.Dead(manifest.DecisionFloor) {
+			break // liveness pins this segment (and prefix pruning stops)
 		}
-		for channel, ch := range manifest.Channels {
-			s.floors[channel] = ch.Floor
-			s.anchors[channel] = ch.Anchor
-			s.heights[channel] = ch.Floor + uint64(len(ch.Index))
-			s.index[channel] = append([]uint64(nil), ch.Index...)
-			seeded[channel] = len(ch.Index)
-		}
-		frontier = manifest.Frontier
-		// Re-apply deletions a crash may have interrupted: everything
-		// below KeepIdx is covered by the manifest floors.
-		if err := s.wal.PruneTo(manifest.KeepIdx); err != nil {
-			return err
+		keep = seg.Last + 1
+	}
+	if keep > 0 {
+		if err := s.wal.PruneTo(keep); err != nil {
+			return 0, err
 		}
 	}
+	return manifest.Frontier, nil
+}
 
-	// Replay the tail above the frontier. Records of a channel's pruned
-	// prefix that survive inside kept segments (whole-segment pruning, or
-	// a rebase over stale history) are skipped by block number.
-	last := make(map[string]*fabric.Block)
-	err = s.wal.ReadRange(frontier+1, s.wal.LastIndex(), func(idx uint64, rec []byte) error {
+// applyRecord is the block store's half of the typed recovery walk: block
+// records above the manifest frontier rebuild the index tail (skipping a
+// channel's pruned prefix by block number), channel-meta records replay
+// rebases, and decision records are skipped after the one-byte kind peek
+// (the owner's walk consumes those). Records of a channel's pruned
+// prefix that survive inside kept segments (whole-segment pruning) are
+// skipped by block number.
+func (s *BlockStore) applyRecord(idx uint64, rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("%w: empty record %d", ErrCorrupt, idx)
+	}
+	switch rec[0] {
+	case recDecision:
+		return nil // the decision log's walk handles these
+	case recBlock:
+		if idx <= s.manifestFrontier {
+			return nil // manifest-covered (or pruned): no decode needed
+		}
 		channel, block, err := decodeBlockRecord(rec)
 		if err != nil {
 			return err
@@ -126,7 +197,7 @@ func (s *BlockStore) recover() error {
 			return fmt.Errorf("%w: channel %q block %d, want %d",
 				ErrCorrupt, channel, num, s.heights[channel])
 		}
-		if prev := last[channel]; prev != nil {
+		if prev := s.lastReplayed[channel]; prev != nil {
 			if block.Header.PrevHash != prev.Header.Hash() {
 				return fmt.Errorf("%w: channel %q block %d breaks the hash chain",
 					ErrCorrupt, channel, num)
@@ -134,16 +205,38 @@ func (s *BlockStore) recover() error {
 		}
 		s.index[channel] = append(s.index[channel], idx)
 		s.heights[channel] = num + 1
-		last[channel] = block
+		if s.lastReplayed == nil {
+			s.lastReplayed = make(map[string]*fabric.Block)
+		}
+		s.lastReplayed[channel] = block
 		return nil
-	})
-	if err != nil {
-		return err
+	case recChannelMeta:
+		if idx <= s.manifestFrontier {
+			return nil // a newer manifest already reflects this rebase
+		}
+		channel, floor, anchor, err := decodeRebaseRecord(rec)
+		if err != nil {
+			return err
+		}
+		if floor < s.heights[channel] {
+			return nil // stale marker from before a newer manifest
+		}
+		s.floors[channel] = floor
+		s.heights[channel] = floor
+		s.anchors[channel] = anchor
+		s.index[channel] = nil
+		s.seeded[channel] = 0
+		delete(s.lastReplayed, channel)
+		return nil
+	default:
+		return fmt.Errorf("%w: record %d has unknown kind 0x%02x", ErrCorrupt, idx, rec[0])
 	}
+}
 
-	// Finalize per channel: verify the seams the seeded index skipped
-	// (floor anchor, manifest-to-replay linkage) with two positioned
-	// reads, and compute the chain frontier.
+// finishRecovery verifies the seams the seeded index skipped (floor
+// anchor, manifest-to-replay linkage) with two positioned reads per
+// channel, computes the chain frontiers, and clears the walk state.
+func (s *BlockStore) finishRecovery() error {
 	s.recovered = make(map[string]ChainInfo, len(s.heights))
 	for channel, height := range s.heights {
 		info := ChainInfo{
@@ -151,7 +244,8 @@ func (s *BlockStore) recover() error {
 			Anchor: s.anchors[channel],
 			Height: height,
 		}
-		n := seeded[channel]
+		n := s.seeded[channel]
+		last := s.lastReplayed[channel]
 		if n > 0 {
 			first, err := s.readOne(channel, s.index[channel][0])
 			if err != nil {
@@ -185,7 +279,7 @@ func (s *BlockStore) recover() error {
 						ErrCorrupt, channel, b.Header.Number)
 				}
 			}
-		} else if b := last[channel]; b != nil && info.Floor > 0 {
+		} else if last != nil && info.Floor > 0 {
 			// A rebase left no retained window; the first appended block
 			// carried the anchor check at append time, re-verify here.
 			firstIdx := s.index[channel][0]
@@ -198,8 +292,8 @@ func (s *BlockStore) recover() error {
 					ErrCorrupt, channel, first.Header.Number)
 			}
 		}
-		if b := last[channel]; b != nil {
-			info.LastHash = b.Header.Hash()
+		if last != nil {
+			info.LastHash = last.Header.Hash()
 		} else if n > 0 {
 			tip, err := s.readOne(channel, s.index[channel][n-1])
 			if err != nil {
@@ -209,6 +303,8 @@ func (s *BlockStore) recover() error {
 		}
 		s.recovered[channel] = info
 	}
+	s.lastReplayed = nil
+	s.seeded = make(map[string]int)
 	return nil
 }
 
@@ -220,7 +316,7 @@ func firstReplayed(idxs []uint64, seeded int) *uint64 {
 	return &idxs[seeded]
 }
 
-// readOne reads and decodes a single block record by WAL index.
+// readOne reads and decodes a single block record by log index.
 func (s *BlockStore) readOne(channel string, idx uint64) (*fabric.Block, error) {
 	var out *fabric.Block
 	err := s.wal.ReadRecords([]uint64{idx}, func(_ uint64, rec []byte) error {
@@ -276,7 +372,7 @@ func (s *BlockStore) Floor(channel string) uint64 {
 // calls for different channels may run concurrently and share one group
 // commit.
 func (s *BlockStore) Put(channel string, b *fabric.Block) error {
-	tok, err := s.PutAsync(channel, b)
+	tok, err := s.putAsync(channel, b, false)
 	if err != nil {
 		return err
 	}
@@ -288,10 +384,23 @@ func (s *BlockStore) Put(channel string, b *fabric.Block) error {
 // rules match Put (a replay duplicate returns an already-completed
 // token). Puts for one channel commit in call order, so a contiguous run
 // of blocks persists in one fsync wave — wait on the run's last token.
-// This is the block half of the shared commit queue's payoff: the send
-// drain enqueues the whole run and the records ride a wave together with
-// whatever decisions are in flight.
+// Because the block record rides the same unified log as the decision
+// records, the whole wave — decisions and blocks alike — costs a single
+// fsync.
 func (s *BlockStore) PutAsync(channel string, b *fabric.Block) (*Token, error) {
+	return s.putAsync(channel, b, false)
+}
+
+// PutAsyncLazy is PutAsync for callers that gate nothing on the block's
+// durability (the ordering node's send drain, which disseminates on the
+// decision gate alone): the record triggers no commit wave of its own
+// and piggybacks on the next decision's wave, so in steady state block
+// persistence adds zero fsyncs.
+func (s *BlockStore) PutAsyncLazy(channel string, b *fabric.Block) (*Token, error) {
+	return s.putAsync(channel, b, true)
+}
+
+func (s *BlockStore) putAsync(channel string, b *fabric.Block, lazy bool) (*Token, error) {
 	s.mu.Lock()
 	height := s.heights[channel]
 	if b.Header.Number < height {
@@ -306,11 +415,11 @@ func (s *BlockStore) PutAsync(channel string, b *fabric.Block) (*Token, error) {
 	s.heights[channel] = b.Header.Number + 1
 	s.mu.Unlock()
 
-	raw := b.Marshal()
-	w := wire.GetWriter(16 + len(channel) + len(raw))
+	w := wire.GetWriter(16 + len(channel) + b.MarshaledSize())
+	w.PutByte(recBlock)
 	w.PutString(channel)
-	w.PutBytes(raw)
-	tok, err := s.wal.appendAsync(w.Bytes(), func(idx uint64, err error) {
+	b.MarshalInto(w)
+	tok, err := s.wal.appendAsyncOpt(w.Bytes(), func(idx uint64, err error) {
 		// Commit callback (runs in log order): the frame was copied into
 		// the commit buffer, so the encode buffer recycles; on success
 		// the read index gains the record, re-quiescing the channel for
@@ -330,7 +439,7 @@ func (s *BlockStore) PutAsync(channel string, b *fabric.Block) (*Token, error) {
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
-	})
+	}, lazy)
 	if err != nil {
 		wire.PutWriter(w)
 		s.mu.Lock()
@@ -422,7 +531,8 @@ func (s *BlockStore) RetentionState() retention.State {
 // CompactTo snapshots and prunes: for each listed channel the retention
 // floor rises to the target (clamped so at least one block stays
 // retained and floors never regress), the manifest is atomically
-// replaced, and WAL segments wholly below every channel's floor are
+// replaced, and shared-log segments dead under the two-condition rule —
+// no live block record AND wholly behind the decision floor — are
 // deleted. The manifest lands before any deletion, so a crash anywhere
 // in between recovers a contiguous chain from the new floors. Returns
 // the floors actually applied (retention.Store).
@@ -430,7 +540,7 @@ func (s *BlockStore) CompactTo(floors map[string]uint64) (map[string]uint64, err
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Wait out in-flight Puts so the manifest's frontier covers every
-	// record below it (a Put between its WAL append and its index update
+	// record below it (a Put between its log append and its index update
 	// would otherwise vanish from recovery).
 	for !s.quiescentLocked() {
 		s.cond.Wait()
@@ -477,7 +587,7 @@ func (s *BlockStore) CompactTo(floors map[string]uint64) (map[string]uint64, err
 	if err := s.saveManifestLocked(); err != nil {
 		return nil, err
 	}
-	if err := s.wal.PruneTo(s.keepIdxLocked()); err != nil {
+	if err := s.pruneLocked(); err != nil {
 		return nil, err
 	}
 	return applied, nil
@@ -485,9 +595,11 @@ func (s *BlockStore) CompactTo(floors map[string]uint64) (map[string]uint64, err
 
 // RebaseBlocks jumps a channel forward over a gap that no peer can serve
 // anymore (everyone pruned it): the channel's floor, height, and anchor
-// move to the target, its stale history becomes prunable, and the
-// manifest is rewritten so a crash right after still recovers the
-// rebased chain (fabric.BlockRebaser).
+// move to the target, its stale history becomes prunable, and the jump
+// is made crash-safe twice over — a channel-meta rebase record is
+// fsynced into the shared log first (the typed recovery walk replays it
+// even if the manifest write below never lands), then the manifest is
+// rewritten (fabric.BlockRebaser).
 func (s *BlockStore) RebaseBlocks(channel string, floor uint64, anchor cryptoutil.Digest) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -498,6 +610,23 @@ func (s *BlockStore) RebaseBlocks(channel string, floor uint64, anchor cryptouti
 		return fmt.Errorf("storage: rebase of %q to %d behind height %d",
 			channel, floor, s.heights[channel])
 	}
+	// Durable rebase marker. Waiting on the token under s.mu is safe:
+	// quiescence guarantees no block-put commit callback (which needs
+	// s.mu) is pending in the queue ahead of the marker.
+	w := wire.GetWriter(64 + len(channel))
+	w.PutByte(recChannelMeta)
+	w.PutByte(metaRebase)
+	w.PutString(channel)
+	w.PutUint64(floor)
+	w.PutRaw(anchor[:])
+	tok, err := s.wal.appendAsync(w.Bytes(), func(uint64, error) { wire.PutWriter(w) })
+	if err != nil {
+		wire.PutWriter(w)
+		return err
+	}
+	if err := tok.Wait(); err != nil {
+		return err
+	}
 	s.floors[channel] = floor
 	s.heights[channel] = floor
 	s.anchors[channel] = anchor
@@ -505,11 +634,11 @@ func (s *BlockStore) RebaseBlocks(channel string, floor uint64, anchor cryptouti
 	if err := s.saveManifestLocked(); err != nil {
 		return err
 	}
-	return s.wal.PruneTo(s.keepIdxLocked())
+	return s.pruneLocked()
 }
 
 // quiescentLocked reports whether every height is reflected in the index
-// (no Put between its WAL append and its index update).
+// (no Put between its log append and its index update).
 func (s *BlockStore) quiescentLocked() bool {
 	for channel, height := range s.heights {
 		if height-s.floors[channel] != uint64(len(s.index[channel])) {
@@ -519,11 +648,12 @@ func (s *BlockStore) quiescentLocked() bool {
 	return true
 }
 
-// keepIdxLocked returns the WAL pruning floor: the smallest record index
-// any channel still retains (everything below it belongs to pruned
-// prefixes).
+// keepIdxLocked returns the block-liveness floor of the shared log: the
+// smallest record index any channel still retains (everything below it
+// belongs to pruned block prefixes). MaxUint64 when no blocks are
+// retained at all.
 func (s *BlockStore) keepIdxLocked() uint64 {
-	keep := s.wal.LastIndex() + 1
+	keep := uint64(math.MaxUint64)
 	for _, idxs := range s.index {
 		if len(idxs) > 0 && idxs[0] < keep {
 			keep = idxs[0]
@@ -532,13 +662,54 @@ func (s *BlockStore) keepIdxLocked() uint64 {
 	return keep
 }
 
-// saveManifestLocked snapshots the full per-channel state into the
-// manifest file (tmp + rename + dir fsync).
+// keepIdx is keepIdxLocked for callers outside the store (NodeStorage's
+// checkpoint-side pruning).
+func (s *BlockStore) keepIdx() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keepIdxLocked()
+}
+
+// decisionFloorOrMax returns the decision-liveness floor, or MaxUint64
+// for a standalone store whose log carries no decisions.
+func (s *BlockStore) decisionFloorOrMax() uint64 {
+	if s.decisionFloor == nil {
+		return math.MaxUint64
+	}
+	return s.decisionFloor()
+}
+
+// prune deletes shared-log segments dead under the two-condition rule: a
+// segment goes only when every block record in it is below its channel's
+// retention floor AND every decision record in it is behind the
+// consensus checkpoint — i.e. whole segments below
+// min(block floor, decision floor).
+func (s *BlockStore) prune() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pruneLocked()
+}
+
+func (s *BlockStore) pruneLocked() error {
+	return s.wal.PruneTo(min(s.keepIdxLocked(), s.decisionFloorOrMax()))
+}
+
+// saveManifestLocked snapshots the full per-channel state — plus the
+// decision floor and the per-segment liveness summary the two-condition
+// reclamation rule reads — into the manifest file (tmp + rename + dir
+// fsync).
 func (s *BlockStore) saveManifestLocked() error {
 	m := &retention.Manifest{
-		KeepIdx:  s.keepIdxLocked(),
-		Channels: make(map[string]retention.ChannelManifest, len(s.heights)),
+		KeepIdx:       s.keepIdxLocked(),
+		DecisionFloor: s.decisionFloorOrMax(),
+		Channels:      make(map[string]retention.ChannelManifest, len(s.heights)),
 	}
+	if m.KeepIdx == math.MaxUint64 {
+		// No retained blocks: record the end-of-log so the floor stays a
+		// meaningful index.
+		m.KeepIdx = s.wal.LastIndex() + 1
+	}
+	var live []uint64
 	for channel := range s.heights {
 		cm := retention.ChannelManifest{
 			Floor:  s.floors[channel],
@@ -548,21 +719,46 @@ func (s *BlockStore) saveManifestLocked() error {
 		if n := len(cm.Index); n > 0 && cm.Index[n-1] > m.Frontier {
 			m.Frontier = cm.Index[n-1]
 		}
+		live = append(live, cm.Index...)
 		m.Channels[channel] = cm
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	for _, span := range s.wal.SegmentSpans() {
+		if span.Last < span.First {
+			continue // empty active segment
+		}
+		lo := sort.Search(len(live), func(i int) bool { return live[i] >= span.First })
+		hi := sort.Search(len(live), func(i int) bool { return live[i] > span.Last })
+		m.Segments = append(m.Segments, retention.SegmentLiveness{
+			First:      span.First,
+			Last:       span.Last,
+			LiveBlocks: uint64(hi - lo),
+		})
 	}
 	return retention.SaveManifest(s.dir, m)
 }
 
-// SizeBytes returns the store's on-disk size.
+// SizeBytes returns the shared log's on-disk size.
 func (s *BlockStore) SizeBytes() int64 { return s.wal.SizeBytes() }
 
-// Close flushes and closes the underlying log.
-func (s *BlockStore) Close() error { return s.wal.Close() }
+// Close flushes and closes the underlying log when the store owns it (a
+// store sharing NodeStorage's unified log leaves the log to its owner).
+func (s *BlockStore) Close() error {
+	if !s.ownsWAL {
+		return nil
+	}
+	return s.wal.Close()
+}
 
+// decodeBlockRecord decodes a typed block record (kind tag, channel,
+// trailing block bytes).
 func decodeBlockRecord(rec []byte) (string, *fabric.Block, error) {
 	r := wire.NewReader(rec)
+	if kind := r.Byte(); kind != recBlock {
+		return "", nil, fmt.Errorf("storage: block record: unexpected kind 0x%02x", kind)
+	}
 	channel := r.String()
-	raw := r.Bytes()
+	raw := r.Raw(r.Remaining())
 	if err := r.Finish(); err != nil {
 		return "", nil, fmt.Errorf("storage: block record: %w", err)
 	}
@@ -571,4 +767,22 @@ func decodeBlockRecord(rec []byte) (string, *fabric.Block, error) {
 		return "", nil, fmt.Errorf("storage: %w", err)
 	}
 	return channel, block, nil
+}
+
+// decodeRebaseRecord decodes a channel-meta rebase marker.
+func decodeRebaseRecord(rec []byte) (channel string, floor uint64, anchor cryptoutil.Digest, err error) {
+	r := wire.NewReader(rec)
+	if kind := r.Byte(); kind != recChannelMeta {
+		return "", 0, anchor, fmt.Errorf("storage: channel-meta record: unexpected kind 0x%02x", kind)
+	}
+	if sub := r.Byte(); sub != metaRebase {
+		return "", 0, anchor, fmt.Errorf("storage: channel-meta record: unknown sub-kind 0x%02x", sub)
+	}
+	channel = r.String()
+	floor = r.Uint64()
+	copy(anchor[:], r.Raw(cryptoutil.DigestSize))
+	if err := r.Finish(); err != nil {
+		return "", 0, anchor, fmt.Errorf("storage: channel-meta record: %w", err)
+	}
+	return channel, floor, anchor, nil
 }

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"repro/internal/wire"
 )
 
 // checkpointMagic guards against reading a foreign file as a checkpoint.
@@ -39,12 +41,17 @@ func NewCheckpointer(dir string) (*Checkpointer, error) {
 // Save durably replaces the checkpoint with (seq, snapshot): write to a
 // temp file, fsync, rename over the stable name, fsync the directory.
 func (c *Checkpointer) Save(seq int64, snapshot []byte) error {
-	buf := make([]byte, 0, 20+len(snapshot))
-	buf = binary.BigEndian.AppendUint32(buf, checkpointMagic)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(seq))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(snapshot)))
-	buf = append(buf, snapshot...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	// Pooled encode buffer: checkpoints run on a background worker but
+	// repeat for the node's lifetime, so the encode should not allocate
+	// per save any more than the WAL record paths do.
+	w := wire.GetWriter(20 + len(snapshot))
+	defer wire.PutWriter(w)
+	w.PutUint32(checkpointMagic)
+	w.PutUint64(uint64(seq))
+	w.PutUint32(uint32(len(snapshot)))
+	w.PutRaw(snapshot)
+	w.PutUint32(crc32.ChecksumIEEE(w.Bytes()))
+	buf := w.Bytes()
 
 	tmp := filepath.Join(c.dir, checkpointFile+".tmp")
 	final := filepath.Join(c.dir, checkpointFile)

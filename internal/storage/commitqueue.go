@@ -7,23 +7,24 @@ import (
 	"time"
 )
 
-// This file is the shared group-commit fsync scheduler. A node's durable
-// state is two append-only logs on the same device — the decision WAL and
-// the block-store WAL — and with a writer per log each pays its own fsync:
-// a decided batch and the block it seals cost two device flushes back to
-// back. The CommitQueue replaces the per-log writers with one scheduler
-// that drains pending appends from every registered log, writes each log's
-// group, and then fsyncs all dirty logs in one parallel wave, so the two
-// flushes overlap instead of serializing and every append queued behind
-// them rides the same wave. Appenders are completed through per-record
-// durability Tokens, which is what lets callers enqueue (AppendAsync) and
-// gate later effects on durability instead of blocking for the fsync.
+// This file is the group-commit scheduler of the unified commit log. A
+// node's durable state is ONE append-only log — decision, block, and
+// channel-meta records multiplexed into the same segment files — so a
+// commit wave is: drain everything pending, write the group into the
+// active segment, and issue exactly one fsync. (Earlier revisions kept
+// the decision log and the block store in separate physical WALs and the
+// queue fsynced each dirty log per wave; merging the logs halves the
+// dominant durability cost — a decided batch and the block it seals now
+// share a single device flush.) Appenders are completed through
+// per-record durability Tokens, which is what lets callers enqueue
+// (AppendAsync) and gate later effects on durability instead of blocking
+// for the fsync.
 
 // Token tracks one enqueued record's durability: it completes when the
 // group commit that carried the record has fsynced (or failed). Tokens are
 // how the write-ahead discipline survives asynchronous logging — the
 // consensus loop enqueues a decision and moves on, and everything
-// externally visible (block persist, dissemination) waits on the token.
+// externally visible (dissemination, client acks) waits on the token.
 type Token struct {
 	done chan struct{}
 	err  error
@@ -63,18 +64,25 @@ func (t *Token) Done() bool {
 // nil (indices are assigned at write time, not enqueue time).
 func (t *Token) Index() uint64 { return t.idx }
 
-// CommitQueueConfig tunes the shared scheduler.
+// CommitQueueConfig tunes the scheduler.
 type CommitQueueConfig struct {
 	// MaxDelay is the coalescing window: after waking for the first
 	// pending append, the scheduler waits this long before starting the
-	// wave, letting more appends (from either log) pile in. Zero commits
-	// greedily — under concurrent load the natural arrival rate already
-	// batches well, so the delay only helps thin workloads trade latency
-	// for fewer fsyncs.
+	// wave, letting more appends (decisions and blocks alike) pile in.
+	// Zero commits greedily — under concurrent load the natural arrival
+	// rate already batches well, so the delay only helps thin workloads
+	// trade latency for fewer fsyncs.
 	MaxDelay time.Duration
-	// MaxBatch caps how many records of one log merge into a single
-	// wave (default 1024); the surplus carries into the next wave.
+	// MaxBatch caps how many records merge into a single wave (default
+	// 1024); the surplus carries into the next wave.
 	MaxBatch int
+	// LazyDelay bounds how long a lazily enqueued record (a block put —
+	// nothing gates on its durability, the decision gate is the only one
+	// the protocol requires) may sit before a wave is forced for it
+	// (default 5ms). Lazy records normally ride the next wave an eager
+	// record triggers, for free; the timer only matters when traffic
+	// stops.
+	LazyDelay time.Duration
 	// SyncHook, when set, runs at the start of every commit wave, before
 	// any record of the wave is written. Test instrumentation: stalling
 	// it holds every enqueued record in the not-yet-durable state, which
@@ -87,54 +95,85 @@ func (c CommitQueueConfig) withDefaults() CommitQueueConfig {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
 	}
+	if c.LazyDelay <= 0 {
+		c.LazyDelay = 5 * time.Millisecond
+	}
 	return c
 }
 
-// CommitQueue coalesces appends from any number of WALs into shared fsync
-// waves. Create with NewCommitQueue, hand it to the WALs via
-// WALConfig.Queue, and Close it only after every participating WAL is
-// closed.
+// CommitQueue coalesces appends to one WAL into group-commit waves of a
+// single fsync each. Create with NewCommitQueue, hand it to the WAL via
+// WALConfig.Queue, and Close it only after the WAL is closed. Exactly one
+// log may attach: multiplexing record kinds into one physical log (rather
+// than fanning out to parallel logs) is what caps the wave at one flush.
 type CommitQueue struct {
 	cfg CommitQueueConfig
 
 	mu      sync.Mutex
-	pending map[*WAL][]*appendReq
-	order   []*WAL // logs with pending work, oldest first
+	log     *WAL // the attached log; set on first enqueue
+	pending []*appendReq
 	closed  bool
+	// lazyArmed tracks the flush timer for lazily enqueued records: armed
+	// on the first lazy enqueue after a wave, cleared when a wave takes
+	// the group. A spurious fire (wave already ran) is a harmless empty
+	// notify.
+	lazyArmed bool
 
 	notify chan struct{}
 	done   chan struct{}
 	wg     sync.WaitGroup
 }
 
-// NewCommitQueue starts a shared group-commit scheduler.
+// NewCommitQueue starts a group-commit scheduler.
 func NewCommitQueue(cfg CommitQueueConfig) *CommitQueue {
 	q := &CommitQueue{
-		cfg:     cfg.withDefaults(),
-		pending: make(map[*WAL][]*appendReq),
-		notify:  make(chan struct{}, 1),
-		done:    make(chan struct{}),
+		cfg:    cfg.withDefaults(),
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
 	}
 	q.wg.Add(1)
 	go q.run()
 	return q
 }
 
-// enqueue adds one append (or a nil-record flush barrier) to a log's
-// pending group. FIFO per log is the ordering contract the decision log's
-// dense indices and the block store's recovery both rely on.
-func (q *CommitQueue) enqueue(w *WAL, req *appendReq) {
+// enqueue adds one append (or a nil-record flush barrier) to the pending
+// group. FIFO is the ordering contract recovery relies on: decision
+// records stay dense in sequence order and block records replay in
+// append order. A lazy enqueue does not trigger a wave of its own: the
+// record rides whatever wave the next eager enqueue (in steady state,
+// the next decision) triggers, so block persistence costs zero extra
+// fsyncs while traffic flows; the lazy timer forces a wave only when it
+// stops.
+func (q *CommitQueue) enqueue(w *WAL, req *appendReq, lazy bool) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		completeGroup([]*appendReq{req}, ErrClosed)
 		return
 	}
-	if len(q.pending[w]) == 0 {
-		q.order = append(q.order, w)
+	if q.log == nil {
+		q.log = w
+	} else if q.log != w {
+		q.mu.Unlock()
+		panic("storage: commit queue serves exactly one log; multiplex records instead")
 	}
-	q.pending[w] = append(q.pending[w], req)
+	q.pending = append(q.pending, req)
+	arm := lazy && !q.lazyArmed
+	if arm {
+		q.lazyArmed = true
+	}
 	q.mu.Unlock()
+	if lazy {
+		if arm {
+			time.AfterFunc(q.cfg.LazyDelay, func() {
+				select {
+				case q.notify <- struct{}{}:
+				default:
+				}
+			})
+		}
+		return
+	}
 	select {
 	case q.notify <- struct{}{}:
 	default:
@@ -147,9 +186,9 @@ func (q *CommitQueue) run() {
 		select {
 		case <-q.notify:
 		case <-q.done:
-			// Close happens only after every participating WAL closed
-			// (each flushes itself with a barrier), so whatever remains
-			// is the final wave.
+			// Close happens only after the attached WAL closed (it
+			// flushes itself with a barrier), so whatever remains is the
+			// final wave.
 			q.wave()
 			return
 		}
@@ -165,29 +204,35 @@ func (q *CommitQueue) run() {
 	}
 }
 
-// wave is one shared group commit: take every log's pending group, write
-// them all, fsync the dirty logs in parallel, then complete the tokens.
+// wave is one group commit: take the pending group, write it into the
+// log's active segment, fsync once, then complete the tokens.
 func (q *CommitQueue) wave() {
 	q.mu.Lock()
-	if len(q.order) == 0 {
+	if len(q.pending) == 0 {
 		q.mu.Unlock()
 		return
 	}
-	logs := q.order
-	groups := make([][]*appendReq, len(logs))
-	q.order = nil
+	q.mu.Unlock()
+
+	// The hook runs before the group is taken: everything enqueued while
+	// a test stalls it therefore lands in this one wave, which is what
+	// lets the single-fsync and write-ahead tests shape waves
+	// deterministically.
+	if hook := q.cfg.SyncHook; hook != nil {
+		hook()
+	}
+
+	q.mu.Lock()
+	log := q.log
+	group := q.pending
+	q.lazyArmed = false // the group is being taken; new lazy arrivals re-arm
 	leftovers := false
-	for i, w := range logs {
-		reqs := q.pending[w]
-		if len(reqs) > q.cfg.MaxBatch {
-			groups[i] = reqs[:q.cfg.MaxBatch]
-			q.pending[w] = reqs[q.cfg.MaxBatch:]
-			q.order = append(q.order, w)
-			leftovers = true
-		} else {
-			groups[i] = reqs
-			delete(q.pending, w)
-		}
+	if len(group) > q.cfg.MaxBatch {
+		group = group[:q.cfg.MaxBatch]
+		q.pending = q.pending[q.cfg.MaxBatch:]
+		leftovers = true
+	} else {
+		q.pending = nil
 	}
 	q.mu.Unlock()
 	if leftovers {
@@ -197,60 +242,23 @@ func (q *CommitQueue) wave() {
 		}
 	}
 
-	if hook := q.cfg.SyncHook; hook != nil {
-		hook()
-	}
-
-	// Write phase: frames land in each log's active segment (page cache
-	// only). Indices are assigned here, in enqueue order.
-	type flush struct {
-		file *os.File
-		err  error
-	}
-	flushes := make([]flush, len(logs))
-	for i, w := range logs {
-		flushes[i].file, flushes[i].err = w.writeGroup(groups[i])
-	}
-
-	// Sync phase: one fsync per dirty log, issued concurrently so flushes
-	// of co-located logs overlap in the device instead of queueing behind
-	// each other. The last dirty log syncs on this goroutine — a
-	// single-log wave (the common idle-channel case) spawns nothing.
-	var dirty []int
-	for i := range flushes {
-		if flushes[i].err == nil && flushes[i].file != nil {
-			dirty = append(dirty, i)
+	// Write phase: every frame of the wave lands in the one active
+	// segment (page cache only), indices assigned in enqueue order. Sync
+	// phase: the single fsync the whole wave pays.
+	file, err := log.writeGroup(group)
+	if err == nil && file != nil {
+		if err = log.fsync(file); err != nil {
+			log.poison(err)
 		}
 	}
-	var syncers sync.WaitGroup
-	syncOne := func(i int) {
-		if err := flushes[i].file.Sync(); err != nil {
-			flushes[i].err = err
-			logs[i].poison(err)
-		}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "storage: commit wave failed for %s: %v\n", log.cfg.Dir, err)
 	}
-	for _, i := range dirty[:max(len(dirty)-1, 0)] {
-		syncers.Add(1)
-		go func(i int) {
-			defer syncers.Done()
-			syncOne(i)
-		}(i)
-	}
-	if len(dirty) > 0 {
-		syncOne(dirty[len(dirty)-1])
-	}
-	syncers.Wait()
-
-	for i := range logs {
-		if err := flushes[i].err; err != nil {
-			fmt.Fprintf(os.Stderr, "storage: commit wave failed for %s: %v\n", logs[i].cfg.Dir, err)
-		}
-		completeGroup(groups[i], flushes[i].err)
-	}
+	completeGroup(group, err)
 }
 
 // Close stops the scheduler after a final drain wave. Call it only after
-// every WAL registered on the queue has been closed.
+// the WAL attached to the queue has been closed.
 func (q *CommitQueue) Close() error {
 	q.mu.Lock()
 	if q.closed {

@@ -9,71 +9,74 @@ import (
 	"time"
 )
 
-// TestSharedQueueTwoLogsCommitAndRecover drives concurrent appends into
-// two WALs sharing one commit queue and checks the core contracts: every
-// append commits, indices stay dense and FIFO per log, and a reopen
-// replays everything back.
-func TestSharedQueueTwoLogsCommitAndRecover(t *testing.T) {
+// TestQueueMultiplexedCommitAndRecover drives concurrent appends of
+// mixed record kinds into ONE WAL through the commit queue (the unified
+// commit log's arrangement) and checks the core contracts: every append
+// commits, indices stay dense and FIFO, and a reopen replays everything
+// back in order.
+func TestQueueMultiplexedCommitAndRecover(t *testing.T) {
 	queue := NewCommitQueue(CommitQueueConfig{})
-	dirA, dirB := t.TempDir(), t.TempDir()
-	walA, err := OpenWAL(WALConfig{Dir: dirA, Queue: queue})
+	dir := t.TempDir()
+	wal, err := OpenWAL(WALConfig{Dir: dir, Queue: queue})
 	if err != nil {
-		t.Fatalf("open A: %v", err)
-	}
-	walB, err := OpenWAL(WALConfig{Dir: dirB, Queue: queue})
-	if err != nil {
-		t.Fatalf("open B: %v", err)
+		t.Fatalf("open: %v", err)
 	}
 
-	const perLog = 200
+	const total = 400
 	var wg sync.WaitGroup
-	for _, wal := range []*WAL{walA, walB} {
-		for g := 0; g < 4; g++ {
-			wg.Add(1)
-			go func(wal *WAL, g int) {
-				defer wg.Done()
-				for i := 0; i < perLog/4; i++ {
-					if _, err := wal.Append([]byte{byte(g), byte(i)}); err != nil {
-						t.Errorf("append: %v", err)
-						return
-					}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Even goroutines mimic decision appenders, odd ones block
+			// appenders: both kinds multiplex into the same log.
+			kind := recDecision
+			if g%2 == 1 {
+				kind = recBlock
+			}
+			for i := 0; i < total/8; i++ {
+				if _, err := wal.Append([]byte{kind, byte(g), byte(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
 				}
-			}(wal, g)
-		}
+			}
+		}(g)
 	}
 	wg.Wait()
-	for name, wal := range map[string]*WAL{"A": walA, "B": walB} {
-		if got := wal.LastIndex(); got != perLog {
-			t.Fatalf("log %s: last index %d, want %d", name, got, perLog)
-		}
-		if err := wal.Close(); err != nil {
-			t.Fatalf("close %s: %v", name, err)
-		}
+	if got := wal.LastIndex(); got != total {
+		t.Fatalf("last index %d, want %d", got, total)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatalf("close: %v", err)
 	}
 	if err := queue.Close(); err != nil {
 		t.Fatalf("queue close: %v", err)
 	}
 
-	// Reopen standalone (no queue): both logs must replay a dense run.
-	for name, dir := range map[string]string{"A": dirA, "B": dirB} {
-		wal, err := OpenWAL(WALConfig{Dir: dir})
-		if err != nil {
-			t.Fatalf("reopen %s: %v", name, err)
+	// Reopen standalone (no queue): the log must replay a dense run with
+	// both kinds present.
+	reopened, err := OpenWAL(WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	want := uint64(1)
+	kinds := map[byte]int{}
+	if err := reopened.Replay(func(idx uint64, rec []byte) error {
+		if idx != want {
+			t.Fatalf("replayed index %d, want %d", idx, want)
 		}
-		want := uint64(1)
-		if err := wal.Replay(func(idx uint64, rec []byte) error {
-			if idx != want {
-				t.Fatalf("log %s: replayed index %d, want %d", name, idx, want)
-			}
-			want++
-			return nil
-		}); err != nil {
-			t.Fatalf("replay %s: %v", name, err)
-		}
-		if want != perLog+1 {
-			t.Fatalf("log %s: replayed %d records, want %d", name, want-1, perLog)
-		}
-		wal.Close()
+		want++
+		kinds[rec[0]]++
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if want != total+1 {
+		t.Fatalf("replayed %d records, want %d", want-1, total)
+	}
+	if kinds[recDecision] != total/2 || kinds[recBlock] != total/2 {
+		t.Fatalf("replayed kinds %v, want %d of each", kinds, total/2)
 	}
 }
 

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package storage
+
+import "os"
+
+// datasync falls back to a full fsync on platforms without fdatasync.
+func datasync(f *os.File) error {
+	return f.Sync()
+}
+
+// preallocate is a no-op on platforms without fallocate: appends extend
+// the file as they always did.
+func preallocate(_ *os.File, _ int64) error {
+	return nil
+}

@@ -1,11 +1,16 @@
 // Package retention bounds the on-disk size of the ordering service's
-// block store. The block WAL is append-only, so without intervention a
+// block store. The commit log is append-only, so without intervention a
 // node's ledger grows with chain length forever — a non-starter for
 // sustained traffic. Retention follows the discipline Fabric applies to
 // the orderer ledger (Sousa, Bessani & Vukolić, DSN 2018; Barger et al.,
 // 2021): once downstream peers have caught up, history below a retention
 // floor is prunable, and a snapshot manifest — not the chain prefix — is
-// what recovery trusts.
+// what recovery trusts. Because blocks share one physical log with
+// consensus decisions, reclamation is two-condition: a segment is
+// deletable only when it holds no live block (below every channel's
+// floor) AND no live decision (behind the consensus checkpoint); the
+// manifest records the decision floor and a per-segment liveness summary
+// so that rule is explicit on disk.
 //
 // The package owns three pieces:
 //
@@ -43,7 +48,11 @@ import (
 )
 
 // manifestMagic guards against reading a foreign file as a manifest.
-const manifestMagic = 0x524d4631 // "RMF1"
+// "RMF2": the unified-commit-log format, which added the decision floor
+// and the per-segment liveness summary (a segment of the shared log is
+// reclaimable only when it is both behind the consensus checkpoint and
+// below every channel's retention floor).
+const manifestMagic = 0x524d4632 // "RMF2"
 
 // ManifestFile is the stable manifest name inside a block-store
 // directory.
@@ -69,30 +78,69 @@ type ChannelManifest struct {
 	Index []uint64
 }
 
+// SegmentLiveness summarizes one shared-log segment's live content at
+// snapshot time: the two-condition reclamation rule reads directly off
+// it — a segment is deletable only when LiveBlocks is zero (every block
+// record in it sits below its channel's retention floor) AND its whole
+// index span lies below the decision floor (every decision record in it
+// is behind the consensus checkpoint).
+type SegmentLiveness struct {
+	// First and Last bound the record indices the segment holds.
+	First, Last uint64
+	// LiveBlocks counts the segment's block records at or above their
+	// channel's retention floor (i.e. pointed at by some channel index).
+	LiveBlocks uint64
+}
+
+// Dead reports whether the segment was reclaimable at snapshot time
+// under the two-condition rule, given the manifest's decision floor.
+func (s SegmentLiveness) Dead(decisionFloor uint64) bool {
+	return s.LiveBlocks == 0 && s.Last < decisionFloor
+}
+
 // Manifest is the snapshot the block store trusts at open: everything
-// below KeepIdx is prunable, everything covered by the per-channel
-// indexes needs no decoding at recovery, and records above Frontier are
-// replayed normally.
+// below KeepIdx holds no live block, everything covered by the
+// per-channel indexes needs no block decoding at recovery, and records
+// above Frontier are replayed normally. Since the block store shares one
+// physical commit log with the decision log, the manifest also records
+// the decision-side liveness floor and a per-segment summary, so the
+// reclamation decision (and its re-application after a crash) is the
+// explicit two-condition rule rather than block-side bookkeeping alone.
 type Manifest struct {
-	// KeepIdx is the pruning floor of the block WAL: every record with
-	// index < KeepIdx belongs to some channel's pruned prefix. Whole
-	// segments below it are deleted; survivors inside a kept segment are
-	// simply skipped at recovery.
+	// KeepIdx is the block-liveness floor of the shared commit log: every
+	// record with index < KeepIdx belongs to some channel's pruned block
+	// prefix (decision records have their own floor below). Survivors
+	// inside a kept segment are simply skipped at recovery.
 	KeepIdx uint64
-	// Frontier is the highest WAL index covered by the channel indexes
-	// (0 when no blocks are retained). Recovery replays only records
-	// above it.
+	// DecisionFloor is the decision-liveness floor at snapshot time: every
+	// record below it holds no decision the newest consensus checkpoint
+	// has not subsumed. Segments are deleted only below
+	// min(KeepIdx, DecisionFloor).
+	DecisionFloor uint64
+	// Frontier is the highest log index covered by the channel indexes
+	// (0 when no blocks are retained). Recovery decodes no block record
+	// at or below it.
 	Frontier uint64
+	// Segments is the per-segment liveness summary at snapshot time,
+	// oldest first.
+	Segments []SegmentLiveness
 	// Channels is the per-channel snapshot state.
 	Channels map[string]ChannelManifest
 }
 
 // Marshal encodes the manifest (magic, body, CRC32).
 func (m *Manifest) Marshal() []byte {
-	w := wire.NewWriter(64 + 48*len(m.Channels))
+	w := wire.NewWriter(64 + 24*len(m.Segments) + 48*len(m.Channels))
 	w.PutUint32(manifestMagic)
 	w.PutUint64(m.KeepIdx)
+	w.PutUint64(m.DecisionFloor)
 	w.PutUint64(m.Frontier)
+	w.PutUvarint(uint64(len(m.Segments)))
+	for _, seg := range m.Segments {
+		w.PutUint64(seg.First)
+		w.PutUint64(seg.Last)
+		w.PutUvarint(seg.LiveBlocks)
+	}
 	names := make([]string, 0, len(m.Channels))
 	for name := range m.Channels {
 		names = append(names, name)
@@ -133,9 +181,22 @@ func UnmarshalManifest(raw []byte) (*Manifest, error) {
 		return nil, ErrManifestCorrupt
 	}
 	m := &Manifest{
-		KeepIdx:  r.Uint64(),
-		Frontier: r.Uint64(),
-		Channels: make(map[string]ChannelManifest),
+		KeepIdx:       r.Uint64(),
+		DecisionFloor: r.Uint64(),
+		Frontier:      r.Uint64(),
+		Channels:      make(map[string]ChannelManifest),
+	}
+	nseg := r.Uvarint()
+	if r.Err() != nil || nseg > 1<<20 {
+		return nil, ErrManifestCorrupt
+	}
+	m.Segments = make([]SegmentLiveness, 0, nseg)
+	for i := uint64(0); i < nseg; i++ {
+		m.Segments = append(m.Segments, SegmentLiveness{
+			First:      r.Uint64(),
+			Last:       r.Uint64(),
+			LiveBlocks: r.Uvarint(),
+		})
 	}
 	count := r.Uvarint()
 	if count > 1<<20 {

@@ -12,8 +12,14 @@ import (
 
 func sampleManifest() *Manifest {
 	return &Manifest{
-		KeepIdx:  17,
-		Frontier: 42,
+		KeepIdx:       17,
+		DecisionFloor: 31,
+		Frontier:      42,
+		Segments: []SegmentLiveness{
+			{First: 1, Last: 16, LiveBlocks: 0},
+			{First: 17, Last: 30, LiveBlocks: 6},
+			{First: 31, Last: 42, LiveBlocks: 2},
+		},
 		Channels: map[string]ChannelManifest{
 			"alpha": {
 				Floor:  9,
@@ -38,8 +44,11 @@ func TestManifestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if got.KeepIdx != m.KeepIdx || got.Frontier != m.Frontier {
+	if got.KeepIdx != m.KeepIdx || got.Frontier != m.Frontier || got.DecisionFloor != m.DecisionFloor {
 		t.Fatalf("round trip = %+v", got)
+	}
+	if !reflect.DeepEqual(got.Segments, m.Segments) {
+		t.Fatalf("segments = %+v, want %+v", got.Segments, m.Segments)
 	}
 	for name, want := range m.Channels {
 		gotCh := got.Channels[name]
@@ -139,5 +148,26 @@ func TestPolicyPlan(t *testing.T) {
 	under := State{Channels: st.Channels, Bytes: 100}
 	if pb.Due(under) {
 		t.Fatal("bytes policy due under the cap")
+	}
+}
+
+// TestSegmentLivenessDead spells out the two-condition rule the summary
+// encodes: a segment is reclaimable only with zero live blocks AND its
+// whole span behind the decision floor.
+func TestSegmentLivenessDead(t *testing.T) {
+	floor := uint64(31)
+	cases := []struct {
+		seg  SegmentLiveness
+		dead bool
+	}{
+		{SegmentLiveness{First: 1, Last: 16, LiveBlocks: 0}, true},   // both conditions hold
+		{SegmentLiveness{First: 17, Last: 30, LiveBlocks: 6}, false}, // live blocks pin it
+		{SegmentLiveness{First: 31, Last: 42, LiveBlocks: 0}, false}, // live decisions pin it
+		{SegmentLiveness{First: 25, Last: 40, LiveBlocks: 3}, false}, // both pin it
+	}
+	for _, tc := range cases {
+		if got := tc.seg.Dead(floor); got != tc.dead {
+			t.Fatalf("segment %+v: Dead(%d) = %v, want %v", tc.seg, floor, got, tc.dead)
+		}
 	}
 }

@@ -2,8 +2,10 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,6 +14,23 @@ import (
 	"repro/internal/storage/retention"
 	"repro/internal/wire"
 )
+
+// Record kinds of the unified commit log. Every record starts with one of
+// these tags; the recovery walk dispatches on it, and the one-byte peek is
+// all it costs to skip records another subsystem owns.
+const (
+	// recDecision is a consensus decision: int64 seq + batch.
+	recDecision byte = 0x01
+	// recBlock is a sealed block: channel name + block bytes.
+	recBlock byte = 0x02
+	// recChannelMeta is per-channel metadata (sub-tagged); today that is
+	// the rebase marker written when a chain jumps over a cluster-wide
+	// pruned gap.
+	recChannelMeta byte = 0x03
+)
+
+// metaRebase is the channel-meta sub-kind for rebase markers.
+const metaRebase byte = 0x01
 
 // DecidedEntry is one consensus decision recovered from the decision log.
 type DecidedEntry struct {
@@ -38,23 +57,37 @@ type RecoveredState struct {
 	Chains map[string]ChainInfo
 }
 
+// seqIdx is one committed decision's (consensus seq, log index) pair. The
+// slice of live pairs replaces the old dense-index arithmetic: with block
+// and channel-meta records interleaved in the same log, decision indices
+// are no longer contiguous, so checkpoint pruning looks the floor up
+// instead of computing it.
+type seqIdx struct {
+	seq int64
+	idx uint64
+}
+
 // NodeStorage is one ordering node's durable state, rooted at a data
 // directory:
 //
-//	<dir>/wal/     decision log (segmented WAL, group commit)
-//	<dir>/blocks/  sealed blocks (segmented WAL, group commit)
+//	<dir>/log/        the unified commit log: decision, block, and
+//	                  channel-meta records multiplexed into one segmented
+//	                  WAL (plus the retention MANIFEST)
 //	<dir>/checkpoint  newest consensus snapshot (atomic replace)
 //
-// The decision log is the write-ahead half: a batch is fsynced before its
-// effects become externally visible, so on restart the node replays
+// Decision records are the write-ahead half: a batch is fsynced before
+// its effects become externally visible, so on restart the node replays
 // checkpoint + log and arrives at exactly the state it had durably
 // reached. Decisions may be enqueued asynchronously (AppendDecisionAsync):
 // the caller keeps running and gates visible effects on the returned
-// durability token instead of blocking on the fsync. Both logs commit
-// through one shared CommitQueue, so a decision and the block it seals
-// ride the same fsync wave instead of paying two serialized flushes.
-// Checkpoints prune the decision log behind them (whole segments at a
-// time).
+// durability token instead of blocking on the fsync. Because every record
+// kind shares one physical log, a commit wave — the decisions decided in
+// it and the blocks they sealed — costs exactly one fsync; recovery is a
+// single typed walk that rebuilds the decision replay stream and the
+// per-channel block index together. Segment reclamation follows the
+// two-condition rule: a segment is deleted only when it is both behind
+// the consensus checkpoint (no live decision) and below every channel's
+// retention floor (no live block).
 type NodeStorage struct {
 	dir    string
 	wal    *WAL
@@ -64,12 +97,13 @@ type NodeStorage struct {
 
 	recovered *RecoveredState
 
-	// mu guards the seq<->wal-index correspondence of the decision log.
+	// mu guards the decision bookkeeping of the shared log.
 	mu      sync.Mutex
-	lastSeq int64  // newest decision seq committed to disk (-1 when none)
-	lastIdx uint64 // its WAL index
-	enqSeq  int64  // newest decision seq enqueued (>= lastSeq)
-	lastTok *Token // durability token of the newest enqueued decision
+	lastSeq int64    // newest decision seq committed to disk (-1 when none)
+	lastIdx uint64   // its log index
+	enqSeq  int64    // newest decision seq enqueued (>= lastSeq)
+	lastTok *Token   // durability token of the newest enqueued decision
+	decPos  []seqIdx // committed decisions above the newest checkpoint, in order
 
 	// Checkpoint worker: SaveCheckpointAsync hands the newest snapshot
 	// to this goroutine so the checkpoint's two fsyncs (tmp file + dir)
@@ -95,27 +129,22 @@ type ckptReq struct {
 
 // Options tunes a NodeStorage.
 type Options struct {
-	// SegmentBytes overrides the WAL segment size of both the decision log
-	// and the block store (default 4 MiB). Smaller segments mean
-	// finer-grained pruning behind checkpoints at the cost of more files.
+	// SegmentBytes overrides the unified commit log's segment size
+	// (default 4 MiB). Segments are both the checkpoint-pruning and the
+	// retention-compaction granularity now that decisions and blocks
+	// share one log, so smaller segments reclaim disk sooner at the cost
+	// of more files.
 	SegmentBytes int64
-	// BlockSegmentBytes overrides the block store's segment size
-	// independently (zero inherits SegmentBytes). Retention deletes whole
-	// block segments, so this is the compaction granularity — and block
-	// records are a single block each, far smaller than the decision
-	// log's batch records, so the block store tolerates much smaller
-	// segments.
-	BlockSegmentBytes int64
 	// NoSync disables fsync everywhere. Only for benchmarks isolating the
 	// write path.
 	NoSync bool
-	// CommitMaxDelay is the shared commit queue's coalescing window: how
-	// long a wave waits after its first pending append before fsyncing,
-	// trading commit latency for larger groups. Zero (the default)
-	// commits greedily.
+	// CommitMaxDelay is the commit queue's coalescing window: how long a
+	// wave waits after its first pending append before fsyncing, trading
+	// commit latency for larger groups. Zero (the default) commits
+	// greedily.
 	CommitMaxDelay time.Duration
-	// CommitMaxBatch caps how many records of one log merge into a
-	// single fsync wave (default 1024).
+	// CommitMaxBatch caps how many records merge into a single fsync
+	// wave (default 1024).
 	CommitMaxBatch int
 	// SyncHook, when set, runs at the start of every commit wave, before
 	// any record of the wave is written. Test instrumentation: stalling
@@ -132,15 +161,13 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Both logs live on the same device; one shared queue coalesces their
-	// group commits into joint fsync waves.
 	queue := NewCommitQueue(CommitQueueConfig{
 		MaxDelay: opts.CommitMaxDelay,
 		MaxBatch: opts.CommitMaxBatch,
 		SyncHook: opts.SyncHook,
 	})
 	wal, err := OpenWAL(WALConfig{
-		Dir:          filepath.Join(dir, "wal"),
+		Dir:          filepath.Join(dir, "log"),
 		SegmentBytes: opts.SegmentBytes,
 		NoSync:       opts.NoSync,
 		Queue:        queue,
@@ -149,26 +176,10 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 		queue.Close()
 		return nil, err
 	}
-	blockSegment := opts.BlockSegmentBytes
-	if blockSegment <= 0 {
-		blockSegment = opts.SegmentBytes
-	}
-	blocks, err := OpenBlockStore(WALConfig{
-		Dir:          filepath.Join(dir, "blocks"),
-		SegmentBytes: blockSegment,
-		NoSync:       opts.NoSync,
-		Queue:        queue,
-	})
-	if err != nil {
-		wal.Close()
-		queue.Close()
-		return nil, err
-	}
 	s := &NodeStorage{
-		dir:        dir,
-		wal:        wal,
-		blocks:     blocks,
-		ckpt:       ckpt,
+		dir:          dir,
+		wal:          wal,
+		ckpt:         ckpt,
 		queue:        queue,
 		lastSeq:      -1,
 		enqSeq:       -1,
@@ -176,6 +187,8 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 		ckptDone:     make(chan struct{}),
 		ckptSavedSeq: -1,
 	}
+	s.blocks = newBlockStore(filepath.Join(dir, "log"), wal, false)
+	s.blocks.decisionFloor = s.decisionFloor
 	if err := s.recover(); err != nil {
 		s.Close()
 		return nil, err
@@ -185,7 +198,12 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 	return s, nil
 }
 
-// recover loads the checkpoint and replays the decision log.
+// recover loads the checkpoint and runs the single typed walk over the
+// unified log: decision records rebuild the replay stream (and the
+// seq↔index pairs checkpoint pruning needs), block and channel-meta
+// records are forwarded to the block index. It finishes by re-applying
+// any segment deletions a crash interrupted, under the two-condition
+// rule.
 func (s *NodeStorage) recover() error {
 	st := &RecoveredState{CheckpointSeq: -1}
 	seq, snap, found, err := s.ckpt.Load()
@@ -198,7 +216,16 @@ func (s *NodeStorage) recover() error {
 		s.lastSeq = seq // pruning floor; log entries replayed below override
 		s.ckptSavedSeq = seq
 	}
+	if _, err := s.blocks.seedFromManifest(); err != nil {
+		return err
+	}
 	err = s.wal.Replay(func(idx uint64, rec []byte) error {
+		if len(rec) == 0 {
+			return fmt.Errorf("%w: empty record %d", ErrCorrupt, idx)
+		}
+		if rec[0] != recDecision {
+			return s.blocks.applyRecord(idx, rec)
+		}
 		entry, err := decodeDecision(rec)
 		if err != nil {
 			return err
@@ -212,6 +239,7 @@ func (s *NodeStorage) recover() error {
 			return fmt.Errorf("%w: decision log gap at seq %d", ErrCorrupt, entry.Seq)
 		}
 		st.Decisions = append(st.Decisions, entry)
+		s.decPos = append(s.decPos, seqIdx{seq: entry.Seq, idx: idx})
 		return nil
 	})
 	if err != nil {
@@ -222,10 +250,15 @@ func (s *NodeStorage) recover() error {
 		return fmt.Errorf("%w: decision log starts at seq %d after checkpoint %d",
 			ErrCorrupt, st.Decisions[0].Seq, st.CheckpointSeq)
 	}
+	if err := s.blocks.finishRecovery(); err != nil {
+		return err
+	}
 	st.Chains = s.blocks.Chains()
 	s.recovered = st
 	s.enqSeq = s.lastSeq
-	return nil
+	// Re-apply deletions a crash may have interrupted: with both floors
+	// known again, prune everything dead under the two-condition rule.
+	return s.blocks.prune()
 }
 
 // Recovered returns the state replayed at Open and releases the storage's
@@ -239,21 +272,34 @@ func (s *NodeStorage) Recovered() *RecoveredState {
 	return st
 }
 
+// decisionFloor returns the decision-liveness floor of the shared log:
+// the index of the oldest committed decision the newest checkpoint has
+// not subsumed, or MaxUint64 when every committed decision is behind a
+// checkpoint (no decision constrains reclamation).
+func (s *NodeStorage) decisionFloor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.decPos) == 0 {
+		return math.MaxUint64
+	}
+	return s.decPos[0].idx
+}
+
 // AppendDecision durably logs one decided batch, blocking until the
 // record is fsynced. Sequences must arrive in order without gaps.
 func (s *NodeStorage) AppendDecision(seq int64, batch [][]byte) error {
 	return s.AppendDecisionAsync(seq, batch).Wait()
 }
 
-// AppendDecisionAsync enqueues one decided batch on the shared commit
-// queue and returns its durability token without waiting for the fsync.
-// The consensus event loop calls this and keeps executing; the node's
-// send drain gates block persist and dissemination on the token, which
-// preserves the write-ahead discipline (nothing leaves the node before
-// its decision is on disk) without serializing the loop on the flush.
-// Sequences must arrive in order without gaps; a duplicate returns the
-// newest enqueued decision's token (the log is FIFO, so its completion
-// implies the duplicate's record is durable too).
+// AppendDecisionAsync enqueues one decided batch on the commit queue and
+// returns its durability token without waiting for the fsync. The
+// consensus event loop calls this and keeps executing; the node's send
+// drain gates dissemination on the token, which preserves the
+// write-ahead discipline (nothing leaves the node before its decision is
+// on disk) without serializing the loop on the flush. Sequences must
+// arrive in order without gaps; a duplicate returns the newest enqueued
+// decision's token (the log is FIFO, so its completion implies the
+// duplicate's record is durable too).
 func (s *NodeStorage) AppendDecisionAsync(seq int64, batch [][]byte) *Token {
 	s.mu.Lock()
 	if s.enqSeq >= 0 && seq <= s.enqSeq {
@@ -266,18 +312,19 @@ func (s *NodeStorage) AppendDecisionAsync(seq int64, batch [][]byte) *Token {
 	}
 	s.mu.Unlock()
 
-	size := 16
+	size := 17
 	for _, op := range batch {
 		size += len(op) + 8
 	}
 	w := wire.GetWriter(size)
+	w.PutByte(recDecision)
 	w.PutInt64(seq)
 	w.PutBytesSlice(batch)
 	tok, err := s.wal.appendAsync(w.Bytes(), func(idx uint64, err error) {
 		// Runs on the committing goroutine, after the record's bytes were
 		// copied into the commit buffer: the encode buffer is free again,
-		// and on success the seq<->index correspondence advances (the
-		// pair SaveCheckpoint's prune arithmetic relies on).
+		// and on success the seq<->index pair joins the live-decision
+		// list checkpoint pruning reads.
 		wire.PutWriter(w)
 		if err != nil {
 			return
@@ -285,6 +332,7 @@ func (s *NodeStorage) AppendDecisionAsync(seq int64, batch [][]byte) *Token {
 		s.mu.Lock()
 		s.lastSeq = seq
 		s.lastIdx = idx
+		s.decPos = append(s.decPos, seqIdx{seq: seq, idx: idx})
 		s.mu.Unlock()
 	})
 	if err != nil {
@@ -300,9 +348,9 @@ func (s *NodeStorage) AppendDecisionAsync(seq int64, batch [][]byte) *Token {
 
 // DecisionToken returns the durability token of the newest enqueued
 // decision (an already-completed token when nothing is outstanding). The
-// decision log is FIFO, so waiting on it implies every earlier decision
-// is on disk; the node's send drain uses exactly that to gate block
-// dissemination.
+// decision records are FIFO in the log, so waiting on it implies every
+// earlier decision is on disk; the node's send drain uses exactly that
+// to gate block dissemination.
 func (s *NodeStorage) DecisionToken() *Token {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -313,9 +361,10 @@ func (s *NodeStorage) DecisionToken() *Token {
 }
 
 // SaveCheckpoint atomically persists the consensus snapshot at seq, then
-// prunes decision-log segments wholly behind it. Saves are serialized
-// and monotonic: a save at or below the newest on-disk checkpoint is a
-// no-op (a checkpoint subsumes every older one).
+// prunes shared-log segments dead under the two-condition rule (behind
+// this checkpoint AND below every channel's retention floor). Saves are
+// serialized and monotonic: a save at or below the newest on-disk
+// checkpoint is a no-op (a checkpoint subsumes every older one).
 func (s *NodeStorage) SaveCheckpoint(seq int64, snapshot []byte) error {
 	s.ckptSaveMu.Lock()
 	defer s.ckptSaveMu.Unlock()
@@ -326,16 +375,14 @@ func (s *NodeStorage) SaveCheckpoint(seq int64, snapshot []byte) error {
 		return err
 	}
 	s.ckptSavedSeq = seq
+	// Decisions at or below seq are subsumed: drop them from the
+	// live-decision list, then prune whatever segments both floors agree
+	// are dead.
 	s.mu.Lock()
-	lastSeq, lastIdx := s.lastSeq, s.lastIdx
+	cut := sort.Search(len(s.decPos), func(i int) bool { return s.decPos[i].seq > seq })
+	s.decPos = append([]seqIdx(nil), s.decPos[cut:]...)
 	s.mu.Unlock()
-	if lastIdx == 0 || seq > lastSeq {
-		return nil // nothing logged yet, or checkpoint ahead of the log
-	}
-	// Decisions are logged contiguously, so index arithmetic maps seq to
-	// its WAL index: keep records strictly after seq.
-	keepFrom := lastIdx - uint64(lastSeq-seq) + 1
-	return s.wal.PruneTo(keepFrom)
+	return s.blocks.prune()
 }
 
 // SaveCheckpointAsync hands the snapshot to the checkpoint worker and
@@ -387,12 +434,15 @@ func (s *NodeStorage) PutBlock(channel string, b *fabric.Block) error {
 	return s.blocks.Put(channel, b)
 }
 
-// PutBlockAsync enqueues a sealed block on the shared commit queue and
-// returns its durability token (fabric.AsyncBlockBackend): a persistent
-// ledger's AppendAsync rides one fsync wave per contiguous run instead
-// of one per block.
+// PutBlockAsync enqueues a sealed block on the commit queue and returns
+// its durability token (fabric.AsyncBlockBackend). The enqueue is lazy:
+// under the decision-gated dissemination rule nothing waits for a block
+// record, so it triggers no commit wave of its own and piggybacks on the
+// wave the next decision triggers — in steady state, block persistence
+// costs zero additional fsyncs. The queue's lazy flush timer bounds the
+// wait when traffic stops.
 func (s *NodeStorage) PutBlockAsync(channel string, b *fabric.Block) (fabric.DurableToken, error) {
-	tok, err := s.blocks.PutAsync(channel, b)
+	tok, err := s.blocks.PutAsyncLazy(channel, b)
 	if err != nil {
 		return nil, err
 	}
@@ -426,8 +476,9 @@ func (s *NodeStorage) RetentionState() retention.State {
 }
 
 // CompactTo snapshots and prunes the block store to the given per-channel
-// floors (retention.Store). The decision log is unaffected — consensus
-// checkpoints already prune it.
+// floors (retention.Store). Reclamation is two-condition: a shared-log
+// segment is deleted only when it is below every channel's new floor and
+// behind the consensus checkpoint.
 func (s *NodeStorage) CompactTo(floors map[string]uint64) (map[string]uint64, error) {
 	return s.blocks.CompactTo(floors)
 }
@@ -438,14 +489,15 @@ func (s *NodeStorage) RebaseBlocks(channel string, floor uint64, anchor cryptout
 	return s.blocks.RebaseBlocks(channel, floor, anchor)
 }
 
-// BlockStoreBytes returns the block store's on-disk size.
+// BlockStoreBytes returns the unified log's on-disk size (blocks dominate
+// it; the retention bytes trigger reads this).
 func (s *NodeStorage) BlockStoreBytes() int64 { return s.blocks.SizeBytes() }
 
 // Dir returns the storage root.
 func (s *NodeStorage) Dir() string { return s.dir }
 
-// Close flushes the pending checkpoint, flushes and closes both logs,
-// then stops the shared commit queue (each log drains itself through the
+// Close flushes the pending checkpoint, flushes and closes the unified
+// log, then stops the commit queue (the log drains itself through the
 // queue first, so order matters).
 func (s *NodeStorage) Close() error {
 	var first error
@@ -463,11 +515,6 @@ func (s *NodeStorage) Close() error {
 			first = err
 		}
 	}
-	if s.blocks != nil {
-		if err := s.blocks.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
 	if s.queue != nil {
 		if err := s.queue.Close(); err != nil && first == nil {
 			first = err
@@ -476,8 +523,12 @@ func (s *NodeStorage) Close() error {
 	return first
 }
 
+// decodeDecision decodes a typed decision record.
 func decodeDecision(rec []byte) (DecidedEntry, error) {
 	r := wire.NewReader(rec)
+	if kind := r.Byte(); kind != recDecision {
+		return DecidedEntry{}, fmt.Errorf("storage: decision record: unexpected kind 0x%02x", kind)
+	}
 	entry := DecidedEntry{
 		Seq:   r.Int64(),
 		Batch: r.BytesSlice(),

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/wire"
 )
 
 // ---- Checkpointer ------------------------------------------------------
@@ -290,9 +293,9 @@ func TestTornBlockWALRecoversToDurablePrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs, _ := filepath.Glob(filepath.Join(dir, "blocks", "*"+segSuffix))
+	segs, _ := filepath.Glob(filepath.Join(dir, "log", "*"+segSuffix))
 	if len(segs) == 0 {
-		t.Fatal("no block segments on disk")
+		t.Fatal("no log segments on disk")
 	}
 	last := segs[len(segs)-1]
 	info, err := os.Stat(last)
@@ -347,11 +350,11 @@ func TestNodeStorageCheckpointPrunesSegments(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before, _ := filepath.Glob(filepath.Join(dir, "wal", "*"+segSuffix))
+	before, _ := filepath.Glob(filepath.Join(dir, "log", "*"+segSuffix))
 	if err := s.SaveCheckpoint(45, []byte("snap")); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := filepath.Glob(filepath.Join(dir, "wal", "*"+segSuffix))
+	after, _ := filepath.Glob(filepath.Join(dir, "log", "*"+segSuffix))
 	if len(after) >= len(before) {
 		t.Fatalf("checkpoint pruned nothing: %d -> %d segments", len(before), len(after))
 	}
@@ -453,5 +456,293 @@ func TestNodeStorageLedgerPagesBlocksFromDisk(t *testing.T) {
 	}
 	if err := led.VerifyChain(); err != nil {
 		t.Fatalf("VerifyChain across the paged boundary: %v", err)
+	}
+}
+
+// ---- unified commit log -------------------------------------------------
+
+// TestCommitWaveSingleFsyncForDecisionAndBlock is the acceptance check of
+// the unified commit log: a decision record and the block record it
+// sealed, enqueued while the wave is stalled at Options.SyncHook, commit
+// together in ONE wave with exactly ONE fsync (counted at the WAL's
+// fsync choke point). Two physical logs would have paid two.
+func TestCommitWaveSingleFsyncForDecisionAndBlock(t *testing.T) {
+	release := make(chan struct{})
+	var waves atomic.Uint64
+	s, err := Open(t.TempDir(), Options{SyncHook: func() {
+		waves.Add(1)
+		<-release
+	}})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	s.Recovered()
+
+	// Both kinds pending in the same stalled wave: the decision and the
+	// block it would have sealed.
+	decTok := s.AppendDecisionAsync(0, [][]byte{[]byte("op")})
+	blkTok, err := s.PutBlockAsync("ch", makeChain(t, 1)[0])
+	if err != nil {
+		t.Fatalf("put async: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond) // let both enqueues land behind the hook
+	syncsBefore := s.wal.SyncCount()
+	wavesBefore := waves.Load()
+
+	close(release)
+	if err := decTok.Wait(); err != nil {
+		t.Fatalf("decision token: %v", err)
+	}
+	if err := blkTok.Wait(); err != nil {
+		t.Fatalf("block token: %v", err)
+	}
+
+	if got := s.wal.SyncCount() - syncsBefore; got != 1 {
+		t.Fatalf("decision+block wave issued %d fsyncs, want exactly 1", got)
+	}
+	if got := waves.Load(); got != wavesBefore {
+		// Both tokens completed in the wave that was stalled: no second
+		// wave ran for the block record.
+		t.Fatalf("expected one joint wave, saw %d extra", got-wavesBefore)
+	}
+	// And the records really multiplexed into one log, in enqueue order.
+	if decTok.Index() != 1 || blkTok.(*Token).Index() != 2 {
+		t.Fatalf("record indices = (%d, %d), want (1, 2)", decTok.Index(), blkTok.(*Token).Index())
+	}
+}
+
+// interleaveDecisionsAndBlocks drives n decision+block pairs through a
+// NodeStorage (decision seq i seals block i), the unified log's natural
+// record pattern.
+func interleaveDecisionsAndBlocks(t *testing.T, s *NodeStorage, chain []*fabric.Block) {
+	t.Helper()
+	for i, b := range chain {
+		if err := s.AppendDecision(int64(i), [][]byte{{byte(i)}}); err != nil {
+			t.Fatalf("decision %d: %v", i, err)
+		}
+		if err := s.PutBlock("ch", b); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+	}
+}
+
+// logSegments lists the unified log's segment files.
+func logSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "log", "*"+segSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// TestTwoConditionReclamationCheckpointFirst is one of the two crash
+// windows of the shared-segment reclamation rule: the consensus
+// checkpoint advances (decision records become dead) while the retention
+// floor stays put (block records still live). No segment may be deleted
+// yet — and a kill in that window must recover every unpruned block and
+// replay the live decisions with no gap. Compaction afterwards, with
+// both conditions finally true, completes the reclamation.
+func TestTwoConditionReclamationCheckpointFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := makeChain(t, 30)
+	interleaveDecisionsAndBlocks(t, s, chain)
+	before := len(logSegments(t, dir))
+	if before < 4 {
+		t.Fatalf("want several shared segments, got %d", before)
+	}
+
+	// Condition 1 only: checkpoint at seq 15 kills decisions 0..15, but
+	// every block is still above the (zero) retention floor, so the
+	// segments must survive.
+	if err := s.SaveCheckpoint(15, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(logSegments(t, dir)); got != before {
+		t.Fatalf("checkpoint alone deleted segments (%d -> %d) despite live blocks", before, got)
+	}
+
+	// Kill in the window (dir snapshot, not a graceful close).
+	crashDir := t.TempDir()
+	copyTree(t, dir, crashDir)
+	crashed, err := Open(crashDir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatalf("reopen crash snapshot: %v", err)
+	}
+	rec := crashed.Recovered()
+	if rec.CheckpointSeq != 15 {
+		t.Fatalf("recovered checkpoint %d, want 15", rec.CheckpointSeq)
+	}
+	if len(rec.Decisions) != 14 || rec.Decisions[0].Seq != 16 || rec.Decisions[13].Seq != 29 {
+		t.Fatalf("recovered %d decisions (%v..), want gapless 16..29", len(rec.Decisions), rec.Decisions[0].Seq)
+	}
+	for i, e := range rec.Decisions {
+		if e.Seq != int64(16+i) {
+			t.Fatalf("decision gap: entry %d has seq %d", i, e.Seq)
+		}
+	}
+	got, err := crashed.ReadBlocks("ch", 0, 30)
+	if err != nil || len(got) != 30 {
+		t.Fatalf("unpruned blocks after crash: %d, err %v", len(got), err)
+	}
+	if err := fabric.VerifyChain(got); err != nil {
+		t.Fatalf("recovered chain: %v", err)
+	}
+	crashed.Close()
+
+	// Condition 2 lands: compaction raises the floor past the old
+	// segments, and with both conditions true they are reclaimed.
+	if _, err := s.CompactTo(map[string]uint64{"ch": 25}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(logSegments(t, dir)); got >= before {
+		t.Fatalf("compaction after checkpoint reclaimed nothing: %d -> %d segments", before, got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoConditionReclamationRetentionFirst is the reverse crash window:
+// the retention floor advances (blocks become dead) while the consensus
+// checkpoint lags (decision records still live). The compaction's
+// manifest lands but no segment may be deleted — and a kill in that
+// window must replay ALL decisions gapless and serve the full retained
+// window. A later checkpoint completes the reclamation.
+func TestTwoConditionReclamationRetentionFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := makeChain(t, 30)
+	interleaveDecisionsAndBlocks(t, s, chain)
+	before := len(logSegments(t, dir))
+	if before < 4 {
+		t.Fatalf("want several shared segments, got %d", before)
+	}
+
+	// Condition 2 only: the floor rises to 20, but decision 0 is still
+	// live (no checkpoint), pinning every segment.
+	applied, err := s.CompactTo(map[string]uint64{"ch": 20})
+	if err != nil || applied["ch"] != 20 {
+		t.Fatalf("CompactTo: applied %v, err %v", applied, err)
+	}
+	if got := len(logSegments(t, dir)); got != before {
+		t.Fatalf("compaction deleted segments (%d -> %d) despite live decisions", before, got)
+	}
+
+	// Kill in the window.
+	crashDir := t.TempDir()
+	copyTree(t, dir, crashDir)
+	crashed, err := Open(crashDir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatalf("reopen crash snapshot: %v", err)
+	}
+	rec := crashed.Recovered()
+	if len(rec.Decisions) != 30 {
+		t.Fatalf("recovered %d decisions, want all 30 (no checkpoint yet)", len(rec.Decisions))
+	}
+	for i, e := range rec.Decisions {
+		if e.Seq != int64(i) {
+			t.Fatalf("decision gap: entry %d has seq %d", i, e.Seq)
+		}
+	}
+	if info := rec.Chains["ch"]; info.Floor != 20 || info.Height != 30 {
+		t.Fatalf("recovered frontier = %+v, want floor 20 height 30", info)
+	}
+	got, err := crashed.ReadBlocks("ch", 20, 30)
+	if err != nil || len(got) != 10 || got[0].Header.Number != 20 {
+		t.Fatalf("retained window after crash: %d blocks, err %v", len(got), err)
+	}
+	if err := fabric.VerifyChain(got); err != nil {
+		t.Fatalf("retained chain: %v", err)
+	}
+	if _, err := crashed.ReadBlocks("ch", 0, 5); !errors.Is(err, fabric.ErrPruned) {
+		t.Fatalf("below-floor read after crash: %v", err)
+	}
+	crashed.Close()
+
+	// Condition 1 lands: the checkpoint kills the decisions, and the
+	// dead segments go.
+	if err := s.SaveCheckpoint(29, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(logSegments(t, dir)); got >= before {
+		t.Fatalf("checkpoint after compaction reclaimed nothing: %d -> %d segments", before, got)
+	}
+	// The survivors still serve the whole retained window.
+	got2, err := s.ReadBlocks("ch", 20, 30)
+	if err != nil || len(got2) != 10 {
+		t.Fatalf("retained window after reclamation: %d blocks, err %v", len(got2), err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebaseMarkerReplaysWithoutManifest covers the channel-meta record's
+// crash window: the rebase marker is fsynced into the unified log but
+// the node dies before the manifest rewrite. The typed recovery walk
+// must replay the marker and come back with the rebased chain.
+func TestRebaseMarkerReplaysWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Recovered()
+	chain := makeChain(t, 5)
+	interleaveDecisionsAndBlocks(t, s, chain)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash window by appending the marker directly to the
+	// raw log: exactly the bytes RebaseBlocks fsyncs before it touches
+	// the manifest (which here never gets written).
+	anchor := cryptoutil.Hash([]byte("pruned-predecessor"))
+	wal, err := OpenWAL(WALConfig{Dir: filepath.Join(dir, "log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter(64)
+	w.PutByte(recChannelMeta)
+	w.PutByte(metaRebase)
+	w.PutString("ch")
+	w.PutUint64(20)
+	w.PutRaw(anchor[:])
+	if _, err := wal.Append(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after marker-only rebase: %v", err)
+	}
+	defer s2.Close()
+	rec := s2.Recovered()
+	info := rec.Chains["ch"]
+	if info.Floor != 20 || info.Height != 20 || info.Anchor != anchor {
+		t.Fatalf("recovered frontier = %+v, want rebased floor/height 20", info)
+	}
+	// Decisions replay unaffected by the block-side rebase.
+	if len(rec.Decisions) != 5 {
+		t.Fatalf("recovered %d decisions, want 5", len(rec.Decisions))
+	}
+	b20 := fabric.NewBlock(20, anchor, [][]byte{chain[0].Envelopes[0]})
+	if err := s2.PutBlock("ch", b20); err != nil {
+		t.Fatalf("put after recovered rebase: %v", err)
+	}
+	if _, err := s2.ReadBlocks("ch", 0, 5); !errors.Is(err, fabric.ErrPruned) {
+		t.Fatalf("stale read after recovered rebase: %v", err)
 	}
 }

@@ -1,10 +1,12 @@
-// Package storage is the durable backbone of the ordering service: a
-// segmented append-only write-ahead log with group-commit fsync batching, a
-// block store that persists sealed fabric blocks, and an atomic checkpointer
-// for consensus snapshots. The paper's replicas (Section 5.2) survive
-// crashes because decisions and checkpoints hit disk before they take
-// effect; this package supplies exactly that discipline for the
-// reproduction's in-memory stack.
+// Package storage is the durable backbone of the ordering service: one
+// unified, segmented append-only commit log per node — decision, block,
+// and channel-meta records multiplexed into the same files, committed in
+// group waves of exactly one fsync each — plus an atomic checkpointer for
+// consensus snapshots. The paper's replicas (Section 5.2) survive crashes
+// because decisions hit disk before their effects become externally
+// visible; this package supplies exactly that discipline, and recovery is
+// a single typed walk that rebuilds the decision replay stream and the
+// per-channel block index together.
 package storage
 
 import (
@@ -12,13 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // WAL errors.
@@ -50,10 +52,12 @@ type WALConfig struct {
 	// NoSync skips the fsync on every group commit. Only for tests and
 	// benchmarks that measure the non-durable append path.
 	NoSync bool
-	// Queue, when set, routes this log's group commits through a shared
-	// scheduler instead of a dedicated writer goroutine, so logs that
-	// share a device also share fsync waves. The queue must outlive the
-	// WAL (close the WAL first, then the queue).
+	// Queue, when set, routes this log's group commits through a
+	// CommitQueue scheduler instead of a dedicated writer goroutine.
+	// Exactly one log may attach to a queue — record kinds multiplex
+	// into the one log rather than fanning out across logs, which is
+	// what caps a commit wave at a single fsync. The queue must outlive
+	// the WAL (close the WAL first, then the queue).
 	Queue *CommitQueue
 }
 
@@ -121,7 +125,24 @@ type WAL struct {
 	// committing goroutine; reusing it keeps the hot append path free of
 	// per-group allocations.
 	commitBuf []byte
+
+	// syncs counts every fsync issued against the log's segment files
+	// (commit waves, rotations, close). The one-fsync-per-wave contract of
+	// the unified commit log is asserted against it in tests.
+	syncs atomic.Uint64
 }
+
+// fsync makes a segment file's committed records durable and counts the
+// flush. Segments are preallocated, so the wave path only needs a data
+// flush (fdatasync on Linux): the inode's size never changes on append,
+// which keeps the journal out of the hot path.
+func (w *WAL) fsync(f *os.File) error {
+	w.syncs.Add(1)
+	return datasync(f)
+}
+
+// SyncCount returns how many fsyncs the log has issued so far.
+func (w *WAL) SyncCount() uint64 { return w.syncs.Load() }
 
 // OpenWAL opens (or creates) the log in cfg.Dir, scans every segment,
 // truncates a torn tail in the newest segment, and starts the group-commit
@@ -173,22 +194,38 @@ func (w *WAL) scan() error {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
 
+	// Validate every segment first: the log's tail — the region where a
+	// crash may legitimately have torn frames or left preallocated space
+	// — is everything after the last segment that holds a record, which
+	// is only known once all segments are walked (a crash during rotation
+	// can leave BOTH a preallocated tail on the sealed segment and an
+	// all-zero successor).
+	counts := make([]uint64, len(segs))
+	valids := make([]int64, len(segs))
+	offsetTables := make([][]int64, len(segs))
+	verrs := make([]error, len(segs))
+	lastData := -1
+	for i := range segs {
+		counts[i], valids[i], offsetTables[i], verrs[i] = validateSegment(segs[i].path)
+		if counts[i] > 0 {
+			lastData = i
+		}
+	}
 	for i := range segs {
 		seg := &segs[i]
-		tail := i == len(segs)-1
-		count, validLen, offsets, err := validateSegment(seg.path)
-		if err != nil {
-			if !tail {
+		if err := verrs[i]; err != nil {
+			if i < lastData {
 				return fmt.Errorf("%w: segment %s: %v", ErrCorrupt, seg.path, err)
 			}
-			// Torn tail: drop everything from the first bad frame on.
-			if terr := os.Truncate(seg.path, validLen); terr != nil {
+			// Torn or preallocated tail: drop everything from the first
+			// bad frame on.
+			if terr := os.Truncate(seg.path, valids[i]); terr != nil {
 				return fmt.Errorf("storage: truncating torn tail: %w", terr)
 			}
 		}
-		seg.last = seg.first + count - 1 // first-1 when empty
-		seg.size = validLen
-		seg.offsets = offsets
+		seg.last = seg.first + counts[i] - 1 // first-1 when empty
+		seg.size = valids[i]
+		seg.offsets = offsetTables[i]
 		if i > 0 && seg.first != segs[i-1].last+1 {
 			return fmt.Errorf("%w: segment %s does not follow index %d",
 				ErrCorrupt, seg.path, segs[i-1].last)
@@ -227,6 +264,12 @@ func validateSegment(path string) (count uint64, validLen int64, offsets []int64
 		}
 		n := binary.BigEndian.Uint32(hdr[:4])
 		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n == 0 {
+			// Records are never empty (every kind carries at least a tag
+			// byte), and a preallocated-but-unwritten tail reads as zero
+			// headers: treat it as the torn tail.
+			return count, validLen, offsets, fmt.Errorf("preallocated or torn tail at %d", validLen)
+		}
 		if n > maxRecordSize || int64(n) > size-validLen-recordHeaderSize {
 			return count, validLen, offsets, fmt.Errorf("torn record at %d", validLen)
 		}
@@ -245,7 +288,11 @@ func validateSegment(path string) (count uint64, validLen int64, offsets []int64
 }
 
 // openActive opens the newest segment for appending, creating the first
-// segment of an empty log.
+// segment of an empty log. The active segment is preallocated to the full
+// segment size: appends then overwrite reserved space instead of growing
+// the inode, which is what lets the commit wave flush with fdatasync. The
+// committed size is the scanned one (the CRC walk's frontier), never the
+// file size — past it lies preallocated space.
 func (w *WAL) openActive() error {
 	if len(w.segments) == 0 {
 		w.segments = append(w.segments, segment{
@@ -259,13 +306,12 @@ func (w *WAL) openActive() error {
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	size, err := f.Seek(0, io.SeekEnd)
-	if err != nil {
+	if err := preallocate(f, w.cfg.SegmentBytes); err != nil {
 		f.Close()
-		return fmt.Errorf("storage: %w", err)
+		return fmt.Errorf("storage: preallocating segment: %w", err)
 	}
 	w.active = f
-	w.size = size
+	w.size = seg.size
 	return w.syncDir()
 }
 
@@ -316,6 +362,15 @@ func (w *WAL) AppendAsync(rec []byte) (*Token, error) {
 // the committing goroutine (in log order) before the token completes.
 // Callbacks must be cheap: they run inside the commit wave.
 func (w *WAL) appendAsync(rec []byte, onCommit func(idx uint64, err error)) (*Token, error) {
+	return w.appendAsyncOpt(rec, onCommit, false)
+}
+
+// appendAsyncOpt is the full enqueue: a lazy append triggers no wave of
+// its own and rides the next eagerly triggered wave (or the queue's lazy
+// flush timer). For records nothing gates on — block puts under the
+// decision-gated dissemination rule — laziness makes durability free in
+// steady state: they share the fsync some decision already pays for.
+func (w *WAL) appendAsyncOpt(rec []byte, onCommit func(idx uint64, err error), lazy bool) (*Token, error) {
 	if int64(len(rec))+recordHeaderSize > w.cfg.SegmentBytes {
 		return nil, ErrTooBig
 	}
@@ -333,7 +388,7 @@ func (w *WAL) appendAsync(rec []byte, onCommit func(idx uint64, err error)) (*To
 	w.mu.Unlock()
 	req := &appendReq{rec: rec, tok: newToken(), onCommit: onCommit}
 	if w.cfg.Queue != nil {
-		w.cfg.Queue.enqueue(w, req)
+		w.cfg.Queue.enqueue(w, req, lazy)
 	} else {
 		w.appendCh <- req
 	}
@@ -341,7 +396,7 @@ func (w *WAL) appendAsync(rec []byte, onCommit func(idx uint64, err error)) (*To
 	return req.tok, nil
 }
 
-// writer is the standalone group-commit loop (no shared queue): it blocks
+// writer is the standalone group-commit loop (no commit queue): it blocks
 // for one request, greedily drains whatever else queued up, writes the
 // whole group, fsyncs once, and only then completes every request in the
 // group.
@@ -384,13 +439,13 @@ func (w *WAL) writer() {
 }
 
 // commit writes and fsyncs one group (the standalone writer's path; the
-// shared queue drives writeGroup and the fsync itself).
+// commit queue drives writeGroup and the fsync itself).
 func (w *WAL) commit(group []*appendReq) error {
 	f, err := w.writeGroup(group)
 	if err != nil || f == nil {
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := w.fsync(f); err != nil {
 		w.poison(err)
 		return err
 	}
@@ -412,7 +467,7 @@ func (w *WAL) poison(err error) {
 // as needed) and assigns record indices, without fsyncing. It returns the
 // file that must be fsynced before the group may be completed (nil when
 // nothing needs syncing: an all-barrier group, or NoSync). Only one
-// goroutine — the standalone writer or the shared queue's scheduler —
+// goroutine — the standalone writer or the commit queue's scheduler —
 // calls it. A write failure poisons the log.
 func (w *WAL) writeGroup(group []*appendReq) (*os.File, error) {
 	w.mu.Lock()
@@ -438,7 +493,10 @@ func (w *WAL) writeGroupLocked(group []*appendReq) (dirty bool, err error) {
 		if len(buf) == 0 {
 			return nil
 		}
-		if _, err := w.active.Write(buf); err != nil {
+		// Positioned write at the committed frontier: the file offset is
+		// meaningless in a preallocated segment (i_size sits at the
+		// segment size, not the frontier).
+		if _, err := w.active.WriteAt(buf, w.size); err != nil {
 			return err
 		}
 		w.size += int64(len(buf))
@@ -477,9 +535,26 @@ func (w *WAL) writeGroupLocked(group []*appendReq) (dirty bool, err error) {
 	return dirty, nil
 }
 
-// rotateLocked seals the active segment and opens the next one.
+// rotateLocked seals the active segment and opens the next one. The
+// sealed segment is trimmed to its committed size before the next one is
+// created, so only the newest segment ever carries a preallocated tail —
+// the invariant the open-time scan relies on (mid-log validation errors
+// mean real corruption, not leftover preallocation).
 func (w *WAL) rotateLocked() error {
 	if !w.cfg.NoSync {
+		if err := w.fsync(w.active); err != nil {
+			return err
+		}
+	}
+	if err := w.active.Truncate(w.size); err != nil {
+		return err
+	}
+	if !w.cfg.NoSync {
+		// Full fsync (not fdatasync): the truncate is a metadata change,
+		// and the scan invariant — only the newest segment may carry a
+		// preallocated tail — must not depend on journal ordering
+		// relative to the next segment's creation.
+		w.syncs.Add(1)
 		if err := w.active.Sync(); err != nil {
 			return err
 		}
@@ -494,6 +569,10 @@ func (w *WAL) rotateLocked() error {
 	})
 	f, err := os.OpenFile(w.segments[len(w.segments)-1].path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
+		return err
+	}
+	if err := preallocate(f, w.cfg.SegmentBytes); err != nil {
+		f.Close()
 		return err
 	}
 	w.active = f
@@ -522,6 +601,11 @@ func replaySegment(seg segment, fn func(idx uint64, rec []byte) error) error {
 	raw, err := os.ReadFile(seg.path)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
+	}
+	// Walk only the committed bytes: the active segment's file runs on
+	// into preallocated space past the frontier.
+	if int64(len(raw)) > seg.size {
+		raw = raw[:seg.size]
 	}
 	idx := seg.first
 	off := 0
@@ -684,6 +768,29 @@ func readRecordAt(f *os.File, off int64) ([]byte, error) {
 	return payload, nil
 }
 
+// SegmentSpan is one segment's record-index span and committed size, as
+// reported to retention (the manifest's per-segment liveness summary is
+// keyed by these spans).
+type SegmentSpan struct {
+	// First and Last bound the record indices stored in the segment
+	// (Last < First for an empty segment).
+	First, Last uint64
+	// Size is the segment's committed bytes.
+	Size int64
+}
+
+// SegmentSpans returns the index span of every retained segment, oldest
+// first (the last entry is the active segment).
+func (w *WAL) SegmentSpans() []SegmentSpan {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]SegmentSpan, 0, len(w.segments))
+	for _, seg := range w.segments {
+		out = append(out, SegmentSpan{First: seg.first, Last: seg.last, Size: seg.size})
+	}
+	return out
+}
+
 // SizeBytes returns the committed on-disk size of the log (the sum of
 // all segment sizes). Retention policies use it as the bytes trigger.
 func (w *WAL) SizeBytes() int64 {
@@ -750,7 +857,7 @@ func (w *WAL) PruneTo(keepFrom uint64) error {
 
 // Close stops the writer, fsyncs, and closes the active segment. Appends
 // in flight complete or fail with ErrClosed. A queue-attached log drains
-// itself through the shared queue (which must still be open) with a flush
+// itself through the commit queue (which must still be open) with a flush
 // barrier before closing its file.
 func (w *WAL) Close() error {
 	w.mu.Lock()
@@ -763,7 +870,7 @@ func (w *WAL) Close() error {
 	w.appendWg.Wait()
 	if w.cfg.Queue != nil {
 		barrier := &appendReq{tok: newToken()}
-		w.cfg.Queue.enqueue(w, barrier)
+		w.cfg.Queue.enqueue(w, barrier, false)
 		barrier.tok.Wait() // every request ahead of it has committed
 	} else {
 		close(w.closeCh)
@@ -772,10 +879,16 @@ func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if !w.cfg.NoSync {
-		if err := w.active.Sync(); err != nil {
+		if err := w.fsync(w.active); err != nil {
 			w.active.Close()
 			return err
 		}
+	}
+	// Trim the preallocated tail so a cleanly closed segment is exact-
+	// size on disk (reopen re-preallocates the active one).
+	if err := w.active.Truncate(w.size); err != nil {
+		w.active.Close()
+		return err
 	}
 	return w.active.Close()
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
 )
 
 // Microbenchmarks for the durable hot path. Run with -benchmem (the
@@ -69,23 +72,20 @@ func BenchmarkWALAppendFsync(b *testing.B) {
 	}
 }
 
-// BenchmarkSharedQueueAppend drives two logs through one shared commit
-// queue (the NodeStorage arrangement: decision WAL + block WAL on one
-// device) with appenders split across both, measuring the joint fsync
-// wave the scheduler is for.
-func BenchmarkSharedQueueAppend(b *testing.B) {
+// BenchmarkUnifiedLogAppend drives mixed record kinds through the ONE
+// log + commit queue a NodeStorage runs on (decision and block records
+// multiplexed into shared segments), with appenders split across both
+// kinds, measuring the single-fsync wave the unified log is for.
+func BenchmarkUnifiedLogAppend(b *testing.B) {
 	for _, g := range []int{2, 8, 64} {
 		b.Run(fmt.Sprintf("appenders=%d", g), func(b *testing.B) {
 			queue := NewCommitQueue(CommitQueueConfig{})
-			open := func(dir string) *WAL {
-				w, err := OpenWAL(WALConfig{Dir: dir, Queue: queue})
-				if err != nil {
-					b.Fatalf("OpenWAL: %v", err)
-				}
-				return w
+			wal, err := OpenWAL(WALConfig{Dir: b.TempDir(), Queue: queue})
+			if err != nil {
+				b.Fatalf("OpenWAL: %v", err)
 			}
-			logs := []*WAL{open(b.TempDir()), open(b.TempDir())}
-			rec := make([]byte, 512)
+			decRec := append([]byte{recDecision}, make([]byte, 511)...)
+			blkRec := append([]byte{recBlock}, make([]byte, 511)...)
 			b.ReportAllocs()
 			b.SetBytes(512)
 			b.ResetTimer()
@@ -95,9 +95,12 @@ func BenchmarkSharedQueueAppend(b *testing.B) {
 				if g2 < b.N%g {
 					n++
 				}
-				wal := logs[g2%len(logs)]
+				rec := decRec
+				if g2%2 == 1 {
+					rec = blkRec
+				}
 				wg.Add(1)
-				go func(wal *WAL, n int) {
+				go func(rec []byte, n int) {
 					defer wg.Done()
 					for i := 0; i < n; i++ {
 						if _, err := wal.Append(rec); err != nil {
@@ -105,17 +108,58 @@ func BenchmarkSharedQueueAppend(b *testing.B) {
 							return
 						}
 					}
-				}(wal, n)
+				}(rec, n)
 			}
 			wg.Wait()
 			b.StopTimer()
-			for _, wal := range logs {
-				if err := wal.Close(); err != nil {
-					b.Fatalf("close: %v", err)
-				}
+			if err := wal.Close(); err != nil {
+				b.Fatalf("close: %v", err)
 			}
 			queue.Close()
 		})
+	}
+}
+
+// BenchmarkBlockPutAsync measures the block-record enqueue path of the
+// unified log end to end (encode into a pooled buffer, height/index
+// bookkeeping, queue handoff) — the per-put allocations this path used
+// to pay for Block.Marshal are what MarshalInto removed; ReportAllocs
+// keeps that won.
+func BenchmarkBlockPutAsync(b *testing.B) {
+	store, err := OpenBlockStore(WALConfig{Dir: b.TempDir(), SegmentBytes: 64 << 20})
+	if err != nil {
+		b.Fatalf("OpenBlockStore: %v", err)
+	}
+	store.Chains()
+	// A realistic small block: 10 envelopes of 64 bytes.
+	envs := make([][]byte, 10)
+	for i := range envs {
+		envs[i] = make([]byte, 64)
+	}
+	blocks := make([]*fabric.Block, b.N)
+	var prev cryptoutil.Digest
+	for i := range blocks {
+		blocks[i] = fabric.NewBlock(uint64(i), prev, envs)
+		prev = blocks[i].Header.Hash()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *Token
+	for i := 0; i < b.N; i++ {
+		tok, err := store.PutAsync("bench", blocks[i])
+		if err != nil {
+			b.Fatalf("put async: %v", err)
+		}
+		last = tok
+	}
+	if last != nil {
+		if err := last.Wait(); err != nil {
+			b.Fatalf("final token: %v", err)
+		}
+	}
+	b.StopTimer()
+	if err := store.Close(); err != nil {
+		b.Fatalf("close: %v", err)
 	}
 }
 
