@@ -1,0 +1,225 @@
+// Package chaos is a scenario harness for the whole ordering stack: it
+// composes fault injectors (WAN latency/jitter/loss, partitions,
+// crash-restart mid-wave, byzantine dissemination and forged history)
+// against continuously-running invariant checkers (deliver continuity,
+// verified fetch, persist-watermark monotonicity, durability floors,
+// leader-change liveness) over a live cluster under load.
+//
+// A Scenario is deterministic given its seed: the WAN jitter and loss
+// draws, the load payloads, and the fetch probe ranges all derive from
+// Scenario.Seed, so a failing run can be replayed. Faults and invariants
+// are plain values — tests and cmd/chaosbench compose them freely, and
+// the registry (Scenarios) names the standard matrix.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/transport"
+)
+
+// Load shapes the traffic a scenario sustains while faults play out.
+type Load struct {
+	// Clients is the number of concurrent closed-loop submitters.
+	Clients int
+	// EnvBytes sizes each envelope payload.
+	EnvBytes int
+	// Pace is the per-client delay between broadcasts (bounds the rate so
+	// short scenarios stay comparable across machines). Zero = 2ms.
+	Pace time.Duration
+}
+
+// Scenario is one named chaos experiment: a cluster shape, a load, the
+// faults to inject, and the invariants that must hold throughout.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Cluster shape. Zero values pick the harness defaults (4 nodes,
+	// blocks of 2, checkpoint every 8 decisions, 2s request timeout).
+	Nodes              int
+	BlockSize          int
+	CheckpointInterval int64
+	RequestTimeout     time.Duration
+
+	// Seed drives every random choice in the run (jitter, loss, probe
+	// ranges, payloads). Zero selects 42.
+	Seed uint64
+	// Duration is the fault-injection window (load runs throughout; the
+	// runner then quiesces and evaluates final invariants).
+	Duration time.Duration
+
+	Load       Load
+	Faults     []Fault
+	Invariants []Invariant
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Nodes == 0 {
+		s.Nodes = 4
+	}
+	if s.BlockSize == 0 {
+		s.BlockSize = 2
+	}
+	if s.CheckpointInterval == 0 {
+		s.CheckpointInterval = 8
+	}
+	if s.RequestTimeout == 0 {
+		s.RequestTimeout = 2 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Duration == 0 {
+		s.Duration = 5 * time.Second
+	}
+	if s.Load.Clients == 0 {
+		s.Load.Clients = 2
+	}
+	if s.Load.EnvBytes == 0 {
+		s.Load.EnvBytes = 64
+	}
+	if s.Load.Pace == 0 {
+		s.Load.Pace = 2 * time.Millisecond
+	}
+	return s
+}
+
+// Fault is one injector: Run executes on its own goroutine from scenario
+// start until the injection window closes (watch e.Done()). A returned
+// error is recorded as a violation against the fault's name.
+type Fault struct {
+	Name string
+	Run  func(e *Env) error
+}
+
+// Invariant is one continuous checker: Start may spawn goroutines (register
+// them with e.Go) that watch the cluster until e.Done(); Stop runs after
+// load has quiesced and performs final (possibly polling) assertions.
+// Violations are recorded with e.Violate under the invariant's name.
+type Invariant struct {
+	Name  string
+	Start func(e *Env) error
+	Stop  func(e *Env)
+}
+
+// Env is the running world a scenario's faults and invariants act on.
+type Env struct {
+	Scenario Scenario
+	Network  *transport.InProcNetwork
+	Cluster  *core.Cluster
+	// Observer is the measurement frontend (f+1 verified-signature
+	// release rule); invariants watch the system through it.
+	Observer *core.Frontend
+	// LoadFE carries the scenario's traffic (2f+1 matching release rule).
+	LoadFE  *core.Frontend
+	Channel string
+	F       int
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu         sync.Mutex
+	epochs     []int
+	violations map[string][]string
+
+	canonMu sync.Mutex
+	canon   []*fabric.Block
+}
+
+// Done closes when the fault-injection window ends; faults and invariant
+// watchers must unblock on it.
+func (e *Env) Done() <-chan struct{} { return e.done }
+
+// Go runs f on a harness-tracked goroutine; the runner waits for all of
+// them before evaluating final invariants.
+func (e *Env) Go(f func()) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		f()
+	}()
+}
+
+// Violate records an invariant (or fault) violation. The run fails and the
+// detail surfaces in the scenario result.
+func (e *Env) Violate(name, format string, args ...any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.violations[name] = append(e.violations[name], fmt.Sprintf(format, args...))
+}
+
+func (e *Env) violationsFor(name string) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.violations[name]...)
+}
+
+// Node returns node i and its restart epoch (bumped by every KillNode), or
+// nil while the node is down. Cluster membership is mutated by crash
+// faults, so all node access goes through this guard.
+func (e *Env) Node(i int) (*core.OrderingNode, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Cluster.Nodes[i], e.epochs[i]
+}
+
+// KillNode crashes node i (storage closed, endpoint detached).
+func (e *Env) KillNode(i int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.Cluster.KillNode(i)
+	e.epochs[i]++
+}
+
+// RestartNode recovers a killed node from its data directory.
+func (e *Env) RestartNode(i int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Cluster.RestartNode(i)
+}
+
+// appendCanon extends the observer-released canonical chain (release is
+// in-order per channel; out-of-order copies are ignored here — the deliver
+// continuity invariant owns that check on its own stream).
+func (e *Env) appendCanon(b *fabric.Block) {
+	e.canonMu.Lock()
+	if b.Header.Number == uint64(len(e.canon)) {
+		e.canon = append(e.canon, b)
+	}
+	e.canonMu.Unlock()
+}
+
+// Canon snapshots the canonical (observer-released, f+1-verified) chain.
+func (e *Env) Canon() []*fabric.Block {
+	e.canonMu.Lock()
+	defer e.canonMu.Unlock()
+	return append([]*fabric.Block(nil), e.canon...)
+}
+
+// CanonHeight is the canonical chain height.
+func (e *Env) CanonHeight() uint64 {
+	e.canonMu.Lock()
+	defer e.canonMu.Unlock()
+	return uint64(len(e.canon))
+}
+
+// after waits d within the injection window; false means the window closed
+// first.
+func after(e *Env, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-e.Done():
+		return false
+	}
+}
+
+// frac converts a fraction of the scenario duration into a delay.
+func frac(e *Env, f float64) time.Duration {
+	return time.Duration(f * float64(e.Scenario.Duration))
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func runScenario(t *testing.T, name string, inspect func(*Env)) Result {
+	t.Helper()
+	s, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	res, err := Run(s, Options{Scale: 0.5, DataDir: t.TempDir(), Inspect: inspect, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	return res
+}
+
+func assertPass(t *testing.T, res Result) {
+	t.Helper()
+	for _, inv := range res.Invariants {
+		if !inv.Pass {
+			t.Errorf("%s: invariant %s failed: %v", res.Scenario, inv.Name, inv.Detail)
+		}
+	}
+	if res.Blocks == 0 || res.Delivered == 0 {
+		t.Errorf("%s: no progress under load: %d blocks, %d envelopes", res.Scenario, res.Blocks, res.Delivered)
+	}
+}
+
+// TestChaosSmoke is the CI gate: the fault-free scenario must hold every
+// invariant — any failure here is a harness bug, not an injected fault.
+func TestChaosSmoke(t *testing.T) {
+	assertPass(t, runScenario(t, "baseline", nil))
+}
+
+func TestPartitionHealScenario(t *testing.T) {
+	assertPass(t, runScenario(t, "partition-heal", nil))
+}
+
+// TestCrashMidWaveScenario crashes the leader under aggressive checkpoints:
+// the persist-watermark checkpoint gate must keep its recovery gap-free and
+// the synchronization phase must depose it meanwhile.
+func TestCrashMidWaveScenario(t *testing.T) {
+	assertPass(t, runScenario(t, "crash-mid-wave", nil))
+}
+
+func TestByzantineEquivocateScenario(t *testing.T) {
+	assertPass(t, runScenario(t, "byzantine-equivocate", nil))
+}
+
+// TestForgedHistoryScenario runs a live forged-history adversary: every
+// fetch probe must keep returning the canonical chain because the f+1
+// verification quorum rejects the forged candidate.
+func TestForgedHistoryScenario(t *testing.T) {
+	assertPass(t, runScenario(t, "forged-history", nil))
+}
+
+// TestForgedHistoryTeeth proves the invariant has teeth: with f+1
+// verification artificially disabled, the same adversary must trip the
+// verified-fetch invariant.
+func TestForgedHistoryTeeth(t *testing.T) {
+	core.SetFetchVerificationDisabled(true)
+	defer core.SetFetchVerificationDisabled(false)
+	res := runScenario(t, "forged-history", nil)
+	if res.Pass {
+		t.Fatal("forged-history passed with fetch verification disabled; the verified-fetch invariant has no teeth")
+	}
+	tripped := false
+	for _, inv := range res.Invariants {
+		if inv.Name == "verified-fetch" && !inv.Pass {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatalf("expected the verified-fetch invariant to trip, got %+v", res.Invariants)
+	}
+}
+
+// TestReconfigUnderChaos exercises consensus membership change while a
+// partition heals: the group shrinks through consensus and keeps ordering.
+func TestReconfigUnderChaos(t *testing.T) {
+	res := runScenario(t, "reconfig-heal", func(e *Env) {
+		if n, _ := e.Node(3); n != nil {
+			t.Error("removed replica 3 still running at end of scenario")
+		}
+		for i := 0; i < 3; i++ {
+			n, _ := e.Node(i)
+			if n == nil {
+				t.Errorf("survivor %d is down", i)
+				continue
+			}
+			if m := n.Replica().Stats().Members; m != 3 {
+				t.Errorf("survivor %d reports %d members, want 3", i, m)
+			}
+		}
+	})
+	assertPass(t, res)
+}
+
+func TestWANGeoScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wan-geo runs real wide-area delays")
+	}
+	assertPass(t, runScenario(t, "wan-geo", nil))
+}

@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wan"
+)
+
+// wanRegions is the round-robin placement WANFault assigns to replicas —
+// the paper's geo evaluation sites.
+var wanRegions = []wan.Region{wan.Oregon, wan.Ireland, wan.Sydney, wan.SaoPaulo}
+
+// WANFault puts the whole run on a seeded wide-area network: replicas are
+// placed round-robin across four continents, the observer and load
+// frontends in Virginia and Canada, and every link gets the measured RTT
+// with ±jitterPct% deterministic jitter. lossFrac additionally drops that
+// fraction of node→frontend dissemination copies (the redundant path — the
+// release rules must absorb it; consensus and client traffic is exempt so
+// the scenario probes redundancy, not retransmission liveness).
+func WANFault(jitterPct int, lossFrac float64) Fault {
+	return Fault{
+		Name: "wan",
+		Run: func(e *Env) error {
+			placement := make(map[transport.Addr]wan.Region)
+			for i, id := range e.Cluster.Replicas() {
+				placement[id.Addr()] = wanRegions[i%len(wanRegions)]
+			}
+			feTargets := map[transport.Addr]bool{
+				transport.Addr(e.Observer.ID()): true,
+				transport.Addr(e.LoadFE.ID()):   true,
+			}
+			placement[transport.Addr(e.Observer.ID())] = wan.Virginia
+			placement[transport.Addr(e.Observer.ID()+"-client")] = wan.Virginia
+			placement[transport.Addr(e.LoadFE.ID())] = wan.Canada
+			placement[transport.Addr(e.LoadFE.ID()+"-client")] = wan.Canada
+			e.Network.SetLatency(wan.NewModelSeeded(placement, jitterPct, e.Scenario.Seed))
+			if lossFrac > 0 {
+				loss := wan.NewLoss(lossFrac, e.Scenario.Seed+1, func(m transport.Message) bool {
+					return !feTargets[m.To]
+				})
+				e.Network.SetDrop(loss.Drop)
+			}
+			<-e.Done()
+			// Drop nothing during quiesce so the drain is bounded; the
+			// latency model stays (it is the scenario's world, not a
+			// transient fault).
+			e.Network.SetDrop(nil)
+			return nil
+		},
+	}
+}
+
+// PartitionFault splits the minority replicas from the rest of the cluster
+// at atFrac of the scenario duration and heals at healFrac. Frontends stay
+// connected to both sides.
+func PartitionFault(minority []int, atFrac, healFrac float64) Fault {
+	return Fault{
+		Name: "partition",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			inMinority := make(map[int]bool, len(minority))
+			var a []transport.Addr
+			for _, i := range minority {
+				inMinority[i] = true
+				a = append(a, consensus.ReplicaID(i).Addr())
+			}
+			var b []transport.Addr
+			for i := range e.Cluster.Replicas() {
+				if !inMinority[i] {
+					b = append(b, consensus.ReplicaID(i).Addr())
+				}
+			}
+			e.Network.Partition(a, b)
+			defer e.Network.Heal()
+			if !after(e, frac(e, healFrac-atFrac)) {
+				return nil
+			}
+			return nil
+		},
+	}
+}
+
+// CrashRestartFault kills node i mid-run and crash-recovers it from its
+// data directory before the window closes. The restart happens even if the
+// window closes first, so final invariants always see the node back.
+func CrashRestartFault(node int, atFrac, restartFrac float64) Fault {
+	return Fault{
+		Name: "crash-restart",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			e.KillNode(node)
+			after(e, frac(e, restartFrac-atFrac))
+			if err := e.RestartNode(node); err != nil {
+				return fmt.Errorf("restart node %d: %w", node, err)
+			}
+			return nil
+		},
+	}
+}
+
+// ByzantineFault turns node i byzantine at atFrac: behavior corrupts its
+// consensus-layer messages (equivocating proposals, muteness), byz corrupts
+// its ordering-layer service (equivocating dissemination, forged fetch
+// history). The node stays byzantine for the rest of the run.
+func ByzantineFault(node int, behavior consensus.Behavior, byz core.Byzantine, atFrac float64) Fault {
+	return Fault{
+		Name: "byzantine",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			n, _ := e.Node(node)
+			if n == nil {
+				return fmt.Errorf("node %d is down, cannot turn byzantine", node)
+			}
+			n.SetByzantine(byz)
+			n.Replica().SetBehavior(behavior)
+			return nil
+		},
+	}
+}
+
+// ReconfigFault removes a replica from the group through consensus at
+// atFrac: an admin client submits the membership change, the fault waits
+// for the survivors to report the shrunken membership, then crashes the
+// removed node (it plays no further part).
+func ReconfigFault(remove int, atFrac float64) Fault {
+	return Fault{
+		Name: "reconfig",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			conn, err := e.Network.Join("chaos-admin-client")
+			if err != nil {
+				return fmt.Errorf("admin join: %w", err)
+			}
+			client, err := consensus.NewClient(conn, consensus.ClientConfig{
+				Replicas: e.Cluster.Replicas(),
+				F:        e.F,
+			})
+			if err != nil {
+				conn.Close()
+				return fmt.Errorf("admin client: %w", err)
+			}
+			defer client.Close()
+			op := consensus.EncodeReconfigOp(consensus.ReconfigOp{
+				Kind:    consensus.ReconfigRemove,
+				Replica: consensus.ReplicaID(remove),
+			})
+			if err := client.Invoke(op); err != nil {
+				return fmt.Errorf("reconfig invoke: %w", err)
+			}
+			want := int32(e.Scenario.Nodes - 1)
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				shrunk := true
+				for i := 0; i < e.Scenario.Nodes; i++ {
+					if i == remove {
+						continue
+					}
+					n, _ := e.Node(i)
+					if n != nil && n.Replica().Stats().Members != want {
+						shrunk = false
+					}
+				}
+				if shrunk {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("membership never shrank to %d", want)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			e.KillNode(remove)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// DeliverContinuity subscribes from genesis on the observer frontend and
+// checks the released stream is gap-free, duplicate-free, and hash-chained:
+// every block's number is exactly the next expected and its PrevHash is the
+// header hash of its predecessor, across every fault in the scenario.
+func DeliverContinuity() Invariant {
+	const name = "deliver-continuity"
+	var stream *fabric.BlockStream
+	consumed := make(chan struct{})
+	return Invariant{
+		Name: name,
+		Start: func(e *Env) error {
+			var err error
+			stream, err = e.Observer.Deliver(e.Channel, fabric.DeliverFrom(0))
+			if err != nil {
+				return err
+			}
+			// Not on e.Go: the consumer outlives the injection window (it
+			// checks blocks arriving during quiesce) and exits when Stop
+			// cancels the stream.
+			go func() {
+				defer close(consumed)
+				var next uint64
+				var prev *fabric.Block
+				for b := range stream.Blocks() {
+					if b.Header.Number != next {
+						e.Violate(name, "stream delivered block %d, want %d (gap or duplicate)",
+							b.Header.Number, next)
+						return
+					}
+					if prev != nil && b.Header.PrevHash != prev.Header.Hash() {
+						e.Violate(name, "block %d does not hash-chain to block %d",
+							b.Header.Number, prev.Header.Number)
+						return
+					}
+					prev = b
+					next++
+				}
+			}()
+			return nil
+		},
+		Stop: func(e *Env) {
+			if stream != nil {
+				stream.Cancel()
+			}
+			<-consumed
+		},
+	}
+}
+
+// VerifiedFetch continuously probes FetchRangeVerified through the observer
+// frontend: seeded random subranges of the canonical chain are fetched and
+// every returned block must match the canonical copy byte-for-hash. This is
+// the invariant a forged-history adversary attacks — the f+1 verification
+// quorum must keep holding with the adversary live. It fails the run if a
+// probe diverges, or if no probe ever succeeded despite available history.
+func VerifiedFetch() Invariant {
+	const name = "verified-fetch"
+	var successes, failures int
+	done := make(chan struct{})
+	return Invariant{
+		Name: name,
+		Start: func(e *Env) error {
+			rng := rand.New(rand.NewSource(int64(e.Scenario.Seed) + 7))
+			e.Go(func() {
+				defer close(done)
+				ticker := time.NewTicker(200 * time.Millisecond)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-e.Done():
+						return
+					case <-ticker.C:
+					}
+					canon := e.Canon()
+					if len(canon) < 2 {
+						continue
+					}
+					from := uint64(rng.Intn(len(canon) - 1))
+					span := uint64(1 + rng.Intn(min(len(canon)-int(from), 8)))
+					blocks, err := e.Observer.FetchVerified(e.Channel, from, from+span)
+					if err != nil {
+						failures++ // transient under partitions/crashes; judged at Stop
+						continue
+					}
+					for i, b := range blocks {
+						want := canon[from+uint64(i)]
+						if b.Header.Hash() != want.Header.Hash() {
+							e.Violate(name,
+								"verified fetch of [%d,%d) returned divergent block %d (forged or stale history passed verification)",
+								from, from+span, b.Header.Number)
+							return
+						}
+					}
+					successes++
+				}
+			})
+			return nil
+		},
+		Stop: func(e *Env) {
+			<-done
+			if successes == 0 && e.CanonHeight() > 1 {
+				e.Violate(name, "no fetch probe ever succeeded (%d attempts failed) despite %d canonical blocks",
+					failures, e.CanonHeight())
+			}
+		},
+	}
+}
+
+// WatermarkMonotonic polls every live node's persist watermark: per node
+// incarnation it must never regress, and it must never run ahead of the
+// ledger height (blocks are enqueued — and the decision token waited out —
+// before their put tokens can complete, so a watermark above the ledger
+// height would mean durability was claimed for blocks that do not exist).
+func WatermarkMonotonic() Invariant {
+	const name = "watermark-monotonic"
+	return Invariant{
+		Name: name,
+		Start: func(e *Env) error {
+			last := make([]uint64, e.Scenario.Nodes)
+			lastEpoch := make([]int, e.Scenario.Nodes)
+			e.Go(func() {
+				ticker := time.NewTicker(50 * time.Millisecond)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-e.Done():
+						return
+					case <-ticker.C:
+					}
+					for i := 0; i < e.Scenario.Nodes; i++ {
+						n, epoch := e.Node(i)
+						if n == nil {
+							continue
+						}
+						w := n.PersistWatermark(e.Channel)
+						if led := n.Ledger(e.Channel); led != nil && w > led.Height() {
+							e.Violate(name, "node %d watermark %d ahead of ledger height %d", i, w, led.Height())
+						}
+						if epoch == lastEpoch[i] && w < last[i] {
+							e.Violate(name, "node %d watermark regressed %d -> %d within one incarnation", i, last[i], w)
+						}
+						last[i], lastEpoch[i] = w, epoch
+					}
+				}
+			})
+			return nil
+		},
+		Stop: func(e *Env) {},
+	}
+}
+
+// DurableFloor requires, after quiesce, that every live node's persist
+// watermark covers at least floorFrac of the canonical chain: whatever the
+// faults did, the cluster must converge back to durably holding what it
+// released. Polls up to 15 seconds to absorb backfill and state transfer.
+func DurableFloor(floorFrac float64) Invariant {
+	const name = "durable-floor"
+	return Invariant{
+		Name:  name,
+		Start: func(e *Env) error { return nil },
+		Stop: func(e *Env) {
+			target := uint64(floorFrac * float64(e.CanonHeight()))
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				lagging := -1
+				var lagMark uint64
+				for i := 0; i < e.Scenario.Nodes; i++ {
+					n, _ := e.Node(i)
+					if n == nil {
+						continue
+					}
+					if w := n.PersistWatermark(e.Channel); w < target {
+						lagging, lagMark = i, w
+					}
+				}
+				if lagging < 0 {
+					return
+				}
+				if time.Now().After(deadline) {
+					e.Violate(name, "node %d durable watermark %d below floor %d (canonical height %d)",
+						lagging, lagMark, target, e.CanonHeight())
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		},
+	}
+}
+
+// LeaderChangeObserved requires that the synchronization phase actually ran:
+// some live node must report at least one leader change by the end of the
+// run. Scenarios that depose the leader (crash, equivocation) include it to
+// prove the fault bit.
+func LeaderChangeObserved() Invariant {
+	const name = "leader-change"
+	return Invariant{
+		Name:  name,
+		Start: func(e *Env) error { return nil },
+		Stop: func(e *Env) {
+			for i := 0; i < e.Scenario.Nodes; i++ {
+				n, _ := e.Node(i)
+				if n != nil && n.Replica().Stats().LeaderChanges >= 1 {
+					return
+				}
+			}
+			e.Violate(name, "no live node observed a leader change")
+		},
+	}
+}

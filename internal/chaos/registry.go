@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+)
+
+// standardInvariants is the checker set every scenario runs; scenarios add
+// LeaderChangeObserved when they depose the leader, and relax the durable
+// floor when their world is lossy.
+func standardInvariants(floor float64) []Invariant {
+	return []Invariant{
+		DeliverContinuity(),
+		VerifiedFetch(),
+		WatermarkMonotonic(),
+		DurableFloor(floor),
+	}
+}
+
+// Scenarios is the named chaos matrix cmd/chaosbench runs and the README
+// documents. Every scenario keeps the same 4-node durable cluster under
+// continuous load; they differ in the faults injected and the invariants
+// those faults attack.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "baseline",
+			Description: "no faults: the harness itself must hold every invariant",
+			Invariants:  standardInvariants(1.0),
+		},
+		{
+			Name:        "wan-geo",
+			Description: "four continents with seeded jitter and dissemination loss; release rules absorb dropped copies",
+			RequestTimeout: 4 * time.Second,
+			Duration:       8 * time.Second,
+			Faults:         []Fault{WANFault(10, 0.003)},
+			Invariants:     standardInvariants(0.9),
+		},
+		{
+			Name:        "partition-heal",
+			Description: "a minority replica is partitioned away mid-run and healed; it must catch back up",
+			Faults:      []Fault{PartitionFault([]int{1}, 0.25, 0.5)},
+			Invariants:  standardInvariants(1.0),
+		},
+		{
+			Name:               "crash-mid-wave",
+			Description:        "the leader crashes mid-commit-wave with aggressive checkpoints and recovers from disk; the persist-watermark gate must keep its recovery gap-free",
+			CheckpointInterval: 2,
+			RequestTimeout:     800 * time.Millisecond,
+			Duration:           6 * time.Second,
+			Faults:             []Fault{CrashRestartFault(0, 0.33, 0.66)},
+			Invariants:         append(standardInvariants(1.0), LeaderChangeObserved()),
+		},
+		{
+			Name:           "byzantine-equivocate",
+			Description:    "node 0 equivocates at both layers: conflicting consensus proposals and conflicting dissemination copies; the release rules and synchronization phase must hold",
+			RequestTimeout: 800 * time.Millisecond,
+			Duration:       6 * time.Second,
+			Faults: []Fault{ByzantineFault(0,
+				consensus.Behavior{Equivocate: true},
+				core.Byzantine{EquivocateDissemination: true},
+				0.25)},
+			Invariants: append(standardInvariants(1.0), LeaderChangeObserved()),
+		},
+		{
+			Name:        "forged-history",
+			Description: "node 0 serves a self-signed forged chain to every fetch; f+1 verification must reject it while honest copies keep fetch live",
+			Faults: []Fault{ByzantineFault(0,
+				consensus.Behavior{},
+				core.Byzantine{ForgeHistory: true},
+				0.0)},
+			Invariants: standardInvariants(1.0),
+		},
+		{
+			Name:        "reconfig-heal",
+			Description: "a replica is partitioned, healed, then removed through consensus while it reconciles; the shrunken group keeps ordering",
+			Duration:    6 * time.Second,
+			Faults: []Fault{
+				PartitionFault([]int{3}, 0.15, 0.35),
+				ReconfigFault(3, 0.5),
+			},
+			Invariants: standardInvariants(1.0),
+		},
+	}
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

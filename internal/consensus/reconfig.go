@@ -120,6 +120,7 @@ func (r *Replica) applyReconfig(op ReconfigOp) {
 	r.cfg.F = f
 	r.cfg.Weights = weights
 	r.statMembers.Store(int32(n))
+	r.refreshLeaderStat()
 }
 
 // Membership returns the current group membership. Safe from any
@@ -178,5 +179,6 @@ func (r *Replica) unmarshalMembership(rd *wire.Reader) error {
 	r.cfg.Weights = weights
 	r.qt = newQuorumTracker(membership, weights, r.cfg.F)
 	r.statMembers.Store(int32(len(membership)))
+	r.refreshLeaderStat()
 	return nil
 }

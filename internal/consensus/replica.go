@@ -60,6 +60,15 @@ func WithoutClientReplies() Option {
 	return func(r *Replica) { r.disableReplies = true }
 }
 
+// WithCheckpointObserver registers a callback invoked on the event loop each
+// time the replica takes a checkpoint at seq (before any log truncation the
+// durability backend performs for it). The ordering layer uses it to record
+// which blocks a checkpoint implies, so that checkpoint persistence can be
+// gated on those blocks being durable.
+func WithCheckpointObserver(f func(seq int64)) Option {
+	return func(r *Replica) { r.ckptObserver = f }
+}
+
 // WithExtraMessageHandler installs a handler for transport messages whose
 // type the consensus layer does not own (anything >= 64). The ordering node
 // uses it to accept frontend registrations on the replica's endpoint. The
@@ -228,10 +237,15 @@ type Replica struct {
 	// extraHandler receives non-consensus messages (types >= 64).
 	extraHandler func(transport.Message)
 
+	// ckptObserver, when set, is told about each checkpoint taken (event
+	// loop; see WithCheckpointObserver).
+	ckptObserver func(seq int64)
+
 	behavior atomic.Pointer[Behavior]
 
 	// Progress counters (read by Stats from other goroutines).
 	statRegency   atomic.Int32
+	statLeader    atomic.Int32
 	statMembers   atomic.Int32
 	statDelivered atomic.Int64
 	statOps       atomic.Uint64
@@ -300,6 +314,7 @@ func NewReplica(cfg Config, app Application, conn transport.Conn, opts ...Option
 			return nil, err
 		}
 	}
+	r.refreshLeaderStat()
 	return r, nil
 }
 
@@ -309,6 +324,20 @@ func (r *Replica) ID() ReplicaID { return r.cfg.SelfID }
 // SetBehavior installs a (possibly Byzantine) behavior. Safe to call while
 // the replica runs.
 func (r *Replica) SetBehavior(b Behavior) { r.behavior.Store(&b) }
+
+// refreshLeaderStat publishes the current leader for CurrentLeader. Called
+// from the event loop (or before Start) whenever regency or membership
+// changes.
+func (r *Replica) refreshLeaderStat() {
+	r.statLeader.Store(int32(r.leaderOf(r.regency)))
+}
+
+// CurrentLeader returns the id of the leader of the replica's current
+// regency. Safe to call from any goroutine; the chaos invariants use it to
+// observe leader changes without stopping the replica.
+func (r *Replica) CurrentLeader() ReplicaID {
+	return ReplicaID(r.statLeader.Load())
+}
 
 // Stats returns progress counters. Safe to call from any goroutine.
 func (r *Replica) Stats() Stats {
@@ -979,6 +1008,9 @@ func (r *Replica) checkpointAt(seq int64) {
 	}
 	r.checkpointSeq = seq
 	r.checkpointSnap = r.wrapSnapshot()
+	if r.ckptObserver != nil {
+		r.ckptObserver(seq)
+	}
 	r.logCheckpoint(seq, r.checkpointSnap)
 	for s := range r.decidedLog {
 		if s <= seq {

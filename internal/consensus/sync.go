@@ -67,6 +67,7 @@ func (r *Replica) adoptRegency(target int32) {
 	r.regency = target
 	r.statRegency.Store(target)
 	r.statLC.Add(1)
+	r.refreshLeaderStat()
 	r.syncInProgress = false
 	r.stopData = make(map[ReplicaID]*stopDataMsg)
 	for reg := range r.stopVotes {
@@ -117,6 +118,7 @@ func (r *Replica) installRegency(target int32) {
 	r.regency = target
 	r.statRegency.Store(target)
 	r.statLC.Add(1)
+	r.refreshLeaderStat()
 	r.syncInProgress = true
 	r.syncStarted = time.Now()
 	r.stopData = make(map[ReplicaID]*stopDataMsg)

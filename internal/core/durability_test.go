@@ -1,6 +1,8 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -579,6 +581,152 @@ func TestBlockDisseminatedBeforeBlockRecordDurable(t *testing.T) {
 	led := waitLedgerHeight(t, c.Nodes[0], "ch1", 2, 5*time.Second)
 	if err := led.VerifyChain(); err != nil {
 		t.Fatalf("node 0 chain after release: %v", err)
+	}
+}
+
+// TestCheckpointSaveGatedOnPersistWatermark proves the crash-mid-wave
+// hazard is closed. Recovery skips every decision at or below the on-disk
+// checkpoint seq, so a checkpoint saved while the blocks it implies are
+// still queued behind a stalled fsync wave would turn a crash into a
+// permanent ledger gap. With node 3's commit waves stalled, its consensus
+// layer keeps executing decisions past the checkpoint interval — but the
+// async save must be deferred by the persist-watermark gate: a crash image
+// taken mid-stall recovers with no checkpoint (full replay, no gap), and
+// the deferred save lands only after the waves drain.
+func TestCheckpointSaveGatedOnPersistWatermark(t *testing.T) {
+	var open atomic.Bool
+	open.Store(true)
+	release := make(chan struct{})
+	var released atomic.Bool
+	releaseAll := func() {
+		if released.CompareAndSwap(false, true) {
+			close(release)
+		}
+	}
+	defer releaseAll()
+
+	c := testCluster(t, ClusterConfig{
+		Nodes:              4,
+		BlockSize:          1,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2, // checkpoint aggressively while stalled
+		CommitSyncHookFor: func(node int) func() {
+			if node != 3 {
+				return nil
+			}
+			return func() {
+				if !open.Load() {
+					<-release
+				}
+			}
+		},
+	})
+	fe := testFrontend(t, c, "frontend-0", false)
+	stream := deliverNewest(t, fe, "ch1")
+
+	// Warm-up: one block lands durably on node 3.
+	if st := fe.Broadcast(mkEnvelope("ch1", 0, 32)); st != fabric.StatusSuccess {
+		t.Fatalf("broadcast: %v", st)
+	}
+	collectBlocks(t, stream, 1, 10*time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Nodes[3].PersistWatermark("ch1") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 3 watermark stuck at %d, want 1", c.Nodes[3].PersistWatermark("ch1"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Stall node 3's commit waves, then drive decisions well past the
+	// checkpoint interval — one block per decision, each one committed
+	// before the next is submitted.
+	open.Store(false)
+	const extra = 6
+	for i := 1; i <= extra; i++ {
+		if st := fe.Broadcast(mkEnvelope("ch1", i, 32)); st != fabric.StatusSuccess {
+			t.Fatalf("broadcast %d: %v", i, st)
+		}
+		collectBlocks(t, stream, 1, 10*time.Second)
+	}
+
+	// Node 3 executed every decision (blocks are cut — then parked behind
+	// the stalled decision records)…
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Nodes[3].Stats().BlocksCut < 1+extra {
+		if time.Now().After(deadline) {
+			t.Fatalf("node 3 cut %d blocks, want %d", c.Nodes[3].Stats().BlocksCut, 1+extra)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// …and the unstalled nodes durably saved checkpoints at these seqs,
+	// so node 3's consensus attempted the same saves.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		seq, err := c.Nodes[0].SavedCheckpointSeq()
+		if err != nil {
+			t.Fatalf("node 0 checkpoint: %v", err)
+		}
+		if seq >= 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node 0 never saved a checkpoint")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if mark := c.Nodes[3].PersistWatermark("ch1"); mark != 1 {
+		t.Fatalf("node 3 watermark = %d while stalled, want 1", mark)
+	}
+	if seq, err := c.Nodes[3].SavedCheckpointSeq(); err != nil || seq != -1 {
+		t.Fatalf("node 3 on-disk checkpoint seq = %d (err %v) while its blocks are not durable; the gate must defer the save", seq, err)
+	}
+
+	// A crash image taken right now must recover gap-free: no on-disk
+	// checkpoint means recovery replays every logged decision over the
+	// durable prefix.
+	crashDir := filepath.Join(t.TempDir(), "crash-image")
+	if err := os.CopyFS(crashDir, os.DirFS(c.NodeDataDir(3))); err != nil {
+		t.Fatalf("copying crash image: %v", err)
+	}
+	img, err := storage.Open(crashDir, storage.Options{})
+	if err != nil {
+		t.Fatalf("recovering crash image: %v", err)
+	}
+	rec := img.Recovered()
+	if rec.CheckpointSeq != -1 {
+		t.Fatalf("crash image checkpoint seq = %d, want -1: a checkpoint ahead of durable blocks makes recovery skip their decisions permanently", rec.CheckpointSeq)
+	}
+	if h := rec.Chains["ch1"].Height; h > 1 {
+		t.Fatalf("crash image has %d durable blocks, want at most the pre-stall 1", h)
+	}
+	img.Close()
+
+	// Release: the waves drain, the watermark catches up, and the
+	// deferred checkpoint save finally lands.
+	releaseAll()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		seq, err := c.Nodes[3].SavedCheckpointSeq()
+		if err != nil {
+			t.Fatalf("node 3 checkpoint: %v", err)
+		}
+		if seq >= 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node 3 never saved its deferred checkpoint after release")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And a real crash-restart now recovers the whole verified chain.
+	c.KillNode(3)
+	if err := c.RestartNode(3); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	led := waitLedgerHeight(t, c.Nodes[3], "ch1", 1+extra, 10*time.Second)
+	if err := led.VerifyChain(); err != nil {
+		t.Fatalf("node 3 chain after crash-restart: %v", err)
 	}
 }
 

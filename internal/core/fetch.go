@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cryptoutil"
@@ -395,6 +396,25 @@ func (bf *blockFetcher) FetchRangeQuorum(done <-chan struct{}, peers []transport
 	return bf.FetchRange(done, peers, channel, from, to, anchorPrev, f)
 }
 
+// disableFetchVerification artificially drops FetchRangeVerified's f+1
+// signature threshold to zero. It exists solely so the chaos harness can
+// prove its forged-history invariant has teeth: with verification disabled
+// the invariant MUST trip against a forging peer. Never set outside tests.
+var disableFetchVerification atomic.Bool
+
+// SetFetchVerificationDisabled toggles the teeth-test switch (see
+// disableFetchVerification). Test instrumentation only.
+func SetFetchVerificationDisabled(v bool) { disableFetchVerification.Store(v) }
+
+// rangeCandidate is one internally hash-linked version of a requested
+// range, identified by its last block's header hash, accumulating verified
+// signatures across the peers that served a matching copy.
+type rangeCandidate struct {
+	blocks   []*fabric.Block
+	verified []map[string]bool
+	short    int // blocks still below the signature threshold
+}
+
 // FetchRangeVerified retrieves blocks [from, to) authenticated by node
 // signatures instead of a trusted anchor: every block must carry f+1
 // valid signatures from distinct ordering nodes (at least one of which
@@ -403,17 +423,25 @@ func (bf *blockFetcher) FetchRangeQuorum(done <-chan struct{}, peers []transport
 // signature with every block they seal, so one peer's copy rarely
 // carries f+1 on its own; the fetcher merges the signature sets of
 // identical blocks served by further peers until the threshold is met.
-// Chains persisted before signature retention (legacy) cannot reach the
+//
+// Every well-formed version of the range is tracked as its own candidate
+// (identity: the last block's header hash — the hash chain makes it cover
+// the whole range), so a byzantine peer that answers first with a forged
+// but internally consistent chain cannot lock honest copies out: the
+// honest version accumulates its quorum independently and wins. Chains
+// persisted before signature retention (legacy) cannot reach the
 // threshold and fail with ErrUnverifiedRange — callers fall back to
 // hash-chain anchoring.
 func (bf *blockFetcher) FetchRangeVerified(done <-chan struct{}, peers []transport.Addr, channel string, from, to uint64, registry *cryptoutil.Registry, f int) ([]*fabric.Block, error) {
 	if to <= from {
 		return nil, nil
 	}
+	need := f + 1
+	if disableFetchVerification.Load() {
+		need = 0
+	}
 	pruned := newPrunedTally(f)
-	var base []*fabric.Block
-	short := 0 // blocks still below f+1 verified signatures
-	verified := make([]map[string]bool, 0, to-from)
+	var candidates []*rangeCandidate
 	var lastErr error = ErrFetchFailed
 	for _, peer := range peers {
 		blocks, err := bf.fetchRangeFromPeer(peer, channel, from, to, done)
@@ -434,37 +462,45 @@ func (bf *blockFetcher) FetchRangeVerified(done <-chan struct{}, peers []transpo
 			lastErr = fmt.Errorf("fetch: peer %s served a malformed range", peer)
 			continue
 		}
-		if base == nil {
-			base = blocks
-			short = len(blocks)
-			for _, b := range base {
+		key := blocks[len(blocks)-1].Header.Hash()
+		var cand *rangeCandidate
+		for _, c := range candidates {
+			if c.blocks[len(c.blocks)-1].Header.Hash() == key {
+				cand = c
+				break
+			}
+		}
+		if cand == nil {
+			cand = &rangeCandidate{blocks: blocks, short: len(blocks)}
+			for _, b := range blocks {
 				signers := countVerified(registry, b, b)
-				verified = append(verified, signers)
-				if len(signers) >= f+1 {
-					short--
+				cand.verified = append(cand.verified, signers)
+				if len(signers) >= need {
+					cand.short--
 				}
 			}
+			candidates = append(candidates, cand)
 		} else {
-			// Merge this peer's signatures into matching blocks.
-			for i, b := range base {
-				if len(verified[i]) >= f+1 {
+			// Merge this peer's signatures into the matching candidate.
+			for i, b := range cand.blocks {
+				if len(cand.verified[i]) >= need {
 					continue
 				}
 				if blocks[i].Header.Hash() != b.Header.Hash() {
 					continue // diverging copy: its signatures prove nothing here
 				}
-				before := len(verified[i])
-				mergeVerified(registry, b, blocks[i], verified[i])
-				if before < f+1 && len(verified[i]) >= f+1 {
-					short--
+				before := len(cand.verified[i])
+				mergeVerified(registry, b, blocks[i], cand.verified[i])
+				if before < need && len(cand.verified[i]) >= need {
+					cand.short--
 				}
 			}
 		}
-		if short == 0 {
-			return base, nil
+		if cand.short <= 0 {
+			return cand.blocks, nil
 		}
 	}
-	if base != nil {
+	if len(candidates) > 0 {
 		return nil, fmt.Errorf("%w: %s blocks %d..%d", ErrUnverifiedRange, channel, from, to-1)
 	}
 	return nil, fmt.Errorf("%w: %s blocks %d..%d: %v", ErrFetchFailed, channel, from, to-1, lastErr)

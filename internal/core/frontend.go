@@ -379,6 +379,16 @@ func (f *Frontend) dropSub(channel string, q *blockQueue, stream *fabric.BlockSt
 	stream.Close(nil)
 }
 
+// FetchVerified retrieves blocks [from, to) of a channel from the ordering
+// nodes, authenticated purely by f+1 node signatures (FetchRangeVerified):
+// no prior chain state is consulted, so the call probes — from any
+// goroutine — whether the cluster can still prove its history against a
+// live adversary. The chaos harness's verified-fetch invariant calls it
+// continuously and cross-checks the result against the released stream.
+func (f *Frontend) FetchVerified(channel string, from, to uint64) ([]*fabric.Block, error) {
+	return f.fetcher.FetchRangeVerified(f.done, f.peers, channel, from, to, f.cfg.Registry, f.cfg.F)
+}
+
 // OnBlock installs a callback invoked synchronously on the receive loop for
 // every released block (used by the latency harness to timestamp releases
 // precisely). Pass nil to remove.

@@ -152,6 +152,35 @@ type chainSnapshot struct {
 // depth, so a small window suffices.
 const rollbackWindow = 32
 
+// Byzantine configures ordering-layer misbehavior, the adversary of the
+// chaos scenarios. It is independent of consensus.Behavior (which corrupts
+// the agreement protocol); this struct corrupts the block distribution
+// surface an ordering node presents to frontends and fetching peers.
+type Byzantine struct {
+	// EquivocateDissemination makes disseminate send a tampered, re-signed
+	// variant of every block to half of the registered frontends: different
+	// receivers observe conflicting blocks for the same number, which the
+	// frontends' 2f+1-copy / f+1-signature release rule must absorb.
+	EquivocateDissemination bool
+	// ForgeHistory makes the node answer FetchBlocks requests (head probes
+	// and ranges) from a self-consistent forged chain signed only by this
+	// node. The forgery passes per-range hash-chain verification, so only
+	// the f+1 cross-peer signature quorum of FetchRangeVerified can reject
+	// it — exactly the property the forged-history scenario checks.
+	ForgeHistory bool
+}
+
+// ckptMark records, for one consensus checkpoint, the per-channel block
+// heights the checkpointed prefix of decisions implies. The checkpoint's
+// durable save is gated on the persist watermark reaching these heights:
+// recovery skips decisions at or below the checkpoint seq, so a checkpoint
+// that landed before its blocks were durable would turn a crash into a
+// permanent ledger gap when no peer holds a disseminated copy.
+type ckptMark struct {
+	seq     int64
+	heights map[string]uint64
+}
+
 // NodeStats exposes ordering-node progress counters.
 type NodeStats struct {
 	EnvelopesOrdered uint64
@@ -209,8 +238,23 @@ type OrderingNode struct {
 	// senders sequence block dissemination per channel: signing runs on a
 	// parallel pool, but blocks leave the node in block-number order, so a
 	// frontend can rely on FIFO links to detect its subscription point.
-	sendMu  sync.Mutex
-	senders map[string]*blockSender
+	// durableHeights is the per-channel persist watermark: the block height
+	// proven durable by completed put tokens (async path) or synchronous
+	// appends (recovery replay), seeded from the recovered chain frontiers.
+	sendMu         sync.Mutex
+	senders        map[string]*blockSender
+	durableHeights map[string]uint64
+
+	// ckptMarks holds the pending checkpoint gates, oldest first (appended
+	// on the event loop, consumed by the storage checkpoint worker).
+	ckptMarkMu sync.Mutex
+	ckptMarks  []ckptMark
+
+	// byz is the ordering-layer byzantine switch; forged caches the forged
+	// chains a ForgeHistory node serves, grown lazily per channel.
+	byz      atomic.Pointer[Byzantine]
+	forgedMu sync.Mutex
+	forged   map[string][]*fabric.Block
 
 	ttcSeq atomic.Uint64
 
@@ -259,20 +303,23 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		ownsStorage = true
 	}
 	n := &OrderingNode{
-		cfg:         cfg,
-		conn:        conn,
-		signer:      signer,
-		storage:     store,
-		ownsStorage: ownsStorage,
-		chains:      make(map[string]*chainState),
-		history:     make(map[int64]map[string]chainSnapshot),
-		frontends:   make(map[transport.Addr]struct{}),
-		senders:     make(map[string]*blockSender),
-		parked:      make(map[string]map[uint64]*fabric.Block),
-		fetcher:     newBlockFetcher(conn),
-		backfilling: make(map[string]bool),
-		done:        make(chan struct{}),
+		cfg:            cfg,
+		conn:           conn,
+		signer:         signer,
+		storage:        store,
+		ownsStorage:    ownsStorage,
+		chains:         make(map[string]*chainState),
+		history:        make(map[int64]map[string]chainSnapshot),
+		frontends:      make(map[transport.Addr]struct{}),
+		senders:        make(map[string]*blockSender),
+		durableHeights: make(map[string]uint64),
+		parked:         make(map[string]map[uint64]*fabric.Block),
+		fetcher:        newBlockFetcher(conn),
+		backfilling:    make(map[string]bool),
+		forged:         make(map[string][]*fabric.Block),
+		done:           make(chan struct{}),
 	}
+	n.byz.Store(&Byzantine{})
 	// TTC markers are consensus requests under this node's "ttc:" client
 	// identity; a session base keeps a restarted node's markers from
 	// colliding with its pre-crash sequences in the recovered dedup state.
@@ -300,12 +347,18 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 				Height:   info.Height,
 				LastHash: info.LastHash,
 			})
+			// Everything recovered from disk is durable by definition; the
+			// persist watermark starts there.
+			n.durableHeights[channel] = info.Height
 		}
-		opts = append(opts, consensus.WithDurability(asyncDurability{n.storage}, &consensus.DurableState{
-			CheckpointSeq: rec.CheckpointSeq,
-			Checkpoint:    rec.Checkpoint,
-			Decisions:     durableEntries(rec.Decisions),
-		}))
+		opts = append(opts,
+			consensus.WithDurability(asyncDurability{n.storage}, &consensus.DurableState{
+				CheckpointSeq: rec.CheckpointSeq,
+				Checkpoint:    rec.Checkpoint,
+				Decisions:     durableEntries(rec.Decisions),
+			}),
+			consensus.WithCheckpointObserver(n.onCheckpoint))
+		n.storage.SetCheckpointGate(n.checkpointCovered)
 		n.recovering = true
 	}
 	replica, err := consensus.NewReplica(ccfg, n, conn, opts...)
@@ -435,6 +488,11 @@ func (n *OrderingNode) Stats() NodeStats {
 		Rollbacks:        n.statRollbacks.Load(),
 	}
 }
+
+// SetByzantine installs (or, with the zero value, clears) ordering-layer
+// byzantine behavior. Safe to call while the node runs; the consensus-layer
+// counterpart is Replica().SetBehavior.
+func (n *OrderingNode) SetByzantine(b Byzantine) { n.byz.Store(&b) }
 
 // Start launches the consensus replica, the time-to-cut ticker, and — when
 // the recovered decision state is ahead of the recovered block store (the
@@ -616,18 +674,18 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 // the contiguous run (draining guards it), which keeps both the durable
 // appends and the outgoing sends in strict block-number order. epoch
 // invalidates in-flight completions when a rollback or state transfer
-// rewrites the chain. durableHeight is the persist watermark: the height
-// up to which this channel's block records are known durable (put tokens
-// completed) — dissemination does NOT wait for it, only the decision
-// gate; the watermark exists for observability and for crash reasoning
-// (everything above it is re-derivable from the decision log or peers).
+// rewrites the chain. The persist watermark lives beside the senders in
+// OrderingNode.durableHeights: the height up to which a channel's block
+// records are known durable — dissemination does NOT wait for it, only the
+// decision gate; the watermark exists for crash reasoning (everything above
+// it is re-derivable from the decision log or peers) and gates the
+// consensus checkpoint save.
 type blockSender struct {
-	epoch         uint64
-	started       bool
-	next          uint64
-	pending       map[uint64]pendingBlock
-	draining      bool
-	durableHeight uint64
+	epoch    uint64
+	started  bool
+	next     uint64
+	pending  map[uint64]pendingBlock
+	draining bool
 }
 
 // pendingBlock is one signed block parked in a sender, with the
@@ -775,13 +833,31 @@ func (n *OrderingNode) advanceWatermark(channel string, epoch uint64, lastNum ui
 		return
 	}
 	n.sendMu.Lock()
-	defer n.sendMu.Unlock()
 	s, ok := n.senders[channel]
 	if !ok || s.epoch != epoch {
+		n.sendMu.Unlock()
 		return // the chain was rewritten; the new epoch re-anchors the mark
 	}
-	if lastNum+1 > s.durableHeight {
-		s.durableHeight = lastNum + 1
+	if lastNum+1 > n.durableHeights[channel] {
+		n.durableHeights[channel] = lastNum + 1
+	}
+	n.sendMu.Unlock()
+	// The watermark moved: a checkpoint save deferred on it may be
+	// admissible now.
+	n.storage.NudgeCheckpoint()
+}
+
+// noteDurable records a synchronously persisted block prefix (recovery
+// replay, back-fill): the append already waited out its fsync, so the
+// watermark may advance immediately.
+func (n *OrderingNode) noteDurable(channel string, height uint64) {
+	n.sendMu.Lock()
+	if height > n.durableHeights[channel] {
+		n.durableHeights[channel] = height
+	}
+	n.sendMu.Unlock()
+	if n.storage != nil {
+		n.storage.NudgeCheckpoint()
 	}
 }
 
@@ -794,10 +870,68 @@ func (n *OrderingNode) advanceWatermark(channel string, epoch uint64, lastNum ui
 func (n *OrderingNode) PersistWatermark(channel string) uint64 {
 	n.sendMu.Lock()
 	defer n.sendMu.Unlock()
-	if s, ok := n.senders[channel]; ok {
-		return s.durableHeight
+	return n.durableHeights[channel]
+}
+
+// SavedCheckpointSeq reports the consensus checkpoint sequence durably on
+// disk right now (-1 when none, or when the node is in-memory). Because
+// async checkpoint saves are gated on the persist watermark, this can
+// lag Stats().Regency-era checkpoint decisions — that lag is the gate
+// doing its job, and what the chaos invariants observe.
+func (n *OrderingNode) SavedCheckpointSeq() (int64, error) {
+	if n.storage == nil {
+		return -1, nil
 	}
-	return 0
+	return n.storage.SavedCheckpointSeq()
+}
+
+// onCheckpoint runs on the consensus event loop each time the replica takes
+// a checkpoint: it records the per-channel block heights the checkpointed
+// decisions imply (chains are event-loop confined, so nextNumber is exact
+// for the prefix through the checkpoint seq).
+func (n *OrderingNode) onCheckpoint(seq int64) {
+	heights := make(map[string]uint64, len(n.chains))
+	for channel, chain := range n.chains {
+		heights[channel] = chain.nextNumber
+	}
+	n.ckptMarkMu.Lock()
+	n.ckptMarks = append(n.ckptMarks, ckptMark{seq: seq, heights: heights})
+	n.ckptMarkMu.Unlock()
+}
+
+// checkpointCovered is the storage checkpoint gate: a checkpoint at seq may
+// be saved only once every block its decisions sealed is durable (the
+// persist watermark reached the heights recorded at checkpoint time).
+// Called from the storage checkpoint worker; advanceWatermark nudges the
+// worker whenever the watermark moves.
+func (n *OrderingNode) checkpointCovered(seq int64) bool {
+	n.ckptMarkMu.Lock()
+	var mark *ckptMark
+	for i := len(n.ckptMarks) - 1; i >= 0; i-- {
+		if n.ckptMarks[i].seq <= seq {
+			mark = &n.ckptMarks[i]
+			break
+		}
+	}
+	n.ckptMarkMu.Unlock()
+	if mark == nil {
+		return true // no mark recorded for it (bridging path); nothing to gate
+	}
+	for channel, h := range mark.heights {
+		if n.PersistWatermark(channel) < h {
+			return false
+		}
+	}
+	// Covered: marks at or below seq are spent (a checkpoint subsumes every
+	// older one).
+	n.ckptMarkMu.Lock()
+	cut := 0
+	for cut < len(n.ckptMarks) && n.ckptMarks[cut].seq <= seq {
+		cut++
+	}
+	n.ckptMarks = append([]ckptMark(nil), n.ckptMarks[cut:]...)
+	n.ckptMarkMu.Unlock()
+	return true
 }
 
 // resetSender invalidates a channel's in-flight dissemination after its
@@ -881,6 +1015,11 @@ func (n *OrderingNode) persistOrPark(channel string, block *fabric.Block, async 
 			n.ID(), block.Header.Number, channel, err)
 		return nil
 	}
+	if !async {
+		// The synchronous append waited out its fsync: the watermark
+		// advances immediately (recovery replay and back-fill go this way).
+		n.noteDurable(channel, block.Header.Number+1)
+	}
 	return tok
 }
 
@@ -909,7 +1048,9 @@ func (n *OrderingNode) Ledger(channel string) *fabric.Ledger {
 }
 
 // disseminate sends a signed block to every registered frontend (the
-// custom replier of Section 5.1). Runs on signing-pool workers.
+// custom replier of Section 5.1). Runs on signing-pool workers. An
+// equivocating byzantine node sends a conflicting, re-signed variant to
+// half the frontends instead.
 func (n *OrderingNode) disseminate(channel string, block *fabric.Block) {
 	payload := marshalBlockMsg(channel, block)
 	n.mu.Lock()
@@ -918,9 +1059,71 @@ func (n *OrderingNode) disseminate(channel string, block *fabric.Block) {
 		targets = append(targets, addr)
 	}
 	n.mu.Unlock()
-	for _, addr := range targets {
+	var forged []byte
+	if n.byz.Load().EquivocateDissemination {
+		if fb := n.equivocationVariant(channel, block); fb != nil {
+			forged = marshalBlockMsg(channel, fb)
+			// Deterministic split: sorted target list, odd indices get the
+			// conflicting block.
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		}
+	}
+	for i, addr := range targets {
+		if forged != nil && i%2 == 1 {
+			n.conn.Send(addr, MsgBlock, forged)
+			continue
+		}
 		n.conn.Send(addr, MsgBlock, payload)
 	}
+}
+
+// equivocationVariant builds a conflicting block for the same number: same
+// chain position, different envelopes, honestly re-signed by this node (an
+// equivocator's signature is genuine — that is what makes equivocation
+// dangerous). Returns nil when the node cannot sign.
+func (n *OrderingNode) equivocationVariant(channel string, block *fabric.Block) *fabric.Block {
+	if n.cfg.Key == nil {
+		return nil
+	}
+	envs := [][]byte{[]byte("equivocation:" + channel + ":" + strconv.FormatUint(block.Header.Number, 10))}
+	fb := fabric.NewBlock(block.Header.Number, block.Header.PrevHash, envs)
+	sig, err := n.cfg.Key.Sign(fb.Header.Hash().Bytes())
+	if err != nil {
+		return nil
+	}
+	fb.Signatures = []fabric.BlockSignature{{SignerID: string(n.ID().Addr()), Signature: sig}}
+	return fb
+}
+
+// forgedChain returns this node's forged history for a channel, grown to at
+// least height blocks. The chain is internally hash-linked from a zero
+// genesis anchor and every block carries only this node's (genuine)
+// signature: it passes per-range hash verification but can never gather an
+// f+1 signature quorum — the property FetchRangeVerified must exploit.
+func (n *OrderingNode) forgedChain(channel string, height uint64) []*fabric.Block {
+	if n.cfg.Key == nil {
+		return nil
+	}
+	n.forgedMu.Lock()
+	defer n.forgedMu.Unlock()
+	chain := n.forged[channel]
+	for uint64(len(chain)) < height {
+		num := uint64(len(chain))
+		var prev cryptoutil.Digest
+		if num > 0 {
+			prev = chain[num-1].Header.Hash()
+		}
+		envs := [][]byte{[]byte("forged:" + channel + ":" + strconv.FormatUint(num, 10))}
+		fb := fabric.NewBlock(num, prev, envs)
+		sig, err := n.cfg.Key.Sign(fb.Header.Hash().Bytes())
+		if err != nil {
+			return nil
+		}
+		fb.Signatures = []fabric.BlockSignature{{SignerID: string(n.ID().Addr()), Signature: sig}}
+		chain = append(chain, fb)
+	}
+	n.forged[channel] = chain
+	return chain
 }
 
 // Rollback undoes tentative executions beyond seq (WHEAT leader changes).
@@ -1069,6 +1272,10 @@ func (n *OrderingNode) serveFetch(from transport.Addr, payload []byte) {
 		return
 	}
 	resp := fetchResponse{ReqID: req.ReqID, From: req.From}
+	if n.byz.Load().ForgeHistory {
+		n.serveForgedFetch(from, req, resp)
+		return
+	}
 	if req.From == fetchHeadProbe {
 		// Head probe: answer with the newest durable block.
 		if led := n.Ledger(req.Channel); led != nil {
@@ -1106,6 +1313,39 @@ func (n *OrderingNode) serveFetch(from transport.Addr, payload []byte) {
 					resp.Floor = pe.Floor
 				}
 			}
+		}
+	}
+	n.conn.Send(from, MsgFetchResponse, resp.marshal())
+}
+
+// serveForgedFetch answers a fetch request from the node's forged chain
+// (ForgeHistory byzantine behavior). The forged history mirrors the real
+// ledger's height so the node looks plausibly caught-up to head probes.
+func (n *OrderingNode) serveForgedFetch(from transport.Addr, req fetchRequest, resp fetchResponse) {
+	var height uint64
+	if led := n.Ledger(req.Channel); led != nil {
+		height = led.Height()
+	}
+	chain := n.forgedChain(req.Channel, height)
+	if req.From == fetchHeadProbe {
+		if len(chain) > 0 {
+			b := chain[len(chain)-1]
+			resp.From = b.Header.Number
+			resp.Blocks = [][]byte{b.Marshal()}
+		}
+		n.conn.Send(from, MsgFetchResponse, resp.marshal())
+		return
+	}
+	if req.To > req.From {
+		end := req.To
+		if end > height {
+			end = height
+		}
+		if end > req.From+maxFetchBlocks {
+			end = req.From + maxFetchBlocks
+		}
+		for num := req.From; num < end; num++ {
+			resp.Blocks = append(resp.Blocks, chain[num].Marshal())
 		}
 	}
 	n.conn.Send(from, MsgFetchResponse, resp.marshal())

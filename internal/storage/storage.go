@@ -114,6 +114,7 @@ type NodeStorage struct {
 	// save must never replace a newer checkpoint on disk.
 	ckptMu       sync.Mutex
 	ckptPending  *ckptReq
+	ckptGate     func(seq int64) bool
 	ckptNotify   chan struct{}
 	ckptDone     chan struct{}
 	ckptWg       sync.WaitGroup
@@ -402,6 +403,46 @@ func (s *NodeStorage) SaveCheckpointAsync(seq int64, snapshot []byte) {
 	}
 }
 
+// SetCheckpointGate installs a predicate consulted before an asynchronous
+// checkpoint save is written: the save is deferred while the gate returns
+// false for its seq. Recovery skips every decision at or below the on-disk
+// checkpoint seq, so a checkpoint that lands before the blocks it implies
+// are durable would turn a crash into a permanent ledger gap — the ordering
+// layer gates saves on its persist watermark and calls NudgeCheckpoint when
+// the watermark advances. The gate must not block; it may be called from the
+// checkpoint worker at any time. Direct (synchronous) SaveCheckpoint calls
+// bypass the gate: the bridging path already waits for durability itself.
+func (s *NodeStorage) SetCheckpointGate(gate func(seq int64) bool) {
+	s.ckptMu.Lock()
+	s.ckptGate = gate
+	s.ckptMu.Unlock()
+}
+
+// NudgeCheckpoint re-examines a deferred checkpoint save. Non-blocking;
+// called whenever the condition the gate watches may have changed.
+func (s *NodeStorage) NudgeCheckpoint() {
+	select {
+	case s.ckptNotify <- struct{}{}:
+	default:
+	}
+}
+
+// SavedCheckpointSeq reads the sequence of the checkpoint that is durably
+// on disk right now, -1 when none was ever saved. Saves replace the stable
+// file by atomic rename, so this is safe to call while the checkpoint
+// worker runs; it is an observability probe for tests and tooling, not a
+// hot-path accessor.
+func (s *NodeStorage) SavedCheckpointSeq() (int64, error) {
+	seq, _, found, err := s.ckpt.Load()
+	if err != nil {
+		return -1, err
+	}
+	if !found {
+		return -1, nil
+	}
+	return seq, nil
+}
+
 func (s *NodeStorage) ckptWorker() {
 	defer s.ckptWg.Done()
 	for {
@@ -415,13 +456,27 @@ func (s *NodeStorage) ckptWorker() {
 	}
 }
 
-// flushCheckpoint saves the pending snapshot, if any.
+// flushCheckpoint saves the pending snapshot, if any, unless the
+// checkpoint gate defers it.
 func (s *NodeStorage) flushCheckpoint() {
 	s.ckptMu.Lock()
 	req := s.ckptPending
 	s.ckptPending = nil
+	gate := s.ckptGate
 	s.ckptMu.Unlock()
 	if req == nil {
+		return
+	}
+	if gate != nil && !gate(req.seq) {
+		// The blocks this checkpoint implies are not all durable yet.
+		// Re-queue the snapshot (unless a newer one already took the slot)
+		// and wait for a NudgeCheckpoint; a crash meanwhile just replays
+		// from the previous checkpoint.
+		s.ckptMu.Lock()
+		if s.ckptPending == nil {
+			s.ckptPending = req
+		}
+		s.ckptMu.Unlock()
 		return
 	}
 	if err := s.SaveCheckpoint(req.seq, req.snap); err != nil {

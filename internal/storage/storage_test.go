@@ -209,6 +209,84 @@ func TestNodeStorageRecoverSequence(t *testing.T) {
 	}
 }
 
+// TestCheckpointGateDefersAsyncSave installs a checkpoint gate, verifies an
+// asynchronous save stays deferred while the gate is closed, and that a
+// NudgeCheckpoint after opening the gate lands it.
+func TestCheckpointGateDefersAsyncSave(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allow atomic.Bool
+	s.SetCheckpointGate(func(seq int64) bool { return allow.Load() })
+	for seq := int64(0); seq < 4; seq++ {
+		if err := s.AppendDecision(seq, [][]byte{{byte(seq)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SaveCheckpointAsync(3, []byte("gated-snap"))
+	time.Sleep(100 * time.Millisecond)
+	if _, _, found, err := s.ckpt.Load(); err != nil || found {
+		t.Fatalf("checkpoint saved through a closed gate (found=%v err=%v)", found, err)
+	}
+	allow.Store(true)
+	s.NudgeCheckpoint()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		seq, snap, found, err := s.ckpt.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			if seq != 3 || string(snap) != "gated-snap" {
+				t.Fatalf("checkpoint = (%d, %q)", seq, snap)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never saved after the gate opened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointGateClosedAtCloseDropsSave checks the fail-safe direction: a
+// save still deferred when the storage closes is simply dropped — recovery
+// replays from the previous checkpoint (here: none) with zero data loss.
+func TestCheckpointGateClosedAtCloseDropsSave(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCheckpointGate(func(seq int64) bool { return false })
+	for seq := int64(0); seq < 4; seq++ {
+		if err := s.AppendDecision(seq, [][]byte{{byte(seq)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SaveCheckpointAsync(3, []byte("never-lands"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Recovered()
+	if rec.CheckpointSeq != -1 {
+		t.Fatalf("deferred checkpoint landed anyway: seq %d", rec.CheckpointSeq)
+	}
+	if len(rec.Decisions) != 4 {
+		t.Fatalf("decisions lost with the checkpoint deferred: %d, want 4", len(rec.Decisions))
+	}
+}
+
 // TestNodeStorageReplayIdempotent re-appends recovered decisions and blocks
 // (exactly what a recovering node's re-execution does) and checks nothing
 // duplicates: a second recovery sees the identical state.

@@ -29,10 +29,12 @@ const GigabitEthernet int64 = 125_000_000
 type InProcNetwork struct {
 	cfg InProcConfig
 
-	mu     sync.RWMutex
-	peers  map[Addr]*inprocConn
-	filter func(Message) bool // nil => deliver; false => drop
-	closed bool
+	mu      sync.RWMutex
+	peers   map[Addr]*inprocConn
+	filter  func(Message) bool // nil => deliver; false => drop
+	drop    func(Message) bool // nil => deliver; true => drop (loss model)
+	latency LatencyModel
+	closed  bool
 
 	// links serialize delayed deliveries per (from, to) pair so that
 	// latency never reorders a link (TCP semantics). Created lazily.
@@ -52,10 +54,11 @@ func NewInProcNetwork(cfg InProcConfig) *InProcNetwork {
 		cfg.Latency = ZeroLatency()
 	}
 	return &InProcNetwork{
-		cfg:   cfg,
-		peers: make(map[Addr]*inprocConn),
-		links: make(map[linkKey]*link),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		latency: cfg.Latency,
+		peers:   make(map[Addr]*inprocConn),
+		links:   make(map[linkKey]*link),
+		done:    make(chan struct{}),
 	}
 }
 
@@ -81,6 +84,29 @@ func (n *InProcNetwork) SetFilter(filter func(Message) bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.filter = filter
+}
+
+// SetDrop installs a loss predicate evaluated independently of the filter:
+// messages for which drop returns true are silently discarded. Keeping it
+// separate from SetFilter lets a probabilistic loss model coexist with a
+// partition — Heal clears the partition filter without clearing the loss.
+// Passing nil removes the predicate.
+func (n *InProcNetwork) SetDrop(drop func(Message) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drop = drop
+}
+
+// SetLatency swaps the propagation-delay model at runtime. Nil restores
+// instantaneous delivery. In-flight messages keep the delay they were
+// assigned at send time; only subsequent sends observe the new model.
+func (n *InProcNetwork) SetLatency(model LatencyModel) {
+	if model == nil {
+		model = ZeroLatency()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = model
 }
 
 // Partition drops every message crossing between the two groups, in both
@@ -151,6 +177,8 @@ func (n *InProcNetwork) Close() error {
 func (n *InProcNetwork) route(m Message) {
 	n.mu.RLock()
 	filter := n.filter
+	drop := n.drop
+	latency := n.latency
 	closed := n.closed
 	n.mu.RUnlock()
 	if closed {
@@ -159,7 +187,10 @@ func (n *InProcNetwork) route(m Message) {
 	if filter != nil && !filter(m) {
 		return
 	}
-	delay := n.cfg.Latency.Delay(m.From, m.To)
+	if drop != nil && drop(m) {
+		return
+	}
+	delay := latency.Delay(m.From, m.To)
 	if delay <= 0 {
 		// Zero-delay links deliver inline: the caller is the sender's
 		// goroutine (or its egress pump), so per-link order is preserved.

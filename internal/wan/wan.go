@@ -8,10 +8,14 @@
 // small jitter. Substituting this model for the paper's real EC2 deployment
 // preserves the quantity the experiment measures: consensus latency dominated
 // by WAN round trips on the protocol's critical path.
+//
+// Jitter (and the companion Loss model) is deterministic under a seed: the
+// i-th message on a given (from, to) link always draws the same value, no
+// matter how goroutines interleave across links. Chaos scenarios rely on this
+// to be replayable.
 package wan
 
 import (
-	"math/rand"
 	"sync"
 	"time"
 
@@ -81,6 +85,59 @@ func OneWay(a, b Region) time.Duration {
 	return RTT(a, b) / 2
 }
 
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-mixed 64-bit hash used to derive per-message randomness from
+// (seed, link, sequence) without any shared generator state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashAddr folds an address into 64 bits (FNV-1a).
+func hashAddr(a transport.Addr) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// linkKey identifies one direction of one endpoint pair.
+type linkKey struct {
+	from, to transport.Addr
+}
+
+// linkSeq hands out a per-(from, to) message counter. Per-link counters are
+// what make the randomness deterministic under concurrency: links are FIFO in
+// the transport, so the i-th send on a link is a stable notion even though
+// sends on different links interleave arbitrarily.
+type linkSeq struct {
+	mu  sync.Mutex
+	seq map[linkKey]uint64
+}
+
+func newLinkSeq() *linkSeq {
+	return &linkSeq{seq: make(map[linkKey]uint64)}
+}
+
+func (s *linkSeq) next(from, to transport.Addr) uint64 {
+	key := linkKey{from: from, to: to}
+	s.mu.Lock()
+	n := s.seq[key]
+	s.seq[key] = n + 1
+	s.mu.Unlock()
+	return n
+}
+
+// draw returns a uniform value in [0, 1) derived from (seed, link, n).
+func draw(seed uint64, from, to transport.Addr, n uint64) float64 {
+	x := splitmix64(seed ^ splitmix64(hashAddr(from)) ^ splitmix64(hashAddr(to)<<1) ^ n)
+	return float64(x>>11) / float64(1<<53)
+}
+
 // Model is a transport.LatencyModel that maps endpoint addresses to regions.
 // Unmapped addresses are treated as collocated with everything (zero delay),
 // which keeps test-only observers out of the latency path.
@@ -88,13 +145,22 @@ type Model struct {
 	mu        sync.RWMutex
 	placement map[transport.Addr]Region
 	jitterPct int // +/- percent uniform jitter applied to each delay
-	rng       *rand.Rand
+	seed      uint64
+	seq       *linkSeq
 }
 
 // NewModel creates a WAN latency model with the given placement. A jitter of
-// jitterPct percent (e.g. 5) is applied uniformly at random to each delay;
-// zero disables jitter and makes the model deterministic.
+// jitterPct percent (e.g. 5) is applied to each delay; zero disables jitter.
+// Equivalent to NewModelSeeded with a fixed default seed.
 func NewModel(placement map[transport.Addr]Region, jitterPct int) *Model {
+	return NewModelSeeded(placement, jitterPct, 42)
+}
+
+// NewModelSeeded creates a WAN latency model whose jitter stream is a pure
+// function of (seed, link, per-link message index): two models built with the
+// same placement and seed assign identical delays to identical traffic, which
+// makes WAN chaos scenarios reproducible.
+func NewModelSeeded(placement map[transport.Addr]Region, jitterPct int, seed uint64) *Model {
 	copied := make(map[transport.Addr]Region, len(placement))
 	for addr, region := range placement {
 		copied[addr] = region
@@ -102,7 +168,8 @@ func NewModel(placement map[transport.Addr]Region, jitterPct int) *Model {
 	return &Model{
 		placement: copied,
 		jitterPct: jitterPct,
-		rng:       rand.New(rand.NewSource(42)),
+		seed:      seed,
+		seq:       newLinkSeq(),
 	}
 }
 
@@ -136,8 +203,44 @@ func (m *Model) Delay(from, to transport.Addr) time.Duration {
 	if m.jitterPct <= 0 {
 		return base
 	}
-	m.mu.Lock()
-	f := 1 + (m.rng.Float64()*2-1)*float64(m.jitterPct)/100
-	m.mu.Unlock()
+	n := m.seq.next(from, to)
+	f := 1 + (draw(m.seed, from, to, n)*2-1)*float64(m.jitterPct)/100
 	return time.Duration(float64(base) * f)
+}
+
+// Loss models probabilistic message loss on WAN links: each message is
+// dropped with probability fraction, decided by the same deterministic
+// (seed, link, index) scheme as the Model's jitter. Install its Drop method
+// with InProcNetwork.SetDrop; it composes with partitions because the drop
+// predicate survives Heal.
+type Loss struct {
+	fraction float64
+	seed     uint64
+	seq      *linkSeq
+	exempt   func(transport.Message) bool
+}
+
+// NewLoss creates a deterministic loss model dropping the given fraction
+// (0..1) of messages. The optional exempt predicate shields messages (e.g. a
+// control channel) from loss.
+func NewLoss(fraction float64, seed uint64, exempt func(transport.Message) bool) *Loss {
+	return &Loss{
+		fraction: fraction,
+		seed:     seed,
+		seq:      newLinkSeq(),
+		exempt:   exempt,
+	}
+}
+
+// Drop reports whether the message should be lost. Deterministic per (seed,
+// link, per-link message index).
+func (l *Loss) Drop(m transport.Message) bool {
+	if l.fraction <= 0 {
+		return false
+	}
+	if l.exempt != nil && l.exempt(m) {
+		return false
+	}
+	n := l.seq.next(m.From, m.To)
+	return draw(l.seed, m.From, m.To, n) < l.fraction
 }

@@ -105,6 +105,73 @@ func TestModelCopiesPlacement(t *testing.T) {
 	}
 }
 
+func TestModelJitterDeterministicUnderSeed(t *testing.T) {
+	placement := map[transport.Addr]Region{"a": Oregon, "b": Sydney, "c": Ireland}
+	m1 := NewModelSeeded(placement, 10, 7)
+	m2 := NewModelSeeded(placement, 10, 7)
+	// Interleave links differently on the two models: the i-th message on a
+	// given link must still draw the same jitter, because links are FIFO in
+	// the transport and each link has its own counter.
+	var seq1, seq2 []time.Duration
+	for i := 0; i < 50; i++ {
+		seq1 = append(seq1, m1.Delay("a", "b"))
+		m1.Delay("a", "c") // extra traffic on another link
+	}
+	for i := 0; i < 50; i++ {
+		m2.Delay("c", "a") // different interleaving
+		m2.Delay("a", "c")
+		seq2 = append(seq2, m2.Delay("a", "b"))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, seq1[i], seq2[i])
+		}
+	}
+	// A different seed must produce a different stream.
+	m3 := NewModelSeeded(placement, 10, 8)
+	diff := false
+	for i := 0; i < 50; i++ {
+		if m3.Delay("a", "b") != seq1[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seed 8 produced the same jitter stream as seed 7")
+	}
+}
+
+func TestLossDeterministicAndBounded(t *testing.T) {
+	const frac = 0.1
+	l1 := NewLoss(frac, 3, nil)
+	l2 := NewLoss(frac, 3, nil)
+	msg := func(i int) transport.Message {
+		return transport.Message{From: "a", To: "b"}
+	}
+	dropped := 0
+	const total = 5000
+	for i := 0; i < total; i++ {
+		d1 := l1.Drop(msg(i))
+		if d2 := l2.Drop(msg(i)); d1 != d2 {
+			t.Fatalf("loss decision %d differs between same-seed models", i)
+		}
+		if d1 {
+			dropped++
+		}
+	}
+	got := float64(dropped) / total
+	if got < frac/2 || got > frac*2 {
+		t.Fatalf("drop rate %.3f far from configured %.3f", got, frac)
+	}
+	// Exempt predicate shields messages.
+	le := NewLoss(1.0, 3, func(m transport.Message) bool { return m.Type == 99 })
+	if le.Drop(transport.Message{From: "a", To: "b", Type: 99}) {
+		t.Fatal("exempt message was dropped")
+	}
+	if !le.Drop(transport.Message{From: "a", To: "b", Type: 1}) {
+		t.Fatal("fraction 1.0 failed to drop a non-exempt message")
+	}
+}
+
 func TestPaperPlacementSanity(t *testing.T) {
 	// In the paper, Virginia frontends (collocated with a V_max replica)
 	// observe lower latency than the Sao Paulo frontend (V_min). The matrix
