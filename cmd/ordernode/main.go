@@ -32,6 +32,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
+	"repro/internal/sharding"
 	"repro/internal/transport"
 )
 
@@ -56,6 +57,9 @@ func run() error {
 	checkpointIvl := flag.Int64("checkpoint-interval", 0, "decisions between consensus checkpoints (0 = default); checkpoints make decision records reclaimable")
 	retainBlocks := flag.Uint64("retain-blocks", 0, "durable blocks retained per channel before block-store compaction prunes below the floor (0 = retain everything)")
 	retainBytes := flag.Int64("retain-bytes", 0, "block-store on-disk size that triggers compaction (0 = no bytes trigger); SIGHUP forces a compaction")
+	retainWeights := flag.String("retain-weights", "", "per-channel weights for the -retain-bytes budget: channel=weight,... (unlisted channels weigh 1)")
+	shard := flag.Int("shard", 0, "shard (consensus group) this node belongs to; -id and -peers ids are local to the shard")
+	shardMap := flag.String("shard-map", "", "optional shard-map JSON file; validated, and -shard must be in its shard set")
 	commitDelay := flag.Duration("commit-max-delay", 0, "fsync coalescing window of the commit queue (0 = commit greedily); longer waves trade commit latency for fewer fsyncs — each wave is exactly one fsync")
 	commitBatch := flag.Int("commit-max-batch", 0, "max records merged into a single fsync wave (0 = default 1024)")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
@@ -63,6 +67,22 @@ func run() error {
 
 	if *genkey {
 		return generateKey()
+	}
+	if *shard < 0 {
+		return fmt.Errorf("-shard must be >= 0")
+	}
+	if *shardMap != "" {
+		m, err := sharding.LoadMapFile(*shardMap)
+		if err != nil {
+			return err
+		}
+		if !m.HasShard(sharding.ShardID(*shard)) {
+			return fmt.Errorf("shard %d is not in the shard map %s (shards %v)", *shard, *shardMap, m.Shards)
+		}
+	}
+	weights, err := parseWeights(*retainWeights)
+	if err != nil {
+		return fmt.Errorf("bad -retain-weights: %w", err)
 	}
 	peers, err := parseBook(*peersFlag)
 	if err != nil {
@@ -77,16 +97,20 @@ func run() error {
 	}
 
 	// Build the address book: replicas by canonical address, frontends
-	// under their own names plus their client endpoints.
+	// under their own names plus their client endpoints. Shard k's
+	// replicas take the strided id range k*ShardStride+i, so groups of a
+	// multi-shard deployment never collide in the address space.
+	selfID := consensus.ReplicaID(*shard*core.ShardStride + *id)
 	replicas := make([]consensus.ReplicaID, 0, len(peers))
 	book := make(map[transport.Addr]string, len(peers)+len(fronts))
 	for name, hostport := range peers {
-		rid, err := strconv.Atoi(name)
+		local, err := strconv.Atoi(name)
 		if err != nil {
 			return fmt.Errorf("replica id %q is not a number", name)
 		}
-		replicas = append(replicas, consensus.ReplicaID(rid))
-		book[consensus.ReplicaID(rid).Addr()] = hostport
+		rid := consensus.ReplicaID(*shard*core.ShardStride + local)
+		replicas = append(replicas, rid)
+		book[rid.Addr()] = hostport
 	}
 	for name, hostport := range fronts {
 		book[transport.Addr(name)] = hostport
@@ -97,7 +121,7 @@ func run() error {
 		return err
 	}
 	conn, err := transport.NewTCPTransport(transport.TCPConfig{
-		Addr:   consensus.ReplicaID(*id).Addr(),
+		Addr:   selfID.Addr(),
 		Listen: *listen,
 		Peers:  book,
 	})
@@ -108,7 +132,7 @@ func run() error {
 
 	node, err := core.NewNode(core.NodeConfig{
 		Consensus: consensus.Config{
-			SelfID:             consensus.ReplicaID(*id),
+			SelfID:             selfID,
 			Replicas:           replicas,
 			BatchSize:          *batch,
 			CheckpointInterval: *checkpointIvl,
@@ -118,10 +142,12 @@ func run() error {
 		BlockTimeout:    *blockTimeout,
 		SigningWorkers:  *workers,
 		Key:             key,
+		ShardID:         *shard,
 		DataDir:         *dataDir,
 		WALSegmentBytes: *walSegment,
 		RetainBlocks:    *retainBlocks,
 		RetainBytes:     *retainBytes,
+		RetainWeights:   weights,
 		CommitMaxDelay:  *commitDelay,
 		CommitMaxBatch:  *commitBatch,
 	}, conn)
@@ -134,8 +160,8 @@ func run() error {
 	if *dataDir != "" {
 		durability = "durable at " + *dataDir
 	}
-	fmt.Printf("ordering node %d listening on %s (%d replicas, block size %d, %s)\n",
-		*id, conn.ListenAddr(), len(replicas), *block, durability)
+	fmt.Printf("ordering node %d (shard %d) listening on %s (%d replicas, block size %d, %s)\n",
+		*id, *shard, conn.ListenAddr(), len(replicas), *block, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
@@ -170,6 +196,26 @@ func generateKey() error {
 	}
 	fmt.Printf("private: %s\npublic:  %s\n", hex.EncodeToString(der), hex.EncodeToString(pub))
 	return nil
+}
+
+// parseWeights parses "channel=weight,channel=weight" retention weights.
+func parseWeights(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("entry %q is not channel=weight", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("weight %q must be a positive number", kv[1])
+		}
+		out[kv[0]] = w
+	}
+	return out, nil
 }
 
 // parseBook parses "name=host:port,name=host:port" address books.

@@ -1,0 +1,107 @@
+// Command shardbench measures what the sharding layer buys: aggregate
+// durable multi-channel throughput with every channel on ONE consensus
+// group versus spread over TWO independent groups behind the
+// channel→shard router. The cell models a LAN (fixed per-link delay), so
+// one group's ordering rate is bounded by its serial protocol rounds and
+// the second group's rounds overlap with the first's — the measured
+// scaling is the scale-out claim of the sharded deployment.
+//
+// Usage:
+//
+//	shardbench [-rounds 3] [-shards 2] [-channels 2] [-link 2ms]
+//	           [-measure 1.5s] [-out BENCH_sharding.json]
+//
+// With -out the report is written as JSON (same schema as the tracked
+// BENCH_sharding.json at the repo root); otherwise it prints a table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shardbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rounds := flag.Int("rounds", 3, "comparison rounds (best scaling wins; shared machines are noisy)")
+	shards := flag.Int("shards", 2, "sharded side's group count")
+	channels := flag.Int("channels", 2, "load channels, spread round-robin over the groups")
+	nodes := flag.Int("nodes", 4, "replicas per group")
+	block := flag.Int("block", 8, "envelopes per block")
+	envSize := flag.Int("env", 128, "envelope payload bytes")
+	batch := flag.Int("batch", 64, "consensus batch limit (the per-group per-round ceiling)")
+	link := flag.Duration("link", 2*time.Millisecond, "modelled one-way link delay")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
+	measure := flag.Duration("measure", 1500*time.Millisecond, "measurement window per side")
+	dataDir := flag.String("data-dir", "", "durable storage root (empty uses a temp dir)")
+	out := flag.String("out", "", "write the report as JSON to this path")
+	flag.Parse()
+
+	if *shards < 2 {
+		return fmt.Errorf("-shards must be >= 2 (the comparison baseline is always 1)")
+	}
+	cell := bench.ShardBenchCell{
+		Channels:       *channels,
+		NodesPerShard:  *nodes,
+		BlockSize:      *block,
+		EnvSize:        *envSize,
+		BatchSize:      *batch,
+		LinkDelay:      *link,
+		Warmup:         *warmup,
+		Measure:        *measure,
+		DisableSigning: true,
+	}
+
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "shardbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	// The library comparison is fixed at 1 vs 2 groups (the tracked cell);
+	// wider sweeps run each side directly.
+	var single, sharded bench.ShardBenchRow
+	var err error
+	if *shards == 2 {
+		single, sharded, err = bench.BestShardingComparison(cell, dir, *rounds)
+	} else {
+		cell.Shards = 1
+		single, err = bench.RunShardBenchCell(cell, dir+"/single")
+		if err == nil {
+			cell.Shards = *shards
+			sharded, err = bench.RunShardBenchCell(cell, dir+"/sharded")
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	rep := bench.NewShardingReport(cell, single, sharded)
+	if *out != "" {
+		if err := bench.WriteShardingReport(*out, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (scaling %.2fx)\n", *out, rep.Scaling)
+		return nil
+	}
+	table := bench.NewTable("groups", "channels", "ktrans/sec", "blocks/sec")
+	table.AddRow(single.Shards, single.Channels, single.TxPerSec/1000, single.BlockPerSec)
+	table.AddRow(sharded.Shards, sharded.Channels, sharded.TxPerSec/1000, sharded.BlockPerSec)
+	fmt.Print(table.String())
+	fmt.Printf("# scaling: %.2fx aggregate durable throughput (%d groups vs 1)\n",
+		rep.Scaling, sharded.Shards)
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/sharding"
 	"repro/internal/transport"
 )
 
@@ -45,6 +46,13 @@ type Scenario struct {
 	BlockSize          int
 	CheckpointInterval int64
 	RequestTimeout     time.Duration
+
+	// Shards > 0 selects the sharded world instead of the single group:
+	// that many independent consensus groups (Nodes replicas each) behind
+	// a channel→shard router, one load channel pinned per shard. Sharded
+	// scenarios use the shard-aware faults and invariants (sharded.go);
+	// the single-cluster checkers do not apply.
+	Shards int
 
 	// Seed drives every random choice in the run (jitter, loss, probe
 	// ranges, payloads). Zero selects 42.
@@ -120,6 +128,16 @@ type Env struct {
 	Channel string
 	F       int
 
+	// Sharded world (set only when Scenario.Shards > 0; see sharded.go).
+	// Service holds the per-shard consensus groups; Router is the
+	// observer-side channel→shard router (verified release rule),
+	// LoadRouter the load-side one; ShardChannels maps each shard to its
+	// pinned load channel.
+	Service       *sharding.Service
+	Router        *sharding.Router
+	LoadRouter    *sharding.Router
+	ShardChannels map[sharding.ShardID]string
+
 	done chan struct{}
 	wg   sync.WaitGroup
 
@@ -129,6 +147,7 @@ type Env struct {
 
 	canonMu sync.Mutex
 	canon   []*fabric.Block
+	canons  map[string][]*fabric.Block // per-channel chains (sharded world)
 }
 
 // Done closes when the fault-injection window ends; faults and invariant
@@ -206,6 +225,22 @@ func (e *Env) CanonHeight() uint64 {
 	e.canonMu.Lock()
 	defer e.canonMu.Unlock()
 	return uint64(len(e.canon))
+}
+
+// appendChanCanon extends one channel's canonical chain (sharded world).
+func (e *Env) appendChanCanon(channel string, b *fabric.Block) {
+	e.canonMu.Lock()
+	if b.Header.Number == uint64(len(e.canons[channel])) {
+		e.canons[channel] = append(e.canons[channel], b)
+	}
+	e.canonMu.Unlock()
+}
+
+// ChanCanonHeight is one channel's canonical chain height (sharded world).
+func (e *Env) ChanCanonHeight(channel string) uint64 {
+	e.canonMu.Lock()
+	defer e.canonMu.Unlock()
+	return uint64(len(e.canons[channel]))
 }
 
 // after waits d within the injection window; false means the window closed

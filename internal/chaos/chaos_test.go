@@ -101,6 +101,28 @@ func TestReconfigUnderChaos(t *testing.T) {
 	assertPass(t, res)
 }
 
+// TestCrossShardAtomicScenario is the fault-free sharded gate: two
+// consensus groups behind the router, continuous cross-shard mark/commit
+// traffic, every transaction visible in both chains or neither.
+func TestCrossShardAtomicScenario(t *testing.T) {
+	res := runScenario(t, "cross-shard-atomic", func(e *Env) {
+		for shard, channel := range e.ShardChannels {
+			if e.ChanCanonHeight(channel) == 0 {
+				t.Errorf("shard %d channel %s ordered no blocks", shard, channel)
+			}
+		}
+	})
+	assertPass(t, res)
+}
+
+// TestShardPartitionScenario stalls shard 1 past quorum loss mid-run: shard
+// 0 must keep ordering throughout (checked inside the fault), the healed
+// shard must drain its queued backlog and catch up, and cross-shard
+// transactions must stay atomic across the stall.
+func TestShardPartitionScenario(t *testing.T) {
+	assertPass(t, runScenario(t, "shard-partition", nil))
+}
+
 func TestWANGeoScenario(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wan-geo runs real wide-area delays")

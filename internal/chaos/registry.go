@@ -83,6 +83,21 @@ func Scenarios() []Scenario {
 			},
 			Invariants: standardInvariants(1.0),
 		},
+		{
+			Name:        "shard-partition",
+			Description: "one consensus group of a 2-shard deployment is split past quorum loss while the other keeps ordering; the healed shard must catch up and cross-shard transactions must stay atomic",
+			Shards:      2,
+			Duration:    8 * time.Second,
+			Faults:      []Fault{ShardPartitionFault(1, 0.25, 0.6)},
+			Invariants:  shardedInvariants(300 * time.Millisecond),
+		},
+		{
+			Name:        "cross-shard-atomic",
+			Description: "fault-free 2-shard world under a continuous stream of two-phase cross-shard transactions; every one must be visible in both chains or neither",
+			Shards:      2,
+			Duration:    6 * time.Second,
+			Invariants:  shardedInvariants(150 * time.Millisecond),
+		},
 	}
 }
 

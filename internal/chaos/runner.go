@@ -65,6 +65,9 @@ func Run(s Scenario, opts Options) (Result, error) {
 	if opts.Scale > 0 {
 		s.Duration = time.Duration(float64(s.Duration) * opts.Scale)
 	}
+	if s.Shards > 0 {
+		return runSharded(s, opts)
+	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}

@@ -1,0 +1,528 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/fabric"
+	"repro/internal/sharding"
+	"repro/internal/transport"
+)
+
+// Sharded chaos world: Scenario.Shards independent consensus groups on one
+// network behind a channel→shard router, each shard carrying its own load
+// channel (ShardChannel(k)), plus a continuous stream of cross-shard
+// mark/commit transactions when the scenario includes the atomicity
+// invariant. Shard-aware faults partition whole groups; the invariants
+// check that the blast radius of a shard fault stops at that shard's
+// boundary — the other groups keep ordering, the healed group catches
+// back up, and cross-shard transactions stay atomic throughout.
+
+// ShardChannel names shard k's load channel.
+func ShardChannel(k sharding.ShardID) string { return fmt.Sprintf("chaos-s%d", k) }
+
+// runSharded is Run's sharded twin: same phases (build, invariants, faults
+// under load, quiesce, final invariants), a multi-group world.
+func runSharded(s Scenario, opts Options) (Result, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dataDir := opts.DataDir
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-"+s.Name+"-*")
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+
+	m := sharding.Map{Channels: make(map[string]sharding.ShardID, s.Shards)}
+	shardChannels := make(map[sharding.ShardID]string, s.Shards)
+	for k := 0; k < s.Shards; k++ {
+		shard := sharding.ShardID(k)
+		m.Shards = append(m.Shards, shard)
+		m.Channels[ShardChannel(shard)] = shard
+		shardChannels[shard] = ShardChannel(shard)
+	}
+	network := transport.NewInProcNetwork(transport.InProcConfig{})
+	defer network.Close()
+	svc, err := sharding.NewService(sharding.ServiceConfig{
+		Map:                m,
+		NodesPerShard:      s.Nodes,
+		BlockSize:          s.BlockSize,
+		BlockTimeout:       150 * time.Millisecond,
+		RequestTimeout:     s.RequestTimeout,
+		CheckpointInterval: s.CheckpointInterval,
+		Network:            network,
+		DataDir:            dataDir,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("chaos %s: %w", s.Name, err)
+	}
+	defer svc.Stop()
+
+	observer, closeObs, err := svc.NewRouter("chaos-obs", true)
+	if err != nil {
+		return Result{}, fmt.Errorf("chaos %s: observer router: %w", s.Name, err)
+	}
+	defer closeObs()
+	loadRouter, closeLoad, err := svc.NewRouter("chaos-load", false)
+	if err != nil {
+		return Result{}, fmt.Errorf("chaos %s: load router: %w", s.Name, err)
+	}
+	defer closeLoad()
+
+	e := &Env{
+		Scenario:      s,
+		Network:       network,
+		Cluster:       svc.Cluster(0),
+		Service:       svc,
+		Router:        observer,
+		LoadRouter:    loadRouter,
+		ShardChannels: shardChannels,
+		Channel:       ShardChannel(0),
+		done:          make(chan struct{}),
+		epochs:        make([]int, s.Nodes),
+		violations:    make(map[string][]string),
+		canons:        make(map[string][]*fabric.Block),
+	}
+
+	// Measurement streams: one verified-release stream per channel extends
+	// that channel's canonical chain and records broadcast→release latency.
+	recorder := bench.NewLatencyRecorder()
+	var delivered atomic.Uint64
+	var times sync.Map
+	var consumers sync.WaitGroup
+	var streams []*fabric.BlockStream
+	for _, shard := range svc.Shards() {
+		channel := shardChannels[shard]
+		stream, err := observer.Deliver(channel, fabric.DeliverFrom(0))
+		if err != nil {
+			return Result{}, fmt.Errorf("chaos %s: observe %s: %w", s.Name, channel, err)
+		}
+		streams = append(streams, stream)
+		consumers.Add(1)
+		// Not on e.Go: consumers outlive the injection window (they count
+		// the quiesce drain) and exit when the streams are canceled below.
+		go func(channel string, stream *fabric.BlockStream) {
+			defer consumers.Done()
+			for b := range stream.Blocks() {
+				now := time.Now()
+				e.appendChanCanon(channel, b)
+				for _, raw := range b.Envelopes {
+					client, seq, ok := bench.EnvelopeSeq(raw)
+					if !ok {
+						continue
+					}
+					delivered.Add(1)
+					if v, loaded := times.LoadAndDelete(loadKey{client, seq}); loaded {
+						if start, isTime := v.(time.Time); isTime {
+							recorder.Record(now.Sub(start))
+						}
+					}
+				}
+			}
+		}(channel, stream)
+	}
+
+	for _, inv := range s.Invariants {
+		if err := inv.Start(e); err != nil {
+			return Result{}, fmt.Errorf("chaos %s: invariant %s: %w", s.Name, inv.Name, err)
+		}
+	}
+	for _, f := range s.Faults {
+		fault := f
+		e.Go(func() {
+			if err := fault.Run(e); err != nil {
+				e.Violate("fault:"+fault.Name, "%v", err)
+			}
+		})
+	}
+	// Per-shard load: every shard gets its own closed-loop submitters so
+	// aggregate progress is comparable across shards.
+	for _, shard := range svc.Shards() {
+		channel := shardChannels[shard]
+		for i := 0; i < s.Load.Clients; i++ {
+			client := fmt.Sprintf("chaos-s%d-%d", shard, i)
+			gen := bench.NewEnvelopeGen(channel, client, s.Load.EnvBytes, int64(s.Seed)+int64(shard)*100+int64(i))
+			e.Go(func() {
+				for {
+					select {
+					case <-e.Done():
+						return
+					default:
+					}
+					raw, seq := gen.Next()
+					key := loadKey{client: client, seq: seq}
+					times.Store(key, time.Now())
+					switch st := e.LoadRouter.BroadcastRaw(raw); st {
+					case fabric.StatusSuccess:
+					case fabric.StatusServiceUnavailable:
+						times.Delete(key) // backpressure or teardown: drop the sample
+						time.Sleep(20 * time.Millisecond)
+					default:
+						times.Delete(key)
+						e.Violate("load", "broadcast answered %v", st)
+						return
+					}
+					time.Sleep(s.Load.Pace)
+				}
+			})
+		}
+	}
+
+	logf("chaos %s: %d shards, injecting for %v (seed %d)", s.Name, s.Shards, s.Duration, s.Seed)
+	start := time.Now()
+	time.Sleep(s.Duration)
+	close(e.done)
+	e.wg.Wait()
+
+	// Quiesce: a healed shard drains its queued backlog here, so the wait
+	// is part of the experiment, not slack.
+	quiesceDeadline := time.Now().Add(15 * time.Second)
+	lastCount := delivered.Load()
+	lastChange := time.Now()
+	for time.Now().Before(quiesceDeadline) {
+		time.Sleep(100 * time.Millisecond)
+		if n := delivered.Load(); n != lastCount {
+			lastCount, lastChange = n, time.Now()
+		} else if time.Since(lastChange) > time.Second {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+
+	for _, inv := range s.Invariants {
+		inv.Stop(e)
+	}
+	if opts.Inspect != nil {
+		opts.Inspect(e)
+	}
+	for _, stream := range streams {
+		stream.Cancel()
+	}
+	consumers.Wait()
+
+	var blocks uint64
+	for _, channel := range shardChannels {
+		blocks += e.ChanCanonHeight(channel)
+	}
+	res := Result{
+		Scenario:    s.Name,
+		Description: s.Description,
+		Seed:        s.Seed,
+		Pass:        true,
+		P50Ms:       float64(recorder.Percentile(50).Microseconds()) / 1000,
+		P99Ms:       float64(recorder.Percentile(99).Microseconds()) / 1000,
+		Delivered:   delivered.Load(),
+		Blocks:      blocks,
+		DurationSec: elapsed.Seconds(),
+	}
+	seen := map[string]bool{}
+	for _, inv := range s.Invariants {
+		v := e.violationsFor(inv.Name)
+		res.Invariants = append(res.Invariants, InvariantResult{Name: inv.Name, Pass: len(v) == 0, Detail: v})
+		seen[inv.Name] = true
+		if len(v) > 0 {
+			res.Pass = false
+		}
+	}
+	e.mu.Lock()
+	for name, v := range e.violations {
+		if !seen[name] && len(v) > 0 {
+			res.Invariants = append(res.Invariants, InvariantResult{Name: name, Pass: false, Detail: append([]string(nil), v...)})
+			res.Pass = false
+		}
+	}
+	e.mu.Unlock()
+	logf("chaos %s: pass=%v delivered=%d blocks=%d p50=%.1fms p99=%.1fms",
+		s.Name, res.Pass, res.Delivered, res.Blocks, res.P50Ms, res.P99Ms)
+	return res, nil
+}
+
+// shardHeight is the highest ledger height any node of the shard holds for
+// the channel.
+func (e *Env) shardHeight(shard sharding.ShardID, channel string) uint64 {
+	var max uint64
+	for _, n := range e.Service.Cluster(shard).Nodes {
+		if n == nil {
+			continue
+		}
+		if led := n.Ledger(channel); led != nil && led.Height() > max {
+			max = led.Height()
+		}
+	}
+	return max
+}
+
+// ---- sharded faults ------------------------------------------------------
+
+// ShardPartitionFault splits ONE consensus group down the middle at atFrac
+// of the scenario duration (neither half keeps a quorum: the shard stalls
+// completely) and heals at healFrac. Before healing it checks the fault
+// stayed contained: every OTHER shard must have kept ordering while this
+// one was down. Queued load on the stalled shard orders after the heal —
+// the catch-up invariant owns that side.
+func ShardPartitionFault(shard sharding.ShardID, atFrac, healFrac float64) Fault {
+	return Fault{
+		Name: "shard-partition",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			replicas := e.Service.Cluster(shard).Replicas()
+			half := len(replicas) / 2
+			var a, b []transport.Addr
+			for i, id := range replicas {
+				if i < half {
+					a = append(a, id.Addr())
+				} else {
+					b = append(b, id.Addr())
+				}
+			}
+			before := make(map[sharding.ShardID]uint64)
+			for other, channel := range e.ShardChannels {
+				if other != shard {
+					before[other] = e.shardHeight(other, channel)
+				}
+			}
+			e.Network.Partition(a, b)
+			defer e.Network.Heal()
+			after(e, frac(e, healFrac-atFrac))
+			for other, h := range before {
+				now := e.shardHeight(other, e.ShardChannels[other])
+				if now <= h {
+					return fmt.Errorf("shard %d made no progress while shard %d was partitioned (height %d)",
+						other, shard, now)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ---- sharded invariants --------------------------------------------------
+
+// ShardContinuity subscribes from genesis on every shard's channel through
+// the router and checks each released stream is gap-free, duplicate-free,
+// and hash-chained — including across a shard stall, where the stream may
+// pause but must resume without a seam.
+func ShardContinuity() Invariant {
+	const name = "shard-continuity"
+	var streams []*fabric.BlockStream
+	var consumed sync.WaitGroup
+	return Invariant{
+		Name: name,
+		Start: func(e *Env) error {
+			for shard, channel := range e.ShardChannels {
+				stream, err := e.Router.Deliver(channel, fabric.DeliverFrom(0))
+				if err != nil {
+					return fmt.Errorf("shard %d: %w", shard, err)
+				}
+				streams = append(streams, stream)
+				consumed.Add(1)
+				// Not on e.Go: consumers outlive the injection window and
+				// exit when Stop cancels the streams.
+				go func(channel string, stream *fabric.BlockStream) {
+					defer consumed.Done()
+					var next uint64
+					var prev *fabric.Block
+					for b := range stream.Blocks() {
+						if b.Header.Number != next {
+							e.Violate(name, "%s delivered block %d, want %d (gap or duplicate)",
+								channel, b.Header.Number, next)
+							return
+						}
+						if prev != nil && b.Header.PrevHash != prev.Header.Hash() {
+							e.Violate(name, "%s block %d does not hash-chain to block %d",
+								channel, b.Header.Number, prev.Header.Number)
+							return
+						}
+						prev = b
+						next++
+					}
+				}(channel, stream)
+			}
+			return nil
+		},
+		Stop: func(e *Env) {
+			for _, stream := range streams {
+				stream.Cancel()
+			}
+			consumed.Wait()
+		},
+	}
+}
+
+// ShardCatchUp requires, after quiesce, that every node of every shard
+// durably holds the full canonical chain of its channel: a shard that was
+// stalled by a fault must have caught back up once healed. Polls to absorb
+// the post-heal drain.
+func ShardCatchUp() Invariant {
+	const name = "shard-catch-up"
+	return Invariant{
+		Name:  name,
+		Start: func(e *Env) error { return nil },
+		Stop: func(e *Env) {
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				lag := ""
+				for shard, channel := range e.ShardChannels {
+					target := e.ChanCanonHeight(channel)
+					for i, n := range e.Service.Cluster(shard).Nodes {
+						if n == nil {
+							continue
+						}
+						if w := n.PersistWatermark(channel); w < target {
+							lag = fmt.Sprintf("shard %d node %d durable watermark %d below canonical height %d",
+								shard, i, w, target)
+						}
+					}
+				}
+				if lag == "" {
+					return
+				}
+				if time.Now().After(deadline) {
+					e.Violate(name, "%s", lag)
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		},
+	}
+}
+
+// crossOutcome records one cross-shard transaction's coordinator verdict.
+type crossOutcome struct {
+	tx  sharding.CrossTx
+	err error
+}
+
+// CrossShardAtomicity drives a continuous stream of two-phase mark/commit
+// transactions across every shard's channel while the faults play out,
+// then audits each one against the both-or-neither rule: a committed tx
+// must be visible in EVERY involved chain, an aborted tx in NONE, and an
+// indeterminate tx (commit in flight at deadline) is re-driven to
+// completion and must then be visible everywhere.
+func CrossShardAtomicity(every time.Duration) Invariant {
+	const name = "cross-shard-atomic"
+	var mu sync.Mutex
+	var outcomes []crossOutcome
+	return Invariant{
+		Name: name,
+		Start: func(e *Env) error {
+			channels := make([]string, 0, len(e.ShardChannels))
+			for _, shard := range e.Service.Shards() {
+				channels = append(channels, e.ShardChannels[shard])
+			}
+			e.Go(func() {
+				opts := sharding.CrossOptions{Timeout: 2 * time.Second, RetryEvery: 100 * time.Millisecond}
+				for i := 0; ; i++ {
+					if !after(e, every) {
+						return
+					}
+					tx := sharding.CrossTx{
+						XID:      fmt.Sprintf("xtx-%d-%d", e.Scenario.Seed, i),
+						ClientID: "chaos-cross",
+						Channels: channels,
+						Payload:  []byte(fmt.Sprintf("cross-payload-%d", i)),
+					}
+					err := e.LoadRouter.BroadcastCross(tx, opts)
+					mu.Lock()
+					outcomes = append(outcomes, crossOutcome{tx: tx, err: err})
+					mu.Unlock()
+				}
+			})
+			return nil
+		},
+		Stop: func(e *Env) {
+			mu.Lock()
+			audit := append([]crossOutcome(nil), outcomes...)
+			mu.Unlock()
+			if len(audit) == 0 {
+				e.Violate(name, "no cross-shard transaction ever ran")
+				return
+			}
+			resumeOpts := sharding.CrossOptions{Timeout: 15 * time.Second, RetryEvery: 200 * time.Millisecond}
+			committed, aborted := 0, 0
+			for _, o := range audit {
+				switch {
+				case o.err == nil:
+					committed++
+				case errors.Is(o.err, sharding.ErrCrossIndeterminate):
+					// Recovery path: drive the commit to completion, then
+					// hold the tx to the committed standard.
+					if err := e.LoadRouter.ResumeCommit(o.tx, resumeOpts); err != nil {
+						e.Violate(name, "tx %s: resume after indeterminate failed: %v", o.tx.XID, err)
+						continue
+					}
+					committed++
+				case errors.Is(o.err, sharding.ErrCrossAborted):
+					aborted++
+				default:
+					e.Violate(name, "tx %s: unexpected coordinator error: %v", o.tx.XID, o.err)
+					continue
+				}
+				// Audit visibility chain by chain with an independent replay.
+				for _, channel := range o.tx.Channels {
+					tr := replayVisibility(e, channel, 5*time.Second)
+					visible := tr.Visible(o.tx.XID)
+					if o.err == nil || errors.Is(o.err, sharding.ErrCrossIndeterminate) {
+						if !visible {
+							e.Violate(name, "tx %s committed but invisible in %s (atomicity broken)", o.tx.XID, channel)
+						}
+					} else if visible {
+						e.Violate(name, "tx %s aborted but visible in %s (atomicity broken)", o.tx.XID, channel)
+					}
+				}
+			}
+			if committed == 0 {
+				e.Violate(name, "no cross-shard transaction ever committed (%d aborted) — the protocol never exercised its commit path", aborted)
+			}
+		},
+	}
+}
+
+// replayVisibility re-reads a channel's chain from genesis into a fresh
+// tracker — the view a late reader computes. The chain is quiesced when
+// this runs; the wait bounds the replay of what already exists.
+func replayVisibility(e *Env, channel string, wait time.Duration) *sharding.VisibilityTracker {
+	tr := sharding.NewVisibilityTracker()
+	stream, err := e.Router.Deliver(channel, fabric.DeliverOldest())
+	if err != nil {
+		return tr
+	}
+	defer stream.Cancel()
+	deadline := time.After(wait)
+	target := e.ChanCanonHeight(channel)
+	var got uint64
+	for got < target {
+		select {
+		case b, ok := <-stream.Blocks():
+			if !ok {
+				return tr
+			}
+			tr.ObserveBlock(b)
+			got++
+		case <-deadline:
+			return tr
+		}
+	}
+	return tr
+}
+
+// shardedInvariants is the checker set every sharded scenario runs.
+func shardedInvariants(crossEvery time.Duration) []Invariant {
+	return []Invariant{
+		ShardContinuity(),
+		ShardCatchUp(),
+		CrossShardAtomicity(crossEvery),
+	}
+}

@@ -1,0 +1,125 @@
+package clientapi
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/sharding"
+)
+
+// startShardedServer serves a channel→shard router over the wire protocol:
+// two independent orderers behind one client API, channels split by a
+// strict shard map.
+func startShardedServer(t *testing.T, m sharding.Map) (string, map[sharding.ShardID]*core.SoloOrderer) {
+	t.Helper()
+	shards := make(map[sharding.ShardID]*core.SoloOrderer)
+	backends := make(map[sharding.ShardID]sharding.Backend)
+	for _, shard := range m.Shards {
+		key, err := cryptoutil.GenerateKeyPair()
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		solo, err := core.NewSoloOrderer(core.SoloConfig{BlockSize: 1, Key: key, SigningWorkers: 2})
+		if err != nil {
+			t.Fatalf("solo shard %d: %v", shard, err)
+		}
+		t.Cleanup(solo.Close)
+		shards[shard] = solo
+		backends[shard] = solo
+	}
+	router, err := sharding.NewRouter(m, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(router)
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), shards
+}
+
+// TestWireShardedRouting drives the client protocol against a sharded
+// deployment: channels land on their assigned shard only, and a channel
+// outside a strict map answers NOT_FOUND over the wire.
+func TestWireShardedRouting(t *testing.T) {
+	addr, shards := startShardedServer(t, sharding.Map{
+		Shards:   []sharding.ShardID{0, 1},
+		Channels: map[string]sharding.ShardID{"alpha": 0, "beta": 1},
+		Strict:   true,
+	})
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cli.Close()
+
+	// Broadcast to an unassigned channel of a strict map: NOT_FOUND.
+	status, _, err := cli.Broadcast(mkEnv("ghost", 0))
+	if err != nil {
+		t.Fatalf("broadcast ghost: %v", err)
+	}
+	if status != fabric.StatusNotFound {
+		t.Fatalf("unassigned channel acked %s, want NOT_FOUND", status)
+	}
+	// Deliver on it fails the stream (the router refuses the seek).
+	stream, err := cli.Deliver("ghost", fabric.DeliverOldest())
+	if err != nil {
+		t.Fatalf("deliver ghost: %v", err)
+	}
+	select {
+	case _, ok := <-stream.Blocks():
+		if ok {
+			t.Fatal("unassigned channel delivered a block")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unassigned deliver never ended")
+	}
+	if stream.Err() == nil {
+		t.Fatal("unassigned deliver ended without error")
+	}
+
+	// Assigned channels order on their own shard and deliver through the
+	// same connection.
+	for i, ch := range []string{"alpha", "beta", "alpha"} {
+		if status, detail, err := cli.Broadcast(mkEnv(ch, i)); err != nil || status != fabric.StatusSuccess {
+			t.Fatalf("broadcast %s: %s (%s) %v", ch, status, detail, err)
+		}
+	}
+	replay, err := cli.Deliver("alpha", fabric.DeliverOldest().Through(1))
+	if err != nil {
+		t.Fatalf("deliver alpha: %v", err)
+	}
+	var got []*fabric.Block
+	deadline := time.After(10 * time.Second)
+	for done := false; !done; {
+		select {
+		case b, ok := <-replay.Blocks():
+			if !ok {
+				done = true
+				break
+			}
+			got = append(got, b)
+		case <-deadline:
+			t.Fatalf("alpha replay: %d blocks", len(got))
+		}
+	}
+	if err := replay.Err(); err != nil || len(got) != 2 {
+		t.Fatalf("alpha replay: %d blocks, err %v", len(got), err)
+	}
+
+	// Shard isolation, observed at the backends: alpha's two envelopes on
+	// shard 0, beta's one on shard 1.
+	if env0, _ := shards[0].Stats(); env0 != 2 {
+		t.Fatalf("shard 0 ordered %d envelopes, want 2", env0)
+	}
+	if env1, _ := shards[1].Stats(); env1 != 1 {
+		t.Fatalf("shard 1 ordered %d envelopes, want 1", env1)
+	}
+}

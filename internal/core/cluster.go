@@ -11,12 +11,24 @@ import (
 	"repro/internal/transport"
 )
 
+// ShardStride spaces the replica-ID ranges of independent consensus
+// groups sharing one network: shard k's node i is replica k*ShardStride+i,
+// so every group gets distinct transport addresses and key registrations
+// with zero consensus-layer changes. Shard 0 keeps the historical IDs
+// 0..n-1, so single-group deployments are unaffected.
+const ShardStride = 1 << 16
+
 // ClusterConfig assembles a complete in-process ordering service: n nodes
 // over a shared network, with identities registered for verification.
 type ClusterConfig struct {
 	// Nodes is the cluster size (4, 7, or 10 in the paper's LAN
 	// evaluation; 4 or 5 in the geo evaluation).
 	Nodes int
+	// ShardID makes this cluster one consensus group of a sharded
+	// deployment: its replicas take IDs ShardID*ShardStride+i (distinct
+	// addresses on a shared Network) and its storage roots under
+	// DataDir/shard-<ShardID>. Zero is the classic single-group layout.
+	ShardID int
 	// F is the fault threshold (zero derives the maximum).
 	F int
 	// BlockSize is the envelopes-per-block bound (10 or 100 in the paper).
@@ -63,6 +75,10 @@ type ClusterConfig struct {
 	// RetainBytes bounds every node's block store size on disk. Zero
 	// disables the bytes trigger.
 	RetainBytes int64
+	// RetainWeights biases the RetainBytes budget across channels
+	// (channel c keeps RetainBytes * w(c)/Σw bytes; unlisted channels
+	// weigh 1). Nil splits the budget evenly.
+	RetainWeights map[string]float64
 	// CommitMaxDelay tunes every node's commit queue: the fsync
 	// coalescing window (zero commits greedily).
 	CommitMaxDelay time.Duration
@@ -99,6 +115,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Nodes < 1 {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
 	}
+	if cfg.ShardID < 0 || cfg.Nodes > ShardStride {
+		return nil, fmt.Errorf("cluster: shard %d with %d nodes does not fit the ID stride", cfg.ShardID, cfg.Nodes)
+	}
 	network := cfg.Network
 	ownsNet := false
 	if network == nil {
@@ -107,7 +126,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	replicas := make([]consensus.ReplicaID, cfg.Nodes)
 	for i := range replicas {
-		replicas[i] = consensus.ReplicaID(i)
+		replicas[i] = consensus.ReplicaID(cfg.ShardID*ShardStride + i)
 	}
 	registry := cryptoutil.NewRegistry()
 
@@ -177,9 +196,11 @@ func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 		WALSegmentBytes: c.cfg.WALSegmentBytes,
 		RetainBlocks:    c.cfg.RetainBlocks,
 		RetainBytes:     c.cfg.RetainBytes,
+		RetainWeights:   c.cfg.RetainWeights,
 		CommitMaxDelay:  c.cfg.CommitMaxDelay,
 		CommitMaxBatch:  c.cfg.CommitMaxBatch,
 		CommitSyncHook:  c.nodeSyncHook(i),
+		ShardID:         c.cfg.ShardID,
 	}, conn)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
@@ -199,10 +220,21 @@ func (c *Cluster) nodeSyncHook(i int) func() {
 }
 
 // NodeDataDir returns node i's storage root (meaningful only with a
-// DataDir-configured cluster).
+// DataDir-configured cluster). A sharded cluster nests its nodes under a
+// per-group directory — each shard is an independent WAL, checkpoint,
+// and retention domain on disk — while shard 0 keeps the historical flat
+// layout.
 func (c *Cluster) NodeDataDir(i int) string {
+	if c.cfg.ShardID > 0 {
+		return filepath.Join(c.cfg.DataDir,
+			"shard-"+strconv.Itoa(c.cfg.ShardID), "node-"+strconv.Itoa(i))
+	}
 	return filepath.Join(c.cfg.DataDir, "node-"+strconv.Itoa(i))
 }
+
+// ShardID returns the consensus group this cluster forms (0 for the
+// classic single-group deployment).
+func (c *Cluster) ShardID() int { return c.cfg.ShardID }
 
 // KillNode crashes node i: it is stopped (which closes its storage,
 // leaving only the on-disk state) and detached from the network. A no-op

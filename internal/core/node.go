@@ -115,9 +115,19 @@ type NodeConfig struct {
 	// below the floor answer the pruned status. Zero retains everything.
 	RetainBlocks uint64
 	// RetainBytes bounds the block store's total on-disk size: when
-	// exceeded, every channel drops the older half of its retained
-	// window. Zero disables the bytes trigger.
+	// exceeded, each channel is trimmed back to its weighted share of
+	// the budget (see RetainWeights). Zero disables the bytes trigger.
 	RetainBytes int64
+	// RetainWeights biases the RetainBytes budget across channels:
+	// channel c keeps RetainBytes * w(c)/Σw bytes of history, unlisted
+	// channels weigh 1. Nil splits the budget evenly.
+	RetainWeights map[string]float64
+	// ShardID names the consensus group this node belongs to when the
+	// deployment partitions channels across independent groups (0 in a
+	// single-group deployment). It is carried for observability and
+	// per-shard storage layout decisions made by the owner; the node
+	// itself orders whatever envelopes its group's consensus decides.
+	ShardID int
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -371,7 +381,11 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		return nil, fmt.Errorf("ordering node: %w", err)
 	}
 	if n.storage != nil {
-		policy := retention.Policy{RetainBlocks: cfg.RetainBlocks, RetainBytes: cfg.RetainBytes}
+		policy := retention.Policy{
+			RetainBlocks: cfg.RetainBlocks,
+			RetainBytes:  cfg.RetainBytes,
+			Weights:      cfg.RetainWeights,
+		}
 		if policy.Enabled() {
 			n.retention = retention.NewManager(n.storage, policy, n.advanceLedgerFloors)
 		}
@@ -474,6 +488,10 @@ func validateEnvelopeOp(op []byte) error {
 
 // ID returns the node's replica identity.
 func (n *OrderingNode) ID() consensus.ReplicaID { return n.cfg.Consensus.SelfID }
+
+// ShardID returns the consensus group this node belongs to (0 in a
+// single-group deployment).
+func (n *OrderingNode) ShardID() int { return n.cfg.ShardID }
 
 // Replica exposes the underlying consensus replica (tests inject faults
 // through it).

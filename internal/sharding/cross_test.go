@@ -1,0 +1,183 @@
+package sharding
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+func TestMarkCommitCodec(t *testing.T) {
+	mark := EncodeMark("tx-1", []string{"alpha", "beta"}, []byte("payload"))
+	xid, channels, inner, ok := DecodeMark(mark)
+	if !ok || xid != "tx-1" || len(channels) != 2 || channels[0] != "alpha" ||
+		channels[1] != "beta" || !bytes.Equal(inner, []byte("payload")) {
+		t.Fatalf("mark round trip: xid=%q channels=%v inner=%q ok=%v", xid, channels, inner, ok)
+	}
+	commit := EncodeCommit("tx-1")
+	if xid, ok := DecodeCommit(commit); !ok || xid != "tx-1" {
+		t.Fatalf("commit round trip: xid=%q ok=%v", xid, ok)
+	}
+	// A record of one kind is not a record of the other, and plain
+	// application payloads are neither.
+	if _, _, _, ok := DecodeMark(commit); ok {
+		t.Fatal("commit decoded as mark")
+	}
+	if _, ok := DecodeCommit(mark); ok {
+		t.Fatal("mark decoded as commit")
+	}
+	if _, _, _, ok := DecodeMark([]byte("ordinary payload")); ok {
+		t.Fatal("application payload decoded as mark")
+	}
+	if _, ok := DecodeCommit(nil); ok {
+		t.Fatal("nil decoded as commit")
+	}
+}
+
+func crossEnv(channel string, payload []byte) []byte {
+	return (&fabric.Envelope{ChannelID: channel, ClientID: "c", Payload: payload}).Marshal()
+}
+
+func TestVisibilityRule(t *testing.T) {
+	tr := NewVisibilityTracker()
+	// A commit with no prior mark does nothing (late reader that missed
+	// the mark must not show the tx without its payload).
+	tr.ObserveRaw(crossEnv("ch", EncodeCommit("tx-1")))
+	if tr.Visible("tx-1") {
+		t.Fatal("visible without a mark")
+	}
+	tr.ObserveRaw(crossEnv("ch", EncodeMark("tx-1", []string{"ch"}, []byte("data"))))
+	if !tr.Marked("tx-1") || tr.Visible("tx-1") {
+		t.Fatalf("after mark: marked=%v visible=%v", tr.Marked("tx-1"), tr.Visible("tx-1"))
+	}
+	tr.ObserveRaw(crossEnv("ch", EncodeCommit("tx-1")))
+	if !tr.Visible("tx-1") {
+		t.Fatal("mark then commit not visible")
+	}
+	if !bytes.Equal(tr.Payload("tx-1"), []byte("data")) {
+		t.Fatalf("staged payload lost: %q", tr.Payload("tx-1"))
+	}
+	// Ordinary traffic is ignored.
+	tr.ObserveRaw(crossEnv("ch", []byte("app payload")))
+	if tr.Marked("app payload") {
+		t.Fatal("application payload tracked")
+	}
+}
+
+// replayTracker re-reads a chain from genesis through an independent
+// tracker — the view any late reader would compute.
+func replayTracker(t *testing.T, r *Router, channel string, d time.Duration) *VisibilityTracker {
+	t.Helper()
+	stream, err := r.Deliver(channel, fabric.DeliverOldest())
+	if err != nil {
+		t.Fatalf("replay %s: %v", channel, err)
+	}
+	defer stream.Cancel()
+	tr := NewVisibilityTracker()
+	deadline := time.After(d)
+	for {
+		select {
+		case b, ok := <-stream.Blocks():
+			if !ok {
+				return tr
+			}
+			tr.ObserveBlock(b)
+		case <-deadline:
+			return tr
+		}
+	}
+}
+
+// TestBroadcastCrossEndToEnd drives the full two-phase protocol over two
+// real consensus groups: a committed tx is visible in both chains with
+// its payload, an abandoned mark is visible in neither, and ResumeCommit
+// finishes an interrupted commit phase.
+func TestBroadcastCrossEndToEnd(t *testing.T) {
+	svc, err := NewService(ServiceConfig{
+		Map: Map{
+			Shards:   []ShardID{0, 1},
+			Channels: map[string]ShardID{"alpha": 0, "beta": 1},
+		},
+		BlockSize:      1,
+		DisableSigning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	router, closeFE, err := svc.NewRouter("cross", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFE()
+
+	channels := []string{"alpha", "beta"}
+	opts := CrossOptions{Timeout: 30 * time.Second, RetryEvery: 100 * time.Millisecond}
+
+	// Committed: visible in both chains, payload intact.
+	committed := CrossTx{XID: "tx-commit", ClientID: "c", Channels: channels, Payload: []byte("both-or-neither")}
+	if err := router.BroadcastCross(committed, opts); err != nil {
+		t.Fatalf("BroadcastCross: %v", err)
+	}
+
+	// Aborted: a coordinator that died before phase 2 left only marks.
+	for _, ch := range channels {
+		st := router.BroadcastRaw(crossEnv(ch, EncodeMark("tx-abandoned", channels, []byte("never"))))
+		if st != fabric.StatusSuccess {
+			t.Fatalf("mark broadcast %s: %v", ch, st)
+		}
+	}
+
+	// Interrupted: marks ordered, commit phase never ran — ResumeCommit
+	// is the recovery path and must converge to visible everywhere.
+	interrupted := CrossTx{XID: "tx-resume", ClientID: "c", Channels: channels, Payload: []byte("resumed")}
+	for _, ch := range channels {
+		st := router.BroadcastRaw(crossEnv(ch, EncodeMark(interrupted.XID, channels, interrupted.Payload)))
+		if st != fabric.StatusSuccess {
+			t.Fatalf("mark broadcast %s: %v", ch, st)
+		}
+	}
+	if err := router.ResumeCommit(interrupted, opts); err != nil {
+		t.Fatalf("ResumeCommit: %v", err)
+	}
+
+	for _, ch := range channels {
+		tr := replayTracker(t, router, ch, 5*time.Second)
+		if !tr.Visible("tx-commit") {
+			t.Fatalf("%s: committed tx not visible", ch)
+		}
+		if !bytes.Equal(tr.Payload("tx-commit"), []byte("both-or-neither")) {
+			t.Fatalf("%s: committed payload %q", ch, tr.Payload("tx-commit"))
+		}
+		if !tr.Marked("tx-abandoned") {
+			t.Fatalf("%s: abandoned mark never ordered", ch)
+		}
+		if tr.Visible("tx-abandoned") {
+			t.Fatalf("%s: abandoned tx became visible", ch)
+		}
+		if !tr.Visible("tx-resume") {
+			t.Fatalf("%s: resumed tx not visible", ch)
+		}
+	}
+}
+
+func TestBroadcastCrossValidation(t *testing.T) {
+	r, _ := twoFakes(t, Map{Shards: []ShardID{0, 1}})
+	if err := r.BroadcastCross(CrossTx{Channels: []string{"a"}}, CrossOptions{}); err == nil {
+		t.Fatal("missing xid accepted")
+	}
+	if err := r.BroadcastCross(CrossTx{XID: "x"}, CrossOptions{}); err == nil {
+		t.Fatal("missing channels accepted")
+	}
+	// Fake backends never order anything: phase 1 must abort at the
+	// deadline, classified as a clean abort (no commit was ever sent).
+	err := r.BroadcastCross(
+		CrossTx{XID: "x", Channels: []string{"a"}},
+		CrossOptions{Timeout: 200 * time.Millisecond, RetryEvery: 50 * time.Millisecond},
+	)
+	if !errors.Is(err, ErrCrossAborted) {
+		t.Fatalf("phase-1 deadline: %v, want ErrCrossAborted", err)
+	}
+}

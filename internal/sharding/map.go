@@ -1,0 +1,136 @@
+// Package sharding partitions channels across independent consensus
+// groups (shards) behind a thin routing layer, so aggregate multi-channel
+// throughput scales with shard count instead of being capped by one
+// group's ordering rate (ROADMAP scale-out; the L1/L2 split Barger et al.
+// motivate for Fabric-scale multi-channel deployments).
+//
+// The pieces:
+//
+//   - Map: the shard registry + membership map — which shards exist and
+//     which channels are explicitly assigned where. Unassigned channels
+//     hash deterministically into the shard set (or are rejected when the
+//     map is strict).
+//   - Router: a fabric.Orderer that routes Broadcast/Deliver by channel →
+//     shard to per-shard backends (core.Frontend in process,
+//     clientapi.Client across the wire), pinning hash-routed channels on
+//     first use so a map reload never silently migrates a live chain.
+//   - Cross-shard mark/commit (cross.go): a two-phase record ordered in
+//     every involved channel, giving an envelope atomic visibility across
+//     chains on different shards without any consensus-layer change.
+//   - Service (service.go): the in-process multi-shard world — one
+//     core.Cluster per shard on a shared network, each an independent
+//     WAL, checkpoint, and retention domain.
+//
+// Each shard is an ordinary core.Cluster made group-aware by
+// ClusterConfig.ShardID: shard k's replicas take IDs k*core.ShardStride+i,
+// so any number of groups coexist on one transport with distinct
+// addresses and key registrations.
+package sharding
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+)
+
+// ShardID names one consensus group. Shard 0 is the historical
+// single-group deployment.
+type ShardID int
+
+// Map is the shard registry and channel membership map: the shard set,
+// the explicit channel assignments, and the default rule for everything
+// else. The zero Map is invalid; build one with at least one shard.
+type Map struct {
+	// Shards is the shard set, each backed by an independent consensus
+	// group. Order is irrelevant (Validate sorts); duplicates are
+	// rejected.
+	Shards []ShardID `json:"shards"`
+	// Channels explicitly assigns channels to shards. Explicit
+	// assignments always win over the hash default and over runtime
+	// pins.
+	Channels map[string]ShardID `json:"channels,omitempty"`
+	// Strict disables the hash default: a channel with no explicit
+	// assignment is not served (Broadcast answers NOT_FOUND). Operators
+	// that provision channels deliberately run strict maps.
+	Strict bool `json:"strict,omitempty"`
+}
+
+// Validate checks the map is usable: at least one shard, no duplicate
+// shards, and every explicit assignment pointing into the shard set. It
+// normalizes the shard order so routing is deterministic across
+// processes.
+func (m *Map) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("sharding: map has no shards")
+	}
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i] < m.Shards[j] })
+	for i, s := range m.Shards {
+		if s < 0 {
+			return fmt.Errorf("sharding: negative shard id %d", s)
+		}
+		if i > 0 && m.Shards[i-1] == s {
+			return fmt.Errorf("sharding: duplicate shard id %d", s)
+		}
+	}
+	for channel, s := range m.Channels {
+		if !m.HasShard(s) {
+			return fmt.Errorf("sharding: channel %q assigned to unknown shard %d", channel, s)
+		}
+	}
+	return nil
+}
+
+// HasShard reports whether s is in the shard set.
+func (m *Map) HasShard(s ShardID) bool {
+	for _, have := range m.Shards {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Route resolves a channel under this map alone (no runtime pins):
+// explicit assignment first, then the deterministic hash default over the
+// shard set. ok is false for unassigned channels of a strict map. The
+// hash (FNV-1a over the channel name) is stable across processes and
+// restarts, so every router holding the same map routes the same way —
+// which is what makes concurrent first-use of a new channel land on
+// exactly one shard.
+func (m *Map) Route(channel string) (ShardID, bool) {
+	if s, ok := m.Channels[channel]; ok {
+		return s, true
+	}
+	if m.Strict || len(m.Shards) == 0 {
+		return 0, false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(channel))
+	return m.Shards[h.Sum64()%uint64(len(m.Shards))], true
+}
+
+// ParseMap decodes and validates a JSON shard map:
+//
+//	{"shards":[0,1],"channels":{"payments":1},"strict":false}
+func ParseMap(raw []byte) (Map, error) {
+	var m Map
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Map{}, fmt.Errorf("sharding: parse map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Map{}, err
+	}
+	return m, nil
+}
+
+// LoadMapFile reads and validates a JSON shard map from disk (the
+// -shard-map flag of cmd/ordernode and cmd/frontend).
+func LoadMapFile(path string) (Map, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Map{}, fmt.Errorf("sharding: %w", err)
+	}
+	return ParseMap(raw)
+}

@@ -1,0 +1,195 @@
+package sharding
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fabric"
+)
+
+// Backend is one shard's ordering surface: the full fabric.Orderer plus
+// the raw broadcast hot path. core.Frontend implements it in process;
+// any wire client exposing the same calls works across processes.
+type Backend interface {
+	fabric.Orderer
+	BroadcastRaw(raw []byte) fabric.BroadcastStatus
+}
+
+// Router routes the AtomicBroadcast surface by channel → shard. It
+// implements fabric.Orderer, so everything that serves an orderer — the
+// clientapi wire server, the chaos harness, the benches — can sit on top
+// of a sharded deployment unchanged.
+//
+// Routing precedence per channel:
+//
+//  1. the map's explicit assignment,
+//  2. the runtime pin recorded on the channel's first hash-routed use,
+//  3. the map's deterministic hash default (then pinned).
+//
+// Pins make hash routing stable across Reload: swapping in a map with a
+// different shard set changes where NEW channels hash, but a chain that
+// already lives somewhere keeps routing there — a map reload must never
+// silently migrate a live chain (its history does not follow). Explicit
+// assignments are the operator's override and always win, including over
+// a pin.
+type Router struct {
+	mu       sync.RWMutex
+	m        Map
+	backends map[ShardID]Backend
+	pins     map[string]ShardID
+
+	routed map[ShardID]*atomic.Uint64 // broadcasts routed per shard
+}
+
+// NewRouter builds a router over one backend per shard. Every shard in
+// the map must have a backend; extra backends (shards a future Reload
+// may re-admit) are allowed.
+func NewRouter(m Map, backends map[ShardID]Backend) (*Router, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for _, s := range m.Shards {
+		if backends[s] == nil {
+			return nil, fmt.Errorf("sharding: shard %d has no backend", s)
+		}
+	}
+	r := &Router{
+		m:        m,
+		backends: make(map[ShardID]Backend, len(backends)),
+		pins:     make(map[string]ShardID),
+		routed:   make(map[ShardID]*atomic.Uint64, len(backends)),
+	}
+	for s, b := range backends {
+		r.backends[s] = b
+		r.routed[s] = new(atomic.Uint64)
+	}
+	return r, nil
+}
+
+// Map returns the current shard map.
+func (r *Router) Map() Map {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m
+}
+
+// Reload swaps the shard map (config reload: new channel assignments, a
+// grown or shrunk shard set). Every shard of the new map must have a
+// backend. Existing pins survive — already-routed channels stay put —
+// while explicit assignments of the new map take precedence as always.
+func (r *Router) Reload(m Map) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range m.Shards {
+		if r.backends[s] == nil {
+			return fmt.Errorf("sharding: shard %d has no backend", s)
+		}
+	}
+	r.m = m
+	return nil
+}
+
+// Route resolves a channel to its shard, recording a first-use pin for
+// hash-routed channels. The error is fabric.ErrChannelNotFound for
+// unassigned channels of a strict map (and for pins whose shard lost its
+// backend).
+func (r *Router) Route(channel string) (ShardID, error) {
+	r.mu.RLock()
+	if s, ok := r.m.Channels[channel]; ok {
+		r.mu.RUnlock()
+		return s, nil
+	}
+	if s, ok := r.pins[channel]; ok {
+		r.mu.RUnlock()
+		return s, nil
+	}
+	m := r.m
+	r.mu.RUnlock()
+
+	s, ok := m.Route(channel)
+	if !ok {
+		return 0, fabric.ErrChannelNotFound
+	}
+	r.mu.Lock()
+	// Explicit assignments and concurrent pinners may have raced the
+	// unlocked window; the map hash is deterministic, so racing pinners
+	// agree anyway — re-check only to keep precedence exact.
+	if win, ok := r.m.Channels[channel]; ok {
+		s = win
+	} else if pinned, ok := r.pins[channel]; ok {
+		s = pinned
+	} else {
+		r.pins[channel] = s
+	}
+	r.mu.Unlock()
+	return s, nil
+}
+
+// backend resolves the channel's shard to its backend.
+func (r *Router) backend(channel string) (Backend, ShardID, error) {
+	s, err := r.Route(channel)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.mu.RLock()
+	b := r.backends[s]
+	r.mu.RUnlock()
+	if b == nil {
+		return nil, 0, fabric.ErrChannelNotFound
+	}
+	return b, s, nil
+}
+
+// Broadcast routes one envelope to its channel's shard.
+func (r *Router) Broadcast(env *fabric.Envelope) fabric.BroadcastStatus {
+	if env == nil || env.ChannelID == "" {
+		return fabric.StatusBadRequest
+	}
+	return r.BroadcastRaw(env.Marshal())
+}
+
+// BroadcastRaw routes an already-marshalled envelope (the hot path).
+func (r *Router) BroadcastRaw(raw []byte) fabric.BroadcastStatus {
+	channel, err := fabric.ChannelOf(raw)
+	if err != nil {
+		return fabric.StatusBadRequest
+	}
+	b, s, err := r.backend(channel)
+	if err != nil {
+		return fabric.StatusOf(err)
+	}
+	if c := r.routed[s]; c != nil {
+		c.Add(1)
+	}
+	return b.BroadcastRaw(raw)
+}
+
+// Deliver opens a block stream on the channel's shard. A Deliver after a
+// map reload re-resolves the channel — pinned channels re-seek into the
+// same chain, new channels into their new shard.
+func (r *Router) Deliver(channel string, seek fabric.SeekInfo) (*fabric.BlockStream, error) {
+	b, _, err := r.backend(channel)
+	if err != nil {
+		return nil, err
+	}
+	return b.Deliver(channel, seek)
+}
+
+// RoutedByShard snapshots how many broadcasts each shard received (bench
+// and test observability).
+func (r *Router) RoutedByShard() map[ShardID]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[ShardID]uint64, len(r.routed))
+	for s, c := range r.routed {
+		out[s] = c.Load()
+	}
+	return out
+}
+
+var _ fabric.Orderer = (*Router)(nil)
+var _ Backend = (*Router)(nil)

@@ -1,0 +1,259 @@
+package sharding
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// fakeBackend records what a shard received; Deliver hands back a closed
+// stream so routing (not streaming) is what these tests exercise.
+type fakeBackend struct {
+	mu   sync.Mutex
+	raws [][]byte
+}
+
+func (f *fakeBackend) BroadcastRaw(raw []byte) fabric.BroadcastStatus {
+	f.mu.Lock()
+	f.raws = append(f.raws, raw)
+	f.mu.Unlock()
+	return fabric.StatusSuccess
+}
+
+func (f *fakeBackend) Broadcast(env *fabric.Envelope) fabric.BroadcastStatus {
+	return f.BroadcastRaw(env.Marshal())
+}
+
+func (f *fakeBackend) Deliver(string, fabric.SeekInfo) (*fabric.BlockStream, error) {
+	s := fabric.NewBlockStream()
+	s.Close(nil)
+	return s, nil
+}
+
+func (f *fakeBackend) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.raws)
+}
+
+func twoFakes(t *testing.T, m Map) (*Router, map[ShardID]*fakeBackend) {
+	t.Helper()
+	fakes := map[ShardID]*fakeBackend{0: {}, 1: {}}
+	r, err := NewRouter(m, map[ShardID]Backend{0: fakes[0], 1: fakes[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, fakes
+}
+
+func env(channel string, i int) *fabric.Envelope {
+	return &fabric.Envelope{
+		ChannelID: channel,
+		ClientID:  "test",
+		Payload:   []byte(fmt.Sprintf("env-%d", i)),
+	}
+}
+
+func TestRouterUnknownChannelNotFound(t *testing.T) {
+	r, fakes := twoFakes(t, Map{
+		Shards:   []ShardID{0, 1},
+		Channels: map[string]ShardID{"known": 1},
+		Strict:   true,
+	})
+	if st := r.Broadcast(env("ghost", 0)); st != fabric.StatusNotFound {
+		t.Fatalf("broadcast to unknown channel: status %v, want %v", st, fabric.StatusNotFound)
+	}
+	if _, err := r.Deliver("ghost", fabric.DeliverOldest()); err != fabric.ErrChannelNotFound {
+		t.Fatalf("deliver on unknown channel: err %v, want ErrChannelNotFound", err)
+	}
+	if st := r.Broadcast(env("known", 0)); st != fabric.StatusSuccess {
+		t.Fatalf("broadcast to assigned channel: status %v", st)
+	}
+	if fakes[0].count() != 0 || fakes[1].count() != 1 {
+		t.Fatalf("assigned channel misrouted: shard0=%d shard1=%d", fakes[0].count(), fakes[1].count())
+	}
+	if st := r.Broadcast(&fabric.Envelope{ClientID: "no-channel"}); st != fabric.StatusBadRequest {
+		t.Fatalf("broadcast without channel: status %v, want %v", st, fabric.StatusBadRequest)
+	}
+}
+
+// TestRouterCreationRace hammers one brand-new channel from many
+// goroutines at once: every envelope must land on exactly one shard (the
+// channel-creation race of the issue).
+func TestRouterCreationRace(t *testing.T) {
+	r, fakes := twoFakes(t, Map{Shards: []ShardID{0, 1}})
+	const writers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if st := r.Broadcast(env("fresh-channel", i)); st != fabric.StatusSuccess {
+				t.Errorf("writer %d: status %v", i, st)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got0, got1 := fakes[0].count(), fakes[1].count()
+	if got0+got1 != writers {
+		t.Fatalf("lost envelopes: shard0=%d shard1=%d", got0, got1)
+	}
+	if got0 != 0 && got1 != 0 {
+		t.Fatalf("channel split across shards: shard0=%d shard1=%d", got0, got1)
+	}
+	// The winner must match the pin the race recorded.
+	pinned, err := r.Route("fresh-channel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fakes[pinned].count() != writers {
+		t.Fatalf("pin %d disagrees with delivery: shard0=%d shard1=%d", pinned, got0, got1)
+	}
+}
+
+// TestRouterReloadKeepsPins reloads the shard map under a live channel:
+// the pinned channel must keep routing to its original shard (a reload
+// must never silently migrate a live chain), while explicit assignments
+// in the new map take precedence and new channels use the new shard set.
+func TestRouterReloadKeepsPins(t *testing.T) {
+	r, fakes := twoFakes(t, Map{Shards: []ShardID{0, 1}})
+	pinned, err := r.Route("survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Broadcast(env("survivor", 0)); st != fabric.StatusSuccess {
+		t.Fatalf("pre-reload broadcast: %v", st)
+	}
+
+	// Shrink the map to only the OTHER shard. The pin must still win for
+	// the live channel; new channels must hash into the new set.
+	other := ShardID(1) - pinned
+	if err := r.Reload(Map{Shards: []ShardID{other}}); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := r.Route("survivor"); err != nil || s != pinned {
+		t.Fatalf("reload migrated pinned channel: shard %d err %v, want %d", s, err, pinned)
+	}
+	if _, err := r.Deliver("survivor", fabric.DeliverOldest()); err != nil {
+		t.Fatalf("deliver re-seek after reload: %v", err)
+	}
+	before := fakes[pinned].count()
+	if st := r.Broadcast(env("survivor", 1)); st != fabric.StatusSuccess {
+		t.Fatalf("post-reload broadcast: %v", st)
+	}
+	if fakes[pinned].count() != before+1 {
+		t.Fatal("post-reload broadcast left the pinned shard")
+	}
+	if s, err := r.Route("brand-new"); err != nil || s != other {
+		t.Fatalf("new channel after reload: shard %d err %v, want %d", s, err, other)
+	}
+
+	// An explicit assignment in a reloaded map overrides even a pin.
+	if err := r.Reload(Map{
+		Shards:   []ShardID{0, 1},
+		Channels: map[string]ShardID{"survivor": other},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := r.Route("survivor"); err != nil || s != other {
+		t.Fatalf("explicit assignment lost to pin: shard %d err %v, want %d", s, err, other)
+	}
+
+	// A reload targeting a shard with no backend is rejected.
+	if err := r.Reload(Map{Shards: []ShardID{7}}); err == nil {
+		t.Fatal("reload admitted a shard with no backend")
+	}
+}
+
+// TestShardedServiceIsolation runs the real thing: two consensus groups
+// on one network, channels explicitly split across them, and verifies the
+// chains land on their own shard's ledgers only.
+func TestShardedServiceIsolation(t *testing.T) {
+	svc, err := NewService(ServiceConfig{
+		Map: Map{
+			Shards:   []ShardID{0, 1},
+			Channels: map[string]ShardID{"alpha": 0, "beta": 1},
+		},
+		BlockSize:      1,
+		DisableSigning: true,
+		DataDir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	router, closeFE, err := svc.NewRouter("iso", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFE()
+
+	const perChannel = 3
+	streams := map[string]*fabric.BlockStream{}
+	for _, ch := range []string{"alpha", "beta"} {
+		s, err := router.Deliver(ch, fabric.DeliverOldest().Through(perChannel-1))
+		if err != nil {
+			t.Fatalf("deliver %s: %v", ch, err)
+		}
+		streams[ch] = s
+	}
+	for i := 0; i < perChannel; i++ {
+		for _, ch := range []string{"alpha", "beta"} {
+			if st := router.Broadcast(env(ch, i)); st != fabric.StatusSuccess {
+				t.Fatalf("broadcast %s #%d: %v", ch, i, st)
+			}
+		}
+	}
+	for _, ch := range []string{"alpha", "beta"} {
+		got := 0
+		timeout := time.After(20 * time.Second)
+		for got < perChannel {
+			select {
+			case b, ok := <-streams[ch].Blocks():
+				if !ok {
+					t.Fatalf("%s stream ended early (%d blocks): %v", ch, got, streams[ch].Err())
+				}
+				got += len(b.Envelopes)
+			case <-timeout:
+				t.Fatalf("%s: %d/%d envelopes delivered", ch, got, perChannel)
+			}
+		}
+	}
+
+	// Shard isolation: each group's nodes carry only their own channel.
+	for shard, own := range map[ShardID]string{0: "alpha", 1: "beta"} {
+		other := map[string]string{"alpha": "beta", "beta": "alpha"}[own]
+		node := svc.Cluster(shard).Nodes[0]
+		if led := node.Ledger(own); led == nil || led.Height() == 0 {
+			t.Fatalf("shard %d has no %s chain", shard, own)
+		}
+		if led := node.Ledger(other); led != nil && led.Height() > 0 {
+			t.Fatalf("shard %d leaked channel %s", shard, other)
+		}
+	}
+	counts := router.RoutedByShard()
+	if counts[0] != perChannel || counts[1] != perChannel {
+		t.Fatalf("routed counters: %v", counts)
+	}
+
+	// Per-shard storage layout: shard 0 keeps the historical flat
+	// node-<i> dirs, shard 1 nests under shard-1/.
+	for _, probe := range []struct {
+		shard ShardID
+		want  string
+	}{{0, "node-0"}, {1, filepath.Join("shard-1", "node-0")}} {
+		dir := svc.Cluster(probe.shard).NodeDataDir(0)
+		if !strings.HasSuffix(dir, probe.want) {
+			t.Fatalf("shard %d data dir %q, want suffix %q", probe.shard, dir, probe.want)
+		}
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("shard %d data dir: %v", probe.shard, err)
+		}
+	}
+}

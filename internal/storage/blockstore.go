@@ -51,6 +51,11 @@ type BlockStore struct {
 	anchors map[string]cryptoutil.Digest // PrevHash of the block at the floor
 	// index[ch][i] is the shared-log record index of block floors[ch]+i.
 	index map[string][]uint64
+	// chanBytes[ch] is the framed on-disk size of the channel's retained
+	// block records: incremented per committed put, recomputed from the
+	// offset tables at recovery and after compaction. The weighted
+	// retention bytes budget reads it.
+	chanBytes map[string]int64
 
 	// Recovery-walk state, cleared by finishRecovery.
 	manifestFrontier uint64
@@ -82,11 +87,12 @@ func newBlockStore(dir string, wal *WAL, ownsWAL bool) *BlockStore {
 		dir:     dir,
 		wal:     wal,
 		ownsWAL: ownsWAL,
-		heights: make(map[string]uint64),
-		floors:  make(map[string]uint64),
-		anchors: make(map[string]cryptoutil.Digest),
-		index:   make(map[string][]uint64),
-		seeded:  make(map[string]int),
+		heights:   make(map[string]uint64),
+		floors:    make(map[string]uint64),
+		anchors:   make(map[string]cryptoutil.Digest),
+		index:     make(map[string][]uint64),
+		chanBytes: make(map[string]int64),
+		seeded:    make(map[string]int),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -303,6 +309,9 @@ func (s *BlockStore) finishRecovery() error {
 		}
 		s.recovered[channel] = info
 	}
+	for channel, idxs := range s.index {
+		s.chanBytes[channel] = s.wal.RecordSizeBytes(idxs)
+	}
 	s.lastReplayed = nil
 	s.seeded = make(map[string]int)
 	return nil
@@ -419,6 +428,7 @@ func (s *BlockStore) putAsync(channel string, b *fabric.Block, lazy bool) (*Toke
 	w.PutByte(recBlock)
 	w.PutString(channel)
 	b.MarshalInto(w)
+	framed := int64(len(w.Bytes())) + recordHeaderSize
 	tok, err := s.wal.appendAsyncOpt(w.Bytes(), func(idx uint64, err error) {
 		// Commit callback (runs in log order): the frame was copied into
 		// the commit buffer, so the encode buffer recycles; on success
@@ -436,6 +446,7 @@ func (s *BlockStore) putAsync(channel string, b *fabric.Block, lazy bool) (*Toke
 			}
 		} else {
 			s.index[channel] = append(s.index[channel], idx)
+			s.chanBytes[channel] += framed
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -512,8 +523,9 @@ func (s *BlockStore) ReadBlocks(channel string, start uint64, max int) ([]*fabri
 
 // ---- retention ---------------------------------------------------------
 
-// RetentionState reports the retained windows and on-disk size
-// (retention.Store).
+// RetentionState reports the retained windows — each with its on-disk
+// byte attribution, feeding the weighted bytes budget — and the log's
+// total size (retention.Store).
 func (s *BlockStore) RetentionState() retention.State {
 	s.mu.Lock()
 	st := retention.State{Channels: make(map[string]retention.ChannelState, len(s.heights))}
@@ -521,6 +533,7 @@ func (s *BlockStore) RetentionState() retention.State {
 		st.Channels[channel] = retention.ChannelState{
 			Floor:  s.floors[channel],
 			Height: height,
+			Bytes:  s.chanBytes[channel],
 		}
 	}
 	s.mu.Unlock()
@@ -583,6 +596,9 @@ func (s *BlockStore) CompactTo(floors map[string]uint64) (map[string]uint64, err
 		s.index[channel] = append([]uint64(nil), s.index[channel][drop:]...)
 		s.floors[channel] = target
 		s.anchors[channel] = anchors[channel]
+		// Exact recount off the offset tables: cheaper than tracking
+		// per-block sizes and compaction is off the hot path anyway.
+		s.chanBytes[channel] = s.wal.RecordSizeBytes(s.index[channel])
 	}
 	if err := s.saveManifestLocked(); err != nil {
 		return nil, err
@@ -631,6 +647,7 @@ func (s *BlockStore) RebaseBlocks(channel string, floor uint64, anchor cryptouti
 	s.heights[channel] = floor
 	s.anchors[channel] = anchor
 	s.index[channel] = nil
+	s.chanBytes[channel] = 0
 	if err := s.saveManifestLocked(); err != nil {
 		return err
 	}

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -293,6 +294,11 @@ type ChannelState struct {
 	// Height is the next block number to append (Height-Floor blocks are
 	// retained).
 	Height uint64
+	// Bytes is the on-disk size of the channel's retained block records
+	// (framed record bytes in the shared log). Zero when the store does
+	// not account per channel; the bytes budget then falls back to
+	// uniform halving.
+	Bytes int64
 }
 
 // State is the store-wide input to a retention decision.
@@ -311,16 +317,31 @@ type Policy struct {
 	// Zero disables the count trigger.
 	RetainBlocks uint64
 	// RetainBytes bounds the block store's total on-disk size: when
-	// exceeded, every channel drops the older half of its retained
-	// window (whole WAL segments are reclaimed only once the floors
+	// exceeded, each channel is trimmed back to its weighted share of
+	// the budget (whole WAL segments are reclaimed only once the floors
 	// cross segment boundaries, so the bound is met up to one segment of
 	// slack). Zero disables the bytes trigger.
 	RetainBytes int64
+	// Weights biases the bytes budget across channels: channel c's share
+	// of RetainBytes is Weights[c] / Σ weights over live channels, so a
+	// heavy channel can be granted a larger retained window than a light
+	// one instead of everyone halving uniformly. Unlisted (or
+	// non-positive) entries weigh 1; nil means every channel weighs 1
+	// (equal shares).
+	Weights map[string]float64
 	// CheckSlack delays the count trigger until a channel's window
 	// exceeds RetainBlocks by this many blocks, so compaction (a
 	// manifest fsync) amortizes instead of running per block. Zero
 	// derives RetainBlocks/4, minimum 1.
 	CheckSlack uint64
+}
+
+// Weight returns channel's bytes-budget weight (1 when unlisted).
+func (p Policy) Weight(channel string) float64 {
+	if w, ok := p.Weights[channel]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 // Enabled reports whether the policy ever compacts.
@@ -375,6 +396,14 @@ func (p Policy) ForcePlan(st State) map[string]uint64 {
 func (p Policy) plan(st State) map[string]uint64 {
 	floors := make(map[string]uint64)
 	overBytes := p.RetainBytes > 0 && st.Bytes > p.RetainBytes
+	var sumW float64
+	if overBytes {
+		for name, ch := range st.Channels {
+			if ch.Height > 0 {
+				sumW += p.Weight(name)
+			}
+		}
+	}
 	for name, ch := range st.Channels {
 		if ch.Height == 0 {
 			continue
@@ -384,9 +413,8 @@ func (p Policy) plan(st State) map[string]uint64 {
 			floor = ch.Height - p.RetainBlocks
 		}
 		if overBytes {
-			// Drop the older half of whatever would remain.
-			if half := floor + (ch.Height-floor)/2; half > floor {
-				floor = half
+			if target := p.bytesFloor(name, ch, sumW); target > floor {
+				floor = target
 			}
 		}
 		if floor > ch.Height-1 {
@@ -400,6 +428,31 @@ func (p Policy) plan(st State) map[string]uint64 {
 		return nil
 	}
 	return floors
+}
+
+// bytesFloor resolves the bytes trigger for one channel: trim the channel
+// down to its weighted share of the RetainBytes budget, estimating blocks
+// to drop from the channel's average retained record size. A store that
+// does not account bytes per channel (Bytes == 0) falls back to dropping
+// the older half of the window.
+func (p Policy) bytesFloor(name string, ch ChannelState, sumW float64) uint64 {
+	retained := ch.Height - ch.Floor
+	if retained == 0 {
+		return ch.Floor
+	}
+	if ch.Bytes <= 0 {
+		return ch.Floor + retained/2
+	}
+	budget := int64(float64(p.RetainBytes) * p.Weight(name) / sumW)
+	if ch.Bytes <= budget {
+		return ch.Floor // within its share: this channel keeps its window
+	}
+	avg := float64(ch.Bytes) / float64(retained)
+	drop := uint64(math.Ceil(float64(ch.Bytes-budget) / avg))
+	if drop > retained {
+		drop = retained
+	}
+	return ch.Floor + drop
 }
 
 // ---- manager -----------------------------------------------------------

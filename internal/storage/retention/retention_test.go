@@ -151,6 +151,68 @@ func TestPolicyPlan(t *testing.T) {
 	}
 }
 
+// TestPolicyWeightedBytesBudget exercises the weighted split of the
+// RetainBytes budget: each channel is trimmed to its share of the budget
+// (Weights[c]/Σw), channels within their share keep their whole window,
+// and stores that don't account bytes per channel fall back to halving.
+func TestPolicyWeightedBytesBudget(t *testing.T) {
+	p := Policy{RetainBytes: 600, Weights: map[string]float64{"heavy": 2}}
+	st := State{
+		Channels: map[string]ChannelState{
+			"heavy": {Floor: 0, Height: 100, Bytes: 900}, // avg 9 B/block
+			"light": {Floor: 0, Height: 100, Bytes: 300}, // avg 3 B/block
+		},
+		Bytes: 1200,
+	}
+	// Σw = 2 + 1 = 3: heavy's share is 400, light's 200.
+	floors := p.Plan(st)
+	// heavy drops ceil((900-400)/9) = 56 blocks, light ceil((300-200)/3) = 34.
+	if floors["heavy"] != 56 {
+		t.Fatalf("heavy floor = %d, want 56", floors["heavy"])
+	}
+	if floors["light"] != 34 {
+		t.Fatalf("light floor = %d, want 34", floors["light"])
+	}
+
+	// A channel already within its share keeps its whole window even while
+	// the store total is over budget.
+	st.Channels["light"] = ChannelState{Floor: 0, Height: 100, Bytes: 150}
+	floors = p.Plan(st)
+	if _, ok := floors["light"]; ok {
+		t.Fatalf("light trimmed despite being within its share: %v", floors)
+	}
+	if floors["heavy"] == 0 {
+		t.Fatal("heavy not trimmed")
+	}
+
+	// Unknown and non-positive weights mean 1.
+	if (Policy{Weights: map[string]float64{"neg": -3}}).Weight("neg") != 1 {
+		t.Fatal("non-positive weight not defaulted")
+	}
+	if (Policy{}).Weight("unlisted") != 1 {
+		t.Fatal("unlisted weight not defaulted")
+	}
+
+	// No per-channel accounting (Bytes == 0): uniform halving fallback.
+	legacy := State{
+		Channels: map[string]ChannelState{"ch": {Floor: 10, Height: 110}},
+		Bytes:    1200,
+	}
+	if floors := p.Plan(legacy); floors["ch"] != 60 {
+		t.Fatalf("fallback floor = %d, want 60", floors["ch"])
+	}
+
+	// The trim never drops the chain head: a grossly over-budget channel
+	// still retains one block.
+	tiny := State{
+		Channels: map[string]ChannelState{"ch": {Floor: 0, Height: 4, Bytes: 4000}},
+		Bytes:    4000,
+	}
+	if floors := p.Plan(tiny); floors["ch"] != 3 {
+		t.Fatalf("head not retained: floor = %d, want 3", floors["ch"])
+	}
+}
+
 // TestSegmentLivenessDead spells out the two-condition rule the summary
 // encodes: a segment is reclaimable only with zero live blocks AND its
 // whole span behind the decision floor.

@@ -268,6 +268,69 @@ func TestReadBlocksUsesOffsetIndexNotPrefixScan(t *testing.T) {
 	}
 }
 
+// TestBlockStoreCountsChannelBytes checks the per-channel byte accounting
+// feeding the weighted retention budget: the incremental counters on the
+// put path agree with the exact WAL record sizes, survive compaction, and
+// are recomputed identically at recovery.
+func TestBlockStoreCountsChannelBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainA, chainB := makeChain(t, 20), makeChain(t, 5)
+	for _, b := range chainA {
+		if err := s.Put("a", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range chainB {
+		if err := s.Put("b", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact := func(channel string) int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.wal.RecordSizeBytes(s.index[channel])
+	}
+	st := s.RetentionState()
+	for _, ch := range []string{"a", "b"} {
+		if got, want := st.Channels[ch].Bytes, exact(ch); got != want || got <= 0 {
+			t.Fatalf("channel %s bytes = %d, exact %d", ch, got, want)
+		}
+	}
+	if st.Channels["a"].Bytes <= st.Channels["b"].Bytes {
+		t.Fatalf("4x-longer channel not heavier: a=%d b=%d", st.Channels["a"].Bytes, st.Channels["b"].Bytes)
+	}
+
+	// Compaction shrinks the counter to the surviving records, exactly.
+	before := st.Channels["a"].Bytes
+	if _, err := s.CompactTo(map[string]uint64{"a": 15}); err != nil {
+		t.Fatal(err)
+	}
+	st = s.RetentionState()
+	if got, want := st.Channels["a"].Bytes, exact("a"); got != want || got >= before {
+		t.Fatalf("post-compaction bytes = %d, exact %d, before %d", got, want, before)
+	}
+	wantA, wantB := st.Channels["a"].Bytes, st.Channels["b"].Bytes
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery recomputes the same counters from the offset tables.
+	s2, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st = s2.RetentionState()
+	if st.Channels["a"].Bytes != wantA || st.Channels["b"].Bytes != wantB {
+		t.Fatalf("recovered bytes a=%d b=%d, want a=%d b=%d",
+			st.Channels["a"].Bytes, st.Channels["b"].Bytes, wantA, wantB)
+	}
+}
+
 func TestBlockStoreRebaseJumpsOverPrunedGap(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenBlockStore(WALConfig{Dir: dir, SegmentBytes: 512})

@@ -791,6 +791,38 @@ func (w *WAL) SegmentSpans() []SegmentSpan {
 	return out
 }
 
+// RecordSizeBytes sums the framed on-disk size of the given records
+// (sorted ascending), read off the per-segment offset tables — no disk
+// access. Records already pruned contribute zero (their bytes are gone).
+// Retention uses it to attribute the log's size to channels.
+func (w *WAL) RecordSizeBytes(idxs []uint64) int64 {
+	if len(idxs) == 0 {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total int64
+	pos := 0
+	for _, seg := range w.segments {
+		if pos >= len(idxs) {
+			break
+		}
+		for pos < len(idxs) && idxs[pos] < seg.first {
+			pos++ // pruned below the oldest retained segment
+		}
+		for pos < len(idxs) && idxs[pos] >= seg.first && idxs[pos] <= seg.last {
+			i := idxs[pos] - seg.first
+			end := seg.size
+			if int(i)+1 < len(seg.offsets) {
+				end = seg.offsets[i+1]
+			}
+			total += end - seg.offsets[i]
+			pos++
+		}
+	}
+	return total
+}
+
 // SizeBytes returns the committed on-disk size of the log (the sum of
 // all segment sizes). Retention policies use it as the bytes trigger.
 func (w *WAL) SizeBytes() int64 {
