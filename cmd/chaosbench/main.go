@@ -33,6 +33,7 @@ func main() {
 
 type report struct {
 	Scale   float64        `json:"scale"`
+	Env     bench.EnvInfo  `json:"env"`
 	Results []chaos.Result `json:"results"`
 }
 
@@ -62,7 +63,7 @@ func run() error {
 		}
 	}
 
-	rep := report{Scale: *scale}
+	rep := report{Scale: *scale, Env: bench.CaptureEnv()}
 	table := bench.NewTable("scenario", "pass", "p50 ms", "p99 ms", "envelopes", "blocks", "failed invariants")
 	failed := 0
 	for _, s := range scenarios {

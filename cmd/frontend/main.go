@@ -34,6 +34,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sharding"
 	"repro/internal/transport"
 )
@@ -68,6 +70,8 @@ func run() error {
 	window := flag.Int("max-inflight", core.DefaultMaxInflight, "per-client backpressure window (envelopes in flight)")
 	clientIdle := flag.Duration("client-idle-timeout", clientapi.DefaultIdleTimeout, "silence before the client API pings a connection (negative disables keepalive)")
 	clientPing := flag.Duration("client-ping-timeout", clientapi.DefaultPingTimeout, "post-ping grace before a silent client connection is dropped")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text or ?format=json) and /debug/pprof/; empty disables instrumentation entirely")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 
 	// Sharded router mode.
 	shardMap := flag.String("shard-map", "", "shard-map JSON file; enables router mode (-peers entries become <shard>.<id>=host:port)")
@@ -84,16 +88,48 @@ func run() error {
 	if *connect != "" {
 		return runClient(*connect, *channel, *seekFlag, *until)
 	}
-	apiOpts := clientapi.ServerOptions{IdleTimeout: *clientIdle, PingTimeout: *clientPing}
-	if *shardMap != "" {
-		return runShardedServer(*id, *serve, *shardMap, *peersFlag, *shardListen, *shardClientListen, *window, apiOpts)
+	if err := setupLogging(*logLevel); err != nil {
+		return err
 	}
-	return runServer(*id, *listen, *clientListen, *serve, *peersFlag, *channelsFlag, *window, apiOpts)
+	// Observability: one registry for the process, served over HTTP next to
+	// net/http/pprof. A nil registry (flag unset) leaves every instrument
+	// nil, which is the near-free disabled path.
+	var registry *obs.Registry
+	if *metricsAddr != "" {
+		registry = obs.NewRegistry()
+		ln, err := obs.Serve(*metricsAddr, registry)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics and pprof on http://%s/metrics\n", ln.Addr())
+	}
+	apiOpts := clientapi.ServerOptions{
+		IdleTimeout: *clientIdle,
+		PingTimeout: *clientPing,
+		Metrics:     obs.NewClientAPIMetrics(registry, "frontend", *id),
+	}
+	if *shardMap != "" {
+		return runShardedServer(*id, *serve, *shardMap, *peersFlag, *shardListen, *shardClientListen, *window, apiOpts, registry)
+	}
+	return runServer(*id, *listen, *clientListen, *serve, *peersFlag, *channelsFlag, *window, apiOpts, registry)
+}
+
+// setupLogging installs a leveled text handler on stderr as the process
+// default; the ordering stack logs through log/slog with node/shard/
+// channel attributes.
+func setupLogging(level string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	return nil
 }
 
 // ---- server mode -------------------------------------------------------
 
-func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, window int, apiOpts clientapi.ServerOptions) error {
+func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, window int, apiOpts clientapi.ServerOptions, registry *obs.Registry) error {
 	peers, err := parseBook(peersFlag)
 	if err != nil {
 		return fmt.Errorf("bad -peers: %w", err)
@@ -144,6 +180,7 @@ func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, 
 		// bounded wait turns a stalled cluster into SERVICE_UNAVAILABLE
 		// acks instead of wedging client connections indefinitely.
 		BroadcastTimeout: 10 * time.Second,
+		Metrics:          obs.NewFrontendMetrics(registry, "frontend", id),
 	}, conn, clientConn)
 	if err != nil {
 		return err
@@ -182,7 +219,7 @@ func runServer(id, listen, clientListen, serve, peersFlag, channelsFlag string, 
 // runShardedServer attaches one frontend per shard of the map and serves
 // the client API through a channel→shard router, so wire clients see one
 // ordering service regardless of how many consensus groups back it.
-func runShardedServer(id, serve, mapPath, peersFlag, listenFlag, clientListenFlag string, window int, apiOpts clientapi.ServerOptions) error {
+func runShardedServer(id, serve, mapPath, peersFlag, listenFlag, clientListenFlag string, window int, apiOpts clientapi.ServerOptions, registry *obs.Registry) error {
 	m, err := sharding.LoadMapFile(mapPath)
 	if err != nil {
 		return err
@@ -266,6 +303,8 @@ func runShardedServer(id, serve, mapPath, peersFlag, listenFlag, clientListenFla
 			Replicas:         sp.replicas,
 			MaxInflight:      window,
 			BroadcastTimeout: 10 * time.Second,
+			Metrics: obs.NewFrontendMetrics(registry,
+				"frontend", id, "shard", strconv.Itoa(int(shard))),
 		}, conn, clientConn)
 		if err != nil {
 			return fmt.Errorf("shard %d frontend: %w", shard, err)
@@ -276,6 +315,9 @@ func runShardedServer(id, serve, mapPath, peersFlag, listenFlag, clientListenFla
 	router, err := sharding.NewRouter(m, backends)
 	if err != nil {
 		return err
+	}
+	if registry != nil {
+		router.InstrumentCross(obs.NewCrossShardMetrics(registry, "router", id))
 	}
 
 	ln, err := net.Listen("tcp", serve)

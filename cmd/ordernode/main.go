@@ -22,6 +22,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 	"repro/internal/sharding"
 	"repro/internal/transport"
 )
@@ -62,11 +64,16 @@ func run() error {
 	shardMap := flag.String("shard-map", "", "optional shard-map JSON file; validated, and -shard must be in its shard set")
 	commitDelay := flag.Duration("commit-max-delay", 0, "fsync coalescing window of the commit queue (0 = commit greedily); longer waves trade commit latency for fewer fsyncs — each wave is exactly one fsync")
 	commitBatch := flag.Int("commit-max-batch", 0, "max records merged into a single fsync wave (0 = default 1024)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text or ?format=json) and /debug/pprof/; empty disables instrumentation entirely")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
 	if *genkey {
 		return generateKey()
+	}
+	if err := setupLogging(*logLevel); err != nil {
+		return err
 	}
 	if *shard < 0 {
 		return fmt.Errorf("-shard must be >= 0")
@@ -116,6 +123,21 @@ func run() error {
 		book[transport.Addr(name)] = hostport
 	}
 
+	// Observability: one registry for the process, served over HTTP next
+	// to net/http/pprof. A nil registry (flag unset) leaves every
+	// instrument nil, which is the near-free disabled path.
+	var registry *obs.Registry
+	if *metricsAddr != "" {
+		registry = obs.NewRegistry()
+		ln, err := obs.Serve(*metricsAddr, registry)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics and pprof on http://%s/metrics\n", ln.Addr())
+	}
+	labels := []string{"shard", strconv.Itoa(*shard), "node", strconv.Itoa(*id)}
+
 	key, err := cryptoutil.GenerateKeyPair()
 	if err != nil {
 		return err
@@ -150,6 +172,8 @@ func run() error {
 		RetainWeights:   weights,
 		CommitMaxDelay:  *commitDelay,
 		CommitMaxBatch:  *commitBatch,
+		Metrics:         obs.NewNodeMetrics(registry, labels...),
+		StorageMetrics:  obs.NewStorageMetrics(registry, labels...),
 	}, conn)
 	if err != nil {
 		return err
@@ -178,6 +202,18 @@ func run() error {
 		break
 	}
 	fmt.Println("shutting down")
+	return nil
+}
+
+// setupLogging installs a leveled text handler on stderr as the process
+// default; the ordering stack logs through log/slog with node/shard/
+// channel attributes.
+func setupLogging(level string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 	return nil
 }
 

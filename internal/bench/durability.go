@@ -149,6 +149,8 @@ type DurabilityReport struct {
 	// (e.g. SigningWorkers as the nodes actually ran it, not the zero the
 	// caller passed) so the cell is reproducible from the JSON alone.
 	Cell Fig7Cell
+	// Env records the machine/runtime the numbers were produced under.
+	Env EnvInfo
 	// Memory and Durable are the two measured rows.
 	Memory, Durable Fig7Row
 	// DurableFraction is Durable.TxPerSec / Memory.TxPerSec.
@@ -165,7 +167,7 @@ type DurabilityReport struct {
 // zero EgressBytesPerSec, ...), and recording the unresolved input made
 // the JSON unreproducible once a default changed.
 func NewDurabilityReport(cell Fig7Cell, memory, durable Fig7Row) DurabilityReport {
-	rep := DurabilityReport{Cell: cell.withDefaults(), Memory: memory, Durable: durable}
+	rep := DurabilityReport{Cell: cell.withDefaults(), Env: CaptureEnv(), Memory: memory, Durable: durable}
 	if memory.TxPerSec > 0 {
 		rep.DurableFraction = durable.TxPerSec / memory.TxPerSec
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wan"
 )
@@ -106,6 +107,11 @@ type Fig7Cell struct {
 	// CommitMaxDelay is each node's fsync coalescing window (see
 	// core.ClusterConfig); zero commits greedily.
 	CommitMaxDelay time.Duration
+	// Metrics, when set, instruments the whole run — nodes, storage, and
+	// frontends share this registry, so the per-stage latency histograms
+	// (decide/fsync/disseminate/deliver/total) can be read back after the
+	// run. Nil runs uninstrumented (the throughput-measurement default).
+	Metrics *obs.Registry `json:"-"`
 }
 
 func (c Fig7Cell) withDefaults() Fig7Cell {
@@ -161,6 +167,7 @@ func RunFigure7Cell(cell Fig7Cell) (Fig7Row, error) {
 		Network:            network,
 		DataDir:            cell.DataDir,
 		CommitMaxDelay:     cell.CommitMaxDelay,
+		Metrics:            cell.Metrics,
 	})
 	if err != nil {
 		return Fig7Row{}, err

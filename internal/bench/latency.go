@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// stageFamilies are the hot-path stage histograms of the observability
+// layer, in pipeline order. Each family merges every labeled point (all
+// nodes of the cluster, or all frontends), so the report reads as "the
+// cluster's stage distribution", not one node's.
+var stageFamilies = []struct{ Stage, Family string }{
+	{"decide", "repro_stage_decide_seconds"},           // broadcast received -> consensus decided
+	{"fsync", "repro_stage_fsync_seconds"},             // decided -> decision fsynced (durability gate)
+	{"disseminate", "repro_stage_disseminate_seconds"}, // fsynced -> block disseminated
+	{"deliver", "repro_stage_deliver_seconds"},         // disseminated -> frontend released
+	{"total", "repro_stage_total_seconds"},             // broadcast received -> frontend released
+}
+
+// StageLatency is one stage's measured distribution. Quantiles are
+// bucket-interpolated (the histograms are fixed-bucket), so they are
+// estimates with bucket-width resolution — good for trajectory tracking,
+// not for microsecond-exact claims.
+type StageLatency struct {
+	// Stage names the pipeline segment.
+	Stage string
+	// Samples is how many spans the stage observed.
+	Samples uint64
+	// P50Ms, P95Ms, P99Ms are interpolated quantiles in milliseconds.
+	P50Ms, P95Ms, P99Ms float64
+}
+
+// LatencyReport is the serialized per-stage latency breakdown, written to
+// BENCH_latency.json at the repo root so each stage's trajectory is
+// tracked across PRs (a regression in, say, the group-commit path shows
+// up in the fsync stage without moving the others).
+type LatencyReport struct {
+	// Cell is the measured configuration in resolved form.
+	Cell Fig7Cell
+	// Env records the machine/runtime the numbers were produced under.
+	Env EnvInfo
+	// Stages is the pipeline breakdown, in order.
+	Stages []StageLatency
+}
+
+// NewLatencyReport reads the stage histograms out of a registry the cell
+// ran with. Stages that observed nothing are reported with zero samples
+// rather than dropped, keeping the JSON schema stable.
+func NewLatencyReport(cell Fig7Cell, reg *obs.Registry) LatencyReport {
+	rep := LatencyReport{Cell: cell.withDefaults(), Env: CaptureEnv()}
+	for _, sf := range stageFamilies {
+		fam := reg.Family(sf.Family)
+		s := StageLatency{Stage: sf.Stage, Samples: fam.Count()}
+		if s.Samples > 0 {
+			s.P50Ms = fam.Quantile(0.50) * 1000
+			s.P95Ms = fam.Quantile(0.95) * 1000
+			s.P99Ms = fam.Quantile(0.99) * 1000
+		}
+		rep.Stages = append(rep.Stages, s)
+	}
+	return rep
+}
+
+// RunLatencyCell runs one instrumented Figure-7 cell and returns the
+// stage breakdown alongside the throughput row. The registry is created
+// here (overriding any the caller put in the cell) so the report only
+// ever reads a single run's histograms.
+func RunLatencyCell(cell Fig7Cell) (LatencyReport, Fig7Row, error) {
+	reg := obs.NewRegistry()
+	cell.Metrics = reg
+	row, err := RunFigure7Cell(cell)
+	if err != nil {
+		return LatencyReport{}, row, err
+	}
+	rep := NewLatencyReport(cell, reg)
+	return rep, row, nil
+}
+
+// WriteLatencyReport writes the report as indented JSON.
+func WriteLatencyReport(path string, rep LatencyReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal latency report: %w", err)
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -310,6 +310,8 @@ type ShardingReport struct {
 	// Cell is the measured configuration with every default resolved, so
 	// the cell is reproducible from the JSON alone.
 	Cell ShardBenchCell
+	// Env records the machine/runtime the numbers were produced under.
+	Env EnvInfo
 	// Single and Sharded are the two measured rows (1 group vs 2 groups,
 	// identical load).
 	Single, Sharded ShardBenchRow
@@ -319,7 +321,7 @@ type ShardingReport struct {
 
 // NewShardingReport assembles a report from one comparison.
 func NewShardingReport(cell ShardBenchCell, single, sharded ShardBenchRow) ShardingReport {
-	rep := ShardingReport{Cell: cell.withDefaults(), Single: single, Sharded: sharded}
+	rep := ShardingReport{Cell: cell.withDefaults(), Env: CaptureEnv(), Single: single, Sharded: sharded}
 	if single.TxPerSec > 0 {
 		rep.Scaling = sharded.TxPerSec / single.TxPerSec
 	}

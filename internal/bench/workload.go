@@ -3,6 +3,7 @@ package bench
 import (
 	"math/rand"
 	"strconv"
+	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/wire"
@@ -52,10 +53,14 @@ func (g *EnvelopeGen) Next() ([]byte, uint64) {
 	w := wire.NewWriter(16)
 	w.PutUint64(seq)
 	copy(payload, w.Bytes())
+	// A real submission timestamp (not the sequence number: that lives in
+	// the payload marker) anchors the observability layer's end-to-end
+	// stage histogram; EnvelopeSeq reads the payload, so nothing else
+	// depends on this field.
 	env := &fabric.Envelope{
 		ChannelID:         g.channel,
 		ClientID:          g.client,
-		TimestampUnixNano: int64(seq),
+		TimestampUnixNano: time.Now().UnixNano(),
 		Payload:           payload,
 	}
 	return env.Marshal(), seq

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sharding"
 	"repro/internal/transport"
 )
@@ -137,6 +138,11 @@ type Env struct {
 	Router        *sharding.Router
 	LoadRouter    *sharding.Router
 	ShardChannels map[sharding.ShardID]string
+
+	// Metrics is the registry every node/frontend of the run reports into
+	// (the runner always instruments chaos clusters so MetricsSane can
+	// cross-check gauges against ground truth).
+	Metrics *obs.Registry
 
 	done chan struct{}
 	wg   sync.WaitGroup

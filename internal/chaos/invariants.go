@@ -1,10 +1,14 @@
 package chaos
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 )
 
 // DeliverContinuity subscribes from genesis on the observer frontend and
@@ -194,6 +198,94 @@ func DurableFloor(floorFrac float64) Invariant {
 			}
 		},
 	}
+}
+
+// MetricsSane cross-checks the observability layer against ground truth
+// after quiesce: every live node's persist-watermark gauge must converge
+// to its PersistWatermark (the gauge is written on the same paths that
+// advance the watermark, so divergence means an instrumentation path was
+// dropped — exactly the drift crash-restart scenarios provoke), and no
+// gathered series may carry NaN, a negative histogram sum, or bucket
+// counts that disagree with the observation count.
+func MetricsSane() Invariant {
+	const name = "metrics-sane"
+	return Invariant{
+		Name:  name,
+		Start: func(e *Env) error { return nil },
+		Stop: func(e *Env) {
+			reg := e.Metrics
+			if reg == nil {
+				e.Violate(name, "scenario ran without a metrics registry")
+				return
+			}
+			// Watermark gauge vs PersistWatermark: backfill may still be
+			// advancing both, so poll for convergence like DurableFloor.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				mismatch := ""
+				fam := reg.Family("repro_node_persist_watermark")
+				for i := 0; i < e.Scenario.Nodes; i++ {
+					n, _ := e.Node(i)
+					if n == nil {
+						continue // killed: its gauge holds the last incarnation's value
+					}
+					want := n.PersistWatermark(e.Channel)
+					got, ok := gaugeFor(fam, i, e.Channel)
+					if !ok {
+						mismatch = fmt.Sprintf("node %d has no persist-watermark series for channel %q", i, e.Channel)
+						break
+					}
+					if uint64(got) != want {
+						mismatch = fmt.Sprintf("node %d watermark gauge %.0f != PersistWatermark %d", i, got, want)
+						break
+					}
+				}
+				if mismatch == "" {
+					break
+				}
+				if time.Now().After(deadline) {
+					e.Violate(name, "%s", mismatch)
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			// No series may have gone insane, whatever the faults did.
+			for _, f := range reg.Gather() {
+				for _, p := range f.Points {
+					if math.IsNaN(p.Value) {
+						e.Violate(name, "series %s{%s} is NaN", f.Name, p.Labels)
+						continue
+					}
+					if f.Type != obs.TypeHistogram {
+						continue
+					}
+					if p.Value < 0 {
+						e.Violate(name, "histogram %s{%s} has negative sum %g", f.Name, p.Labels, p.Value)
+					}
+					var buckets uint64
+					for _, c := range p.Counts {
+						buckets += c
+					}
+					if buckets != p.Count {
+						e.Violate(name, "histogram %s{%s} bucket counts sum to %d, observation count %d",
+							f.Name, p.Labels, buckets, p.Count)
+					}
+				}
+			}
+		},
+	}
+}
+
+// gaugeFor finds the gauge value for a node/channel point of a family.
+func gaugeFor(fam obs.Family, node int, channel string) (float64, bool) {
+	nodeLabel := fmt.Sprintf("node=%q", fmt.Sprint(node))
+	chanLabel := fmt.Sprintf("channel=%q", channel)
+	for _, p := range fam.Points {
+		if strings.Contains(p.Labels, nodeLabel) && strings.Contains(p.Labels, chanLabel) {
+			return p.Value, true
+		}
+	}
+	return 0, false
 }
 
 // LeaderChangeObserved requires that the synchronization phase actually ran:

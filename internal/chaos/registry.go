@@ -28,7 +28,7 @@ func Scenarios() []Scenario {
 		{
 			Name:        "baseline",
 			Description: "no faults: the harness itself must hold every invariant",
-			Invariants:  standardInvariants(1.0),
+			Invariants:  append(standardInvariants(1.0), MetricsSane()),
 		},
 		{
 			Name:        "wan-geo",
@@ -51,7 +51,7 @@ func Scenarios() []Scenario {
 			RequestTimeout:     800 * time.Millisecond,
 			Duration:           6 * time.Second,
 			Faults:             []Fault{CrashRestartFault(0, 0.33, 0.66)},
-			Invariants:         append(standardInvariants(1.0), LeaderChangeObserved()),
+			Invariants:         append(standardInvariants(1.0), LeaderChangeObserved(), MetricsSane()),
 		},
 		{
 			Name:           "byzantine-equivocate",

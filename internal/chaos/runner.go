@@ -11,6 +11,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -84,6 +85,7 @@ func Run(s Scenario, opts Options) (Result, error) {
 
 	network := transport.NewInProcNetwork(transport.InProcConfig{})
 	defer network.Close()
+	registry := obs.NewRegistry()
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		Nodes:              s.Nodes,
 		BlockSize:          s.BlockSize,
@@ -92,6 +94,7 @@ func Run(s Scenario, opts Options) (Result, error) {
 		CheckpointInterval: s.CheckpointInterval,
 		Network:            network,
 		DataDir:            dataDir,
+		Metrics:            registry,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("chaos %s: %w", s.Name, err)
@@ -117,6 +120,7 @@ func Run(s Scenario, opts Options) (Result, error) {
 		LoadFE:     loadFE,
 		Channel:    "chaos",
 		F:          consensus.MaxFaults(s.Nodes),
+		Metrics:    registry,
 		done:       make(chan struct{}),
 		epochs:     make([]int, s.Nodes),
 		violations: make(map[string][]string),

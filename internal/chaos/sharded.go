@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sharding"
 	"repro/internal/transport"
 )
@@ -53,6 +54,7 @@ func runSharded(s Scenario, opts Options) (Result, error) {
 	}
 	network := transport.NewInProcNetwork(transport.InProcConfig{})
 	defer network.Close()
+	registry := obs.NewRegistry()
 	svc, err := sharding.NewService(sharding.ServiceConfig{
 		Map:                m,
 		NodesPerShard:      s.Nodes,
@@ -62,6 +64,7 @@ func runSharded(s Scenario, opts Options) (Result, error) {
 		CheckpointInterval: s.CheckpointInterval,
 		Network:            network,
 		DataDir:            dataDir,
+		Metrics:            registry,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("chaos %s: %w", s.Name, err)
@@ -88,6 +91,7 @@ func runSharded(s Scenario, opts Options) (Result, error) {
 		LoadRouter:    loadRouter,
 		ShardChannels: shardChannels,
 		Channel:       ShardChannel(0),
+		Metrics:       registry,
 		done:          make(chan struct{}),
 		epochs:        make([]int, s.Nodes),
 		violations:    make(map[string][]string),

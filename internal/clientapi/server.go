@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 )
 
 // Server exposes an orderer's AtomicBroadcast surface over the
@@ -56,6 +57,9 @@ type ServerOptions struct {
 	// PingTimeout is the post-ping grace period. Zero selects
 	// DefaultPingTimeout.
 	PingTimeout time.Duration
+	// Metrics, when set, counts connections, broadcasts, and open Deliver
+	// streams. Nil disables.
+	Metrics *obs.ClientAPIMetrics
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -65,6 +69,7 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.PingTimeout <= 0 {
 		o.PingTimeout = DefaultPingTimeout
 	}
+	o.Metrics = o.Metrics.OrNop()
 	return o
 }
 
@@ -157,6 +162,9 @@ type serverConn struct {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	s.opts.Metrics.ConnectionsTotal.Inc()
+	s.opts.Metrics.Connections.Add(1)
+	defer s.opts.Metrics.Connections.Add(-1)
 	sc := &serverConn{srv: s, conn: conn, streams: make(map[uint64]*fabric.BlockStream)}
 	sc.readLoop()
 	// Tear down: cancel every stream the client left open, wait for their
@@ -306,6 +314,7 @@ func (sc *serverConn) onBroadcast(f frame) {
 		status = fabric.StatusBadRequest
 		detail = err.Error()
 	} else {
+		sc.srv.opts.Metrics.Broadcasts.Inc()
 		status = sc.srv.orderer.Broadcast(env)
 		if status != fabric.StatusSuccess {
 			detail = status.Err().Error()
@@ -332,6 +341,7 @@ func (sc *serverConn) onDeliver(f frame) {
 	sc.streams[f.id] = stream
 	sc.wg.Add(1)
 	sc.mu.Unlock()
+	sc.srv.opts.Metrics.DeliverStreams.Add(1)
 
 	go func() {
 		defer sc.wg.Done()
@@ -357,6 +367,7 @@ func (sc *serverConn) onDeliver(f frame) {
 		sc.mu.Lock()
 		delete(sc.streams, f.id)
 		sc.mu.Unlock()
+		sc.srv.opts.Metrics.DeliverStreams.Add(-1)
 	}()
 }
 

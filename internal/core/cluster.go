@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -93,6 +94,11 @@ type ClusterConfig struct {
 	// scenarios that stall a single node's fsync waves while the rest of
 	// the cluster runs free.
 	CommitSyncHookFor func(node int) func()
+	// Metrics, when set, instruments every node (consensus, storage, and
+	// hot-path stage histograms) into one shared registry, with
+	// shard/node labels. Restarted nodes re-attach to their existing
+	// series. Nil disables instrumentation entirely (the near-free path).
+	Metrics *obs.Registry
 }
 
 // Cluster is a running in-process ordering service.
@@ -201,11 +207,26 @@ func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 		CommitMaxBatch:  c.cfg.CommitMaxBatch,
 		CommitSyncHook:  c.nodeSyncHook(i),
 		ShardID:         c.cfg.ShardID,
+		Metrics:         c.nodeMetrics(i),
+		StorageMetrics:  c.storageMetrics(i),
 	}, conn)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
 	}
 	return node, nil
+}
+
+// nodeMetrics builds node i's instrument bundle out of the shared
+// registry, labeled by shard and node. Re-registration is idempotent, so
+// a restarted node re-attaches to the incarnation-spanning series.
+func (c *Cluster) nodeMetrics(i int) *obs.NodeMetrics {
+	return obs.NewNodeMetrics(c.cfg.Metrics,
+		"shard", strconv.Itoa(c.cfg.ShardID), "node", strconv.Itoa(i))
+}
+
+func (c *Cluster) storageMetrics(i int) *obs.StorageMetrics {
+	return obs.NewStorageMetrics(c.cfg.Metrics,
+		"shard", strconv.Itoa(c.cfg.ShardID), "node", strconv.Itoa(i))
 }
 
 // nodeSyncHook resolves node i's commit sync hook: the per-node factory
@@ -282,6 +303,8 @@ func (c *Cluster) NewFrontend(id string, verify bool) (*Frontend, error) {
 		F:                c.cfg.F,
 		VerifySignatures: verify,
 		Registry:         c.Registry,
+		Metrics: obs.NewFrontendMetrics(c.cfg.Metrics,
+			"shard", strconv.Itoa(c.cfg.ShardID), "frontend", id),
 	}, c.Network)
 }
 

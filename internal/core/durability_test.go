@@ -488,7 +488,7 @@ func TestBlockDisseminatedBeforeBlockRecordDurable(t *testing.T) {
 			if m.Type != MsgBlock {
 				continue
 			}
-			if _, b, err := unmarshalBlockMsg(m.Payload); err == nil {
+			if _, b, _, err := unmarshalBlockMsg(m.Payload); err == nil {
 				fromNode0 <- b
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -59,6 +60,10 @@ type FrontendConfig struct {
 	// Deliver seeks; older blocks are refetched from the ordering nodes'
 	// durable ledgers on demand. Zero selects DefaultHistoryLimit.
 	HistoryLimit int
+	// Metrics, when set, receives frontend instrumentation: released
+	// blocks/envelopes, the disseminate→deliver and end-to-end stage
+	// latencies, and backpressure-window occupancy. Nil disables.
+	Metrics *obs.FrontendMetrics
 }
 
 // FrontendStats exposes frontend progress counters.
@@ -82,6 +87,7 @@ type Frontend struct {
 	fetcher  *blockFetcher
 	peers    []transport.Addr
 	channels map[string]struct{} // non-nil when cfg.Channels restricts
+	metrics  *obs.FrontendMetrics // never nil: normalized at construction
 
 	mu     sync.Mutex
 	chans  map[string]*feChannel
@@ -203,12 +209,19 @@ func newFrontendWithConns(cfg FrontendConfig, conn, clientConn transport.Conn) (
 		client:   client,
 		released: threshold,
 		fetcher:  newBlockFetcher(conn),
+		metrics:  cfg.Metrics.OrNop(),
 		chans:    make(map[string]*feChannel),
 		subs:     make(map[string][]*feSub),
 		done:     make(chan struct{}),
 	}
 	if cfg.MaxInflight > 0 {
 		f.inflight = newInflightWindow(cfg.MaxInflight)
+		if cfg.Metrics != nil {
+			w := f.inflight
+			cfg.Metrics.GaugeFunc("repro_frontend_inflight_window",
+				"Occupied slots of the per-client backpressure window.",
+				func() float64 { return float64(len(w.sem)) })
+		}
 	}
 	if len(cfg.Channels) > 0 {
 		f.channels = make(map[string]struct{}, len(cfg.Channels))
@@ -415,11 +428,11 @@ func (f *Frontend) receiveLoop() {
 			}
 			switch m.Type {
 			case MsgBlock:
-				channel, block, err := unmarshalBlockMsg(m.Payload)
+				channel, block, sentNano, err := unmarshalBlockMsg(m.Payload)
 				if err != nil {
 					continue
 				}
-				f.onBlockCopy(string(m.From), channel, block)
+				f.onBlockCopy(string(m.From), channel, block, sentNano)
 			case MsgFetchResponse:
 				f.fetcher.HandleResponse(m.From, m.Payload)
 			}
@@ -439,7 +452,7 @@ func (f *Frontend) fromOrderingNode(addr transport.Addr) bool {
 // onBlockCopy processes one node's copy of a block: copies vote by header
 // hash, signatures accumulate, and the block is released once the
 // threshold is met (2f+1 matching, or f+1 verified).
-func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
+func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block, sentNano int64) {
 	if block.CheckIntegrity() != nil {
 		return // data hash does not match content: discard this copy
 	}
@@ -560,9 +573,26 @@ func (f *Frontend) onBlockCopy(sender, channel string, block *fabric.Block) {
 			f.inflight.release(cryptoutil.Hash(raw))
 		}
 	}
+	// Stage trace: the copy that completed the release quorum carries the
+	// sender's dissemination timestamp; the first envelope of each released
+	// block carries the client submission timestamp (end-to-end anchor).
+	if f.metrics.StageDeliver != nil && len(deliveries) > 0 {
+		now := time.Now()
+		observeStamp(f.metrics.StageDeliver, sentNano, now)
+		for _, b := range deliveries {
+			if len(b.Envelopes) == 0 {
+				continue
+			}
+			if ts, err := fabric.PeekTimestamp(b.Envelopes[0]); err == nil {
+				observeStamp(f.metrics.StageTotal, ts, now)
+			}
+		}
+	}
 	for _, b := range deliveries {
 		f.statBlocks.Add(1)
 		f.statEnvs.Add(uint64(len(b.Envelopes)))
+		f.metrics.Blocks.Inc()
+		f.metrics.Envelopes.Add(uint64(len(b.Envelopes)))
 		if accounting {
 			for _, raw := range b.Envelopes {
 				f.inflight.release(cryptoutil.Hash(raw))

@@ -18,7 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"os"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +29,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/storage/retention"
 	"repro/internal/transport"
@@ -128,6 +129,14 @@ type NodeConfig struct {
 	// per-shard storage layout decisions made by the owner; the node
 	// itself orders whatever envelopes its group's consensus decides.
 	ShardID int
+	// Metrics, when set, instruments the node's hot path: the per-stage
+	// latency trace (broadcast→decided→fsynced→disseminated), sealed
+	// blocks, persist watermarks, and scrape-time consensus stats. Nil
+	// disables all of it at the cost of a nil check per site.
+	Metrics *obs.NodeMetrics
+	// StorageMetrics instruments storage opened via DataDir (ignored when
+	// Storage is supplied ready-made).
+	StorageMetrics *obs.StorageMetrics
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -273,6 +282,11 @@ type OrderingNode struct {
 	statSigned    atomic.Uint64
 	statRollbacks atomic.Uint64
 
+	// metrics is never nil (normalized to a nop bundle in NewNode); its
+	// instruments are nil when metrics are disabled, so every hot-path
+	// site costs one nil check.
+	metrics *obs.NodeMetrics
+
 	done    chan struct{}
 	wg      sync.WaitGroup
 	started atomic.Bool
@@ -303,6 +317,7 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 			CommitMaxDelay: cfg.CommitMaxDelay,
 			CommitMaxBatch: cfg.CommitMaxBatch,
 			SyncHook:       cfg.CommitSyncHook,
+			Metrics:        cfg.StorageMetrics,
 		})
 		if err != nil {
 			if signer != nil {
@@ -328,6 +343,7 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		backfilling:    make(map[string]bool),
 		forged:         make(map[string][]*fabric.Block),
 		done:           make(chan struct{}),
+		metrics:        cfg.Metrics.OrNop(),
 	}
 	n.byz.Store(&Byzantine{})
 	// TTC markers are consensus requests under this node's "ttc:" client
@@ -360,6 +376,7 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 			// Everything recovered from disk is durable by definition; the
 			// persist watermark starts there.
 			n.durableHeights[channel] = info.Height
+			n.metrics.Watermark(channel).Set(int64(info.Height))
 		}
 		opts = append(opts,
 			consensus.WithDurability(asyncDurability{n.storage}, &consensus.DurableState{
@@ -391,7 +408,42 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		}
 	}
 	n.replica = replica
+	n.registerGaugeFuncs()
 	return n, nil
+}
+
+// registerGaugeFuncs hangs scrape-time gauges off the node's metric
+// labels: consensus progress (read from the replica's atomic Stats) and
+// the minimum persist watermark across channels. Registered after the
+// replica exists; a restarted node's registration replaces the dead
+// incarnation's closures. No-op when metrics are disabled.
+func (n *OrderingNode) registerGaugeFuncs() {
+	m := n.metrics
+	m.GaugeFunc("repro_consensus_regency", "Current consensus regency (leader era).",
+		func() float64 { return float64(n.replica.Stats().Regency) })
+	m.GaugeFunc("repro_consensus_leader_changes", "Leader changes (synchronization phases) observed.",
+		func() float64 { return float64(n.replica.Stats().LeaderChanges) })
+	m.GaugeFunc("repro_consensus_decided", "Consensus instances decided.",
+		func() float64 { return float64(n.replica.Stats().Decided) })
+	m.GaugeFunc("repro_consensus_delivered_ops", "Operations delivered by consensus.",
+		func() float64 { return float64(n.replica.Stats().DeliveredOps) })
+	m.GaugeFunc("repro_consensus_dropped_requests", "Client requests dropped by backpressure.",
+		func() float64 { return float64(n.replica.Stats().DroppedReqs) })
+	m.GaugeFunc("repro_node_envelopes_ordered", "Envelopes ordered into blocks.",
+		func() float64 { return float64(n.statEnvelopes.Load()) })
+	m.GaugeFunc("repro_node_persist_watermark_min",
+		"Minimum persist watermark across channels (-1 before any channel exists).",
+		func() float64 {
+			n.sendMu.Lock()
+			defer n.sendMu.Unlock()
+			min := -1.0
+			for _, h := range n.durableHeights {
+				if min < 0 || float64(h) < min {
+					min = float64(h)
+				}
+			}
+			return min
+		})
 }
 
 // advanceLedgerFloors raises the in-memory ledgers' retention floors
@@ -403,8 +455,9 @@ func (n *OrderingNode) advanceLedgerFloors(floors map[string]uint64) {
 			continue
 		}
 		if err := led.AdvanceFloor(floor); err != nil {
-			fmt.Fprintf(os.Stderr, "ordering node %d: advancing %q floor to %d: %v\n",
-				n.ID(), channel, floor, err)
+			slog.Warn("advancing retention floor failed",
+				"node", int(n.ID()), "shard", n.cfg.ShardID,
+				"channel", channel, "floor", floor, "err", err)
 		}
 	}
 }
@@ -641,6 +694,20 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 	chain.nextNumber++
 	chain.prevHash = block.Header.Hash()
 	n.statBlocks.Add(1)
+	n.metrics.BlocksSealed.Inc()
+
+	// Stage stamp: the decision instant, plus the first envelope's client
+	// submission time (the broadcast-received anchor of the latency
+	// trace). Only taken when metrics are on; implausible timestamps
+	// (tests stuff sequence numbers into the field) are filtered at
+	// observation time.
+	var trace blockTrace
+	if n.metrics.StageDecide != nil {
+		trace.decided = time.Now()
+		if ts, err := fabric.PeekTimestamp(batch[0]); err == nil {
+			observeStamp(n.metrics.StageDecide, ts, trace.decided)
+		}
+	}
 
 	if n.recovering {
 		// Replaying the decision log: frontends saw the block before the
@@ -670,7 +737,7 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 	signerID := string(n.ID().Addr())
 	if n.cfg.DisableSigning {
 		n.statSigned.Add(1)
-		n.completeSend(channel, epoch, block, gate)
+		n.completeSend(channel, epoch, block, gate, trace)
 		return
 	}
 	err := n.signer.Sign(headerHash, func(sig []byte, err error) {
@@ -679,11 +746,29 @@ func (n *OrderingNode) sealBlock(channel string, chain *chainState, batch [][]by
 		}
 		block.Signatures = []fabric.BlockSignature{{SignerID: signerID, Signature: sig}}
 		n.statSigned.Add(1)
-		n.completeSend(channel, epoch, block, gate)
+		n.completeSend(channel, epoch, block, gate, trace)
 	})
 	if err != nil {
 		return // pool closed during shutdown
 	}
+}
+
+// blockTrace carries one block's stage stamps through the send drain.
+// Zero when metrics are disabled.
+type blockTrace struct {
+	decided time.Time // when the block was sealed on the event loop
+}
+
+// observeStamp records now-minus-stamp into h, dropping stamps that are
+// clearly not wall-clock times (several tests use the envelope timestamp
+// field as a sequence counter): negative spans and spans over an hour are
+// discarded rather than poisoning the percentiles.
+func observeStamp(h *obs.Histogram, unixNano int64, now time.Time) {
+	d := now.Sub(time.Unix(0, unixNano))
+	if d < 0 || d > time.Hour {
+		return
+	}
+	h.ObserveDuration(d)
 }
 
 // blockSender sequences one channel's persist + dissemination. Signing
@@ -713,6 +798,7 @@ type blockSender struct {
 type pendingBlock struct {
 	block *fabric.Block
 	gate  *storage.Token
+	trace blockTrace
 }
 
 // reserveSend anchors the channel's send cursor at the first block sealed
@@ -754,14 +840,14 @@ func (n *OrderingNode) reserveSend(channel string, number uint64) uint64 {
 // the decision durable — the one this drain just waited out — is a
 // single fsync, and the block records ride whichever single-fsync wave
 // comes next.
-func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.Block, gate *storage.Token) {
+func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.Block, gate *storage.Token, trace blockTrace) {
 	n.sendMu.Lock()
 	s, ok := n.senders[channel]
 	if !ok || s.epoch != epoch {
 		n.sendMu.Unlock()
 		return // the chain was rolled back or replaced since sealing
 	}
-	s.pending[block.Header.Number] = pendingBlock{block: block, gate: gate}
+	s.pending[block.Header.Number] = pendingBlock{block: block, gate: gate, trace: trace}
 	if s.draining {
 		n.sendMu.Unlock()
 		return // the draining worker picks this block up
@@ -795,8 +881,19 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 				// poisoned; match the synchronous path's behavior
 				// (durability lost, progress continues) loudly.
 				if err := pb.gate.Wait(); err != nil {
-					fmt.Fprintf(os.Stderr, "ordering node %d: decision for %q block %d never became durable: %v\n",
-						n.ID(), channel, b.Header.Number, err)
+					slog.Error("decision never became durable",
+						"node", int(n.ID()), "shard", n.cfg.ShardID,
+						"channel", channel, "block", b.Header.Number, "err", err)
+				}
+			}
+			// Stage stamp: the decision (and every earlier one) is durable
+			// from here on — the decided→fsynced span ends, the
+			// fsynced→disseminated span starts.
+			var fsyncedAt time.Time
+			if n.metrics.StageFsync != nil {
+				fsyncedAt = time.Now()
+				if !pb.trace.decided.IsZero() {
+					n.metrics.StageFsync.ObserveDuration(fsyncedAt.Sub(pb.trace.decided))
 				}
 			}
 			// Re-check the epoch per block: a rollback or state transfer
@@ -820,6 +917,10 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 				}
 			}
 			n.disseminate(channel, b)
+			if n.metrics.StageDisseminate != nil && !fsyncedAt.IsZero() {
+				n.metrics.StageDisseminate.ObserveDuration(time.Since(fsyncedAt))
+				n.metrics.DisseminatedLag.Set(time.Now().UnixNano())
+			}
 		}
 		if lastPut != nil {
 			// Advance the persist watermark off the drain: puts are FIFO
@@ -846,8 +947,9 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 // decision log or peers); report it loudly, once per failure.
 func (n *OrderingNode) advanceWatermark(channel string, epoch uint64, lastNum uint64, tok fabric.DurableToken) {
 	if err := tok.Wait(); err != nil {
-		fmt.Fprintf(os.Stderr, "ordering node %d: persisting %q blocks through %d: %v\n",
-			n.ID(), channel, lastNum, err)
+		slog.Error("persisting blocks failed",
+			"node", int(n.ID()), "shard", n.cfg.ShardID,
+			"channel", channel, "through", lastNum, "err", err)
 		return
 	}
 	n.sendMu.Lock()
@@ -858,6 +960,7 @@ func (n *OrderingNode) advanceWatermark(channel string, epoch uint64, lastNum ui
 	}
 	if lastNum+1 > n.durableHeights[channel] {
 		n.durableHeights[channel] = lastNum + 1
+		n.metrics.Watermark(channel).Set(int64(lastNum + 1))
 	}
 	n.sendMu.Unlock()
 	// The watermark moved: a checkpoint save deferred on it may be
@@ -872,6 +975,7 @@ func (n *OrderingNode) noteDurable(channel string, height uint64) {
 	n.sendMu.Lock()
 	if height > n.durableHeights[channel] {
 		n.durableHeights[channel] = height
+		n.metrics.Watermark(channel).Set(int64(height))
 	}
 	n.sendMu.Unlock()
 	if n.storage != nil {
@@ -1029,8 +1133,9 @@ func (n *OrderingNode) persistOrPark(channel string, block *fabric.Block, async 
 		err = led.Append(block)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ordering node %d: persisting block %d on %q: %v\n",
-			n.ID(), block.Header.Number, channel, err)
+		slog.Error("persisting block failed",
+			"node", int(n.ID()), "shard", n.cfg.ShardID,
+			"channel", channel, "block", block.Header.Number, "err", err)
 		return nil
 	}
 	if !async {
@@ -1436,8 +1541,9 @@ func (n *OrderingNode) runBackfill(channel string, from, to uint64, anchor crypt
 	for {
 		blocks, start, err := n.fetchGap(channel, from, to, anchor)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ordering node %d: back-fill of %q blocks %d..%d failed: %v\n",
-				n.ID(), channel, from, to-1, err)
+			slog.Warn("back-fill fetch failed",
+				"node", int(n.ID()), "shard", n.cfg.ShardID,
+				"channel", channel, "from", from, "to", to-1, "err", err)
 			return
 		}
 		led := n.ledger(channel)
@@ -1453,12 +1559,14 @@ func (n *OrderingNode) runBackfill(channel string, from, to uint64, anchor crypt
 			err := led.Rebase(start, rebaseAnchor)
 			n.ledgerMu.Unlock()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "ordering node %d: rebasing %q over pruned blocks %d..%d: %v\n",
-					n.ID(), channel, from, start-1, err)
+				slog.Error("rebase over pruned blocks failed",
+					"node", int(n.ID()), "shard", n.cfg.ShardID,
+					"channel", channel, "from", from, "to", start-1, "err", err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "ordering node %d: %q blocks %d..%d pruned cluster-wide; rebased at snapshot floor %d\n",
-				n.ID(), channel, from, start-1, start)
+			slog.Info("blocks pruned cluster-wide; rebased at snapshot floor",
+				"node", int(n.ID()), "shard", n.cfg.ShardID,
+				"channel", channel, "from", from, "to", start-1, "floor", start)
 		}
 		// Append in bounded batches so the fsync work does not hold
 		// ledgerMu (and thereby the event loop's persistBlock path) for
@@ -1476,8 +1584,9 @@ func (n *OrderingNode) runBackfill(channel string, from, to uint64, anchor crypt
 				}
 				if err := led.Append(b); err != nil {
 					n.ledgerMu.Unlock()
-					fmt.Fprintf(os.Stderr, "ordering node %d: back-fill append of %q block %d: %v\n",
-						n.ID(), channel, b.Header.Number, err)
+					slog.Error("back-fill append failed",
+						"node", int(n.ID()), "shard", n.cfg.ShardID,
+						"channel", channel, "block", b.Header.Number, "err", err)
 					return
 				}
 			}
@@ -1508,8 +1617,9 @@ func (n *OrderingNode) drainParkedLocked(channel string, led *fabric.Ledger) (fr
 		}
 		delete(parked, b.Header.Number)
 		if err := led.Append(b); err != nil {
-			fmt.Fprintf(os.Stderr, "ordering node %d: draining parked block %d on %q: %v\n",
-				n.ID(), b.Header.Number, channel, err)
+			slog.Error("draining parked block failed",
+				"node", int(n.ID()), "shard", n.cfg.ShardID,
+				"channel", channel, "block", b.Header.Number, "err", err)
 			return 0, 0, cryptoutil.Digest{}, false
 		}
 	}
@@ -1627,25 +1737,31 @@ func (n *OrderingNode) ttcLoop() {
 	}
 }
 
-// marshalBlockMsg frames a block for dissemination.
+// marshalBlockMsg frames a block for dissemination. The trailing send
+// timestamp is the disseminated-stage stamp of the latency trace; it is
+// always written (8 fixed bytes) so the frame layout does not depend on
+// whether metrics are enabled on either side.
 func marshalBlockMsg(channel string, block *fabric.Block) []byte {
 	w := wire.NewWriter(256)
 	w.PutString(channel)
 	w.PutBytes(block.Marshal())
+	w.PutInt64(time.Now().UnixNano())
 	return w.Bytes()
 }
 
-// unmarshalBlockMsg decodes a disseminated block.
-func unmarshalBlockMsg(payload []byte) (string, *fabric.Block, error) {
+// unmarshalBlockMsg decodes a disseminated block and the sender's send
+// timestamp (unix nanos).
+func unmarshalBlockMsg(payload []byte) (string, *fabric.Block, int64, error) {
 	r := wire.NewReader(payload)
 	channel := r.String()
 	blockRaw := r.Bytes()
+	sentNano := r.Int64()
 	if err := r.Finish(); err != nil {
-		return "", nil, fmt.Errorf("block message: %w", err)
+		return "", nil, 0, fmt.Errorf("block message: %w", err)
 	}
 	block, err := fabric.UnmarshalBlock(blockRaw)
 	if err != nil {
-		return "", nil, err
+		return "", nil, 0, err
 	}
-	return channel, block, nil
+	return channel, block, sentNano, nil
 }

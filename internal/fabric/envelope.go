@@ -105,6 +105,20 @@ func PeekEnvelope(raw []byte) (channel, client string, err error) {
 	return channel, client, nil
 }
 
+// PeekTimestamp extracts the client submission timestamp from a marshalled
+// envelope without decoding the payload. The observability layer uses it as
+// the broadcast-received anchor of the per-stage latency trace.
+func PeekTimestamp(raw []byte) (int64, error) {
+	r := wire.NewReader(raw)
+	_ = r.String() // channel
+	_ = r.String() // client
+	ts := r.Int64()
+	if r.Err() != nil {
+		return 0, fmt.Errorf("envelope timestamp: %w", r.Err())
+	}
+	return ts, nil
+}
+
 // Version is the commit position that last wrote a key: the block number
 // and the transaction index inside that block. HLF models its state as a
 // versioned key/value store (Section 3).

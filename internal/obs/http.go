@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one HELP/TYPE header per family, cumulative _bucket
+// series with an le label for histograms, plus _sum and _count.
+func WriteText(b *strings.Builder, families []Family) {
+	for _, f := range families {
+		if f.Help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, p := range f.Points {
+			if f.Type != TypeHistogram {
+				b.WriteString(f.Name)
+				if p.Labels != "" {
+					b.WriteByte('{')
+					b.WriteString(p.Labels)
+					b.WriteByte('}')
+				}
+				b.WriteByte(' ')
+				b.WriteString(formatValue(p.Value))
+				b.WriteByte('\n')
+				continue
+			}
+			var cum uint64
+			for i, c := range p.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(p.Bounds) {
+					le = formatValue(p.Bounds[i])
+				}
+				b.WriteString(f.Name)
+				b.WriteString("_bucket{")
+				if p.Labels != "" {
+					b.WriteString(p.Labels)
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(b, "le=%q} %d\n", le, cum)
+			}
+			writeSeries(b, f.Name+"_sum", p.Labels, formatValue(p.Value))
+			writeSeries(b, f.Name+"_count", p.Labels, strconv.FormatUint(p.Count, 10))
+		}
+	}
+}
+
+func writeSeries(b *strings.Builder, name, labels, value string) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at its mount point: Prometheus text by
+// default, JSON with ?format=json.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		families := r.Gather()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(families)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		WriteText(&b, families)
+		w.Write([]byte(b.String()))
+	})
+}
+
+// NewMux builds the debug mux: /metrics plus the full net/http/pprof
+// surface under /debug/pprof/ (wired explicitly — the package's implicit
+// DefaultServeMux registration is useless on a private mux).
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the metrics/pprof endpoint on addr in a background goroutine
+// and returns the bound listener (so addr may use port 0). The caller owns
+// the listener; closing it stops the server.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(ln)
+	return ln, nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHTTPScrape starts the real endpoint on a loopback port and scrapes
+// /metrics (text and JSON) and the pprof surface.
+func TestHTTPScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("repro_wal_fsync_total", "node", "0"), "WAL fsync calls.").Add(3)
+	h := r.Histogram(Name("repro_storage_wave_size", "node", "0"), "Wave sizes.", SizeBuckets())
+	h.Observe(4)
+	r.GaugeFunc(Name("repro_node_persist_watermark_min", "node", "0"), "Min watermark.", func() float64 { return 7 })
+
+	ln, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	text, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		`repro_wal_fsync_total{node="0"} 3`,
+		`repro_storage_wave_size_bucket{node="0",le="4"} 1`,
+		`repro_storage_wave_size_count{node="0"} 1`,
+		`repro_node_persist_watermark_min{node="0"} 7`,
+		"# TYPE repro_storage_wave_size histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	jsonBody, ctype := get("/metrics?format=json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("json content type = %q", ctype)
+	}
+	var families []Family
+	if err := json.Unmarshal([]byte(jsonBody), &families); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if len(families) != 3 {
+		t.Fatalf("json families = %d, want 3", len(families))
+	}
+
+	idx, _ := get("/debug/pprof/")
+	if !strings.Contains(idx, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing goroutine profile:\n%s", idx)
+	}
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline returned empty body")
+	}
+}

@@ -254,6 +254,7 @@ func (r *Router) BroadcastCross(tx CrossTx, opts CrossOptions) error {
 	for i, channel := range tx.Channels {
 		stream, err := r.Deliver(channel, fabric.DeliverNewest())
 		if err != nil {
+			r.cross.Aborted.Inc()
 			return fmt.Errorf("%w: watch %q: %v", ErrCrossAborted, channel, err)
 		}
 		streams[i] = stream
@@ -275,8 +276,11 @@ func (r *Router) BroadcastCross(tx CrossTx, opts CrossOptions) error {
 		}).Marshal()
 	}
 	if err := r.driveAll(tx.XID, marks, trackers, (*VisibilityTracker).Marked, opts, deadline.C); err != nil {
+		r.cross.MarkFailed.Inc()
+		r.cross.Aborted.Inc()
 		return fmt.Errorf("%w: %v", ErrCrossAborted, err)
 	}
+	r.cross.Marked.Inc()
 
 	// Phase 2: every chain holds its mark — commit everywhere.
 	commits := make([][]byte, len(tx.Channels))
@@ -290,6 +294,7 @@ func (r *Router) BroadcastCross(tx CrossTx, opts CrossOptions) error {
 	if err := r.driveAll(tx.XID, commits, trackers, (*VisibilityTracker).Visible, opts, deadline.C); err != nil {
 		return fmt.Errorf("%w: %v", ErrCrossIndeterminate, err)
 	}
+	r.cross.Committed.Inc()
 	return nil
 }
 
@@ -337,6 +342,7 @@ func (r *Router) ResumeCommit(tx CrossTx, opts CrossOptions) error {
 	if err := r.driveAll(tx.XID, commits, trackers, (*VisibilityTracker).Visible, opts, deadline.C); err != nil {
 		return fmt.Errorf("%w: %v", ErrCrossIndeterminate, err)
 	}
+	r.cross.Committed.Inc()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 )
 
 // Backend is one shard's ordering surface: the full fabric.Orderer plus
@@ -40,6 +41,8 @@ type Router struct {
 	pins     map[string]ShardID
 
 	routed map[ShardID]*atomic.Uint64 // broadcasts routed per shard
+
+	cross *obs.CrossShardMetrics // never nil: normalized at construction
 }
 
 // NewRouter builds a router over one backend per shard. Every shard in
@@ -59,12 +62,19 @@ func NewRouter(m Map, backends map[ShardID]Backend) (*Router, error) {
 		backends: make(map[ShardID]Backend, len(backends)),
 		pins:     make(map[string]ShardID),
 		routed:   make(map[ShardID]*atomic.Uint64, len(backends)),
+		cross:    (*obs.CrossShardMetrics)(nil).OrNop(),
 	}
 	for s, b := range backends {
 		r.backends[s] = b
 		r.routed[s] = new(atomic.Uint64)
 	}
 	return r, nil
+}
+
+// InstrumentCross attaches cross-shard outcome counters (mark/commit/
+// abort) to the router's two-phase coordinator. Nil detaches.
+func (r *Router) InstrumentCross(m *obs.CrossShardMetrics) {
+	r.cross = m.OrNop()
 }
 
 // Map returns the current shard map.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -39,6 +40,11 @@ type ServiceConfig struct {
 
 	// Network hosts every group; nil creates one (owned by the service).
 	Network *transport.InProcNetwork
+
+	// Metrics, when set, instruments every shard's cluster (and the
+	// routers built with NewRouter) into one shared registry with
+	// shard/node labels. Nil disables.
+	Metrics *obs.Registry
 }
 
 // Service is a running in-process sharded ordering service: the per-shard
@@ -94,6 +100,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 			RetainWeights:      cfg.RetainWeights,
 			CommitMaxDelay:     cfg.CommitMaxDelay,
 			CommitMaxBatch:     cfg.CommitMaxBatch,
+			Metrics:            cfg.Metrics,
 		})
 		if err != nil {
 			s.Stop()
@@ -142,6 +149,17 @@ func (s *Service) NewRouter(idPrefix string, verify bool) (router *Router, close
 	if err != nil {
 		closeAll()
 		return nil, nil, err
+	}
+	if s.cfg.Metrics != nil {
+		router.InstrumentCross(obs.NewCrossShardMetrics(s.cfg.Metrics, "router", idPrefix))
+		rt := router
+		for _, shard := range s.Shards() {
+			shard := shard
+			s.cfg.Metrics.GaugeFunc(
+				obs.Name("repro_router_broadcasts_routed", "router", idPrefix, "shard", fmt.Sprint(shard)),
+				"Broadcasts this router sent to the shard.",
+				func() float64 { return float64(rt.RoutedByShard()[shard]) })
+		}
 	}
 	return router, closeAll, nil
 }

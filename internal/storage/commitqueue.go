@@ -1,10 +1,11 @@
 package storage
 
 import (
-	"fmt"
-	"os"
+	"log/slog"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the group-commit scheduler of the unified commit log. A
@@ -89,6 +90,9 @@ type CommitQueueConfig struct {
 	// is how the write-ahead gating and crash-window tests open the
 	// window between enqueue and fsync.
 	SyncHook func()
+	// Metrics, when set, receives wave-level instrumentation (wave count,
+	// wave size, failures).
+	Metrics *obs.StorageMetrics
 }
 
 func (c CommitQueueConfig) withDefaults() CommitQueueConfig {
@@ -98,6 +102,7 @@ func (c CommitQueueConfig) withDefaults() CommitQueueConfig {
 	if c.LazyDelay <= 0 {
 		c.LazyDelay = 5 * time.Millisecond
 	}
+	c.Metrics = c.Metrics.OrNop()
 	return c
 }
 
@@ -245,6 +250,8 @@ func (q *CommitQueue) wave() {
 	// Write phase: every frame of the wave lands in the one active
 	// segment (page cache only), indices assigned in enqueue order. Sync
 	// phase: the single fsync the whole wave pays.
+	q.cfg.Metrics.WaveTotal.Inc()
+	q.cfg.Metrics.WaveSize.Observe(float64(len(group)))
 	file, err := log.writeGroup(group)
 	if err == nil && file != nil {
 		if err = log.fsync(file); err != nil {
@@ -252,7 +259,8 @@ func (q *CommitQueue) wave() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "storage: commit wave failed for %s: %v\n", log.cfg.Dir, err)
+		q.cfg.Metrics.WaveFailures.Inc()
+		slog.Error("storage: commit wave failed", "dir", log.cfg.Dir, "records", len(group), "err", err)
 	}
 	completeGroup(group, err)
 }

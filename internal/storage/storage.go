@@ -2,8 +2,8 @@ package storage
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/storage/retention"
 	"repro/internal/wire"
 )
@@ -120,6 +121,9 @@ type NodeStorage struct {
 	ckptWg       sync.WaitGroup
 	ckptSaveMu   sync.Mutex
 	ckptSavedSeq int64
+
+	// metrics is never nil (normalized to a nop bundle at Open).
+	metrics *obs.StorageMetrics
 }
 
 // ckptReq is one pending asynchronous checkpoint save.
@@ -153,6 +157,9 @@ type Options struct {
 	// write-ahead gating and crash-window tests open the window between
 	// enqueue and fsync.
 	SyncHook func()
+	// Metrics, when set, instruments the commit log: waves, fsyncs, bytes,
+	// segments, checkpoint, and retention events.
+	Metrics *obs.StorageMetrics
 }
 
 // Open opens (or initializes) a node's durable state under dir and
@@ -166,12 +173,14 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 		MaxDelay: opts.CommitMaxDelay,
 		MaxBatch: opts.CommitMaxBatch,
 		SyncHook: opts.SyncHook,
+		Metrics:  opts.Metrics,
 	})
 	wal, err := OpenWAL(WALConfig{
 		Dir:          filepath.Join(dir, "log"),
 		SegmentBytes: opts.SegmentBytes,
 		NoSync:       opts.NoSync,
 		Queue:        queue,
+		Metrics:      opts.Metrics,
 	})
 	if err != nil {
 		queue.Close()
@@ -187,6 +196,7 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 		ckptNotify:   make(chan struct{}, 1),
 		ckptDone:     make(chan struct{}),
 		ckptSavedSeq: -1,
+		metrics:      opts.Metrics.OrNop(),
 	}
 	s.blocks = newBlockStore(filepath.Join(dir, "log"), wal, false)
 	s.blocks.decisionFloor = s.decisionFloor
@@ -376,6 +386,7 @@ func (s *NodeStorage) SaveCheckpoint(seq int64, snapshot []byte) error {
 		return err
 	}
 	s.ckptSavedSeq = seq
+	s.metrics.CheckpointSaved.Inc()
 	// Decisions at or below seq are subsumed: drop them from the
 	// live-decision list, then prune whatever segments both floors agree
 	// are dead.
@@ -472,6 +483,7 @@ func (s *NodeStorage) flushCheckpoint() {
 		// Re-queue the snapshot (unless a newer one already took the slot)
 		// and wait for a NudgeCheckpoint; a crash meanwhile just replays
 		// from the previous checkpoint.
+		s.metrics.CheckpointDeferred.Inc()
 		s.ckptMu.Lock()
 		if s.ckptPending == nil {
 			s.ckptPending = req
@@ -480,7 +492,7 @@ func (s *NodeStorage) flushCheckpoint() {
 		return
 	}
 	if err := s.SaveCheckpoint(req.seq, req.snap); err != nil {
-		fmt.Fprintf(os.Stderr, "storage: async checkpoint at seq %d failed: %v\n", req.seq, err)
+		slog.Error("storage: async checkpoint save failed", "dir", s.dir, "seq", req.seq, "err", err)
 	}
 }
 

@@ -21,6 +21,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // WAL errors.
@@ -59,6 +62,8 @@ type WALConfig struct {
 	// what caps a commit wave at a single fsync. The queue must outlive
 	// the WAL (close the WAL first, then the queue).
 	Queue *CommitQueue
+	// Metrics, when set, receives fsync/bytes/segment instrumentation.
+	Metrics *obs.StorageMetrics
 }
 
 func (c WALConfig) withDefaults() WALConfig {
@@ -130,6 +135,9 @@ type WAL struct {
 	// (commit waves, rotations, close). The one-fsync-per-wave contract of
 	// the unified commit log is asserted against it in tests.
 	syncs atomic.Uint64
+
+	// metrics is never nil (normalized to a nop bundle at open).
+	metrics *obs.StorageMetrics
 }
 
 // fsync makes a segment file's committed records durable and counts the
@@ -138,6 +146,13 @@ type WAL struct {
 // which keeps the journal out of the hot path.
 func (w *WAL) fsync(f *os.File) error {
 	w.syncs.Add(1)
+	w.metrics.FsyncTotal.Inc()
+	if h := w.metrics.FsyncSeconds; h != nil {
+		start := time.Now()
+		err := datasync(f)
+		h.ObserveDuration(time.Since(start))
+		return err
+	}
 	return datasync(f)
 }
 
@@ -159,6 +174,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 		next:     1,
 		appendCh: make(chan *appendReq, 256),
 		closeCh:  make(chan struct{}),
+		metrics:  cfg.Metrics.OrNop(),
 	}
 	if err := w.scan(); err != nil {
 		return nil, err
@@ -166,6 +182,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 	if err := w.openActive(); err != nil {
 		return nil, err
 	}
+	w.metrics.Segments.Set(int64(len(w.segments)))
 	if cfg.Queue == nil {
 		w.wg.Add(1)
 		go w.writer()
@@ -499,6 +516,7 @@ func (w *WAL) writeGroupLocked(group []*appendReq) (dirty bool, err error) {
 		if _, err := w.active.WriteAt(buf, w.size); err != nil {
 			return err
 		}
+		w.metrics.BytesWritten.Add(uint64(len(buf)))
 		w.size += int64(len(buf))
 		w.segments[len(w.segments)-1].size = w.size
 		buf = buf[:0]
@@ -555,6 +573,7 @@ func (w *WAL) rotateLocked() error {
 		// preallocated tail — must not depend on journal ordering
 		// relative to the next segment's creation.
 		w.syncs.Add(1)
+		w.metrics.FsyncTotal.Inc()
 		if err := w.active.Sync(); err != nil {
 			return err
 		}
@@ -577,6 +596,8 @@ func (w *WAL) rotateLocked() error {
 	}
 	w.active = f
 	w.size = 0
+	w.metrics.SegmentRotations.Inc()
+	w.metrics.Segments.Set(int64(len(w.segments)))
 	return w.syncDir()
 }
 
@@ -882,6 +903,8 @@ func (w *WAL) PruneTo(keepFrom uint64) error {
 		return fmt.Errorf("storage: %w", rmErr)
 	}
 	if removed {
+		w.metrics.PruneTotal.Inc()
+		w.metrics.Segments.Set(int64(len(w.segments)))
 		return w.syncDir()
 	}
 	return nil
