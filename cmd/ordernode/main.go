@@ -66,6 +66,8 @@ func run() error {
 	commitBatch := flag.Int("commit-max-batch", 0, "max records merged into a single fsync wave (0 = default 1024)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text or ?format=json) and /debug/pprof/; empty disables instrumentation entirely")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	join := flag.Bool("join", false, "join an existing cluster: announce this node through an ordered membership add, then catch up via state transfer and verified block fetch from the peers' retention floor; -peers must list the current group plus this node")
+	joinTimeout := flag.Duration("join-timeout", 60*time.Second, "hard deadline for -join; exceeding it exits with the typed join error")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
@@ -180,6 +182,12 @@ func run() error {
 	}
 	node.Start()
 	defer node.Stop()
+	if *join {
+		if err := node.Join(core.JoinOptions{Deadline: *joinTimeout}); err != nil {
+			return err
+		}
+		fmt.Printf("joined the group at membership epoch %d\n", node.MembershipView().Epoch)
+	}
 	durability := "in-memory"
 	if *dataDir != "" {
 		durability = "durable at " + *dataDir

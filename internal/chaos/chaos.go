@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/obs"
@@ -47,6 +48,11 @@ type Scenario struct {
 	BlockSize          int
 	CheckpointInterval int64
 	RequestTimeout     time.Duration
+	// RetainBlocks bounds every node's durable blocks per channel (zero
+	// retains everything). Scenarios that set it run with live block-store
+	// compaction, so joining and backfilling nodes bootstrap from the
+	// retention floor instead of genesis — the world NoOverPrune checks.
+	RetainBlocks uint64
 
 	// Shards > 0 selects the sharded world instead of the single group:
 	// that many independent consensus groups (Nodes replicas each) behind
@@ -206,6 +212,49 @@ func (e *Env) RestartNode(i int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.Cluster.RestartNode(i)
+}
+
+// NodeCount is the cluster's node-slot count; membership faults (joins,
+// replacements) grow it mid-run, so invariants that must cover newcomers
+// iterate this instead of Scenario.Nodes.
+func (e *Env) NodeCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.Cluster.Nodes)
+}
+
+// Members snapshots the cluster's view of the group (removed nodes
+// excluded) — the set every live node's membership view must converge to.
+func (e *Env) Members() []consensus.ReplicaID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Cluster.Replicas()
+}
+
+// AddNode grows the cluster by one joining node and returns its index.
+// The cluster call blocks until the group ordered the add and every live
+// view converged, so e.mu stays held throughout — concurrent Node reads
+// simply pause; they cannot observe the slices mid-growth.
+func (e *Env) AddNode() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, err := e.Cluster.AddNode()
+	for len(e.epochs) < len(e.Cluster.Nodes) {
+		e.epochs = append(e.epochs, 0)
+	}
+	return i, err
+}
+
+// ReplaceNode swaps node i for a fresh identity (add first, then graceful
+// remove) and returns the successor's index.
+func (e *Env) ReplaceNode(i int) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ni, err := e.Cluster.ReplaceNode(i)
+	for len(e.epochs) < len(e.Cluster.Nodes) {
+		e.epochs = append(e.epochs, 0)
+	}
+	return ni, err
 }
 
 // appendCanon extends the observer-released canonical chain (release is

@@ -101,6 +101,59 @@ func TestReconfigUnderChaos(t *testing.T) {
 	assertPass(t, res)
 }
 
+// TestJoinUnderLoadScenario grows the cluster mid-run: a fifth node joins
+// from an empty data directory under live retention and must converge into
+// the group (membership-converged) without anyone pruning the range it
+// needs (no-over-prune).
+func TestJoinUnderLoadScenario(t *testing.T) {
+	res := runScenario(t, "join-under-load", func(e *Env) {
+		if got := e.NodeCount(); got != 5 {
+			t.Errorf("cluster has %d node slots after the join, want 5", got)
+		}
+		n, _ := e.Node(4)
+		if n == nil {
+			t.Fatal("joined node 4 is down at end of scenario")
+		}
+		if v := n.MembershipView(); len(v.Members) != 5 || v.Epoch == 0 {
+			t.Errorf("joined node sees %d members at epoch %d, want 5 members past epoch 0",
+				len(v.Members), v.Epoch)
+		}
+	})
+	assertPass(t, res)
+}
+
+// TestNodeReplaceScenario swaps a replica for a fresh identity mid-run:
+// the successor joins first, then the old node leaves gracefully.
+func TestNodeReplaceScenario(t *testing.T) {
+	res := runScenario(t, "node-replace", func(e *Env) {
+		if n, _ := e.Node(1); n != nil {
+			t.Error("replaced node 1 still running at end of scenario")
+		}
+		n, _ := e.Node(4)
+		if n == nil {
+			t.Fatal("successor node 4 is down at end of scenario")
+		}
+		if v := n.MembershipView(); len(v.Members) != 4 {
+			t.Errorf("successor sees %d members, want 4", len(v.Members))
+		}
+	})
+	assertPass(t, res)
+}
+
+// TestRollingRestartScenario is the rolling-upgrade gate: every node is
+// crash-restarted in sequence under continuous load, and the run must end
+// with zero delivery gaps and a converged membership.
+func TestRollingRestartScenario(t *testing.T) {
+	res := runScenario(t, "rolling-restart", func(e *Env) {
+		for i := 0; i < e.Scenario.Nodes; i++ {
+			if n, _ := e.Node(i); n == nil {
+				t.Errorf("node %d is down after the roll", i)
+			}
+		}
+	})
+	assertPass(t, res)
+}
+
 // TestCrossShardAtomicScenario is the fault-free sharded gate: two
 // consensus groups behind the router, continuous cross-shard mark/commit
 // traffic, every transaction visible in both chains or neither.

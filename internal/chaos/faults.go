@@ -128,6 +128,102 @@ func ByzantineFault(node int, behavior consensus.Behavior, byz core.Byzantine, a
 	}
 }
 
+// JoinFault grows the cluster by one node at atFrac of the run: a fresh
+// identity boots from an empty data directory, is announced through an
+// ordered ReconfigAdd, and must then catch up to the canonical height it
+// was admitted at — via checkpoint state transfer plus verified block
+// fetch from the peers' retention floor — while load continues. The fault
+// fails if the join never converges or the newcomer never catches up.
+func JoinFault(atFrac float64) Fault {
+	return Fault{
+		Name: "join",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			target := e.CanonHeight()
+			i, err := e.AddNode()
+			if err != nil {
+				return fmt.Errorf("join: %w", err)
+			}
+			return waitCaughtUp(e, i, target, 15*time.Second)
+		},
+	}
+}
+
+// ReplaceFault swaps node i for a fresh identity at atFrac: the successor
+// joins first (the group briefly runs one node larger, so quorum never
+// thins), then node i is removed through consensus, drains, and leaves.
+func ReplaceFault(node int, atFrac float64) Fault {
+	return Fault{
+		Name: "replace",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			target := e.CanonHeight()
+			ni, err := e.ReplaceNode(node)
+			if err != nil {
+				return fmt.Errorf("replace node %d: %w", node, err)
+			}
+			return waitCaughtUp(e, ni, target, 15*time.Second)
+		},
+	}
+}
+
+// RollingRestartFault restarts every node of the original cluster in
+// sequence (the rolling-upgrade procedure): each is crashed, recovered
+// from its data directory after pause, and must catch back up to the
+// canonical height it died at before the next node goes down, so quorum
+// is thinned by at most one node at any time. The sequence runs to
+// completion even if the injection window closes mid-roll, so final
+// invariants always see the whole cluster back.
+func RollingRestartFault(atFrac float64, pause time.Duration) Fault {
+	return Fault{
+		Name: "rolling-restart",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			for i := 0; i < e.Scenario.Nodes; i++ {
+				target := e.CanonHeight()
+				e.KillNode(i)
+				time.Sleep(pause)
+				if err := e.RestartNode(i); err != nil {
+					return fmt.Errorf("rolling restart: node %d: %w", i, err)
+				}
+				if err := waitCaughtUp(e, i, target, 15*time.Second); err != nil {
+					return fmt.Errorf("rolling restart: %w", err)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// waitCaughtUp polls until node i's durable chain reaches target height.
+func waitCaughtUp(e *Env, i int, target uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n, _ := e.Node(i)
+		if n != nil {
+			if led := n.Ledger(e.Channel); led != nil && led.Height() >= target {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			var h uint64
+			if n != nil {
+				if led := n.Ledger(e.Channel); led != nil {
+					h = led.Height()
+				}
+			}
+			return fmt.Errorf("node %d never caught up to height %d (at %d)", i, target, h)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // ReconfigFault removes a replica from the group through consensus at
 // atFrac: an admin client submits the membership change, the fault waits
 // for the survivors to report the shrunken membership, then crashes the

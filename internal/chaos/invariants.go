@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/fabric"
 	"repro/internal/obs"
 )
@@ -286,6 +287,142 @@ func gaugeFor(fam obs.Family, node int, channel string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// MembershipConverged requires, after quiesce, that every live node agrees
+// on the group: the same membership epoch and the same member set, matching
+// the cluster's view of who is in the group. Scenarios that add, remove,
+// replace, or restart nodes include it to prove the reconfiguration (and
+// its durable record) fully propagated — a node recovered from disk into a
+// stale group would diverge here. Polls up to 10 seconds so lagging state
+// transfer can land.
+func MembershipConverged() Invariant {
+	const name = "membership-converged"
+	return Invariant{
+		Name:  name,
+		Start: func(e *Env) error { return nil },
+		Stop: func(e *Env) {
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				divergence := membershipDivergence(e)
+				if divergence == "" {
+					return
+				}
+				if time.Now().After(deadline) {
+					e.Violate(name, "%s", divergence)
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		},
+	}
+}
+
+// membershipDivergence describes the first membership disagreement among
+// live nodes, or "" when every view matches the cluster's group.
+func membershipDivergence(e *Env) string {
+	want := e.Members()
+	wantSet := make(map[consensus.ReplicaID]bool, len(want))
+	for _, id := range want {
+		wantSet[id] = true
+	}
+	var epoch uint64
+	seen := false
+	for i := 0; i < e.NodeCount(); i++ {
+		n, _ := e.Node(i)
+		if n == nil {
+			continue
+		}
+		v := n.MembershipView()
+		if len(v.Members) != len(want) {
+			return fmt.Sprintf("node %d sees %d members, the cluster has %d", i, len(v.Members), len(want))
+		}
+		for _, id := range v.Members {
+			if !wantSet[id] {
+				return fmt.Sprintf("node %d still counts replica %d as a member", i, int(id))
+			}
+		}
+		if seen && v.Epoch != epoch {
+			return fmt.Sprintf("membership epochs diverge across live nodes: %d vs %d", v.Epoch, epoch)
+		}
+		epoch, seen = v.Epoch, true
+	}
+	if !seen {
+		return "no live node to read a membership view from"
+	}
+	return ""
+}
+
+// NoOverPrune continuously polls every live node's retention floor against
+// its durable chain: the floor may never pass the height, never regress
+// within one node incarnation, and — when the scenario bounds retention —
+// never climb into the last RetainBlocks blocks. That retained range is
+// exactly what the two-condition reclamation rule guarantees a joining or
+// backfilling node can still fetch, so a violation means a node pruned
+// history someone was entitled to.
+func NoOverPrune() Invariant {
+	const name = "no-over-prune"
+	return Invariant{
+		Name: name,
+		Start: func(e *Env) error {
+			last := make(map[int]uint64)
+			lastEpoch := make(map[int]int)
+			ramped := make(map[int]bool)
+			e.Go(func() {
+				ticker := time.NewTicker(50 * time.Millisecond)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-e.Done():
+						return
+					case <-ticker.C:
+					}
+					for i := 0; i < e.NodeCount(); i++ {
+						n, epoch := e.Node(i)
+						if n == nil {
+							continue
+						}
+						led := n.Ledger(e.Channel)
+						if led == nil {
+							continue
+						}
+						// Floor before height: the height can only grow
+						// between the reads, so a race underestimates the
+						// pruning, never fabricates a violation.
+						floor := led.Floor()
+						height := led.Height()
+						if floor > height {
+							e.Violate(name, "node %d retention floor %d above chain height %d", i, floor, height)
+						}
+						if ep, ok := lastEpoch[i]; !ok || ep != epoch {
+							ramped[i] = false // fresh incarnation: re-arm below
+						}
+						// The retained-range rule arms once the incarnation
+						// has held a full window: a joining node rebased at
+						// the cluster floor legitimately starts with a short
+						// span, but a node that once retained RetainBlocks
+						// may never prune back into that range.
+						if retain := e.Scenario.RetainBlocks; retain > 0 {
+							if ramped[i] && floor > height-retain {
+								e.Violate(name, "node %d pruned into the retained range: floor %d with height %d, retain %d",
+									i, floor, height, retain)
+							}
+							if height-floor >= retain {
+								ramped[i] = true
+							}
+						}
+						if ep, ok := lastEpoch[i]; ok && ep == epoch && floor < last[i] {
+							e.Violate(name, "node %d retention floor regressed %d -> %d within one incarnation",
+								i, last[i], floor)
+						}
+						last[i], lastEpoch[i] = floor, epoch
+					}
+				}
+			})
+			return nil
+		},
+		Stop: func(e *Env) {},
+	}
 }
 
 // LeaderChangeObserved requires that the synchronization phase actually ran:

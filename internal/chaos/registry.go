@@ -84,6 +84,29 @@ func Scenarios() []Scenario {
 			Invariants: standardInvariants(1.0),
 		},
 		{
+			Name:         "join-under-load",
+			Description:  "a fifth node joins from an empty data directory mid-run under live retention: admitted through an ordered add, it bootstraps from the peers' pruning floor via verified fetch and must catch up to the head",
+			Duration:     8 * time.Second,
+			RetainBlocks: 512,
+			Faults:       []Fault{JoinFault(0.3)},
+			Invariants:   append(standardInvariants(1.0), MembershipConverged(), NoOverPrune()),
+		},
+		{
+			Name:        "node-replace",
+			Description: "a replica is replaced mid-run: the successor joins first so quorum never thins, then the old node is removed through consensus, drains, and leaves",
+			Duration:    8 * time.Second,
+			Faults:      []Fault{ReplaceFault(1, 0.25)},
+			Invariants:  append(standardInvariants(1.0), MembershipConverged()),
+		},
+		{
+			Name:           "rolling-restart",
+			Description:    "every node is crash-restarted in sequence under continuous load (the rolling-upgrade procedure); each must recover from disk and catch up before the next goes down, with zero delivery gaps",
+			RequestTimeout: 800 * time.Millisecond,
+			Duration:       10 * time.Second,
+			Faults:         []Fault{RollingRestartFault(0.1, 250 * time.Millisecond)},
+			Invariants:     append(standardInvariants(1.0), MembershipConverged(), LeaderChangeObserved()),
+		},
+		{
 			Name:        "shard-partition",
 			Description: "one consensus group of a 2-shard deployment is split past quorum loss while the other keeps ordering; the healed shard must catch up and cross-shard transactions must stay atomic",
 			Shards:      2,

@@ -92,6 +92,7 @@ func Run(s Scenario, opts Options) (Result, error) {
 		BlockTimeout:       150 * time.Millisecond,
 		RequestTimeout:     s.RequestTimeout,
 		CheckpointInterval: s.CheckpointInterval,
+		RetainBlocks:       s.RetainBlocks,
 		Network:            network,
 		DataDir:            dataDir,
 		Metrics:            registry,

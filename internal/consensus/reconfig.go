@@ -3,6 +3,7 @@ package consensus
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -74,18 +75,87 @@ func IsReconfigOp(op []byte) bool {
 	return ok
 }
 
+// unsafeMembershipRecovery, when set, makes recovery behave as if membership
+// changes had never been persisted: replayed reconfig decisions are skipped
+// and recovered snapshots do not install their membership. It exists only so
+// the chaos/teeth tests can prove what the durable membership path buys — a
+// node recovered this way after an add forgets the new member.
+var unsafeMembershipRecovery atomic.Bool
+
+// SetUnsafeMembershipRecovery toggles the teeth switch. Test-only.
+func SetUnsafeMembershipRecovery(v bool) { unsafeMembershipRecovery.Store(v) }
+
+// UnsafeMembershipRecoveryEnabled reports the teeth switch's state; the
+// core layer gates its recovered-membership config override on it so the
+// unsafe mode is unsafe end to end.
+func UnsafeMembershipRecoveryEnabled() bool { return unsafeMembershipRecovery.Load() }
+
+// MembershipView is a consistent snapshot of the group at one membership
+// epoch: the epoch counter, the sorted member set, the derived fault
+// threshold, and the vote weights. Obtained lock-free via
+// Replica.MembershipView; safe to retain (never mutated after publication).
+type MembershipView struct {
+	Epoch   uint64
+	Members []ReplicaID
+	F       int
+	Weights map[ReplicaID]int
+}
+
+// MembershipView returns the replica's current membership view. Safe from
+// any goroutine at any time, including before Start and during recovery.
+func (r *Replica) MembershipView() MembershipView {
+	if v := r.liveMembership.Load(); v != nil {
+		return *v
+	}
+	return MembershipView{}
+}
+
+// publishMembership refreshes the lock-free membership view from the
+// event-loop-owned state. Called wherever epoch or membership change.
+func (r *Replica) publishMembership() {
+	v := &MembershipView{
+		Epoch:   r.epoch,
+		Members: append([]ReplicaID(nil), r.membership...),
+		F:       r.cfg.F,
+		Weights: make(map[ReplicaID]int, len(r.membership)),
+	}
+	for _, id := range r.membership {
+		v.Weights[id] = r.qt.weightOf(id)
+	}
+	r.liveMembership.Store(v)
+}
+
+// notifyMembership invokes the membership observer with the published view.
+func (r *Replica) notifyMembership() {
+	if r.membershipObserver != nil {
+		r.membershipObserver(r.MembershipView())
+	}
+}
+
 // applyReconfig executes an ordered membership change. It runs on the event
 // loop at delivery time, so every correct replica transitions at the same
-// decision boundary.
+// decision boundary. The epoch advances for every ordered op — including
+// no-ops — so a replica that saw the op as already applied (a joiner whose
+// static config lists itself) counts the same epochs as everyone else.
 func (r *Replica) applyReconfig(op ReconfigOp) {
+	if r.restoring && unsafeMembershipRecovery.Load() {
+		return // teeth switch: pretend the apply was never made durable
+	}
+	r.epoch++
+	changed := false
 	switch op.Kind {
 	case ReconfigAdd:
+		member := false
 		for _, id := range r.membership {
 			if id == op.Replica {
-				return // already a member
+				member = true
+				break
 			}
 		}
-		r.membership = append(r.membership, op.Replica)
+		if !member {
+			r.membership = append(r.membership, op.Replica)
+			changed = true
+		}
 	case ReconfigRemove:
 		kept := r.membership[:0]
 		for _, id := range r.membership {
@@ -93,34 +163,39 @@ func (r *Replica) applyReconfig(op ReconfigOp) {
 				kept = append(kept, id)
 			}
 		}
-		if len(kept) == len(r.membership) {
-			return // not a member
+		if len(kept) != len(r.membership) {
+			r.membership = kept
+			changed = true
 		}
-		r.membership = kept
 	}
-	sortReplicas(r.membership)
+	if changed {
+		sortReplicas(r.membership)
 
-	// Rebuild quorum arithmetic: the fault threshold follows the paper's
-	// n = 3f+1 sizing, and weights reset to the configured assignment for
-	// members that have one (added members default to the op's weight).
-	n := len(r.membership)
-	f := MaxFaults(n)
-	weights := make(map[ReplicaID]int, n)
-	for _, id := range r.membership {
-		w := 1
-		if cw, ok := r.cfg.Weights[id]; ok && cw > 0 {
-			w = cw
+		// Rebuild quorum arithmetic: the fault threshold follows the
+		// paper's n = 3f+1 sizing, and weights reset to the configured
+		// assignment for members that have one (added members default to
+		// the op's weight).
+		n := len(r.membership)
+		f := MaxFaults(n)
+		weights := make(map[ReplicaID]int, n)
+		for _, id := range r.membership {
+			w := 1
+			if cw, ok := r.cfg.Weights[id]; ok && cw > 0 {
+				w = cw
+			}
+			if op.Kind == ReconfigAdd && id == op.Replica && op.Weight > 0 {
+				w = op.Weight
+			}
+			weights[id] = w
 		}
-		if op.Kind == ReconfigAdd && id == op.Replica && op.Weight > 0 {
-			w = op.Weight
-		}
-		weights[id] = w
+		r.qt = newQuorumTracker(r.membership, weights, f)
+		r.cfg.F = f
+		r.cfg.Weights = weights
+		r.statMembers.Store(int32(n))
+		r.refreshLeaderStat()
 	}
-	r.qt = newQuorumTracker(r.membership, weights, f)
-	r.cfg.F = f
-	r.cfg.Weights = weights
-	r.statMembers.Store(int32(n))
-	r.refreshLeaderStat()
+	r.publishMembership()
+	r.notifyMembership()
 }
 
 // Membership returns the current group membership. Safe from any
@@ -143,9 +218,12 @@ func sortReplicas(ids []ReplicaID) {
 	}
 }
 
-// marshalMembership serializes membership + weights into snapshots so that
-// state transfer installs the right group on joining replicas.
+// marshalMembership serializes the membership epoch + members + weights into
+// snapshots so that state transfer across a reconfig boundary is unambiguous:
+// the installing replica learns exactly which epoch the checkpoint was taken
+// in, alongside the group it must join.
 func (r *Replica) marshalMembership(w *wire.Writer) {
+	w.PutUvarint(r.epoch)
 	w.PutUvarint(uint64(len(r.membership)))
 	for _, id := range r.membership {
 		w.PutInt32(int32(id))
@@ -153,8 +231,9 @@ func (r *Replica) marshalMembership(w *wire.Writer) {
 	}
 }
 
-// unmarshalMembership restores membership + weights from a snapshot.
+// unmarshalMembership restores epoch + membership + weights from a snapshot.
 func (r *Replica) unmarshalMembership(rd *wire.Reader) error {
+	epoch := rd.Uvarint()
 	n := rd.Uvarint()
 	if n == 0 || n > 1<<10 {
 		return fmt.Errorf("consensus: membership size %d out of range", n)
@@ -173,12 +252,18 @@ func (r *Replica) unmarshalMembership(rd *wire.Reader) error {
 	if err := rd.Err(); err != nil {
 		return err
 	}
+	if r.restoring && unsafeMembershipRecovery.Load() {
+		return nil // teeth switch: consume the bytes, keep the static group
+	}
 	sortReplicas(membership)
+	r.epoch = epoch
 	r.membership = membership
 	r.cfg.F = MaxFaults(len(membership))
 	r.cfg.Weights = weights
 	r.qt = newQuorumTracker(membership, weights, r.cfg.F)
 	r.statMembers.Store(int32(len(membership)))
 	r.refreshLeaderStat()
+	r.publishMembership()
+	r.notifyMembership()
 	return nil
 }

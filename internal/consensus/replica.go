@@ -69,6 +69,16 @@ func WithCheckpointObserver(f func(seq int64)) Option {
 	return func(r *Replica) { r.ckptObserver = f }
 }
 
+// WithMembershipObserver registers a callback invoked on the event loop each
+// time the membership epoch advances (an ordered ReconfigOp was applied, or
+// a recovered/transferred snapshot installed a newer view). The ordering
+// layer uses it to persist the membership record so a node that crashes
+// after applying a reconfig recovers into the new group, not its static
+// config. The callback receives a private copy it may retain.
+func WithMembershipObserver(f func(view MembershipView)) Option {
+	return func(r *Replica) { r.membershipObserver = f }
+}
+
 // WithExtraMessageHandler installs a handler for transport messages whose
 // type the consensus layer does not own (anything >= 64). The ordering node
 // uses it to accept frontend registrations on the replica's endpoint. The
@@ -162,6 +172,7 @@ type bufferedSync struct {
 type Stats struct {
 	Regency       int32
 	Members       int32
+	Epoch         uint64
 	LastDelivered int64
 	DeliveredOps  uint64
 	Decided       int64
@@ -179,6 +190,20 @@ type Replica struct {
 
 	membership []ReplicaID
 	qt         *quorumTracker
+	// epoch counts ordered membership operations (every ReconfigOp bumps
+	// it, including no-ops, so replicas that saw the op as a no-op — e.g. a
+	// joiner whose static config already lists itself — stay in step with
+	// the rest of the group). Event-loop owned; liveMembership mirrors it.
+	epoch uint64
+	// restoring is true while restoreDurable replays recovered state; the
+	// unsafe-membership teeth switch keys off it.
+	restoring bool
+	// liveMembership is a lock-free snapshot of (epoch, members, f, weights)
+	// readable from any goroutine, even before Start (Inspect would block).
+	liveMembership atomic.Pointer[MembershipView]
+	// membershipObserver, when set, is told about each membership epoch
+	// transition on the event loop (see WithMembershipObserver).
+	membershipObserver func(view MembershipView)
 
 	// Normal-case protocol state.
 	regency       int32
@@ -304,6 +329,7 @@ func NewReplica(cfg Config, app Application, conn transport.Conn, opts ...Option
 	}
 	r.behavior.Store(&Behavior{})
 	r.statMembers.Store(int32(len(membership)))
+	r.publishMembership()
 	for _, opt := range opts {
 		opt(r)
 	}
@@ -341,9 +367,11 @@ func (r *Replica) CurrentLeader() ReplicaID {
 
 // Stats returns progress counters. Safe to call from any goroutine.
 func (r *Replica) Stats() Stats {
+	view := r.MembershipView()
 	return Stats{
 		Regency:       r.statRegency.Load(),
 		Members:       r.statMembers.Load(),
+		Epoch:         view.Epoch,
 		LastDelivered: r.statDelivered.Load(),
 		DeliveredOps:  r.statOps.Load(),
 		Decided:       r.statDecided.Load(),

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"strconv"
 	"time"
@@ -113,6 +114,7 @@ type Cluster struct {
 	cfg      ClusterConfig
 	replicas []consensus.ReplicaID
 	keys     []*cryptoutil.KeyPair
+	removed  map[consensus.ReplicaID]bool
 	ownsNet  bool
 }
 
@@ -141,6 +143,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Registry: registry,
 		cfg:      cfg,
 		replicas: replicas,
+		removed:  make(map[consensus.ReplicaID]bool),
 		ownsNet:  ownsNet,
 	}
 	c.keys = make([]*cryptoutil.KeyPair, cfg.Nodes)
@@ -152,7 +155,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.keys[i] = key
 		registry.Register(string(id.Addr()), key.Public())
-		node, err := c.startNode(i)
+		node, err := c.startNode(i, c.replicas)
 		if err != nil {
 			c.Stop()
 			return nil, err
@@ -165,10 +168,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// startNode joins node i to the network and constructs it; with a data
-// directory the node opens (and owns) its durable storage under
-// DataDir/node-<i>. The caller starts it.
-func (c *Cluster) startNode(i int) (*OrderingNode, error) {
+// startNode joins node i to the network and constructs it with the given
+// static membership; with a data directory the node opens (and owns) its
+// durable storage under DataDir/node-<i>, and a durable membership record
+// found there overrides the static membership. The caller starts it.
+func (c *Cluster) startNode(i int, members []consensus.ReplicaID) (*OrderingNode, error) {
 	id := c.replicas[i]
 	dataDir := ""
 	if c.cfg.DataDir != "" {
@@ -181,7 +185,7 @@ func (c *Cluster) startNode(i int) (*OrderingNode, error) {
 	node, err := NewNode(NodeConfig{
 		Consensus: consensus.Config{
 			SelfID:             id,
-			Replicas:           c.replicas,
+			Replicas:           members,
 			F:                  c.cfg.F,
 			Weights:            c.cfg.Weights,
 			BatchSize:          c.cfg.BatchSize,
@@ -270,7 +274,10 @@ func (c *Cluster) KillNode(i int) {
 }
 
 // RestartNode recovers a killed node from its data directory and rejoins
-// it to the cluster. Requires a DataDir-configured cluster.
+// it to the cluster. Requires a DataDir-configured cluster. The node's
+// static membership is the cluster's current view (its own durable
+// membership record, when present, overrides it anyway); restarting a
+// node the group removed fails with the recovery error.
 func (c *Cluster) RestartNode(i int) error {
 	if c.cfg.DataDir == "" {
 		return fmt.Errorf("cluster: restart needs a data directory")
@@ -278,7 +285,14 @@ func (c *Cluster) RestartNode(i int) error {
 	if c.Nodes[i] != nil {
 		return fmt.Errorf("cluster: node %d is still running", c.replicas[i])
 	}
-	node, err := c.startNode(i)
+	if c.removed[c.replicas[i]] {
+		return fmt.Errorf("cluster: node %d was removed from the group", c.replicas[i])
+	}
+	members := c.currentMembers()
+	if !containsReplica(members, c.replicas[i]) {
+		members = append(members, c.replicas[i])
+	}
+	node, err := c.startNode(i, members)
 	if err != nil {
 		return err
 	}
@@ -287,11 +301,201 @@ func (c *Cluster) RestartNode(i int) error {
 	return nil
 }
 
-// Replicas returns the cluster membership.
+// Replicas returns the cluster membership (removed nodes excluded).
 func (c *Cluster) Replicas() []consensus.ReplicaID {
-	out := make([]consensus.ReplicaID, len(c.replicas))
-	copy(out, c.replicas)
+	out := make([]consensus.ReplicaID, 0, len(c.replicas))
+	for _, id := range c.replicas {
+		if !c.removed[id] {
+			out = append(out, id)
+		}
+	}
 	return out
+}
+
+// currentMembers returns the group as some live node currently sees it,
+// falling back to the slot list when every node is down.
+func (c *Cluster) currentMembers() []consensus.ReplicaID {
+	for _, node := range c.Nodes {
+		if node == nil {
+			continue
+		}
+		if v := node.MembershipView(); len(v.Members) > 0 {
+			return append([]consensus.ReplicaID(nil), v.Members...)
+		}
+	}
+	return c.Replicas()
+}
+
+func containsReplica(ids []consensus.ReplicaID, id consensus.ReplicaID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// reconfigDeadline bounds how long a membership change may take to reach
+// every live node's view before the cluster call gives up.
+const reconfigDeadline = 15 * time.Second
+
+// AddNode grows the cluster by one ordering node: a fresh identity is
+// generated and registered, the node boots with the current group plus
+// itself as its static membership (the paper's join procedure), and a
+// ReconfigAdd is ordered through consensus until every live node's view
+// includes the newcomer and the newcomer caught up to the group's
+// membership epoch. Returns the new node's index.
+func (c *Cluster) AddNode() (int, error) {
+	i := len(c.replicas)
+	if i >= ShardStride {
+		return -1, fmt.Errorf("cluster: shard %d cannot grow past %d nodes", c.cfg.ShardID, ShardStride)
+	}
+	id := consensus.ReplicaID(c.cfg.ShardID*ShardStride + i)
+	key, err := cryptoutil.GenerateKeyPair()
+	if err != nil {
+		return -1, fmt.Errorf("cluster: %w", err)
+	}
+	members := append(c.currentMembers(), id)
+	c.replicas = append(c.replicas, id)
+	c.keys = append(c.keys, key)
+	c.Registry.Register(string(id.Addr()), key.Public())
+	node, err := c.startNode(i, members)
+	if err != nil {
+		c.replicas = c.replicas[:i]
+		c.keys = c.keys[:i]
+		return -1, err
+	}
+	c.Nodes = append(c.Nodes, node)
+	node.Start()
+	if err := c.Reconfigure(consensus.ReconfigOp{Kind: consensus.ReconfigAdd, Replica: id}, reconfigDeadline); err != nil {
+		return i, err
+	}
+	return i, nil
+}
+
+// RemoveNode retires node i gracefully: the removal is ordered through
+// consensus first (so the group stops counting the node's votes and stops
+// sending it work), then the node drains its dissemination queue, stops,
+// and releases its transport identity. Restarting a removed node fails.
+func (c *Cluster) RemoveNode(i int) error {
+	if i < 0 || i >= len(c.replicas) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	id := c.replicas[i]
+	if c.removed[id] {
+		return nil
+	}
+	if err := c.Reconfigure(consensus.ReconfigOp{Kind: consensus.ReconfigRemove, Replica: id}, reconfigDeadline); err != nil {
+		return err
+	}
+	c.removed[id] = true
+	if node := c.Nodes[i]; node != nil {
+		// Best effort: blocks a wedged drain leaves behind are re-derivable
+		// from the surviving group, so a drain timeout does not block the
+		// removal.
+		_ = node.Drain(5 * time.Second)
+		node.Stop()
+		c.Network.Disconnect(id.Addr())
+		c.Nodes[i] = nil
+	}
+	return nil
+}
+
+// ReplaceNode swaps node i for a fresh identity: the replacement is added
+// first (the group briefly runs one node larger, keeping quorum intact
+// throughout), then node i is removed gracefully. Returns the new node's
+// index.
+func (c *Cluster) ReplaceNode(i int) (int, error) {
+	ni, err := c.AddNode()
+	if err != nil {
+		return -1, err
+	}
+	if err := c.RemoveNode(i); err != nil {
+		return ni, err
+	}
+	return ni, nil
+}
+
+// Reconfigure orders one membership change and waits until every live
+// node applied it. The op is re-broadcast with jittered backoff (each
+// resubmission is a fresh ordered no-op once the change took, so retries
+// are safe) until the views converge or the deadline passes.
+func (c *Cluster) Reconfigure(op consensus.ReconfigOp, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = reconfigDeadline
+	}
+	admin := transport.Addr(fmt.Sprintf("admin:%d:%d", c.cfg.ShardID, time.Now().UnixNano()))
+	conn, err := c.Network.Join(admin)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	defer c.Network.Disconnect(admin)
+	client, err := consensus.NewClient(conn, consensus.ClientConfig{
+		Replicas:  c.currentMembers(),
+		Tentative: c.cfg.Tentative,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	defer client.Close()
+	payload := consensus.EncodeReconfigOp(op)
+	deadline := time.Now().Add(timeout)
+	policy := transport.RetryPolicy{Initial: 250 * time.Millisecond, Max: 2 * time.Second}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for attempt := 0; ; attempt++ {
+		if err := client.Invoke(payload); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		// Poll for convergence until the next resubmission is due.
+		next := time.Now().Add(policy.Delay(attempt, rng))
+		for time.Now().Before(next) {
+			if c.reconfigApplied(op) {
+				return nil
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: reconfiguration of node %d (kind %d) did not converge within %v",
+				int(op.Replica), op.Kind, timeout)
+		}
+	}
+}
+
+// reconfigApplied reports whether every live node's membership view
+// reflects the change. For an add, the newcomer itself must additionally
+// have caught up to the peers' membership epoch — a node that is listed
+// but still at an older epoch has not yet learned it was admitted.
+func (c *Cluster) reconfigApplied(op consensus.ReconfigOp) bool {
+	peerEpoch := uint64(0)
+	peersSeen := false
+	for i, node := range c.Nodes {
+		if node == nil || c.replicas[i] == op.Replica {
+			continue
+		}
+		v := node.MembershipView()
+		if len(v.Members) == 0 {
+			return false
+		}
+		if (op.Kind == consensus.ReconfigAdd) != containsReplica(v.Members, op.Replica) {
+			return false
+		}
+		if !peersSeen || v.Epoch < peerEpoch {
+			peerEpoch = v.Epoch
+		}
+		peersSeen = true
+	}
+	if !peersSeen {
+		return false
+	}
+	if op.Kind == consensus.ReconfigAdd {
+		for i, node := range c.Nodes {
+			if node != nil && c.replicas[i] == op.Replica &&
+				node.MembershipView().Epoch < peerEpoch {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // NewFrontend attaches a frontend to the cluster. verify selects f+1

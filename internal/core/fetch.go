@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,33 +30,59 @@ const maxFetchBlocks = 128
 
 // Fetch tuning.
 const (
-	// fetchWindowTimeout bounds one request/response round trip.
+	// fetchWindowTimeout bounds one request/response round trip (the
+	// per-peer deadline of a fetch pass).
 	fetchWindowTimeout = 2 * time.Second
 	// fetchRounds is how many passes over the peer set a range fetch makes
-	// before giving up.
+	// before giving up. Peers are rotated within each pass; the pauses
+	// between passes follow fetchRetryPolicy.
 	fetchRounds = 3
-	// fetchRetryDelay spaces consecutive passes (peers may still be
-	// recovering).
+	// fetchRetryDelay is the initial pause between passes (peers may still
+	// be recovering); subsequent pauses grow per fetchRetryPolicy.
 	fetchRetryDelay = 250 * time.Millisecond
 )
+
+// fetchRetryPolicy spaces consecutive passes over the peer set: jittered
+// exponential backoff (shared transport.RetryPolicy semantics), so a
+// cluster of recovering nodes does not hammer the same peers in lockstep.
+var fetchRetryPolicy = transport.RetryPolicy{
+	Initial: fetchRetryDelay,
+	Max:     2 * time.Second,
+}
 
 // ErrFetchFailed reports that no peer could serve a verifiable block range.
 var ErrFetchFailed = errors.New("core: block fetch failed")
 
+// Fetch request flags.
+const (
+	// fetchFlagSigsOnly asks the server to strip envelopes from each served
+	// block, leaving header + signatures. Used once a full copy of a range
+	// is already in hand: further peers only contribute signatures, so
+	// re-downloading every payload wastes the bandwidth the signature
+	// threshold was meant to amortize.
+	fetchFlagSigsOnly = 1 << 0
+)
+
 // fetchRequest asks for blocks [From, To) of Channel.
 type fetchRequest struct {
-	ReqID   uint64
-	Channel string
-	From    uint64
-	To      uint64
+	ReqID    uint64
+	Channel  string
+	From     uint64
+	To       uint64
+	SigsOnly bool
 }
 
 func (q fetchRequest) marshal() []byte {
-	w := wire.NewWriter(32 + len(q.Channel))
+	w := wire.NewWriter(33 + len(q.Channel))
 	w.PutUint64(q.ReqID)
 	w.PutString(q.Channel)
 	w.PutUint64(q.From)
 	w.PutUint64(q.To)
+	var flags uint64
+	if q.SigsOnly {
+		flags |= fetchFlagSigsOnly
+	}
+	w.PutUvarint(flags)
 	return w.Bytes()
 }
 
@@ -67,9 +94,11 @@ func unmarshalFetchRequest(payload []byte) (fetchRequest, error) {
 		From:    r.Uint64(),
 		To:      r.Uint64(),
 	}
+	flags := r.Uvarint()
 	if err := r.Finish(); err != nil {
 		return fetchRequest{}, fmt.Errorf("fetch request: %w", err)
 	}
+	q.SigsOnly = flags&fetchFlagSigsOnly != 0
 	return q, nil
 }
 
@@ -161,7 +190,7 @@ func (bf *blockFetcher) HandleResponse(from transport.Addr, payload []byte) {
 }
 
 // request sends one fetch request to a peer and awaits its response.
-func (bf *blockFetcher) request(peer transport.Addr, channel string, from, to uint64, done <-chan struct{}) (fetchResponse, error) {
+func (bf *blockFetcher) request(peer transport.Addr, channel string, from, to uint64, sigsOnly bool, done <-chan struct{}) (fetchResponse, error) {
 	bf.mu.Lock()
 	bf.nextID++
 	id := bf.nextID
@@ -174,7 +203,7 @@ func (bf *blockFetcher) request(peer transport.Addr, channel string, from, to ui
 		bf.mu.Unlock()
 	}()
 
-	req := fetchRequest{ReqID: id, Channel: channel, From: from, To: to}
+	req := fetchRequest{ReqID: id, Channel: channel, From: from, To: to, SigsOnly: sigsOnly}
 	bf.conn.Send(peer, MsgFetchRequest, req.marshal())
 
 	timer := time.NewTimer(fetchWindowTimeout)
@@ -205,7 +234,11 @@ func (e *errPeerPruned) Error() string {
 // compacted the range away answers with its floor, surfaced as
 // *errPeerPruned.
 func (bf *blockFetcher) fetchWindow(peer transport.Addr, channel string, from, to uint64, done <-chan struct{}) ([]*fabric.Block, error) {
-	resp, err := bf.request(peer, channel, from, to, done)
+	return bf.fetchWindowFlags(peer, channel, from, to, false, done)
+}
+
+func (bf *blockFetcher) fetchWindowFlags(peer transport.Addr, channel string, from, to uint64, sigsOnly bool, done <-chan struct{}) ([]*fabric.Block, error) {
+	resp, err := bf.request(peer, channel, from, to, sigsOnly, done)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +261,7 @@ func (bf *blockFetcher) fetchWindow(peer transport.Addr, channel string, from, t
 
 // probeHead asks one peer for its newest block.
 func (bf *blockFetcher) probeHead(peer transport.Addr, channel string, done <-chan struct{}) (*fabric.Block, error) {
-	resp, err := bf.request(peer, channel, fetchHeadProbe, fetchHeadProbe, done)
+	resp, err := bf.request(peer, channel, fetchHeadProbe, fetchHeadProbe, false, done)
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +324,7 @@ func (bf *blockFetcher) FetchRange(done <-chan struct{}, peers []transport.Addr,
 	}
 	var lastErr error = ErrFetchFailed
 	pruned := newPrunedTally(f)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for round := 0; round < fetchRounds; round++ {
 		for _, peer := range peers {
 			blocks, err := bf.fetchRangeFromPeer(peer, channel, from, to, done)
@@ -312,10 +346,13 @@ func (bf *blockFetcher) FetchRange(done <-chan struct{}, peers []transport.Addr,
 			}
 			return blocks, nil
 		}
+		if round == fetchRounds-1 {
+			break
+		}
 		select {
 		case <-done:
 			return nil, ErrFetchFailed
-		case <-time.After(fetchRetryDelay):
+		case <-time.After(fetchRetryPolicy.Delay(round, rng)):
 		}
 	}
 	return nil, fmt.Errorf("%w: %s blocks %d..%d: %v", ErrFetchFailed, channel, from, to-1, lastErr)
@@ -432,6 +469,17 @@ type rangeCandidate struct {
 // persisted before signature retention (legacy) cannot reach the
 // threshold and fail with ErrUnverifiedRange — callers fall back to
 // hash-chain anchoring.
+//
+// Once a full copy is in hand, further peers are asked for signatures
+// only (fetchFlagSigsOnly): envelope-stripped blocks whose signatures are
+// merged per index by header-hash match. Matching by header hash is safe
+// without re-verifying the chain — every signature is checked against the
+// candidate's own header digest, so a stripped response can contribute
+// valid signatures or nothing. A peer whose signature response matches no
+// candidate index holds a different version of the range; it is re-asked
+// for a full copy so an honest alternative can form its own candidate.
+// The peer set is swept up to fetchRounds times with jittered backoff in
+// between, so one pass of transient loss does not strand a joining node.
 func (bf *blockFetcher) FetchRangeVerified(done <-chan struct{}, peers []transport.Addr, channel string, from, to uint64, registry *cryptoutil.Registry, f int) ([]*fabric.Block, error) {
 	if to <= from {
 		return nil, nil
@@ -443,24 +491,20 @@ func (bf *blockFetcher) FetchRangeVerified(done <-chan struct{}, peers []transpo
 	pruned := newPrunedTally(f)
 	var candidates []*rangeCandidate
 	var lastErr error = ErrFetchFailed
-	for _, peer := range peers {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	// absorbFull fetches a full copy from one peer and folds it into the
+	// candidate set. It returns the candidate the copy completed, if any.
+	absorbFull := func(peer transport.Addr) *rangeCandidate {
 		blocks, err := bf.fetchRangeFromPeer(peer, channel, from, to, done)
 		if err != nil {
 			lastErr = err
-			if pe := pruned.note(channel, err); pe != nil {
-				return nil, pe
-			}
-			select {
-			case <-done:
-				return nil, ErrFetchFailed
-			default:
-			}
-			continue
+			return nil
 		}
 		if uint64(len(blocks)) != to-from || blocks[0].Header.Number != from ||
 			fabric.VerifyChain(blocks) != nil {
 			lastErr = fmt.Errorf("fetch: peer %s served a malformed range", peer)
-			continue
+			return nil
 		}
 		key := blocks[len(blocks)-1].Header.Hash()
 		var cand *rangeCandidate
@@ -497,13 +541,105 @@ func (bf *blockFetcher) FetchRangeVerified(done <-chan struct{}, peers []transpo
 			}
 		}
 		if cand.short <= 0 {
-			return cand.blocks, nil
+			return cand
+		}
+		return nil
+	}
+
+	for round := 0; round < fetchRounds; round++ {
+		for _, peer := range peers {
+			select {
+			case <-done:
+				return nil, ErrFetchFailed
+			default:
+			}
+			if len(candidates) == 0 {
+				if cand := absorbFull(peer); cand != nil {
+					return cand.blocks, nil
+				}
+				if pe := pruned.note(channel, lastErr); pe != nil {
+					return nil, pe
+				}
+				continue
+			}
+			sigBlocks, err := bf.fetchSigsFromPeer(peer, channel, from, to, done)
+			if err != nil {
+				lastErr = err
+				if pe := pruned.note(channel, err); pe != nil {
+					return nil, pe
+				}
+				continue
+			}
+			matched := 0
+			for _, cand := range candidates {
+				for i, b := range cand.blocks {
+					if i >= len(sigBlocks) || sigBlocks[i] == nil {
+						continue
+					}
+					if sigBlocks[i].Header.Hash() != b.Header.Hash() {
+						continue
+					}
+					matched++
+					if len(cand.verified[i]) >= need {
+						continue
+					}
+					before := len(cand.verified[i])
+					mergeVerified(registry, b, sigBlocks[i], cand.verified[i])
+					if before < need && len(cand.verified[i]) >= need {
+						cand.short--
+					}
+				}
+				if cand.short <= 0 {
+					return cand.blocks, nil
+				}
+			}
+			if matched == 0 {
+				// This peer holds a version of the range no candidate
+				// matches: download it in full so an honest alternative to
+				// a byzantine first responder can form its own candidate.
+				if cand := absorbFull(peer); cand != nil {
+					return cand.blocks, nil
+				}
+			}
+		}
+		if round == fetchRounds-1 {
+			break
+		}
+		select {
+		case <-done:
+			return nil, ErrFetchFailed
+		case <-time.After(fetchRetryPolicy.Delay(round, rng)):
 		}
 	}
 	if len(candidates) > 0 {
 		return nil, fmt.Errorf("%w: %s blocks %d..%d", ErrUnverifiedRange, channel, from, to-1)
 	}
 	return nil, fmt.Errorf("%w: %s blocks %d..%d: %v", ErrFetchFailed, channel, from, to-1, lastErr)
+}
+
+// fetchSigsFromPeer accumulates envelope-stripped copies of [from, to)
+// from one peer, window by window. The result is positional: index i
+// holds the peer's copy of block from+i (header + signatures only), and
+// callers must match by header hash before trusting anything in it.
+func (bf *blockFetcher) fetchSigsFromPeer(peer transport.Addr, channel string, from, to uint64, done <-chan struct{}) ([]*fabric.Block, error) {
+	out := make([]*fabric.Block, 0, to-from)
+	for next := from; next < to; {
+		blocks, err := bf.fetchWindowFlags(peer, channel, next, to, true, done)
+		if err != nil {
+			return nil, err
+		}
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("fetch: peer %s cannot serve block %d", peer, next)
+		}
+		for i, b := range blocks {
+			if b.Header.Number != next+uint64(i) {
+				return nil, fmt.Errorf("fetch: peer %s served out-of-order signatures", peer)
+			}
+		}
+		out = append(out, blocks...)
+		next += uint64(len(blocks))
+	}
+	return out, nil
 }
 
 // ErrUnverifiedRange reports a fetched range that could not accumulate

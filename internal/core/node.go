@@ -365,6 +365,17 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		// re-seals the tail blocks, and the ledgers' recovered heights
 		// are what makes that replay idempotent.
 		rec := n.storage.Recovered()
+		// The durable membership record outranks the static configuration:
+		// a node that crashed after applying a reconfiguration restarts
+		// into the group consensus last agreed on, not the one its config
+		// file remembers. (The teeth switch keeps the unsafe pre-record
+		// behavior reproducible for the loss test.)
+		if m := rec.Membership; m != nil && !consensus.UnsafeMembershipRecoveryEnabled() {
+			if err := applyRecoveredMembership(&ccfg, m); err != nil {
+				n.closeOwned()
+				return nil, fmt.Errorf("ordering node: %w", err)
+			}
+		}
 		n.ledgers = make(map[string]*fabric.Ledger, len(rec.Chains))
 		for channel, info := range rec.Chains {
 			n.ledgers[channel] = fabric.RestoreLedger(channel, n.storage, fabric.ChainState{
@@ -384,7 +395,8 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 				Checkpoint:    rec.Checkpoint,
 				Decisions:     durableEntries(rec.Decisions),
 			}),
-			consensus.WithCheckpointObserver(n.onCheckpoint))
+			consensus.WithCheckpointObserver(n.onCheckpoint),
+			consensus.WithMembershipObserver(n.onMembershipChange))
 		n.storage.SetCheckpointGate(n.checkpointCovered)
 		n.recovering = true
 	}
@@ -505,6 +517,56 @@ func (n *OrderingNode) checkRecoveredFrontier() error {
 		}
 	}
 	return nil
+}
+
+// applyRecoveredMembership replaces the static consensus membership with
+// the durably recorded one. A node the recorded group no longer lists
+// must not rejoin as a voter under its stale static config — it fails
+// construction with an explicit error instead.
+func applyRecoveredMembership(ccfg *consensus.Config, m *storage.MembershipRecord) error {
+	replicas := make([]consensus.ReplicaID, 0, len(m.Members))
+	weights := make(map[consensus.ReplicaID]int, len(m.Members))
+	self := false
+	for _, raw := range m.Members {
+		id := consensus.ReplicaID(raw)
+		replicas = append(replicas, id)
+		weights[id] = int(m.Weights[raw])
+		if id == ccfg.SelfID {
+			self = true
+		}
+	}
+	if !self {
+		return fmt.Errorf("recovery: durable membership (epoch %d) no longer includes node %d — it was removed from the group",
+			m.Epoch, int(ccfg.SelfID))
+	}
+	ccfg.Replicas = replicas
+	ccfg.Weights = weights
+	ccfg.F = 0 // re-derive from the recovered group size
+	return nil
+}
+
+// onMembershipChange persists every applied reconfiguration as the durable
+// membership record (runs on the consensus event loop; reconfigurations
+// are rare, so the synchronous fsyncs are acceptable there). Saves are
+// epoch-monotonic in storage, so replay-time notifications are no-ops.
+func (n *OrderingNode) onMembershipChange(v consensus.MembershipView) {
+	if n.storage == nil || v.Epoch == 0 {
+		return
+	}
+	rec := &storage.MembershipRecord{
+		Epoch:   v.Epoch,
+		Members: make([]int32, 0, len(v.Members)),
+		Weights: make(map[int32]uint32, len(v.Weights)),
+	}
+	for _, id := range v.Members {
+		rec.Members = append(rec.Members, int32(id))
+		rec.Weights[int32(id)] = uint32(v.Weights[id])
+	}
+	if err := n.storage.SaveMembership(rec); err != nil {
+		slog.Error("persisting membership record failed",
+			"node", int(n.ID()), "shard", n.cfg.ShardID,
+			"epoch", v.Epoch, "err", err)
+	}
 }
 
 // asyncDurability adapts NodeStorage's concrete token type to the
@@ -1426,6 +1488,15 @@ func (n *OrderingNode) serveFetch(from transport.Addr, payload []byte) {
 			case err == nil:
 				resp.Blocks = make([][]byte, 0, len(blocks))
 				for _, b := range blocks {
+					if req.SigsOnly {
+						// Signature-only fetch: strip the envelopes. The
+						// header (and thus the signed digest) is untouched,
+						// so the requester can merge these signatures into
+						// its full copy by header-hash match.
+						stripped := &fabric.Block{Header: b.Header, Signatures: b.Signatures}
+						resp.Blocks = append(resp.Blocks, stripped.Marshal())
+						continue
+					}
 					resp.Blocks = append(resp.Blocks, b.Marshal())
 				}
 			default:
@@ -1653,7 +1724,7 @@ func lowestParked(parked map[uint64]*fabric.Block) (uint64, bool) {
 func (n *OrderingNode) fetchGap(channel string, from, to uint64, anchor cryptoutil.Digest) (blocks []*fabric.Block, start uint64, err error) {
 	start = from
 	for {
-		blocks, err = n.fetcher.FetchRange(n.done, n.peerAddrs(), channel, start, to, anchor, n.faults())
+		blocks, err = n.fetchGapOnce(channel, start, to, anchor)
 		if err == nil {
 			return blocks, start, nil
 		}
@@ -1668,23 +1739,105 @@ func (n *OrderingNode) fetchGap(channel string, from, to uint64, anchor cryptout
 	}
 }
 
-// faults returns the cluster's fault threshold f.
+// fetchGapOnce fetches one back-fill range, preferring the signature-
+// verified path when a key registry is configured: blocks land with the
+// f+1 merged signature set the fetch accumulated, so the durable ledger
+// keeps the full released proof instead of just the serving peer's own
+// signature. The verified result must still link into the locally trusted
+// anchor; on any disagreement — or for legacy unsigned history — the
+// anchored hash-chain fetch takes over. An authoritative pruned answer
+// propagates directly (the caller climbs the floor).
+func (n *OrderingNode) fetchGapOnce(channel string, start, to uint64, anchor cryptoutil.Digest) ([]*fabric.Block, error) {
+	peers := n.peerAddrs()
+	f := n.faults()
+	if reg := n.cfg.Consensus.Registry; reg != nil {
+		blocks, err := n.fetcher.FetchRangeVerified(n.done, peers, channel, start, to, reg, f)
+		if err == nil {
+			if fabric.VerifyRange(blocks, start, to, anchor) == nil {
+				return blocks, nil
+			}
+		} else {
+			var pe *fabric.PrunedError
+			if errors.As(err, &pe) {
+				return nil, err
+			}
+		}
+	}
+	return n.fetcher.FetchRange(n.done, peers, channel, start, to, anchor, f)
+}
+
+// MembershipView returns the consensus group the node currently believes
+// in (epoch, members, weights). Safe from any goroutine.
+func (n *OrderingNode) MembershipView() consensus.MembershipView {
+	return n.replica.MembershipView()
+}
+
+// membershipIDs returns the live consensus membership — the static config
+// until the replica exists or a reconfiguration changed the group.
+func (n *OrderingNode) membershipIDs() []consensus.ReplicaID {
+	if n.replica != nil {
+		if v := n.replica.MembershipView(); len(v.Members) > 0 {
+			return v.Members
+		}
+	}
+	return n.cfg.Consensus.Replicas
+}
+
+// faults returns the cluster's fault threshold f, tracking the live
+// membership across reconfigurations.
 func (n *OrderingNode) faults() int {
+	if n.replica != nil {
+		if v := n.replica.MembershipView(); len(v.Members) > 0 && v.F > 0 {
+			return v.F
+		}
+	}
 	if f := n.cfg.Consensus.F; f > 0 {
 		return f
 	}
 	return consensus.MaxFaults(len(n.cfg.Consensus.Replicas))
 }
 
-// peerAddrs returns the other replicas' transport addresses.
+// peerAddrs returns the other replicas' transport addresses per the live
+// membership (reconfigurations change who is worth fetching from).
 func (n *OrderingNode) peerAddrs() []transport.Addr {
-	peers := make([]transport.Addr, 0, len(n.cfg.Consensus.Replicas)-1)
-	for _, id := range n.cfg.Consensus.Replicas {
+	members := n.membershipIDs()
+	peers := make([]transport.Addr, 0, len(members))
+	for _, id := range members {
 		if id != n.cfg.Consensus.SelfID {
 			peers = append(peers, id.Addr())
 		}
 	}
 	return peers
+}
+
+// Drain waits until every channel's dissemination pipeline is empty: no
+// signed block parked in a sender and no drain worker out. Part of the
+// graceful-leave sequence — a node that drains before stopping hands every
+// block it sealed to the frontends, so removing it leaves no delivery gap.
+func (n *OrderingNode) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.sendMu.Lock()
+		busy := false
+		for _, s := range n.senders {
+			if len(s.pending) > 0 || s.draining {
+				busy = true
+				break
+			}
+		}
+		n.sendMu.Unlock()
+		if !busy {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ordering node %d: drain timed out after %v", int(n.ID()), timeout)
+		}
+		select {
+		case <-n.done:
+			return nil
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // ttcLoop submits time-to-cut markers for channels whose cutters have aged
@@ -1730,7 +1883,7 @@ func (n *OrderingNode) ttcLoop() {
 				Payload:   w.Bytes(),
 			}
 			rq := consensus.EncodeRequest(clientID, n.ttcSeq.Add(1), env.Marshal())
-			for _, id := range n.cfg.Consensus.Replicas {
+			for _, id := range n.membershipIDs() {
 				n.conn.Send(id.Addr(), consensus.RequestMessageType, rq)
 			}
 		}

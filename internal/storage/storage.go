@@ -56,6 +56,10 @@ type RecoveredState struct {
 	// Chains are the persisted chains' frontiers (floor, anchor, height,
 	// last hash), keyed by channel.
 	Chains map[string]ChainInfo
+	// Membership is the durable group view recorded by the last applied
+	// reconfiguration, nil when the node never applied one. A recovering
+	// node must prefer it over its static configuration.
+	Membership *MembershipRecord
 }
 
 // seqIdx is one committed decision's (consensus seq, log index) pair. The
@@ -121,6 +125,11 @@ type NodeStorage struct {
 	ckptWg       sync.WaitGroup
 	ckptSaveMu   sync.Mutex
 	ckptSavedSeq int64
+
+	// Membership record bookkeeping: memberEpoch is the newest epoch on
+	// disk (nil before any save this incarnation — recovery seeds it).
+	memberMu    sync.Mutex
+	memberEpoch *uint64
 
 	// metrics is never nil (normalized to a nop bundle at Open).
 	metrics *obs.StorageMetrics
@@ -263,6 +272,15 @@ func (s *NodeStorage) recover() error {
 	}
 	if err := s.blocks.finishRecovery(); err != nil {
 		return err
+	}
+	member, err := loadMembership(s.dir)
+	if err != nil {
+		return err
+	}
+	if member != nil {
+		st.Membership = member
+		epoch := member.Epoch
+		s.memberEpoch = &epoch
 	}
 	st.Chains = s.blocks.Chains()
 	s.recovered = st

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is the shared jittered-exponential-backoff schedule the
+// transport and the fetch/join paths use for anything that may transiently
+// fail: peer dials, block fetches, join announcements. One-shot attempts
+// turn WAN blips into permanent failures; a policy-driven loop retries with
+// growing, jittered pauses until the operation succeeds, the attempt budget
+// runs out, or the caller's done channel closes.
+type RetryPolicy struct {
+	// Initial is the first backoff pause. Zero means 100ms.
+	Initial time.Duration
+	// Max caps the pause between attempts. Zero means 5s.
+	Max time.Duration
+	// Multiplier grows the pause each attempt. Zero means 2.
+	Multiplier float64
+	// Jitter is the random fraction (0..1) added/subtracted around each
+	// pause so peers do not retry in lockstep. Zero means 0.2; negative
+	// disables jitter.
+	Jitter float64
+	// MaxAttempts bounds the number of attempts. Zero means unbounded
+	// (the caller bounds via MaxElapsed or the done channel).
+	MaxAttempts int
+	// MaxElapsed bounds the total time from the first attempt. Zero means
+	// unbounded.
+	MaxElapsed time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Initial <= 0 {
+		p.Initial = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Delay returns the pause before attempt attempt+1 (attempt counts from 0),
+// jittered by rng when non-nil.
+func (p RetryPolicy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	return time.Duration(d)
+}
+
+// Run invokes op until it returns nil, the policy's budget is exhausted, or
+// done closes. op receives the attempt number (from 0). The return value is
+// nil on success, the last op error when the budget ran out, and the last
+// op error (or nil if op never ran) when done closed first.
+func (p RetryPolicy) Run(done <-chan struct{}, op func(attempt int) error) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-done:
+			return lastErr
+		default:
+		}
+		if err := op(attempt); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if p.MaxAttempts > 0 && attempt+1 >= p.MaxAttempts {
+			return lastErr
+		}
+		pause := p.Delay(attempt, rng)
+		if p.MaxElapsed > 0 && time.Since(start)+pause > p.MaxElapsed {
+			return lastErr
+		}
+		select {
+		case <-time.After(pause):
+		case <-done:
+			return lastErr
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRetryDelayGrowsToCap(t *testing.T) {
+	p := RetryPolicy{Initial: 100 * time.Millisecond, Max: time.Second, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second, // capped from here on
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestRetryDelayJitterStaysBounded(t *testing.T) {
+	p := RetryPolicy{Initial: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: 0.2}
+	rng := rand.New(rand.NewSource(7))
+	varied := false
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1, rng) // base 200ms, jittered ±20%
+		if d < 160*time.Millisecond || d > 240*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [160ms, 240ms]", d)
+		}
+		if d != 200*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("200 jittered draws all identical; jitter is not applied")
+	}
+}
+
+func TestRetryRunSucceedsAfterFailures(t *testing.T) {
+	p := RetryPolicy{Initial: time.Millisecond, Jitter: -1}
+	calls := 0
+	err := p.Run(nil, func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Run = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryRunStopsAtMaxAttempts(t *testing.T) {
+	p := RetryPolicy{Initial: time.Millisecond, Jitter: -1, MaxAttempts: 4}
+	boom := errors.New("boom")
+	calls := 0
+	err := p.Run(nil, func(int) error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 4 {
+		t.Fatalf("Run = %v after %d calls, want boom after exactly 4", err, calls)
+	}
+}
+
+func TestRetryRunStopsAtMaxElapsed(t *testing.T) {
+	p := RetryPolicy{Initial: 20 * time.Millisecond, Jitter: -1, MaxElapsed: 50 * time.Millisecond}
+	boom := errors.New("boom")
+	start := time.Now()
+	err := p.Run(nil, func(int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want boom", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("Run overran its elapsed budget: %v", elapsed)
+	}
+}
+
+func TestRetryRunUnblocksOnDone(t *testing.T) {
+	p := RetryPolicy{Initial: time.Hour, Jitter: -1} // pause would block forever
+	boom := errors.New("boom")
+	done := make(chan struct{})
+	ran := make(chan struct{})
+	var once sync.Once
+	finished := make(chan error, 1)
+	go func() {
+		finished <- p.Run(done, func(int) error {
+			once.Do(func() { close(ran) })
+			return boom
+		})
+	}()
+	<-ran // op failed once; Run is now in its hour-long pause
+	close(done)
+	select {
+	case err := <-finished:
+		if !errors.Is(err, boom) {
+			t.Fatalf("Run = %v, want the last op error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not unblock when done closed")
+	}
+}

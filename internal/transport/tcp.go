@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -198,9 +199,17 @@ func (t *TCPTransport) Close() error {
 	return nil
 }
 
-// tcpWriter owns the outgoing connection to one peer. It reconnects with
-// backoff and drops messages while the peer is unreachable (asynchronous
-// network semantics: the layer above must tolerate loss).
+// maxQueuedUnreachable bounds the send queue while a peer is unreachable:
+// the newest messages are kept (they are the ones worth delivering when the
+// peer comes back), older ones become the loss the asynchronous network
+// model already allows.
+const maxQueuedUnreachable = 4096
+
+// tcpWriter owns the outgoing connection to one peer. Dials retry with
+// jittered exponential backoff (RetryPolicy) without dropping the pending
+// message, so a transient WAN blip delays delivery instead of losing it;
+// only a bounded backlog is retained while the peer stays unreachable
+// (asynchronous network semantics: the layer above must tolerate loss).
 type tcpWriter struct {
 	hostport string
 	dialTO   time.Duration
@@ -255,6 +264,9 @@ func (w *tcpWriter) run() {
 			conn.Close()
 		}
 	}()
+	policy := RetryPolicy{Initial: w.backoff, Max: 16 * w.backoff}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	dialAttempt := 0
 	for {
 		w.mu.Lock()
 		if len(w.queue) == 0 {
@@ -266,8 +278,12 @@ func (w *tcpWriter) run() {
 				return
 			}
 		}
+		// Peek while disconnected: the head message must survive dial
+		// failures. It is only popped once a connection exists.
 		m := w.queue[0]
-		w.queue = w.queue[1:]
+		if conn != nil {
+			w.queue = w.queue[1:]
+		}
 		w.mu.Unlock()
 
 		if conn == nil {
@@ -275,14 +291,24 @@ func (w *tcpWriter) run() {
 			conn, err = net.DialTimeout("tcp", w.hostport, w.dialTO)
 			if err != nil {
 				conn = nil
-				// Drop this message and back off before the next attempt.
+				// Transient dial failure: keep the backlog (bounded) and
+				// retry with jittered exponential backoff instead of
+				// dropping the message.
+				w.mu.Lock()
+				if excess := len(w.queue) - maxQueuedUnreachable; excess > 0 {
+					w.queue = append([]Message(nil), w.queue[excess:]...)
+				}
+				w.mu.Unlock()
 				select {
-				case <-time.After(w.backoff):
+				case <-time.After(policy.Delay(dialAttempt, rng)):
 				case <-w.done:
 					return
 				}
+				dialAttempt++
 				continue
 			}
+			dialAttempt = 0
+			continue // connected: loop back to pop the head
 		}
 		w.frameBuf = appendFrame(w.frameBuf[:0], m)
 		if _, err := conn.Write(w.frameBuf); err != nil {
