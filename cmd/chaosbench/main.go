@@ -64,8 +64,12 @@ func run() error {
 	}
 
 	rep := report{Scale: *scale, Env: bench.CaptureEnv()}
-	table := bench.NewTable("scenario", "pass", "p50 ms", "p99 ms", "envelopes", "blocks", "failed invariants")
+	table := bench.NewTable("scenario", "pass", "p50 ms", "p99 ms", "envelopes", "blocks", "durable frac", "failed invariants")
 	failed := 0
+	// The fault-free baseline's delivered throughput anchors every other
+	// scenario's durable fraction: how much acked-and-durable throughput
+	// survived the faults.
+	var baselineRate float64
 	for _, s := range scenarios {
 		if *seed != 0 {
 			s.Seed = *seed
@@ -73,6 +77,18 @@ func run() error {
 		res, err := chaos.Run(s, opts)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		rate := 0.0
+		if res.DurationSec > 0 {
+			rate = float64(res.Delivered) / res.DurationSec
+		}
+		if res.Scenario == "baseline" {
+			baselineRate = rate
+		}
+		durFrac := ""
+		if baselineRate > 0 {
+			res.DurableFraction = rate / baselineRate
+			durFrac = fmt.Sprintf("%.2f", res.DurableFraction)
 		}
 		rep.Results = append(rep.Results, res)
 		var bad string
@@ -89,7 +105,7 @@ func run() error {
 		}
 		table.AddRow(res.Scenario, res.Pass,
 			fmt.Sprintf("%.1f", res.P50Ms), fmt.Sprintf("%.1f", res.P99Ms),
-			res.Delivered, res.Blocks, bad)
+			res.Delivered, res.Blocks, durFrac, bad)
 	}
 	fmt.Print(table.String())
 

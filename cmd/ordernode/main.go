@@ -20,6 +20,7 @@ import (
 	"crypto/rand"
 	"crypto/x509"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -35,6 +36,8 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/obs"
 	"repro/internal/sharding"
+	"repro/internal/storage"
+	"repro/internal/storage/retention"
 	"repro/internal/transport"
 )
 
@@ -68,6 +71,8 @@ func run() error {
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	join := flag.Bool("join", false, "join an existing cluster: announce this node through an ordered membership add, then catch up via state transfer and verified block fetch from the peers' retention floor; -peers must list the current group plus this node")
 	joinTimeout := flag.Duration("join-timeout", 60*time.Second, "hard deadline for -join; exceeding it exits with the typed join error")
+	scrubInterval := flag.Duration("scrub-interval", 5*time.Minute, "background bit-rot scrub period over the durable block records; corrupt records are repaired from peers via f+1-verified fetch (0 disables timed passes)")
+	recoverFromPeers := flag.Bool("recover-from-peers", false, "destructive last resort when -data-dir fails recovery with corruption: WIPE the data directory and rebuild this node's state from the peers (join-style state transfer + verified block fetch); refuses to act on non-corruption errors")
 	genkey := flag.Bool("genkey", false, "generate a key pair, print it, and exit")
 	flag.Parse()
 
@@ -154,35 +159,58 @@ func run() error {
 	}
 	defer conn.Close()
 
-	node, err := core.NewNode(core.NodeConfig{
-		Consensus: consensus.Config{
-			SelfID:             selfID,
-			Replicas:           replicas,
-			BatchSize:          *batch,
-			CheckpointInterval: *checkpointIvl,
-			Key:                key,
-		},
-		BlockSize:       *block,
-		BlockTimeout:    *blockTimeout,
-		SigningWorkers:  *workers,
-		Key:             key,
-		ShardID:         *shard,
-		DataDir:         *dataDir,
-		WALSegmentBytes: *walSegment,
-		RetainBlocks:    *retainBlocks,
-		RetainBytes:     *retainBytes,
-		RetainWeights:   weights,
-		CommitMaxDelay:  *commitDelay,
-		CommitMaxBatch:  *commitBatch,
-		Metrics:         obs.NewNodeMetrics(registry, labels...),
-		StorageMetrics:  obs.NewStorageMetrics(registry, labels...),
-	}, conn)
+	makeNode := func() (*core.OrderingNode, error) {
+		return core.NewNode(core.NodeConfig{
+			Consensus: consensus.Config{
+				SelfID:             selfID,
+				Replicas:           replicas,
+				BatchSize:          *batch,
+				CheckpointInterval: *checkpointIvl,
+				Key:                key,
+			},
+			BlockSize:       *block,
+			BlockTimeout:    *blockTimeout,
+			SigningWorkers:  *workers,
+			Key:             key,
+			ShardID:         *shard,
+			DataDir:         *dataDir,
+			WALSegmentBytes: *walSegment,
+			RetainBlocks:    *retainBlocks,
+			RetainBytes:     *retainBytes,
+			RetainWeights:   weights,
+			CommitMaxDelay:  *commitDelay,
+			CommitMaxBatch:  *commitBatch,
+			ScrubInterval:   *scrubInterval,
+			Metrics:         obs.NewNodeMetrics(registry, labels...),
+			StorageMetrics:  obs.NewStorageMetrics(registry, labels...),
+		}, conn)
+	}
+	node, err := makeNode()
+	wiped := false
+	if err != nil && *recoverFromPeers && *dataDir != "" && isCorruption(err) {
+		// The disk lost data the scrubber cannot repair in place (mid-log
+		// damage, rotten checkpoint + .prev, corrupt membership record).
+		// The operator asked for the last resort: discard the local state
+		// and rebuild from the peers, whose f+1-verified history is the
+		// authoritative copy anyway.
+		slog.Error("local recovery failed with corruption; wiping data dir and rebuilding from peers",
+			"data-dir", *dataDir, "err", err)
+		if err := os.RemoveAll(*dataDir); err != nil {
+			return fmt.Errorf("-recover-from-peers: wiping %s: %w", *dataDir, err)
+		}
+		wiped = true
+		node, err = makeNode()
+	}
 	if err != nil {
 		return err
 	}
 	node.Start()
 	defer node.Stop()
-	if *join {
+	if *join || wiped {
+		// A wiped node re-announces itself through the ordered membership
+		// add (a no-op for an existing member) and catches up via state
+		// transfer + verified block fetch — the same path a fresh join
+		// takes.
 		if err := node.Join(core.JoinOptions{Deadline: *joinTimeout}); err != nil {
 			return err
 		}
@@ -211,6 +239,17 @@ func run() error {
 	}
 	fmt.Println("shutting down")
 	return nil
+}
+
+// isCorruption reports whether a node-construction error is durable-state
+// corruption — the only failure class -recover-from-peers may destroy a
+// data directory over. Anything else (permissions, address in use, bad
+// flags) must surface unchanged.
+func isCorruption(err error) bool {
+	return errors.Is(err, storage.ErrCorrupt) ||
+		errors.Is(err, storage.ErrCheckpointCorrupt) ||
+		errors.Is(err, storage.ErrMembershipCorrupt) ||
+		errors.Is(err, retention.ErrManifestCorrupt)
 }
 
 // setupLogging installs a leveled text handler on stderr as the process

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/sharding"
+	"repro/internal/storage/faultfs"
 	"repro/internal/transport"
 )
 
@@ -60,6 +61,16 @@ type Scenario struct {
 	// scenarios use the shard-aware faults and invariants (sharded.go);
 	// the single-cluster checkers do not apply.
 	Shards int
+
+	// DiskFaults threads a fault-injecting filesystem (faultfs) under every
+	// node's storage stack, reachable via Env.FaultFS, so faults can arm
+	// bit-rot, fsync failures, ENOSPC, or latency per node mid-run. Off by
+	// default: fault-free scenarios run on the real filesystem.
+	DiskFaults bool
+	// ScrubInterval is each node's background scrub cadence (zero leaves
+	// the production default alone for non-disk scenarios; disk-fault
+	// scenarios default to 1s so a run actually exercises timed passes).
+	ScrubInterval time.Duration
 
 	// Seed drives every random choice in the run (jitter, loss, probe
 	// ranges, payloads). Zero selects 42.
@@ -100,6 +111,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Load.Pace == 0 {
 		s.Load.Pace = 2 * time.Millisecond
+	}
+	if s.DiskFaults && s.ScrubInterval == 0 {
+		s.ScrubInterval = time.Second
 	}
 	return s
 }
@@ -160,6 +174,86 @@ type Env struct {
 	canonMu sync.Mutex
 	canon   []*fabric.Block
 	canons  map[string][]*fabric.Block // per-channel chains (sharded world)
+
+	// faultFS holds the per-node fault-injecting filesystems (set only
+	// when Scenario.DiskFaults; indexed like Cluster.Nodes).
+	faultFS []*faultfs.FS
+
+	// corrMu guards the at-rest corruption ledger ScrubHeals audits.
+	corrMu    sync.Mutex
+	corrupted []CorruptionMark
+
+	// ackMu guards the acked-vs-delivered ledger NoSilentLoss audits: a
+	// broadcast the load frontend acked must eventually appear in the
+	// canonical chain. Delivery can race ahead of the ack bookkeeping, so
+	// both sides are recorded and pending = acked minus delivered.
+	ackMu        sync.Mutex
+	ackPending   map[loadKey]bool
+	ackDelivered map[loadKey]bool
+}
+
+// CorruptionMark is one at-rest corruption a disk fault injected: node
+// index plus the block coordinates whose durable record was damaged.
+type CorruptionMark struct {
+	Node    int
+	Channel string
+	Num     uint64
+}
+
+// FaultFS returns node i's fault-injecting filesystem, or nil when the
+// scenario runs without DiskFaults (or the node joined after startup).
+func (e *Env) FaultFS(i int) *faultfs.FS {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i < 0 || i >= len(e.faultFS) {
+		return nil
+	}
+	return e.faultFS[i]
+}
+
+// NoteCorrupted records an injected at-rest corruption for ScrubHeals.
+func (e *Env) NoteCorrupted(node int, channel string, num uint64) {
+	e.corrMu.Lock()
+	defer e.corrMu.Unlock()
+	e.corrupted = append(e.corrupted, CorruptionMark{Node: node, Channel: channel, Num: num})
+}
+
+// CorruptionLedger snapshots the injected at-rest corruptions.
+func (e *Env) CorruptionLedger() []CorruptionMark {
+	e.corrMu.Lock()
+	defer e.corrMu.Unlock()
+	return append([]CorruptionMark(nil), e.corrupted...)
+}
+
+// noteAcked records a load broadcast the frontend acked. If the envelope
+// already delivered (the release can outrun the ack return path) it is
+// settled immediately.
+func (e *Env) noteAcked(k loadKey) {
+	e.ackMu.Lock()
+	defer e.ackMu.Unlock()
+	if e.ackDelivered[k] {
+		return
+	}
+	e.ackPending[k] = true
+}
+
+// noteDelivered settles an envelope observed in the canonical stream.
+func (e *Env) noteDelivered(k loadKey) {
+	e.ackMu.Lock()
+	defer e.ackMu.Unlock()
+	e.ackDelivered[k] = true
+	delete(e.ackPending, k)
+}
+
+// ackedUndelivered counts acked envelopes not yet seen in the canonical
+// chain and returns one example for the violation message.
+func (e *Env) ackedUndelivered() (int, loadKey) {
+	e.ackMu.Lock()
+	defer e.ackMu.Unlock()
+	for k := range e.ackPending {
+		return len(e.ackPending), k
+	}
+	return 0, loadKey{}
 }
 
 // Done closes when the fault-injection window ends; faults and invariant

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/consensus"
@@ -221,6 +222,135 @@ func waitCaughtUp(e *Env, i int, target uint64, timeout time.Duration) error {
 			return fmt.Errorf("node %d never caught up to height %d (at %d)", i, target, h)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// DiskBitRotFault silently corrupts `blocks` durable block records at
+// rest on node i's disk at atFrac of the run: each record's bytes are
+// flipped in the segment file underneath the storage stack (the way real
+// media rots — no write path ever sees it), the damage is recorded in the
+// corruption ledger for ScrubHeals to audit, and a scrub pass is
+// triggered so the self-heal path runs inside the scenario window. The
+// corrupted records sit in the middle of the node's durable history, so
+// they are old enough to be group-committed and young enough to be
+// retained.
+func DiskBitRotFault(node int, atFrac float64, blocks int) Fault {
+	return Fault{
+		Name: "disk-bitrot",
+		Run: func(e *Env) error {
+			after(e, frac(e, atFrac)) // inject even if the window closed first
+			if blocks < 1 {
+				blocks = 1
+			}
+			// Wait until the node has enough durable history to damage.
+			var wm uint64
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				n, _ := e.Node(node)
+				if n != nil {
+					wm = n.PersistWatermark(e.Channel)
+				}
+				if wm >= uint64(blocks)+2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("node %d never persisted %d blocks to corrupt (watermark %d)",
+						node, blocks+2, wm)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			n, _ := e.Node(node)
+			if n == nil {
+				return fmt.Errorf("node %d is down, cannot rot its disk", node)
+			}
+			start := wm / 2
+			for num := start; num < start+uint64(blocks); num++ {
+				path, off, length, err := n.BlockSpan(e.Channel, num)
+				if err != nil {
+					return fmt.Errorf("locating node %d block %d at rest: %w", node, num, err)
+				}
+				if err := flipByteAt(path, off+length-1); err != nil {
+					return fmt.Errorf("rotting node %d block %d: %w", node, num, err)
+				}
+				e.NoteCorrupted(node, e.Channel, num)
+			}
+			n.TriggerScrub()
+			return nil
+		},
+	}
+}
+
+// flipByteAt XORs one bit of the byte at off in path, writing directly to
+// the file underneath every storage abstraction — at-rest corruption.
+func flipByteAt(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0x01
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// FsyncFailFault turns node i's disk into one that accepts writes but
+// fails every fsync (the dead-disk / fsyncgate mode) at atFrac of the
+// run. The node's commit log must then poison itself on the next wave —
+// fail-fast — and stop advancing durability rather than retrying a sync
+// the kernel semantics make meaningless. The fault fails the run if the
+// log never poisons: that would mean a node kept acking writes its disk
+// never accepted.
+func FsyncFailFault(node int, atFrac float64) Fault {
+	return Fault{
+		Name: "fsync-fail",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			ffs := e.FaultFS(node)
+			if ffs == nil {
+				return fmt.Errorf("node %d has no fault filesystem (scenario must set DiskFaults)", node)
+			}
+			ffs.FailSyncsSticky(true)
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				n, _ := e.Node(node)
+				if n != nil && n.StoragePoisoned() != nil {
+					return nil
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("node %d commit log never poisoned despite every fsync failing", node)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		},
+	}
+}
+
+// DiskLatencyFault injects d of latency into every storage operation on
+// node i from atFrac until the injection window closes (a dying or
+// overloaded disk). Cleared at the window's end so quiesce and final
+// invariants run at full speed.
+func DiskLatencyFault(node int, atFrac float64, d time.Duration) Fault {
+	return Fault{
+		Name: "disk-latency",
+		Run: func(e *Env) error {
+			if !after(e, frac(e, atFrac)) {
+				return nil
+			}
+			ffs := e.FaultFS(node)
+			if ffs == nil {
+				return fmt.Errorf("node %d has no fault filesystem (scenario must set DiskFaults)", node)
+			}
+			ffs.SetOpDelay(d)
+			<-e.Done()
+			ffs.SetOpDelay(0)
+			return nil
+		},
 	}
 }
 

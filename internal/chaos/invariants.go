@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/storage"
 )
 
 // DeliverContinuity subscribes from genesis on the observer frontend and
@@ -168,7 +170,19 @@ func WatermarkMonotonic() Invariant {
 // faults did, the cluster must converge back to durably holding what it
 // released. Polls up to 15 seconds to absorb backfill and state transfer.
 func DurableFloor(floorFrac float64) Invariant {
+	return DurableFloorExcept(floorFrac)
+}
+
+// DurableFloorExcept is DurableFloor with exempt node indices: a node
+// whose commit log a fault deliberately poisoned (fail-fast fsync) stops
+// advancing durability by design, so the floor is asserted on everyone
+// else — the cluster as a whole must still durably hold what it released.
+func DurableFloorExcept(floorFrac float64, except ...int) Invariant {
 	const name = "durable-floor"
+	exempt := make(map[int]bool, len(except))
+	for _, i := range except {
+		exempt[i] = true
+	}
 	return Invariant{
 		Name:  name,
 		Start: func(e *Env) error { return nil },
@@ -179,6 +193,9 @@ func DurableFloor(floorFrac float64) Invariant {
 				lagging := -1
 				var lagMark uint64
 				for i := 0; i < e.Scenario.Nodes; i++ {
+					if exempt[i] {
+						continue
+					}
 					n, _ := e.Node(i)
 					if n == nil {
 						continue
@@ -196,6 +213,81 @@ func DurableFloor(floorFrac float64) Invariant {
 					return
 				}
 				time.Sleep(50 * time.Millisecond)
+			}
+		},
+	}
+}
+
+// ScrubHeals audits the corruption ledger after quiesce: every block
+// record a disk fault damaged at rest must be readable again from the
+// victim's durable store and hash-match the canonical chain — the scrub
+// detected the rot and the f+1-verified peer repair healed it. Fails if
+// no corruption was ever injected (the fault did not bite) or any damaged
+// record is still unreadable or divergent at the deadline.
+func ScrubHeals() Invariant {
+	const name = "scrub-heals"
+	return Invariant{
+		Name:  name,
+		Start: func(e *Env) error { return nil },
+		Stop: func(e *Env) {
+			marks := e.CorruptionLedger()
+			if len(marks) == 0 {
+				e.Violate(name, "no at-rest corruption was ever injected (fault did not bite)")
+				return
+			}
+			canon := e.Canon()
+			deadline := time.Now().Add(20 * time.Second)
+			for _, m := range marks {
+				for {
+					n, _ := e.Node(m.Node)
+					if n != nil {
+						b, err := n.DurableBlock(m.Channel, m.Num)
+						if err == nil {
+							if m.Num < uint64(len(canon)) && b.Header.Hash() != canon[m.Num].Header.Hash() {
+								e.Violate(name, "node %d block %s/%d healed into a copy divergent from the canonical chain",
+									m.Node, m.Channel, m.Num)
+							}
+							break
+						}
+						if errors.Is(err, storage.ErrRecordGone) {
+							break // pruned under retention: nothing left to heal
+						}
+					}
+					if time.Now().After(deadline) {
+						e.Violate(name, "node %d block %s/%d still corrupt after the run (self-heal never landed)",
+							m.Node, m.Channel, m.Num)
+						break
+					}
+					time.Sleep(100 * time.Millisecond)
+				}
+			}
+		},
+	}
+}
+
+// NoSilentLoss requires every envelope the load frontend acked to appear
+// in the canonical released chain by the end of the run: an acknowledged
+// write that vanishes is the one failure an ordering service may never
+// exhibit, whatever its disks do. Polls so late-draining tail blocks can
+// settle.
+func NoSilentLoss() Invariant {
+	const name = "no-silent-loss"
+	return Invariant{
+		Name:  name,
+		Start: func(e *Env) error { return nil },
+		Stop: func(e *Env) {
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				pending, sample := e.ackedUndelivered()
+				if pending == 0 {
+					return
+				}
+				if time.Now().After(deadline) {
+					e.Violate(name, "%d acked envelopes never delivered (e.g. client %s seq %d): an acknowledged write was silently lost",
+						pending, sample.client, sample.seq)
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
 			}
 		},
 	}

@@ -107,6 +107,42 @@ func Scenarios() []Scenario {
 			Invariants:     append(standardInvariants(1.0), MembershipConverged(), LeaderChangeObserved()),
 		},
 		{
+			Name:        "disk-bitrot-scrub",
+			Description: "silent at-rest corruption of durable block records on one node; the background scrubber must detect it and self-heal from f+1-verified peer copies, with no acked write lost",
+			DiskFaults:  true,
+			Duration:    8 * time.Second,
+			Faults:      []Fault{DiskBitRotFault(2, 0.35, 2)},
+			Invariants:  append(standardInvariants(1.0), ScrubHeals(), NoSilentLoss()),
+		},
+		{
+			Name:        "fsync-error-failfast",
+			Description: "one node's disk accepts writes but fails every fsync; its commit log must poison itself (fail-fast) and stop advancing durability rather than ack writes the kernel already dropped, while the remaining replicas keep the service live and lossless",
+			DiskFaults:  true,
+			Duration:    8 * time.Second,
+			Faults:      []Fault{FsyncFailFault(3, 0.4)},
+			Invariants: []Invariant{
+				DeliverContinuity(),
+				VerifiedFetch(),
+				WatermarkMonotonic(),
+				DurableFloorExcept(1.0, 3),
+				NoSilentLoss(),
+			},
+		},
+		{
+			Name:           "wan-crash-byzantine-disk",
+			Description:    "the kitchen sink on a wide-area network: seeded jitter and dissemination loss, a mid-run crash-recovery, a forged-history byzantine, and at-rest disk corruption — the release rules, recovery, verification, and self-healing must all hold at once",
+			DiskFaults:     true,
+			RequestTimeout: 4 * time.Second,
+			Duration:       10 * time.Second,
+			Faults: []Fault{
+				WANFault(10, 0.003),
+				CrashRestartFault(1, 0.3, 0.55),
+				ByzantineFault(0, consensus.Behavior{}, core.Byzantine{ForgeHistory: true}, 0.2),
+				DiskBitRotFault(2, 0.35, 2),
+			},
+			Invariants: append(standardInvariants(0.9), ScrubHeals(), NoSilentLoss()),
+		},
+		{
 			Name:        "shard-partition",
 			Description: "one consensus group of a 2-shard deployment is split past quorum loss while the other keeps ordering; the healed shard must catch up and cross-shard transactions must stay atomic",
 			Shards:      2,
@@ -124,12 +160,48 @@ func Scenarios() []Scenario {
 	}
 }
 
-// Lookup resolves a scenario by name.
+// SoakScenario is the long compounded-disk-fault soak: a minute of
+// continuous load while bit-rot keeps landing on two nodes, a third disk
+// runs slow, and a fourth goes fsync-dead mid-run. It is deliberately NOT
+// in Scenarios() — at ~60s plus quiesce it is far too slow for the
+// default matrix — and runs only from the CHAOS_SOAK=1-gated test or an
+// explicit `chaosbench -scenario disk-soak`.
+func SoakScenario() Scenario {
+	return Scenario{
+		Name:           "disk-soak",
+		Description:    "60s compounded disk-fault soak: recurring at-rest bit-rot on two nodes, sustained storage latency on a third, and a mid-run fsync-dead disk on a fourth — self-healing and fail-fast must hold together under continuous load",
+		DiskFaults:     true,
+		RequestTimeout: 4 * time.Second,
+		Duration:       60 * time.Second,
+		Faults: []Fault{
+			DiskBitRotFault(2, 0.10, 2),
+			DiskBitRotFault(1, 0.30, 2),
+			DiskBitRotFault(2, 0.55, 2),
+			DiskBitRotFault(1, 0.80, 1),
+			DiskLatencyFault(0, 0.25, 2*time.Millisecond),
+			FsyncFailFault(3, 0.70),
+		},
+		Invariants: []Invariant{
+			DeliverContinuity(),
+			VerifiedFetch(),
+			WatermarkMonotonic(),
+			DurableFloorExcept(0.9, 3),
+			ScrubHeals(),
+			NoSilentLoss(),
+		},
+	}
+}
+
+// Lookup resolves a scenario by name (the standard matrix plus the
+// off-matrix soak).
 func Lookup(name string) (Scenario, bool) {
 	for _, s := range Scenarios() {
 		if s.Name == name {
 			return s, true
 		}
+	}
+	if s := SoakScenario(); s.Name == name {
+		return s, true
 	}
 	return Scenario{}, false
 }

@@ -12,6 +12,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/storage/faultfs"
+	"repro/internal/storage/vfs"
 	"repro/internal/transport"
 )
 
@@ -35,6 +37,10 @@ type Result struct {
 	Delivered   uint64            `json:"delivered_envelopes"`
 	Blocks      uint64            `json:"blocks"`
 	DurationSec float64           `json:"duration_sec"`
+	// DurableFraction is this scenario's delivered throughput as a fraction
+	// of the fault-free baseline's, filled in by cmd/chaosbench after both
+	// ran (zero when no baseline was available for comparison).
+	DurableFraction float64 `json:"durable_fraction,omitempty"`
 }
 
 // Options tunes a run without changing the scenario's identity.
@@ -86,6 +92,24 @@ func Run(s Scenario, opts Options) (Result, error) {
 	network := transport.NewInProcNetwork(transport.InProcConfig{})
 	defer network.Close()
 	registry := obs.NewRegistry()
+	// Disk-fault scenarios run every node's storage on a fault-injecting
+	// filesystem; each is a passthrough until a fault arms it mid-run. The
+	// factory hands a restarted node its original instance, so armed faults
+	// survive crash-recovery.
+	var nodeFS []*faultfs.FS
+	var nodeFSFor func(node int) vfs.FS
+	if s.DiskFaults {
+		nodeFS = make([]*faultfs.FS, s.Nodes)
+		for i := range nodeFS {
+			nodeFS[i] = faultfs.New(nil, int64(s.Seed)+int64(i)*97)
+		}
+		nodeFSFor = func(node int) vfs.FS {
+			if node < 0 || node >= len(nodeFS) {
+				return nil // nodes joining mid-run use the real filesystem
+			}
+			return nodeFS[node]
+		}
+	}
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		Nodes:              s.Nodes,
 		BlockSize:          s.BlockSize,
@@ -96,6 +120,8 @@ func Run(s Scenario, opts Options) (Result, error) {
 		Network:            network,
 		DataDir:            dataDir,
 		Metrics:            registry,
+		NodeFS:             nodeFSFor,
+		ScrubInterval:      s.ScrubInterval,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("chaos %s: %w", s.Name, err)
@@ -114,17 +140,20 @@ func Run(s Scenario, opts Options) (Result, error) {
 	defer loadFE.Close()
 
 	e := &Env{
-		Scenario:   s,
-		Network:    network,
-		Cluster:    cluster,
-		Observer:   observer,
-		LoadFE:     loadFE,
-		Channel:    "chaos",
-		F:          consensus.MaxFaults(s.Nodes),
-		Metrics:    registry,
-		done:       make(chan struct{}),
-		epochs:     make([]int, s.Nodes),
-		violations: make(map[string][]string),
+		Scenario:     s,
+		Network:      network,
+		Cluster:      cluster,
+		Observer:     observer,
+		LoadFE:       loadFE,
+		Channel:      "chaos",
+		F:            consensus.MaxFaults(s.Nodes),
+		Metrics:      registry,
+		done:         make(chan struct{}),
+		epochs:       make([]int, s.Nodes),
+		violations:   make(map[string][]string),
+		faultFS:      nodeFS,
+		ackPending:   make(map[loadKey]bool),
+		ackDelivered: make(map[loadKey]bool),
 	}
 
 	// The observer's release path is the measurement point: it extends
@@ -142,6 +171,7 @@ func Run(s Scenario, opts Options) (Result, error) {
 				continue
 			}
 			delivered.Add(1)
+			e.noteDelivered(loadKey{client, seq})
 			if v, loaded := times.LoadAndDelete(loadKey{client, seq}); loaded {
 				if start, isTime := v.(time.Time); isTime {
 					recorder.Record(now.Sub(start))
@@ -178,6 +208,7 @@ func Run(s Scenario, opts Options) (Result, error) {
 				times.Store(key, time.Now())
 				switch st := e.LoadFE.BroadcastRaw(raw); st {
 				case fabric.StatusSuccess:
+					e.noteAcked(key)
 				case fabric.StatusServiceUnavailable:
 					times.Delete(key) // backpressure or teardown: drop the sample
 					time.Sleep(20 * time.Millisecond)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/cryptoutil"
 	"repro/internal/obs"
+	"repro/internal/storage/vfs"
 	"repro/internal/transport"
 )
 
@@ -95,6 +96,13 @@ type ClusterConfig struct {
 	// scenarios that stall a single node's fsync waves while the rest of
 	// the cluster runs free.
 	CommitSyncHookFor func(node int) func()
+	// NodeFS, when set, supplies a per-node filesystem seam for durable
+	// storage (nil results keep the real OS filesystem). The disk-fault
+	// chaos scenarios thread per-node faultfs instances through here.
+	NodeFS func(node int) vfs.FS
+	// ScrubInterval is every node's background scrub period (zero keeps
+	// the scrubber trigger-only).
+	ScrubInterval time.Duration
 	// Metrics, when set, instruments every node (consensus, storage, and
 	// hot-path stage histograms) into one shared registry, with
 	// shard/node labels. Restarted nodes re-attach to their existing
@@ -213,6 +221,8 @@ func (c *Cluster) startNode(i int, members []consensus.ReplicaID) (*OrderingNode
 		ShardID:         c.cfg.ShardID,
 		Metrics:         c.nodeMetrics(i),
 		StorageMetrics:  c.storageMetrics(i),
+		FS:              c.nodeFS(i),
+		ScrubInterval:   c.cfg.ScrubInterval,
 	}, conn)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
@@ -231,6 +241,14 @@ func (c *Cluster) nodeMetrics(i int) *obs.NodeMetrics {
 func (c *Cluster) storageMetrics(i int) *obs.StorageMetrics {
 	return obs.NewStorageMetrics(c.cfg.Metrics,
 		"shard", strconv.Itoa(c.cfg.ShardID), "node", strconv.Itoa(i))
+}
+
+// nodeFS resolves node i's filesystem seam (nil = the OS filesystem).
+func (c *Cluster) nodeFS(i int) vfs.FS {
+	if c.cfg.NodeFS == nil {
+		return nil
+	}
+	return c.cfg.NodeFS(i)
 }
 
 // nodeSyncHook resolves node i's commit sync hook: the per-node factory

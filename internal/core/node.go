@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/storage/retention"
+	"repro/internal/storage/vfs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -137,6 +138,17 @@ type NodeConfig struct {
 	// StorageMetrics instruments storage opened via DataDir (ignored when
 	// Storage is supplied ready-made).
 	StorageMetrics *obs.StorageMetrics
+	// FS is the filesystem seam of storage opened via DataDir (nil = the
+	// real OS filesystem). Fault-injection tests thread a faultfs through
+	// here; ignored when Storage is supplied ready-made.
+	FS vfs.FS
+	// ScrubInterval is the background scrubber's period over the node's
+	// durable storage: every pass re-reads the retained block records
+	// through the CRC-checking path and repairs corrupt ones from peers
+	// (f+1-verified fetch). Zero disables timed passes — the scrubber
+	// still runs and serves on-demand TriggerScrub calls. Storage-less
+	// nodes have nothing to scrub.
+	ScrubInterval time.Duration
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -242,6 +254,11 @@ type OrderingNode struct {
 	// in-memory ledgers.
 	retention *retention.Manager
 
+	// scrubber is the background bit-rot scrub over the node's durable
+	// storage (nil on storage-less nodes); its repair path re-fetches
+	// corrupt blocks from peers via FetchRangeVerified.
+	scrubber *storage.Scrubber
+
 	// fetcher issues FetchBlocks requests during back-fill; backfilling
 	// guards one back-fill task per channel.
 	fetcher         *blockFetcher
@@ -318,6 +335,7 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 			CommitMaxBatch: cfg.CommitMaxBatch,
 			SyncHook:       cfg.CommitSyncHook,
 			Metrics:        cfg.StorageMetrics,
+			FS:             cfg.FS,
 		})
 		if err != nil {
 			if signer != nil {
@@ -420,8 +438,135 @@ func NewNode(cfg NodeConfig, conn transport.Conn) (*OrderingNode, error) {
 		}
 	}
 	n.replica = replica
+	if n.storage != nil {
+		// The scrubber always runs over durable storage (timer-less when
+		// ScrubInterval is zero, serving TriggerScrub); repair re-fetches
+		// the corrupt block from peers under the f+1 signature rule, so a
+		// single rotten replica heals itself without operator action.
+		n.scrubber = n.storage.StartScrubber(cfg.ScrubInterval, n.repairBlockFromPeers)
+	}
 	n.registerGaugeFuncs()
 	return n, nil
+}
+
+// disableScrubRepair turns the scrubber's repair path off (detect-only).
+// It exists solely so the chaos harness can prove its ScrubHeals
+// invariant has teeth: with repair disabled a rotten block MUST stay
+// rotten and the invariant MUST trip. Never set outside tests.
+var disableScrubRepair atomic.Bool
+
+// SetScrubRepairDisabled toggles the teeth-test switch (see
+// disableScrubRepair). Test instrumentation only.
+func SetScrubRepairDisabled(v bool) { disableScrubRepair.Store(v) }
+
+// repairBlockFromPeers is the scrubber's repair callback: re-fetch one
+// corrupt durable block from the other replicas under the f+1-signature
+// verification rule (any copy carrying f+1 valid node signatures is
+// authentic regardless of which peer served it) and overwrite the rotten
+// record in place. Deployments without a verification-key registry fall
+// back to hash-chain anchoring. Called off the consensus event loop.
+func (n *OrderingNode) repairBlockFromPeers(channel string, num uint64) error {
+	if disableScrubRepair.Load() {
+		return errors.New("scrub repair disabled (teeth switch)")
+	}
+	reg := n.cfg.Consensus.Registry
+	if reg == nil {
+		return n.repairBlockAnchored(channel, num)
+	}
+	blocks, err := n.fetcher.FetchRangeVerified(n.done, n.peerAddrs(), channel, num, num+1, reg, n.faults())
+	if err != nil {
+		return fmt.Errorf("scrub repair: fetching %s/%d: %w", channel, num, err)
+	}
+	if len(blocks) != 1 || blocks[0].Header.Number != num {
+		return fmt.Errorf("scrub repair: peers served %d blocks for %s/%d", len(blocks), channel, num)
+	}
+	return n.storage.RepairBlock(channel, blocks[0])
+}
+
+// repairBlockAnchored is the registry-less repair path (multi-process
+// deployments distribute no verification keys): the replacement is
+// authenticated by hash linkage into the locally trusted chain instead of
+// f+1 signatures — the node's own in-memory ledger copy when the block is
+// still inside the retained window, else a peer copy fetched under the
+// hash-chain anchor taken from the intact successor's PrevHash. Adjacent
+// corrupt records heal top-down across scrub passes: each repaired block
+// becomes the next-lower one's anchor.
+func (n *OrderingNode) repairBlockAnchored(channel string, num uint64) error {
+	led := n.Ledger(channel)
+	if led == nil {
+		return fmt.Errorf("scrub repair: no ledger for channel %q", channel)
+	}
+	if b, err := led.Block(num); err == nil {
+		// The durable record is corrupt, so a read-through to disk would
+		// have failed — a successful read means this copy came from the
+		// in-memory window, where it was hash-link-checked at append.
+		return n.storage.RepairBlock(channel, b)
+	}
+	next, err := led.Block(num + 1)
+	if err != nil {
+		return fmt.Errorf("scrub repair: no registry and no trusted anchor above %s/%d: %w", channel, num, err)
+	}
+	blocks, err := n.fetcher.FetchRange(n.done, n.peerAddrs(), channel, num, num+1, next.Header.PrevHash, n.faults())
+	if err != nil {
+		return fmt.Errorf("scrub repair: anchored fetch of %s/%d: %w", channel, num, err)
+	}
+	if len(blocks) != 1 || blocks[0].Header.Number != num {
+		return fmt.Errorf("scrub repair: peers served %d blocks for %s/%d", len(blocks), channel, num)
+	}
+	return n.storage.RepairBlock(channel, blocks[0])
+}
+
+// TriggerScrub requests an immediate scrub pass over the node's durable
+// storage (no-op on a storage-less node). Non-blocking.
+func (n *OrderingNode) TriggerScrub() {
+	if n.scrubber != nil {
+		n.scrubber.Trigger()
+	}
+}
+
+// LastScrub returns the most recent completed scrub pass's result (zero
+// on a storage-less node).
+func (n *OrderingNode) LastScrub() storage.ScrubResult {
+	if n.scrubber == nil {
+		return storage.ScrubResult{}
+	}
+	return n.scrubber.Last()
+}
+
+// BlockSpan reports where a durable block record lives at rest (file
+// path, byte offset, length). Fault-injection harnesses use it to flip
+// bytes underneath the storage layer; it has no production callers.
+func (n *OrderingNode) BlockSpan(channel string, num uint64) (path string, off, length int64, err error) {
+	if n.storage == nil {
+		return "", 0, 0, errors.New("node has no durable storage")
+	}
+	return n.storage.BlockSpan(channel, num)
+}
+
+// StoragePoisoned reports the commit log's permanent fsync-failure state
+// (nil while healthy, ErrLogPoisoned after a failed wave fsync).
+func (n *OrderingNode) StoragePoisoned() error {
+	if n.storage == nil {
+		return nil
+	}
+	return n.storage.Poisoned()
+}
+
+// DurableBlock reads one block straight from the node's durable store,
+// bypassing the in-memory ledger tail — the read a scrub-healing checker
+// uses to prove an at-rest repair actually landed on disk.
+func (n *OrderingNode) DurableBlock(channel string, num uint64) (*fabric.Block, error) {
+	if n.storage == nil {
+		return nil, errors.New("node has no durable storage")
+	}
+	blocks, err := n.storage.ReadBlocks(channel, num, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 || blocks[0].Header.Number != num {
+		return nil, fmt.Errorf("durable read of %s/%d returned %d blocks", channel, num, len(blocks))
+	}
+	return blocks[0], nil
 }
 
 // registerGaugeFuncs hangs scrape-time gauges off the node's metric
@@ -678,6 +823,9 @@ func (n *OrderingNode) Stop() {
 	}
 	if n.retention != nil {
 		n.retention.Close() // waits out an in-flight compaction
+	}
+	if n.scrubber != nil {
+		n.scrubber.Close() // waits out an in-flight scrub pass
 	}
 	if n.ownsStorage && n.storage != nil {
 		n.storage.Close()
@@ -940,12 +1088,16 @@ func (n *OrderingNode) completeSend(channel string, epoch uint64, block *fabric.
 				// Write-ahead gate: the decision that sealed this block
 				// must be on disk before the block is persisted or shown
 				// to anyone. A failed token means the decision log is
-				// poisoned; match the synchronous path's behavior
-				// (durability lost, progress continues) loudly.
+				// poisoned (fsync fail-fast): the node must stop acking —
+				// disseminating a block whose decision the kernel already
+				// dropped would hand out history a restart cannot replay.
+				// The drain parks permanently (s.draining stays set), so
+				// no later block of this channel leaves the node either.
 				if err := pb.gate.Wait(); err != nil {
-					slog.Error("decision never became durable",
+					slog.Error("decision never became durable; halting dissemination",
 						"node", int(n.ID()), "shard", n.cfg.ShardID,
 						"channel", channel, "block", b.Header.Number, "err", err)
+					return
 				}
 			}
 			// Stage stamp: the decision (and every earlier one) is durable
@@ -1669,7 +1821,15 @@ func (n *OrderingNode) runBackfill(channel string, from, to uint64, anchor crypt
 		var again bool
 		n.ledgerMu.Lock()
 		from, to, anchor, again = n.drainParkedLocked(channel, led)
+		height := led.Height()
 		n.ledgerMu.Unlock()
+		// Back-fill appends are synchronous (each waited out its fsync) and
+		// contiguous from the bottom, so the durable prefix reaches the
+		// ledger height right now. Without this the watermark stays frozen
+		// at the recovery height whenever the gap closes after traffic
+		// stops — the drain-token path only advances it on newly sealed
+		// blocks.
+		n.noteDurable(channel, height)
 		if !again {
 			return
 		}

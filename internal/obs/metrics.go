@@ -22,6 +22,10 @@ type StorageMetrics struct {
 	CheckpointSaved    *Counter
 	CheckpointDeferred *Counter
 	PruneTotal         *Counter
+	LogPoisoned        *Counter
+	ScrubPasses        *Counter
+	ScrubCorrupt       *Counter
+	RepairedBlocks     *Counter
 }
 
 // NewStorageMetrics registers the storage instrument set under the given
@@ -42,6 +46,10 @@ func NewStorageMetrics(r *Registry, kv ...string) *StorageMetrics {
 		CheckpointSaved:    r.Counter(Name("repro_storage_checkpoint_saved_total", kv...), "Consensus checkpoints saved to disk."),
 		CheckpointDeferred: r.Counter(Name("repro_storage_checkpoint_deferred_total", kv...), "Checkpoint saves deferred by the persist-watermark gate."),
 		PruneTotal:         r.Counter(Name("repro_storage_prune_total", kv...), "Retention prune passes that reclaimed segments."),
+		LogPoisoned:        r.Counter(Name("repro_storage_log_poisoned_total", kv...), "Commit-log poisonings after a failed wave fsync (fail-fast; at most 1)."),
+		ScrubPasses:        r.Counter(Name("repro_storage_scrub_passes_total", kv...), "Completed background scrub passes over the retained log."),
+		ScrubCorrupt:       r.Counter(Name("repro_storage_scrub_corrupt_total", kv...), "Corrupt records found by the scrubber."),
+		RepairedBlocks:     r.Counter(Name("repro_storage_repaired_blocks_total", kv...), "Corrupt block records repaired from verified peer copies."),
 	}
 }
 

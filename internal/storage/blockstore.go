@@ -139,7 +139,7 @@ func OpenBlockStore(cfg WALConfig) (*BlockStore, error) {
 // under the two-condition rule goes before the walk even starts; the
 // post-walk prune then reclaims anything that became dead since.
 func (s *BlockStore) seedFromManifest() (frontier uint64, err error) {
-	manifest, found, err := retention.LoadManifest(s.dir)
+	manifest, found, err := retention.LoadManifest(s.wal.cfg.FS, s.dir)
 	if err != nil {
 		return 0, err
 	}
@@ -341,9 +341,31 @@ func (s *BlockStore) readOne(channel string, idx uint64) (*fabric.Block, error) 
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, s.annotateCorrupt(err, channel)
 	}
 	return out, nil
+}
+
+// annotateCorrupt stamps the block coordinates (channel, block number)
+// onto a *RecordCorruptError the WAL raised from a raw index, so the
+// self-healing layer knows which block to re-fetch. Must not hold s.mu.
+func (s *BlockStore) annotateCorrupt(err error, channel string) error {
+	var rce *RecordCorruptError
+	if !errors.As(err, &rce) || rce.Channel != "" {
+		return err
+	}
+	rce.Channel = channel
+	s.mu.Lock()
+	idxs := s.index[channel]
+	floor := s.floors[channel]
+	for i, idx := range idxs {
+		if idx == rce.Index {
+			rce.Num = floor + uint64(i)
+			break
+		}
+	}
+	s.mu.Unlock()
+	return err
 }
 
 // Chains returns the chain frontiers recovered at open, keyed by channel,
@@ -516,9 +538,65 @@ func (s *BlockStore) ReadBlocks(channel string, start uint64, max int) ([]*fabri
 		return nil, err
 	}
 	if err != nil {
-		return nil, err
+		return nil, s.annotateCorrupt(err, channel)
 	}
 	return out, nil
+}
+
+// BlockSpan locates a block's record on disk: segment file, byte offset,
+// and framed length. Fault injectors use it to rot a specific block at
+// rest; it answers ErrRecordGone below the floor or past the height.
+func (s *BlockStore) BlockSpan(channel string, num uint64) (path string, off, length int64, err error) {
+	s.mu.Lock()
+	floor := s.floors[channel]
+	idxs := s.index[channel]
+	if num < floor || num-floor >= uint64(len(idxs)) {
+		s.mu.Unlock()
+		return "", 0, 0, fmt.Errorf("%w: channel %q block %d", ErrRecordGone, channel, num)
+	}
+	idx := idxs[num-floor]
+	s.mu.Unlock()
+	return s.wal.RecordSpan(idx)
+}
+
+// RepairBlock overwrites a corrupt durable block record with a verified
+// replacement fetched from peers: the replacement is re-framed and the
+// whole holding segment rewritten in place (crash-safe tmp+rename). The
+// replacement must carry the same channel/number coordinates; its
+// signature set may differ from the lost original — any f+1-verified
+// copy of the block is as good as the one that rotted.
+func (s *BlockStore) RepairBlock(channel string, b *fabric.Block) error {
+	s.mu.Lock()
+	floor := s.floors[channel]
+	idxs := s.index[channel]
+	num := b.Header.Number
+	if num < floor || num-floor >= uint64(len(idxs)) {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: channel %q block %d", ErrRecordGone, channel, num)
+	}
+	idx := idxs[num-floor]
+	s.mu.Unlock()
+
+	w := wire.GetWriter(16 + len(channel) + b.MarshaledSize())
+	defer wire.PutWriter(w)
+	w.PutByte(recBlock)
+	w.PutString(channel)
+	b.MarshalInto(w)
+
+	_, _, oldLen, err := s.wal.RecordSpan(idx)
+	if err != nil {
+		return err
+	}
+	if err := s.wal.RewriteRecord(idx, w.Bytes()); err != nil {
+		return err
+	}
+	// Keep the per-channel byte attribution exact: the replacement frame
+	// may differ in size from the rotten original.
+	delta := int64(len(w.Bytes())) + recordHeaderSize - oldLen
+	s.mu.Lock()
+	s.chanBytes[channel] += delta
+	s.mu.Unlock()
+	return nil
 }
 
 // ---- retention ---------------------------------------------------------
@@ -752,7 +830,7 @@ func (s *BlockStore) saveManifestLocked() error {
 			LiveBlocks: uint64(hi - lo),
 		})
 	}
-	return retention.SaveManifest(s.dir, m)
+	return retention.SaveManifest(s.wal.cfg.FS, s.dir, m)
 }
 
 // SizeBytes returns the shared log's on-disk size.

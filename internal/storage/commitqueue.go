@@ -255,7 +255,15 @@ func (q *CommitQueue) wave() {
 	file, err := log.writeGroup(group)
 	if err == nil && file != nil {
 		if err = log.fsync(file); err != nil {
-			log.poison(err)
+			if disableFsyncFailFast.Load() {
+				// Teeth switch: ack the wave as if it were durable despite
+				// the failed fsync. The dirty pages are gone — a crash now
+				// loses every record the wave acknowledged.
+				err = nil
+			} else {
+				log.poison(err)
+				err = log.Poisoned()
+			}
 		}
 	}
 	if err != nil {

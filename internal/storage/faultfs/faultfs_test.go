@@ -1,0 +1,209 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeNew(t *testing.T, fs *FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func TestPassthroughUntilArmed(t *testing.T) {
+	fs := New(nil, 1)
+	path := filepath.Join(t.TempDir(), "clean")
+	if err := writeNew(t, fs, path, []byte("hello")); err != nil {
+		t.Fatalf("clean write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if st := fs.Stats(); st.BitRot+st.TornWrites+st.SyncFailures+st.ENOSPC != 0 {
+		t.Fatalf("unarmed fs injected faults: %+v", st)
+	}
+}
+
+func TestBitRotFlipsOneByte(t *testing.T) {
+	fs := New(nil, 7)
+	fs.SetBitRotEvery(1)
+	path := filepath.Join(t.TempDir(), "rot")
+	data := make([]byte, 256)
+	if err := writeNew(t, fs, path, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit-rot changed %d bytes, want exactly 1", diff)
+	}
+	if st := fs.Stats(); st.BitRot != 1 {
+		t.Fatalf("stats %+v, want 1 bit-rot", st)
+	}
+}
+
+func TestTornWriteLandsPrefix(t *testing.T) {
+	fs := New(nil, 1)
+	fs.SetTornWrites(1)
+	path := filepath.Join(t.TempDir(), "torn")
+	err := writeNew(t, fs, path, make([]byte, 100))
+	if !errors.Is(err, ErrInjectedTorn) {
+		t.Fatalf("torn write error = %v, want ErrInjectedTorn", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if info.Size() != 50 {
+		t.Fatalf("torn write landed %d bytes, want the 50-byte prefix", info.Size())
+	}
+	// One-shot: the next write is whole.
+	if err := writeNew(t, fs, path, make([]byte, 100)); err != nil {
+		t.Fatalf("write after torn: %v", err)
+	}
+}
+
+func TestENOSPCBudget(t *testing.T) {
+	fs := New(nil, 1)
+	fs.SetENOSPCAfter(10)
+	path := filepath.Join(t.TempDir(), "full")
+	if err := writeNew(t, fs, path, make([]byte, 8)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	err := writeNew(t, fs, filepath.Join(filepath.Dir(path), "overflow"), make([]byte, 8))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past budget = %v, want ENOSPC", err)
+	}
+	fs.SetENOSPCAfter(-1)
+	if err := writeNew(t, fs, path, make([]byte, 64)); err != nil {
+		t.Fatalf("write after budget removed: %v", err)
+	}
+}
+
+func TestSyncFailuresOneShotAndSticky(t *testing.T) {
+	fs := New(nil, 1)
+	path := filepath.Join(t.TempDir(), "sync")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+
+	fs.FailSyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("armed sync = %v, want ErrInjectedSync", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after one-shot consumed: %v", err)
+	}
+
+	fs.FailSyncsSticky(true)
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+			t.Fatalf("sticky sync %d = %v, want ErrInjectedSync", i, err)
+		}
+	}
+	fs.FailSyncsSticky(false)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after sticky cleared: %v", err)
+	}
+	if st := fs.Stats(); st.SyncFailures != 4 {
+		t.Fatalf("stats %+v, want 4 sync failures", st)
+	}
+}
+
+func TestPathFilterScopesFaults(t *testing.T) {
+	fs := New(nil, 1)
+	fs.SetPathFilter(func(p string) bool { return filepath.Ext(p) == ".seg" })
+	fs.FailSyncsSticky(true)
+	dir := t.TempDir()
+	if err := writeNew(t, fs, filepath.Join(dir, "meta.json"), []byte("x")); err != nil {
+		t.Fatalf("non-matching file caught the fault: %v", err)
+	}
+	err := writeNew(t, fs, filepath.Join(dir, "001.seg"), []byte("x"))
+	if !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("matching file escaped the fault: %v", err)
+	}
+}
+
+// TestCrashableFsyncGateSemantics is the fsyncgate model: buffered writes
+// are visible to readers (the page cache), a successful sync makes them
+// durable, but a FAILED sync discards them — so a later successful sync
+// cannot resurrect them, and a crash (DropDirty) reveals the loss.
+func TestCrashableFsyncGateSemantics(t *testing.T) {
+	fs := New(nil, 1)
+	fs.SetCrashable(true)
+	path := filepath.Join(t.TempDir(), "cache")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("buffered write: %v", err)
+	}
+	// Visible through the handle (page cache), not yet on disk.
+	buf := make([]byte, 5)
+	if n, _ := f.ReadAt(buf, 0); n != 5 || string(buf) != "first" {
+		t.Fatalf("buffered read %q (%d bytes), want \"first\"", buf[:n], n)
+	}
+	if raw, _ := os.ReadFile(path); len(raw) != 0 {
+		t.Fatalf("unsynced write reached the disk: %q", raw)
+	}
+
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if raw, _ := os.ReadFile(path); string(raw) != "first" {
+		t.Fatalf("synced write not on disk: %q", raw)
+	}
+
+	// A failed sync DISCARDS the dirty pages: the write is gone even
+	// though a later sync succeeds.
+	if _, err := f.Write([]byte("gone!")); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	fs.FailSyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("failed sync = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retried sync: %v", err)
+	}
+	if raw, _ := os.ReadFile(path); string(raw) != "first" {
+		t.Fatalf("disk holds %q after failed-then-retried sync, want only \"first\" (retry must not resurrect dropped pages)", raw)
+	}
+
+	// And a crash drops whatever was dirty at the time.
+	if _, err := f.Write([]byte("dirty")); err != nil {
+		t.Fatalf("third write: %v", err)
+	}
+	fs.DropDirty()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	if raw, _ := os.ReadFile(path); string(raw) != "first" {
+		t.Fatalf("disk holds %q after crash, want only \"first\"", raw)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/storage/vfs"
 	"repro/internal/wire"
 )
 
@@ -22,6 +23,26 @@ const membershipFile = "membership"
 
 // ErrMembershipCorrupt reports a membership record that fails its CRC.
 var ErrMembershipCorrupt = errors.New("storage: membership record corrupt")
+
+// MembershipCorruptError is the typed fail-fast report of a rotten
+// membership record, naming the file so the operator can act on it. There
+// is deliberately NO previous-generation fallback here: recovering into a
+// stale group view is a safety violation (the node could rejoin a
+// membership consensus already moved past), so a corrupt record stops the
+// boot — the runbook answer is -recover-from-peers. Unwraps to
+// ErrMembershipCorrupt.
+type MembershipCorruptError struct {
+	// Path is the corrupt record's file.
+	Path string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *MembershipCorruptError) Error() string {
+	return fmt.Sprintf("storage: membership record %s is corrupt (refusing to guess the group; wipe and re-join via -recover-from-peers): %v", e.Path, e.Err)
+}
+
+func (e *MembershipCorruptError) Unwrap() error { return ErrMembershipCorrupt }
 
 // MembershipRecord is the durable group view a node recovers into: the
 // membership epoch (count of ordered reconfig operations applied) and the
@@ -85,7 +106,7 @@ func (s *NodeStorage) SaveMembership(rec *MembershipRecord) error {
 
 	tmp := filepath.Join(s.dir, membershipFile+".tmp")
 	final := filepath.Join(s.dir, membershipFile)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -100,15 +121,10 @@ func (s *NodeStorage) SaveMembership(rec *MembershipRecord) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	d, err := os.Open(s.dir)
-	if err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := s.fs.SyncDir(s.dir); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	epoch := rec.Epoch
@@ -117,9 +133,12 @@ func (s *NodeStorage) SaveMembership(rec *MembershipRecord) error {
 }
 
 // loadMembership reads the stable membership record; nil when none was
-// ever saved (the node has never applied a reconfiguration).
-func loadMembership(dir string) (*MembershipRecord, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, membershipFile))
+// ever saved (the node has never applied a reconfiguration). A record
+// that fails its CRC is a typed *MembershipCorruptError naming the file —
+// fail fast, never guess the group view.
+func loadMembership(fs vfs.FS, dir string) (*MembershipRecord, error) {
+	path := filepath.Join(dir, membershipFile)
+	raw, err := fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -127,14 +146,18 @@ func loadMembership(dir string) (*MembershipRecord, error) {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
 	if len(raw) < 8 {
-		return nil, ErrMembershipCorrupt
+		return nil, &MembershipCorruptError{Path: path, Err: errors.New("truncated record")}
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
-		return nil, ErrMembershipCorrupt
+		return nil, &MembershipCorruptError{Path: path, Err: errors.New("crc mismatch")}
 	}
 	if binary.BigEndian.Uint32(body[:4]) != membershipMagic {
-		return nil, ErrMembershipCorrupt
+		return nil, &MembershipCorruptError{Path: path, Err: errors.New("bad magic")}
 	}
-	return unmarshalMembershipRecord(wire.NewReader(body[4:]))
+	rec, err := unmarshalMembershipRecord(wire.NewReader(body[4:]))
+	if err != nil {
+		return nil, &MembershipCorruptError{Path: path, Err: err}
+	}
+	return rec, nil
 }

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -45,6 +46,7 @@ import (
 	"sync"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/storage/vfs"
 	"repro/internal/wire"
 )
 
@@ -231,37 +233,14 @@ func UnmarshalManifest(raw []byte) (*Manifest, error) {
 }
 
 // SaveManifest atomically replaces the manifest under dir: write to a
-// temp file, fsync, rename over the stable name, fsync the directory.
-// Either the old or the new manifest governs after a crash, never a
-// half-written one.
-func SaveManifest(dir string, m *Manifest) error {
-	raw := m.Marshal()
-	tmp := filepath.Join(dir, ManifestFile+".tmp")
+// temp file, fsync, demote the stable copy to its .prev generation,
+// rename over the stable name, fsync the directory. Either the old or
+// the new manifest governs after a crash, never a half-written one, and
+// one previous generation survives as a bit-rot fallback. fsys is the
+// filesystem seam (nil = the real OS filesystem).
+func SaveManifest(fsys vfs.FS, dir string, m *Manifest) error {
 	final := filepath.Join(dir, ManifestFile)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("retention: %w", err)
-	}
-	if _, err := f.Write(raw); err != nil {
-		f.Close()
-		return fmt.Errorf("retention: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("retention: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("retention: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("retention: %w", err)
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("retention: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := vfs.SaveAtomicWithPrev(fsys, dir, final, m.Marshal()); err != nil {
 		return fmt.Errorf("retention: %w", err)
 	}
 	return nil
@@ -269,9 +248,28 @@ func SaveManifest(dir string, m *Manifest) error {
 
 // LoadManifest reads the manifest under dir. found is false when none
 // was ever written (a store that never compacted). A stale temp file
-// from an interrupted save is ignored.
-func LoadManifest(dir string) (m *Manifest, found bool, err error) {
-	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+// from an interrupted save is ignored. A stable manifest that fails its
+// CRC falls back to the retained .prev generation: an older manifest only
+// makes recovery's log walk start earlier (it seeds lower floors), the
+// walk itself rebuilds the true frontier.
+func LoadManifest(fsys vfs.FS, dir string) (m *Manifest, found bool, err error) {
+	fsys = vfs.OrOS(fsys)
+	stable := filepath.Join(dir, ManifestFile)
+	m, found, err = loadManifestFile(fsys, stable)
+	if err == nil {
+		return m, found, nil
+	}
+	pm, pfound, perr := loadManifestFile(fsys, stable+vfs.PrevSuffix)
+	if perr == nil && pfound {
+		slog.Warn("retention: manifest corrupt; falling back to previous generation",
+			"file", stable, "err", err)
+		return pm, true, nil
+	}
+	return nil, false, err
+}
+
+func loadManifestFile(fsys vfs.FS, path string) (m *Manifest, found bool, err error) {
+	raw, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}

@@ -66,33 +66,57 @@ func TestManifestRoundTrip(t *testing.T) {
 
 func TestManifestSaveLoadAndCorruption(t *testing.T) {
 	dir := t.TempDir()
-	if _, found, err := LoadManifest(dir); err != nil || found {
+	if _, found, err := LoadManifest(nil, dir); err != nil || found {
 		t.Fatalf("empty load: found=%v err=%v", found, err)
 	}
 	m := sampleManifest()
-	if err := SaveManifest(dir, m); err != nil {
+	if err := SaveManifest(nil, dir, m); err != nil {
 		t.Fatalf("save: %v", err)
 	}
 	// A stale temp file from an interrupted save is ignored.
 	if err := os.WriteFile(filepath.Join(dir, ManifestFile+".tmp"), []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, found, err := LoadManifest(dir)
+	got, found, err := LoadManifest(nil, dir)
 	if err != nil || !found || got.KeepIdx != m.KeepIdx {
 		t.Fatalf("load: %+v found=%v err=%v", got, found, err)
 	}
-	// A flipped byte fails the CRC.
+	// A flipped byte fails the CRC — with no previous generation to fall
+	// back to, the typed corruption error surfaces.
 	path := filepath.Join(dir, ManifestFile)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[len(raw)/2] ^= 0xff
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0xff
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(nil, dir); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("corrupt load: %v", err)
+	}
+
+	// A second save demotes the (restored) stable copy to .prev; rotting
+	// the new stable copy then falls back to the previous generation
+	// instead of failing recovery.
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := LoadManifest(dir); !errors.Is(err, ErrManifestCorrupt) {
-		t.Fatalf("corrupt load: %v", err)
+	m2 := sampleManifest()
+	m2.KeepIdx = m.KeepIdx + 7
+	if err := SaveManifest(nil, dir, m2); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prev, found, err := LoadManifest(nil, dir)
+	if err != nil || !found {
+		t.Fatalf("fallback load: found=%v err=%v", found, err)
+	}
+	if prev.KeepIdx != m.KeepIdx {
+		t.Fatalf("fallback KeepIdx = %d, want the previous generation's %d", prev.KeepIdx, m.KeepIdx)
 	}
 }
 

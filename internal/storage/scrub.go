@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// ScrubFinding is one corrupt block record a scrub pass found: the block
+// coordinates the repair path needs plus the underlying typed error.
+type ScrubFinding struct {
+	Channel string
+	Num     uint64
+	Err     error
+}
+
+// ScrubResult summarizes one scrub pass.
+type ScrubResult struct {
+	// Checked counts the block records whose CRC (and decode) the pass
+	// verified.
+	Checked int
+	// Corrupt lists the records that failed verification.
+	Corrupt []ScrubFinding
+	// Repaired lists the corrupt records a repair callback fixed (verified
+	// by re-reading them after the repair).
+	Repaired []ScrubFinding
+}
+
+// ScrubOnce runs one synchronous scrub pass over every retained block
+// record: each record is read back through the CRC-checking read path, so
+// silent media corruption (bit-rot) surfaces here instead of at the next
+// unlucky reader. For every corrupt record the repair callback (nil = no
+// repair, detect only) gets the block coordinates; the ordering layer
+// wires it to an f+1-verified peer fetch followed by RepairBlock. A
+// repair only counts once re-reading the record comes back clean.
+//
+// The pass snapshots each channel's window up front and tolerates the
+// floor rising underneath it (compaction during a pass just shrinks the
+// work); it holds no lock while reading, so scrubbing never stalls the
+// commit path.
+func (s *NodeStorage) ScrubOnce(repair func(channel string, num uint64) error) ScrubResult {
+	var res ScrubResult
+	s.blocks.mu.Lock()
+	windows := make(map[string][2]uint64, len(s.blocks.heights))
+	for channel, height := range s.blocks.heights {
+		windows[channel] = [2]uint64{s.blocks.floors[channel], height}
+	}
+	s.blocks.mu.Unlock()
+
+	for channel, win := range windows {
+		for num := win[0]; num < win[1]; num++ {
+			s.blocks.mu.Lock()
+			floor := s.blocks.floors[channel]
+			n := uint64(len(s.blocks.index[channel]))
+			s.blocks.mu.Unlock()
+			if num < floor {
+				continue // compacted away mid-pass
+			}
+			if num-floor >= n {
+				break // not yet indexed (in-flight put); next pass gets it
+			}
+			res.Checked++
+			_, err := s.blocks.readOne(channel, s.blockIdx(channel, num))
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, ErrRecordGone) {
+				continue // pruned under the read
+			}
+			finding := ScrubFinding{Channel: channel, Num: num, Err: err}
+			res.Corrupt = append(res.Corrupt, finding)
+			s.metrics.ScrubCorrupt.Inc()
+			slog.Warn("storage: scrub found corrupt block record",
+				"channel", channel, "block", num, "err", err)
+			if repair == nil {
+				continue
+			}
+			if rerr := repair(channel, num); rerr != nil {
+				slog.Error("storage: block repair failed",
+					"channel", channel, "block", num, "err", rerr)
+				continue
+			}
+			if _, verr := s.blocks.readOne(channel, s.blockIdx(channel, num)); verr != nil {
+				slog.Error("storage: repaired block still unreadable",
+					"channel", channel, "block", num, "err", verr)
+				continue
+			}
+			res.Repaired = append(res.Repaired, finding)
+			s.metrics.RepairedBlocks.Inc()
+			slog.Info("storage: repaired corrupt block record from peers",
+				"channel", channel, "block", num)
+		}
+	}
+	s.metrics.ScrubPasses.Inc()
+	return res
+}
+
+// blockIdx resolves a block number to its current log index (0 when the
+// block is outside the retained window — readOne then answers
+// ErrRecordGone, which the scrub pass skips).
+func (s *NodeStorage) blockIdx(channel string, num uint64) uint64 {
+	s.blocks.mu.Lock()
+	defer s.blocks.mu.Unlock()
+	floor := s.blocks.floors[channel]
+	idxs := s.blocks.index[channel]
+	if num < floor || num-floor >= uint64(len(idxs)) {
+		return 0
+	}
+	return idxs[num-floor]
+}
+
+// Scrubber periodically scrubs a NodeStorage in the background. Interval
+// passes are the steady-state defense against bit-rot; Trigger() forces
+// an immediate pass (the ordering node triggers one when a foreground
+// read trips over a corrupt record, so healing is not stuck behind the
+// timer).
+type Scrubber struct {
+	s        *NodeStorage
+	interval time.Duration
+	repair   func(channel string, num uint64) error
+
+	trigger chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	last ScrubResult
+}
+
+// StartScrubber launches a background scrubber over this storage.
+// interval <= 0 disables the timer (passes then run only via Trigger).
+// repair may be nil (detect-only).
+func (s *NodeStorage) StartScrubber(interval time.Duration, repair func(channel string, num uint64) error) *Scrubber {
+	sc := &Scrubber{
+		s:        s,
+		interval: interval,
+		repair:   repair,
+		trigger:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	sc.wg.Add(1)
+	go sc.run()
+	return sc
+}
+
+func (sc *Scrubber) run() {
+	defer sc.wg.Done()
+	var tick <-chan time.Time
+	if sc.interval > 0 {
+		t := time.NewTicker(sc.interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-tick:
+		case <-sc.trigger:
+		}
+		res := sc.s.ScrubOnce(sc.repair)
+		sc.mu.Lock()
+		sc.last = res
+		sc.mu.Unlock()
+	}
+}
+
+// Trigger requests an immediate scrub pass (coalesced if one is already
+// queued). Non-blocking.
+func (sc *Scrubber) Trigger() {
+	select {
+	case sc.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// Last returns the most recent completed pass's result.
+func (sc *Scrubber) Last() ScrubResult {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.last
+}
+
+// Close stops the scrubber and waits for an in-flight pass to finish.
+func (sc *Scrubber) Close() {
+	sc.once.Do(func() { close(sc.done) })
+	sc.wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/storage/retention"
+	"repro/internal/storage/vfs"
 	"repro/internal/wire"
 )
 
@@ -95,6 +96,7 @@ type seqIdx struct {
 // retention floor (no live block).
 type NodeStorage struct {
 	dir    string
+	fs     vfs.FS
 	wal    *WAL
 	blocks *BlockStore
 	ckpt   *Checkpointer
@@ -169,12 +171,17 @@ type Options struct {
 	// Metrics, when set, instruments the commit log: waves, fsyncs, bytes,
 	// segments, checkpoint, and retention events.
 	Metrics *obs.StorageMetrics
+	// FS is the filesystem seam every durable artifact goes through (nil =
+	// the real OS filesystem). Fault-injection tests swap in a faultfs.FS
+	// here; production never sets it.
+	FS vfs.FS
 }
 
 // Open opens (or initializes) a node's durable state under dir and
 // recovers whatever a previous incarnation left behind.
 func Open(dir string, opts Options) (*NodeStorage, error) {
-	ckpt, err := NewCheckpointer(dir)
+	fsys := vfs.OrOS(opts.FS)
+	ckpt, err := NewCheckpointer(dir, fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +197,7 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 		NoSync:       opts.NoSync,
 		Queue:        queue,
 		Metrics:      opts.Metrics,
+		FS:           fsys,
 	})
 	if err != nil {
 		queue.Close()
@@ -197,6 +205,7 @@ func Open(dir string, opts Options) (*NodeStorage, error) {
 	}
 	s := &NodeStorage{
 		dir:          dir,
+		fs:           fsys,
 		wal:          wal,
 		ckpt:         ckpt,
 		queue:        queue,
@@ -273,7 +282,7 @@ func (s *NodeStorage) recover() error {
 	if err := s.blocks.finishRecovery(); err != nil {
 		return err
 	}
-	member, err := loadMembership(s.dir)
+	member, err := loadMembership(s.fs, s.dir)
 	if err != nil {
 		return err
 	}
@@ -548,6 +557,18 @@ func (s *NodeStorage) ReadBlocks(channel string, start uint64, max int) ([]*fabr
 	return s.blocks.ReadBlocks(channel, start, max)
 }
 
+// BlockSpan locates a block's durable record on disk (segment file, byte
+// offset, framed length). Fault injectors corrupt at rest through it.
+func (s *NodeStorage) BlockSpan(channel string, num uint64) (path string, off, length int64, err error) {
+	return s.blocks.BlockSpan(channel, num)
+}
+
+// RepairBlock overwrites a corrupt durable block record with a verified
+// replacement fetched from peers (see BlockStore.RepairBlock).
+func (s *NodeStorage) RepairBlock(channel string, b *fabric.Block) error {
+	return s.blocks.RepairBlock(channel, b)
+}
+
 // BlockFloor returns a channel's retention floor: the first block number
 // the store still serves.
 func (s *NodeStorage) BlockFloor(channel string) uint64 {
@@ -580,6 +601,13 @@ func (s *NodeStorage) BlockStoreBytes() int64 { return s.blocks.SizeBytes() }
 
 // Dir returns the storage root.
 func (s *NodeStorage) Dir() string { return s.dir }
+
+// Poisoned reports the shared log's permanent failure state: nil while
+// healthy, the wrapped ErrLogPoisoned after a wave fsync failed. Once
+// poisoned the log never recovers (fsyncgate semantics — the kernel
+// dropped the dirty pages, so a retried fsync lying "ok" would lose
+// acked data); callers observing it must stop acking and shut down.
+func (s *NodeStorage) Poisoned() error { return s.wal.Poisoned() }
 
 // Close flushes the pending checkpoint, flushes and closes the unified
 // log, then stops the commit queue (the log drains itself through the

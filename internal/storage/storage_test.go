@@ -18,7 +18,7 @@ import (
 
 func TestCheckpointerRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCheckpointer(dir)
+	c, err := NewCheckpointer(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestCheckpointerRoundTrip(t *testing.T) {
 
 func TestCheckpointerIgnoresStaleTemp(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCheckpointer(dir)
+	c, err := NewCheckpointer(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestCheckpointerIgnoresStaleTemp(t *testing.T) {
 
 func TestCheckpointerDetectsCorruption(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCheckpointer(dir)
+	c, err := NewCheckpointer(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

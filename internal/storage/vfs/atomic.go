@@ -1,0 +1,52 @@
+package vfs
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// PrevSuffix names the retained previous generation of atomically
+// replaced single-file artifacts (checkpoint, retention manifest): loads
+// that find the stable copy rotten fall back to it.
+const PrevSuffix = ".prev"
+
+// SaveAtomicWithPrev is the shared tmp+fsync+demote+rename+dir-fsync
+// sequence of the single-file durable artifacts: buf replaces final
+// atomically, and the displaced stable copy survives one generation as
+// final+PrevSuffix. A crash anywhere in the sequence leaves at least one
+// good copy under one of the two names.
+func SaveAtomicWithPrev(fs FS, dir, final string, buf []byte) error {
+	fs = OrOS(fs)
+	tmp := final + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	// Demote the current stable copy. A missing stable copy (first save)
+	// is fine; any other demotion error is only logged — keeping the NEW
+	// state is always preferable to failing the save over the backup
+	// bookkeeping.
+	if err := fs.Rename(final, final+PrevSuffix); err != nil && !os.IsNotExist(err) {
+		slog.Warn("storage: demoting previous artifact generation failed",
+			"file", final, "err", err)
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/storage/vfs"
 )
 
 // WAL errors.
@@ -31,7 +32,59 @@ var (
 	ErrClosed  = errors.New("storage: wal closed")
 	ErrCorrupt = errors.New("storage: wal corrupt")
 	ErrTooBig  = errors.New("storage: record exceeds segment size")
+	// ErrLogPoisoned reports a log permanently failed by a commit-wave
+	// fsync error. After a failed fsync the kernel has dropped the dirty
+	// pages — a retry would report success without the data ever reaching
+	// the disk — so the only safe reaction is to stop acking: every
+	// append after the poisoning fails with an error wrapping this one.
+	ErrLogPoisoned = errors.New("storage: commit log poisoned by a failed fsync")
 )
+
+// RecordCorruptError is the typed per-record corruption report: a framed
+// record whose CRC (or framing) no longer checks out, located precisely
+// enough for a repair path to act on it. Channel and Num are filled in by
+// the block store when the record is a block record (the repairable
+// kind); they are zero for decision and channel-meta records. It unwraps
+// to ErrCorrupt, so existing errors.Is checks keep working.
+type RecordCorruptError struct {
+	// Segment is the path of the segment file holding the record.
+	Segment string
+	// Offset is the byte offset of the record's frame inside the segment.
+	Offset int64
+	// Index is the record's log index (0 when unknown — e.g. a scan that
+	// failed before indices were assigned).
+	Index uint64
+	// Channel and Num identify the durable block the record carried, when
+	// the caller knows it is a block record.
+	Channel string
+	Num     uint64
+	// Err is the underlying cause (crc mismatch, torn frame, read error).
+	Err error
+}
+
+func (e *RecordCorruptError) Error() string {
+	msg := fmt.Sprintf("storage: corrupt record %d in %s at offset %d", e.Index, e.Segment, e.Offset)
+	if e.Channel != "" {
+		msg += fmt.Sprintf(" (block %s/%d)", e.Channel, e.Num)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *RecordCorruptError) Unwrap() error { return ErrCorrupt }
+
+// disableFsyncFailFast artificially restores the unsafe pre-fsyncgate
+// behavior: a failed wave fsync completes its group's tokens as if the
+// records were durable, and the log is not poisoned. It exists solely so
+// the crash-window teeth test can demonstrate the acked-then-lost write
+// the fail-fast semantics prevent. Never set outside tests.
+var disableFsyncFailFast atomic.Bool
+
+// SetFsyncFailFastDisabled toggles the teeth-test switch (see
+// disableFsyncFailFast). Test instrumentation only.
+func SetFsyncFailFastDisabled(v bool) { disableFsyncFailFast.Store(v) }
 
 // recordHeaderSize is the fixed per-record framing overhead: a uint32
 // payload length followed by a uint32 CRC32 (IEEE) of the payload.
@@ -62,6 +115,9 @@ type WALConfig struct {
 	// what caps a commit wave at a single fsync. The queue must outlive
 	// the WAL (close the WAL first, then the queue).
 	Queue *CommitQueue
+	// FS is the filesystem seam (nil = the real OS filesystem). Fault
+	// injection threads a faultfs through here.
+	FS vfs.FS
 	// Metrics, when set, receives fsync/bytes/segment instrumentation.
 	Metrics *obs.StorageMetrics
 }
@@ -70,6 +126,7 @@ func (c WALConfig) withDefaults() WALConfig {
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 4 << 20
 	}
+	c.FS = vfs.OrOS(c.FS)
 	return c
 }
 
@@ -108,7 +165,7 @@ type WAL struct {
 	// PruneTo hold it to read or drop sealed segments.
 	mu       sync.Mutex
 	segments []segment // sorted by first index; last entry is active
-	active   *os.File
+	active   vfs.File
 	size     int64  // bytes in the active segment
 	next     uint64 // index the next append receives
 
@@ -144,16 +201,16 @@ type WAL struct {
 // flush. Segments are preallocated, so the wave path only needs a data
 // flush (fdatasync on Linux): the inode's size never changes on append,
 // which keeps the journal out of the hot path.
-func (w *WAL) fsync(f *os.File) error {
+func (w *WAL) fsync(f vfs.File) error {
 	w.syncs.Add(1)
 	w.metrics.FsyncTotal.Inc()
 	if h := w.metrics.FsyncSeconds; h != nil {
 		start := time.Now()
-		err := datasync(f)
+		err := f.Datasync()
 		h.ObserveDuration(time.Since(start))
 		return err
 	}
-	return datasync(f)
+	return f.Datasync()
 }
 
 // SyncCount returns how many fsyncs the log has issued so far.
@@ -166,7 +223,7 @@ func (w *WAL) SyncCount() uint64 { return w.syncs.Load() }
 // of the log, so mid-log damage means real corruption.
 func OpenWAL(cfg WALConfig) (*WAL, error) {
 	cfg = cfg.withDefaults()
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
 	w := &WAL{
@@ -193,7 +250,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 // scan builds the segment table, validating every record and truncating the
 // torn tail of the newest segment.
 func (w *WAL) scan() error {
-	entries, err := os.ReadDir(w.cfg.Dir)
+	entries, err := w.cfg.FS.ReadDir(w.cfg.Dir)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -223,7 +280,7 @@ func (w *WAL) scan() error {
 	verrs := make([]error, len(segs))
 	lastData := -1
 	for i := range segs {
-		counts[i], valids[i], offsetTables[i], verrs[i] = validateSegment(segs[i].path)
+		counts[i], valids[i], offsetTables[i], verrs[i] = validateSegment(w.cfg.FS, segs[i].path)
 		if counts[i] > 0 {
 			lastData = i
 		}
@@ -232,11 +289,18 @@ func (w *WAL) scan() error {
 		seg := &segs[i]
 		if err := verrs[i]; err != nil {
 			if i < lastData {
-				return fmt.Errorf("%w: segment %s: %v", ErrCorrupt, seg.path, err)
+				// Mid-log damage is real corruption, not a crash artifact;
+				// the typed error locates it for the repair/degrade paths.
+				return &RecordCorruptError{
+					Segment: seg.path,
+					Offset:  valids[i],
+					Index:   seg.first + counts[i],
+					Err:     err,
+				}
 			}
 			// Torn or preallocated tail: drop everything from the first
 			// bad frame on.
-			if terr := os.Truncate(seg.path, valids[i]); terr != nil {
+			if terr := w.cfg.FS.Truncate(seg.path, valids[i]); terr != nil {
 				return fmt.Errorf("storage: truncating torn tail: %w", terr)
 			}
 		}
@@ -260,8 +324,8 @@ func (w *WAL) scan() error {
 // the whole file is valid), and the byte offset of every valid record. A
 // non-nil error means the file has a torn or corrupt tail starting at
 // validLen.
-func validateSegment(path string) (count uint64, validLen int64, offsets []int64, err error) {
-	f, err := os.Open(path)
+func validateSegment(fs vfs.FS, path string) (count uint64, validLen int64, offsets []int64, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, nil, err
 	}
@@ -319,11 +383,11 @@ func (w *WAL) openActive() error {
 		})
 	}
 	seg := &w.segments[len(w.segments)-1]
-	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := w.cfg.FS.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	if err := preallocate(f, w.cfg.SegmentBytes); err != nil {
+	if err := f.Preallocate(w.cfg.SegmentBytes); err != nil {
 		f.Close()
 		return fmt.Errorf("storage: preallocating segment: %w", err)
 	}
@@ -342,12 +406,7 @@ func (w *WAL) syncDir() error {
 	if w.cfg.NoSync {
 		return nil
 	}
-	d, err := os.Open(w.cfg.Dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return w.cfg.FS.SyncDir(w.cfg.Dir)
 }
 
 // Append durably writes one record and returns its index. It blocks until
@@ -463,21 +522,41 @@ func (w *WAL) commit(group []*appendReq) error {
 		return err
 	}
 	if err := w.fsync(f); err != nil {
+		if disableFsyncFailFast.Load() {
+			// Teeth switch: ack the wave as if it were durable. The dirty
+			// pages are gone — a crash now loses every record in it.
+			return nil
+		}
 		w.poison(err)
-		return err
+		return w.Poisoned()
 	}
 	return nil
 }
 
-// poison marks the log failed: the file may hold a torn frame past which
-// nothing can be appended safely, so every later append fails with the
-// original error.
+// poison marks the log permanently failed (fsyncgate fail-fast): after a
+// failed fsync the kernel has dropped the dirty pages, so a retry would
+// falsely succeed, and the file may hold a torn frame past which nothing
+// can be appended safely (recovery would truncate records acknowledged
+// after it). Every later append — and the failed wave's own tokens —
+// fail with a typed error wrapping both ErrLogPoisoned and the original
+// cause.
 func (w *WAL) poison(err error) {
 	w.mu.Lock()
 	if w.failErr == nil {
-		w.failErr = err
+		w.failErr = fmt.Errorf("%w: %v", ErrLogPoisoned, err)
+		w.metrics.LogPoisoned.Inc()
 	}
 	w.mu.Unlock()
+}
+
+// Poisoned returns the poisoning error when the log has failed fail-fast
+// (nil while healthy). The consensus durability poller and the node's
+// dissemination gate observe it through the append tokens; this probe is
+// for health surfaces that want to ask directly.
+func (w *WAL) Poisoned() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failErr
 }
 
 // writeGroup writes one group's frames into the active segment (rotating
@@ -486,7 +565,7 @@ func (w *WAL) poison(err error) {
 // nothing needs syncing: an all-barrier group, or NoSync). Only one
 // goroutine — the standalone writer or the commit queue's scheduler —
 // calls it. A write failure poisons the log.
-func (w *WAL) writeGroup(group []*appendReq) (*os.File, error) {
+func (w *WAL) writeGroup(group []*appendReq) (vfs.File, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failErr != nil {
@@ -586,11 +665,11 @@ func (w *WAL) rotateLocked() error {
 		first: w.next,
 		last:  w.next - 1,
 	})
-	f, err := os.OpenFile(w.segments[len(w.segments)-1].path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := w.cfg.FS.OpenFile(w.segments[len(w.segments)-1].path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := preallocate(f, w.cfg.SegmentBytes); err != nil {
+	if err := f.Preallocate(w.cfg.SegmentBytes); err != nil {
 		f.Close()
 		return err
 	}
@@ -611,15 +690,15 @@ func (w *WAL) Replay(fn func(idx uint64, rec []byte) error) error {
 		if seg.last < seg.first {
 			continue // empty segment
 		}
-		if err := replaySegment(seg, fn); err != nil {
+		if err := replaySegment(w.cfg.FS, seg, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func replaySegment(seg segment, fn func(idx uint64, rec []byte) error) error {
-	raw, err := os.ReadFile(seg.path)
+func replaySegment(fs vfs.FS, seg segment, fn func(idx uint64, rec []byte) error) error {
+	raw, err := fs.ReadFile(seg.path)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -632,19 +711,21 @@ func replaySegment(seg segment, fn func(idx uint64, rec []byte) error) error {
 	off := 0
 	for off < len(raw) {
 		if len(raw)-off < recordHeaderSize {
-			return fmt.Errorf("%w: torn header in %s", ErrCorrupt, seg.path)
+			return &RecordCorruptError{Segment: seg.path, Offset: int64(off), Index: idx,
+				Err: errors.New("torn header")}
 		}
 		n := int(binary.BigEndian.Uint32(raw[off : off+4]))
 		sum := binary.BigEndian.Uint32(raw[off+4 : off+8])
-		off += recordHeaderSize
-		if n > maxRecordSize || n > len(raw)-off {
-			return fmt.Errorf("%w: torn record in %s", ErrCorrupt, seg.path)
+		if n > maxRecordSize || n > len(raw)-off-recordHeaderSize {
+			return &RecordCorruptError{Segment: seg.path, Offset: int64(off), Index: idx,
+				Err: errors.New("torn record")}
 		}
-		payload := raw[off : off+n]
+		payload := raw[off+recordHeaderSize : off+recordHeaderSize+n]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return fmt.Errorf("%w: crc mismatch in %s", ErrCorrupt, seg.path)
+			return &RecordCorruptError{Segment: seg.path, Offset: int64(off), Index: idx,
+				Err: errors.New("crc mismatch")}
 		}
-		off += n
+		off += recordHeaderSize + n
 		if err := fn(idx, payload); err != nil {
 			return err
 		}
@@ -682,7 +763,7 @@ func (w *WAL) ReadRange(from, to uint64, fn func(idx uint64, rec []byte) error) 
 		if seg.last < stop {
 			stop = seg.last
 		}
-		err := replaySegment(seg, func(idx uint64, rec []byte) error {
+		err := replaySegment(w.cfg.FS, seg, func(idx uint64, rec []byte) error {
 			if idx < from {
 				return nil
 			}
@@ -740,7 +821,7 @@ func (w *WAL) ReadRecords(idxs []uint64, fn func(idx uint64, rec []byte) error) 
 		if seg.last < seg.first || seg.last < idxs[pos] {
 			continue
 		}
-		f, err := os.Open(seg.path)
+		f, err := w.cfg.FS.Open(seg.path)
 		if err != nil {
 			if os.IsNotExist(err) {
 				return fmt.Errorf("%w: segment %s", ErrRecordGone, seg.path)
@@ -752,7 +833,8 @@ func (w *WAL) ReadRecords(idxs []uint64, fn func(idx uint64, rec []byte) error) 
 			rec, err := readRecordAt(f, seg.offsets[idx-seg.first])
 			if err != nil {
 				f.Close()
-				return fmt.Errorf("%w: record %d in %s: %v", ErrCorrupt, idx, seg.path, err)
+				return &RecordCorruptError{Segment: seg.path,
+					Offset: seg.offsets[idx-seg.first], Index: idx, Err: err}
 			}
 			if err := fn(idx, rec); err != nil {
 				f.Close()
@@ -769,7 +851,7 @@ func (w *WAL) ReadRecords(idxs []uint64, fn func(idx uint64, rec []byte) error) 
 }
 
 // readRecordAt reads and CRC-checks one framed record at a known offset.
-func readRecordAt(f *os.File, off int64) ([]byte, error) {
+func readRecordAt(f vfs.File, off int64) ([]byte, error) {
 	var hdr [recordHeaderSize]byte
 	if _, err := f.ReadAt(hdr[:], off); err != nil {
 		return nil, err
@@ -810,6 +892,28 @@ func (w *WAL) SegmentSpans() []SegmentSpan {
 		out = append(out, SegmentSpan{First: seg.first, Last: seg.last, Size: seg.size})
 	}
 	return out
+}
+
+// RecordSpan locates a record's framed bytes on disk: the segment file
+// holding it, the byte offset of its frame, and the frame's length
+// (header + payload). ErrRecordGone when the record was pruned. Fault
+// injectors use it to corrupt a specific record at rest; the scrubber's
+// corruption reports carry the same coordinates.
+func (w *WAL) RecordSpan(idx uint64) (path string, off, length int64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, seg := range w.segments {
+		if idx < seg.first || idx > seg.last {
+			continue
+		}
+		i := idx - seg.first
+		end := seg.size
+		if int(i)+1 < len(seg.offsets) {
+			end = seg.offsets[i+1]
+		}
+		return seg.path, seg.offsets[i], end - seg.offsets[i], nil
+	}
+	return "", 0, 0, fmt.Errorf("%w: record %d", ErrRecordGone, idx)
 }
 
 // RecordSizeBytes sums the framed on-disk size of the given records
@@ -889,7 +993,7 @@ func (w *WAL) PruneTo(keepFrom uint64) error {
 	var rmErr error
 	for i, seg := range w.segments {
 		if rmErr == nil && i < len(w.segments)-1 && seg.last < keepFrom {
-			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			if err := w.cfg.FS.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 				rmErr = err // removal failed: the file is still there, keep it
 			} else {
 				removed = true
@@ -906,6 +1010,118 @@ func (w *WAL) PruneTo(keepFrom uint64) error {
 		w.metrics.PruneTotal.Inc()
 		w.metrics.Segments.Set(int64(len(w.segments)))
 		return w.syncDir()
+	}
+	return nil
+}
+
+// RewriteRecord atomically replaces the payload of committed record idx —
+// the repair primitive under the scrubber: a record whose on-disk frame
+// rotted is rewritten from a known-good copy (for blocks, one re-fetched
+// from f+1-verified peers). The whole segment is rewritten to a temp file
+// and renamed into place, so a crash mid-repair leaves either the old
+// (corrupt) or the new (repaired) segment, never a torn one. The new
+// payload may differ in length from the old frame (a repaired block often
+// carries a merged signature set); subsequent records shift and the
+// offset index is adjusted. Safe against concurrent appends and reads:
+// the rewrite holds the log lock, and readers re-open segment files per
+// read.
+func (w *WAL) RewriteRecord(idx uint64, rec []byte) error {
+	if int64(len(rec))+recordHeaderSize > w.cfg.SegmentBytes {
+		return ErrTooBig
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	si := -1
+	for i := range w.segments {
+		if idx >= w.segments[i].first && idx <= w.segments[i].last {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return fmt.Errorf("%w: record %d", ErrRecordGone, idx)
+	}
+	seg := &w.segments[si]
+	off := seg.offsets[idx-seg.first]
+	oldEnd := seg.size
+	if int(idx-seg.first)+1 < len(seg.offsets) {
+		oldEnd = seg.offsets[idx-seg.first+1]
+	}
+
+	raw, err := w.cfg.FS.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+	}
+	if int64(len(raw)) > seg.size {
+		raw = raw[:seg.size] // drop the preallocated tail of the active segment
+	}
+	if int64(len(raw)) < oldEnd {
+		return fmt.Errorf("storage: rewriting record %d: segment %s shorter than its index", idx, seg.path)
+	}
+	fixed := make([]byte, 0, int64(len(raw))+int64(len(rec))+recordHeaderSize-(oldEnd-off))
+	fixed = append(fixed, raw[:off]...)
+	var hdr [recordHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(rec)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(rec))
+	fixed = append(fixed, hdr[:]...)
+	fixed = append(fixed, rec...)
+	fixed = append(fixed, raw[oldEnd:]...)
+
+	tmp := seg.path + ".repair"
+	f, err := w.cfg.FS.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+	}
+	if _, err := f.Write(fixed); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+	}
+	if !w.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+	}
+
+	active := si == len(w.segments)-1
+	if active {
+		// The open append handle points at the inode the rename is about
+		// to unlink; swap it for a handle on the repaired file afterwards.
+		if err := w.active.Close(); err != nil {
+			return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+		}
+	}
+	if err := w.cfg.FS.Rename(tmp, seg.path); err != nil {
+		return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+	}
+	if err := w.syncDir(); err != nil {
+		return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+	}
+
+	delta := (int64(len(rec)) + recordHeaderSize) - (oldEnd - off)
+	for i := int(idx-seg.first) + 1; i < len(seg.offsets); i++ {
+		seg.offsets[i] += delta
+	}
+	seg.size += delta
+	if active {
+		w.size = seg.size
+		nf, err := w.cfg.FS.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			w.failErr = fmt.Errorf("%w: reopening active segment after repair: %v", ErrLogPoisoned, err)
+			return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+		}
+		if err := nf.Preallocate(w.cfg.SegmentBytes); err != nil {
+			nf.Close()
+			w.failErr = fmt.Errorf("%w: preallocating active segment after repair: %v", ErrLogPoisoned, err)
+			return fmt.Errorf("storage: rewriting record %d: %w", idx, err)
+		}
+		w.active = nf
 	}
 	return nil
 }
